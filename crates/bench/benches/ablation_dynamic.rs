@@ -1,0 +1,30 @@
+//! Ablation bench: local re-partition versus full HPA re-run — the
+//! paper's argument for *partial* adjustment under dynamics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d3_model::{zoo, NodeId};
+use d3_partition::{hpa, repartition_local, HpaOptions, Problem};
+use d3_simnet::{NetworkCondition, TierProfiles};
+use std::hint::black_box;
+
+fn bench_local_vs_full(c: &mut Criterion) {
+    let profiles = TierProfiles::paper_testbed();
+    let opts = HpaOptions::paper();
+    for g in [zoo::darknet53(224), zoo::inception_v4(224)] {
+        let mut p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+        let base = hpa(&p, &opts);
+        let victim = NodeId(g.len() / 2);
+        p.scale_vertex(victim, base.tier(victim), 4.0);
+        let mut group = c.benchmark_group(format!("dynamic_{}", g.name()));
+        group.bench_function(BenchmarkId::from_parameter("local_update"), |b| {
+            b.iter(|| black_box(repartition_local(&p, &base, victim, &opts)));
+        });
+        group.bench_function(BenchmarkId::from_parameter("full_rerun"), |b| {
+            b.iter(|| black_box(hpa(&p, &opts)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_local_vs_full);
+criterion_main!(benches);

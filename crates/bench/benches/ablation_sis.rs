@@ -1,0 +1,30 @@
+//! Ablation bench: HPA with and without the SIS update and the I/O
+//! look-ahead — both wall-clock cost and (printed once) solution quality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d3_model::zoo;
+use d3_partition::{hpa, HpaOptions, Problem};
+use d3_simnet::{NetworkCondition, TierProfiles};
+use std::hint::black_box;
+
+fn bench_variants(c: &mut Criterion) {
+    let profiles = TierProfiles::paper_testbed();
+    let variants: Vec<(&str, HpaOptions)> = vec![
+        ("full", HpaOptions::paper()),
+        ("no_sis", HpaOptions::paper().without_sis()),
+        ("no_io", HpaOptions::paper().without_io_heuristic()),
+        ("greedy", HpaOptions::paper().without_cut_search()),
+    ];
+    let g = zoo::inception_v4(224);
+    let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+    let mut group = c.benchmark_group("hpa_variants_inception");
+    for (name, opts) in &variants {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(hpa(&p, opts)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Ablation bench: VSM planning cost and plan quality across tile grids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d3_model::{zoo, NodeId};
+use d3_vsm::VsmPlan;
+use std::hint::black_box;
+
+fn bench_planning(c: &mut Criterion) {
+    let g = zoo::vgg16(224);
+    let run: Vec<NodeId> = (1..=2).map(NodeId).collect();
+    let mut group = c.benchmark_group("vsm_plan_vgg_conv1_2");
+    for (rows, cols) in [(1, 1), (2, 2), (4, 4), (8, 8)] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{rows}x{cols}")), |b| {
+            b.iter(|| black_box(VsmPlan::new(&g, &run, rows, cols).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for the partitioning algorithms themselves: HPA,
+//! DADS (min-cut), Neurosurgeon and the dynamic local update, on the
+//! real evaluation models. These quantify the paper's O(|V|+|L|) claims
+//! in wall-clock terms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d3_model::{zoo, NodeId};
+use d3_partition::{dads, hpa, neurosurgeon, repartition_local, HpaOptions, Problem};
+use d3_simnet::{NetworkCondition, TierProfiles};
+use std::hint::black_box;
+
+fn bench_hpa(c: &mut Criterion) {
+    let profiles = TierProfiles::paper_testbed();
+    let mut group = c.benchmark_group("hpa");
+    for g in zoo::all_models(224) {
+        let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+        group.bench_with_input(BenchmarkId::from_parameter(g.name()), &p, |b, p| {
+            b.iter(|| black_box(hpa(p, &HpaOptions::paper())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hpa_greedy_only(c: &mut Criterion) {
+    let profiles = TierProfiles::paper_testbed();
+    let opts = HpaOptions::paper().without_cut_search();
+    let mut group = c.benchmark_group("hpa_greedy_only");
+    for g in [zoo::vgg16(224), zoo::inception_v4(224)] {
+        let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+        group.bench_with_input(BenchmarkId::from_parameter(g.name()), &p, |b, p| {
+            b.iter(|| black_box(hpa(p, &opts)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dads(c: &mut Criterion) {
+    let profiles = TierProfiles::paper_testbed();
+    let mut group = c.benchmark_group("dads_mincut");
+    for g in zoo::all_models(224) {
+        let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+        group.bench_with_input(BenchmarkId::from_parameter(g.name()), &p, |b, p| {
+            b.iter(|| black_box(dads(p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_neurosurgeon(c: &mut Criterion) {
+    let profiles = TierProfiles::paper_testbed();
+    let mut group = c.benchmark_group("neurosurgeon");
+    for g in [zoo::alexnet(224), zoo::vgg16(224)] {
+        let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+        group.bench_with_input(BenchmarkId::from_parameter(g.name()), &p, |b, p| {
+            b.iter(|| black_box(neurosurgeon(p).expect("chain")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_update(c: &mut Criterion) {
+    let profiles = TierProfiles::paper_testbed();
+    let opts = HpaOptions::paper();
+    let mut group = c.benchmark_group("local_repartition");
+    for g in zoo::all_models(224) {
+        let mut p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+        let base = hpa(&p, &opts);
+        let victim = NodeId(g.len() / 2);
+        p.scale_vertex(victim, base.tier(victim), 4.0);
+        group.bench_function(BenchmarkId::from_parameter(g.name()), |b| {
+            b.iter(|| black_box(repartition_local(&p, &base, victim, &opts)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hpa,
+    bench_hpa_greedy_only,
+    bench_dads,
+    bench_neurosurgeon,
+    bench_local_update
+);
+criterion_main!(benches);

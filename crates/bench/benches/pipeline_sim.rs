@@ -1,0 +1,33 @@
+//! Criterion bench for the discrete-event stream simulator (3000-frame
+//! paper workload) and end-to-end strategy deployment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d3_engine::{deploy_strategy, Strategy, VsmConfig};
+use d3_model::zoo;
+use d3_partition::Problem;
+use d3_simnet::{NetworkCondition, TierProfiles};
+use std::hint::black_box;
+
+fn bench_stream(c: &mut Criterion) {
+    let g = zoo::resnet18(224);
+    let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+    let d = deploy_strategy(&p, Strategy::Hpa, VsmConfig::default()).unwrap();
+    c.bench_function("stream/30fps_3000frames", |b| {
+        b.iter(|| black_box(d.stream(30.0, 3000)));
+    });
+}
+
+fn bench_deploy(c: &mut Criterion) {
+    let g = zoo::inception_v4(224);
+    let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+    let mut group = c.benchmark_group("deploy_inception");
+    for s in [Strategy::Hpa, Strategy::HpaVsm, Strategy::Dads] {
+        group.bench_function(BenchmarkId::from_parameter(s.label()), |b| {
+            b.iter(|| black_box(deploy_strategy(&p, s, VsmConfig::default())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream, bench_deploy);
+criterion_main!(benches);

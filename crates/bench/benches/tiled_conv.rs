@@ -1,0 +1,71 @@
+//! Criterion benches for the numerical substrate: whole-tensor versus
+//! tiled (sequential and thread-parallel) execution of a conv stack.
+//! The parallel/sequential ratio is the *actual compute* speedup VSM
+//! achieves on this machine, overlap redundancy included — on a
+//! single-core host (e.g. a CI container) the parallel path necessarily
+//! matches the sequential one plus thread overhead; run on a multi-core
+//! machine to observe the sub-linear tile speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d3_model::{zoo, Executor, NodeId};
+use d3_tensor::Tensor;
+use d3_vsm::{TileExecutor, VsmPlan};
+use std::hint::black_box;
+
+fn stack() -> (d3_model::DnnGraph, Vec<NodeId>, Tensor) {
+    let g = zoo::chain_cnn(3, 16, 64);
+    let run = vec![NodeId(1), NodeId(2), NodeId(3)];
+    let input = Tensor::random(3, 64, 64, 7);
+    (g, run, input)
+}
+
+fn bench_whole(c: &mut Criterion) {
+    let (g, run, input) = stack();
+    let exec = Executor::new(&g, 42);
+    let tex = TileExecutor::new(&exec, VsmPlan::new(&g, &run, 1, 1).unwrap());
+    c.bench_function("conv_stack/whole", |b| {
+        b.iter(|| black_box(tex.run_whole(&input)));
+    });
+}
+
+fn bench_tiled(c: &mut Criterion) {
+    let (g, run, input) = stack();
+    let exec = Executor::new(&g, 42);
+    let mut group = c.benchmark_group("conv_stack_tiled");
+    for (rows, cols) in [(2, 2), (3, 3)] {
+        let plan = VsmPlan::new(&g, &run, rows, cols).unwrap();
+        let tex = TileExecutor::new(&exec, plan);
+        group.bench_function(BenchmarkId::new("sequential", format!("{rows}x{cols}")), |b| {
+            b.iter(|| black_box(tex.run_sequential(&input)));
+        });
+        group.bench_function(BenchmarkId::new("parallel", format!("{rows}x{cols}")), |b| {
+            b.iter(|| black_box(tex.run_parallel(&input)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_vs_direct(c: &mut Criterion) {
+    use d3_tensor::ops::{Conv2d, ConvSpec};
+    let conv = Conv2d::random(ConvSpec::new(16, 32, 3, 1, 1), 5);
+    let input = Tensor::random(16, 56, 56, 6);
+    let mut group = c.benchmark_group("conv_3x3_16to32_56x56");
+    group.bench_function("direct", |b| b.iter(|| black_box(conv.forward(&input))));
+    group.bench_function("im2col_gemm", |b| {
+        b.iter(|| black_box(conv.forward_gemm(&input)))
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let t = Tensor::random(64, 56, 56, 3);
+    c.bench_function("wire/encode_decode_800KB", |b| {
+        b.iter(|| {
+            let bytes = d3_engine::encode(black_box(&t));
+            black_box(d3_engine::decode(bytes).unwrap())
+        });
+    });
+}
+
+criterion_group!(benches, bench_whole, bench_tiled, bench_gemm_vs_direct, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Ablation studies: design choices the paper asserts but does not
+//! isolate (see DESIGN.md's ablation table).
+
+use crate::report::{fmt_s, fmt_x, md_table, Section};
+use d3_model::zoo;
+use d3_partition::{hpa, repartition_local, HpaOptions, Problem};
+use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+use d3_vsm::{parallel_time, VsmPlan};
+
+fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+    Problem::new(g, &TierProfiles::paper_testbed(), net)
+}
+
+/// HPA component ablation: full HPA vs no-SIS vs no-I/O-look-ahead vs
+/// pure greedy (no depth-cut search), Θ per model under Wi-Fi.
+pub fn ablation_hpa_components() -> Section {
+    let variants: Vec<(&str, HpaOptions)> = vec![
+        ("full", HpaOptions::paper()),
+        ("no SIS", HpaOptions::paper().without_sis()),
+        ("no I/O look-ahead", HpaOptions::paper().without_io_heuristic()),
+        ("greedy only (no cut search)", HpaOptions::paper().without_cut_search()),
+    ];
+    let mut rows = Vec::new();
+    for g in zoo::all_models(zoo::IMAGENET_HW) {
+        let p = problem(&g, NetworkCondition::WiFi);
+        let mut row = vec![zoo::display_name(g.name()).to_string()];
+        for (_, opts) in &variants {
+            let theta = hpa(&p, opts).total_latency(&p);
+            row.push(fmt_s(theta));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("model")
+        .chain(variants.iter().map(|(n, _)| *n))
+        .collect();
+    Section::new(
+        "Ablation — HPA components (Θ under Wi-Fi; lower is better)",
+        md_table(&headers, &rows),
+    )
+}
+
+/// Tier ablation: 3-tier HPA vs 2-tier restrictions (device+cloud à la
+/// Neurosurgeon; edge+cloud à la DADS).
+pub fn ablation_tiers() -> Section {
+    let mut rows = Vec::new();
+    for g in zoo::all_models(zoo::IMAGENET_HW) {
+        let p = problem(&g, NetworkCondition::WiFi);
+        let theta = |tiers: &[Tier]| {
+            let opts = HpaOptions::paper().with_tiers(tiers);
+            hpa(&p, &opts).total_latency(&p)
+        };
+        let three = theta(&Tier::ALL);
+        let dc = theta(&[Tier::Device, Tier::Cloud]);
+        let ec = theta(&[Tier::Edge, Tier::Cloud]);
+        rows.push(vec![
+            zoo::display_name(g.name()).to_string(),
+            fmt_s(three),
+            format!("{} ({})", fmt_s(dc), fmt_x(dc / three)),
+            format!("{} ({})", fmt_s(ec), fmt_x(ec / three)),
+        ]);
+    }
+    Section::new(
+        "Ablation — 3-tier vs 2-tier partitioning (Wi-Fi; ratios vs 3-tier)",
+        md_table(
+            &["model", "3-tier", "device+cloud", "edge+cloud"],
+            &rows,
+        ),
+    )
+}
+
+/// Tile-grid ablation: redundancy and ideal speedup per grid on VGG-16's
+/// conv1–4 run (the paper fixes 2×2; this sweeps 1×1..4×4).
+pub fn ablation_tile_grid() -> Section {
+    let g = zoo::vgg16(224);
+    // conv1(1), conv2(2) form the pre-pool run; use conv stack up to pool1.
+    let run: Vec<d3_model::NodeId> = vec![d3_model::NodeId(1), d3_model::NodeId(2)];
+    let p = problem(&g, NetworkCondition::WiFi);
+    let full: Vec<f64> = run
+        .iter()
+        .map(|&id| p.vertex_time(id, Tier::Edge))
+        .collect();
+    let mut rows = Vec::new();
+    for (rows_n, cols_n) in [(1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (4, 4)] {
+        let plan = VsmPlan::new(&g, &run, rows_n, cols_n).expect("plannable");
+        let serial: f64 = full.iter().sum();
+        let par = parallel_time(&plan, &full, rows_n * cols_n);
+        rows.push(vec![
+            format!("{rows_n}×{cols_n}"),
+            format!("{:.3}", plan.redundancy()),
+            format!("{:.3}", plan.input_redundancy()),
+            fmt_x(serial / par),
+        ]);
+    }
+    Section::new(
+        "Ablation — VSM tile grid on VGG-16 conv1–conv2 (one node per tile)",
+        md_table(
+            &["grid", "compute redundancy", "input redundancy", "speedup"],
+            &rows,
+        ),
+    )
+}
+
+/// Dynamic-update ablation: Θ and work of local re-partition vs a full
+/// HPA re-run after a 5× slowdown of each mid-network vertex.
+pub fn ablation_dynamic() -> Section {
+    let mut rows = Vec::new();
+    for g in zoo::all_models(zoo::IMAGENET_HW) {
+        let opts = HpaOptions::paper();
+        let mut p = problem(&g, NetworkCondition::WiFi);
+        let base = hpa(&p, &opts);
+        let victim = d3_model::NodeId(g.len() / 2);
+        p.scale_vertex(victim, base.tier(victim), 5.0);
+        let stale = base.total_latency(&p);
+        let local = repartition_local(&p, &base, victim, &opts);
+        let local_theta = local.assignment.total_latency(&p);
+        let full_theta = hpa(&p, &opts).total_latency(&p);
+        rows.push(vec![
+            zoo::display_name(g.name()).to_string(),
+            fmt_s(stale),
+            format!(
+                "{} ({} vertices touched)",
+                fmt_s(local_theta),
+                local.recomputed.len()
+            ),
+            format!("{} ({} vertices)", fmt_s(full_theta), g.len() - 1),
+        ]);
+    }
+    Section::new(
+        "Ablation — stale plan vs local re-partition vs full HPA after 5× vertex slowdown",
+        md_table(&["model", "stale Θ", "local update Θ", "full re-run Θ"], &rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_sections_render() {
+        let s = ablation_tile_grid();
+        assert!(s.render().contains("redundancy"));
+    }
+
+    #[test]
+    fn cut_search_never_hurts() {
+        for g in [zoo::vgg16(224), zoo::resnet18(224)] {
+            let p = problem(&g, NetworkCondition::WiFi);
+            let full = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+            let greedy = hpa(&p, &HpaOptions::paper().without_cut_search()).total_latency(&p);
+            assert!(full <= greedy + 1e-12, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn three_tier_never_worse_than_two_tier() {
+        let g = zoo::resnet18(224);
+        let p = problem(&g, NetworkCondition::WiFi);
+        let three = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+        for tiers in [[Tier::Device, Tier::Cloud], [Tier::Edge, Tier::Cloud]] {
+            let two = hpa(&p, &HpaOptions::paper().with_tiers(&tiers)).total_latency(&p);
+            assert!(three <= two + 1e-9);
+        }
+    }
+}

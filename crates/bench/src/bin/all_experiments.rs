@@ -1,0 +1,8 @@
+//! Runs every table/figure reproduction and prints the full report
+//! (the source of EXPERIMENTS.md's measured columns).
+fn main() {
+    println!("# D3 reproduction — experiment report\n");
+    for section in d3_bench::all_sections() {
+        println!("{}", section.render());
+    }
+}

@@ -1,0 +1,36 @@
+//! Diagnostic: per-model, per-network segment sizes and VSM effect.
+//!
+//! Not a paper artefact — a developer tool for inspecting where HPA puts
+//! layers under each Table III condition and what the VSM-aware second
+//! pass changes. (This is the view that drove the calibration notes in
+//! DESIGN.md.)
+
+use d3_engine::{deploy_strategy, Strategy, VsmConfig};
+use d3_model::zoo;
+use d3_partition::Problem;
+use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+
+fn main() {
+    for net in NetworkCondition::TABLE3 {
+        println!("== {net}");
+        for g in zoo::all_models(224) {
+            let p = Problem::new(&g, &TierProfiles::paper_testbed(), net);
+            let h = deploy_strategy(&p, Strategy::Hpa, VsmConfig::default()).expect("applies");
+            let v = deploy_strategy(&p, Strategy::HpaVsm, VsmConfig::default()).expect("applies");
+            let a = &h.assignment;
+            let seg = |t: Tier| a.segment(t).len();
+            println!(
+                "{:<13} d={:<3} e={:<3} c={:<3} | HPA {:>7.1}ms  +VSM {:>7.1}ms  (edge stage {:>6.1} -> {:>6.1}ms, plans {})",
+                g.name(),
+                seg(Tier::Device) - 1,
+                seg(Tier::Edge),
+                seg(Tier::Cloud),
+                h.frame_latency_s * 1e3,
+                v.frame_latency_s * 1e3,
+                h.stages[1].service_s * 1e3,
+                v.stages[1].service_s * 1e3,
+                v.vsm_plans.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Prints the extension studies (IONN, MoDNN, energy, heterogeneous VSM).
+use d3_bench::extensions;
+
+fn main() {
+    println!("{}", extensions::extension_ionn().render());
+    println!("{}", extensions::extension_modnn().render());
+    println!("{}", extensions::extension_energy().render());
+    println!("{}", extensions::extension_hetero_vsm().render());
+}

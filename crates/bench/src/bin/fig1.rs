@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1: per-layer latency and output size on an RPi4.
+fn main() {
+    println!("{}", d3_bench::figures::fig1().render());
+}

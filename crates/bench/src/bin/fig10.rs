@@ -1,0 +1,4 @@
+//! Regenerates Fig. 10: HPA vs Neurosurgeon and DADS.
+fn main() {
+    println!("{}", d3_bench::figures::fig10().render());
+}

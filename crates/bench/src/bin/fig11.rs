@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11: Inception-v4 speedup vs backbone bandwidth.
+fn main() {
+    println!("{}", d3_bench::figures::fig11().render());
+}

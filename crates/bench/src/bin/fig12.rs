@@ -1,0 +1,4 @@
+//! Regenerates Fig. 12: full D3 (HPA+VSM) vs all baselines.
+fn main() {
+    println!("{}", d3_bench::figures::fig12().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 13: per-image backbone communication overhead.
+fn main() {
+    println!("{}", d3_bench::figures::fig13().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3: the Inception-v4 grid module's DAG layering.
+fn main() {
+    println!("{}", d3_bench::figures::fig3().render());
+}

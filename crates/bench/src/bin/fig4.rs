@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4: regression predicted vs actual layer latency.
+fn main() {
+    println!("{}", d3_bench::figures::fig4().render());
+}

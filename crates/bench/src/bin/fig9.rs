@@ -1,0 +1,4 @@
+//! Regenerates Fig. 9: HPA vs single-tier strategies.
+fn main() {
+    println!("{}", d3_bench::figures::fig9().render());
+}

@@ -1,0 +1,10 @@
+//! Prints all ablation studies (HPA components, tiers, tile grids,
+//! dynamic updates).
+use d3_bench::ablations;
+
+fn main() {
+    println!("{}", ablations::ablation_hpa_components().render());
+    println!("{}", ablations::ablation_tiers().render());
+    println!("{}", ablations::ablation_tile_grid().render());
+    println!("{}", ablations::ablation_dynamic().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I: pairwise placement latencies.
+fn main() {
+    println!("{}", d3_bench::tables::table1().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II: post-HPA per-tier processing times.
+fn main() {
+    println!("{}", d3_bench::tables::table2().render());
+}

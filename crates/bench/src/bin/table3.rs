@@ -1,0 +1,4 @@
+//! Regenerates Table III: inter-tier uplink rates.
+fn main() {
+    println!("{}", d3_bench::tables::table3().render());
+}

@@ -1,0 +1,201 @@
+//! Extension studies beyond the paper's evaluation: the related-work
+//! baselines it cites but does not measure (IONN, MoDNN), the energy
+//! dimension its introduction motivates, and heterogeneous edge pools
+//! (the AOFL direction).
+
+use crate::report::{fmt_s, fmt_x, md_table, Section};
+use d3_engine::{deploy_strategy, Strategy, VsmConfig};
+use d3_model::{zoo, NodeId};
+use d3_partition::{energy, ionn, neurosurgeon, neurosurgeon_energy, Problem};
+use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+use d3_vsm::{compare_schemes, ModnnConfig, VsmPlan};
+
+fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+    Problem::new(g, &TierProfiles::paper_testbed(), net)
+}
+
+/// IONN cold start: how the optimal split shifts as the one-time
+/// parameter upload amortizes over more queries (chain models, Wi-Fi).
+pub fn extension_ionn() -> Section {
+    let mut body = String::new();
+    for g in [zoo::alexnet(224), zoo::vgg16(224)] {
+        let p = problem(&g, NetworkCondition::WiFi);
+        let mut rows = Vec::new();
+        for q in [1u64, 10, 100, 1_000, 100_000] {
+            let a = ionn(&p, q).expect("chain");
+            let cloud = a.tiers().iter().filter(|t| **t == Tier::Cloud).count();
+            rows.push(vec![
+                format!("{q}"),
+                format!("{cloud}"),
+                fmt_s(a.total_latency(&p)),
+            ]);
+        }
+        let ns = neurosurgeon(&p).expect("chain");
+        rows.push(vec![
+            "∞ (Neurosurgeon)".into(),
+            format!(
+                "{}",
+                ns.tiers().iter().filter(|t| **t == Tier::Cloud).count()
+            ),
+            fmt_s(ns.total_latency(&p)),
+        ]);
+        body.push_str(&format!("### {}\n\n", zoo::display_name(g.name())));
+        body.push_str(&md_table(
+            &["expected queries", "layers offloaded", "steady-state Θ"],
+            &rows,
+        ));
+        body.push('\n');
+    }
+    Section::new(
+        "Extension — IONN: parameter-upload amortization (Wi-Fi)",
+        body,
+    )
+}
+
+/// MoDNN vs VSM: per-layer gather/scatter versus fused-tile redundancy on
+/// each model's first tileable run (4 nodes, Wi-Fi LAN).
+pub fn extension_modnn() -> Section {
+    let mut rows = Vec::new();
+    for g in zoo::all_models(zoo::IMAGENET_HW) {
+        let p = problem(&g, NetworkCondition::WiFi);
+        let all: Vec<NodeId> = g.layer_ids().collect();
+        let runs = d3_vsm::find_tileable_runs(&g, &all, 2);
+        let Some(run) = runs.first() else { continue };
+        let times: Vec<f64> = run
+            .iter()
+            .map(|&id| p.vertex_time(id, Tier::Edge))
+            .collect();
+        let cfg = ModnnConfig {
+            nodes: 4,
+            lan_mbps: 84.95,
+        };
+        let Some((serial, modnn, vsm)) = compare_schemes(&g, run, &times, cfg, (2, 2)) else {
+            continue;
+        };
+        rows.push(vec![
+            zoo::display_name(g.name()).to_string(),
+            format!("{}", run.len()),
+            fmt_s(serial),
+            format!("{} ({})", fmt_s(modnn), fmt_x(serial / modnn)),
+            format!("{} ({})", fmt_s(vsm), fmt_x(serial / vsm)),
+        ]);
+    }
+    Section::new(
+        "Extension — MoDNN vs VSM on each model's first conv run (4 nodes, Wi-Fi LAN)",
+        md_table(
+            &["model", "run layers", "serial", "MoDNN", "VSM (fused tiles)"],
+            &rows,
+        ),
+    )
+}
+
+/// Energy: battery joules per inference for each strategy, per network.
+pub fn extension_energy() -> Section {
+    let profiles = TierProfiles::paper_testbed();
+    let mut body = String::new();
+    for g in [zoo::alexnet(224), zoo::vgg16(224), zoo::darknet53(224)] {
+        let mut rows = Vec::new();
+        for net in NetworkCondition::TABLE3 {
+            let p = problem(&g, net);
+            let joules = |s: Strategy| {
+                deploy_strategy(&p, s, VsmConfig::default())
+                    .map(|d| format!("{:.3}", energy(&p, &d.assignment, &profiles).device_j()))
+                    .unwrap_or_else(|| "n/a".into())
+            };
+            rows.push(vec![
+                net.to_string(),
+                joules(Strategy::DeviceOnly),
+                joules(Strategy::CloudOnly),
+                joules(Strategy::Hpa),
+                joules(Strategy::HpaVsm),
+            ]);
+        }
+        body.push_str(&format!("### {} (battery J/inference)\n\n", zoo::display_name(g.name())));
+        body.push_str(&md_table(
+            &["network", "Device-only", "Cloud-only", "HPA", "D3"],
+            &rows,
+        ));
+        body.push('\n');
+    }
+    // Energy-aware Neurosurgeon, on the chains.
+    let mut rows = Vec::new();
+    for g in [zoo::alexnet(224), zoo::vgg16(224)] {
+        let p = problem(&g, NetworkCondition::WiFi);
+        let lat = neurosurgeon(&p).expect("chain");
+        let en = neurosurgeon_energy(&p, &profiles).expect("chain");
+        rows.push(vec![
+            zoo::display_name(g.name()).to_string(),
+            format!("{:.3}", energy(&p, &lat, &profiles).device_j()),
+            format!("{:.3}", energy(&p, &en, &profiles).device_j()),
+            fmt_s(lat.total_latency(&p)),
+            fmt_s(en.total_latency(&p)),
+        ]);
+    }
+    body.push_str("### Neurosurgeon objectives (Wi-Fi)\n\n");
+    body.push_str(&md_table(
+        &[
+            "model",
+            "latency-opt battery J",
+            "energy-opt battery J",
+            "latency-opt Θ",
+            "energy-opt Θ",
+        ],
+        &rows,
+    ));
+    Section::new("Extension — per-inference energy accounting", body)
+}
+
+/// Heterogeneous edge pools: capacity-weighted tiles vs uniform tiles.
+pub fn extension_hetero_vsm() -> Section {
+    let g = zoo::chain_cnn(3, 16, 56);
+    let run: Vec<NodeId> = (1..=3).map(NodeId).collect();
+    let times = vec![0.02, 0.02, 0.02];
+    let mut rows = Vec::new();
+    for (label, speeds) in [
+        ("homogeneous 1:1:1:1", vec![1.0, 1.0, 1.0, 1.0]),
+        ("one fast node 3:1:1:1", vec![3.0, 1.0, 1.0, 1.0]),
+        ("two tiers 2:2:1:1", vec![2.0, 2.0, 1.0, 1.0]),
+        ("extreme 8:1:1:1", vec![8.0, 1.0, 1.0, 1.0]),
+    ] {
+        let uniform = VsmPlan::new(&g, &run, 2, 2).expect("plannable");
+        let t_uniform = d3_vsm::parallel_time_weighted(&uniform, &times, &speeds);
+        // Weighted 2×2: row weights from the stronger pair, column from
+        // the per-row ratio.
+        let rw = [speeds[0] + speeds[1], speeds[2] + speeds[3]];
+        let cw = [speeds[0].max(speeds[2]), speeds[1].max(speeds[3])];
+        let weighted = VsmPlan::weighted(&g, &run, &rw, &cw).expect("plannable");
+        let t_weighted = d3_vsm::parallel_time_weighted(&weighted, &times, &speeds);
+        rows.push(vec![
+            label.to_string(),
+            fmt_s(t_uniform),
+            fmt_s(t_weighted),
+            fmt_x(t_uniform / t_weighted),
+        ]);
+    }
+    Section::new(
+        "Extension — heterogeneous edge pools: uniform vs capacity-weighted tiles",
+        md_table(
+            &["pool", "uniform 2×2", "weighted 2×2", "gain"],
+            &rows,
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_sections_render() {
+        for s in [extension_ionn(), extension_modnn(), extension_hetero_vsm()] {
+            assert!(s.body.len() > 80, "{} too short", s.title);
+        }
+    }
+
+    #[test]
+    fn weighted_tiles_help_on_skewed_pools() {
+        let s = extension_hetero_vsm();
+        // The extreme row must show a gain > 1×.
+        assert!(s.body.contains("extreme 8:1:1:1"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Reproductions of the paper's figures (data series printed as markdown
+//! tables; the paper plots them as bar/line charts).
+
+use crate::report::{fmt_mbit, fmt_s, fmt_x, md_table, Section};
+use d3_engine::{deploy_strategy, Strategy, VsmConfig};
+use d3_model::{zoo, DnnGraph, NodeId};
+use d3_partition::Problem;
+use d3_profiler::RegressionEstimator;
+use d3_simnet::{NetworkCondition, NodeProfile, Tier, TierProfiles};
+
+/// The five evaluation models at the paper's input size.
+pub fn paper_models() -> Vec<DnnGraph> {
+    zoo::all_models(zoo::IMAGENET_HW)
+}
+
+fn problem<'g>(g: &'g DnnGraph, net: NetworkCondition) -> Problem<'g> {
+    Problem::new(g, &TierProfiles::paper_testbed(), net)
+}
+
+/// Single-frame end-to-end latency of a strategy; `None` when the
+/// strategy does not apply to the topology.
+pub fn strategy_latency(g: &DnnGraph, net: NetworkCondition, s: Strategy) -> Option<f64> {
+    let p = problem(g, net);
+    deploy_strategy(&p, s, VsmConfig::default()).map(|d| d.frame_latency_s)
+}
+
+/// Problem against the §IV implementation testbed (RPi4 device) — used
+/// by Fig. 9, whose device-only baseline is explicitly the Raspberry Pi.
+fn rpi_problem<'g>(g: &'g DnnGraph, net: NetworkCondition) -> Problem<'g> {
+    Problem::new(g, &TierProfiles::rpi_testbed(), net)
+}
+
+/// Single-frame latency on the RPi-device testbed.
+pub fn strategy_latency_rpi(g: &DnnGraph, net: NetworkCondition, s: Strategy) -> Option<f64> {
+    let p = rpi_problem(g, net);
+    deploy_strategy(&p, s, VsmConfig::default()).map(|d| d.frame_latency_s)
+}
+
+/// Fig. 1: per-layer inference latency and output size on a Raspberry
+/// Pi 4 for VGG-16, ResNet-18 and Darknet-53, grouped exactly as the
+/// paper's x-axes (blocks and residual groups aggregated).
+pub fn fig1() -> Section {
+    let rpi = NodeProfile::raspberry_pi4();
+    let mut body = String::new();
+    for g in [zoo::vgg16(224), zoo::resnet18(224), zoo::darknet53(224)] {
+        let groups = fig1_groups(&g);
+        let mut rows = Vec::new();
+        for (label, members) in &groups {
+            let latency: f64 = members.iter().map(|&id| rpi.layer_latency(&g, id)).sum();
+            let out_bytes = g.node(*members.last().expect("non-empty group")).output_bytes();
+            rows.push(vec![
+                label.clone(),
+                fmt_s(latency),
+                format!("{:.2} MB", out_bytes as f64 / 1e6),
+            ]);
+        }
+        body.push_str(&format!("### {}\n\n", zoo::display_name(g.name())));
+        body.push_str(&md_table(&["layer", "latency", "output size"], &rows));
+        body.push('\n');
+    }
+    Section::new(
+        "Fig. 1 — per-layer latency and output size on Raspberry Pi 4 (3×224×224)",
+        body,
+    )
+}
+
+/// Grouping of graph vertices into the paper's Fig. 1 x-axis labels.
+pub fn fig1_groups(g: &DnnGraph) -> Vec<(String, Vec<NodeId>)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut map: std::collections::HashMap<String, Vec<NodeId>> = std::collections::HashMap::new();
+    for id in g.layer_ids() {
+        let name = &g.node(id).name;
+        // Skip plumbing vertices the paper's plots do not show.
+        if name == "softmax" || name == "gap" || name.starts_with("maxpool") {
+            continue;
+        }
+        let label = match g.name() {
+            "resnet18" | "darknet53" => {
+                // block3.conv1 -> block3; residual2.1.conv1 -> residual2.
+                name.split('.').next().expect("non-empty name").to_string()
+            }
+            _ => name.clone(),
+        };
+        let label = if label.starts_with("fc") && g.name() != "vgg16" {
+            "fc".to_string()
+        } else {
+            label
+        };
+        if !map.contains_key(&label) {
+            order.push(label.clone());
+        }
+        map.entry(label).or_default().push(id);
+    }
+    order
+        .into_iter()
+        .map(|l| {
+            let members = map.remove(&l).expect("label recorded");
+            (l, members)
+        })
+        .collect()
+}
+
+/// Fig. 3: the Inception-v4 grid module and its DAG graph layers
+/// `Z0..Z6` (the layering HPA sweeps).
+pub fn fig3() -> Section {
+    let g = zoo::inception_grid_module(8);
+    let layers = g.graph_layers();
+    let mut rows = Vec::new();
+    for (q, members) in layers.iter().enumerate() {
+        let names: Vec<String> = members
+            .iter()
+            .map(|&id| format!("{} ({})", id, g.node(id).name))
+            .collect();
+        rows.push(vec![format!("Z{q}"), names.join(", ")]);
+    }
+    Section::new(
+        "Fig. 3 — grid module of Inception-v4 as a DAG, with HPA graph layers",
+        md_table(&["graph layer", "vertices"], &rows),
+    )
+}
+
+/// Fig. 4: regression-predicted vs. actual per-layer latency of AlexNet
+/// on the CPU (edge) and GPU (cloud) nodes; the estimator is trained on
+/// the other networks (held-out evaluation).
+pub fn fig4() -> Section {
+    let profiles = TierProfiles::paper_testbed();
+    let train = [zoo::vgg16(224), zoo::resnet18(224), zoo::darknet53(224)];
+    let refs: Vec<&DnnGraph> = train.iter().collect();
+    let est = RegressionEstimator::train(&profiles, &refs, 0.05, 3, 42);
+    let alexnet = zoo::alexnet(224);
+    let mut body = String::new();
+    for (tier, label) in [(Tier::Edge, "CPU (i7-8700)"), (Tier::Cloud, "GPU (RTX 2080 Ti)")] {
+        let mut rows = Vec::new();
+        for id in alexnet.layer_ids() {
+            let node = alexnet.node(id);
+            if node.name == "softmax" {
+                continue;
+            }
+            rows.push(vec![
+                node.name.clone(),
+                fmt_s(profiles.layer_latency(&alexnet, id, tier)),
+                fmt_s(est.estimate(&alexnet, id, tier)),
+            ]);
+        }
+        let acc = est.evaluate(&profiles, &alexnet, tier);
+        body.push_str(&format!("### {label}\n\n"));
+        body.push_str(&md_table(&["layer", "actual", "predicted"], &rows));
+        body.push_str(&format!(
+            "\nMAPE = {:.1} %, R² = {:.4}\n\n",
+            acc.mape * 100.0,
+            acc.r_squared
+        ));
+    }
+    Section::new(
+        "Fig. 4 — regression model: actual vs predicted AlexNet layer latency",
+        body,
+    )
+}
+
+/// Fig. 9: end-to-end latency speedup of HPA vs device-/edge-/cloud-only
+/// under each Table III network condition (device-only = 1× baseline).
+pub fn fig9() -> Section {
+    let mut body = String::new();
+    for net in NetworkCondition::TABLE3 {
+        let mut rows = Vec::new();
+        for g in paper_models() {
+            let base =
+                strategy_latency_rpi(&g, net, Strategy::DeviceOnly).expect("always applies");
+            let cell = |s: Strategy| {
+                strategy_latency_rpi(&g, net, s)
+                    .map(|l| fmt_x(base / l))
+                    .unwrap_or_else(|| "n/a".into())
+            };
+            rows.push(vec![
+                zoo::display_name(g.name()).to_string(),
+                fmt_x(1.0),
+                cell(Strategy::EdgeOnly),
+                cell(Strategy::CloudOnly),
+                cell(Strategy::Hpa),
+            ]);
+        }
+        body.push_str(&format!("### {net}\n\n"));
+        body.push_str(&md_table(
+            &["model", "Device-only", "Edge-only", "Cloud-only", "HPA"],
+            &rows,
+        ));
+        body.push('\n');
+    }
+    Section::new(
+        "Fig. 9 — latency speedup of HPA vs single-tier strategies (device-only = 1×)",
+        body,
+    )
+}
+
+/// Fig. 10: HPA vs Neurosurgeon and DADS (slowest applicable baseline of
+/// the three = 1×; the paper's bars are likewise relative).
+pub fn fig10() -> Section {
+    let mut body = String::new();
+    for net in NetworkCondition::TABLE3 {
+        let mut rows = Vec::new();
+        for g in paper_models() {
+            let ns = strategy_latency(&g, net, Strategy::Neurosurgeon);
+            let dads = strategy_latency(&g, net, Strategy::Dads).expect("applies");
+            let hpa = strategy_latency(&g, net, Strategy::Hpa).expect("applies");
+            let base = ns.unwrap_or(dads).max(dads).max(hpa);
+            let cell = |l: Option<f64>| {
+                l.map(|l| fmt_x(base / l)).unwrap_or_else(|| "n/a".into())
+            };
+            rows.push(vec![
+                zoo::display_name(g.name()).to_string(),
+                cell(ns),
+                cell(Some(dads)),
+                cell(Some(hpa)),
+            ]);
+        }
+        body.push_str(&format!("### {net}\n\n"));
+        body.push_str(&md_table(&["model", "Neurosurgeon", "DADS", "HPA"], &rows));
+        body.push('\n');
+    }
+    Section::new(
+        "Fig. 10 — latency speedup of HPA vs Neurosurgeon and DADS (slowest = 1×)",
+        body,
+    )
+}
+
+/// Fig. 11: Inception-v4 latency speedup (device-only = 1×) as the
+/// LAN↔cloud bandwidth sweeps 10–100 Mbps.
+pub fn fig11() -> Section {
+    let g = zoo::inception_v4(224);
+    let mut rows = Vec::new();
+    for mbps in (10..=100).step_by(10) {
+        let net = NetworkCondition::custom_backbone(mbps as f64);
+        let base = strategy_latency(&g, net, Strategy::DeviceOnly).expect("applies");
+        let cell = |s: Strategy| {
+            strategy_latency(&g, net, s)
+                .map(|l| fmt_x(base / l))
+                .unwrap_or_else(|| "n/a".into())
+        };
+        rows.push(vec![
+            format!("{mbps}"),
+            fmt_x(1.0),
+            cell(Strategy::EdgeOnly),
+            cell(Strategy::CloudOnly),
+            cell(Strategy::Dads),
+            cell(Strategy::Hpa),
+        ]);
+    }
+    Section::new(
+        "Fig. 11 — Inception-v4 speedup vs LAN↔cloud bandwidth (device-only = 1×)",
+        md_table(
+            &["Mbps", "Device-only", "Edge-only", "Cloud-only", "DADS", "HPA"],
+            &rows,
+        ),
+    )
+}
+
+/// Fig. 12: the full D3 (HPA+VSM with four edge nodes, 2×2 tiles) against
+/// every baseline under Wi-Fi (device-only = 1×).
+pub fn fig12() -> Section {
+    let net = NetworkCondition::WiFi;
+    let mut rows = Vec::new();
+    for g in paper_models() {
+        let base = strategy_latency(&g, net, Strategy::DeviceOnly).expect("applies");
+        let cell = |s: Strategy| {
+            strategy_latency(&g, net, s)
+                .map(|l| fmt_x(base / l))
+                .unwrap_or_else(|| "n/a".into())
+        };
+        rows.push(vec![
+            zoo::display_name(g.name()).to_string(),
+            fmt_x(1.0),
+            cell(Strategy::EdgeOnly),
+            cell(Strategy::CloudOnly),
+            cell(Strategy::Neurosurgeon),
+            cell(Strategy::Dads),
+            cell(Strategy::Hpa),
+            cell(Strategy::HpaVsm),
+        ]);
+    }
+    Section::new(
+        "Fig. 12 — full D3 (HPA+VSM, 4 edge nodes, 2×2 tiles) under Wi-Fi (device-only = 1×)",
+        md_table(
+            &[
+                "model",
+                "Device-only",
+                "Edge-only",
+                "Cloud-only",
+                "Neurosurgeon",
+                "DADS",
+                "HPA",
+                "HPA+VSM",
+            ],
+            &rows,
+        ),
+    )
+}
+
+/// Fig. 13: per-image data shipped over the LAN→cloud backbone for
+/// cloud-only, DADS and D3, per model and network condition.
+pub fn fig13() -> Section {
+    let mut body = String::new();
+    for g in paper_models() {
+        let mut rows = Vec::new();
+        for net in NetworkCondition::TABLE3 {
+            let p = problem(&g, net);
+            let bytes = |s: Strategy| {
+                deploy_strategy(&p, s, VsmConfig::default())
+                    .map(|d| fmt_mbit(d.backbone_bytes))
+                    .unwrap_or_else(|| "n/a".into())
+            };
+            rows.push(vec![
+                net.to_string(),
+                bytes(Strategy::CloudOnly),
+                bytes(Strategy::Dads),
+                bytes(Strategy::HpaVsm),
+            ]);
+        }
+        body.push_str(&format!("### {}\n\n", zoo::display_name(g.name())));
+        body.push_str(&md_table(&["network", "Cloud-only", "DADS", "D3"], &rows));
+        body.push('\n');
+    }
+    Section::new(
+        "Fig. 13 — per-image backbone communication to the cloud (megabits)",
+        body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_groups_match_paper_axes() {
+        let vgg = fig1_groups(&zoo::vgg16(224));
+        assert_eq!(vgg.len(), 16, "conv1..13 + fc1..3");
+        let resnet = fig1_groups(&zoo::resnet18(224));
+        // conv1, block1..8, fc = 10 labels.
+        assert_eq!(resnet.len(), 10);
+        let darknet = fig1_groups(&zoo::darknet53(224));
+        // conv1..6, residual1..5, fc = 12 labels.
+        assert_eq!(darknet.len(), 12);
+    }
+
+    #[test]
+    fn sections_render_nonempty() {
+        for s in [fig3(), fig11()] {
+            let r = s.render();
+            assert!(r.len() > 100);
+        }
+    }
+
+    #[test]
+    fn fig9_hpa_never_below_one() {
+        // HPA's speedup over device-only must be ≥ 1 everywhere.
+        for net in NetworkCondition::TABLE3 {
+            for g in paper_models() {
+                let base = strategy_latency(&g, net, Strategy::DeviceOnly).unwrap();
+                let hpa = strategy_latency(&g, net, Strategy::Hpa).unwrap();
+                assert!(base / hpa >= 1.0 - 1e-9, "{} {net}", g.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # d3-bench
+//!
+//! The benchmark/figure harness of the D3 reproduction: one function (and
+//! one binary) per table and figure of the paper's evaluation, plus the
+//! ablation studies listed in DESIGN.md. Criterion benches under
+//! `benches/` time the algorithms themselves.
+//!
+//! Run everything and regenerate the experiment report with:
+//!
+//! ```text
+//! cargo run -p d3-bench --bin all_experiments
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod extensions;
+pub mod figures;
+pub mod report;
+pub mod tables;
+
+pub use report::Section;
+
+/// Every experiment section in paper order (figures and tables), plus the
+/// ablations. This is what `all_experiments` prints and what
+/// EXPERIMENTS.md records.
+pub fn all_sections() -> Vec<Section> {
+    vec![
+        figures::fig1(),
+        figures::fig3(),
+        figures::fig4(),
+        tables::table1(),
+        tables::table2(),
+        tables::table3(),
+        figures::fig9(),
+        figures::fig10(),
+        figures::fig11(),
+        figures::fig12(),
+        figures::fig13(),
+        ablations::ablation_hpa_components(),
+        ablations::ablation_tiers(),
+        ablations::ablation_tile_grid(),
+        ablations::ablation_dynamic(),
+        extensions::extension_ionn(),
+        extensions::extension_modnn(),
+        extensions::extension_energy(),
+        extensions::extension_hetero_vsm(),
+    ]
+}

@@ -1,0 +1,88 @@
+//! Plain-text/markdown report formatting shared by the figure binaries.
+
+/// Renders a markdown table.
+pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_s(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Formats a speedup multiplier.
+pub fn fmt_x(x: f64) -> String {
+    format!("{x:.2}×")
+}
+
+/// Formats bytes as megabits (the Fig. 13 unit).
+pub fn fmt_mbit(bytes: u64) -> String {
+    format!("{:.2} Mb", bytes as f64 * 8.0 / 1e6)
+}
+
+/// A titled report section.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Markdown heading.
+    pub title: String,
+    /// Body (markdown).
+    pub body: String,
+}
+
+impl Section {
+    /// Creates a section.
+    pub fn new(title: impl Into<String>, body: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            body: body.into(),
+        }
+    }
+
+    /// Renders heading + body.
+    pub fn render(&self) -> String {
+        format!("## {}\n\n{}\n", self.title, self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let t = md_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(t.starts_with("| a | b |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn units() {
+        assert_eq!(fmt_s(2.5), "2.50 s");
+        assert_eq!(fmt_s(0.0025), "2.50 ms");
+        assert_eq!(fmt_s(2.5e-5), "25.0 µs");
+        assert_eq!(fmt_x(3.417), "3.42×");
+        assert_eq!(fmt_mbit(1_000_000), "8.00 Mb");
+    }
+}

@@ -1,0 +1,114 @@
+//! Reproductions of the paper's tables.
+
+use crate::report::{fmt_s, md_table, Section};
+use d3_engine::{deploy_strategy, Strategy, VsmConfig};
+use d3_model::{zoo, NodeId};
+use d3_partition::{placement, Problem};
+use d3_simnet::{NetworkCondition, TierProfiles};
+
+/// Table I: total latencies of processing the pair (conv1, maxpool1) of
+/// AlexNet under every tier placement, inputs at the device tier.
+pub fn table1() -> Section {
+    let g = zoo::alexnet(224);
+    let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+    let rows: Vec<Vec<String>> = placement::table1(&p, NodeId(1), NodeId(2))
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.li.to_string(),
+                r.lj.to_string(),
+                fmt_s(r.total_s),
+            ]
+        })
+        .collect();
+    Section::new(
+        "Table I — pairwise placement latencies (vi = alexnet conv1, vj = maxpool1, Wi-Fi)",
+        md_table(&["location of vi", "location of vj", "total latency"], &rows),
+    )
+}
+
+/// Table II: per-tier processing time of the deployed D3 partition for
+/// the five DNNs on the Jetson-Nano / i7-8700 / RTX 2080 Ti testbed
+/// under Wi-Fi.
+///
+/// Stage times are the *serial* (pre-VSM) per-tier sums of the joint
+/// HPA+VSM assignment — exactly the situation the paper's Table II
+/// depicts to motivate VSM: "the processing time of the edge node is
+/// longer than that of the cloud node … the edge node becomes the
+/// bottleneck of the synergistic inference".
+pub fn table2() -> Section {
+    let profiles = TierProfiles::table2_testbed();
+    let mut rows = Vec::new();
+    for g in zoo::all_models(zoo::IMAGENET_HW) {
+        let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+        let d = deploy_strategy(&p, Strategy::HpaVsm, VsmConfig::default()).expect("applies");
+        let stages = d.assignment.stage_times(&p);
+        rows.push(vec![
+            zoo::display_name(g.name()).to_string(),
+            format!("{:.1}", stages[0] * 1e3),
+            format!("{:.1}", stages[1] * 1e3),
+            format!("{:.1}", stages[2] * 1e3),
+        ]);
+    }
+    Section::new(
+        "Table II — synergistic inference time per tier after partitioning (ms, serial edge)",
+        md_table(
+            &["DNN", "Device node (ms)", "Edge node (ms)", "Cloud node (ms)"],
+            &rows,
+        ),
+    )
+}
+
+/// Table III: the average uplink rates between tiers (configuration
+/// input, reproduced verbatim from the paper).
+pub fn table3() -> Section {
+    let mut rows = Vec::new();
+    let fmt = |v: f64| format!("{v:.2}");
+    for (label, pick) in [
+        ("device to edge", 0usize),
+        ("edge to cloud", 1),
+        ("device to cloud", 2),
+    ] {
+        let mut row = vec![label.to_string()];
+        for net in NetworkCondition::TABLE3 {
+            let r = net.rates();
+            let v = [r.device_edge_mbps, r.edge_cloud_mbps, r.device_cloud_mbps][pick];
+            row.push(fmt(v));
+        }
+        rows.push(row);
+    }
+    Section::new(
+        "Table III — average uplink rate (Mbps) between two nodes",
+        md_table(
+            &["link", "Wi-Fi", "4G", "5G", "Optical Network"],
+            &rows,
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_rows() {
+        let s = table1();
+        assert_eq!(s.body.lines().count(), 2 + 6);
+    }
+
+    #[test]
+    fn table2_covers_five_models() {
+        let s = table2();
+        for name in ["AlexNet", "VGG-16", "ResNet-18", "Darknet-53", "Inception-v4"] {
+            assert!(s.body.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper_numbers() {
+        let s = table3();
+        for v in ["84.95", "31.53", "13.79", "22.75", "50.23", "18.75", "6.12", "11.64"] {
+            assert!(s.body.contains(v), "missing rate {v}");
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! # d3-core
+//!
+//! The top-level facade of the D3 reproduction — *Dynamic DNN
+//! Decomposition for Lossless Synergistic Inference* (ICDCS 2021).
+//!
+//! [`D3System`] wires the full paper pipeline together:
+//!
+//! 1. **Profile** — simulate noisy per-layer measurements on each tier's
+//!    hardware ([`d3_profiler::Profiler`]),
+//! 2. **Estimate** — fit the regression latency model
+//!    ([`d3_profiler::RegressionEstimator`], Fig. 4),
+//! 3. **Partition** — run HPA over the weighted DAG
+//!    ([`d3_partition::hpa()`](fn@d3_partition::hpa), Algorithm 1),
+//! 4. **Separate** — vertically split edge conv stacks into fused tiles
+//!    ([`d3_vsm::VsmPlan`], Algorithm 2),
+//! 5. **Deploy & run** — stream frames through the discrete-event
+//!    pipeline and/or execute real tensors across threads
+//!    ([`d3_engine`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use d3_core::D3System;
+//! use d3_model::zoo;
+//! use d3_simnet::NetworkCondition;
+//!
+//! let graph = zoo::alexnet(224);
+//! let d3 = D3System::builder(&graph)
+//!     .network(NetworkCondition::WiFi)
+//!     .build();
+//! println!("plan: {}", d3.describe_partition());
+//! let stats = d3.stream(30.0, 300);
+//! assert!(stats.mean_latency_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use d3_engine::{Deployment, Strategy, VsmConfig};
+pub use d3_model::{DnnGraph, NodeId};
+pub use d3_partition::{Assignment, DriftMonitor, HpaOptions, Problem};
+pub use d3_profiler::RegressionEstimator;
+pub use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+
+use d3_engine::{pipeline::StreamStats, run_distributed, AdaptiveEngine};
+use d3_profiler::LatencyProvider;
+use d3_tensor::Tensor;
+
+/// Builder for a [`D3System`].
+#[derive(Debug, Clone)]
+pub struct D3Builder<'g> {
+    graph: &'g DnnGraph,
+    profiles: TierProfiles,
+    net: NetworkCondition,
+    hpa: HpaOptions,
+    vsm: Option<VsmConfig>,
+    regression: Option<RegressionConfig>,
+    seed: u64,
+}
+
+/// Configuration of the regression latency estimator; when absent the
+/// system reads the hardware cost model directly (oracle weights).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionConfig {
+    /// Relative measurement noise (e.g. `0.05`).
+    pub noise_sigma: f64,
+    /// Measurement passes per training graph.
+    pub repeats: usize,
+}
+
+impl<'g> D3Builder<'g> {
+    /// Hardware profiles per tier (default: the paper's §IV testbed).
+    pub fn profiles(mut self, profiles: TierProfiles) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
+    /// Network condition (default: Wi-Fi, Table III).
+    pub fn network(mut self, net: NetworkCondition) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// HPA options (default: the paper's configuration).
+    pub fn hpa_options(mut self, opts: HpaOptions) -> Self {
+        self.hpa = opts;
+        self
+    }
+
+    /// Enables VSM with the given config (default: 4 edge nodes, 2×2).
+    pub fn vsm(mut self, cfg: VsmConfig) -> Self {
+        self.vsm = Some(cfg);
+        self
+    }
+
+    /// Disables VSM (HPA-only deployment).
+    pub fn without_vsm(mut self) -> Self {
+        self.vsm = None;
+        self
+    }
+
+    /// Uses the trained regression estimator for vertex weights instead
+    /// of the ground-truth cost model (the paper's actual data path:
+    /// profile → regress → partition).
+    pub fn with_regression(mut self, cfg: RegressionConfig) -> Self {
+        self.regression = Some(cfg);
+        self
+    }
+
+    /// Seed for weights and profiling noise.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Profiles, estimates, partitions, separates and deploys.
+    pub fn build(self) -> D3System<'g> {
+        let estimator = self.regression.map(|cfg| {
+            RegressionEstimator::train(
+                &self.profiles,
+                &[self.graph],
+                cfg.noise_sigma,
+                cfg.repeats,
+                self.seed,
+            )
+        });
+        let provider: &dyn LatencyProvider = match &estimator {
+            Some(e) => e,
+            None => &self.profiles,
+        };
+        let problem = Problem::new(self.graph, provider, self.net);
+        let assignment = d3_partition::hpa(&problem, &self.hpa);
+        let deployment = Deployment::new(&problem, assignment, self.vsm);
+        D3System {
+            graph: self.graph,
+            problem,
+            estimator,
+            deployment,
+            hpa: self.hpa,
+            vsm: self.vsm,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A fully deployed D3 system for one DNN.
+pub struct D3System<'g> {
+    graph: &'g DnnGraph,
+    problem: Problem<'g>,
+    estimator: Option<RegressionEstimator>,
+    deployment: Deployment,
+    hpa: HpaOptions,
+    vsm: Option<VsmConfig>,
+    seed: u64,
+}
+
+impl<'g> D3System<'g> {
+    /// Starts building a system for `graph`.
+    pub fn builder(graph: &'g DnnGraph) -> D3Builder<'g> {
+        D3Builder {
+            graph,
+            profiles: TierProfiles::paper_testbed(),
+            net: NetworkCondition::WiFi,
+            hpa: HpaOptions::paper(),
+            vsm: Some(VsmConfig::default()),
+            regression: None,
+            seed: 0xD3,
+        }
+    }
+
+    /// The model being served.
+    pub fn graph(&self) -> &'g DnnGraph {
+        self.graph
+    }
+
+    /// The weighted partition problem instance.
+    pub fn problem(&self) -> &Problem<'g> {
+        &self.problem
+    }
+
+    /// The HPA tier assignment.
+    pub fn partition(&self) -> &Assignment {
+        &self.deployment.assignment
+    }
+
+    /// The deployed pipeline (stages, Θ, backbone bytes, VSM plans).
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The trained regression estimator, when enabled.
+    pub fn estimator(&self) -> Option<&RegressionEstimator> {
+        self.estimator.as_ref()
+    }
+
+    /// Single-frame end-to-end latency (the paper's Θ objective).
+    pub fn theta_s(&self) -> f64 {
+        self.deployment.theta_s
+    }
+
+    /// Streams `n_frames` at `fps` through the pipeline simulator.
+    pub fn stream(&self, fps: f64, n_frames: usize) -> StreamStats {
+        self.deployment.stream(fps, n_frames)
+    }
+
+    /// Executes one real input across device/edge/cloud worker threads,
+    /// with VSM tile parallelism at the edge when enabled. The output is
+    /// bit-identical to single-node inference — the paper's lossless
+    /// guarantee.
+    pub fn run(&self, input: &Tensor) -> Tensor {
+        run_distributed(
+            self.graph,
+            self.seed,
+            &self.deployment.assignment,
+            self.vsm,
+            input,
+        )
+    }
+
+    /// Converts into the runtime-adaptive controller (hysteresis-gated
+    /// local re-partitioning).
+    pub fn into_adaptive(self, monitor: DriftMonitor) -> AdaptiveEngine<'g> {
+        AdaptiveEngine::new(self.problem, self.hpa, monitor)
+    }
+
+    /// A human-readable summary of the partition, e.g.
+    /// `device: 3 layers | edge: 10 layers | cloud: 9 layers`.
+    pub fn describe_partition(&self) -> String {
+        let a = &self.deployment.assignment;
+        let seg = |t: Tier| {
+            a.segment(t)
+                .iter()
+                .filter(|id| **id != self.graph.input())
+                .count()
+        };
+        format!(
+            "device: {} layers | edge: {} layers | cloud: {} layers | theta: {:.2} ms",
+            seg(Tier::Device),
+            seg(Tier::Edge),
+            seg(Tier::Cloud),
+            self.theta_s() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_tensor::max_abs_diff;
+
+    #[test]
+    fn builder_defaults_deploy() {
+        let g = zoo::alexnet(224);
+        let d3 = D3System::builder(&g).build();
+        assert!(d3.theta_s() > 0.0);
+        assert!(d3.partition().is_monotone(d3.problem()));
+        let desc = d3.describe_partition();
+        assert!(desc.contains("device") && desc.contains("cloud"));
+    }
+
+    #[test]
+    fn regression_path_produces_valid_plans() {
+        let g = zoo::resnet18(224);
+        let d3 = D3System::builder(&g)
+            .with_regression(RegressionConfig {
+                noise_sigma: 0.05,
+                repeats: 3,
+            })
+            .build();
+        assert!(d3.estimator().is_some());
+        assert!(d3.partition().is_monotone(d3.problem()));
+    }
+
+    #[test]
+    fn end_to_end_lossless_run() {
+        let g = zoo::tiny_cnn(16);
+        let d3 = D3System::builder(&g).seed(7).build();
+        let input = Tensor::random(3, 16, 16, 21);
+        let out = d3.run(&input);
+        let expect = d3_model::Executor::new(&g, 7).run(&input);
+        assert_eq!(max_abs_diff(&out, &expect), Some(0.0));
+    }
+
+    #[test]
+    fn adaptive_conversion_preserves_plan_quality() {
+        let g = zoo::vgg16(224);
+        let d3 = D3System::builder(&g).build();
+        let theta = d3.theta_s();
+        let adaptive = d3.into_adaptive(DriftMonitor::default());
+        assert!((adaptive.current_theta() - theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_latency_at_least_single_frame() {
+        let g = zoo::darknet53(224);
+        let d3 = D3System::builder(&g).build();
+        let stats = d3.stream(30.0, 200);
+        assert!(stats.mean_latency_s >= d3.deployment().frame_latency_s - 1e-9);
+    }
+
+    #[test]
+    fn builder_accepts_custom_profiles_and_tiers() {
+        let g = zoo::resnet18(224);
+        let d3 = D3System::builder(&g)
+            .profiles(TierProfiles::rpi_testbed())
+            .network(NetworkCondition::FourG)
+            .hpa_options(HpaOptions::paper().with_tiers(&[Tier::Edge, Tier::Cloud]))
+            .without_vsm()
+            .build();
+        for id in g.layer_ids() {
+            assert_ne!(d3.partition().tier(id), Tier::Device);
+        }
+        assert!(d3.deployment().vsm_plans.is_empty());
+    }
+
+    #[test]
+    fn vsm_config_is_respected() {
+        let g = zoo::darknet53(224);
+        let d3 = D3System::builder(&g)
+            .network(NetworkCondition::FourG)
+            .vsm(VsmConfig {
+                edge_nodes: 9,
+                grid: (3, 3),
+                min_run_len: 2,
+            })
+            .build();
+        for plan in &d3.deployment().vsm_plans {
+            assert_eq!(plan.grid, (3, 3));
+        }
+    }
+
+    #[test]
+    fn estimator_and_oracle_agree_on_plan_quality() {
+        // Plans from estimated weights should be near the oracle plan's
+        // quality when evaluated under ground truth.
+        let g = zoo::darknet53(224);
+        let oracle = D3System::builder(&g).build();
+        let est = D3System::builder(&g)
+            .with_regression(RegressionConfig {
+                noise_sigma: 0.05,
+                repeats: 3,
+            })
+            .build();
+        // Evaluate both assignments under the ground-truth problem.
+        let truth = oracle.problem();
+        let oracle_theta = oracle.partition().total_latency(truth);
+        let est_theta = est.partition().total_latency(truth);
+        assert!(
+            est_theta <= oracle_theta * 1.35,
+            "estimated plan {est_theta} vs oracle plan {oracle_theta}"
+        );
+    }
+}

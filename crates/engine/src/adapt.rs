@@ -1,0 +1,220 @@
+//! Runtime adaptation: the online half of "dynamic" DNN decomposition.
+//!
+//! The profiler keeps observing per-layer processing times and network
+//! bandwidth while the pipeline runs. When an observation drifts outside
+//! the hysteresis band (the paper's "upper and lower thresholds", §III-E),
+//! the engine triggers HPA's *local* re-partition around the affected
+//! vertices instead of re-solving the whole DAG.
+
+use d3_model::{DnnGraph, NodeId};
+use d3_partition::{hpa, repartition_local, Assignment, DriftMonitor, HpaOptions, Problem};
+use d3_simnet::{NetworkCondition, Tier};
+
+/// The adaptive partition controller.
+pub struct AdaptiveEngine<'g> {
+    problem: Problem<'g>,
+    assignment: Assignment,
+    opts: HpaOptions,
+    monitor: DriftMonitor,
+    /// Vertex weights at the last (re-)partition, the hysteresis reference.
+    reference: Vec<[f64; 3]>,
+    /// Backbone bandwidth at the last re-partition.
+    reference_backbone_mbps: f64,
+    /// Count of local re-partitions triggered.
+    pub local_updates: usize,
+    /// Count of full re-partitions triggered (network-wide drift).
+    pub full_updates: usize,
+    /// Observations suppressed by hysteresis.
+    pub suppressed: usize,
+}
+
+impl<'g> AdaptiveEngine<'g> {
+    /// Partitions `problem` with HPA and starts monitoring.
+    pub fn new(problem: Problem<'g>, opts: HpaOptions, monitor: DriftMonitor) -> Self {
+        let assignment = hpa(&problem, &opts);
+        let reference = snapshot(&problem);
+        let reference_backbone_mbps = backbone_mbps(problem.net());
+        Self {
+            problem,
+            assignment,
+            opts,
+            monitor,
+            reference,
+            reference_backbone_mbps,
+            local_updates: 0,
+            full_updates: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// The graph being managed.
+    pub fn graph(&self) -> &'g DnnGraph {
+        self.problem.graph()
+    }
+
+    /// Current assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Current single-frame latency Θ under the live weights.
+    pub fn current_theta(&self) -> f64 {
+        self.assignment.total_latency(&self.problem)
+    }
+
+    /// Reports a new measured processing time for `(vertex, tier)`.
+    /// Returns `true` when the observation escaped the hysteresis band and
+    /// a local re-partition ran.
+    pub fn observe_vertex(&mut self, id: NodeId, tier: Tier, seconds: f64) -> bool {
+        self.problem.set_vertex_time(id, tier, seconds);
+        let reference = self.reference[id.index()][tier.rank()];
+        if !self.monitor.should_repartition(reference, seconds) {
+            self.suppressed += 1;
+            return false;
+        }
+        let update = repartition_local(&self.problem, &self.assignment, id, &self.opts);
+        self.assignment = update.assignment;
+        self.local_updates += 1;
+        // Re-anchor the reference at the new operating point.
+        self.reference[id.index()][tier.rank()] = seconds;
+        true
+    }
+
+    /// Reports a new network condition. Bandwidth drift outside the band
+    /// re-runs HPA (link weights change globally, so the paper's local
+    /// neighbourhood is the whole frontier; a full solve is O(|V|+|L|)
+    /// anyway).
+    pub fn observe_network(&mut self, net: NetworkCondition) -> bool {
+        let new_mbps = backbone_mbps(net);
+        self.problem.set_net(net);
+        if !self
+            .monitor
+            .should_repartition(self.reference_backbone_mbps, new_mbps)
+        {
+            self.suppressed += 1;
+            return false;
+        }
+        self.assignment = hpa(&self.problem, &self.opts);
+        self.full_updates += 1;
+        self.reference = snapshot(&self.problem);
+        self.reference_backbone_mbps = new_mbps;
+        true
+    }
+
+    /// Borrow the live problem (read-only).
+    pub fn problem(&self) -> &Problem<'g> {
+        &self.problem
+    }
+}
+
+fn snapshot(problem: &Problem<'_>) -> Vec<[f64; 3]> {
+    problem
+        .graph()
+        .ids()
+        .map(|id| {
+            [
+                problem.vertex_time(id, Tier::Device),
+                problem.vertex_time(id, Tier::Edge),
+                problem.vertex_time(id, Tier::Cloud),
+            ]
+        })
+        .collect()
+}
+
+fn backbone_mbps(net: NetworkCondition) -> f64 {
+    net.rates().edge_cloud_mbps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_simnet::TierProfiles;
+
+    fn engine(g: &DnnGraph) -> AdaptiveEngine<'_> {
+        let p = Problem::new(g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        AdaptiveEngine::new(p, HpaOptions::paper(), DriftMonitor::default())
+    }
+
+    #[test]
+    fn small_jitter_is_suppressed() {
+        let g = zoo::resnet18(224);
+        let mut e = engine(&g);
+        let id = NodeId(5);
+        let tier = e.assignment().tier(id);
+        let t = e.problem().vertex_time(id, tier);
+        assert!(!e.observe_vertex(id, tier, t * 1.1));
+        assert!(!e.observe_vertex(id, tier, t * 0.9));
+        assert_eq!(e.suppressed, 2);
+        assert_eq!(e.local_updates, 0);
+    }
+
+    #[test]
+    fn large_drift_triggers_local_update() {
+        let g = zoo::resnet18(224);
+        let mut e = engine(&g);
+        let id = NodeId(5);
+        let tier = e.assignment().tier(id);
+        let t = e.problem().vertex_time(id, tier);
+        assert!(e.observe_vertex(id, tier, t * 5.0));
+        assert_eq!(e.local_updates, 1);
+        assert!(e.assignment().is_monotone(e.problem()));
+    }
+
+    #[test]
+    fn repeated_drift_reanchors_reference() {
+        let g = zoo::alexnet(224);
+        let mut e = engine(&g);
+        let id = NodeId(2);
+        let tier = e.assignment().tier(id);
+        let t = e.problem().vertex_time(id, tier);
+        assert!(e.observe_vertex(id, tier, t * 3.0));
+        // Same value again: inside the new band, suppressed.
+        assert!(!e.observe_vertex(id, tier, t * 3.0));
+        assert_eq!(e.local_updates, 1);
+    }
+
+    #[test]
+    fn network_change_triggers_full_repartition() {
+        let g = zoo::vgg16(224);
+        let mut e = engine(&g);
+        let before = e.assignment().clone();
+        // Wi-Fi (31.53 Mbps backbone) → 4G (13.79): ratio 0.44, outside band.
+        assert!(e.observe_network(NetworkCondition::FourG));
+        assert_eq!(e.full_updates, 1);
+        // The new plan must be at least as good as the stale one under 4G.
+        let stale = before.total_latency(e.problem());
+        assert!(e.current_theta() <= stale + 1e-12);
+    }
+
+    #[test]
+    fn similar_network_is_suppressed() {
+        let g = zoo::vgg16(224);
+        let mut e = engine(&g);
+        // 31.53 → 28 Mbps: within the 0.7–1.4 band.
+        assert!(!e.observe_network(NetworkCondition::custom_backbone(28.0)));
+        assert_eq!(e.full_updates, 0);
+    }
+
+    #[test]
+    fn adaptation_keeps_latency_reasonable_through_a_day() {
+        // Sweep bandwidth up and down; adapted Θ must never exceed the
+        // never-adapting baseline.
+        let g = zoo::inception_v4(224);
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        let frozen = hpa(&p, &HpaOptions::paper());
+        let mut e = engine(&g);
+        for mbps in [31.53, 10.0, 4.0, 8.0, 60.0, 100.0, 31.53] {
+            e.observe_network(NetworkCondition::custom_backbone(mbps));
+            let mut frozen_problem =
+                Problem::new(&g, &TierProfiles::paper_testbed(), e.problem().net());
+            frozen_problem.set_net(e.problem().net());
+            let adapted = e.current_theta();
+            let stale = frozen.total_latency(&frozen_problem);
+            assert!(
+                adapted <= stale + 1e-9,
+                "at {mbps} Mbps adapted {adapted} > stale {stale}"
+            );
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Functional distributed execution: threads + channels + wire codec.
+//!
+//! This is the *functional* half of the online execution engine (the
+//! latency half is the discrete-event pipeline). One thread per computing
+//! tier executes its HPA segment on real tensors with real weights;
+//! inter-tier tensors travel through channels in the wire format —
+//! mirroring the paper's gRPC deployment (§IV). The edge thread can run
+//! its tileable layer runs through VSM's parallel tile executor.
+//!
+//! Its purpose is to prove, end to end, the paper's *lossless* claim:
+//! partitioned (and tiled) distributed inference produces bit-identical
+//! outputs to single-node inference.
+
+use crate::deploy::VsmConfig;
+use crate::wire;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use d3_model::{DnnGraph, Executor, NodeId};
+use d3_partition::Assignment;
+use d3_simnet::Tier;
+use d3_tensor::Tensor;
+use d3_vsm::{find_tileable_runs, TileExecutor, VsmPlan};
+use std::collections::{HashMap, HashSet};
+
+/// A tensor crossing tiers: producer vertex plus encoded payload.
+type WireMsg = (NodeId, Bytes);
+
+/// Executes `graph` distributed across device/edge/cloud threads
+/// according to `assignment`, returning the network output. With `vsm`,
+/// the edge thread runs its tileable layer runs tile-parallel.
+///
+/// # Panics
+///
+/// Panics when the input shape mismatches the graph or a worker thread
+/// fails (which would indicate a partitioning bug).
+pub fn run_distributed(
+    graph: &DnnGraph,
+    seed: u64,
+    assignment: &Assignment,
+    vsm: Option<VsmConfig>,
+    input: &Tensor,
+) -> Tensor {
+    assert_eq!(input.shape3(), graph.input_shape(), "input shape mismatch");
+    let output_node = {
+        let outs = graph.outputs();
+        assert_eq!(outs.len(), 1, "single-output graphs only");
+        outs[0]
+    };
+
+    // One inbound channel per tier; upstream tiers clone the senders.
+    let (tx_edge, rx_edge) = unbounded::<WireMsg>();
+    let (tx_cloud, rx_cloud) = unbounded::<WireMsg>();
+    let (tx_result, rx_result) = unbounded::<Bytes>();
+
+    // How many crossing tensors each tier must wait for.
+    let mut expected = [0usize; 3];
+    for node in graph.nodes() {
+        let from = assignment.tier(node.id);
+        let mut dests: Vec<Tier> = node
+            .succs
+            .iter()
+            .map(|s| assignment.tier(*s))
+            .filter(|t| *t != from)
+            .collect();
+        dests.sort();
+        dests.dedup();
+        for d in dests {
+            expected[d.rank()] += 1;
+        }
+    }
+
+    crossbeam::thread::scope(|scope| {
+        for tier in Tier::ALL {
+            let rx: Option<Receiver<WireMsg>> = match tier {
+                Tier::Device => None,
+                Tier::Edge => Some(rx_edge.clone()),
+                Tier::Cloud => Some(rx_cloud.clone()),
+            };
+            let senders: Vec<(Tier, Sender<WireMsg>)> = match tier {
+                Tier::Device => vec![(Tier::Edge, tx_edge.clone()), (Tier::Cloud, tx_cloud.clone())],
+                Tier::Edge => vec![(Tier::Cloud, tx_cloud.clone())],
+                Tier::Cloud => vec![],
+            };
+            let tx_result = tx_result.clone();
+            let expect = expected[tier.rank()];
+            scope.spawn(move |_| {
+                tier_worker(
+                    graph,
+                    seed,
+                    assignment,
+                    tier,
+                    vsm,
+                    input,
+                    rx,
+                    expect,
+                    senders,
+                    output_node,
+                    tx_result,
+                );
+            });
+        }
+        drop((tx_edge, tx_cloud, tx_result));
+    })
+    .expect("tier worker panicked");
+
+    let bytes = rx_result.recv().expect("no output produced");
+    wire::decode(bytes).expect("corrupt output frame")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tier_worker(
+    graph: &DnnGraph,
+    seed: u64,
+    assignment: &Assignment,
+    tier: Tier,
+    vsm: Option<VsmConfig>,
+    input: &Tensor,
+    rx: Option<Receiver<WireMsg>>,
+    expect: usize,
+    senders: Vec<(Tier, Sender<WireMsg>)>,
+    output_node: NodeId,
+    tx_result: Sender<Bytes>,
+) {
+    let exec = Executor::new(graph, seed);
+    let members = assignment.segment(tier);
+    // Collect boundary tensors.
+    let mut boundary: HashMap<NodeId, Tensor> = HashMap::new();
+    if tier == Tier::Device {
+        boundary.insert(graph.input(), input.clone());
+    }
+    if let Some(rx) = rx {
+        for _ in 0..expect {
+            let (id, bytes) = rx.recv().expect("upstream hung up early");
+            let tensor = wire::decode(bytes).expect("corrupt frame");
+            boundary.insert(id, tensor);
+        }
+    }
+    if members.is_empty() || (tier == Tier::Device && members.len() == 1 && expect == 0) {
+        // Tier runs nothing but may still need to forward the raw input.
+    }
+    let outputs = execute_segment(&exec, graph, &members, &boundary, tier, vsm);
+    // Route crossing tensors (once per destination tier).
+    for (id, tensor) in &outputs {
+        let node = graph.node(*id);
+        let mut dests: Vec<Tier> = node
+            .succs
+            .iter()
+            .map(|s| assignment.tier(*s))
+            .filter(|t| t != &tier)
+            .collect();
+        dests.sort();
+        dests.dedup();
+        for d in dests {
+            if let Some((_, tx)) = senders.iter().find(|(t, _)| *t == d) {
+                tx.send((*id, wire::encode(tensor))).expect("receiver gone");
+            }
+        }
+        if *id == output_node {
+            tx_result
+                .send(wire::encode(tensor))
+                .expect("result receiver gone");
+        }
+    }
+}
+
+/// Executes a tier's members, optionally accelerating tileable runs with
+/// the VSM tile executor (edge tier only). Returns the same
+/// crossing-tensor map as [`Executor::run_segment`].
+fn execute_segment(
+    exec: &Executor<'_>,
+    graph: &DnnGraph,
+    members: &[NodeId],
+    boundary: &HashMap<NodeId, Tensor>,
+    tier: Tier,
+    vsm: Option<VsmConfig>,
+) -> HashMap<NodeId, Tensor> {
+    let cfg = match (tier, vsm) {
+        (Tier::Edge, Some(cfg)) => cfg,
+        _ => return exec.run_segment(members, boundary),
+    };
+    let runs = find_tileable_runs(graph, members, cfg.min_run_len);
+    if runs.is_empty() {
+        return exec.run_segment(members, boundary);
+    }
+    // Map: run member -> (run index, position).
+    let mut run_of: HashMap<NodeId, usize> = HashMap::new();
+    for (ri, run) in runs.iter().enumerate() {
+        for &id in run {
+            run_of.insert(id, ri);
+        }
+    }
+    let member_set: HashSet<NodeId> = members.iter().copied().collect();
+    let mut values: HashMap<NodeId, Tensor> = boundary.clone();
+    let mut sorted: Vec<NodeId> = members.to_vec();
+    sorted.sort();
+    for &id in &sorted {
+        if values.contains_key(&id) {
+            continue;
+        }
+        if let Some(&ri) = run_of.get(&id) {
+            let run = &runs[ri];
+            if run[0] != id {
+                continue; // interior run member: produced by the run head
+            }
+            // Execute the whole run tile-parallel.
+            let run_input_node = graph.node(run[0]).preds[0];
+            let run_input = values
+                .get(&run_input_node)
+                .unwrap_or_else(|| panic!("run input {run_input_node} missing"))
+                .clone();
+            let out_shape = graph.node(*run.last().expect("non-empty")).shape;
+            let rows = cfg.grid.0.min(out_shape.h).max(1);
+            let cols = cfg.grid.1.min(out_shape.w).max(1);
+            match VsmPlan::new(graph, run, rows, cols) {
+                Ok(plan) => {
+                    let tex = TileExecutor::new(exec, plan);
+                    let out = tex.run_parallel(&run_input);
+                    values.insert(*run.last().expect("non-empty"), out);
+                }
+                Err(_) => {
+                    // Fall back to serial execution of the run.
+                    let mut cur = run_input;
+                    for &rid in run {
+                        cur = exec.build_op(rid).apply(&[&cur]);
+                        values.insert(rid, cur.clone());
+                    }
+                }
+            }
+            continue;
+        }
+        let node = graph.node(id);
+        let inputs: Vec<&Tensor> = node
+            .preds
+            .iter()
+            .map(|p| {
+                values
+                    .get(p)
+                    .unwrap_or_else(|| panic!("missing predecessor {p} for {id}"))
+            })
+            .collect();
+        let out = exec.build_op(id).apply(&inputs);
+        values.insert(id, out);
+    }
+    // Crossing outputs.
+    let mut result = HashMap::new();
+    for &id in &sorted {
+        let node = graph.node(id);
+        let needed_outside =
+            node.succs.is_empty() || node.succs.iter().any(|s| !member_set.contains(s));
+        if needed_outside {
+            if let Some(t) = values.get(&id) {
+                result.insert(id, t.clone());
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_partition::{hpa, HpaOptions, Problem};
+    use d3_simnet::{NetworkCondition, TierProfiles};
+    use d3_tensor::max_abs_diff;
+
+    fn check_model(g: &DnnGraph, seed: u64, vsm: Option<VsmConfig>) {
+        let profiles = TierProfiles::paper_testbed();
+        let problem = Problem::new(g, &profiles, NetworkCondition::WiFi);
+        let assignment = hpa(&problem, &HpaOptions::paper());
+        let shape = g.input_shape();
+        let input = Tensor::random(shape.c, shape.h, shape.w, seed);
+        let expect = Executor::new(g, seed).run(&input);
+        let got = run_distributed(g, seed, &assignment, vsm, &input);
+        assert_eq!(
+            max_abs_diff(&got, &expect),
+            Some(0.0),
+            "{}: distributed output diverged",
+            g.name()
+        );
+    }
+
+    #[test]
+    fn lossless_on_tiny_cnn() {
+        let g = d3_model::zoo::tiny_cnn(16);
+        check_model(&g, 3, None);
+        check_model(&g, 3, Some(VsmConfig::default()));
+    }
+
+    #[test]
+    fn lossless_on_diamond() {
+        let g = d3_model::zoo::diamond_net(16);
+        check_model(&g, 5, None);
+    }
+
+    #[test]
+    fn lossless_with_forced_three_way_split() {
+        // Force a specific 3-tier split regardless of what HPA would pick.
+        let g = d3_model::zoo::chain_cnn(6, 8, 16);
+        let n = g.len();
+        let mut tiers = vec![Tier::Device; n];
+        for t in tiers.iter_mut().take(5).skip(3) {
+            *t = Tier::Edge;
+        }
+        for t in tiers.iter_mut().take(n).skip(5) {
+            *t = Tier::Cloud;
+        }
+        let a = Assignment::new(tiers);
+        let input = Tensor::random(3, 16, 16, 9);
+        let expect = Executor::new(&g, 1).run(&input);
+        let got = run_distributed(&g, 1, &a, Some(VsmConfig::default()), &input);
+        assert_eq!(max_abs_diff(&got, &expect), Some(0.0));
+    }
+
+    #[test]
+    fn lossless_on_random_dags() {
+        for seed in 0..4 {
+            let g = d3_model::zoo::random_dag(seed, 3, 2, 8);
+            check_model(&g, seed, None);
+        }
+    }
+}

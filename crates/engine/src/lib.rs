@@ -1,0 +1,51 @@
+//! # d3-engine
+//!
+//! The online execution engine of the D3 reproduction (§III-B "online
+//! execution engine" and §IV of the paper):
+//!
+//! - [`pipeline`]: discrete-event simulation of the device→edge→cloud
+//!   pipeline under a 30 FPS frame stream (the paper's workload), with
+//!   queueing, bottleneck and utilization accounting,
+//! - [`deploy`]: turns a tier [`d3_partition::Assignment`] into pipeline
+//!   stages — including VSM tile-parallel edge stages — and implements
+//!   every evaluation [`Strategy`] (device/edge/cloud-only, Neurosurgeon,
+//!   DADS, HPA, HPA+VSM),
+//! - [`distributed`]: *functional* execution across three real threads
+//!   connected by channels and a wire codec ([`wire`]), proving the
+//!   lossless claim end to end,
+//! - [`adapt`]: threshold-gated runtime re-partitioning under resource
+//!   and bandwidth drift.
+//!
+//! ## Example
+//!
+//! ```
+//! use d3_engine::{deploy_strategy, Strategy, VsmConfig};
+//! use d3_partition::Problem;
+//! use d3_simnet::{NetworkCondition, TierProfiles};
+//! use d3_model::zoo;
+//!
+//! let g = zoo::alexnet(224);
+//! let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+//! let d3 = deploy_strategy(&p, Strategy::HpaVsm, VsmConfig::default()).unwrap();
+//! let device = deploy_strategy(&p, Strategy::DeviceOnly, VsmConfig::default()).unwrap();
+//! let speedup = device.paper_stream_latency() / d3.paper_stream_latency();
+//! assert!(speedup >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod deploy;
+pub mod distributed;
+pub mod pipeline;
+pub mod wire;
+
+pub use adapt::AdaptiveEngine;
+pub use deploy::{deploy_strategy, Deployment, Strategy, VsmConfig};
+pub use distributed::run_distributed;
+pub use pipeline::{
+    bottleneck_s, render_gantt, simulate_stream, simulate_stream_trace, FrameTrace, StageSpec,
+    StreamStats,
+};
+pub use wire::{decode, encode, wire_size, WireError};

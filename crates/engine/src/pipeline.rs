@@ -1,0 +1,361 @@
+//! Discrete-event simulation of the inference pipeline.
+//!
+//! The paper's evaluation streams images at 30 FPS for 100 seconds and
+//! reports per-image average end-to-end latency (§IV). This module
+//! simulates that workload: stages (device/edge/cloud compute) and links
+//! (inter-tier transfers) are FIFO servers; frames queue when a server is
+//! busy. A single-frame run therefore reproduces the paper's Θ objective
+//! exactly, while a saturated stream exposes the bottleneck stage — the
+//! phenomenon motivating VSM ("the node with the most processing time
+//! becomes the bottleneck", §I).
+
+/// One pipeline stage: compute plus the transfer to the next stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Label for reports (`device`, `edge`, `cloud`).
+    pub name: String,
+    /// Compute seconds per frame (0 for pass-through stages).
+    pub service_s: f64,
+    /// Transfer seconds per frame to the *next* stage (0 after the last).
+    pub transfer_out_s: f64,
+}
+
+/// Statistics of a simulated stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Frames completed.
+    pub frames: usize,
+    /// Mean end-to-end seconds per frame.
+    pub mean_latency_s: f64,
+    /// Maximum end-to-end seconds.
+    pub max_latency_s: f64,
+    /// 95th-percentile end-to-end seconds.
+    pub p95_latency_s: f64,
+    /// Completed frames per second of simulated time.
+    pub throughput_fps: f64,
+    /// Utilization (busy fraction) per server, stage and link interleaved:
+    /// `[stage0, link0, stage1, link1, …]`.
+    pub utilization: Vec<f64>,
+}
+
+/// Simulates `n_frames` frames arriving at `fps` through the stages.
+///
+/// Every stage and every link is a FIFO server with deterministic service
+/// time; the event loop is a classic time-ordered heap.
+///
+/// # Panics
+///
+/// Panics on an empty stage list, non-positive `fps`, or zero frames.
+pub fn simulate_stream(stages: &[StageSpec], fps: f64, n_frames: usize) -> StreamStats {
+    assert!(!stages.is_empty(), "no stages");
+    assert!(fps > 0.0, "fps must be positive");
+    assert!(n_frames > 0, "need at least one frame");
+
+    // Servers: stage 0, link 0, stage 1, link 1, …, stage k-1.
+    let mut service = Vec::new();
+    for (i, s) in stages.iter().enumerate() {
+        service.push(s.service_s.max(0.0));
+        if i + 1 < stages.len() {
+            service.push(s.transfer_out_s.max(0.0));
+        }
+    }
+    let n_servers = service.len();
+    let mut free_at = vec![0.0f64; n_servers];
+    let mut busy_total = vec![0.0f64; n_servers];
+
+    // In a tandem of deterministic FIFO servers with in-order arrivals,
+    // every event time is given exactly by the Lindley recurrence
+    // `start = max(upstream_done, server_free)`; a per-frame forward pass
+    // over the servers is therefore an exact discrete-event simulation
+    // (no event can reorder), without the overhead of an event heap.
+    let mut latencies = Vec::with_capacity(n_frames);
+    let mut last_done = 0.0f64;
+    for k in 0..n_frames {
+        let arrival = k as f64 / fps;
+        let mut t = arrival;
+        for s in 0..n_servers {
+            let start = t.max(free_at[s]);
+            let done = start + service[s];
+            busy_total[s] += service[s];
+            free_at[s] = done;
+            t = done;
+        }
+        latencies.push(t - arrival);
+        last_done = last_done.max(t);
+    }
+
+    let mut sorted = latencies.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    let p95 = sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)];
+    let horizon = last_done.max(f64::MIN_POSITIVE);
+    StreamStats {
+        frames: n_frames,
+        mean_latency_s: mean,
+        max_latency_s: *sorted.last().expect("non-empty"),
+        p95_latency_s: p95,
+        throughput_fps: n_frames as f64 / horizon,
+        utilization: busy_total.iter().map(|b| b / horizon).collect(),
+    }
+}
+
+/// Per-frame execution record: where the frame spent its time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTrace {
+    /// Frame index.
+    pub frame: usize,
+    /// Arrival time (seconds).
+    pub arrival_s: f64,
+    /// One `(start, end)` span per server (stages and links interleaved).
+    pub spans: Vec<(f64, f64)>,
+}
+
+impl FrameTrace {
+    /// End-to-end latency of this frame.
+    pub fn latency_s(&self) -> f64 {
+        self.spans.last().map_or(0.0, |s| s.1) - self.arrival_s
+    }
+
+    /// Total time spent queueing (neither arriving nor being served).
+    pub fn queueing_s(&self) -> f64 {
+        let mut waited = 0.0;
+        let mut ready = self.arrival_s;
+        for &(start, end) in &self.spans {
+            waited += (start - ready).max(0.0);
+            ready = end;
+        }
+        waited
+    }
+}
+
+/// Like [`simulate_stream`] but returns the full per-frame trace
+/// (used by the Gantt renderer and by observability-minded callers).
+pub fn simulate_stream_trace(stages: &[StageSpec], fps: f64, n_frames: usize) -> Vec<FrameTrace> {
+    assert!(!stages.is_empty(), "no stages");
+    assert!(fps > 0.0, "fps must be positive");
+    let mut service = Vec::new();
+    for (i, s) in stages.iter().enumerate() {
+        service.push(s.service_s.max(0.0));
+        if i + 1 < stages.len() {
+            service.push(s.transfer_out_s.max(0.0));
+        }
+    }
+    let mut free_at = vec![0.0f64; service.len()];
+    let mut traces = Vec::with_capacity(n_frames);
+    for k in 0..n_frames {
+        let arrival = k as f64 / fps;
+        let mut t = arrival;
+        let mut spans = Vec::with_capacity(service.len());
+        for (s, &dt) in service.iter().enumerate() {
+            let start = t.max(free_at[s]);
+            let end = start + dt;
+            free_at[s] = end;
+            t = end;
+            spans.push((start, end));
+        }
+        traces.push(FrameTrace {
+            frame: k,
+            arrival_s: arrival,
+            spans,
+        });
+    }
+    traces
+}
+
+/// Renders an ASCII Gantt chart of the first `max_frames` frames: one row
+/// per server, one column per `resolution_s` tick, frame indices mod 10 as
+/// glyphs. Useful for eyeballing pipelining and bottleneck queues.
+pub fn render_gantt(
+    stages: &[StageSpec],
+    traces: &[FrameTrace],
+    max_frames: usize,
+    resolution_s: f64,
+) -> String {
+    assert!(resolution_s > 0.0, "resolution must be positive");
+    let shown = &traces[..traces.len().min(max_frames)];
+    let horizon = shown
+        .iter()
+        .map(|t| t.spans.last().map_or(0.0, |s| s.1))
+        .fold(0.0f64, f64::max);
+    let cols = ((horizon / resolution_s).ceil() as usize).clamp(1, 400);
+    let mut labels = Vec::new();
+    for (i, s) in stages.iter().enumerate() {
+        labels.push(s.name.clone());
+        if i + 1 < stages.len() {
+            labels.push(format!("{}→", s.name));
+        }
+    }
+    let width = labels.iter().map(String::len).max().unwrap_or(4);
+    let mut rows = vec![vec![b' '; cols]; labels.len()];
+    for t in shown {
+        let glyph = b'0' + (t.frame % 10) as u8;
+        for (srv, &(start, end)) in t.spans.iter().enumerate() {
+            if end <= start {
+                continue;
+            }
+            let c0 = (start / resolution_s) as usize;
+            let c1 = ((end / resolution_s).ceil() as usize).min(cols);
+            for cell in rows[srv][c0.min(cols.saturating_sub(1))..c1].iter_mut() {
+                *cell = glyph;
+            }
+        }
+    }
+    let mut out = String::new();
+    for (label, row) in labels.iter().zip(rows) {
+        out.push_str(&format!("{label:>width$} |"));
+        out.push_str(&String::from_utf8(row).expect("ascii"));
+        out.push_str("|
+");
+    }
+    out.push_str(&format!(
+        "{:>width$}  ({} per column, {} frames)
+",
+        "",
+        format_duration(resolution_s),
+        shown.len()
+    ));
+    out
+}
+
+fn format_duration(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.1} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+/// The steady-state bottleneck service time of a pipeline: the largest
+/// single server time; `1/bottleneck` bounds sustainable throughput.
+pub fn bottleneck_s(stages: &[StageSpec]) -> f64 {
+    let mut worst = 0.0f64;
+    for (i, s) in stages.iter().enumerate() {
+        worst = worst.max(s.service_s);
+        if i + 1 < stages.len() {
+            worst = worst.max(s.transfer_out_s);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, service: f64, xfer: f64) -> StageSpec {
+        StageSpec {
+            name: name.into(),
+            service_s: service,
+            transfer_out_s: xfer,
+        }
+    }
+
+    #[test]
+    fn single_frame_latency_is_total_service() {
+        let stages = vec![stage("d", 0.01, 0.02), stage("e", 0.03, 0.04), stage("c", 0.05, 0.0)];
+        let stats = simulate_stream(&stages, 30.0, 1);
+        assert!((stats.mean_latency_s - 0.15).abs() < 1e-12);
+        assert_eq!(stats.frames, 1);
+    }
+
+    #[test]
+    fn unloaded_stream_keeps_single_frame_latency() {
+        // Slow arrival rate: no queueing, every frame sees the same latency.
+        let stages = vec![stage("d", 0.001, 0.001), stage("c", 0.001, 0.0)];
+        let stats = simulate_stream(&stages, 10.0, 100);
+        assert!((stats.mean_latency_s - 0.003).abs() < 1e-9);
+        assert!((stats.max_latency_s - 0.003).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_stream_queues_at_bottleneck() {
+        // Bottleneck 0.1 s/frame but frames arrive every 0.033 s: latency
+        // must grow with the queue.
+        let stages = vec![stage("d", 0.001, 0.0005), stage("e", 0.1, 0.0)];
+        let stats = simulate_stream(&stages, 30.0, 60);
+        assert!(stats.mean_latency_s > 0.5, "queueing delay expected");
+        assert!(stats.throughput_fps < 10.5, "throughput capped by bottleneck");
+    }
+
+    #[test]
+    fn throughput_approaches_bottleneck_rate() {
+        let stages = vec![stage("a", 0.02, 0.0), stage("b", 0.05, 0.0)];
+        let stats = simulate_stream(&stages, 1000.0, 500);
+        let cap = 1.0 / bottleneck_s(&stages);
+        assert!((stats.throughput_fps - cap).abs() / cap < 0.05);
+    }
+
+    #[test]
+    fn pipelining_beats_serial_throughput() {
+        // Three balanced stages: pipeline throughput ~3× the serial rate.
+        let stages = vec![stage("a", 0.03, 0.0), stage("b", 0.03, 0.0), stage("c", 0.03, 0.0)];
+        let stats = simulate_stream(&stages, 1000.0, 300);
+        assert!(stats.throughput_fps > 30.0, "got {}", stats.throughput_fps);
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let stages = vec![stage("d", 0.01, 0.0), stage("c", 0.02, 0.0)];
+        let stats = simulate_stream(&stages, 25.0, 200);
+        assert_eq!(stats.utilization.len(), 3); // 2 stages + 1 link
+        for &u in &stats.utilization {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        }
+        // The 0.02 s stage at 25 fps is 50% busy.
+        assert!((stats.utilization[2] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        // Max latency of a stable pipeline equals the first frame's
+        // latency only if later frames never overtake.
+        let stages = vec![stage("a", 0.01, 0.002), stage("b", 0.005, 0.0)];
+        let stats = simulate_stream(&stages, 50.0, 50);
+        assert!(stats.max_latency_s < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fps")]
+    fn zero_fps_rejected() {
+        simulate_stream(&[stage("a", 0.1, 0.0)], 0.0, 1);
+    }
+
+    #[test]
+    fn trace_matches_stats() {
+        let stages = vec![stage("d", 0.01, 0.005), stage("c", 0.02, 0.0)];
+        let traces = simulate_stream_trace(&stages, 30.0, 40);
+        let stats = simulate_stream(&stages, 30.0, 40);
+        let mean: f64 =
+            traces.iter().map(FrameTrace::latency_s).sum::<f64>() / traces.len() as f64;
+        assert!((mean - stats.mean_latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unloaded_frames_never_queue() {
+        let stages = vec![stage("a", 0.001, 0.001), stage("b", 0.001, 0.0)];
+        for t in simulate_stream_trace(&stages, 10.0, 20) {
+            assert!(t.queueing_s() < 1e-12, "frame {} queued", t.frame);
+        }
+    }
+
+    #[test]
+    fn saturated_frames_queue() {
+        let stages = vec![stage("a", 0.1, 0.0), stage("b", 0.01, 0.0)];
+        let traces = simulate_stream_trace(&stages, 30.0, 10);
+        assert!(traces.last().unwrap().queueing_s() > 0.1);
+    }
+
+    #[test]
+    fn gantt_renders_every_server_row() {
+        let stages = vec![stage("device", 0.01, 0.005), stage("cloud", 0.02, 0.0)];
+        let traces = simulate_stream_trace(&stages, 30.0, 5);
+        let gantt = render_gantt(&stages, &traces, 5, 0.005);
+        assert!(gantt.contains("device |"));
+        assert!(gantt.contains("device→ |") || gantt.contains("device→"));
+        assert!(gantt.contains("cloud |"));
+        // Frame glyphs 0..4 appear.
+        for g in ['0', '1', '4'] {
+            assert!(gantt.contains(g), "missing glyph {g}");
+        }
+    }
+}

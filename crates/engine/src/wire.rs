@@ -1,0 +1,132 @@
+//! Wire format for tensors crossing node boundaries.
+//!
+//! The paper's implementation moves intermediate feature maps between
+//! nodes with gRPC (§IV). This module is the stand-in transport encoding:
+//! a tiny length-prefixed little-endian codec over [`bytes::Bytes`]. The
+//! engine's distributed executor ships every inter-node tensor through
+//! it, so serialization is exercised on the real data path (and its
+//! size-on-wire is what the communication accounting measures).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use d3_tensor::Tensor;
+
+/// Magic tag guarding against stream corruption.
+const MAGIC: u32 = 0xD3D3_0001;
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended prematurely.
+    Truncated,
+    /// Magic tag mismatch.
+    BadMagic,
+    /// Header declares an implausible payload.
+    BadHeader,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated tensor frame"),
+            WireError::BadMagic => write!(f, "bad magic tag"),
+            WireError::BadHeader => write!(f, "inconsistent tensor header"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializes a tensor: magic, shape (c, h, w as u32), payload f32s.
+pub fn encode(t: &Tensor) -> Bytes {
+    let (c, h, w) = t.shape();
+    let mut buf = BytesMut::with_capacity(16 + t.data().len() * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(c as u32);
+    buf.put_u32_le(h as u32);
+    buf.put_u32_le(w as u32);
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Size on the wire of a tensor, in bytes (header + payload).
+pub fn wire_size(t: &Tensor) -> u64 {
+    16 + t.data().len() as u64 * 4
+}
+
+/// Deserializes a tensor.
+///
+/// # Errors
+///
+/// See [`WireError`].
+pub fn decode(mut buf: Bytes) -> Result<Tensor, WireError> {
+    if buf.remaining() < 16 {
+        return Err(WireError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let (c, h, w) = (
+        buf.get_u32_le() as usize,
+        buf.get_u32_le() as usize,
+        buf.get_u32_le() as usize,
+    );
+    let n = c
+        .checked_mul(h)
+        .and_then(|x| x.checked_mul(w))
+        .ok_or(WireError::BadHeader)?;
+    if buf.remaining() != n * 4 {
+        return Err(WireError::Truncated);
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Tensor::from_vec(c, h, w, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact() {
+        let t = Tensor::random(3, 5, 7, 42);
+        let decoded = decode(encode(&t)).unwrap();
+        assert_eq!(decoded, t, "wire transport must be bit-exact (lossless)");
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        let t = Tensor::random(2, 4, 4, 1);
+        assert_eq!(encode(&t).len() as u64, wire_size(&t));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode(&Tensor::random(1, 3, 3, 0));
+        let cut = bytes.slice(0..bytes.len() - 1);
+        assert_eq!(decode(cut), Err(WireError::Truncated));
+        assert_eq!(decode(Bytes::from_static(&[1, 2])), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = encode(&Tensor::zeros(1, 1, 1)).to_vec();
+        raw[0] ^= 0xFF;
+        assert_eq!(decode(Bytes::from(raw)), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let t = Tensor::from_vec(
+            1,
+            1,
+            5,
+            vec![0.0, -0.0, f32::MIN_POSITIVE, f32::MAX, -1.5e-30],
+        );
+        let d = decode(encode(&t)).unwrap();
+        assert_eq!(d.data(), t.data());
+    }
+}

@@ -1,0 +1,398 @@
+//! Reference graph executor.
+//!
+//! Runs a [`DnnGraph`] on real tensors with deterministic pseudo-trained
+//! weights (seeded per vertex), standing in for the paper's ONNX/PyTorch
+//! stack. The executor provides:
+//!
+//! - whole-network inference ([`Executor::run`]),
+//! - *segment* execution ([`Executor::run_segment`]) — exactly what a
+//!   device/edge/cloud node does with its HPA partition: consume boundary
+//!   tensors, produce the tensors that cross to the next tier,
+//! - per-vertex operator construction ([`Executor::build_op`]) so the
+//!   vertical separation module can execute conv stacks tile-by-tile with
+//!   the *same* weights, making losslessness checks meaningful.
+
+use crate::graph::{DnnGraph, NodeId};
+use crate::layer::{Activation, LayerKind};
+use d3_tensor::ops::{
+    add, concat_channels, global_avg_pool, leaky_relu, relu, softmax, BatchNorm, Conv2d, Dense,
+    DepthwiseConv2d, Pool2d,
+};
+use d3_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A materialized operator for one vertex.
+#[derive(Debug, Clone)]
+pub enum LayerOp {
+    /// Identity (the virtual input vertex).
+    Input,
+    /// Convolution with optional folded batch-norm and activation.
+    Conv {
+        /// The convolution kernel.
+        conv: Conv2d,
+        /// Folded batch-norm, when the layer declares one.
+        bn: Option<BatchNorm>,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Depthwise convolution with optional folded batch-norm and
+    /// activation.
+    Depthwise {
+        /// The depthwise kernel.
+        conv: DepthwiseConv2d,
+        /// Folded batch-norm, when declared.
+        bn: Option<BatchNorm>,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Pooling.
+    Pool(Pool2d),
+    /// Global average pooling.
+    GlobalAvgPool,
+    /// Fully-connected with fused activation.
+    Dense {
+        /// The dense kernel.
+        dense: Dense,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Channel concatenation.
+    Concat,
+    /// Elementwise addition.
+    Add,
+    /// Softmax.
+    Softmax,
+    /// Standalone elementwise activation.
+    Activation(Activation),
+}
+
+impl LayerOp {
+    /// Applies the operator to the (ordered) predecessor outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input arity does not match the operator.
+    pub fn apply(&self, inputs: &[&Tensor]) -> Tensor {
+        match self {
+            LayerOp::Input => inputs[0].clone(),
+            LayerOp::Conv {
+                conv,
+                bn,
+                activation,
+            } => {
+                let mut out = conv.forward(inputs[0]);
+                if let Some(bn) = bn {
+                    out = bn.forward(&out);
+                }
+                apply_activation(&out, *activation)
+            }
+            LayerOp::Depthwise {
+                conv,
+                bn,
+                activation,
+            } => {
+                let mut out = conv.forward(inputs[0]);
+                if let Some(bn) = bn {
+                    out = bn.forward(&out);
+                }
+                apply_activation(&out, *activation)
+            }
+            LayerOp::Pool(p) => p.forward(inputs[0]),
+            LayerOp::GlobalAvgPool => global_avg_pool(inputs[0]),
+            LayerOp::Dense { dense, activation } => {
+                let out = dense.forward(&inputs[0].flatten());
+                apply_activation(&out, *activation)
+            }
+            LayerOp::Concat => concat_channels(inputs),
+            LayerOp::Add => add(inputs),
+            LayerOp::Softmax => softmax(inputs[0]),
+            LayerOp::Activation(a) => apply_activation(inputs[0], *a),
+        }
+    }
+}
+
+fn apply_activation(t: &Tensor, a: Activation) -> Tensor {
+    match a {
+        Activation::None => t.clone(),
+        Activation::Relu => relu(t),
+        Activation::Leaky(alpha) => leaky_relu(t, alpha),
+    }
+}
+
+/// Deterministic per-vertex weight seed.
+fn node_seed(base: u64, id: NodeId) -> u64 {
+    base ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Executes a [`DnnGraph`] with deterministic pseudo-trained weights.
+pub struct Executor<'g> {
+    graph: &'g DnnGraph,
+    seed: u64,
+}
+
+impl<'g> Executor<'g> {
+    /// Creates an executor; `seed` determines every layer's weights.
+    pub fn new(graph: &'g DnnGraph, seed: u64) -> Self {
+        Self { graph, seed }
+    }
+
+    /// The graph being executed.
+    pub fn graph(&self) -> &DnnGraph {
+        self.graph
+    }
+
+    /// Materializes the operator for a vertex (weights are regenerated
+    /// deterministically each call; callers that execute repeatedly should
+    /// hold on to the result).
+    pub fn build_op(&self, id: NodeId) -> LayerOp {
+        let node = self.graph.node(id);
+        let seed = node_seed(self.seed, id);
+        match &node.kind {
+            LayerKind::Input { .. } => LayerOp::Input,
+            LayerKind::Conv {
+                spec,
+                batch_norm,
+                activation,
+            } => LayerOp::Conv {
+                conv: Conv2d::random(*spec, seed),
+                bn: batch_norm.then(|| BatchNorm::random(spec.out_c, seed ^ 0xBAD_CAFE)),
+                activation: *activation,
+            },
+            LayerKind::DepthwiseConv {
+                spec,
+                batch_norm,
+                activation,
+            } => LayerOp::Depthwise {
+                conv: DepthwiseConv2d::random(*spec, seed),
+                bn: batch_norm.then(|| BatchNorm::random(spec.channels, seed ^ 0xBAD_CAFE)),
+                activation: *activation,
+            },
+            LayerKind::Pool { spec } => LayerOp::Pool(Pool2d::new(*spec)),
+            LayerKind::GlobalAvgPool => LayerOp::GlobalAvgPool,
+            LayerKind::Dense {
+                in_dim,
+                out_dim,
+                activation,
+            } => LayerOp::Dense {
+                dense: Dense::random(*in_dim, *out_dim, seed),
+                activation: *activation,
+            },
+            LayerKind::Concat => LayerOp::Concat,
+            LayerKind::Add => LayerOp::Add,
+            LayerKind::Softmax => LayerOp::Softmax,
+            LayerKind::Activation { act } => LayerOp::Activation(*act),
+        }
+    }
+
+    /// Runs the whole network, returning the single output tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input shape differs from `v0`'s shape or when the
+    /// graph has multiple outputs (use [`Executor::run_all`] then).
+    pub fn run(&self, input: &Tensor) -> Tensor {
+        let outputs = self.graph.outputs();
+        assert_eq!(outputs.len(), 1, "run() requires a single-output graph");
+        self.run_all(input).remove(&outputs[0]).expect("output")
+    }
+
+    /// Runs the whole network, returning every output vertex's tensor.
+    pub fn run_all(&self, input: &Tensor) -> HashMap<NodeId, Tensor> {
+        assert_eq!(
+            input.shape3(),
+            self.graph.input_shape(),
+            "input shape mismatch"
+        );
+        let members: Vec<NodeId> = self.graph.ids().collect();
+        let mut boundary = HashMap::new();
+        boundary.insert(self.graph.input(), input.clone());
+        let mut result = self.run_segment(&members, &boundary);
+        // run_segment returns tensors that leave the set; for the full set
+        // these are exactly the graph outputs.
+        result.retain(|id, _| self.graph.node(*id).succs.is_empty());
+        result
+    }
+
+    /// Executes the sub-graph induced by `members` (which must be closed
+    /// under "predecessor also in members OR provided as boundary input").
+    ///
+    /// `boundary` maps vertices *outside* the segment (or the segment's own
+    /// already-computed members, e.g. `v0`) to their output tensors; these
+    /// are the tensors a tier receives over the network.
+    ///
+    /// Returns the outputs of every member whose result is needed outside
+    /// the segment: vertices with a successor not in `members`, plus graph
+    /// outputs. This is exactly the data a computing tier must transmit
+    /// onward.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a required predecessor tensor is neither computable nor
+    /// provided.
+    pub fn run_segment(
+        &self,
+        members: &[NodeId],
+        boundary: &HashMap<NodeId, Tensor>,
+    ) -> HashMap<NodeId, Tensor> {
+        let member_set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+        let mut values: HashMap<NodeId, Tensor> = boundary.clone();
+        let mut sorted: Vec<NodeId> = members.to_vec();
+        sorted.sort(); // ids are topological
+        for &id in &sorted {
+            if values.contains_key(&id) {
+                continue; // provided as boundary (e.g. v0)
+            }
+            let node = self.graph.node(id);
+            let inputs: Vec<&Tensor> = node
+                .preds
+                .iter()
+                .map(|p| {
+                    values.get(p).unwrap_or_else(|| {
+                        panic!(
+                            "segment execution of {} (`{}`) missing predecessor {}",
+                            id, node.name, p
+                        )
+                    })
+                })
+                .collect();
+            let out = self.build_op(id).apply(&inputs);
+            debug_assert_eq!(out.shape3(), node.shape, "shape inference mismatch at {id}");
+            values.insert(id, out);
+        }
+        // Keep only tensors that must leave the segment.
+        let mut result = HashMap::new();
+        for &id in &sorted {
+            let node = self.graph.node(id);
+            let needed_outside =
+                node.succs.is_empty() || node.succs.iter().any(|s| !member_set.contains(s));
+            if needed_outside {
+                if let Some(t) = values.get(&id) {
+                    result.insert(id, t.clone());
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_tensor::ops::ConvSpec;
+    use d3_tensor::{max_abs_diff, Shape3};
+
+    fn small_net() -> DnnGraph {
+        let mut g = DnnGraph::new("small", Shape3::new(3, 8, 8));
+        let c1 = g.chain(
+            "c1",
+            LayerKind::Conv {
+                spec: ConvSpec::new(3, 4, 3, 1, 1),
+                batch_norm: true,
+                activation: Activation::Relu,
+            },
+            g.input(),
+        );
+        let a = g.chain(
+            "a",
+            LayerKind::Conv {
+                spec: ConvSpec::new(4, 4, 3, 1, 1),
+                batch_norm: false,
+                activation: Activation::Relu,
+            },
+            c1,
+        );
+        let b = g.chain(
+            "b",
+            LayerKind::Conv {
+                spec: ConvSpec::new(4, 4, 1, 1, 0),
+                batch_norm: false,
+                activation: Activation::None,
+            },
+            c1,
+        );
+        let sum = g.add_layer("sum", LayerKind::Add, &[a, b]).unwrap();
+        let gap = g.chain("gap", LayerKind::GlobalAvgPool, sum);
+        let fc = g.chain(
+            "fc",
+            LayerKind::Dense {
+                in_dim: 4,
+                out_dim: 10,
+                activation: Activation::None,
+            },
+            gap,
+        );
+        g.chain("softmax", LayerKind::Softmax, fc);
+        g
+    }
+
+    #[test]
+    fn run_produces_output_shape() {
+        let g = small_net();
+        let exec = Executor::new(&g, 42);
+        let out = exec.run(&Tensor::random(3, 8, 8, 1));
+        assert_eq!(out.shape(), (10, 1, 1));
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "softmax output sums to 1");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let g = small_net();
+        let input = Tensor::random(3, 8, 8, 7);
+        let a = Executor::new(&g, 42).run(&input);
+        let b = Executor::new(&g, 42).run(&input);
+        assert_eq!(a, b);
+        let c = Executor::new(&g, 43).run(&input);
+        assert_ne!(a, c, "different seed -> different weights");
+    }
+
+    #[test]
+    fn segmented_execution_matches_whole() {
+        // Split the net at an arbitrary frontier and verify the two-stage
+        // result equals single-stage inference — the core guarantee the
+        // online execution engine relies on.
+        let g = small_net();
+        let exec = Executor::new(&g, 42);
+        let input = Tensor::random(3, 8, 8, 3);
+        let whole = exec.run(&input);
+
+        // Segment 1: v0, c1(1), a(2). Segment 2: b(3), sum(4), gap, fc, sm.
+        let seg1: Vec<NodeId> = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let seg2: Vec<NodeId> = (3..g.len()).map(NodeId).collect();
+        let mut boundary = HashMap::new();
+        boundary.insert(g.input(), input.clone());
+        let cross = exec.run_segment(&seg1, &boundary);
+        // c1 feeds b (outside seg1) and a feeds sum (outside seg1): both cross.
+        assert!(cross.contains_key(&NodeId(1)) && cross.contains_key(&NodeId(2)));
+        let out2 = exec.run_segment(&seg2, &cross);
+        let final_out = out2.get(&NodeId(g.len() - 1)).unwrap();
+        assert_eq!(max_abs_diff(final_out, &whole), Some(0.0));
+    }
+
+    #[test]
+    fn run_segment_reports_only_crossing_tensors() {
+        let g = small_net();
+        let exec = Executor::new(&g, 42);
+        let mut boundary = HashMap::new();
+        boundary.insert(g.input(), Tensor::random(3, 8, 8, 1));
+        let all: Vec<NodeId> = g.ids().collect();
+        let out = exec.run_segment(&all, &boundary);
+        assert_eq!(out.len(), 1, "single-output graph crosses one tensor");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing predecessor")]
+    fn missing_boundary_panics() {
+        let g = small_net();
+        let exec = Executor::new(&g, 42);
+        let seg: Vec<NodeId> = vec![NodeId(4)];
+        exec.run_segment(&seg, &HashMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape mismatch")]
+    fn wrong_input_shape_panics() {
+        let g = small_net();
+        Executor::new(&g, 42).run(&Tensor::zeros(3, 9, 9));
+    }
+}

@@ -1,0 +1,495 @@
+//! The DNN computation graph: the DAG `G = (V, L)` of the paper's system
+//! model (§III-C).
+//!
+//! Vertices are DNN layers; a directed link `(vi, vj)` exists when layer
+//! `i`'s output feeds layer `j`. A virtual input vertex `v0` marks the
+//! start of the network. Nodes are appended with their predecessors, so
+//! node ids are a topological order by construction; shape inference runs
+//! at insertion time and rejects malformed graphs immediately.
+
+use crate::layer::LayerKind;
+use d3_tensor::Shape3;
+use std::fmt;
+
+/// Identifier of a vertex in a [`DnnGraph`]; `NodeId(0)` is always the
+/// virtual input vertex `v0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Errors raised while building or validating a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A referenced predecessor does not exist yet.
+    UnknownPredecessor(NodeId),
+    /// Shape inference failed (arity/channel/spatial inconsistency).
+    Shape {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A non-input layer was added without predecessors.
+    MissingPredecessors(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownPredecessor(id) => write!(f, "unknown predecessor {id}"),
+            GraphError::Shape { layer, reason } => {
+                write!(f, "shape error at layer `{layer}`: {reason}")
+            }
+            GraphError::MissingPredecessors(name) => {
+                write!(f, "layer `{name}` has no predecessors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A vertex of the DAG: one DNN layer plus its topology and inferred shape.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Human-readable unique-ish name, e.g. `conv3_2` or `blk2.res1.conv2`.
+    pub name: String,
+    /// The operator(s) this layer performs.
+    pub kind: LayerKind,
+    /// Direct predecessors (`V^p_i` in the paper).
+    pub preds: Vec<NodeId>,
+    /// Direct successors.
+    pub succs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub shape: Shape3,
+}
+
+impl Node {
+    /// Output size in bytes (`λout` of the paper, assuming 4-byte floats).
+    pub fn output_bytes(&self) -> u64 {
+        self.shape.byte_size() as u64
+    }
+}
+
+/// The DNN model as a DAG `G = (V, L)` (Eq. (1) of the paper).
+#[derive(Debug, Clone)]
+pub struct DnnGraph {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl DnnGraph {
+    /// Creates a graph containing only the virtual input vertex `v0`.
+    pub fn new(name: impl Into<String>, input_shape: Shape3) -> Self {
+        let input = Node {
+            id: NodeId(0),
+            name: "input".into(),
+            kind: LayerKind::Input { shape: input_shape },
+            preds: Vec::new(),
+            succs: Vec::new(),
+            shape: input_shape,
+        };
+        Self {
+            name: name.into(),
+            nodes: vec![input],
+        }
+    }
+
+    /// The model name (e.g. `vgg16`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The virtual input vertex `v0`.
+    pub fn input(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The shape produced by `v0`.
+    pub fn input_shape(&self) -> Shape3 {
+        self.nodes[0].shape
+    }
+
+    /// Number of vertices including `v0`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has only the input vertex.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Appends a layer whose inputs are `preds`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] when a predecessor is unknown, the
+    /// predecessor list is empty, or shape inference rejects the
+    /// configuration.
+    pub fn add_layer(
+        &mut self,
+        name: impl Into<String>,
+        kind: LayerKind,
+        preds: &[NodeId],
+    ) -> Result<NodeId, GraphError> {
+        let name = name.into();
+        if preds.is_empty() {
+            return Err(GraphError::MissingPredecessors(name));
+        }
+        for &p in preds {
+            if p.0 >= self.nodes.len() {
+                return Err(GraphError::UnknownPredecessor(p));
+            }
+        }
+        let pred_shapes: Vec<Shape3> = preds.iter().map(|&p| self.nodes[p.0].shape).collect();
+        let shape = kind
+            .infer_shape(&pred_shapes)
+            .map_err(|reason| GraphError::Shape {
+                layer: name.clone(),
+                reason,
+            })?;
+        let id = NodeId(self.nodes.len());
+        for &p in preds {
+            self.nodes[p.0].succs.push(id);
+        }
+        self.nodes.push(Node {
+            id,
+            name,
+            kind,
+            preds: preds.to_vec(),
+            succs: Vec::new(),
+            shape,
+        });
+        Ok(id)
+    }
+
+    /// Convenience: append a layer with a single predecessor, panicking on
+    /// error. Zoo builders use this; their configurations are static and
+    /// covered by tests, so a panic indicates a bug, not bad user input.
+    pub fn chain(&mut self, name: impl Into<String>, kind: LayerKind, pred: NodeId) -> NodeId {
+        self.add_layer(name, kind, &[pred]).expect("valid layer")
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// All nodes in id (= topological) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Ids of all vertices in topological order (`v0` first).
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Ids of all real layers (everything but `v0`).
+    pub fn layer_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..self.nodes.len()).map(NodeId)
+    }
+
+    /// All directed links `(vi, vj)` of the DAG.
+    pub fn links(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            for &s in &n.succs {
+                out.push((n.id, s));
+            }
+        }
+        out
+    }
+
+    /// Output vertices (no successors). Classification networks have
+    /// exactly one.
+    pub fn outputs(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.succs.is_empty())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Whether the graph is a simple chain (every vertex has at most one
+    /// predecessor and one successor). Neurosurgeon only supports chains.
+    pub fn is_chain(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.preds.len() <= 1 && n.succs.len() <= 1)
+    }
+
+    /// Longest distance `δ(vi)` (in edges) from `v0` to every vertex,
+    /// computed by dynamic programming over the topological order
+    /// (O(|V| + |L|), §III-E).
+    pub fn longest_distances(&self) -> Vec<usize> {
+        let mut delta = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            for &p in &n.preds {
+                delta[n.id.0] = delta[n.id.0].max(delta[p.0] + 1);
+            }
+        }
+        delta
+    }
+
+    /// The graph layers `Z_q = { vi : δ(vi) = q }` used by HPA to sweep the
+    /// DAG front-to-back. `result[q]` lists the vertices of layer `q`;
+    /// `result[0] == [v0]`.
+    pub fn graph_layers(&self) -> Vec<Vec<NodeId>> {
+        let delta = self.longest_distances();
+        let depth = delta.iter().copied().max().unwrap_or(0);
+        let mut layers = vec![Vec::new(); depth + 1];
+        for (i, &d) in delta.iter().enumerate() {
+            layers[d].push(NodeId(i));
+        }
+        layers
+    }
+
+    /// Total FLOPs of one inference pass.
+    pub fn total_flops(&self) -> u64 {
+        self.ids().map(|id| self.flops(id)).sum()
+    }
+
+    /// FLOPs of a single vertex.
+    pub fn flops(&self, id: NodeId) -> u64 {
+        let n = &self.nodes[id.0];
+        let pred_shapes: Vec<Shape3> = n.preds.iter().map(|&p| self.nodes[p.0].shape).collect();
+        n.kind.flops(&pred_shapes, n.shape)
+    }
+
+    /// Total learnable parameters.
+    pub fn total_params(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kind.param_count() as u64).sum()
+    }
+
+    /// Sum of input sizes in bytes of a vertex (`λin_i`).
+    pub fn input_bytes(&self, id: NodeId) -> u64 {
+        self.nodes[id.0]
+            .preds
+            .iter()
+            .map(|&p| self.nodes[p.0].output_bytes())
+            .sum()
+    }
+
+    /// Validates structural invariants (acyclicity by construction,
+    /// reachability of every vertex from `v0`, single input vertex, at
+    /// least one output). Zoo builders are checked with this in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        // Every non-input vertex must be reachable from v0.
+        let mut reachable = vec![false; self.nodes.len()];
+        reachable[0] = true;
+        for n in &self.nodes {
+            if n.id.0 == 0 {
+                continue;
+            }
+            if n.preds.iter().any(|&p| reachable[p.0]) {
+                reachable[n.id.0] = true;
+            }
+        }
+        if let Some(i) = reachable.iter().position(|r| !r) {
+            return Err(format!(
+                "vertex {} (`{}`) unreachable from v0",
+                NodeId(i),
+                self.nodes[i].name
+            ));
+        }
+        // Edges must be forward (topological by construction).
+        for n in &self.nodes {
+            for &p in &n.preds {
+                if p.0 >= n.id.0 {
+                    return Err(format!("non-topological edge {} -> {}", p, n.id));
+                }
+            }
+        }
+        if self.outputs().is_empty() {
+            return Err("graph has no output vertex".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use d3_tensor::ops::ConvSpec;
+
+    fn conv_kind(in_c: usize, out_c: usize) -> LayerKind {
+        LayerKind::Conv {
+            spec: ConvSpec::new(in_c, out_c, 3, 1, 1),
+            batch_norm: false,
+            activation: Activation::Relu,
+        }
+    }
+
+    fn diamond() -> DnnGraph {
+        // input -> a -> {b, c} -> add -> out
+        let mut g = DnnGraph::new("diamond", Shape3::new(3, 8, 8));
+        let a = g.chain("a", conv_kind(3, 8), g.input());
+        let b = g.chain("b", conv_kind(8, 8), a);
+        let c = g.chain("c", conv_kind(8, 8), a);
+        let d = g.add_layer("d", LayerKind::Add, &[b, c]).unwrap();
+        g.chain("out", LayerKind::Softmax, d);
+        g
+    }
+
+    #[test]
+    fn build_chain_graph() {
+        let mut g = DnnGraph::new("chain", Shape3::new(3, 8, 8));
+        let c1 = g.chain("c1", conv_kind(3, 4), g.input());
+        let c2 = g.chain("c2", conv_kind(4, 4), c1);
+        assert_eq!(g.len(), 3);
+        assert!(g.is_chain());
+        assert_eq!(g.node(c2).shape, Shape3::new(4, 8, 8));
+        assert_eq!(g.outputs(), vec![c2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn diamond_is_not_chain() {
+        let g = diamond();
+        assert!(!g.is_chain());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_pred_rejected() {
+        let mut g = DnnGraph::new("g", Shape3::new(3, 8, 8));
+        let err = g
+            .add_layer("x", conv_kind(3, 4), &[NodeId(99)])
+            .unwrap_err();
+        assert_eq!(err, GraphError::UnknownPredecessor(NodeId(99)));
+    }
+
+    #[test]
+    fn empty_preds_rejected() {
+        let mut g = DnnGraph::new("g", Shape3::new(3, 8, 8));
+        assert!(matches!(
+            g.add_layer("x", conv_kind(3, 4), &[]),
+            Err(GraphError::MissingPredecessors(_))
+        ));
+    }
+
+    #[test]
+    fn shape_error_carries_layer_name() {
+        let mut g = DnnGraph::new("g", Shape3::new(3, 8, 8));
+        let err = g
+            .add_layer("bad", conv_kind(5, 4), &[g.input()])
+            .unwrap_err();
+        match err {
+            GraphError::Shape { layer, .. } => assert_eq!(layer, "bad"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn longest_distance_on_diamond() {
+        let g = diamond();
+        // input=0, a=1, b/c=2, add=3, softmax=4
+        assert_eq!(g.longest_distances(), vec![0, 1, 2, 2, 3, 4]);
+    }
+
+    #[test]
+    fn graph_layers_partition_vertices() {
+        let g = diamond();
+        let layers = g.graph_layers();
+        assert_eq!(layers.len(), 5);
+        assert_eq!(layers[0], vec![NodeId(0)]);
+        assert_eq!(layers[2].len(), 2);
+        let total: usize = layers.iter().map(Vec::len).sum();
+        assert_eq!(total, g.len());
+    }
+
+    #[test]
+    fn paper_fig3_grid_module_layering() {
+        // Reproduce Fig. 3b: v0 -> v1 -> {v2..v5}; v2->v6, v3->v7,
+        // v5->v8->v9 ... building the exact example from the paper and
+        // checking HPA's 7 graph layers Z0..Z6.
+        let mut g = DnnGraph::new("grid", Shape3::new(16, 8, 8));
+        let conv1x1 = |c_in: usize| LayerKind::Conv {
+            spec: ConvSpec::new(c_in, 16, 1, 1, 0),
+            batch_norm: false,
+            activation: Activation::Relu,
+        };
+        let v1 = g.chain("v1-concat-in", conv1x1(16), g.input());
+        // Z2: four parallel branch heads.
+        let v2 = g.chain("v2", conv1x1(16), v1);
+        let v3 = g.chain("v3", conv1x1(16), v1);
+        let v4 = g.chain("v4", conv1x1(16), v1);
+        let v5 = g.chain("v5", conv1x1(16), v1);
+        // Z3.
+        let v6 = g.chain("v6", conv1x1(16), v3);
+        let v7 = g.chain("v7", conv1x1(16), v4);
+        let v8 = g.chain("v8", conv1x1(16), v5);
+        let v9 = g.chain("v9", conv1x1(16), v8);
+        // Z4: concat of branches.
+        let v10 = g
+            .add_layer("v10", LayerKind::Concat, &[v2, v6, v7, v9])
+            .unwrap();
+        // Z5.
+        let v11 = g.chain("v11", conv1x1(64), v10);
+        let v12 = g.chain("v12", conv1x1(64), v10);
+        // Z6.
+        g.add_layer("v13", LayerKind::Concat, &[v11, v12]).unwrap();
+
+        let layers = g.graph_layers();
+        // The paper groups v6..v9 into Z3; our faithful DAG has v9 one
+        // deeper (v9 depends on v8), so Fig. 3b's Z3 = {v6,v7,v8,v9} holds
+        // only under the paper's drawing where v8->v9 is within one module
+        // stage. We verify the structural properties instead:
+        assert_eq!(layers[0], vec![NodeId(0)]);
+        assert_eq!(layers[2], vec![v2, v3, v4, v5]);
+        assert!(layers[3].contains(&v6) && layers[3].contains(&v7) && layers[3].contains(&v8));
+        assert!(layers[4].contains(&v9));
+        let concat_layer = g.longest_distances()[v10.0];
+        assert!(concat_layer > g.longest_distances()[v9.0]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn flops_totals_are_positive_and_additive() {
+        let g = diamond();
+        let sum: u64 = g.ids().map(|id| g.flops(id)).sum();
+        assert_eq!(sum, g.total_flops());
+        assert!(g.total_flops() > 0);
+    }
+
+    #[test]
+    fn input_bytes_sums_predecessors() {
+        let g = diamond();
+        let add_id = NodeId(4);
+        assert_eq!(g.node(add_id).kind, LayerKind::Add);
+        // Two 8x8x8 f32 inputs.
+        assert_eq!(g.input_bytes(add_id), 2 * 8 * 8 * 8 * 4);
+    }
+
+    #[test]
+    fn links_count_matches() {
+        let g = diamond();
+        // input->a, a->b, a->c, b->d, c->d, d->out
+        assert_eq!(g.links().len(), 6);
+    }
+}

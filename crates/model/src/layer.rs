@@ -1,0 +1,456 @@
+//! DNN layer descriptions.
+//!
+//! A *layer* in the paper's system model is "one or multiple mathematical
+//! operators" (§III-C). Accordingly [`LayerKind::Conv`] and
+//! [`LayerKind::Dense`] carry their fused inference-time batch-norm and
+//! activation, matching both how frameworks deploy trained models and the
+//! per-layer granularity of the paper's figures (e.g. Fig. 1 plots
+//! `conv1..conv13, fc1..fc3` for VGG-16).
+
+use d3_tensor::ops::{ConvSpec, DepthwiseSpec, PoolSpec};
+use d3_tensor::Shape3;
+use std::fmt;
+
+/// Activation fused into a compute layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// No activation (linear output, e.g. final classifier logits).
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with the given negative slope (Darknet-53 uses 0.1).
+    Leaky(f32),
+}
+
+/// The operator(s) a DNN layer performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerKind {
+    /// The virtual input vertex `v0` producing the network input.
+    Input {
+        /// Shape of the produced input tensor.
+        shape: Shape3,
+    },
+    /// 2-D convolution with optional fused batch-norm and activation.
+    Conv {
+        /// Convolution hyper-parameters.
+        spec: ConvSpec,
+        /// Whether an inference-time batch-norm follows the convolution.
+        batch_norm: bool,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Depthwise convolution (MobileNet-style) with optional fused
+    /// batch-norm and activation. Channel-preserving; each channel is
+    /// filtered independently.
+    DepthwiseConv {
+        /// Depthwise hyper-parameters.
+        spec: DepthwiseSpec,
+        /// Whether an inference-time batch-norm follows.
+        batch_norm: bool,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Pooling hyper-parameters.
+        spec: PoolSpec,
+    },
+    /// Global average pooling collapsing each channel to one value.
+    GlobalAvgPool,
+    /// Fully-connected layer (input flattened) with fused activation.
+    Dense {
+        /// Flattened input dimensionality.
+        in_dim: usize,
+        /// Output dimensionality.
+        out_dim: usize,
+        /// Fused activation.
+        activation: Activation,
+    },
+    /// Channel-axis concatenation of all predecessors (Inception joins).
+    Concat,
+    /// Elementwise addition of all predecessors (residual joins).
+    Add,
+    /// Softmax over the flattened input (final classifier stage).
+    Softmax,
+    /// A standalone elementwise activation vertex (e.g. the ReLU applied
+    /// *after* a ResNet shortcut addition, which cannot fuse into either
+    /// branch).
+    Activation {
+        /// The activation function.
+        act: Activation,
+    },
+}
+
+impl LayerKind {
+    /// Short lowercase tag used in layer names and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LayerKind::Input { .. } => "input",
+            LayerKind::Conv { .. } => "conv",
+            LayerKind::DepthwiseConv { .. } => "dwconv",
+            LayerKind::Pool { spec } => match spec.kind {
+                d3_tensor::ops::PoolKind::Max => "maxpool",
+                d3_tensor::ops::PoolKind::Avg => "avgpool",
+            },
+            LayerKind::GlobalAvgPool => "gap",
+            LayerKind::Dense { .. } => "fc",
+            LayerKind::Concat => "concat",
+            LayerKind::Add => "add",
+            LayerKind::Softmax => "softmax",
+            LayerKind::Activation { .. } => "act",
+        }
+    }
+
+    /// Whether this kind is spatially tileable by the vertical separation
+    /// module (conv and pooling layers; §III-F). Standalone elementwise
+    /// activations are trivially tileable (identity coordinates).
+    pub fn is_tileable(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv { .. }
+                | LayerKind::DepthwiseConv { .. }
+                | LayerKind::Pool { .. }
+                | LayerKind::Activation { .. }
+        )
+    }
+
+    /// Number of learnable parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            LayerKind::Conv {
+                spec, batch_norm, ..
+            } => spec.param_count() + if *batch_norm { 2 * spec.out_c } else { 0 },
+            LayerKind::DepthwiseConv {
+                spec, batch_norm, ..
+            } => spec.param_count() + if *batch_norm { 2 * spec.channels } else { 0 },
+            LayerKind::Dense { in_dim, out_dim, .. } => in_dim * out_dim + out_dim,
+            _ => 0,
+        }
+    }
+
+    /// Infers the output shape from predecessor output shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when arity, channel counts or spatial dimensions
+    /// are inconsistent — this is the graph-validation backbone.
+    pub fn infer_shape(&self, preds: &[Shape3]) -> Result<Shape3, String> {
+        let single = |preds: &[Shape3]| -> Result<Shape3, String> {
+            match preds {
+                [one] => Ok(*one),
+                other => Err(format!(
+                    "{} expects exactly 1 predecessor, got {}",
+                    self.tag(),
+                    other.len()
+                )),
+            }
+        };
+        match self {
+            LayerKind::Input { shape } => {
+                if preds.is_empty() {
+                    Ok(*shape)
+                } else {
+                    Err("input vertex cannot have predecessors".into())
+                }
+            }
+            LayerKind::Conv { spec, .. } => {
+                let p = single(preds)?;
+                if p.c != spec.in_c {
+                    return Err(format!(
+                        "conv expects {} input channels, got {}",
+                        spec.in_c, p.c
+                    ));
+                }
+                let (oh, ow) = spec.out_hw(p.h, p.w);
+                Ok(Shape3::new(spec.out_c, oh, ow))
+            }
+            LayerKind::DepthwiseConv { spec, .. } => {
+                let p = single(preds)?;
+                if p.c != spec.channels {
+                    return Err(format!(
+                        "depthwise conv expects {} channels, got {}",
+                        spec.channels, p.c
+                    ));
+                }
+                let (oh, ow) = spec.out_hw(p.h, p.w);
+                Ok(Shape3::new(p.c, oh, ow))
+            }
+            LayerKind::Pool { spec } => {
+                let p = single(preds)?;
+                let (oh, ow) = spec.out_hw(p.h, p.w);
+                Ok(Shape3::new(p.c, oh, ow))
+            }
+            LayerKind::GlobalAvgPool => {
+                let p = single(preds)?;
+                Ok(Shape3::new(p.c, 1, 1))
+            }
+            LayerKind::Dense {
+                in_dim, out_dim, ..
+            } => {
+                let p = single(preds)?;
+                if p.len() != *in_dim {
+                    return Err(format!(
+                        "dense expects flattened input of {}, got {} ({})",
+                        in_dim,
+                        p.len(),
+                        p
+                    ));
+                }
+                Ok(Shape3::new(*out_dim, 1, 1))
+            }
+            LayerKind::Concat => {
+                if preds.len() < 2 {
+                    return Err("concat needs at least 2 predecessors".into());
+                }
+                let (h, w) = (preds[0].h, preds[0].w);
+                let mut c = 0;
+                for p in preds {
+                    if (p.h, p.w) != (h, w) {
+                        return Err(format!("concat spatial mismatch: {p} vs {h}x{w}"));
+                    }
+                    c += p.c;
+                }
+                Ok(Shape3::new(c, h, w))
+            }
+            LayerKind::Add => {
+                if preds.len() < 2 {
+                    return Err("add needs at least 2 predecessors".into());
+                }
+                for p in &preds[1..] {
+                    if *p != preds[0] {
+                        return Err(format!("add shape mismatch: {} vs {}", p, preds[0]));
+                    }
+                }
+                Ok(preds[0])
+            }
+            LayerKind::Softmax => single(preds),
+            LayerKind::Activation { .. } => single(preds),
+        }
+    }
+
+    /// Floating-point operation count of this layer given its predecessor
+    /// shapes and (already inferred) output shape. Multiply-accumulates
+    /// count as 2 FLOPs, matching common practice.
+    pub fn flops(&self, preds: &[Shape3], out: Shape3) -> u64 {
+        match self {
+            LayerKind::Input { .. } => 0,
+            LayerKind::Conv {
+                spec,
+                batch_norm,
+                activation,
+            } => {
+                let p = preds[0];
+                let mut f = 2 * spec.macs(p.h, p.w);
+                if *batch_norm {
+                    f += 2 * out.len() as u64;
+                }
+                if !matches!(activation, Activation::None) {
+                    f += out.len() as u64;
+                }
+                f
+            }
+            LayerKind::DepthwiseConv {
+                spec,
+                batch_norm,
+                activation,
+            } => {
+                let p = preds[0];
+                let mut f = 2 * spec.macs(p.h, p.w);
+                if *batch_norm {
+                    f += 2 * out.len() as u64;
+                }
+                if !matches!(activation, Activation::None) {
+                    f += out.len() as u64;
+                }
+                f
+            }
+            LayerKind::Pool { spec } => (spec.kh * spec.kw) as u64 * out.len() as u64,
+            LayerKind::GlobalAvgPool => preds[0].len() as u64,
+            LayerKind::Dense {
+                in_dim,
+                out_dim,
+                activation,
+            } => {
+                let mut f = 2 * (*in_dim as u64) * (*out_dim as u64);
+                if !matches!(activation, Activation::None) {
+                    f += *out_dim as u64;
+                }
+                f
+            }
+            LayerKind::Concat => 0,
+            LayerKind::Add => preds.len().saturating_sub(1) as u64 * out.len() as u64,
+            LayerKind::Softmax => 4 * out.len() as u64,
+            LayerKind::Activation { .. } => out.len() as u64,
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Conv { spec, .. } => write!(
+                f,
+                "conv {}x{}/{} {}→{}",
+                spec.kh, spec.kw, spec.sh, spec.in_c, spec.out_c
+            ),
+            LayerKind::DepthwiseConv { spec, .. } => write!(
+                f,
+                "dwconv {}x{}/{} ×{}",
+                spec.kh, spec.kw, spec.sh, spec.channels
+            ),
+            LayerKind::Dense {
+                in_dim, out_dim, ..
+            } => write!(f, "fc {in_dim}→{out_dim}"),
+            other => write!(f, "{}", other.tag()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_tensor::ops::PoolKind;
+
+    fn conv(in_c: usize, out_c: usize, k: usize, s: usize, p: usize) -> LayerKind {
+        LayerKind::Conv {
+            spec: ConvSpec::new(in_c, out_c, k, s, p),
+            batch_norm: false,
+            activation: Activation::Relu,
+        }
+    }
+
+    #[test]
+    fn conv_shape_inference() {
+        let k = conv(3, 64, 3, 1, 1);
+        let out = k.infer_shape(&[Shape3::new(3, 224, 224)]).unwrap();
+        assert_eq!(out, Shape3::new(64, 224, 224));
+    }
+
+    #[test]
+    fn conv_channel_mismatch_rejected() {
+        let k = conv(3, 64, 3, 1, 1);
+        assert!(k.infer_shape(&[Shape3::new(4, 8, 8)]).is_err());
+    }
+
+    #[test]
+    fn conv_arity_enforced() {
+        let k = conv(3, 64, 3, 1, 1);
+        let s = Shape3::new(3, 8, 8);
+        assert!(k.infer_shape(&[s, s]).is_err());
+        assert!(k.infer_shape(&[]).is_err());
+    }
+
+    #[test]
+    fn pool_preserves_channels() {
+        let k = LayerKind::Pool {
+            spec: PoolSpec::new(PoolKind::Max, 2, 2, 0),
+        };
+        let out = k.infer_shape(&[Shape3::new(64, 112, 112)]).unwrap();
+        assert_eq!(out, Shape3::new(64, 56, 56));
+    }
+
+    #[test]
+    fn dense_checks_flattened_len() {
+        let k = LayerKind::Dense {
+            in_dim: 512,
+            out_dim: 10,
+            activation: Activation::None,
+        };
+        assert_eq!(
+            k.infer_shape(&[Shape3::new(512, 1, 1)]).unwrap(),
+            Shape3::new(10, 1, 1)
+        );
+        assert_eq!(
+            k.infer_shape(&[Shape3::new(8, 8, 8)]).unwrap(),
+            Shape3::new(10, 1, 1)
+        );
+        assert!(k.infer_shape(&[Shape3::new(7, 8, 8)]).is_err());
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let k = LayerKind::Concat;
+        let out = k
+            .infer_shape(&[Shape3::new(64, 28, 28), Shape3::new(96, 28, 28)])
+            .unwrap();
+        assert_eq!(out, Shape3::new(160, 28, 28));
+        assert!(k
+            .infer_shape(&[Shape3::new(1, 2, 2), Shape3::new(1, 3, 3)])
+            .is_err());
+        assert!(k.infer_shape(&[Shape3::new(1, 2, 2)]).is_err());
+    }
+
+    #[test]
+    fn add_requires_identical_shapes() {
+        let k = LayerKind::Add;
+        let s = Shape3::new(64, 56, 56);
+        assert_eq!(k.infer_shape(&[s, s]).unwrap(), s);
+        assert!(k.infer_shape(&[s, Shape3::new(64, 28, 28)]).is_err());
+    }
+
+    #[test]
+    fn input_takes_no_preds() {
+        let k = LayerKind::Input {
+            shape: Shape3::new(3, 224, 224),
+        };
+        assert!(k.infer_shape(&[]).is_ok());
+        assert!(k.infer_shape(&[Shape3::new(1, 1, 1)]).is_err());
+    }
+
+    #[test]
+    fn conv_flops_counts_macs_twice() {
+        let k = LayerKind::Conv {
+            spec: ConvSpec::new(3, 64, 3, 1, 1),
+            batch_norm: false,
+            activation: Activation::None,
+        };
+        let p = Shape3::new(3, 224, 224);
+        let out = k.infer_shape(&[p]).unwrap();
+        assert_eq!(k.flops(&[p], out), 2 * 64 * 3 * 9 * 224 * 224);
+    }
+
+    #[test]
+    fn bn_and_act_add_flops() {
+        let base = LayerKind::Conv {
+            spec: ConvSpec::new(3, 8, 3, 1, 1),
+            batch_norm: false,
+            activation: Activation::None,
+        };
+        let fused = LayerKind::Conv {
+            spec: ConvSpec::new(3, 8, 3, 1, 1),
+            batch_norm: true,
+            activation: Activation::Relu,
+        };
+        let p = Shape3::new(3, 16, 16);
+        let out = base.infer_shape(&[p]).unwrap();
+        assert_eq!(
+            fused.flops(&[p], out),
+            base.flops(&[p], out) + 3 * out.len() as u64
+        );
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(
+            LayerKind::Conv {
+                spec: ConvSpec::new(3, 64, 3, 1, 1),
+                batch_norm: true,
+                activation: Activation::Relu,
+            }
+            .param_count(),
+            64 * 3 * 9 + 64 + 128
+        );
+        assert_eq!(LayerKind::Concat.param_count(), 0);
+    }
+
+    #[test]
+    fn tileable_kinds() {
+        assert!(conv(1, 1, 3, 1, 1).is_tileable());
+        assert!(LayerKind::Pool {
+            spec: PoolSpec::new(PoolKind::Avg, 2, 2, 0)
+        }
+        .is_tileable());
+        assert!(!LayerKind::Softmax.is_tileable());
+        assert!(!LayerKind::Add.is_tileable());
+    }
+}

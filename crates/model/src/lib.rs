@@ -1,0 +1,35 @@
+//! # d3-model
+//!
+//! DNN model representation for the D3 reproduction (ICDCS 2021):
+//!
+//! - [`layer`]: layer kinds with shape inference, FLOP and parameter
+//!   accounting,
+//! - [`graph`]: the DAG `G = (V, L)` of the paper's system model (§III-C),
+//!   including the longest-distance layering `Z_q` that drives HPA,
+//! - [`exec`]: a reference executor with deterministic pseudo-trained
+//!   weights, able to run whole networks and HPA *segments*,
+//! - [`zoo`]: the five evaluation networks — AlexNet, VGG-16, ResNet-18,
+//!   Darknet-53 and Inception-v4 — plus synthetic test graphs.
+//!
+//! ## Example
+//!
+//! ```
+//! use d3_model::zoo;
+//!
+//! let vgg = zoo::vgg16(224);
+//! let layers = vgg.graph_layers();
+//! assert_eq!(layers[0].len(), 1); // Z0 = {v0}
+//! assert!(vgg.is_chain());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod graph;
+pub mod layer;
+pub mod zoo;
+
+pub use exec::{Executor, LayerOp};
+pub use graph::{DnnGraph, GraphError, Node, NodeId};
+pub use layer::{Activation, LayerKind};

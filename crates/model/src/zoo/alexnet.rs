@@ -1,0 +1,72 @@
+//! AlexNet (Krizhevsky et al., 2012) — the classic single-tower variant:
+//! 5 convolutions, 3 max-pools, 3 fully-connected layers.
+//!
+//! Layer names follow the paper's Fig. 4: `conv1, maxpool1, conv2,
+//! maxpool2, conv3, conv4, conv5, maxpool3, fc1, fc2, fc3`.
+
+use super::Builder;
+use crate::graph::DnnGraph;
+use crate::layer::{Activation, LayerKind};
+
+/// Builds AlexNet for a `3×hw×hw` input (1000-class classifier).
+pub fn alexnet(hw: usize) -> DnnGraph {
+    let mut b = Builder::new("alexnet", hw);
+    let input = b.g.input();
+    let c1 = b.conv_relu("conv1", input, 96, 11, 4, 2);
+    let p1 = b.maxpool("maxpool1", c1, 3, 2, 0);
+    let c2 = b.conv_relu("conv2", p1, 256, 5, 1, 2);
+    let p2 = b.maxpool("maxpool2", c2, 3, 2, 0);
+    let c3 = b.conv_relu("conv3", p2, 384, 3, 1, 1);
+    let c4 = b.conv_relu("conv4", c3, 384, 3, 1, 1);
+    let c5 = b.conv_relu("conv5", c4, 256, 3, 1, 1);
+    let p3 = b.maxpool("maxpool3", c5, 3, 2, 0);
+    let f1 = b.dense("fc1", p3, 4096, Activation::Relu);
+    let f2 = b.dense("fc2", f1, 4096, Activation::Relu);
+    let f3 = b.dense("fc3", f2, 1000, Activation::None);
+    b.g.chain("softmax", LayerKind::Softmax, f3);
+    b.g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_tensor::Shape3;
+
+    #[test]
+    fn topology_is_a_chain() {
+        let g = alexnet(224);
+        assert!(g.is_chain());
+        // input + 5 conv + 3 pool + 3 fc + softmax = 13 vertices.
+        assert_eq!(g.len(), 13);
+    }
+
+    #[test]
+    fn canonical_shapes_at_224() {
+        let g = alexnet(224);
+        let shape_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.name == name)
+                .map(|n| n.shape)
+                .unwrap()
+        };
+        assert_eq!(shape_of("conv1"), Shape3::new(96, 55, 55));
+        assert_eq!(shape_of("maxpool1"), Shape3::new(96, 27, 27));
+        assert_eq!(shape_of("conv2"), Shape3::new(256, 27, 27));
+        assert_eq!(shape_of("maxpool2"), Shape3::new(256, 13, 13));
+        assert_eq!(shape_of("conv5"), Shape3::new(256, 13, 13));
+        assert_eq!(shape_of("maxpool3"), Shape3::new(256, 6, 6));
+        assert_eq!(shape_of("fc1"), Shape3::new(4096, 1, 1));
+        assert_eq!(shape_of("fc3"), Shape3::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn fc1_input_is_9216_at_224() {
+        let g = alexnet(224);
+        let fc1 = g.nodes().iter().find(|n| n.name == "fc1").unwrap();
+        match &fc1.kind {
+            crate::layer::LayerKind::Dense { in_dim, .. } => assert_eq!(*in_dim, 9216),
+            _ => panic!("fc1 not dense"),
+        }
+    }
+}

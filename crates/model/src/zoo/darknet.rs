@@ -1,0 +1,100 @@
+//! Darknet-53 (Redmon & Farhadi, YOLOv3 backbone, 2018): 53 weighted
+//! layers — 52 convolutions (every conv is conv+BN+LeakyReLU(0.1)) plus
+//! the final classifier.
+//!
+//! The five downsampling stages carry 1, 2, 8, 8 and 4 residual blocks;
+//! each residual is `1×1` (half channels) → `3×3` (restore) → add. Names
+//! follow the paper's Fig. 1c grouping: `convN` for the stand-alone
+//! convolutions and `residualK.*` for residual-group internals.
+
+use super::Builder;
+use crate::graph::{DnnGraph, NodeId};
+use crate::layer::LayerKind;
+
+fn residual(b: &mut Builder, name: &str, pred: NodeId) -> NodeId {
+    let ch = b.g.node(pred).shape.c;
+    let c1 = b.conv_bn_leaky(&format!("{name}.conv1"), pred, ch / 2, 1, 1, 0);
+    let c2 = b.conv_bn_leaky(&format!("{name}.conv2"), c1, ch, 3, 1, 1);
+    b.g.add_layer(format!("{name}.add"), LayerKind::Add, &[c2, pred])
+        .expect("residual add")
+}
+
+/// Builds Darknet-53 for a `3×hw×hw` input (1000-class classifier).
+pub fn darknet53(hw: usize) -> DnnGraph {
+    let mut b = Builder::new("darknet53", hw);
+    let input = b.g.input();
+    let mut prev = b.conv_bn_leaky("conv1", input, 32, 3, 1, 1);
+    // (stage channels, residual repetitions) per the YOLOv3 paper.
+    let stages: [(usize, usize); 5] = [(64, 1), (128, 2), (256, 8), (512, 8), (1024, 4)];
+    for (i, (ch, reps)) in stages.iter().enumerate() {
+        prev = b.conv_bn_leaky(&format!("conv{}", i + 2), prev, *ch, 3, 2, 1);
+        for r in 0..*reps {
+            prev = residual(&mut b, &format!("residual{}.{r}", i + 1), prev);
+        }
+    }
+    b.gap_classifier(prev, 1000);
+    b.g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_tensor::Shape3;
+
+    #[test]
+    fn fifty_two_convolutions() {
+        let g = darknet53(224);
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Conv { .. }))
+            .count();
+        // 1 stem + 5 downsample + 2*23 residual convs = 52.
+        assert_eq!(convs, 52);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn twenty_three_residuals() {
+        let g = darknet53(224);
+        let adds = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == LayerKind::Add)
+            .count();
+        assert_eq!(adds, 1 + 2 + 8 + 8 + 4);
+    }
+
+    #[test]
+    fn canonical_shapes_at_224() {
+        let g = darknet53(224);
+        let shape_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.name == name)
+                .map(|n| n.shape)
+                .unwrap()
+        };
+        assert_eq!(shape_of("conv1"), Shape3::new(32, 224, 224));
+        assert_eq!(shape_of("conv2"), Shape3::new(64, 112, 112));
+        assert_eq!(shape_of("conv6"), Shape3::new(1024, 7, 7));
+        assert_eq!(shape_of("residual5.3.add"), Shape3::new(1024, 7, 7));
+        assert_eq!(shape_of("gap"), Shape3::new(1024, 1, 1));
+    }
+
+    #[test]
+    fn residual_halves_then_restores_channels() {
+        let g = darknet53(224);
+        let c1 = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "residual3.0.conv1")
+            .unwrap();
+        let c2 = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "residual3.0.conv2")
+            .unwrap();
+        assert_eq!(c1.shape.c * 2, c2.shape.c);
+    }
+}

@@ -1,0 +1,228 @@
+//! Inception-v4 (Szegedy et al., AAAI 2017): stem, 4× Inception-A,
+//! Reduction-A, 7× Inception-B, Reduction-B, 3× Inception-C, global
+//! average pooling, 1000-way classifier.
+//!
+//! This is the paper's flagship multi-branch DAG (Fig. 3 shows the "grid
+//! module" — the 8×8 Inception-C block — and its DAG representation).
+//! All convolutions are conv+BN+ReLU. "V" (valid) convolutions of the
+//! original paper use zero padding; "same" convolutions pad to preserve
+//! spatial size.
+
+use super::Builder;
+use crate::graph::{DnnGraph, NodeId};
+use crate::layer::LayerKind;
+use d3_tensor::Shape3;
+
+/// Stem: 3×hw×hw → 384×h'×w'.
+fn stem(b: &mut Builder, pred: NodeId) -> NodeId {
+    let c1 = b.conv_bn_relu("stem.conv1", pred, 32, 3, 2, 0);
+    let c2 = b.conv_bn_relu("stem.conv2", c1, 32, 3, 1, 0);
+    let c3 = b.conv_bn_relu("stem.conv3", c2, 64, 3, 1, 1);
+    // Split 1: maxpool ‖ stride-2 conv.
+    let p1 = b.maxpool("stem.pool1", c3, 3, 2, 0);
+    let c4 = b.conv_bn_relu("stem.conv4", c3, 96, 3, 2, 0);
+    let cat1 = b
+        .g
+        .add_layer("stem.concat1", LayerKind::Concat, &[p1, c4])
+        .expect("stem concat1");
+    // Split 2: short branch ‖ 7×1/1×7 factorized branch.
+    let a1 = b.conv_bn_relu("stem.a.conv1", cat1, 64, 1, 1, 0);
+    let a2 = b.conv_bn_relu("stem.a.conv2", a1, 96, 3, 1, 0);
+    let b1 = b.conv_bn_relu("stem.b.conv1", cat1, 64, 1, 1, 0);
+    let b2 = b.conv_rect("stem.b.conv2", b1, 64, 7, 1, 1, 3, 0);
+    let b3 = b.conv_rect("stem.b.conv3", b2, 64, 1, 7, 1, 0, 3);
+    let b4 = b.conv_bn_relu("stem.b.conv4", b3, 96, 3, 1, 0);
+    let cat2 = b
+        .g
+        .add_layer("stem.concat2", LayerKind::Concat, &[a2, b4])
+        .expect("stem concat2");
+    // Split 3: stride-2 conv ‖ maxpool.
+    let c5 = b.conv_bn_relu("stem.conv5", cat2, 192, 3, 2, 0);
+    let p2 = b.maxpool("stem.pool2", cat2, 3, 2, 0);
+    b.g.add_layer("stem.concat3", LayerKind::Concat, &[c5, p2])
+        .expect("stem concat3")
+}
+
+/// Inception-A module: 384 → 384 channels, spatial-preserving.
+fn inception_a(b: &mut Builder, p: &str, pred: NodeId) -> NodeId {
+    let ap = b.avgpool(&format!("{p}.pool"), pred, 3, 1, 1);
+    let b1 = b.conv_bn_relu(&format!("{p}.b1.conv"), ap, 96, 1, 1, 0);
+    let b2 = b.conv_bn_relu(&format!("{p}.b2.conv"), pred, 96, 1, 1, 0);
+    let b3a = b.conv_bn_relu(&format!("{p}.b3.conv1"), pred, 64, 1, 1, 0);
+    let b3b = b.conv_bn_relu(&format!("{p}.b3.conv2"), b3a, 96, 3, 1, 1);
+    let b4a = b.conv_bn_relu(&format!("{p}.b4.conv1"), pred, 64, 1, 1, 0);
+    let b4b = b.conv_bn_relu(&format!("{p}.b4.conv2"), b4a, 96, 3, 1, 1);
+    let b4c = b.conv_bn_relu(&format!("{p}.b4.conv3"), b4b, 96, 3, 1, 1);
+    b.g.add_layer(format!("{p}.concat"), LayerKind::Concat, &[b1, b2, b3b, b4c])
+        .expect("inception-a concat")
+}
+
+/// Reduction-A: 384 → 1024 channels, spatial halving.
+fn reduction_a(b: &mut Builder, p: &str, pred: NodeId) -> NodeId {
+    let b1 = b.maxpool(&format!("{p}.pool"), pred, 3, 2, 0);
+    let b2 = b.conv_bn_relu(&format!("{p}.b2.conv"), pred, 384, 3, 2, 0);
+    let b3a = b.conv_bn_relu(&format!("{p}.b3.conv1"), pred, 192, 1, 1, 0);
+    let b3b = b.conv_bn_relu(&format!("{p}.b3.conv2"), b3a, 224, 3, 1, 1);
+    let b3c = b.conv_bn_relu(&format!("{p}.b3.conv3"), b3b, 256, 3, 2, 0);
+    b.g.add_layer(format!("{p}.concat"), LayerKind::Concat, &[b1, b2, b3c])
+        .expect("reduction-a concat")
+}
+
+/// Inception-B module: 1024 → 1024 channels, spatial-preserving.
+fn inception_b(b: &mut Builder, p: &str, pred: NodeId) -> NodeId {
+    let ap = b.avgpool(&format!("{p}.pool"), pred, 3, 1, 1);
+    let b1 = b.conv_bn_relu(&format!("{p}.b1.conv"), ap, 128, 1, 1, 0);
+    let b2 = b.conv_bn_relu(&format!("{p}.b2.conv"), pred, 384, 1, 1, 0);
+    let b3a = b.conv_bn_relu(&format!("{p}.b3.conv1"), pred, 192, 1, 1, 0);
+    let b3b = b.conv_rect(&format!("{p}.b3.conv2"), b3a, 224, 1, 7, 1, 0, 3);
+    let b3c = b.conv_rect(&format!("{p}.b3.conv3"), b3b, 256, 7, 1, 1, 3, 0);
+    let b4a = b.conv_bn_relu(&format!("{p}.b4.conv1"), pred, 192, 1, 1, 0);
+    let b4b = b.conv_rect(&format!("{p}.b4.conv2"), b4a, 192, 1, 7, 1, 0, 3);
+    let b4c = b.conv_rect(&format!("{p}.b4.conv3"), b4b, 224, 7, 1, 1, 3, 0);
+    let b4d = b.conv_rect(&format!("{p}.b4.conv4"), b4c, 224, 1, 7, 1, 0, 3);
+    let b4e = b.conv_rect(&format!("{p}.b4.conv5"), b4d, 256, 7, 1, 1, 3, 0);
+    b.g.add_layer(format!("{p}.concat"), LayerKind::Concat, &[b1, b2, b3c, b4e])
+        .expect("inception-b concat")
+}
+
+/// Reduction-B: 1024 → 1536 channels, spatial halving.
+fn reduction_b(b: &mut Builder, p: &str, pred: NodeId) -> NodeId {
+    let b1 = b.maxpool(&format!("{p}.pool"), pred, 3, 2, 0);
+    let b2a = b.conv_bn_relu(&format!("{p}.b2.conv1"), pred, 192, 1, 1, 0);
+    let b2b = b.conv_bn_relu(&format!("{p}.b2.conv2"), b2a, 192, 3, 2, 0);
+    let b3a = b.conv_bn_relu(&format!("{p}.b3.conv1"), pred, 256, 1, 1, 0);
+    let b3b = b.conv_rect(&format!("{p}.b3.conv2"), b3a, 256, 1, 7, 1, 0, 3);
+    let b3c = b.conv_rect(&format!("{p}.b3.conv3"), b3b, 320, 7, 1, 1, 3, 0);
+    let b3d = b.conv_bn_relu(&format!("{p}.b3.conv4"), b3c, 320, 3, 2, 0);
+    b.g.add_layer(format!("{p}.concat"), LayerKind::Concat, &[b1, b2b, b3d])
+        .expect("reduction-b concat")
+}
+
+/// Inception-C — the paper's Fig. 3 "grid module": 1536 → 1536 channels.
+fn inception_c(b: &mut Builder, p: &str, pred: NodeId) -> NodeId {
+    let ap = b.avgpool(&format!("{p}.pool"), pred, 3, 1, 1);
+    let b1 = b.conv_bn_relu(&format!("{p}.b1.conv"), ap, 256, 1, 1, 0);
+    let b2 = b.conv_bn_relu(&format!("{p}.b2.conv"), pred, 256, 1, 1, 0);
+    let b3a = b.conv_bn_relu(&format!("{p}.b3.conv1"), pred, 384, 1, 1, 0);
+    let b3l = b.conv_rect(&format!("{p}.b3.conv1x3"), b3a, 256, 1, 3, 1, 0, 1);
+    let b3r = b.conv_rect(&format!("{p}.b3.conv3x1"), b3a, 256, 3, 1, 1, 1, 0);
+    let b4a = b.conv_bn_relu(&format!("{p}.b4.conv1"), pred, 384, 1, 1, 0);
+    let b4b = b.conv_rect(&format!("{p}.b4.conv1x3"), b4a, 448, 1, 3, 1, 0, 1);
+    let b4c = b.conv_rect(&format!("{p}.b4.conv3x1"), b4b, 512, 3, 1, 1, 1, 0);
+    let b4l = b.conv_rect(&format!("{p}.b4.out3x1"), b4c, 256, 3, 1, 1, 1, 0);
+    let b4r = b.conv_rect(&format!("{p}.b4.out1x3"), b4c, 256, 1, 3, 1, 0, 1);
+    b.g.add_layer(
+        format!("{p}.concat"),
+        LayerKind::Concat,
+        &[b1, b2, b3l, b3r, b4l, b4r],
+    )
+    .expect("inception-c concat")
+}
+
+/// Builds Inception-v4 for a `3×hw×hw` input (1000-class classifier).
+///
+/// The original network takes `299×299`; the D3 paper feeds `224×224`.
+/// Any `hw ≥ 96` yields a valid graph (valid-padding stages shrink the
+/// plane aggressively).
+pub fn inception_v4(hw: usize) -> DnnGraph {
+    let mut b = Builder::new("inception_v4", hw);
+    let input = b.g.input();
+    let mut prev = stem(&mut b, input);
+    for i in 0..4 {
+        prev = inception_a(&mut b, &format!("inceptionA{}", i + 1), prev);
+    }
+    prev = reduction_a(&mut b, "reductionA", prev);
+    for i in 0..7 {
+        prev = inception_b(&mut b, &format!("inceptionB{}", i + 1), prev);
+    }
+    prev = reduction_b(&mut b, "reductionB", prev);
+    for i in 0..3 {
+        prev = inception_c(&mut b, &format!("inceptionC{}", i + 1), prev);
+    }
+    b.gap_classifier(prev, 1000);
+    b.g
+}
+
+/// Builds just the "grid module" of Fig. 3: a standalone Inception-C block
+/// on a `1536×hw×hw` input. Used to reproduce the paper's graph-layering
+/// example (Fig. 3b assigns its vertices to 7 graph layers `Z0..Z6`).
+pub fn inception_grid_module(hw: usize) -> DnnGraph {
+    let mut b = Builder {
+        g: DnnGraph::new("grid_module", Shape3::new(1536, hw, hw)),
+    };
+    let input = b.g.input();
+    inception_c(&mut b, "grid", input);
+    b.g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates_at_224() {
+        let g = inception_v4(224);
+        g.validate().unwrap();
+        assert!(!g.is_chain());
+    }
+
+    #[test]
+    fn channel_milestones() {
+        let g = inception_v4(224);
+        let shape_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.name == name)
+                .map(|n| n.shape)
+                .unwrap()
+        };
+        assert_eq!(shape_of("stem.concat3").c, 384);
+        assert_eq!(shape_of("inceptionA4.concat").c, 384);
+        assert_eq!(shape_of("reductionA.concat").c, 1024);
+        assert_eq!(shape_of("inceptionB7.concat").c, 1024);
+        assert_eq!(shape_of("reductionB.concat").c, 1536);
+        assert_eq!(shape_of("inceptionC3.concat").c, 1536);
+    }
+
+    #[test]
+    fn module_counts() {
+        let g = inception_v4(224);
+        let count = |prefix: &str| {
+            g.nodes()
+                .iter()
+                .filter(|n| n.name.starts_with(prefix) && n.name.ends_with(".concat"))
+                .count()
+        };
+        assert_eq!(count("inceptionA"), 4);
+        assert_eq!(count("inceptionB"), 7);
+        assert_eq!(count("inceptionC"), 3);
+    }
+
+    #[test]
+    fn grid_module_standalone() {
+        let g = inception_grid_module(8);
+        g.validate().unwrap();
+        // 1 input + 11 compute vertices + concat = 13 vertices — matching
+        // the 13 non-virtual vertices v1..v13 of Fig. 3b.
+        assert_eq!(g.len(), 13);
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).shape.c, 1536);
+        // Fig. 3b: the module spans several graph layers.
+        let layers = g.graph_layers();
+        assert!(layers.len() >= 5, "grid module has {} layers", layers.len());
+    }
+
+    #[test]
+    fn spatial_sizes_shrink_monotonically_through_reductions() {
+        let g = inception_v4(224);
+        let hw_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.name == name)
+                .map(|n| n.shape.h)
+                .unwrap()
+        };
+        assert!(hw_of("stem.concat3") > hw_of("reductionA.concat"));
+        assert!(hw_of("reductionA.concat") > hw_of("reductionB.concat"));
+    }
+}

@@ -1,0 +1,113 @@
+//! MobileNetV1 (Howard et al., 2017): depthwise-separable convolutions.
+//!
+//! Not one of the paper's five evaluation networks — included as the
+//! reproduction's *extension* model: the depthwise-separable backbone is
+//! the modern answer to the mobile-compute constraint the paper opens
+//! with, and it exercises the depthwise tile-region path end to end
+//! (VSM separates `dwconv → pwconv` stacks losslessly).
+
+use super::Builder;
+use crate::graph::{DnnGraph, NodeId};
+use crate::layer::{Activation, LayerKind};
+use d3_tensor::ops::DepthwiseSpec;
+
+/// One depthwise-separable block: 3×3 depthwise (stride `s`) + 1×1
+/// pointwise to `out_c` channels, both with BN+ReLU.
+fn separable(b: &mut Builder, name: &str, pred: NodeId, out_c: usize, s: usize) -> NodeId {
+    let ch = b.g.node(pred).shape.c;
+    let dw = b.g.chain(
+        format!("{name}.dw"),
+        LayerKind::DepthwiseConv {
+            spec: DepthwiseSpec::new(ch, 3, s, 1),
+            batch_norm: true,
+            activation: Activation::Relu,
+        },
+        pred,
+    );
+    b.conv_bn_relu(&format!("{name}.pw"), dw, out_c, 1, 1, 0)
+}
+
+/// Builds MobileNetV1 (width multiplier 1.0) for a `3×hw×hw` input.
+pub fn mobilenet_v1(hw: usize) -> DnnGraph {
+    let mut b = Builder::new("mobilenet_v1", hw);
+    let input = b.g.input();
+    let mut prev = b.conv_bn_relu("conv1", input, 32, 3, 2, 1);
+    // (out channels, stride) per the MobileNetV1 paper's Table 1.
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, (out_c, s)) in blocks.iter().enumerate() {
+        prev = separable(&mut b, &format!("sep{}", i + 1), prev, *out_c, *s);
+    }
+    b.gap_classifier(prev, 1000);
+    b.g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_tensor::Shape3;
+
+    #[test]
+    fn builds_and_validates() {
+        let g = mobilenet_v1(224);
+        g.validate().unwrap();
+        assert!(g.is_chain(), "MobileNetV1 is a chain");
+        // 1 stem conv + 13×(dw+pw) + gap + fc + softmax + input.
+        assert_eq!(g.len(), 1 + 1 + 26 + 3);
+    }
+
+    #[test]
+    fn canonical_shapes_at_224() {
+        let g = mobilenet_v1(224);
+        let shape_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.name == name)
+                .map(|n| n.shape)
+                .unwrap()
+        };
+        assert_eq!(shape_of("conv1"), Shape3::new(32, 112, 112));
+        assert_eq!(shape_of("sep1.pw"), Shape3::new(64, 112, 112));
+        assert_eq!(shape_of("sep6.pw"), Shape3::new(512, 14, 14));
+        assert_eq!(shape_of("sep13.pw"), Shape3::new(1024, 7, 7));
+    }
+
+    #[test]
+    fn parameter_count_matches_published() {
+        // MobileNetV1 1.0: ~4.2M parameters.
+        let g = mobilenet_v1(224);
+        let p = g.total_params() as f64;
+        assert!((p - 4.2e6).abs() / 4.2e6 < 0.10, "{p:.2e} params");
+    }
+
+    #[test]
+    fn flops_are_an_order_below_vgg() {
+        // ~1.1 GFLOPs (569M MACs) at 224 vs VGG's ~31 GFLOPs.
+        let g = mobilenet_v1(224);
+        let f = g.total_flops() as f64;
+        assert!(f > 0.8e9 && f < 1.8e9, "{f:.2e} FLOPs");
+    }
+
+    #[test]
+    fn depthwise_layers_are_tileable() {
+        let g = mobilenet_v1(224);
+        for node in g.nodes() {
+            if node.name.ends_with(".dw") {
+                assert!(node.kind.is_tileable(), "{} not tileable", node.name);
+            }
+        }
+    }
+}

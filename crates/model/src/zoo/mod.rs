@@ -1,0 +1,308 @@
+//! The model zoo: the five DNNs the paper evaluates (§IV, "Datasets and
+//! models") plus small synthetic graphs used by tests and documentation.
+//!
+//! Every builder is parameterized by the input spatial size so that the
+//! same topology can run structurally at the paper's `3×224×224` and
+//! numerically (for losslessness tests) at small sizes. Classifier input
+//! dimensions are derived from the actual conv-stack output shape, never
+//! hard-coded.
+
+mod alexnet;
+mod darknet;
+mod inception;
+mod mobilenet;
+mod resnet;
+mod synthetic;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use darknet::darknet53;
+pub use inception::{inception_grid_module, inception_v4};
+pub use mobilenet::mobilenet_v1;
+pub use resnet::resnet18;
+pub use synthetic::{chain_cnn, diamond_net, random_dag, tiny_cnn};
+pub use vgg::vgg16;
+
+use crate::graph::{DnnGraph, NodeId};
+use crate::layer::{Activation, LayerKind};
+use d3_tensor::ops::{ConvSpec, PoolKind, PoolSpec};
+
+/// The paper's default input: ImageNet images compressed to `3×224×224`.
+pub const IMAGENET_HW: usize = 224;
+
+/// Builds all five evaluation models at the given input size, in the
+/// paper's presentation order.
+pub fn all_models(hw: usize) -> Vec<DnnGraph> {
+    vec![
+        alexnet(hw),
+        vgg16(hw),
+        resnet18(hw),
+        darknet53(hw),
+        inception_v4(hw),
+    ]
+}
+
+/// Human-readable display name for a zoo graph name.
+pub fn display_name(name: &str) -> &'static str {
+    match name {
+        "alexnet" => "AlexNet",
+        "vgg16" => "VGG-16",
+        "resnet18" => "ResNet-18",
+        "darknet53" => "Darknet-53",
+        "inception_v4" => "Inception-v4",
+        "mobilenet_v1" => "MobileNetV1",
+        _ => "Unknown",
+    }
+}
+
+/// Internal builder helpers shared by the zoo files.
+pub(crate) struct Builder {
+    pub g: DnnGraph,
+}
+
+impl Builder {
+    pub(crate) fn new(name: &str, hw: usize) -> Self {
+        Self {
+            g: DnnGraph::new(name, d3_tensor::Shape3::new(3, hw, hw)),
+        }
+    }
+
+    /// Conv + ReLU (no batch-norm): AlexNet/VGG style.
+    pub(crate) fn conv_relu(
+        &mut self,
+        name: &str,
+        pred: NodeId,
+        out_c: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> NodeId {
+        let in_c = self.g.node(pred).shape.c;
+        self.g.chain(
+            name,
+            LayerKind::Conv {
+                spec: ConvSpec::new(in_c, out_c, k, s, p),
+                batch_norm: false,
+                activation: Activation::Relu,
+            },
+            pred,
+        )
+    }
+
+    /// Conv + BN + ReLU: ResNet style.
+    pub(crate) fn conv_bn_relu(
+        &mut self,
+        name: &str,
+        pred: NodeId,
+        out_c: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> NodeId {
+        let in_c = self.g.node(pred).shape.c;
+        self.g.chain(
+            name,
+            LayerKind::Conv {
+                spec: ConvSpec::new(in_c, out_c, k, s, p),
+                batch_norm: true,
+                activation: Activation::Relu,
+            },
+            pred,
+        )
+    }
+
+    /// Conv + BN (linear): the second conv of a ResNet basic block.
+    pub(crate) fn conv_bn(
+        &mut self,
+        name: &str,
+        pred: NodeId,
+        out_c: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> NodeId {
+        let in_c = self.g.node(pred).shape.c;
+        self.g.chain(
+            name,
+            LayerKind::Conv {
+                spec: ConvSpec::new(in_c, out_c, k, s, p),
+                batch_norm: true,
+                activation: Activation::None,
+            },
+            pred,
+        )
+    }
+
+    /// Conv + BN + LeakyReLU(0.1): Darknet style.
+    pub(crate) fn conv_bn_leaky(
+        &mut self,
+        name: &str,
+        pred: NodeId,
+        out_c: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> NodeId {
+        let in_c = self.g.node(pred).shape.c;
+        self.g.chain(
+            name,
+            LayerKind::Conv {
+                spec: ConvSpec::new(in_c, out_c, k, s, p),
+                batch_norm: true,
+                activation: Activation::Leaky(0.1),
+            },
+            pred,
+        )
+    }
+
+    /// Rectangular conv + BN + ReLU (Inception 1×7 / 7×1 / 1×3 / 3×1).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn conv_rect(
+        &mut self,
+        name: &str,
+        pred: NodeId,
+        out_c: usize,
+        kh: usize,
+        kw: usize,
+        s: usize,
+        ph: usize,
+        pw: usize,
+    ) -> NodeId {
+        let in_c = self.g.node(pred).shape.c;
+        self.g.chain(
+            name,
+            LayerKind::Conv {
+                spec: ConvSpec::rect(in_c, out_c, kh, kw, s, s, ph, pw),
+                batch_norm: true,
+                activation: Activation::Relu,
+            },
+            pred,
+        )
+    }
+
+    pub(crate) fn maxpool(&mut self, name: &str, pred: NodeId, k: usize, s: usize, p: usize) -> NodeId {
+        self.g.chain(
+            name,
+            LayerKind::Pool {
+                spec: PoolSpec::new(PoolKind::Max, k, s, p),
+            },
+            pred,
+        )
+    }
+
+    pub(crate) fn avgpool(&mut self, name: &str, pred: NodeId, k: usize, s: usize, p: usize) -> NodeId {
+        self.g.chain(
+            name,
+            LayerKind::Pool {
+                spec: PoolSpec::new(PoolKind::Avg, k, s, p),
+            },
+            pred,
+        )
+    }
+
+    /// Dense layer whose input dimension is derived from the predecessor.
+    pub(crate) fn dense(
+        &mut self,
+        name: &str,
+        pred: NodeId,
+        out_dim: usize,
+        activation: Activation,
+    ) -> NodeId {
+        let in_dim = self.g.node(pred).shape.len();
+        self.g.chain(
+            name,
+            LayerKind::Dense {
+                in_dim,
+                out_dim,
+                activation,
+            },
+            pred,
+        )
+    }
+
+    /// Classifier tail: global average pool → fc → softmax.
+    pub(crate) fn gap_classifier(&mut self, pred: NodeId, classes: usize) -> NodeId {
+        let gap = self.g.chain("gap", LayerKind::GlobalAvgPool, pred);
+        let fc = self.dense("fc", gap, classes, Activation::None);
+        self.g.chain("softmax", LayerKind::Softmax, fc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_validate_at_imagenet_size() {
+        for g in all_models(IMAGENET_HW) {
+            g.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", g.name()));
+            assert_eq!(g.outputs().len(), 1, "{} must have one output", g.name());
+            // Every classifier ends in softmax over 1000 classes.
+            let out = g.outputs()[0];
+            assert_eq!(
+                g.node(out).shape.len(),
+                1000,
+                "{} output classes",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(display_name("vgg16"), "VGG-16");
+        assert_eq!(display_name("nope"), "Unknown");
+    }
+
+    #[test]
+    fn model_scale_sanity() {
+        // Published parameter counts (±10%): AlexNet ~61M, VGG-16 ~138M,
+        // ResNet-18 ~11.7M, Darknet-53 ~41.6M, Inception-v4 ~42.7M.
+        let expect = [
+            ("alexnet", 61.0e6, 0.12),
+            ("vgg16", 138.0e6, 0.10),
+            ("resnet18", 11.7e6, 0.10),
+            ("darknet53", 41.6e6, 0.10),
+            ("inception_v4", 42.7e6, 0.15),
+        ];
+        for (name, want, tol) in expect {
+            let g = all_models(IMAGENET_HW)
+                .into_iter()
+                .find(|g| g.name() == name)
+                .unwrap();
+            let got = g.total_params() as f64;
+            assert!(
+                (got - want).abs() / want < tol,
+                "{name}: {got:.2e} params, expected ~{want:.2e}"
+            );
+        }
+    }
+
+    #[test]
+    fn flops_ordering_matches_published_scale() {
+        // Single-inference FLOPs at 224: AlexNet ~1.4G, ResNet-18 ~3.6G,
+        // VGG-16 ~31G. Check ordering + rough magnitude.
+        let models = all_models(IMAGENET_HW);
+        let f = |n: &str| {
+            models
+                .iter()
+                .find(|g| g.name() == n)
+                .unwrap()
+                .total_flops() as f64
+        };
+        assert!(f("alexnet") < f("resnet18"));
+        assert!(f("resnet18") < f("darknet53"));
+        assert!(f("darknet53") < f("vgg16"));
+        assert!(f("vgg16") > 25e9 && f("vgg16") < 40e9);
+        assert!(f("alexnet") > 0.8e9 && f("alexnet") < 3e9);
+    }
+
+    #[test]
+    fn models_build_at_small_sizes() {
+        // Numerical tests run the zoo at reduced input sizes.
+        for g in all_models(96) {
+            g.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! ResNet-18 (He et al., 2016): a 7×7 stem, four stages of two basic
+//! blocks each, global average pooling and a 1000-way classifier.
+//!
+//! Block names follow the paper's Fig. 1b grouping: `block1..block8`
+//! (two blocks per stage), with per-block internals named
+//! `blockN.conv1`, `blockN.conv2`, `blockN.down`, `blockN.add`,
+//! `blockN.relu`.
+
+use super::Builder;
+use crate::graph::{DnnGraph, NodeId};
+use crate::layer::{Activation, LayerKind};
+
+/// Adds one basic block; `stride` > 1 downsamples (with a 1×1 projection
+/// shortcut as in the original paper).
+fn basic_block(b: &mut Builder, name: &str, pred: NodeId, out_c: usize, stride: usize) -> NodeId {
+    let c1 = b.conv_bn_relu(&format!("{name}.conv1"), pred, out_c, 3, stride, 1);
+    let c2 = b.conv_bn(&format!("{name}.conv2"), c1, out_c, 3, 1, 1);
+    let shortcut = if stride != 1 || b.g.node(pred).shape.c != out_c {
+        b.conv_bn(&format!("{name}.down"), pred, out_c, 1, stride, 0)
+    } else {
+        pred
+    };
+    let sum = b
+        .g
+        .add_layer(format!("{name}.add"), LayerKind::Add, &[c2, shortcut])
+        .expect("residual add");
+    b.g.chain(
+        format!("{name}.relu"),
+        LayerKind::Activation {
+            act: Activation::Relu,
+        },
+        sum,
+    )
+}
+
+/// Builds ResNet-18 for a `3×hw×hw` input (1000-class classifier).
+pub fn resnet18(hw: usize) -> DnnGraph {
+    let mut b = Builder::new("resnet18", hw);
+    let input = b.g.input();
+    let c1 = b.conv_bn_relu("conv1", input, 64, 7, 2, 3);
+    let mut prev = b.maxpool("maxpool1", c1, 3, 2, 1);
+    let stages = [(64, 1), (128, 2), (256, 2), (512, 2)];
+    let mut block_idx = 1;
+    for (ch, first_stride) in stages {
+        prev = basic_block(&mut b, &format!("block{block_idx}"), prev, ch, first_stride);
+        block_idx += 1;
+        prev = basic_block(&mut b, &format!("block{block_idx}"), prev, ch, 1);
+        block_idx += 1;
+    }
+    b.gap_classifier(prev, 1000);
+    b.g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_tensor::Shape3;
+
+    #[test]
+    fn has_eight_blocks_and_is_dag() {
+        let g = resnet18(224);
+        assert!(!g.is_chain(), "residual shortcuts make it a DAG");
+        let adds = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == LayerKind::Add)
+            .count();
+        assert_eq!(adds, 8);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn canonical_shapes_at_224() {
+        let g = resnet18(224);
+        let shape_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.name == name)
+                .map(|n| n.shape)
+                .unwrap()
+        };
+        assert_eq!(shape_of("conv1"), Shape3::new(64, 112, 112));
+        assert_eq!(shape_of("maxpool1"), Shape3::new(64, 56, 56));
+        assert_eq!(shape_of("block2.relu"), Shape3::new(64, 56, 56));
+        assert_eq!(shape_of("block4.relu"), Shape3::new(128, 28, 28));
+        assert_eq!(shape_of("block8.relu"), Shape3::new(512, 7, 7));
+        assert_eq!(shape_of("gap"), Shape3::new(512, 1, 1));
+    }
+
+    #[test]
+    fn twenty_convolutions() {
+        // 17 weight convs + 3 downsample projections.
+        let g = resnet18(224);
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Conv { .. }))
+            .count();
+        assert_eq!(convs, 20);
+    }
+
+    #[test]
+    fn downsample_only_on_stage_transitions() {
+        let g = resnet18(224);
+        let downs: Vec<&str> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.ends_with(".down"))
+            .map(|n| n.name.as_str())
+            .collect();
+        assert_eq!(downs, vec!["block3.down", "block5.down", "block7.down"]);
+    }
+}

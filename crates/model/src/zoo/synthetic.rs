@@ -1,0 +1,194 @@
+//! Small synthetic graphs for tests, property tests and documentation
+//! examples. These are *not* paper models; they exist so algorithm tests
+//! can run fast and so proptest can explore many topologies.
+
+use crate::graph::{DnnGraph, NodeId};
+use crate::layer::{Activation, LayerKind};
+use d3_tensor::ops::{ConvSpec, PoolKind, PoolSpec};
+use d3_tensor::Shape3;
+
+fn conv_kind(in_c: usize, out_c: usize, k: usize, s: usize, p: usize) -> LayerKind {
+    LayerKind::Conv {
+        spec: ConvSpec::new(in_c, out_c, k, s, p),
+        batch_norm: false,
+        activation: Activation::Relu,
+    }
+}
+
+/// A chain CNN: `n_convs` 3×3 convolutions with `ch` channels, then
+/// GAP → fc → softmax. Chain topology (Neurosurgeon-compatible).
+pub fn chain_cnn(n_convs: usize, ch: usize, hw: usize) -> DnnGraph {
+    let mut g = DnnGraph::new("chain_cnn", Shape3::new(3, hw, hw));
+    let mut prev = g.chain("conv1", conv_kind(3, ch, 3, 1, 1), g.input());
+    for i in 1..n_convs {
+        prev = g.chain(format!("conv{}", i + 1), conv_kind(ch, ch, 3, 1, 1), prev);
+    }
+    let gap = g.chain("gap", LayerKind::GlobalAvgPool, prev);
+    let fc = g.chain(
+        "fc",
+        LayerKind::Dense {
+            in_dim: ch,
+            out_dim: 10,
+            activation: Activation::None,
+        },
+        gap,
+    );
+    g.chain("softmax", LayerKind::Softmax, fc);
+    g
+}
+
+/// A diamond DAG: one conv fans out to two branches that re-join with an
+/// elementwise add. The smallest non-chain topology.
+pub fn diamond_net(hw: usize) -> DnnGraph {
+    let mut g = DnnGraph::new("diamond_net", Shape3::new(3, hw, hw));
+    let stem = g.chain("stem", conv_kind(3, 8, 3, 1, 1), g.input());
+    let left = g.chain("left", conv_kind(8, 8, 3, 1, 1), stem);
+    let right = g.chain("right", conv_kind(8, 8, 1, 1, 0), stem);
+    let join = g.add_layer("join", LayerKind::Add, &[left, right]).unwrap();
+    let gap = g.chain("gap", LayerKind::GlobalAvgPool, join);
+    let fc = g.chain(
+        "fc",
+        LayerKind::Dense {
+            in_dim: 8,
+            out_dim: 4,
+            activation: Activation::None,
+        },
+        gap,
+    );
+    g.chain("softmax", LayerKind::Softmax, fc);
+    g
+}
+
+/// A tiny all-tileable CNN (convs and pools only, ending in GAP/fc):
+/// used by VSM tests that need an edge segment of consecutive spatial
+/// layers.
+pub fn tiny_cnn(hw: usize) -> DnnGraph {
+    let mut g = DnnGraph::new("tiny_cnn", Shape3::new(3, hw, hw));
+    let c1 = g.chain("conv1", conv_kind(3, 8, 3, 1, 1), g.input());
+    let p1 = g.chain(
+        "pool1",
+        LayerKind::Pool {
+            spec: PoolSpec::new(PoolKind::Max, 2, 2, 0),
+        },
+        c1,
+    );
+    let c2 = g.chain("conv2", conv_kind(8, 16, 3, 1, 1), p1);
+    let c3 = g.chain("conv3", conv_kind(16, 16, 3, 1, 1), c2);
+    let gap = g.chain("gap", LayerKind::GlobalAvgPool, c3);
+    let fc = g.chain(
+        "fc",
+        LayerKind::Dense {
+            in_dim: 16,
+            out_dim: 10,
+            activation: Activation::None,
+        },
+        gap,
+    );
+    g.chain("softmax", LayerKind::Softmax, fc);
+    g
+}
+
+/// A pseudo-random layered DAG for property tests.
+///
+/// Deterministic in `seed`. The graph has `width`-bounded layers,
+/// branch/join structure (concat joins), and every vertex reachable from
+/// `v0`. Shapes are kept spatial-preserving so arbitrary topologies stay
+/// valid.
+pub fn random_dag(seed: u64, depth: usize, width: usize, hw: usize) -> DnnGraph {
+    assert!(depth >= 1 && width >= 1);
+    // Simple xorshift so we avoid a rand dependency in non-test code.
+    let mut state = seed.wrapping_mul(2685821657736338717).wrapping_add(1);
+    let mut next = move |m: usize| -> usize {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % m as u64) as usize
+    };
+    let ch = 8;
+    let mut g = DnnGraph::new("random_dag", Shape3::new(ch, hw, hw));
+    let mut frontier: Vec<NodeId> = vec![g.input()];
+    let mut idx = 0;
+    for _ in 0..depth {
+        let n_here = 1 + next(width);
+        let mut new_frontier = Vec::new();
+        for _ in 0..n_here {
+            idx += 1;
+            let pred = frontier[next(frontier.len())];
+            let in_c = g.node(pred).shape.c;
+            let id = g.chain(format!("n{idx}"), conv_kind(in_c, ch, 3, 1, 1), pred);
+            new_frontier.push(id);
+        }
+        // Keep un-consumed old frontier vertices alive so they join later.
+        for &old in &frontier {
+            if g.node(old).succs.is_empty() {
+                new_frontier.push(old);
+            }
+        }
+        frontier = new_frontier;
+    }
+    // Join all loose ends with a concat (or pass through when single).
+    let ends: Vec<NodeId> = g
+        .ids()
+        .filter(|&id| g.node(id).succs.is_empty())
+        .collect();
+    let tail = if ends.len() > 1 {
+        g.add_layer("join", LayerKind::Concat, &ends).unwrap()
+    } else {
+        ends[0]
+    };
+    let gap = g.chain("gap", LayerKind::GlobalAvgPool, tail);
+    let c = g.node(gap).shape.len();
+    let fc = g.chain(
+        "fc",
+        LayerKind::Dense {
+            in_dim: c,
+            out_dim: 4,
+            activation: Activation::None,
+        },
+        gap,
+    );
+    g.chain("softmax", LayerKind::Softmax, fc);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_cnn_is_chain() {
+        let g = chain_cnn(4, 8, 16);
+        assert!(g.is_chain());
+        assert_eq!(g.len(), 1 + 4 + 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn diamond_is_dag() {
+        let g = diamond_net(16);
+        assert!(!g.is_chain());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn tiny_cnn_valid() {
+        tiny_cnn(16).validate().unwrap();
+    }
+
+    #[test]
+    fn random_dags_always_validate() {
+        for seed in 0..50 {
+            let g = random_dag(seed, 4, 3, 8);
+            g.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn random_dag_deterministic() {
+        let a = random_dag(7, 3, 2, 8);
+        let b = random_dag(7, 3, 2, 8);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.links(), b.links());
+    }
+}

@@ -1,0 +1,99 @@
+//! VGG-16 (Simonyan & Zisserman, 2014), configuration D:
+//! 13 convolutions in 5 blocks with max-pools, then 3 fully-connected
+//! layers. Layer names follow the paper's Fig. 1a: `conv1..conv13,
+//! fc1..fc3`.
+
+use super::Builder;
+use crate::graph::DnnGraph;
+use crate::layer::{Activation, LayerKind};
+
+/// Per-block (repetitions, channels) of configuration D.
+const BLOCKS: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+
+/// Builds VGG-16 for a `3×hw×hw` input (1000-class classifier).
+///
+/// `hw` should be a multiple of 32 so the five pools divide evenly
+/// (224 → 7, 64 → 2).
+pub fn vgg16(hw: usize) -> DnnGraph {
+    let mut b = Builder::new("vgg16", hw);
+    let mut prev = b.g.input();
+    let mut conv_idx = 1;
+    for (block, (reps, ch)) in BLOCKS.iter().enumerate() {
+        for _ in 0..*reps {
+            prev = b.conv_relu(&format!("conv{conv_idx}"), prev, *ch, 3, 1, 1);
+            conv_idx += 1;
+        }
+        prev = b.maxpool(&format!("maxpool{}", block + 1), prev, 2, 2, 0);
+    }
+    let f1 = b.dense("fc1", prev, 4096, Activation::Relu);
+    let f2 = b.dense("fc2", f1, 4096, Activation::Relu);
+    let f3 = b.dense("fc3", f2, 1000, Activation::None);
+    b.g.chain("softmax", LayerKind::Softmax, f3);
+    b.g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_tensor::Shape3;
+
+    #[test]
+    fn sixteen_weight_layers() {
+        let g = vgg16(224);
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("conv"))
+            .count();
+        let fcs = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("fc"))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(fcs, 3);
+        assert!(g.is_chain());
+    }
+
+    #[test]
+    fn canonical_shapes_at_224() {
+        let g = vgg16(224);
+        let shape_of = |name: &str| {
+            g.nodes()
+                .iter()
+                .find(|n| n.name == name)
+                .map(|n| n.shape)
+                .unwrap()
+        };
+        assert_eq!(shape_of("conv2"), Shape3::new(64, 224, 224));
+        assert_eq!(shape_of("maxpool1"), Shape3::new(64, 112, 112));
+        assert_eq!(shape_of("conv13"), Shape3::new(512, 14, 14));
+        assert_eq!(shape_of("maxpool5"), Shape3::new(512, 7, 7));
+    }
+
+    #[test]
+    fn fc1_takes_25088_at_224() {
+        let g = vgg16(224);
+        let fc1 = g.nodes().iter().find(|n| n.name == "fc1").unwrap();
+        match &fc1.kind {
+            crate::layer::LayerKind::Dense { in_dim, .. } => assert_eq!(*in_dim, 25088),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn conv2_dominates_early_output_size() {
+        // Fig. 1a: conv1/conv2 have the largest output volumes (~12.25 MB).
+        let g = vgg16(224);
+        let conv2 = g.nodes().iter().find(|n| n.name == "conv2").unwrap();
+        assert_eq!(conv2.output_bytes(), 64 * 224 * 224 * 4);
+    }
+
+    #[test]
+    fn scales_down_to_64() {
+        let g = vgg16(64);
+        g.validate().unwrap();
+        let mp5 = g.nodes().iter().find(|n| n.name == "maxpool5").unwrap();
+        assert_eq!(mp5.shape, Shape3::new(512, 2, 2));
+    }
+}

@@ -1,0 +1,245 @@
+//! Tier assignments and the total-latency objective Θ.
+
+use crate::Problem;
+use d3_model::NodeId;
+use d3_simnet::Tier;
+
+/// A complete tier assignment: `tiers[i]` is the tier executing vertex
+/// `vi`. The virtual input `v0` is always at the device tier (it *is* the
+/// data source).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    tiers: Vec<Tier>,
+}
+
+impl Assignment {
+    /// Creates an assignment from a tier vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v0` is not assigned to the device tier.
+    pub fn new(tiers: Vec<Tier>) -> Self {
+        assert!(!tiers.is_empty(), "empty assignment");
+        assert_eq!(tiers[0], Tier::Device, "v0 must stay at the device tier");
+        Self { tiers }
+    }
+
+    /// An assignment placing every real layer at `tier` (`v0` stays at the
+    /// device). These are the paper's device-only / edge-only / cloud-only
+    /// baselines.
+    pub fn uniform(n: usize, tier: Tier) -> Self {
+        let mut tiers = vec![tier; n];
+        tiers[0] = Tier::Device;
+        Self { tiers }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Whether the assignment is empty (never true for valid instances).
+    pub fn is_empty(&self) -> bool {
+        self.tiers.is_empty()
+    }
+
+    /// Tier of a vertex.
+    pub fn tier(&self, id: NodeId) -> Tier {
+        self.tiers[id.index()]
+    }
+
+    /// Sets the tier of a vertex.
+    pub fn set_tier(&mut self, id: NodeId, tier: Tier) {
+        self.tiers[id.index()] = tier;
+    }
+
+    /// Borrow the raw tier vector.
+    pub fn tiers(&self) -> &[Tier] {
+        &self.tiers
+    }
+
+    /// Vertices assigned to a tier, ascending — a tier's *segment*.
+    pub fn segment(&self, tier: Tier) -> Vec<NodeId> {
+        self.tiers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == tier)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Whether every DAG link flows forward in the pipeline
+    /// (`tier(u) ⪰ tier(v)` never violated): the Proposition 1 invariant
+    /// HPA maintains.
+    pub fn is_monotone(&self, problem: &Problem<'_>) -> bool {
+        problem
+            .graph()
+            .links()
+            .iter()
+            .all(|(u, v)| self.tier(*u).precedes_eq(self.tier(*v)))
+    }
+
+    /// The paper's objective
+    /// `Θ = Σ_i t^li_i + Σ_(vi,vj) t^[li,lj]_ij`: total processing plus
+    /// transmission latency — the end-to-end latency of one serial
+    /// inference.
+    pub fn total_latency(&self, problem: &Problem<'_>) -> f64 {
+        let g = problem.graph();
+        let mut total = 0.0;
+        for id in g.ids() {
+            total += problem.vertex_time(id, self.tier(id));
+        }
+        for (u, v) in g.links() {
+            total += problem.link_time(u, self.tier(u), self.tier(v));
+        }
+        total
+    }
+
+    /// Per-tier processing time (no transmission): the stage times of
+    /// Table II.
+    pub fn stage_times(&self, problem: &Problem<'_>) -> [f64; 3] {
+        let mut out = [0.0; 3];
+        for id in problem.graph().ids() {
+            let t = self.tier(id);
+            out[t.rank()] += problem.vertex_time(id, t);
+        }
+        out
+    }
+
+    /// Total transmission time across tier boundaries for one inference.
+    pub fn transmission_latency(&self, problem: &Problem<'_>) -> f64 {
+        problem
+            .graph()
+            .links()
+            .iter()
+            .map(|(u, v)| problem.link_time(*u, self.tier(*u), self.tier(*v)))
+            .sum()
+    }
+
+    /// Bytes crossing from the LAN (device/edge) to the cloud per
+    /// inference — the backbone communication overhead of Fig. 13.
+    /// Each link `(u, v)` with `u` in the LAN and `v` at the cloud ships
+    /// `u`'s output once (outputs consumed by several cloud vertices are
+    /// transferred once, as a real system would).
+    pub fn backbone_bytes(&self, problem: &Problem<'_>) -> u64 {
+        let g = problem.graph();
+        let mut total = 0;
+        for node in g.nodes() {
+            if self.tier(node.id) == Tier::Cloud {
+                continue;
+            }
+            let crosses = node.succs.iter().any(|s| self.tier(*s) == Tier::Cloud);
+            if crosses {
+                total += node.output_bytes();
+            }
+        }
+        total
+    }
+
+    /// Which tiers actually execute at least one real layer.
+    pub fn used_tiers(&self) -> Vec<Tier> {
+        Tier::ALL
+            .into_iter()
+            .filter(|t| {
+                self.tiers
+                    .iter()
+                    .enumerate()
+                    .any(|(i, x)| i > 0 && x == t)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_simnet::{NetworkCondition, TierProfiles};
+
+    fn problem(g: &d3_model::DnnGraph) -> Problem<'_> {
+        Problem::new(g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi)
+    }
+
+    #[test]
+    fn uniform_assignments() {
+        let g = zoo::alexnet(224);
+        let a = Assignment::uniform(g.len(), Tier::Cloud);
+        assert_eq!(a.tier(g.input()), Tier::Device);
+        assert_eq!(a.tier(NodeId(1)), Tier::Cloud);
+        assert_eq!(a.segment(Tier::Cloud).len(), g.len() - 1);
+    }
+
+    #[test]
+    fn device_only_has_no_transmission() {
+        let g = zoo::alexnet(224);
+        let p = problem(&g);
+        let a = Assignment::uniform(g.len(), Tier::Device);
+        assert_eq!(a.transmission_latency(&p), 0.0);
+        assert_eq!(a.backbone_bytes(&p), 0);
+        assert!(a.is_monotone(&p));
+    }
+
+    #[test]
+    fn cloud_only_pays_raw_input_transfer() {
+        let g = zoo::alexnet(224);
+        let p = problem(&g);
+        let a = Assignment::uniform(g.len(), Tier::Cloud);
+        let expect = p.input_transfer(Tier::Device, Tier::Cloud);
+        assert!((a.transmission_latency(&p) - expect).abs() < 1e-12);
+        assert_eq!(a.backbone_bytes(&p), 3 * 224 * 224 * 4);
+    }
+
+    #[test]
+    fn theta_decomposes_into_stage_and_transmission() {
+        let g = zoo::resnet18(224);
+        let p = problem(&g);
+        let mut a = Assignment::uniform(g.len(), Tier::Edge);
+        // Push the tail of the network to the cloud.
+        for id in g.ids().skip(g.len() - 10) {
+            a.set_tier(id, Tier::Cloud);
+        }
+        let theta = a.total_latency(&p);
+        let stages: f64 = a.stage_times(&p).iter().sum();
+        let tx = a.transmission_latency(&p);
+        assert!((theta - (stages + tx)).abs() < 1e-12);
+        assert!(tx > 0.0);
+    }
+
+    #[test]
+    fn monotonicity_detects_backward_flow() {
+        let g = zoo::alexnet(224);
+        let p = problem(&g);
+        let mut a = Assignment::uniform(g.len(), Tier::Cloud);
+        assert!(a.is_monotone(&p));
+        // Move a mid layer back to the device: cloud → device link appears.
+        a.set_tier(NodeId(5), Tier::Device);
+        assert!(!a.is_monotone(&p));
+    }
+
+    #[test]
+    fn backbone_bytes_counts_shared_output_once() {
+        // diamond: stem feeds two branches; if both branches sit in the
+        // cloud the stem output crosses once.
+        let g = zoo::diamond_net(16);
+        let p = problem(&g);
+        let mut a = Assignment::uniform(g.len(), Tier::Cloud);
+        let stem = NodeId(1);
+        a.set_tier(stem, Tier::Device);
+        let expect = g.node(stem).output_bytes() ;
+        // v0 raw input no longer crosses (stem consumes it on device).
+        assert_eq!(a.backbone_bytes(&p), expect);
+    }
+
+    #[test]
+    fn used_tiers_ignores_v0() {
+        let g = zoo::alexnet(224);
+        let a = Assignment::uniform(g.len(), Tier::Cloud);
+        assert_eq!(a.used_tiers(), vec![Tier::Cloud]);
+    }
+
+    #[test]
+    #[should_panic(expected = "v0 must stay")]
+    fn v0_must_be_device() {
+        Assignment::new(vec![Tier::Edge, Tier::Edge]);
+    }
+}

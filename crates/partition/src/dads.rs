@@ -1,0 +1,170 @@
+//! DADS baseline (Hu et al., INFOCOM 2019): Dynamic Adaptive DNN Surgery.
+//!
+//! DADS generalizes layer-wise partitioning to DAG-topology DNNs by
+//! reducing the 2-way (edge/cloud) split to a minimum s-t cut. The paper
+//! under reproduction uses DADS as its strongest baseline and notes that
+//! "DADS cannot generalize the min-cut approach to separate a DNN into
+//! more than two parts" — which is exactly the limitation HPA's three-way
+//! split removes.
+//!
+//! ## Construction
+//!
+//! Source `s` stands for the edge tier, sink `t` for the cloud:
+//!
+//! - arc `v → t` with capacity `t_e(v)`: cut when `v` lands on the edge
+//!   side — paying its edge processing time,
+//! - arc `s → v` with capacity `t_c(v)`: cut when `v` lands cloud-side,
+//! - arcs `u ⇄ v` per DAG link with capacity `λout_u / σ_ec`: cut when the
+//!   link crosses tiers (both directions carry the same delay; the paper
+//!   assumes symmetric two-way transmission),
+//! - the raw input sits on the device: every successor of `v0` pays
+//!   `λ0/σ_de` as a constant, plus an extra `λ0/σ_dc − λ0/σ_de ≥ 0` on
+//!   `s → w` cut when `w` lands cloud-side (the input then travels the
+//!   slower device→cloud path instead).
+//!
+//! The min cut therefore equals the total latency objective restricted to
+//! two tiers, and the residual source side is the edge segment.
+
+use crate::maxflow::FlowNetwork;
+use crate::{Assignment, Problem};
+use d3_simnet::Tier;
+
+/// Runs DADS: optimal edge/cloud partition of an arbitrary DAG via
+/// min-cut. `v0` stays at the device (data source); every real layer is
+/// assigned to the edge or the cloud.
+pub fn dads(problem: &Problem<'_>) -> Assignment {
+    two_tier_mincut(problem, Tier::Edge)
+}
+
+/// Optimal 2-way partition between `lan_tier` (device or edge) and the
+/// cloud via minimum s-t cut; exact for the total-latency objective
+/// restricted to those two tiers. `lan_tier = Edge` is DADS proper;
+/// `lan_tier = Device` is the same construction for a device/cloud split
+/// (used as a refinement candidate inside HPA).
+///
+/// # Panics
+///
+/// Panics when `lan_tier` is the cloud.
+pub fn two_tier_mincut(problem: &Problem<'_>, lan_tier: Tier) -> Assignment {
+    assert_ne!(lan_tier, Tier::Cloud, "LAN side cannot be the cloud");
+    let g = problem.graph();
+    let n = g.len();
+    // Flow vertices: 0..n map to graph vertices (v0 unused), n = s, n+1 = t.
+    let (s, t) = (n, n + 1);
+    let mut net = FlowNetwork::new(n + 2);
+    for id in g.layer_ids() {
+        net.add_arc(id.index(), t, problem.vertex_time(id, lan_tier));
+        net.add_arc(s, id.index(), problem.vertex_time(id, Tier::Cloud));
+    }
+    for (u, v) in g.links() {
+        if u == g.input() {
+            // Raw-input links are charged via the s→w differential below.
+            continue;
+        }
+        let tx = problem.link_time(u, lan_tier, Tier::Cloud);
+        net.add_arc(u.index(), v.index(), tx);
+        net.add_arc(v.index(), u.index(), tx);
+    }
+    // Raw input from the device: reaching a LAN-side consumer costs the
+    // device→lan transfer (a constant, zero when the LAN side *is* the
+    // device); reaching a cloud-side consumer costs device→cloud, charged
+    // as the differential on the s→w arc.
+    let d_lan = problem.input_transfer(Tier::Device, lan_tier);
+    let dc = problem.input_transfer(Tier::Device, Tier::Cloud);
+    for &w in &g.node(g.input()).succs {
+        net.add_arc(s, w.index(), (dc - d_lan).max(0.0));
+    }
+    net.max_flow(s, t);
+    let side = net.min_cut_source_side(s);
+    let tiers = (0..n)
+        .map(|i| {
+            if i == 0 {
+                Tier::Device
+            } else if side[i] {
+                lan_tier
+            } else {
+                Tier::Cloud
+            }
+        })
+        .collect();
+    Assignment::new(tiers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive_optimal;
+    use d3_model::zoo;
+    use d3_simnet::{NetworkCondition, TierProfiles};
+
+    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+        Problem::new(g, &TierProfiles::paper_testbed(), net)
+    }
+
+    #[test]
+    fn uses_only_edge_and_cloud() {
+        let g = zoo::resnet18(224);
+        let p = problem(&g, NetworkCondition::WiFi);
+        let a = dads(&p);
+        for id in g.layer_ids() {
+            assert_ne!(a.tier(id), Tier::Device);
+        }
+        assert_eq!(a.tier(g.input()), Tier::Device);
+    }
+
+    #[test]
+    fn matches_exhaustive_two_tier_optimum_on_small_dags() {
+        for seed in 0..10 {
+            let g = zoo::random_dag(seed, 3, 2, 8);
+            if g.len() > 12 {
+                continue;
+            }
+            let p = problem(&g, NetworkCondition::WiFi);
+            let a = dads(&p);
+            let best = exhaustive_optimal(&p, &[Tier::Edge, Tier::Cloud], false);
+            let (got, want) = (a.total_latency(&p), best.total_latency(&p));
+            assert!(
+                (got - want).abs() <= 1e-9 + want * 1e-9,
+                "seed {seed}: DADS {got} vs optimum {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_on_chain_models() {
+        let g = zoo::chain_cnn(6, 8, 16);
+        for net in NetworkCondition::TABLE3 {
+            let p = problem(&g, net);
+            let a = dads(&p);
+            let best = exhaustive_optimal(&p, &[Tier::Edge, Tier::Cloud], false);
+            assert!(
+                (a.total_latency(&p) - best.total_latency(&p)).abs() < 1e-9,
+                "{net}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_all_zoo_models() {
+        for g in zoo::all_models(224) {
+            let p = problem(&g, NetworkCondition::WiFi);
+            let a = dads(&p);
+            assert_eq!(a.len(), g.len());
+        }
+    }
+
+    #[test]
+    fn low_backbone_bandwidth_keeps_more_at_the_edge() {
+        let g = zoo::vgg16(224);
+        let fast = problem(&g, NetworkCondition::custom_backbone(200.0));
+        let slow = problem(&g, NetworkCondition::custom_backbone(5.0));
+        let edge_count = |p: &Problem<'_>| {
+            dads(p)
+                .tiers()
+                .iter()
+                .filter(|t| **t == Tier::Edge)
+                .count()
+        };
+        assert!(edge_count(&slow) >= edge_count(&fast));
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamic local re-partitioning (§III-E, last paragraph).
+//!
+//! Resource and network drift change vertex and link weights at run time.
+//! Instead of re-running HPA over the whole DAG, the paper adjusts
+//! *locally*: when a vertex's optimal tier changes, HPA recomputes only
+//! that vertex, its SIS vertices, its direct successors, and the SIS
+//! vertices of those successors. Thresholds (hysteresis) keep jitter from
+//! triggering constant re-partitioning.
+
+use crate::hpa::{local_cost, potential_tiers, sis_update, HpaOptions};
+use crate::{Assignment, Problem};
+use d3_model::NodeId;
+use d3_simnet::Tier;
+use std::collections::BTreeSet;
+
+/// Hysteresis monitor: re-partition only when a monitored quantity leaves
+/// the `[lo, hi]` band around its value at the last partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftMonitor {
+    /// Lower relative threshold (e.g. `0.7`).
+    pub lo: f64,
+    /// Upper relative threshold (e.g. `1.4`).
+    pub hi: f64,
+}
+
+impl Default for DriftMonitor {
+    fn default() -> Self {
+        Self { lo: 0.7, hi: 1.4 }
+    }
+}
+
+impl DriftMonitor {
+    /// Whether the drift from `reference` to `current` escapes the band.
+    pub fn should_repartition(&self, reference: f64, current: f64) -> bool {
+        if reference <= 0.0 {
+            return current > 0.0;
+        }
+        let ratio = current / reference;
+        ratio < self.lo || ratio > self.hi
+    }
+}
+
+/// Result of a local update.
+#[derive(Debug, Clone)]
+pub struct LocalUpdate {
+    /// The adjusted assignment.
+    pub assignment: Assignment,
+    /// Vertices whose optimal tier was recomputed.
+    pub recomputed: Vec<NodeId>,
+    /// Vertices whose tier actually changed.
+    pub changed: Vec<NodeId>,
+}
+
+/// Locally adjusts `assignment` after the weights of `trigger` changed in
+/// `problem` (which already reflects the new weights).
+///
+/// The affected set follows the paper: the trigger itself, its SIS
+/// vertices, its direct successors, and the SIS vertices of the direct
+/// successors. Each affected vertex is re-assigned with the same
+/// optimal-tier machinery HPA uses, constrained so the overall assignment
+/// stays monotone (a vertex may not move past the earliest tier among its
+/// *unaffected* successors).
+pub fn repartition_local(
+    problem: &Problem<'_>,
+    assignment: &Assignment,
+    trigger: NodeId,
+    opts: &HpaOptions,
+) -> LocalUpdate {
+    let g = problem.graph();
+    let layers = g.graph_layers();
+    let delta = g.longest_distances();
+    let layer_of = |v: NodeId| -> &[NodeId] { &layers[delta[v.index()]] };
+
+    // Affected set (paper's enumeration), in topological order.
+    let mut affected: BTreeSet<NodeId> = BTreeSet::new();
+    affected.insert(trigger);
+    for s in sis_of(g, trigger, layer_of(trigger)) {
+        affected.insert(s);
+    }
+    for &succ in &g.node(trigger).succs {
+        affected.insert(succ);
+        for s in sis_of(g, succ, layer_of(succ)) {
+            affected.insert(s);
+        }
+    }
+    affected.remove(&g.input());
+
+    let mut tiers: Vec<Tier> = assignment.tiers().to_vec();
+    let mut recomputed = Vec::new();
+    let mut changed = Vec::new();
+    for &vi in &affected {
+        let mut cands = potential_tiers(problem, vi, &tiers, &opts.allowed);
+        // Monotonicity fence: a vertex may not move past the earliest tier
+        // among its successors' *current* tiers (affected successors are
+        // recomputed later, in topological order, under their own fences).
+        if let Some(fence) = g
+            .node(vi)
+            .succs
+            .iter()
+            .map(|s| tiers[s.index()])
+            .min()
+        {
+            cands.retain(|t| t.precedes_eq(fence));
+            if cands.is_empty() {
+                // Base assignment was monotone, so the current tier always
+                // satisfies both bounds; keep it.
+                cands = vec![tiers[vi.index()]];
+            }
+        }
+        // Coordinate-descent objective: the exact Θ contribution of vi —
+        // its processing time plus incoming *and* outgoing transfers with
+        // every neighbour at its current tier. Minimizing this per vertex
+        // can only decrease Θ, so a local update never regresses.
+        let coordinate_cost = |li: Tier, tiers: &[Tier]| -> f64 {
+            let mut c = local_cost(problem, vi, li, tiers);
+            for &s in &g.node(vi).succs {
+                c += problem.link_time(vi, li, tiers[s.index()]);
+            }
+            c
+        };
+        let best = cands
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                coordinate_cost(a, &tiers)
+                    .partial_cmp(&coordinate_cost(b, &tiers))
+                    .expect("finite costs")
+            })
+            .expect("non-empty candidates");
+        recomputed.push(vi);
+        if tiers[vi.index()] != best {
+            changed.push(vi);
+            tiers[vi.index()] = best;
+        }
+    }
+    // Re-apply the SIS rule on every touched layer; Proposition 2's
+    // premise (successors not yet placed) does not hold during local
+    // repair, so keep the SIS result only when it actually helps.
+    if opts.use_sis {
+        let mut with_sis = tiers.clone();
+        let touched: BTreeSet<usize> = affected.iter().map(|v| delta[v.index()]).collect();
+        for q in touched {
+            sis_update(problem, &layers[q], &mut with_sis);
+        }
+        let a = Assignment::new(tiers.clone());
+        let b = Assignment::new(with_sis.clone());
+        if b.total_latency(problem) < a.total_latency(problem) {
+            tiers = with_sis;
+        }
+    }
+    LocalUpdate {
+        assignment: Assignment::new(tiers),
+        recomputed,
+        changed,
+    }
+}
+
+/// SIS vertices of `vi` within its graph layer: vertices whose predecessor
+/// set is a strict subset of `vi`'s.
+fn sis_of(g: &d3_model::DnnGraph, vi: NodeId, layer: &[NodeId]) -> Vec<NodeId> {
+    let pi = &g.node(vi).preds;
+    layer
+        .iter()
+        .copied()
+        .filter(|&vj| {
+            if vj == vi {
+                return false;
+            }
+            let pj = &g.node(vj).preds;
+            pj.len() < pi.len() && pj.iter().all(|p| pi.contains(p))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpa::hpa;
+    use d3_model::zoo;
+    use d3_simnet::{NetworkCondition, TierProfiles};
+
+    fn problem(g: &d3_model::DnnGraph) -> Problem<'_> {
+        Problem::new(g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi)
+    }
+
+    #[test]
+    fn drift_monitor_band() {
+        let m = DriftMonitor::default();
+        assert!(!m.should_repartition(1.0, 1.0));
+        assert!(!m.should_repartition(1.0, 1.3));
+        assert!(m.should_repartition(1.0, 1.5));
+        assert!(m.should_repartition(1.0, 0.5));
+        assert!(m.should_repartition(0.0, 0.1));
+    }
+
+    #[test]
+    fn local_update_preserves_monotonicity() {
+        let g = zoo::resnet18(224);
+        let mut p = problem(&g);
+        let opts = HpaOptions::paper();
+        let base = hpa(&p, &opts);
+        // Make a mid-network vertex 10× slower on its current tier.
+        let victim = NodeId(g.len() / 2);
+        p.scale_vertex(victim, base.tier(victim), 10.0);
+        let upd = repartition_local(&p, &base, victim, &opts);
+        assert!(upd.assignment.is_monotone(&p));
+        assert!(upd.recomputed.contains(&victim));
+    }
+
+    #[test]
+    fn local_update_touches_bounded_set() {
+        let g = zoo::darknet53(224);
+        let p = problem(&g);
+        let opts = HpaOptions::paper();
+        let base = hpa(&p, &opts);
+        let victim = NodeId(20);
+        let upd = repartition_local(&p, &base, victim, &opts);
+        // Affected set is local: far smaller than the whole graph.
+        assert!(
+            upd.recomputed.len() < g.len() / 4,
+            "recomputed {} of {} vertices",
+            upd.recomputed.len(),
+            g.len()
+        );
+    }
+
+    #[test]
+    fn local_update_improves_after_drift() {
+        let g = zoo::vgg16(224);
+        let mut p = problem(&g);
+        let opts = HpaOptions::paper();
+        let base = hpa(&p, &opts);
+        // Make some mid-pipeline vertex catastrophically slow on its
+        // current tier; the local update must not regress and should
+        // usually improve.
+        let victim = g
+            .layer_ids()
+            .find(|&id| !g.node(id).succs.is_empty() && base.tier(id) != Tier::Cloud)
+            .unwrap_or_else(|| g.layer_ids().next().unwrap());
+        p.scale_vertex(victim, base.tier(victim), 50.0);
+        let stale = base.total_latency(&p);
+        let upd = repartition_local(&p, &base, victim, &opts);
+        let fresh = upd.assignment.total_latency(&p);
+        assert!(fresh <= stale + 1e-12, "fresh {fresh} vs stale {stale}");
+        assert!(upd.recomputed.contains(&victim));
+    }
+
+    #[test]
+    fn noop_when_nothing_changed() {
+        let g = zoo::alexnet(224);
+        let p = problem(&g);
+        let opts = HpaOptions::paper();
+        let base = hpa(&p, &opts);
+        let upd = repartition_local(&p, &base, NodeId(3), &opts);
+        assert_eq!(
+            upd.assignment.total_latency(&p),
+            base.total_latency(&p),
+            "no drift -> no regression"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-inference energy accounting.
+//!
+//! The paper motivates offloading with both latency *and* energy ("DNN
+//! inference requires abundant computation resources and consumes
+//! considerable energy", §I), and its Neurosurgeon baseline originally
+//! optimizes either objective. This module prices an [`Assignment`]:
+//! compute joules per tier (busy power × compute seconds) plus the
+//! *device radio* joules spent uploading across tier boundaries — the
+//! battery cost that matters on the mobile side.
+
+use crate::{Assignment, Problem};
+use d3_model::NodeId;
+use d3_simnet::{Tier, TierProfiles};
+
+/// Energy breakdown of one inference under an assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Compute joules per tier (`[device, edge, cloud]`).
+    pub compute_j: [f64; 3],
+    /// Device radio joules (uploads leaving the device tier).
+    pub device_radio_j: f64,
+}
+
+impl EnergyReport {
+    /// Total joules across the whole system.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j.iter().sum::<f64>() + self.device_radio_j
+    }
+
+    /// Joules drawn from the *device's* battery: its compute plus its
+    /// radio — the quantity a mobile deployment minimizes.
+    pub fn device_j(&self) -> f64 {
+        self.compute_j[Tier::Device.rank()] + self.device_radio_j
+    }
+}
+
+/// Prices one inference of `assignment`. Compute time comes from the
+/// ground-truth hardware model in `profiles` (not the problem's possibly
+/// estimated weights), radio time from the problem's network condition.
+pub fn energy(
+    problem: &Problem<'_>,
+    assignment: &Assignment,
+    profiles: &TierProfiles,
+) -> EnergyReport {
+    let g = problem.graph();
+    let mut compute_j = [0.0f64; 3];
+    for id in g.ids() {
+        let tier = assignment.tier(id);
+        compute_j[tier.rank()] += profiles.node(tier).layer_energy(g, id);
+    }
+    // Device radio: every tensor leaving the device tier, once per
+    // destination tier (matching the engine's transfer dedup).
+    let radio_w = problem.net().device_radio_power_w();
+    let mut radio_s = 0.0;
+    for node in g.nodes() {
+        if assignment.tier(node.id) != Tier::Device {
+            continue;
+        }
+        let mut dests: Vec<Tier> = node
+            .succs
+            .iter()
+            .map(|s| assignment.tier(*s))
+            .filter(|t| *t != Tier::Device)
+            .collect();
+        dests.sort();
+        dests.dedup();
+        for dest in dests {
+            radio_s += problem.link_time(node.id, Tier::Device, dest);
+        }
+    }
+    EnergyReport {
+        compute_j,
+        device_radio_j: radio_w * radio_s,
+    }
+}
+
+/// Energy-aware Neurosurgeon: the baseline's *energy* objective — the
+/// chain split minimizing joules drawn from the device's battery
+/// (device compute + radio upload; cloud energy is the provider's
+/// problem).
+///
+/// # Errors
+///
+/// Returns [`crate::NeurosurgeonError::NotAChain`] for DAG topologies.
+pub fn neurosurgeon_energy(
+    problem: &Problem<'_>,
+    profiles: &TierProfiles,
+) -> Result<Assignment, crate::NeurosurgeonError> {
+    let g = problem.graph();
+    if !g.is_chain() {
+        return Err(crate::NeurosurgeonError::NotAChain);
+    }
+    let n = g.len();
+    let radio_w = problem.net().device_radio_power_w();
+    let mut best: Option<(f64, usize)> = None;
+    for k in 0..n {
+        let mut joules = 0.0;
+        for i in 0..=k {
+            joules += profiles.device.layer_energy(g, NodeId(i));
+        }
+        if k + 1 < n {
+            joules += radio_w * problem.link_time(NodeId(k), Tier::Device, Tier::Cloud);
+        }
+        if best.is_none_or(|(b, _)| joules < b) {
+            best = Some((joules, k));
+        }
+    }
+    let (_, k) = best.expect("non-empty chain");
+    let tiers = (0..n)
+        .map(|i| if i <= k { Tier::Device } else { Tier::Cloud })
+        .collect();
+    Ok(Assignment::new(tiers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpa::{hpa, HpaOptions};
+    use crate::neurosurgeon;
+    use d3_model::zoo;
+    use d3_simnet::NetworkCondition;
+
+    fn setup(
+        g: &d3_model::DnnGraph,
+        net: NetworkCondition,
+    ) -> (Problem<'_>, TierProfiles) {
+        let profiles = TierProfiles::paper_testbed();
+        (Problem::new(g, &profiles, net), profiles)
+    }
+
+    #[test]
+    fn device_only_spends_no_radio_energy() {
+        let g = zoo::alexnet(224);
+        let (p, profiles) = setup(&g, NetworkCondition::WiFi);
+        let a = Assignment::uniform(g.len(), Tier::Device);
+        let e = energy(&p, &a, &profiles);
+        assert_eq!(e.device_radio_j, 0.0);
+        assert!(e.compute_j[0] > 0.0);
+        assert_eq!(e.compute_j[1] + e.compute_j[2], 0.0);
+        assert!((e.total_j() - e.device_j()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cloud_only_battery_cost_is_pure_radio() {
+        let g = zoo::alexnet(224);
+        let (p, profiles) = setup(&g, NetworkCondition::FourG);
+        let a = Assignment::uniform(g.len(), Tier::Cloud);
+        let e = energy(&p, &a, &profiles);
+        assert_eq!(e.compute_j[0], 0.0);
+        // Raw input over 4G at 2.5 W: 4.82 Mb / 6.12 Mbps × 2.5 W ≈ 2 J.
+        let expect = 2.5 * p.input_transfer(Tier::Device, Tier::Cloud);
+        assert!((e.device_radio_j - expect).abs() < 1e-9);
+        // Energy insight the model surfaces: on a slow, hot 4G uplink,
+        // shipping the raw image costs *more* battery than running small
+        // AlexNet locally on the efficient Jetson — offloading only pays
+        // over Wi-Fi.
+        let local = energy(
+            &p,
+            &Assignment::uniform(g.len(), Tier::Device),
+            &profiles,
+        );
+        assert!(e.device_j() > local.device_j(), "4G upload should cost more");
+        let (p_wifi, _) = setup(&g, NetworkCondition::WiFi);
+        let wifi = energy(&p_wifi, &a, &profiles);
+        assert!(
+            wifi.device_j() < local.device_j(),
+            "Wi-Fi offloading should save battery"
+        );
+    }
+
+    #[test]
+    fn offloading_saves_device_battery_for_big_models() {
+        // VGG-16 on the device costs far more battery than shipping the
+        // input — the paper's motivation quantified.
+        let g = zoo::vgg16(224);
+        let (p, profiles) = setup(&g, NetworkCondition::WiFi);
+        let local = energy(&p, &Assignment::uniform(g.len(), Tier::Device), &profiles);
+        let hpa_plan = hpa(&p, &HpaOptions::paper());
+        let offloaded = energy(&p, &hpa_plan, &profiles);
+        assert!(
+            offloaded.device_j() < local.device_j() / 2.0,
+            "offloaded {} J vs local {} J",
+            offloaded.device_j(),
+            local.device_j()
+        );
+    }
+
+    #[test]
+    fn energy_neurosurgeon_offloads_at_least_as_much_as_latency_variant() {
+        // The device's radio is cheap relative to its compute power draw,
+        // so the energy objective favors offloading earlier (or equally).
+        let g = zoo::alexnet(224);
+        let (p, profiles) = setup(&g, NetworkCondition::WiFi);
+        let lat = neurosurgeon(&p).unwrap();
+        let en = neurosurgeon_energy(&p, &profiles).unwrap();
+        let device_count = |a: &Assignment| {
+            a.tiers().iter().filter(|t| **t == Tier::Device).count()
+        };
+        assert!(device_count(&en) <= device_count(&lat));
+        // And it must actually minimize device joules among chain cuts.
+        let best = energy(&p, &en, &profiles).device_j();
+        for k in 0..g.len() {
+            let tiers: Vec<Tier> = (0..g.len())
+                .map(|i| if i <= k { Tier::Device } else { Tier::Cloud })
+                .collect();
+            let alt = energy(&p, &Assignment::new(tiers), &profiles).device_j();
+            assert!(best <= alt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn radio_power_scales_with_network_generation() {
+        let g = zoo::alexnet(224);
+        let a = Assignment::uniform(g.len(), Tier::Cloud);
+        let (p_wifi, profiles) = setup(&g, NetworkCondition::WiFi);
+        let (p_5g, _) = setup(&g, NetworkCondition::FiveG);
+        let wifi = energy(&p_wifi, &a, &profiles).device_radio_j;
+        let fiveg = energy(&p_5g, &a, &profiles).device_radio_j;
+        // 5G: slower uplink (11.64 vs 18.75 Mbps) AND hotter radio.
+        assert!(fiveg > wifi);
+    }
+}

@@ -1,0 +1,132 @@
+//! Exhaustive enumeration oracle.
+//!
+//! DAG partitioning with multiple vertex and link weights is NP-hard
+//! (§III-E cites Garey & Johnson and the acyclic-partitioning literature),
+//! which is why HPA is a heuristic. On *small* graphs, however, the
+//! optimum is computable by brute force; the test-suite uses it to bound
+//! HPA's optimality gap and to verify DADS's min-cut reduction.
+
+use crate::{Assignment, Problem};
+use d3_simnet::Tier;
+
+/// Hard cap on enumerable vertices: `3^16 ≈ 43M` assignments is the most
+/// the tests should ever chew through.
+pub const MAX_EXHAUSTIVE_VERTICES: usize = 16;
+
+/// Finds the minimum-Θ assignment by enumerating every tier assignment of
+/// the real layers over `allowed` tiers. With `monotone_only`, only
+/// assignments obeying Proposition 1 (pipeline-forward data flow) are
+/// considered — the space HPA searches.
+///
+/// # Panics
+///
+/// Panics when the graph has more than [`MAX_EXHAUSTIVE_VERTICES`] real
+/// layers or `allowed` is empty.
+pub fn exhaustive_optimal(
+    problem: &Problem<'_>,
+    allowed: &[Tier],
+    monotone_only: bool,
+) -> Assignment {
+    let g = problem.graph();
+    let n = g.len() - 1; // real layers
+    assert!(!allowed.is_empty(), "allowed tier set is empty");
+    assert!(
+        n <= MAX_EXHAUSTIVE_VERTICES,
+        "graph too large for exhaustive search ({n} layers)"
+    );
+    let k = allowed.len();
+    let combos = (k as u64).pow(n as u32);
+    let mut best: Option<(f64, Assignment)> = None;
+    let mut tiers = vec![Tier::Device; g.len()];
+    for code in 0..combos {
+        let mut c = code;
+        for i in 0..n {
+            tiers[i + 1] = allowed[(c % k as u64) as usize];
+            c /= k as u64;
+        }
+        let asg = Assignment::new(tiers.clone());
+        if monotone_only && !asg.is_monotone(problem) {
+            continue;
+        }
+        let theta = asg.total_latency(problem);
+        if best.as_ref().is_none_or(|(b, _)| theta < *b) {
+            best = Some((theta, asg));
+        }
+    }
+    best.expect("at least one assignment").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpa::{hpa, HpaOptions};
+    use d3_model::zoo;
+    use d3_simnet::{NetworkCondition, TierProfiles};
+
+    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+        Problem::new(g, &TierProfiles::paper_testbed(), net)
+    }
+
+    #[test]
+    fn finds_obvious_optimum() {
+        // All compute free -> optimum avoids all transfers (device-only).
+        let g = zoo::chain_cnn(4, 8, 8);
+        let zeros = vec![[0.0; 3]; g.len()];
+        let p = Problem::from_weights(&g, zeros, NetworkCondition::WiFi);
+        let a = exhaustive_optimal(&p, &Tier::ALL, false);
+        for id in g.layer_ids() {
+            assert_eq!(a.tier(id), Tier::Device);
+        }
+    }
+
+    #[test]
+    fn monotone_restriction_never_beats_unrestricted() {
+        for seed in 0..8 {
+            let g = zoo::random_dag(seed, 3, 2, 8);
+            if g.len() - 1 > 10 {
+                continue;
+            }
+            let p = problem(&g, NetworkCondition::WiFi);
+            let free = exhaustive_optimal(&p, &Tier::ALL, false).total_latency(&p);
+            let mono = exhaustive_optimal(&p, &Tier::ALL, true).total_latency(&p);
+            assert!(mono + 1e-12 >= free);
+        }
+    }
+
+    #[test]
+    fn hpa_is_near_optimal_on_small_graphs() {
+        // HPA is a heuristic; quantify its gap against the true monotone
+        // optimum on a batch of random DAGs and small chains.
+        let mut worst: f64 = 1.0;
+        for seed in 0..12 {
+            let g = zoo::random_dag(seed, 3, 2, 12);
+            if g.len() - 1 > 12 {
+                continue;
+            }
+            for net in [NetworkCondition::WiFi, NetworkCondition::FourG] {
+                let p = problem(&g, net);
+                let h = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+                let opt = exhaustive_optimal(&p, &Tier::ALL, true).total_latency(&p);
+                worst = worst.max(h / opt);
+            }
+        }
+        assert!(worst < 1.6, "HPA worst-case gap {worst:.3}× exceeds bound");
+    }
+
+    #[test]
+    fn hpa_matches_optimum_on_tiny_chain() {
+        let g = zoo::chain_cnn(5, 4, 8);
+        let p = problem(&g, NetworkCondition::WiFi);
+        let h = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+        let opt = exhaustive_optimal(&p, &Tier::ALL, true).total_latency(&p);
+        assert!(h <= opt * 1.25, "HPA {h} vs optimum {opt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn refuses_big_graphs() {
+        let g = zoo::vgg16(224);
+        let p = problem(&g, NetworkCondition::WiFi);
+        exhaustive_optimal(&p, &Tier::ALL, false);
+    }
+}

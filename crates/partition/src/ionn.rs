@@ -1,0 +1,173 @@
+//! IONN baseline (Jeong et al., SoCC 2018): *Incremental Offloading of
+//! Neural Network* computations.
+//!
+//! IONN targets the cold-start problem the other partitioners ignore: the
+//! server does not have the model yet, so every layer placed remotely
+//! must first have its **parameters uploaded**. IONN models the chain DNN
+//! as an auxiliary DAG and finds the optimal offloading with a
+//! shortest-path computation; the split converges to Neurosurgeon's as
+//! the number of queries amortizing the upload grows.
+//!
+//! We implement the steady-state variant over the paper's device/cloud
+//! tiers: a dynamic program over (layer, location) states where moving a
+//! suffix to the cloud pays its one-time parameter upload divided by the
+//! expected query count. (The original's incremental multi-partition
+//! upload schedule collapses to this once all partitions are uploaded;
+//! reproducing the schedule itself is out of scope for the latency
+//! comparison the D3 paper makes.)
+
+use crate::{Assignment, Problem};
+use d3_model::NodeId;
+use d3_simnet::Tier;
+
+/// Errors from the IONN baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IonnError {
+    /// IONN's auxiliary-DAG construction covers chain DNNs only.
+    NotAChain,
+}
+
+impl std::fmt::Display for IonnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IonnError::NotAChain => write!(f, "IONN only supports chain-topology DNNs"),
+        }
+    }
+}
+
+impl std::error::Error for IonnError {}
+
+/// Runs IONN: optimal device/cloud split of a chain DNN accounting for
+/// one-time parameter upload amortized over `expected_queries` inferences.
+///
+/// With `expected_queries == u64::MAX` the upload cost vanishes and the
+/// result matches Neurosurgeon's split exactly (tested).
+///
+/// # Errors
+///
+/// Returns [`IonnError::NotAChain`] for DAG topologies.
+pub fn ionn(problem: &Problem<'_>, expected_queries: u64) -> Result<Assignment, IonnError> {
+    let g = problem.graph();
+    if !g.is_chain() {
+        return Err(IonnError::NotAChain);
+    }
+    let n = g.len();
+    let queries = expected_queries.max(1) as f64;
+    // Like Neurosurgeon, IONN's steady state on a chain is a single cut
+    // (device prefix, cloud suffix) — but the objective adds the suffix's
+    // parameter-upload time over the device→cloud link, amortized.
+    let mut best: Option<(f64, usize)> = None;
+    for k in 0..n {
+        let mut total = 0.0;
+        let mut upload_bytes = 0u64;
+        for i in 0..n {
+            let id = NodeId(i);
+            if i <= k {
+                total += problem.vertex_time(id, Tier::Device);
+            } else {
+                total += problem.vertex_time(id, Tier::Cloud);
+                upload_bytes += 4 * g.node(id).kind.param_count() as u64;
+            }
+        }
+        if k + 1 < n {
+            total += problem.link_time(NodeId(k), Tier::Device, Tier::Cloud);
+        }
+        // Parameter upload: once, over the device→cloud path, amortized.
+        let upload_s = problem
+            .net()
+            .transfer_s(upload_bytes, Tier::Device, Tier::Cloud);
+        total += upload_s / queries;
+        if best.is_none_or(|(b, _)| total < b) {
+            best = Some((total, k));
+        }
+    }
+    let (_, k) = best.expect("non-empty chain");
+    let tiers = (0..n)
+        .map(|i| if i <= k { Tier::Device } else { Tier::Cloud })
+        .collect();
+    Ok(Assignment::new(tiers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neurosurgeon::neurosurgeon;
+    use d3_model::zoo;
+    use d3_simnet::{NetworkCondition, TierProfiles};
+
+    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+        Problem::new(g, &TierProfiles::paper_testbed(), net)
+    }
+
+    #[test]
+    fn rejects_dags() {
+        let g = zoo::resnet18(224);
+        let p = problem(&g, NetworkCondition::WiFi);
+        assert_eq!(ionn(&p, 100), Err(IonnError::NotAChain));
+    }
+
+    #[test]
+    fn converges_to_neurosurgeon_with_many_queries() {
+        for g in [zoo::alexnet(224), zoo::vgg16(224)] {
+            for net in NetworkCondition::TABLE3 {
+                let p = problem(&g, net);
+                let a = ionn(&p, u64::MAX).unwrap();
+                let ns = neurosurgeon(&p).unwrap();
+                assert_eq!(
+                    a.total_latency(&p),
+                    ns.total_latency(&p),
+                    "{} {net}",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn few_queries_keep_more_on_the_device() {
+        // VGG-16's classifier tail alone is >500 MB of parameters: with
+        // one query the upload dominates and IONN offloads less (or
+        // nothing); with millions of queries it offloads freely.
+        let g = zoo::vgg16(224);
+        let p = problem(&g, NetworkCondition::FourG);
+        let device_layers = |q: u64| {
+            ionn(&p, q)
+                .unwrap()
+                .tiers()
+                .iter()
+                .filter(|t| **t == Tier::Device)
+                .count()
+        };
+        assert!(device_layers(1) >= device_layers(1_000_000));
+    }
+
+    #[test]
+    fn single_query_on_slow_uplink_stays_local() {
+        let g = zoo::alexnet(224);
+        // 61M parameters ≈ 244 MB over a 6.12 Mbps uplink ≈ 5 minutes:
+        // no split can amortize that in one query.
+        let p = problem(&g, NetworkCondition::FourG);
+        let a = ionn(&p, 1).unwrap();
+        for id in g.layer_ids() {
+            assert_eq!(a.tier(id), Tier::Device, "{id} offloaded despite upload");
+        }
+    }
+
+    #[test]
+    fn upload_amortization_is_monotone() {
+        // More queries can only move the split cloud-ward.
+        let g = zoo::alexnet(224);
+        let p = problem(&g, NetworkCondition::WiFi);
+        let mut last_cloud = 0;
+        for q in [1u64, 10, 100, 10_000, 1_000_000] {
+            let cloud = ionn(&p, q)
+                .unwrap()
+                .tiers()
+                .iter()
+                .filter(|t| **t == Tier::Cloud)
+                .count();
+            assert!(cloud >= last_cloud, "q={q}: {cloud} < {last_cloud}");
+            last_cloud = cloud;
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # d3-partition
+//!
+//! DNN partitioning algorithms for the D3 reproduction (ICDCS 2021):
+//!
+//! - [`Problem`] / [`Assignment`]: the weighted-DAG partition instance and
+//!   the total-latency objective Θ of §III-C,
+//! - [`mod@hpa`]: the paper's Horizontal Partition Algorithm (Algorithm 1) —
+//!   three-way device/edge/cloud splits with Proposition 1 pruning, the
+//!   Table I pairwise look-ahead and Proposition 2 SIS updates,
+//! - [`dynamic`]: threshold-gated *local* re-partitioning under resource
+//!   and network drift,
+//! - baselines: [`mod@neurosurgeon`] (chain split, ASPLOS'17), [`mod@dads`]
+//!   (min-cut DAG split, INFOCOM'19 — on a from-scratch Dinic max-flow),
+//!   and an [`exhaustive`] oracle for optimality-gap tests,
+//! - [`placement`]: the Table I pairwise placement latencies.
+//!
+//! ## Example
+//!
+//! ```
+//! use d3_partition::{hpa, HpaOptions, Problem};
+//! use d3_simnet::{NetworkCondition, TierProfiles};
+//! use d3_model::zoo;
+//!
+//! let g = zoo::vgg16(224);
+//! let profiles = TierProfiles::paper_testbed();
+//! let problem = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+//! let plan = hpa(&problem, &HpaOptions::paper());
+//! assert!(plan.is_monotone(&problem));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+pub mod dads;
+pub mod dynamic;
+pub mod energy;
+pub mod exhaustive;
+pub mod hpa;
+pub mod ionn;
+pub mod maxflow;
+pub mod neurosurgeon;
+pub mod placement;
+mod problem;
+
+pub use assignment::Assignment;
+pub use dads::{dads, two_tier_mincut};
+pub use dynamic::{repartition_local, DriftMonitor, LocalUpdate};
+pub use energy::{energy, neurosurgeon_energy, EnergyReport};
+pub use exhaustive::exhaustive_optimal;
+pub use ionn::{ionn, IonnError};
+pub use hpa::{hpa, HpaOptions};
+pub use maxflow::FlowNetwork;
+pub use neurosurgeon::{neurosurgeon, NeurosurgeonError};
+pub use placement::{pair_latency, table1, PlacementRow};
+pub use problem::Problem;

@@ -1,0 +1,241 @@
+//! Dinic's maximum-flow / minimum-cut algorithm on `f64` capacities.
+//!
+//! This is the algorithmic substrate of the DADS baseline, which reduces
+//! optimal 2-way DNN partitioning to a minimum s-t cut. Implemented from
+//! scratch: level-graph BFS plus blocking-flow DFS with the current-arc
+//! optimization — O(V²E), far more than enough for DNN-sized graphs
+//! (hundreds of vertices).
+
+/// A flow network with floating-point capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// Arc target vertex.
+    to: Vec<usize>,
+    /// Residual capacity per arc (arcs are stored in pairs: `2k` forward,
+    /// `2k+1` backward).
+    cap: Vec<f64>,
+    /// Adjacency: arc indices per vertex.
+    adj: Vec<Vec<usize>>,
+}
+
+const EPS: f64 = 1e-12;
+
+impl FlowNetwork {
+    /// Creates an empty network with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            to: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the network has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds a directed arc `u → v` with capacity `cap` (and its residual
+    /// reverse arc). Zero-capacity arcs are accepted and simply inert.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range vertices or negative capacity.
+    pub fn add_arc(&mut self, u: usize, v: usize, cap: f64) {
+        assert!(u < self.len() && v < self.len(), "arc endpoint out of range");
+        assert!(cap >= 0.0, "negative capacity {cap}");
+        let idx = self.to.len();
+        self.to.push(v);
+        self.cap.push(cap);
+        self.adj[u].push(idx);
+        self.to.push(u);
+        self.cap.push(0.0);
+        self.adj[v].push(idx + 1);
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1i32; self.len()];
+        level[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &a in &self.adj[u] {
+                let v = self.to[a];
+                if level[v] < 0 && self.cap[a] > EPS {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        (level[t] >= 0).then_some(level)
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: f64,
+        level: &[i32],
+        it: &mut [usize],
+    ) -> f64 {
+        if u == t {
+            return pushed;
+        }
+        while it[u] < self.adj[u].len() {
+            let a = self.adj[u][it[u]];
+            let v = self.to[a];
+            if level[v] == level[u] + 1 && self.cap[a] > EPS {
+                let d = self.dfs_push(v, t, pushed.min(self.cap[a]), level, it);
+                if d > EPS {
+                    self.cap[a] -= d;
+                    self.cap[a ^ 1] += d;
+                    return d;
+                }
+            }
+            it[u] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum flow from `s` to `t`, mutating residual
+    /// capacities in place.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert_ne!(s, t, "source equals sink");
+        let mut flow = 0.0;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut it = vec![0usize; self.len()];
+            loop {
+                let pushed = self.dfs_push(s, t, f64::INFINITY, &level, &mut it);
+                if pushed <= EPS {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+
+    /// After [`FlowNetwork::max_flow`], returns the source side of the
+    /// minimum cut: vertices reachable from `s` in the residual graph.
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        seen[s] = true;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &a in &self.adj[u] {
+                let v = self.to[a];
+                if !seen[v] && self.cap[a] > EPS {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_arc() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 3.5);
+        assert!((net.max_flow(0, 1) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_takes_minimum() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 5.0);
+        net.add_arc(1, 2, 2.0);
+        assert!((net.max_flow(0, 2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1.0);
+        net.add_arc(1, 3, 1.0);
+        net.add_arc(0, 2, 2.0);
+        net.add_arc(2, 3, 2.0);
+        assert!((net.max_flow(0, 3) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_textbook_instance() {
+        // CLRS figure: max flow 23.
+        let mut net = FlowNetwork::new(6);
+        let arcs = [
+            (0, 1, 16.0),
+            (0, 2, 13.0),
+            (1, 2, 10.0),
+            (2, 1, 4.0),
+            (1, 3, 12.0),
+            (3, 2, 9.0),
+            (2, 4, 14.0),
+            (4, 3, 7.0),
+            (3, 5, 20.0),
+            (4, 5, 4.0),
+        ];
+        for (u, v, c) in arcs {
+            net.add_arc(u, v, c);
+        }
+        assert!((net.max_flow(0, 5) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_separates_s_from_t() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 10.0);
+        net.add_arc(1, 2, 1.0); // bottleneck
+        net.add_arc(2, 3, 10.0);
+        net.max_flow(0, 3);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0] && side[1]);
+        assert!(!side[2] && !side[3]);
+    }
+
+    #[test]
+    fn cut_value_equals_flow() {
+        // Randomized-ish small graph; verify max-flow = crossing capacity.
+        let mut net = FlowNetwork::new(5);
+        let arcs = [
+            (0, 1, 3.0),
+            (0, 2, 2.5),
+            (1, 3, 1.5),
+            (2, 3, 2.0),
+            (1, 2, 0.7),
+            (3, 4, 2.9),
+            (2, 4, 0.4),
+        ];
+        for (u, v, c) in arcs {
+            net.add_arc(u, v, c);
+        }
+        let original = net.clone();
+        let flow = net.max_flow(0, 4);
+        let side = net.min_cut_source_side(0);
+        // Sum original capacities of arcs crossing the cut.
+        let mut cut = 0.0;
+        for u in 0..original.len() {
+            for &a in &original.adj[u] {
+                if a % 2 == 0 && side[u] && !side[original.to[a]] {
+                    cut += original.cap[a];
+                }
+            }
+        }
+        assert!((flow - cut).abs() < 1e-9, "flow {flow} vs cut {cut}");
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 0.0);
+        assert_eq!(net.max_flow(0, 1), 0.0);
+    }
+}

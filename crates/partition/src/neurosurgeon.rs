@@ -1,0 +1,133 @@
+//! Neurosurgeon baseline (Kang et al., ASPLOS 2017).
+//!
+//! Neurosurgeon partitions a *chain-topology* DNN between the mobile
+//! device and the cloud at layer granularity: it evaluates every split
+//! point and picks the one minimizing device compute + transfer of the
+//! split layer's output + cloud compute. It cannot handle DAG topologies
+//! (the D3 paper accordingly omits it for ResNet-18, Darknet-53 and
+//! Inception-v4) and never uses the edge tier.
+
+use crate::{Assignment, Problem};
+use d3_simnet::Tier;
+
+/// Errors from the Neurosurgeon baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NeurosurgeonError {
+    /// The DNN is not a chain; Neurosurgeon is undefined for DAGs.
+    NotAChain,
+}
+
+impl std::fmt::Display for NeurosurgeonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NeurosurgeonError::NotAChain => {
+                write!(f, "Neurosurgeon only supports chain-topology DNNs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NeurosurgeonError {}
+
+/// Runs Neurosurgeon: optimal device/cloud split of a chain DNN.
+///
+/// # Errors
+///
+/// Returns [`NeurosurgeonError::NotAChain`] for DAG-topology networks.
+pub fn neurosurgeon(problem: &Problem<'_>) -> Result<Assignment, NeurosurgeonError> {
+    let g = problem.graph();
+    if !g.is_chain() {
+        return Err(NeurosurgeonError::NotAChain);
+    }
+    let n = g.len();
+    // Prefix sums of device/cloud compute over the chain (ids are
+    // topological and the chain is the id order).
+    let mut best: Option<(f64, usize)> = None;
+    // Split k: vertices 0..=k on the device, k+1.. on the cloud.
+    for k in 0..n {
+        let mut total = 0.0;
+        for i in 0..n {
+            let id = d3_model::NodeId(i);
+            total += if i <= k {
+                problem.vertex_time(id, Tier::Device)
+            } else {
+                problem.vertex_time(id, Tier::Cloud)
+            };
+        }
+        if k + 1 < n {
+            total += problem.link_time(d3_model::NodeId(k), Tier::Device, Tier::Cloud);
+        }
+        if best.is_none_or(|(b, _)| total < b) {
+            best = Some((total, k));
+        }
+    }
+    let (_, k) = best.expect("non-empty graph");
+    let tiers = (0..n)
+        .map(|i| if i <= k { Tier::Device } else { Tier::Cloud })
+        .collect();
+    Ok(Assignment::new(tiers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_simnet::{NetworkCondition, TierProfiles};
+
+    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+        Problem::new(g, &TierProfiles::paper_testbed(), net)
+    }
+
+    #[test]
+    fn rejects_dag_topologies() {
+        for g in [zoo::resnet18(224), zoo::darknet53(224), zoo::inception_v4(224)] {
+            let p = problem(&g, NetworkCondition::WiFi);
+            assert_eq!(neurosurgeon(&p), Err(NeurosurgeonError::NotAChain));
+        }
+    }
+
+    #[test]
+    fn handles_chain_models() {
+        for g in [zoo::alexnet(224), zoo::vgg16(224)] {
+            let p = problem(&g, NetworkCondition::WiFi);
+            let a = neurosurgeon(&p).unwrap();
+            assert!(a.is_monotone(&p));
+            // Only device and cloud are ever used.
+            for id in g.layer_ids() {
+                assert_ne!(a.tier(id), Tier::Edge);
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_optimal_among_chain_cuts() {
+        let g = zoo::alexnet(224);
+        let p = problem(&g, NetworkCondition::FourG);
+        let a = neurosurgeon(&p).unwrap();
+        let theta = a.total_latency(&p);
+        let n = g.len();
+        for k in 0..n {
+            let tiers: Vec<Tier> = (0..n)
+                .map(|i| if i <= k { Tier::Device } else { Tier::Cloud })
+                .collect();
+            let alt = Assignment::new(tiers).total_latency(&p);
+            assert!(theta <= alt + 1e-12);
+        }
+    }
+
+    #[test]
+    fn low_bandwidth_favors_device_heavy_splits() {
+        let g = zoo::alexnet(224);
+        let wifi = problem(&g, NetworkCondition::WiFi);
+        let fourg = problem(&g, NetworkCondition::FourG);
+        let dev_count = |p: &Problem<'_>| {
+            neurosurgeon(p)
+                .unwrap()
+                .tiers()
+                .iter()
+                .filter(|t| **t == Tier::Device)
+                .count()
+        };
+        assert!(dev_count(&fourg) >= dev_count(&wifi));
+    }
+}

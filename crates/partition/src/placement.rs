@@ -1,0 +1,125 @@
+//! Table I: total latencies of processing a vertex pair `(vi, vj)` under
+//! every tier placement.
+//!
+//! The table assumes `vi`'s inputs originate at the device tier and `vj`
+//! is `vi`'s largest direct successor. These pairwise totals drive HPA's
+//! look-ahead heuristic for data-inflating layers (`λin ≤ λout`).
+
+use crate::Problem;
+use d3_model::NodeId;
+use d3_simnet::Tier;
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementRow {
+    /// Tier of `vi`.
+    pub li: Tier,
+    /// Tier of `vj`.
+    pub lj: Tier,
+    /// Total latency `t_i^{li} + t_j^{lj} + transfers`.
+    pub total_s: f64,
+}
+
+/// The six placements Table I enumerates, in the paper's row order.
+pub const TABLE1_PLACEMENTS: [(Tier, Tier); 6] = [
+    (Tier::Device, Tier::Device),
+    (Tier::Device, Tier::Edge),
+    (Tier::Edge, Tier::Edge),
+    (Tier::Edge, Tier::Cloud),
+    (Tier::Cloud, Tier::Cloud),
+    (Tier::Device, Tier::Cloud),
+];
+
+/// Total latency of placing `vi` at `li` and `vj` at `lj` when `vi`'s
+/// inputs are at `input_tier`:
+/// `t_i^{li} + λin_i/σ(input,li) + t_j^{lj} + λout_i/σ(li,lj)`.
+///
+/// With `input_tier = Device` this reproduces Table I exactly (e.g. row
+/// "edge, cloud": `t_e_i + t_c_j + λin_i/σ_de + λout_i/σ_ec`).
+pub fn pair_latency(
+    problem: &Problem<'_>,
+    vi: NodeId,
+    vj: NodeId,
+    li: Tier,
+    lj: Tier,
+    input_tier: Tier,
+) -> f64 {
+    let g = problem.graph();
+    let mut total = problem.vertex_time(vi, li) + problem.vertex_time(vj, lj);
+    // λin_i travelling from the input tier to li: sum of predecessor
+    // outputs (for the Table I setting all inputs sit at `input_tier`).
+    for &p in &g.node(vi).preds {
+        total += problem.link_time(p, input_tier, li);
+    }
+    // λout_i travelling from li to lj.
+    total += problem.link_time(vi, li, lj);
+    total
+}
+
+/// Computes all six Table I rows for a vertex pair.
+pub fn table1(problem: &Problem<'_>, vi: NodeId, vj: NodeId) -> Vec<PlacementRow> {
+    TABLE1_PLACEMENTS
+        .iter()
+        .map(|&(li, lj)| PlacementRow {
+            li,
+            lj,
+            total_s: pair_latency(problem, vi, vj, li, lj, Tier::Device),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_simnet::{NetworkCondition, TierProfiles};
+
+    fn fixture() -> (d3_model::DnnGraph, [NodeId; 2]) {
+        let g = zoo::alexnet(224);
+        // conv1 (v1) and its successor maxpool1 (v2).
+        (g, [NodeId(1), NodeId(2)])
+    }
+
+    #[test]
+    fn six_rows_in_paper_order() {
+        let (g, [vi, vj]) = fixture();
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        let rows = table1(&p, vi, vj);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].li, Tier::Device);
+        assert_eq!(rows[3].lj, Tier::Cloud);
+        assert!(rows.iter().all(|r| r.total_s.is_finite() && r.total_s > 0.0));
+    }
+
+    #[test]
+    fn device_device_row_has_no_transfers() {
+        let (g, [vi, vj]) = fixture();
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        let total = pair_latency(&p, vi, vj, Tier::Device, Tier::Device, Tier::Device);
+        let expect = p.vertex_time(vi, Tier::Device) + p.vertex_time(vj, Tier::Device);
+        assert!((total - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn edge_cloud_row_matches_formula() {
+        // Table I: t_e_i + t_c_j + λin_i/σde + λout_i/σec.
+        let (g, [vi, vj]) = fixture();
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        let total = pair_latency(&p, vi, vj, Tier::Edge, Tier::Cloud, Tier::Device);
+        let expect = p.vertex_time(vi, Tier::Edge)
+            + p.vertex_time(vj, Tier::Cloud)
+            + p.input_transfer(Tier::Device, Tier::Edge) // pred of conv1 is v0
+            + p.link_time(vi, Tier::Edge, Tier::Cloud);
+        assert!((total - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn colocated_pair_avoids_intermediate_transfer() {
+        let (g, [vi, vj]) = fixture();
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::FourG);
+        let same = pair_latency(&p, vi, vj, Tier::Edge, Tier::Edge, Tier::Device);
+        let split = pair_latency(&p, vi, vj, Tier::Edge, Tier::Cloud, Tier::Device);
+        // conv1's output is large; splitting the pair must pay for it.
+        assert!(split - same > 0.0 || p.vertex_time(vj, Tier::Cloud) < p.vertex_time(vj, Tier::Edge));
+    }
+}

@@ -1,0 +1,152 @@
+//! The partition problem instance: a DAG with vertex weights
+//! `T_vi = {t_d, t_e, t_c}` and link weights
+//! `T_(vi,vj) = {t^[d,e], t^[e,c], t^[d,c], 0}` (§III-C of the paper).
+
+use d3_model::{DnnGraph, NodeId};
+use d3_profiler::LatencyProvider;
+use d3_simnet::{NetworkCondition, Tier};
+
+/// A concrete instance of the DAG-partition problem.
+///
+/// Vertex weights are materialized once from a [`LatencyProvider`]
+/// (either the ground-truth hardware model or the regression estimator);
+/// link weights are derived on demand from output sizes and the network
+/// condition, matching the paper's `bytes / bandwidth` link weight.
+#[derive(Debug, Clone)]
+pub struct Problem<'g> {
+    graph: &'g DnnGraph,
+    /// `vertex[id][tier.rank()]` = processing seconds.
+    vertex: Vec<[f64; 3]>,
+    net: NetworkCondition,
+}
+
+impl<'g> Problem<'g> {
+    /// Builds a problem by querying `provider` for every (vertex, tier).
+    pub fn new(graph: &'g DnnGraph, provider: &dyn LatencyProvider, net: NetworkCondition) -> Self {
+        let vertex = graph
+            .ids()
+            .map(|id| {
+                [
+                    provider.latency(graph, id, Tier::Device),
+                    provider.latency(graph, id, Tier::Edge),
+                    provider.latency(graph, id, Tier::Cloud),
+                ]
+            })
+            .collect();
+        Self { graph, vertex, net }
+    }
+
+    /// Builds a problem from explicit vertex weights (used by tests and
+    /// the dynamic-repartition path, where weights drift at run time).
+    pub fn from_weights(graph: &'g DnnGraph, vertex: Vec<[f64; 3]>, net: NetworkCondition) -> Self {
+        assert_eq!(vertex.len(), graph.len(), "one weight triple per vertex");
+        Self { graph, vertex, net }
+    }
+
+    /// The underlying DAG.
+    pub fn graph(&self) -> &'g DnnGraph {
+        self.graph
+    }
+
+    /// The network condition supplying link weights.
+    pub fn net(&self) -> NetworkCondition {
+        self.net
+    }
+
+    /// Replaces the network condition (bandwidth drift at run time).
+    pub fn set_net(&mut self, net: NetworkCondition) {
+        self.net = net;
+    }
+
+    /// Vertex weight `t^tier_i`.
+    pub fn vertex_time(&self, id: NodeId, tier: Tier) -> f64 {
+        self.vertex[id.index()][tier.rank()]
+    }
+
+    /// Overwrites one vertex weight (resource drift at run time).
+    pub fn set_vertex_time(&mut self, id: NodeId, tier: Tier, seconds: f64) {
+        self.vertex[id.index()][tier.rank()] = seconds;
+    }
+
+    /// Scales all weights of a vertex (e.g. "device got 2× slower").
+    pub fn scale_vertex(&mut self, id: NodeId, tier: Tier, factor: f64) {
+        self.vertex[id.index()][tier.rank()] *= factor;
+    }
+
+    /// Link weight `t^[a,b]_ij` for the data flowing out of `from` between
+    /// two tiers: output bytes over bandwidth, zero within a tier.
+    pub fn link_time(&self, from: NodeId, a: Tier, b: Tier) -> f64 {
+        self.net
+            .transfer_s(self.graph.node(from).output_bytes(), a, b)
+    }
+
+    /// Transfer time of the *raw network input* between two tiers (the
+    /// virtual input vertex's output is the input image).
+    pub fn input_transfer(&self, a: Tier, b: Tier) -> f64 {
+        self.link_time(self.graph.input(), a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_simnet::TierProfiles;
+
+    #[test]
+    fn weights_come_from_provider() {
+        let g = zoo::alexnet(224);
+        let profiles = TierProfiles::paper_testbed();
+        let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+        let id = g.layer_ids().next().unwrap();
+        assert_eq!(
+            p.vertex_time(id, Tier::Edge),
+            profiles.layer_latency(&g, id, Tier::Edge)
+        );
+        assert_eq!(p.vertex_time(g.input(), Tier::Device), 0.0);
+    }
+
+    #[test]
+    fn link_weight_is_bytes_over_bandwidth() {
+        let g = zoo::alexnet(224);
+        let p = Problem::new(
+            &g,
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::WiFi,
+        );
+        let conv1 = g.layer_ids().next().unwrap();
+        let bytes = g.node(conv1).output_bytes();
+        let expect = bytes as f64 * 8.0 / (31.53e6);
+        assert!((p.link_time(conv1, Tier::Edge, Tier::Cloud) - expect).abs() < 1e-12);
+        assert_eq!(p.link_time(conv1, Tier::Edge, Tier::Edge), 0.0);
+    }
+
+    #[test]
+    fn raw_input_transfer_uses_v0_output() {
+        let g = zoo::alexnet(224);
+        let p = Problem::new(
+            &g,
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::WiFi,
+        );
+        let bytes = 3 * 224 * 224 * 4;
+        let expect = bytes as f64 * 8.0 / 84.95e6;
+        assert!((p.input_transfer(Tier::Device, Tier::Edge) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_weight_mutation() {
+        let g = zoo::alexnet(224);
+        let mut p = Problem::new(
+            &g,
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::WiFi,
+        );
+        let id = g.layer_ids().next().unwrap();
+        let before = p.vertex_time(id, Tier::Device);
+        p.scale_vertex(id, Tier::Device, 2.0);
+        assert!((p.vertex_time(id, Tier::Device) - 2.0 * before).abs() < 1e-15);
+        p.set_vertex_time(id, Tier::Device, 0.5);
+        assert_eq!(p.vertex_time(id, Tier::Device), 0.5);
+    }
+}

@@ -1,0 +1,213 @@
+//! The regression latency estimator (Fig. 4).
+//!
+//! One [`LinearModel`] is fitted per (tier, operator family) from noisy
+//! profiler samples. The estimator then predicts the vertex weight
+//! `T_vi = {t_d, t_e, t_c}` of any layer of any network without executing
+//! it on the target node — the paper's replacement for impractical
+//! on-the-spot measurement (§III-D).
+
+use crate::features::{extract, KindClass};
+use crate::ols::{self, LinearModel};
+use crate::profile::Profiler;
+use d3_model::{DnnGraph, NodeId};
+use d3_simnet::{Tier, TierProfiles};
+use std::collections::HashMap;
+
+/// A source of per-layer, per-tier latencies — the interface consumed by
+/// the partition algorithms. Implemented by the ground-truth hardware
+/// model (oracle) and by the trained regression estimator.
+pub trait LatencyProvider {
+    /// Processing time (seconds) of vertex `id` of `graph` at `tier`
+    /// (`t^l_i` in the paper). Zero for the virtual input.
+    fn latency(&self, graph: &DnnGraph, id: NodeId, tier: Tier) -> f64;
+}
+
+/// The ground-truth oracle: reads the analytical cost model directly.
+impl LatencyProvider for TierProfiles {
+    fn latency(&self, graph: &DnnGraph, id: NodeId, tier: Tier) -> f64 {
+        self.layer_latency(graph, id, tier)
+    }
+}
+
+/// Per-(tier, family) fitted regression models.
+#[derive(Debug, Clone)]
+pub struct RegressionEstimator {
+    models: HashMap<(Tier, KindClass), LinearModel>,
+    /// Fallback per tier for families unseen during training.
+    fallback: HashMap<Tier, LinearModel>,
+}
+
+/// Accuracy of an estimator on one graph/tier (used by the Fig. 4
+/// reproduction).
+#[derive(Debug, Clone, Copy)]
+pub struct Accuracy {
+    /// Mean absolute percentage error.
+    pub mape: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl RegressionEstimator {
+    /// Trains from noisy measurements of `training` graphs on each tier of
+    /// `profiles`.
+    ///
+    /// `noise_sigma` is the relative measurement noise, `repeats` the
+    /// number of measurement passes per graph. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a tier ends up with no trainable samples at all
+    /// (empty `training` set).
+    pub fn train(
+        profiles: &TierProfiles,
+        training: &[&DnnGraph],
+        noise_sigma: f64,
+        repeats: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!training.is_empty(), "no training graphs");
+        let mut models = HashMap::new();
+        let mut fallback = HashMap::new();
+        for (t_idx, tier) in Tier::ALL.iter().enumerate() {
+            let node = profiles.node(*tier).clone();
+            let mut profiler = Profiler::new(node, noise_sigma, seed ^ (t_idx as u64) << 32);
+            let mut by_class: HashMap<KindClass, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
+            let mut all: (Vec<Vec<f64>>, Vec<f64>) = (Vec::new(), Vec::new());
+            for g in training {
+                for s in profiler.measure_graph(g, repeats) {
+                    let entry = by_class.entry(s.class).or_default();
+                    entry.0.push(s.features.clone());
+                    entry.1.push(s.latency_s);
+                    all.0.push(s.features);
+                    all.1.push(s.latency_s);
+                }
+            }
+            for (class, (xs, ys)) in by_class {
+                if let Ok(m) = ols::fit(&xs, &ys) {
+                    models.insert((*tier, class), m);
+                }
+            }
+            let m = ols::fit(&all.0, &all.1).expect("tier-level fit");
+            fallback.insert(*tier, m);
+        }
+        Self { models, fallback }
+    }
+
+    /// Predicted latency, clamped to be non-negative.
+    pub fn estimate(&self, graph: &DnnGraph, id: NodeId, tier: Tier) -> f64 {
+        let Some(class) = KindClass::of(&graph.node(id).kind) else {
+            return 0.0; // virtual input
+        };
+        let x = extract(graph, id);
+        let model = self
+            .models
+            .get(&(tier, class))
+            .or_else(|| self.fallback.get(&tier))
+            .expect("estimator has a fallback per tier");
+        model.predict(&x).max(0.0)
+    }
+
+    /// Compares predictions against the noise-free ground truth of
+    /// `profiles` for every layer of `graph` at `tier`.
+    pub fn evaluate(&self, profiles: &TierProfiles, graph: &DnnGraph, tier: Tier) -> Accuracy {
+        let mut pred = Vec::new();
+        let mut truth = Vec::new();
+        for id in graph.layer_ids() {
+            pred.push(self.estimate(graph, id, tier));
+            truth.push(profiles.layer_latency(graph, id, tier));
+        }
+        Accuracy {
+            mape: ols::mape(&pred, &truth),
+            r_squared: ols::r_squared(&pred, &truth),
+        }
+    }
+}
+
+impl LatencyProvider for RegressionEstimator {
+    fn latency(&self, graph: &DnnGraph, id: NodeId, tier: Tier) -> f64 {
+        self.estimate(graph, id, tier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+
+    fn trained() -> (TierProfiles, RegressionEstimator, Vec<DnnGraph>) {
+        let profiles = TierProfiles::paper_testbed();
+        // Train on three networks at two scales; hold AlexNet out.
+        let train_graphs = vec![
+            zoo::vgg16(224),
+            zoo::resnet18(224),
+            zoo::darknet53(224),
+            zoo::vgg16(160),
+            zoo::resnet18(160),
+        ];
+        let refs: Vec<&DnnGraph> = train_graphs.iter().collect();
+        let est = RegressionEstimator::train(&profiles, &refs, 0.05, 3, 42);
+        (profiles, est, train_graphs)
+    }
+
+    #[test]
+    fn fig4_alexnet_predictions_track_actuals() {
+        // Fig. 4: predicted vs actual per-layer latency on a held-out
+        // network (AlexNet) for CPU (edge) and GPU (cloud) nodes.
+        let (profiles, est, _) = trained();
+        let alexnet = zoo::alexnet(224);
+        for tier in [Tier::Edge, Tier::Cloud] {
+            let acc = est.evaluate(&profiles, &alexnet, tier);
+            assert!(
+                acc.r_squared > 0.9,
+                "{tier}: R² = {:.3} too low",
+                acc.r_squared
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_are_nonnegative_and_ordered_for_heavy_layers() {
+        let (_, est, graphs) = trained();
+        let g = &graphs[0]; // vgg16@224
+        let conv2 = g.nodes().iter().find(|n| n.name == "conv2").unwrap().id;
+        let d = est.estimate(g, conv2, Tier::Device);
+        let e = est.estimate(g, conv2, Tier::Edge);
+        let c = est.estimate(g, conv2, Tier::Cloud);
+        assert!(d > e && e > c, "d={d} e={e} c={c}");
+        for id in g.layer_ids() {
+            for t in Tier::ALL {
+                assert!(est.estimate(g, id, t) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_input_estimates_zero() {
+        let (_, est, graphs) = trained();
+        let g = &graphs[0];
+        assert_eq!(est.estimate(g, g.input(), Tier::Device), 0.0);
+    }
+
+    #[test]
+    fn oracle_provider_matches_cost_model() {
+        let profiles = TierProfiles::paper_testbed();
+        let g = zoo::alexnet(224);
+        let id = g.layer_ids().next().unwrap();
+        let via_trait = LatencyProvider::latency(&profiles, &g, id, Tier::Edge);
+        assert_eq!(via_trait, profiles.layer_latency(&g, id, Tier::Edge));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let profiles = TierProfiles::paper_testbed();
+        let g224 = zoo::resnet18(224);
+        let refs = vec![&g224];
+        let a = RegressionEstimator::train(&profiles, &refs, 0.05, 2, 1);
+        let b = RegressionEstimator::train(&profiles, &refs, 0.05, 2, 1);
+        let id = g224.layer_ids().nth(3).unwrap();
+        assert_eq!(
+            a.estimate(&g224, id, Tier::Edge),
+            b.estimate(&g224, id, Tier::Edge)
+        );
+    }
+}

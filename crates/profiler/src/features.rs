@@ -1,0 +1,113 @@
+//! Feature engineering for the latency regression.
+//!
+//! The paper's regression model takes "computation resources and DNN layer
+//! configurations" (layer type plus hyper-parameters such as stride and
+//! input size) as input (§III-D). Resources are fixed per node, so one
+//! model is trained per (node, operator family); the features capture the
+//! layer configuration.
+
+use d3_model::{DnnGraph, LayerKind, NodeId};
+
+/// Operator families, each fitted with its own regression model — the
+/// "DNN layer types" dimension of the paper's feature set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KindClass {
+    /// Convolutions (with fused BN/activation).
+    Conv,
+    /// Fully-connected layers.
+    Dense,
+    /// Pooling (spatial and global).
+    Pool,
+    /// Everything elementwise (add, activation, softmax, concat).
+    Elementwise,
+}
+
+impl KindClass {
+    /// All classes.
+    pub const ALL: [KindClass; 4] = [
+        KindClass::Conv,
+        KindClass::Dense,
+        KindClass::Pool,
+        KindClass::Elementwise,
+    ];
+
+    /// Classifies a layer kind. The virtual input has no class.
+    pub fn of(kind: &LayerKind) -> Option<KindClass> {
+        match kind {
+            LayerKind::Input { .. } => None,
+            LayerKind::Conv { .. } | LayerKind::DepthwiseConv { .. } => Some(KindClass::Conv),
+            LayerKind::Dense { .. } => Some(KindClass::Dense),
+            LayerKind::Pool { .. } | LayerKind::GlobalAvgPool => Some(KindClass::Pool),
+            LayerKind::Concat
+            | LayerKind::Add
+            | LayerKind::Softmax
+            | LayerKind::Activation { .. } => Some(KindClass::Elementwise),
+        }
+    }
+}
+
+/// Number of features produced by [`extract`].
+pub const FEATURE_DIM: usize = 4;
+
+/// Extracts the feature vector for a vertex:
+/// `[1, GFLOPs, MB moved, sqrt(GFLOPs)]`.
+///
+/// The intercept absorbs dispatch overhead; the linear FLOP and byte terms
+/// mirror a roofline; the square-root term lets the linear model bend with
+/// hardware under-utilization on small kernels. Units are scaled to keep
+/// the normal equations well conditioned.
+pub fn extract(graph: &DnnGraph, id: NodeId) -> Vec<f64> {
+    let node = graph.node(id);
+    let flops = graph.flops(id) as f64;
+    let bytes = (graph.input_bytes(id)
+        + node.output_bytes()
+        + 4 * node.kind.param_count() as u64) as f64;
+    let gflops = flops / 1e9;
+    vec![1.0, gflops, bytes / 1e6, gflops.sqrt()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+
+    #[test]
+    fn classifies_all_vgg_layers() {
+        let g = zoo::vgg16(224);
+        for id in g.layer_ids() {
+            assert!(KindClass::of(&g.node(id).kind).is_some());
+        }
+        assert_eq!(KindClass::of(&g.node(g.input()).kind), None);
+    }
+
+    #[test]
+    fn feature_dim_is_stable() {
+        let g = zoo::alexnet(224);
+        let id = g.layer_ids().next().unwrap();
+        assert_eq!(extract(&g, id).len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn bigger_layers_have_bigger_features() {
+        let g = zoo::vgg16(224);
+        let conv2 = g.nodes().iter().find(|n| n.name == "conv2").unwrap().id;
+        let conv1 = g.nodes().iter().find(|n| n.name == "conv1").unwrap().id;
+        let (f1, f2) = (extract(&g, conv1), extract(&g, conv2));
+        assert!(f2[1] > f1[1], "conv2 has more FLOPs than conv1");
+        assert_eq!(f1[0], 1.0, "intercept feature");
+    }
+
+    #[test]
+    fn class_partition_is_total_on_all_models() {
+        for g in zoo::all_models(96) {
+            for id in g.layer_ids() {
+                assert!(
+                    KindClass::of(&g.node(id).kind).is_some(),
+                    "{}: unclassified layer {}",
+                    g.name(),
+                    g.node(id).name
+                );
+            }
+        }
+    }
+}

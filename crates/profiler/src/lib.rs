@@ -1,0 +1,40 @@
+//! # d3-profiler
+//!
+//! The profiler and regression latency estimator of the D3 reproduction
+//! (§III-B "Profiler" and §III-D "Latency Estimation" of the paper):
+//!
+//! - [`profile::Profiler`] simulates noisy per-layer latency measurements
+//!   against a hardware cost model,
+//! - [`ols`] fits ordinary-least-squares models over engineered layer
+//!   features ([`features`]),
+//! - [`estimator::RegressionEstimator`] predicts the per-tier vertex
+//!   weights `T_vi = {t_d, t_e, t_c}` consumed by the partition
+//!   algorithms, reproducing Fig. 4's predicted-vs-actual comparison.
+//!
+//! ## Example
+//!
+//! ```
+//! use d3_profiler::{LatencyProvider, RegressionEstimator};
+//! use d3_simnet::{Tier, TierProfiles};
+//! use d3_model::zoo;
+//!
+//! let profiles = TierProfiles::paper_testbed();
+//! let train = zoo::resnet18(224);
+//! let est = RegressionEstimator::train(&profiles, &[&train], 0.05, 2, 7);
+//! let alexnet = zoo::alexnet(224);
+//! let id = alexnet.layer_ids().next().unwrap();
+//! assert!(est.latency(&alexnet, id, Tier::Device) >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod features;
+pub mod ols;
+pub mod profile;
+
+pub use estimator::{Accuracy, LatencyProvider, RegressionEstimator};
+pub use features::KindClass;
+pub use ols::{FitError, LinearModel};
+pub use profile::{Profiler, Sample};

@@ -1,0 +1,226 @@
+//! Ordinary least squares by normal equations.
+//!
+//! The regression model of §III-D maps (computation resources, DNN layer
+//! configuration) to per-layer latency. Per node and per operator family
+//! the mapping is close to linear in FLOPs and bytes moved, so an OLS fit
+//! over engineered features suffices (the paper likewise reports
+//! near-perfect predictions in Fig. 4).
+//!
+//! The solver forms `XᵀX β = Xᵀy` and solves by Gaussian elimination with
+//! partial pivoting, adding a tiny ridge term for numerical safety on
+//! nearly-collinear features.
+
+/// A fitted linear model `y ≈ β · x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    /// Coefficients, one per feature.
+    pub coefs: Vec<f64>,
+}
+
+/// Errors from [`fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// No training rows were supplied.
+    Empty,
+    /// Rows have inconsistent feature counts.
+    RaggedRows,
+    /// The normal equations are singular even with ridge regularization.
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::Empty => write!(f, "no training samples"),
+            FitError::RaggedRows => write!(f, "inconsistent feature dimensions"),
+            FitError::Singular => write!(f, "singular normal equations"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl LinearModel {
+    /// Predicted value for a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimension differs from the fit.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.coefs.len(), "feature dimension mismatch");
+        self.coefs.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+}
+
+/// Fits `y ≈ β·x` by least squares.
+///
+/// # Errors
+///
+/// See [`FitError`].
+pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<LinearModel, FitError> {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return Err(FitError::Empty);
+    }
+    let k = xs[0].len();
+    if k == 0 || xs.iter().any(|r| r.len() != k) {
+        return Err(FitError::RaggedRows);
+    }
+    // Normal equations A = XᵀX, b = Xᵀy.
+    let mut a = vec![vec![0.0f64; k]; k];
+    let mut b = vec![0.0f64; k];
+    for (row, &y) in xs.iter().zip(ys) {
+        for i in 0..k {
+            b[i] += row[i] * y;
+            for j in 0..k {
+                a[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    // Tiny ridge relative to the diagonal scale for conditioning.
+    let scale = (0..k).map(|i| a[i][i]).fold(0.0f64, f64::max).max(1e-30);
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += scale * 1e-12;
+    }
+    solve(a, b).map(|coefs| LinearModel { coefs })
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, FitError> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        if a[pivot][col].abs() < 1e-300 {
+            return Err(FitError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col];
+            for (x, &p) in lower[0][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *x -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for j in row + 1..n {
+            acc -= a[row][j] * x[j];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Mean absolute percentage error of predictions against ground truth,
+/// skipping zero-valued truths.
+pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0;
+    for (&p, &t) in pred.iter().zip(truth) {
+        if t.abs() > 0.0 {
+            total += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Coefficient of determination R².
+pub fn r_squared(pred: &[f64], truth: &[f64]) -> f64 {
+    let n = truth.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean: f64 = truth.iter().sum::<f64>() / n;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (t - p).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 2 + 3a - b
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![1.0, i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 + 3.0 * r[1] - r[2]).collect();
+        let m = fit(&xs, &ys).unwrap();
+        assert!((m.coefs[0] - 2.0).abs() < 1e-8);
+        assert!((m.coefs[1] - 3.0).abs() < 1e-8);
+        assert!((m.coefs[2] + 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn predict_applies_coefficients() {
+        let m = LinearModel {
+            coefs: vec![1.0, 0.5],
+        };
+        assert_eq!(m.predict(&[2.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged() {
+        assert_eq!(fit(&[], &[]), Err(FitError::Empty));
+        let xs = vec![vec![1.0, 2.0], vec![1.0]];
+        assert_eq!(fit(&xs, &[1.0, 2.0]), Err(FitError::RaggedRows));
+    }
+
+    #[test]
+    fn handles_noisy_fit() {
+        // y = 5x with deterministic "noise"; slope should be close to 5.
+        let xs: Vec<Vec<f64>> = (1..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (1..100)
+            .map(|i| 5.0 * i as f64 + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let m = fit(&xs, &ys).unwrap();
+        assert!((m.coefs[0] - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn collinear_features_survive_via_ridge() {
+        // Second feature is an exact copy of the first.
+        let xs: Vec<Vec<f64>> = (1..30).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (1..30).map(|i| 2.0 * i as f64).collect();
+        let m = fit(&xs, &ys).unwrap();
+        // Combined effect must be 2 even if the split is arbitrary.
+        assert!((m.coefs[0] + m.coefs[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metrics_behave() {
+        let truth = vec![1.0, 2.0, 4.0];
+        let perfect = truth.clone();
+        assert_eq!(mape(&perfect, &truth), 0.0);
+        assert_eq!(r_squared(&perfect, &truth), 1.0);
+        let off = vec![1.1, 2.2, 4.4];
+        assert!((mape(&off, &truth) - 0.1).abs() < 1e-9);
+        assert!(r_squared(&off, &truth) < 1.0);
+    }
+}

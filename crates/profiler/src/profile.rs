@@ -1,0 +1,132 @@
+//! The profiler: collects (noisy) per-layer latency measurements.
+//!
+//! The paper's profiler "collects the operating conditions of computation
+//! nodes ... as well as the network status" (§III-B). On-the-spot
+//! execution of every layer on every node is dismissed as impractical
+//! (§III-D), which is why the regression model exists. This module
+//! simulates the measurement process: ground truth comes from the
+//! analytical [`NodeProfile`] cost model, perturbed by multiplicative
+//! log-normal-ish noise representing run-to-run variance.
+
+use d3_model::{DnnGraph, NodeId};
+use d3_simnet::NodeProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One latency measurement of a layer on a node.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Feature vector (see [`crate::features::extract`]).
+    pub features: Vec<f64>,
+    /// Operator family.
+    pub class: crate::features::KindClass,
+    /// Measured latency in seconds (noisy).
+    pub latency_s: f64,
+    /// Noise-free ground truth, kept for evaluation.
+    pub truth_s: f64,
+}
+
+/// Simulated measurement campaign against one hardware node.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    node: NodeProfile,
+    /// Relative standard deviation of measurement noise (e.g. `0.05`).
+    noise_sigma: f64,
+    rng: StdRng,
+}
+
+impl Profiler {
+    /// Creates a profiler for `node` with multiplicative noise of relative
+    /// standard deviation `noise_sigma`, deterministic in `seed`.
+    pub fn new(node: NodeProfile, noise_sigma: f64, seed: u64) -> Self {
+        Self {
+            node,
+            noise_sigma,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The node being profiled.
+    pub fn node(&self) -> &NodeProfile {
+        &self.node
+    }
+
+    /// Standard normal variate via Box–Muller (rand's `Normal` lives in
+    /// the separate `rand_distr` crate, which we avoid adding).
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Measures one layer once.
+    pub fn measure(&mut self, graph: &DnnGraph, id: NodeId) -> Sample {
+        let truth = self.node.layer_latency(graph, id);
+        let noise = (1.0 + self.noise_sigma * self.standard_normal()).max(0.2);
+        Sample {
+            features: crate::features::extract(graph, id),
+            class: crate::features::KindClass::of(&graph.node(id).kind)
+                .expect("measure called on the virtual input"),
+            latency_s: truth * noise,
+            truth_s: truth,
+        }
+    }
+
+    /// Measures every real layer of a graph `repeats` times.
+    pub fn measure_graph(&mut self, graph: &DnnGraph, repeats: usize) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for _ in 0..repeats {
+            for id in graph.layer_ids() {
+                out.push(self.measure(graph, id));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+
+    #[test]
+    fn noiseless_profiler_matches_ground_truth() {
+        let g = zoo::alexnet(224);
+        let mut p = Profiler::new(NodeProfile::edge_i7_8700(), 0.0, 1);
+        for id in g.layer_ids() {
+            let s = p.measure(&g, id);
+            assert!((s.latency_s - s.truth_s).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn noise_is_bounded_and_centered() {
+        let g = zoo::alexnet(224);
+        let mut p = Profiler::new(NodeProfile::raspberry_pi4(), 0.05, 7);
+        let samples = p.measure_graph(&g, 50);
+        let ratios: Vec<f64> = samples
+            .iter()
+            .map(|s| s.latency_s / s.truth_s)
+            .collect();
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "noise mean {mean}");
+        assert!(ratios.iter().all(|&r| r > 0.2 && r < 2.0));
+    }
+
+    #[test]
+    fn measurement_is_seeded() {
+        let g = zoo::alexnet(224);
+        let id = g.layer_ids().next().unwrap();
+        let a = Profiler::new(NodeProfile::jetson_nano(), 0.1, 3).measure(&g, id);
+        let b = Profiler::new(NodeProfile::jetson_nano(), 0.1, 3).measure(&g, id);
+        assert_eq!(a.latency_s, b.latency_s);
+    }
+
+    #[test]
+    fn measure_graph_covers_all_layers() {
+        let g = zoo::resnet18(224);
+        let mut p = Profiler::new(NodeProfile::edge_i7_8700(), 0.05, 9);
+        let samples = p.measure_graph(&g, 2);
+        assert_eq!(samples.len(), 2 * (g.len() - 1));
+    }
+}

@@ -1,0 +1,37 @@
+//! # d3-simnet
+//!
+//! The simulated testbed of the D3 reproduction: computing [`Tier`]s,
+//! analytical hardware cost models ([`NodeProfile`], [`TierProfiles`])
+//! standing in for the paper's physical Raspberry Pi / Jetson / i7 / RTX
+//! machines, and the Table III network conditions
+//! ([`NetworkCondition`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+//! use d3_model::zoo;
+//!
+//! let profiles = TierProfiles::paper_testbed();
+//! let net = NetworkCondition::WiFi;
+//! let g = zoo::alexnet(224);
+//! let conv1 = g.layer_ids().next().unwrap();
+//! // Per-layer latency is strictly ordered t_d > t_e > t_c.
+//! let t_d = profiles.layer_latency(&g, conv1, Tier::Device);
+//! let t_c = profiles.layer_latency(&g, conv1, Tier::Cloud);
+//! assert!(t_d > t_c);
+//! // Link weight: output bytes over the Table III bandwidth.
+//! let delay = net.transfer_s(g.node(conv1).output_bytes(), Tier::Device, Tier::Edge);
+//! assert!(delay > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod net;
+mod node;
+mod tier;
+
+pub use net::{LinkRates, NetworkCondition};
+pub use node::{Efficiency, NodeProfile, TierProfiles};
+pub use tier::Tier;

@@ -1,0 +1,209 @@
+//! Inter-tier network model: the measured uplink rates of Table III.
+//!
+//! The paper's link weight between two vertices on different tiers is
+//! `output bytes / bandwidth` (§III-D); within a tier the delay is taken
+//! as zero (§III-A). The four named conditions reproduce Table III
+//! exactly; [`NetworkCondition::custom_backbone`] supports the Fig. 11
+//! bandwidth sweep.
+
+use crate::Tier;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Average uplink rates between tiers, in Mbit/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkRates {
+    /// Device ↔ edge (always the 5 GHz Wi-Fi LAN in the paper).
+    pub device_edge_mbps: f64,
+    /// Edge ↔ cloud (the backbone link being varied).
+    pub edge_cloud_mbps: f64,
+    /// Device ↔ cloud.
+    pub device_cloud_mbps: f64,
+}
+
+/// A named network condition from Table III, or a custom one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NetworkCondition {
+    /// Everything over 5 GHz Wi-Fi (802.11ac).
+    WiFi,
+    /// LAN over Wi-Fi; backbone over 4G.
+    FourG,
+    /// LAN over Wi-Fi; backbone over 5G.
+    FiveG,
+    /// Edge→cloud over an optical link; device→cloud over Wi-Fi.
+    Optical,
+    /// Custom rates (used by the Fig. 11 bandwidth sweep).
+    Custom(LinkRates),
+}
+
+impl NetworkCondition {
+    /// The four named conditions in the paper's presentation order.
+    pub const TABLE3: [NetworkCondition; 4] = [
+        NetworkCondition::WiFi,
+        NetworkCondition::FourG,
+        NetworkCondition::FiveG,
+        NetworkCondition::Optical,
+    ];
+
+    /// The Table III uplink-rate row for this condition.
+    pub fn rates(&self) -> LinkRates {
+        match self {
+            NetworkCondition::WiFi => LinkRates {
+                device_edge_mbps: 84.95,
+                edge_cloud_mbps: 31.53,
+                device_cloud_mbps: 18.75,
+            },
+            NetworkCondition::FourG => LinkRates {
+                device_edge_mbps: 84.95,
+                edge_cloud_mbps: 13.79,
+                device_cloud_mbps: 6.12,
+            },
+            NetworkCondition::FiveG => LinkRates {
+                device_edge_mbps: 84.95,
+                edge_cloud_mbps: 22.75,
+                device_cloud_mbps: 11.64,
+            },
+            NetworkCondition::Optical => LinkRates {
+                // The paper: with an optical backbone the device still
+                // reaches the cloud via its 5 GHz Wi-Fi.
+                device_edge_mbps: 84.95,
+                edge_cloud_mbps: 50.23,
+                device_cloud_mbps: 18.75,
+            },
+            NetworkCondition::Custom(r) => *r,
+        }
+    }
+
+    /// A condition whose LAN stays at Wi-Fi rates while the LAN↔cloud
+    /// backbone runs at `mbps` (both edge→cloud and device→cloud take the
+    /// swept value, as in Fig. 11's x-axis "bandwidth between the LAN and
+    /// the cloud node").
+    pub fn custom_backbone(mbps: f64) -> Self {
+        NetworkCondition::Custom(LinkRates {
+            device_edge_mbps: 84.95,
+            edge_cloud_mbps: mbps,
+            device_cloud_mbps: mbps * 18.75 / 31.53, // keep WiFi's d:e ratio
+        })
+    }
+
+    /// Bandwidth (Mbit/s) between two tiers; `None` within a tier.
+    pub fn bandwidth_mbps(&self, a: Tier, b: Tier) -> Option<f64> {
+        let r = self.rates();
+        match (a.min(b), a.max(b)) {
+            (Tier::Device, Tier::Edge) => Some(r.device_edge_mbps),
+            (Tier::Edge, Tier::Cloud) => Some(r.edge_cloud_mbps),
+            (Tier::Device, Tier::Cloud) => Some(r.device_cloud_mbps),
+            _ => None, // same tier
+        }
+    }
+
+    /// Transmission delay in seconds for `bytes` crossing from tier `a` to
+    /// tier `b` — the link weight `t^[a,b]_ij` of the paper. Zero within a
+    /// tier; symmetric (the paper assumes equal two-way delays).
+    pub fn transfer_s(&self, bytes: u64, a: Tier, b: Tier) -> f64 {
+        match self.bandwidth_mbps(a, b) {
+            None => 0.0,
+            Some(mbps) => (bytes as f64 * 8.0) / (mbps * 1e6),
+        }
+    }
+}
+
+impl NetworkCondition {
+    /// Average transmit power (watts) drawn by the *device's* radio while
+    /// it uploads over this condition's device-side link. Typical
+    /// smartphone figures: Wi-Fi ≈ 0.9 W, 4G ≈ 2.5 W, 5G ≈ 3.2 W.
+    pub fn device_radio_power_w(&self) -> f64 {
+        match self {
+            NetworkCondition::WiFi | NetworkCondition::Optical => 0.9,
+            NetworkCondition::FourG => 2.5,
+            NetworkCondition::FiveG => 3.2,
+            NetworkCondition::Custom(_) => 0.9, // Wi-Fi-class by default
+        }
+    }
+}
+
+impl fmt::Display for NetworkCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkCondition::WiFi => write!(f, "Wi-Fi"),
+            NetworkCondition::FourG => write!(f, "4G"),
+            NetworkCondition::FiveG => write!(f, "5G"),
+            NetworkCondition::Optical => write!(f, "Optical Network"),
+            NetworkCondition::Custom(r) => {
+                write!(f, "Custom({:.1} Mbps backbone)", r.edge_cloud_mbps)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values_reproduced() {
+        let wifi = NetworkCondition::WiFi.rates();
+        assert_eq!(wifi.device_edge_mbps, 84.95);
+        assert_eq!(wifi.edge_cloud_mbps, 31.53);
+        assert_eq!(wifi.device_cloud_mbps, 18.75);
+        assert_eq!(NetworkCondition::FourG.rates().edge_cloud_mbps, 13.79);
+        assert_eq!(NetworkCondition::FiveG.rates().device_cloud_mbps, 11.64);
+        assert_eq!(NetworkCondition::Optical.rates().edge_cloud_mbps, 50.23);
+    }
+
+    #[test]
+    fn backbone_ordering_matches_paper() {
+        // 4G < 5G < Wi-Fi < Optical on the edge→cloud link.
+        let bw = |c: NetworkCondition| c.rates().edge_cloud_mbps;
+        assert!(bw(NetworkCondition::FourG) < bw(NetworkCondition::FiveG));
+        assert!(bw(NetworkCondition::FiveG) < bw(NetworkCondition::WiFi));
+        assert!(bw(NetworkCondition::WiFi) < bw(NetworkCondition::Optical));
+    }
+
+    #[test]
+    fn intra_tier_transfer_is_free() {
+        let c = NetworkCondition::WiFi;
+        assert_eq!(c.transfer_s(1 << 20, Tier::Edge, Tier::Edge), 0.0);
+        assert_eq!(c.bandwidth_mbps(Tier::Cloud, Tier::Cloud), None);
+    }
+
+    #[test]
+    fn transfer_is_symmetric() {
+        let c = NetworkCondition::FiveG;
+        let a = c.transfer_s(123_456, Tier::Device, Tier::Cloud);
+        let b = c.transfer_s(123_456, Tier::Cloud, Tier::Device);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn transfer_math_checks_out() {
+        // 1 MB over 8 Mbps = 1 second.
+        let c = NetworkCondition::Custom(LinkRates {
+            device_edge_mbps: 8.0,
+            edge_cloud_mbps: 8.0,
+            device_cloud_mbps: 8.0,
+        });
+        let t = c.transfer_s(1_000_000, Tier::Device, Tier::Edge);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_backbone_scales_device_link_proportionally() {
+        let c = NetworkCondition::custom_backbone(31.53);
+        let r = c.rates();
+        assert!((r.device_cloud_mbps - 18.75).abs() < 1e-9);
+        assert_eq!(r.device_edge_mbps, 84.95);
+    }
+
+    #[test]
+    fn faster_backbone_means_smaller_delay() {
+        let slow = NetworkCondition::custom_backbone(10.0);
+        let fast = NetworkCondition::custom_backbone(100.0);
+        let bytes = 500_000;
+        assert!(
+            slow.transfer_s(bytes, Tier::Edge, Tier::Cloud)
+                > fast.transfer_s(bytes, Tier::Edge, Tier::Cloud)
+        );
+    }
+}

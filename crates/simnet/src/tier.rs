@@ -1,0 +1,105 @@
+//! The three computing tiers of the edge-computing paradigm (§III-A).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A computing tier. The paper defines the pipeline order `d ≻ e ≻ c`:
+/// data flows from the device tier, across the edge, to the cloud, and
+/// computation resources grow in the same direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// The device tier (`d`): the mobile node that owns the raw input.
+    Device,
+    /// The edge tier (`e`): LAN-attached edge node(s).
+    Edge,
+    /// The cloud tier (`c`): the remote datacenter server.
+    Cloud,
+}
+
+impl Tier {
+    /// All tiers in pipeline order `d, e, c`.
+    pub const ALL: [Tier; 3] = [Tier::Device, Tier::Edge, Tier::Cloud];
+
+    /// Position in the pipeline: device = 0, edge = 1, cloud = 2.
+    pub const fn rank(self) -> usize {
+        match self {
+            Tier::Device => 0,
+            Tier::Edge => 1,
+            Tier::Cloud => 2,
+        }
+    }
+
+    /// The paper's order relation `a ≻ b`: `a` strictly precedes `b` in
+    /// the data-flow pipeline (device ≻ edge ≻ cloud).
+    pub const fn precedes(self, other: Tier) -> bool {
+        self.rank() < other.rank()
+    }
+
+    /// `a ⪰ b`: `a` precedes or equals `b`.
+    pub const fn precedes_eq(self, other: Tier) -> bool {
+        self.rank() <= other.rank()
+    }
+
+    /// Tiers at or after `self` in pipeline order — the candidates a
+    /// vertex may be assigned to once its predecessors sit at `self`
+    /// (Proposition 1).
+    pub fn and_later(self) -> &'static [Tier] {
+        &Self::ALL[self.rank()..]
+    }
+
+    /// Short lowercase tag (`d`, `e`, `c`) matching the paper's notation.
+    pub const fn tag(self) -> &'static str {
+        match self {
+            Tier::Device => "d",
+            Tier::Edge => "e",
+            Tier::Cloud => "c",
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Tier::Device => "device",
+            Tier::Edge => "edge",
+            Tier::Cloud => "cloud",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_order() {
+        assert!(Tier::Device.precedes(Tier::Edge));
+        assert!(Tier::Edge.precedes(Tier::Cloud));
+        assert!(Tier::Device.precedes(Tier::Cloud));
+        assert!(!Tier::Cloud.precedes(Tier::Device));
+        assert!(!Tier::Edge.precedes(Tier::Edge));
+        assert!(Tier::Edge.precedes_eq(Tier::Edge));
+    }
+
+    #[test]
+    fn ord_matches_rank() {
+        assert!(Tier::Device < Tier::Edge);
+        assert!(Tier::Edge < Tier::Cloud);
+        let max = Tier::ALL.iter().copied().max().unwrap();
+        assert_eq!(max, Tier::Cloud);
+    }
+
+    #[test]
+    fn and_later_gives_proposition1_candidates() {
+        assert_eq!(Tier::Device.and_later(), &Tier::ALL[..]);
+        assert_eq!(Tier::Edge.and_later(), &[Tier::Edge, Tier::Cloud]);
+        assert_eq!(Tier::Cloud.and_later(), &[Tier::Cloud]);
+    }
+
+    #[test]
+    fn tags_and_display() {
+        assert_eq!(Tier::Device.tag(), "d");
+        assert_eq!(Tier::Cloud.to_string(), "cloud");
+    }
+}

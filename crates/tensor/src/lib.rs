@@ -1,0 +1,65 @@
+//! # d3-tensor
+//!
+//! A from-scratch, dependency-light `f32` tensor and CNN operator library.
+//!
+//! This crate is the *numerical substrate* of the D3 reproduction
+//! (ICDCS 2021, "Dynamic DNN Decomposition for Lossless Synergistic
+//! Inference"). The paper's central claim about the vertical separation
+//! module (VSM) is that fused-tile parallel execution is **lossless**:
+//! the merged tile outputs are identical to whole-tensor inference. That
+//! claim can only be verified by actually executing convolutions, so this
+//! crate implements real CNN operators rather than a latency model:
+//!
+//! - [`Tensor`]: a dense CHW `f32` tensor with checked indexing,
+//! - [`ops`]: conv2d, max/avg pooling, fully-connected, batch-norm,
+//!   activations, softmax, channel concat and residual add,
+//! - [`Patch`]: a *tile view* — a crop of a global feature map carrying its
+//!   global offset — together with region-execution variants of conv and
+//!   pooling that apply zero padding **only at global borders**. These are
+//!   exactly the semantics required by the paper's reverse tile
+//!   calculation (RTC, Eqs. (4)–(5)).
+//!
+//! The operators favour clarity and exact reproducibility over raw speed:
+//! accumulation order is deterministic, so tiled and whole-tensor
+//! execution produce bit-identical results (verified by property tests).
+//!
+//! ## Example
+//!
+//! ```
+//! use d3_tensor::{Tensor, ops::{Conv2d, ConvSpec}};
+//!
+//! let input = Tensor::filled(3, 8, 8, 1.0);
+//! let conv = Conv2d::with_constant_weights(ConvSpec::new(3, 4, 3, 1, 1), 0.1, 0.0);
+//! let out = conv.forward(&input);
+//! assert_eq!(out.shape(), (4, 8, 8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ops;
+mod patch;
+mod shape;
+mod tensor;
+
+pub use patch::{Patch, Region};
+pub use shape::{conv_out_dim, pool_out_dim, Shape3};
+pub use tensor::Tensor;
+
+/// Maximum absolute elementwise difference between two tensors.
+///
+/// Returns `None` when the shapes differ. Used throughout the test-suite to
+/// assert losslessness (`max_abs_diff == Some(0.0)` for identical
+/// accumulation orders).
+pub fn max_abs_diff(a: &Tensor, b: &Tensor) -> Option<f32> {
+    if a.shape() != b.shape() {
+        return None;
+    }
+    Some(
+        a.data()
+            .iter()
+            .zip(b.data().iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max),
+    )
+}

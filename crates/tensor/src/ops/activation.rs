@@ -1,0 +1,89 @@
+//! Elementwise activations and softmax.
+//!
+//! Activations are volume-preserving, so VSM "neglects" them between
+//! convolutional layers (§III-F): they apply identically to tiles and to
+//! whole tensors. We expose plain tensor functions; tiled execution simply
+//! applies them to each tile's tensor.
+
+use crate::Tensor;
+
+/// Rectified linear unit, elementwise `max(0, x)`.
+pub fn relu(input: &Tensor) -> Tensor {
+    let (c, h, w) = input.shape();
+    Tensor::from_vec(c, h, w, input.data().iter().map(|&v| v.max(0.0)).collect())
+}
+
+/// Leaky ReLU with negative slope `alpha` (Darknet-53 uses `alpha = 0.1`).
+pub fn leaky_relu(input: &Tensor, alpha: f32) -> Tensor {
+    let (c, h, w) = input.shape();
+    Tensor::from_vec(
+        c,
+        h,
+        w,
+        input
+            .data()
+            .iter()
+            .map(|&v| if v >= 0.0 { v } else { alpha * v })
+            .collect(),
+    )
+}
+
+/// Numerically-stable softmax over the flattened tensor.
+pub fn softmax(input: &Tensor) -> Tensor {
+    let (c, h, w) = input.shape();
+    let max = input.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = input.data().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(c, h, w, exps.iter().map(|&e| e / sum).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(1, 1, 4, vec![-2.0, -0.5, 0.0, 3.0]);
+        assert_eq!(relu(&t).data(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let t = Tensor::from_vec(1, 1, 3, vec![-10.0, 0.0, 5.0]);
+        assert_eq!(leaky_relu(&t, 0.1).data(), &[-1.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let t = Tensor::random(10, 1, 1, 4);
+        let s = softmax(&t);
+        let sum: f32 = s.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(s.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(3, 1, 1, vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(3, 1, 1, vec![1001.0, 1002.0, 1003.0]);
+        let (sa, sb) = (softmax(&a), softmax(&b));
+        for (x, y) in sa.data().iter().zip(sb.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(sb.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_argmax_preserved() {
+        let t = Tensor::from_vec(4, 1, 1, vec![0.1, 5.0, -2.0, 1.0]);
+        let s = softmax(&t);
+        let arg = s
+            .data()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(arg, 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! 2-D convolution with whole-tensor and tile-region execution paths.
+
+use crate::{conv_out_dim, Patch, Region, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of a 2-D convolution, matching the paper's notation:
+/// filter `Fw × Fh × D`, strides `Sw/Sh`, paddings `Pw/Ph`.
+///
+/// Non-square kernels are supported (Inception-v4 uses 1×3, 3×1, 1×7, 7×1
+/// filters in its grid and inception modules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Input channels (`D`, the filter depth).
+    pub in_c: usize,
+    /// Output channels (number of filters `K`).
+    pub out_c: usize,
+    /// Filter height `Fh`.
+    pub kh: usize,
+    /// Filter width `Fw`.
+    pub kw: usize,
+    /// Vertical stride `Sh`.
+    pub sh: usize,
+    /// Horizontal stride `Sw`.
+    pub sw: usize,
+    /// Vertical padding `Ph`.
+    pub ph: usize,
+    /// Horizontal padding `Pw`.
+    pub pw: usize,
+}
+
+impl ConvSpec {
+    /// Square-kernel constructor: `k × k` filter, stride `s`, padding `p`.
+    pub const fn new(in_c: usize, out_c: usize, k: usize, s: usize, p: usize) -> Self {
+        Self {
+            in_c,
+            out_c,
+            kh: k,
+            kw: k,
+            sh: s,
+            sw: s,
+            ph: p,
+            pw: p,
+        }
+    }
+
+    /// Fully general constructor for rectangular kernels.
+    #[allow(clippy::too_many_arguments)]
+    pub const fn rect(
+        in_c: usize,
+        out_c: usize,
+        kh: usize,
+        kw: usize,
+        sh: usize,
+        sw: usize,
+        ph: usize,
+        pw: usize,
+    ) -> Self {
+        Self {
+            in_c,
+            out_c,
+            kh,
+            kw,
+            sh,
+            sw,
+            ph,
+            pw,
+        }
+    }
+
+    /// Output spatial size for an `h × w` input (Eq. (3)).
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            conv_out_dim(h, self.kh, self.sh, self.ph),
+            conv_out_dim(w, self.kw, self.sw, self.pw),
+        )
+    }
+
+    /// Number of learnable parameters (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.out_c * self.in_c * self.kh * self.kw + self.out_c
+    }
+
+    /// Multiply-accumulate count for an `h × w` input.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_hw(h, w);
+        (self.out_c * self.in_c * self.kh * self.kw) as u64 * (oh * ow) as u64
+    }
+}
+
+/// A 2-D convolution layer with owned weights.
+///
+/// Weight layout is `[out_c][in_c][kh][kw]`; bias is `[out_c]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    spec: ConvSpec,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution from explicit weights and biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer lengths do not match the spec.
+    pub fn new(spec: ConvSpec, weights: Vec<f32>, bias: Vec<f32>) -> Self {
+        assert_eq!(
+            weights.len(),
+            spec.out_c * spec.in_c * spec.kh * spec.kw,
+            "weight buffer length mismatch"
+        );
+        assert_eq!(bias.len(), spec.out_c, "bias buffer length mismatch");
+        Self {
+            spec,
+            weights,
+            bias,
+        }
+    }
+
+    /// Creates a convolution whose weights all equal `weight` and biases all
+    /// equal `bias`. Handy for analytical tests.
+    pub fn with_constant_weights(spec: ConvSpec, weight: f32, bias: f32) -> Self {
+        let n = spec.out_c * spec.in_c * spec.kh * spec.kw;
+        Self::new(spec, vec![weight; n], vec![bias; spec.out_c])
+    }
+
+    /// Creates a convolution with deterministic He-style random weights.
+    /// Models in the zoo use this so that "trained" weights are
+    /// reproducible across processes (losslessness is weight-independent).
+    pub fn random(spec: ConvSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = (spec.in_c * spec.kh * spec.kw) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let n = spec.out_c * spec.in_c * spec.kh * spec.kw;
+        let weights = (0..n)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        let bias = (0..spec.out_c)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * 0.01)
+            .collect();
+        Self::new(spec, weights, bias)
+    }
+
+    /// The layer's hyper-parameters.
+    pub fn spec(&self) -> &ConvSpec {
+        &self.spec
+    }
+
+    /// The raw weight buffer, `[out_c][in_c][kh][kw]` row-major.
+    pub fn weights_flat(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The raw bias buffer, one entry per output channel.
+    pub fn bias_flat(&self) -> &[f32] {
+        &self.bias
+    }
+
+    #[inline]
+    fn weight(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> f32 {
+        self.weights[((oc * self.spec.in_c + ic) * self.spec.kh + ky) * self.spec.kw + kx]
+    }
+
+    /// Whole-tensor forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input channel count differs from the spec.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let (c, h, w) = input.shape();
+        assert_eq!(c, self.spec.in_c, "input channel mismatch");
+        let (oh, ow) = self.spec.out_hw(h, w);
+        let patch = Patch::whole(input.clone());
+        let out = self.forward_patch(&patch, Region::full(oh, ow), (h, w));
+        out.into_tensor()
+    }
+
+    /// Computes the output entries in `out_region` (global output
+    /// coordinates) from an input patch cut from a `global_in` = `(h, w)`
+    /// feature map. Padding is applied only where the receptive field
+    /// leaves the **global** input plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the patch does not cover the receptive
+    /// field of `out_region`, i.e. when the reverse tile calculation that
+    /// produced the patch was wrong.
+    pub fn forward_patch(&self, input: &Patch, out_region: Region, global_in: (usize, usize)) -> Patch {
+        assert_eq!(input.channels(), self.spec.in_c, "input channel mismatch");
+        assert_eq!(input.global_size(), global_in, "global size mismatch");
+        let s = &self.spec;
+        let (goh, gow) = s.out_hw(global_in.0, global_in.1);
+        assert!(
+            out_region.y1 <= goh && out_region.x1 <= gow,
+            "output region {out_region:?} exceeds global output {goh}x{gow}"
+        );
+        let mut out = Tensor::zeros(s.out_c, out_region.height(), out_region.width());
+        for oc in 0..s.out_c {
+            for oy in out_region.y0..out_region.y1 {
+                let iy0 = oy as isize * s.sh as isize - s.ph as isize;
+                for ox in out_region.x0..out_region.x1 {
+                    let ix0 = ox as isize * s.sw as isize - s.pw as isize;
+                    let mut acc = self.bias[oc];
+                    for ic in 0..s.in_c {
+                        for ky in 0..s.kh {
+                            let gy = iy0 + ky as isize;
+                            for kx in 0..s.kw {
+                                let gx = ix0 + kx as isize;
+                                let v = input.get_global(ic, gy, gx);
+                                acc += v * self.weight(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                    out.set(oc, oy - out_region.y0, ox - out_region.x0, acc);
+                }
+            }
+        }
+        Patch::from_parts(out, out_region.y0, out_region.x0, (goh, gow))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_abs_diff;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 conv, single channel, weight 1, bias 0 is the identity.
+        let conv = Conv2d::with_constant_weights(ConvSpec::new(1, 1, 1, 1, 0), 1.0, 0.0);
+        let input = Tensor::random(1, 6, 6, 1);
+        assert_eq!(conv.forward(&input), input);
+    }
+
+    #[test]
+    fn constant_kernel_interior_sum() {
+        // 3x3 all-ones kernel over an all-ones input: interior outputs are 9.
+        let conv = Conv2d::with_constant_weights(ConvSpec::new(1, 1, 3, 1, 1), 1.0, 0.0);
+        let out = conv.forward(&Tensor::filled(1, 5, 5, 1.0));
+        assert_eq!(out.shape(), (1, 5, 5));
+        assert_eq!(out.get(0, 2, 2), 9.0);
+        // Corners see 4 valid entries (rest is zero padding).
+        assert_eq!(out.get(0, 0, 0), 4.0);
+        // Edges see 6.
+        assert_eq!(out.get(0, 0, 2), 6.0);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let conv = Conv2d::with_constant_weights(ConvSpec::new(1, 2, 1, 1, 0), 0.0, 3.5);
+        let out = conv.forward(&Tensor::random(1, 4, 4, 2));
+        assert!(out.data().iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn stride_halves_output() {
+        let conv = Conv2d::random(ConvSpec::new(3, 8, 3, 2, 1), 0);
+        let out = conv.forward(&Tensor::random(3, 8, 8, 3));
+        assert_eq!(out.shape(), (8, 4, 4));
+    }
+
+    #[test]
+    fn rect_kernel_shapes() {
+        // 1x7 conv with pad (0,3) preserves spatial dims.
+        let spec = ConvSpec::rect(4, 4, 1, 7, 1, 1, 0, 3);
+        let conv = Conv2d::random(spec, 1);
+        let out = conv.forward(&Tensor::random(4, 9, 9, 4));
+        assert_eq!(out.shape(), (4, 9, 9));
+    }
+
+    #[test]
+    fn multi_channel_accumulates() {
+        // Two input channels of 1s, 1x1 kernel of 1s: output = 2 everywhere.
+        let conv = Conv2d::with_constant_weights(ConvSpec::new(2, 1, 1, 1, 0), 1.0, 0.0);
+        let out = conv.forward(&Tensor::filled(2, 3, 3, 1.0));
+        assert!(out.data().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn patch_region_matches_whole() {
+        let conv = Conv2d::random(ConvSpec::new(3, 5, 3, 1, 1), 7);
+        let input = Tensor::random(3, 10, 10, 11);
+        let whole = conv.forward(&input);
+        // Compute output rows [4,9) x cols [2,7) from a sufficient patch.
+        let out_region = Region::new(4, 9, 2, 7);
+        // Receptive field: rows [3,10), cols [1,8) — take a superset crop.
+        let in_region = Region::new(3, 10, 1, 8);
+        let patch = Patch::from_global(&input, in_region);
+        let tile = conv.forward_patch(&patch, out_region, (10, 10));
+        let expect = whole.crop(4, 9, 2, 7);
+        assert_eq!(max_abs_diff(tile.tensor(), &expect), Some(0.0));
+    }
+
+    #[test]
+    fn patch_border_uses_global_padding() {
+        let conv = Conv2d::with_constant_weights(ConvSpec::new(1, 1, 3, 1, 1), 1.0, 0.0);
+        let input = Tensor::filled(1, 6, 6, 1.0);
+        let whole = conv.forward(&input);
+        // Tile containing the global top-left corner.
+        let patch = Patch::from_global(&input, Region::new(0, 4, 0, 4));
+        let tile = conv.forward_patch(&patch, Region::new(0, 3, 0, 3), (6, 6));
+        assert_eq!(
+            max_abs_diff(tile.tensor(), &whole.crop(0, 3, 0, 3)),
+            Some(0.0)
+        );
+        assert_eq!(tile.tensor().get(0, 0, 0), 4.0); // corner: global padding applied
+    }
+
+    #[test]
+    fn macs_and_params() {
+        // VGG conv3-64 on 224x224: 64*3*3*3 * 224*224 MACs.
+        let spec = ConvSpec::new(3, 64, 3, 1, 1);
+        assert_eq!(spec.macs(224, 224), 64 * 3 * 9 * 224 * 224);
+        assert_eq!(spec.param_count(), 64 * 3 * 9 + 64);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Conv2d::random(ConvSpec::new(3, 4, 3, 1, 1), 5);
+        let b = Conv2d::random(ConvSpec::new(3, 4, 3, 1, 1), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panics() {
+        let conv = Conv2d::random(ConvSpec::new(3, 4, 3, 1, 1), 5);
+        conv.forward(&Tensor::zeros(4, 8, 8));
+    }
+}

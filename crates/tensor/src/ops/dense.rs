@@ -1,0 +1,129 @@
+//! Fully-connected (dense) layer.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully-connected layer `y = Wx + b`.
+///
+/// Inputs are flattened CHW tensors; the output is a `(out, 1, 1)` tensor.
+/// Dense layers always run whole (they are never vertically separated —
+/// the paper's VSM applies only to convolutional/pooling stacks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `[out_dim][in_dim]`.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a dense layer from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when buffer lengths do not match the dimensions.
+    pub fn new(in_dim: usize, out_dim: usize, weights: Vec<f32>, bias: Vec<f32>) -> Self {
+        assert_eq!(weights.len(), in_dim * out_dim, "weight length mismatch");
+        assert_eq!(bias.len(), out_dim, "bias length mismatch");
+        Self {
+            in_dim,
+            out_dim,
+            weights,
+            bias,
+        }
+    }
+
+    /// Creates a dense layer with deterministic random parameters.
+    pub fn random(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (2.0 / in_dim as f32).sqrt();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        let bias = (0..out_dim)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * 0.01)
+            .collect();
+        Self::new(in_dim, out_dim, weights, bias)
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of learnable parameters.
+    pub fn param_count(&self) -> usize {
+        self.in_dim * self.out_dim + self.out_dim
+    }
+
+    /// Forward pass; the input is flattened first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the flattened input length differs from `in_dim`.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let x = input.data();
+        assert_eq!(
+            x.len(),
+            self.in_dim,
+            "dense input length {} != {}",
+            x.len(),
+            self.in_dim
+        );
+        let mut out = Tensor::zeros(self.out_dim, 1, 1);
+        for o in 0..self.out_dim {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.bias[o];
+            for (w, v) in row.iter().zip(x.iter()) {
+                acc += w * v;
+            }
+            out.data_mut()[o] = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matrix() {
+        let w = vec![1.0, 0.0, 0.0, 1.0];
+        let d = Dense::new(2, 2, w, vec![0.0, 0.0]);
+        let out = d.forward(&Tensor::from_vec(2, 1, 1, vec![3.0, 4.0]));
+        assert_eq!(out.data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn bias_offsets() {
+        let d = Dense::new(2, 1, vec![1.0, 1.0], vec![10.0]);
+        let out = d.forward(&Tensor::from_vec(2, 1, 1, vec![1.0, 2.0]));
+        assert_eq!(out.data(), &[13.0]);
+    }
+
+    #[test]
+    fn accepts_chw_input() {
+        let d = Dense::random(2 * 3 * 3, 5, 0);
+        let out = d.forward(&Tensor::random(2, 3, 3, 1));
+        assert_eq!(out.shape(), (5, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense input length")]
+    fn wrong_input_len_panics() {
+        Dense::random(4, 2, 0).forward(&Tensor::zeros(5, 1, 1));
+    }
+
+    #[test]
+    fn param_count() {
+        assert_eq!(Dense::random(10, 4, 0).param_count(), 44);
+    }
+}

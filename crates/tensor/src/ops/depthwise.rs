@@ -1,0 +1,248 @@
+//! Depthwise 2-D convolution: each channel convolved with its own filter.
+//!
+//! Depthwise-separable convolutions (MobileNet-style) are the standard
+//! answer to the paper's premise that mobile devices struggle with dense
+//! convolutions. Supporting them end to end — including the tile-region
+//! path — lets the reproduction's VSM separate modern mobile backbones
+//! losslessly, not just the paper's five classic networks.
+
+use crate::{conv_out_dim, Patch, Region, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of a depthwise convolution (channel multiplier 1:
+/// `channels` in, `channels` out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DepthwiseSpec {
+    /// Number of channels (input = output).
+    pub channels: usize,
+    /// Filter height.
+    pub kh: usize,
+    /// Filter width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Vertical padding.
+    pub ph: usize,
+    /// Horizontal padding.
+    pub pw: usize,
+}
+
+impl DepthwiseSpec {
+    /// Square-kernel constructor.
+    pub const fn new(channels: usize, k: usize, s: usize, p: usize) -> Self {
+        Self {
+            channels,
+            kh: k,
+            kw: k,
+            sh: s,
+            sw: s,
+            ph: p,
+            pw: p,
+        }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            conv_out_dim(h, self.kh, self.sh, self.ph),
+            conv_out_dim(w, self.kw, self.sw, self.pw),
+        )
+    }
+
+    /// Learnable parameters (per-channel filters + biases).
+    pub fn param_count(&self) -> usize {
+        self.channels * self.kh * self.kw + self.channels
+    }
+
+    /// Multiply-accumulate count for an `h × w` input.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_hw(h, w);
+        (self.channels * self.kh * self.kw) as u64 * (oh * ow) as u64
+    }
+}
+
+/// A depthwise convolution layer with owned weights
+/// (`[channels][kh][kw]`) and per-channel bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthwiseConv2d {
+    spec: DepthwiseSpec,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a layer from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when buffer lengths do not match the spec.
+    pub fn new(spec: DepthwiseSpec, weights: Vec<f32>, bias: Vec<f32>) -> Self {
+        assert_eq!(
+            weights.len(),
+            spec.channels * spec.kh * spec.kw,
+            "weight buffer length mismatch"
+        );
+        assert_eq!(bias.len(), spec.channels, "bias buffer length mismatch");
+        Self {
+            spec,
+            weights,
+            bias,
+        }
+    }
+
+    /// Deterministic He-style random weights.
+    pub fn random(spec: DepthwiseSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (2.0 / (spec.kh * spec.kw) as f32).sqrt();
+        let weights = (0..spec.channels * spec.kh * spec.kw)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        let bias = (0..spec.channels)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * 0.01)
+            .collect();
+        Self::new(spec, weights, bias)
+    }
+
+    /// The layer's hyper-parameters.
+    pub fn spec(&self) -> &DepthwiseSpec {
+        &self.spec
+    }
+
+    #[inline]
+    fn weight(&self, c: usize, ky: usize, kx: usize) -> f32 {
+        self.weights[(c * self.spec.kh + ky) * self.spec.kw + kx]
+    }
+
+    /// Whole-tensor forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the channel count differs from the spec.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let (c, h, w) = input.shape();
+        assert_eq!(c, self.spec.channels, "channel mismatch");
+        let (oh, ow) = self.spec.out_hw(h, w);
+        self.forward_patch(&Patch::whole(input.clone()), Region::full(oh, ow), (h, w))
+            .into_tensor()
+    }
+
+    /// Tile-region forward pass (same semantics as
+    /// [`super::Conv2d::forward_patch`]: padding only at global borders).
+    pub fn forward_patch(
+        &self,
+        input: &Patch,
+        out_region: Region,
+        global_in: (usize, usize),
+    ) -> Patch {
+        assert_eq!(input.channels(), self.spec.channels, "channel mismatch");
+        assert_eq!(input.global_size(), global_in, "global size mismatch");
+        let s = &self.spec;
+        let (goh, gow) = s.out_hw(global_in.0, global_in.1);
+        assert!(
+            out_region.y1 <= goh && out_region.x1 <= gow,
+            "output region {out_region:?} exceeds global output {goh}x{gow}"
+        );
+        let mut out = Tensor::zeros(s.channels, out_region.height(), out_region.width());
+        for c in 0..s.channels {
+            for oy in out_region.y0..out_region.y1 {
+                let iy0 = oy as isize * s.sh as isize - s.ph as isize;
+                for ox in out_region.x0..out_region.x1 {
+                    let ix0 = ox as isize * s.sw as isize - s.pw as isize;
+                    let mut acc = self.bias[c];
+                    for ky in 0..s.kh {
+                        let gy = iy0 + ky as isize;
+                        for kx in 0..s.kw {
+                            let gx = ix0 + kx as isize;
+                            acc += input.get_global(c, gy, gx) * self.weight(c, ky, kx);
+                        }
+                    }
+                    out.set(c, oy - out_region.y0, ox - out_region.x0, acc);
+                }
+            }
+        }
+        Patch::from_parts(out, out_region.y0, out_region.x0, (goh, gow))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_abs_diff;
+
+    #[test]
+    fn identity_1x1() {
+        let dw = DepthwiseConv2d::new(
+            DepthwiseSpec::new(2, 1, 1, 0),
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+        );
+        let input = Tensor::random(2, 5, 5, 1);
+        assert_eq!(dw.forward(&input), input);
+    }
+
+    #[test]
+    fn channels_do_not_mix() {
+        // Zero the second channel's filter: its output is pure bias while
+        // the first channel is untouched.
+        let spec = DepthwiseSpec::new(2, 1, 1, 0);
+        let dw = DepthwiseConv2d::new(spec, vec![2.0, 0.0], vec![0.0, 7.0]);
+        let input = Tensor::filled(2, 3, 3, 1.0);
+        let out = dw.forward(&input);
+        assert!(out.crop(0, 3, 0, 3).data()[..9].iter().all(|&v| v == 2.0));
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(out.get(1, y, x), 7.0);
+            }
+        }
+    }
+
+    #[test]
+    fn interior_sum_3x3() {
+        let dw = DepthwiseConv2d::new(
+            DepthwiseSpec::new(1, 3, 1, 1),
+            vec![1.0; 9],
+            vec![0.0],
+        );
+        let out = dw.forward(&Tensor::filled(1, 5, 5, 1.0));
+        assert_eq!(out.get(0, 2, 2), 9.0);
+        assert_eq!(out.get(0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn strided_shapes() {
+        let dw = DepthwiseConv2d::random(DepthwiseSpec::new(8, 3, 2, 1), 1);
+        let out = dw.forward(&Tensor::random(8, 16, 16, 2));
+        assert_eq!(out.shape(), (8, 8, 8));
+    }
+
+    #[test]
+    fn patch_region_matches_whole() {
+        let dw = DepthwiseConv2d::random(DepthwiseSpec::new(4, 3, 1, 1), 5);
+        let input = Tensor::random(4, 12, 12, 6);
+        let whole = dw.forward(&input);
+        let out_region = Region::new(3, 9, 2, 8);
+        let patch = Patch::from_global(&input, Region::new(2, 10, 1, 9));
+        let tile = dw.forward_patch(&patch, out_region, (12, 12));
+        assert_eq!(
+            max_abs_diff(tile.tensor(), &whole.crop(3, 9, 2, 8)),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn macs_and_params() {
+        let spec = DepthwiseSpec::new(32, 3, 1, 1);
+        assert_eq!(spec.param_count(), 32 * 9 + 32);
+        assert_eq!(spec.macs(112, 112), 32 * 9 * 112 * 112);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panics() {
+        DepthwiseConv2d::random(DepthwiseSpec::new(3, 3, 1, 1), 0)
+            .forward(&Tensor::zeros(4, 8, 8));
+    }
+}

@@ -1,0 +1,152 @@
+//! im2col + GEMM convolution: the fast whole-tensor path.
+//!
+//! The direct convolution in [`super::Conv2d::forward`] is the *reference*
+//! implementation: deterministic accumulation order shared with the tile
+//! path, which is what makes losslessness bit-exact. This module adds the
+//! optimization every real inference engine uses — lowering convolution
+//! to a matrix multiplication over an im2col buffer — as an explicitly
+//! separate entry point:
+//!
+//! - [`Conv2d::forward_gemm`] is typically several times faster on
+//!   non-trivial layers (see the `tiled_conv` criterion bench),
+//! - its results agree with the reference to floating-point reassociation
+//!   (~1e-5 relative), **not** bit-exactly — so the lossless pipeline and
+//!   the test oracles keep using the reference path.
+
+use super::conv::Conv2d;
+use crate::Tensor;
+
+impl Conv2d {
+    /// Whole-tensor convolution via im2col + GEMM.
+    ///
+    /// Numerically equivalent to [`Conv2d::forward`] up to floating-point
+    /// reassociation; use the reference path when bit-exactness against
+    /// tiled execution matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input channel count differs from the spec.
+    pub fn forward_gemm(&self, input: &Tensor) -> Tensor {
+        let s = *self.spec();
+        let (c, h, w) = input.shape();
+        assert_eq!(c, s.in_c, "input channel mismatch");
+        let (oh, ow) = s.out_hw(h, w);
+        let k = s.in_c * s.kh * s.kw;
+        let n = oh * ow;
+
+        // im2col: column j holds the receptive field of output position j
+        // (row-major over output positions), zero-filled where the field
+        // leaves the plane. Layout: cols[row * n + j].
+        let mut cols = vec![0.0f32; k * n];
+        let data = input.data();
+        for ic in 0..s.in_c {
+            for ky in 0..s.kh {
+                for kx in 0..s.kw {
+                    let row = (ic * s.kh + ky) * s.kw + kx;
+                    let base = row * n;
+                    for oy in 0..oh {
+                        let iy = (oy * s.sh + ky) as isize - s.ph as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue; // padding row: stays zero
+                        }
+                        let iy = iy as usize;
+                        let in_row = (ic * h + iy) * w;
+                        let out_row = base + oy * ow;
+                        for ox in 0..ow {
+                            let ix = (ox * s.sw + kx) as isize - s.pw as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            cols[out_row + ox] = data[in_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+
+        // GEMM: out[oc][j] = Σ_r W[oc][r] · cols[r][j] + bias[oc].
+        // ikj loop order streams both the weight row and the column rows.
+        let weights = self.weights_flat();
+        let bias = self.bias_flat();
+        let mut out = vec![0.0f32; s.out_c * n];
+        for oc in 0..s.out_c {
+            let out_row = &mut out[oc * n..(oc + 1) * n];
+            out_row.fill(bias[oc]);
+            let w_row = &weights[oc * k..(oc + 1) * k];
+            for (r, &wv) in w_row.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let col_row = &cols[r * n..(r + 1) * n];
+                for (o, &cv) in out_row.iter_mut().zip(col_row) {
+                    *o += wv * cv;
+                }
+            }
+        }
+        Tensor::from_vec(s.out_c, oh, ow, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::ConvSpec;
+    use crate::max_abs_diff;
+
+    fn agree(spec: ConvSpec, hw: usize, seed: u64) {
+        let conv = Conv2d::random(spec, seed);
+        let input = Tensor::random(spec.in_c, hw, hw, seed ^ 7);
+        let reference = conv.forward(&input);
+        let gemm = conv.forward_gemm(&input);
+        let diff = max_abs_diff(&reference, &gemm).expect("same shape");
+        let scale = reference
+            .data()
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()))
+            .max(1.0);
+        assert!(
+            diff / scale < 1e-5,
+            "gemm diverged: {diff} (scale {scale}) for {spec:?}"
+        );
+    }
+
+    #[test]
+    fn matches_reference_same_conv() {
+        agree(ConvSpec::new(3, 8, 3, 1, 1), 16, 1);
+    }
+
+    #[test]
+    fn matches_reference_strided_valid() {
+        agree(ConvSpec::new(4, 6, 3, 2, 0), 17, 2);
+        agree(ConvSpec::new(2, 5, 5, 2, 2), 20, 3);
+    }
+
+    #[test]
+    fn matches_reference_rect_kernels() {
+        agree(ConvSpec::rect(4, 4, 1, 7, 1, 1, 0, 3), 12, 4);
+        agree(ConvSpec::rect(4, 4, 7, 1, 1, 1, 3, 0), 12, 5);
+    }
+
+    #[test]
+    fn matches_reference_1x1() {
+        agree(ConvSpec::new(8, 16, 1, 1, 0), 10, 6);
+    }
+
+    #[test]
+    fn exact_on_integer_weights() {
+        // With small integer weights and inputs there is no rounding, so
+        // even reassociation is exact.
+        let spec = ConvSpec::new(1, 1, 3, 1, 1);
+        let conv = Conv2d::with_constant_weights(spec, 1.0, 0.5);
+        let input = Tensor::filled(1, 9, 9, 2.0);
+        assert_eq!(conv.forward_gemm(&input), conv.forward(&input));
+    }
+
+    #[test]
+    fn big_alexnet_conv1_shape() {
+        let spec = ConvSpec::new(3, 96, 11, 4, 2);
+        let conv = Conv2d::random(spec, 9);
+        let out = conv.forward_gemm(&Tensor::random(3, 224, 224, 10));
+        assert_eq!(out.shape(), (96, 55, 55));
+    }
+}

@@ -1,0 +1,112 @@
+//! Multi-input merge operators: channel concatenation and residual add.
+//!
+//! These realize the DAG joins of multi-branch networks — ResNet-18's
+//! shortcut additions, Darknet-53's residuals and Inception-v4's filter
+//! concatenations (the `Filter Concat` vertices of Fig. 3a).
+
+use crate::Tensor;
+
+/// Concatenates tensors along the channel axis. All inputs must share
+/// spatial dimensions.
+///
+/// # Panics
+///
+/// Panics when `inputs` is empty or spatial dimensions differ.
+pub fn concat_channels(inputs: &[&Tensor]) -> Tensor {
+    assert!(!inputs.is_empty(), "concat of zero tensors");
+    let (_, h, w) = inputs[0].shape();
+    let mut total_c = 0;
+    for t in inputs {
+        let (c, th, tw) = t.shape();
+        assert_eq!(
+            (th, tw),
+            (h, w),
+            "concat spatial mismatch: {}x{} vs {}x{}",
+            th,
+            tw,
+            h,
+            w
+        );
+        total_c += c;
+    }
+    let mut data = Vec::with_capacity(total_c * h * w);
+    for t in inputs {
+        data.extend_from_slice(t.data());
+    }
+    Tensor::from_vec(total_c, h, w, data)
+}
+
+/// Elementwise addition of tensors with identical shapes (residual join).
+///
+/// # Panics
+///
+/// Panics when `inputs` is empty or shapes differ.
+pub fn add(inputs: &[&Tensor]) -> Tensor {
+    assert!(!inputs.is_empty(), "add of zero tensors");
+    let shape = inputs[0].shape();
+    let mut out = inputs[0].clone();
+    for t in &inputs[1..] {
+        assert_eq!(t.shape(), shape, "add shape mismatch");
+        for (o, v) in out.data_mut().iter_mut().zip(t.data()) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::filled(2, 2, 2, 1.0);
+        let b = Tensor::filled(3, 2, 2, 2.0);
+        let c = concat_channels(&[&a, &b]);
+        assert_eq!(c.shape(), (5, 2, 2));
+        assert_eq!(c.get(0, 0, 0), 1.0);
+        assert_eq!(c.get(2, 0, 0), 2.0);
+        assert_eq!(c.get(4, 1, 1), 2.0);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = Tensor::random(1, 3, 3, 1);
+        let b = Tensor::random(2, 3, 3, 2);
+        let c = concat_channels(&[&a, &b]);
+        assert_eq!(c.crop(0, 3, 0, 3).data()[..9], a.data()[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spatial mismatch")]
+    fn concat_spatial_mismatch_panics() {
+        concat_channels(&[&Tensor::zeros(1, 2, 2), &Tensor::zeros(1, 3, 3)]);
+    }
+
+    #[test]
+    fn add_sums_elementwise() {
+        let a = Tensor::filled(1, 2, 2, 1.5);
+        let b = Tensor::filled(1, 2, 2, 2.5);
+        let s = add(&[&a, &b]);
+        assert!(s.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn add_three_way() {
+        let t = Tensor::filled(1, 1, 1, 1.0);
+        let s = add(&[&t, &t, &t]);
+        assert_eq!(s.get(0, 0, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        add(&[&Tensor::zeros(1, 2, 2), &Tensor::zeros(2, 2, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tensors")]
+    fn empty_concat_panics() {
+        concat_channels(&[]);
+    }
+}

@@ -1,0 +1,29 @@
+//! CNN operators.
+//!
+//! Every spatial operator comes in two flavours:
+//!
+//! - a **whole-tensor** `forward` used by single-node inference, and
+//! - a **region** `forward_patch` used by tiled (VSM) inference, which
+//!   computes only a requested output [`crate::Region`] from an input
+//!   [`crate::Patch`], applying zero padding exclusively at global borders.
+//!
+//! Both flavours use identical, deterministic accumulation order, so the
+//! losslessness of tiled execution is exact (bit-identical), not merely
+//! approximate.
+
+mod activation;
+mod conv;
+mod dense;
+mod depthwise;
+mod gemm;
+mod merge;
+mod norm;
+mod pool;
+
+pub use activation::{leaky_relu, relu, softmax};
+pub use conv::{Conv2d, ConvSpec};
+pub use depthwise::{DepthwiseConv2d, DepthwiseSpec};
+pub use dense::Dense;
+pub use merge::{add, concat_channels};
+pub use norm::BatchNorm;
+pub use pool::{global_avg_pool, Pool2d, PoolKind, PoolSpec};

@@ -1,0 +1,106 @@
+//! Inference-time batch normalization.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Batch normalization folded into inference form: per-channel affine
+/// `y = scale[c] * x + shift[c]`, where `scale = gamma / sqrt(var + eps)`
+/// and `shift = beta - mean * scale` are precomputed from trained
+/// statistics.
+///
+/// Batch-norm is volume-preserving and channelwise, so it commutes with
+/// spatial tiling (the paper "neglects" it in VSM's coordinate math while
+/// still executing it inside each fused tile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm {
+    scale: Vec<f32>,
+    shift: Vec<f32>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer from folded per-channel parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` and `shift` lengths differ.
+    pub fn new(scale: Vec<f32>, shift: Vec<f32>) -> Self {
+        assert_eq!(scale.len(), shift.len(), "scale/shift length mismatch");
+        Self { scale, shift }
+    }
+
+    /// Deterministic random parameters near identity (scale ≈ 1, shift ≈ 0),
+    /// mimicking a trained network's folded statistics.
+    pub fn random(channels: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (0..channels)
+            .map(|_| 0.8 + 0.4 * rng.random::<f32>())
+            .collect();
+        let shift = (0..channels)
+            .map(|_| (rng.random::<f32>() - 0.5) * 0.2)
+            .collect();
+        Self::new(scale, shift)
+    }
+
+    /// Number of channels this layer normalizes.
+    pub fn channels(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input channel count differs.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let (c, h, w) = input.shape();
+        assert_eq!(c, self.scale.len(), "batch-norm channel mismatch");
+        let mut out = input.clone();
+        for ch in 0..c {
+            let (s, b) = (self.scale[ch], self.shift[ch]);
+            let base = ch * h * w;
+            for v in &mut out.data_mut()[base..base + h * w] {
+                *v = s * *v + b;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_norm() {
+        let bn = BatchNorm::new(vec![1.0, 1.0], vec![0.0, 0.0]);
+        let t = Tensor::random(2, 3, 3, 1);
+        assert_eq!(bn.forward(&t), t);
+    }
+
+    #[test]
+    fn per_channel_affine() {
+        let bn = BatchNorm::new(vec![2.0, 0.5], vec![1.0, -1.0]);
+        let t = Tensor::filled(2, 1, 1, 4.0);
+        let out = bn.forward(&t);
+        assert_eq!(out.get(0, 0, 0), 9.0);
+        assert_eq!(out.get(1, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn commutes_with_crop() {
+        // Channelwise affine commutes with spatial tiling — the property
+        // VSM relies on to skip batch-norm in its coordinate math.
+        let bn = BatchNorm::random(3, 9);
+        let t = Tensor::random(3, 6, 6, 2);
+        let a = bn.forward(&t).crop(1, 4, 2, 5);
+        let b = bn.forward(&t.crop(1, 4, 2, 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panics() {
+        BatchNorm::random(2, 0).forward(&Tensor::zeros(3, 2, 2));
+    }
+}

@@ -1,0 +1,237 @@
+//! Spatial pooling with whole-tensor and tile-region execution paths.
+//!
+//! The paper's VSM fuses pooling layers into tile stacks "in the same way
+//! as the convolutional layers" (§III-F), so pooling supports the same
+//! region execution as [`super::Conv2d`].
+//!
+//! Padding semantics: padded positions contribute the value `0.0` to both
+//! max and average pooling, and average pooling divides by the full kernel
+//! area. These semantics are *identical* in the whole-tensor and tiled
+//! paths, which is what losslessness requires; they intentionally favour
+//! internal consistency over matching any one framework's defaults.
+
+use crate::{pool_out_dim, Patch, Region, Tensor};
+
+/// The pooling reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Maximum over the window (zero-padded).
+    Max,
+    /// Mean over the window (zero-padded, divided by full kernel area).
+    Avg,
+}
+
+/// Hyper-parameters of a pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Reduction kind.
+    pub kind: PoolKind,
+    /// Window height.
+    pub kh: usize,
+    /// Window width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Vertical padding.
+    pub ph: usize,
+    /// Horizontal padding.
+    pub pw: usize,
+}
+
+impl PoolSpec {
+    /// Square window, equal strides/paddings.
+    pub const fn new(kind: PoolKind, k: usize, s: usize, p: usize) -> Self {
+        Self {
+            kind,
+            kh: k,
+            kw: k,
+            sh: s,
+            sw: s,
+            ph: p,
+            pw: p,
+        }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            pool_out_dim(h, self.kh, self.sh, self.ph),
+            pool_out_dim(w, self.kw, self.sw, self.pw),
+        )
+    }
+}
+
+/// A pooling layer (stateless; holds only its spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2d {
+    spec: PoolSpec,
+}
+
+impl Pool2d {
+    /// Creates a pooling layer.
+    pub const fn new(spec: PoolSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The layer's hyper-parameters.
+    pub fn spec(&self) -> &PoolSpec {
+        &self.spec
+    }
+
+    /// Whole-tensor forward pass.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let (_, h, w) = input.shape();
+        let (oh, ow) = self.spec.out_hw(h, w);
+        let patch = Patch::whole(input.clone());
+        self.forward_patch(&patch, Region::full(oh, ow), (h, w))
+            .into_tensor()
+    }
+
+    /// Computes the output entries in `out_region` from an input patch of a
+    /// `global_in` feature map (see [`super::Conv2d::forward_patch`]).
+    pub fn forward_patch(&self, input: &Patch, out_region: Region, global_in: (usize, usize)) -> Patch {
+        assert_eq!(input.global_size(), global_in, "global size mismatch");
+        let s = &self.spec;
+        let (goh, gow) = s.out_hw(global_in.0, global_in.1);
+        assert!(
+            out_region.y1 <= goh && out_region.x1 <= gow,
+            "output region {out_region:?} exceeds global output {goh}x{gow}"
+        );
+        let c = input.channels();
+        let mut out = Tensor::zeros(c, out_region.height(), out_region.width());
+        let area = (s.kh * s.kw) as f32;
+        for ch in 0..c {
+            for oy in out_region.y0..out_region.y1 {
+                let iy0 = oy as isize * s.sh as isize - s.ph as isize;
+                for ox in out_region.x0..out_region.x1 {
+                    let ix0 = ox as isize * s.sw as isize - s.pw as isize;
+                    let v = match s.kind {
+                        PoolKind::Max => {
+                            let mut m = f32::NEG_INFINITY;
+                            for ky in 0..s.kh {
+                                for kx in 0..s.kw {
+                                    m = m.max(input.get_global(
+                                        ch,
+                                        iy0 + ky as isize,
+                                        ix0 + kx as isize,
+                                    ));
+                                }
+                            }
+                            m
+                        }
+                        PoolKind::Avg => {
+                            let mut acc = 0.0;
+                            for ky in 0..s.kh {
+                                for kx in 0..s.kw {
+                                    acc += input.get_global(
+                                        ch,
+                                        iy0 + ky as isize,
+                                        ix0 + kx as isize,
+                                    );
+                                }
+                            }
+                            acc / area
+                        }
+                    };
+                    out.set(ch, oy - out_region.y0, ox - out_region.x0, v);
+                }
+            }
+        }
+        Patch::from_parts(out, out_region.y0, out_region.x0, (goh, gow))
+    }
+}
+
+/// Global average pooling: collapses each channel to a single value.
+/// Used by ResNet-18, Darknet-53 and Inception-v4 ahead of their
+/// classifiers.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let (c, h, w) = input.shape();
+    let area = (h * w) as f32;
+    let mut out = Tensor::zeros(c, 1, 1);
+    for ch in 0..c {
+        let mut acc = 0.0;
+        for y in 0..h {
+            for x in 0..w {
+                acc += input.get(ch, y, x);
+            }
+        }
+        out.set(ch, 0, 0, acc / area);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_abs_diff;
+
+    #[test]
+    fn max_pool_2x2() {
+        let input = Tensor::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let pool = Pool2d::new(PoolSpec::new(PoolKind::Max, 2, 2, 0));
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), (1, 1, 1));
+        assert_eq!(out.get(0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let input = Tensor::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let pool = Pool2d::new(PoolSpec::new(PoolKind::Avg, 2, 2, 0));
+        assert_eq!(pool.forward(&input).get(0, 0, 0), 2.5);
+    }
+
+    #[test]
+    fn vgg_maxpool_halves() {
+        let pool = Pool2d::new(PoolSpec::new(PoolKind::Max, 2, 2, 0));
+        let out = pool.forward(&Tensor::random(4, 8, 8, 1));
+        assert_eq!(out.shape(), (4, 4, 4));
+    }
+
+    #[test]
+    fn resnet_maxpool_3_2_1() {
+        let pool = Pool2d::new(PoolSpec::new(PoolKind::Max, 3, 2, 1));
+        let out = pool.forward(&Tensor::random(2, 112, 112, 1));
+        assert_eq!(out.shape(), (2, 56, 56));
+    }
+
+    #[test]
+    fn padded_avg_divides_by_full_area() {
+        // 3x3 avg with pad 1 on a 1x1 input of 9.0: only centre is valid.
+        let input = Tensor::filled(1, 1, 1, 9.0);
+        let pool = Pool2d::new(PoolSpec::new(PoolKind::Avg, 3, 1, 1));
+        assert_eq!(pool.forward(&input).get(0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn patch_region_matches_whole() {
+        let input = Tensor::random(3, 12, 12, 9);
+        let pool = Pool2d::new(PoolSpec::new(PoolKind::Max, 3, 2, 1));
+        let whole = pool.forward(&input);
+        let out_region = Region::new(2, 6, 1, 5);
+        // Receptive field rows: [2*2-1, 5*2-1+3) = [3,12); cols [1,12).
+        let patch = Patch::from_global(&input, Region::new(3, 12, 1, 12));
+        let tile = pool.forward_patch(&patch, out_region, (12, 12));
+        assert_eq!(
+            max_abs_diff(tile.tensor(), &whole.crop(2, 6, 1, 5)),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn global_avg_pool_collapses() {
+        let mut t = Tensor::zeros(2, 2, 2);
+        for (i, v) in [1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]
+            .iter()
+            .enumerate()
+        {
+            t.data_mut()[i] = *v;
+        }
+        let out = global_avg_pool(&t);
+        assert_eq!(out.shape(), (2, 1, 1));
+        assert_eq!(out.get(0, 0, 0), 2.5);
+        assert_eq!(out.get(1, 0, 0), 10.0);
+    }
+}

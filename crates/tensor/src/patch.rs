@@ -1,0 +1,283 @@
+//! Tile views of a global feature map.
+//!
+//! The vertical separation module assigns each edge node a *crop* of the
+//! layer-`c1` input feature maps (a "fused tile", paper §III-F). During
+//! tile execution a convolution at a global border must still see the
+//! layer's zero padding, while interior tile borders must **not** be
+//! padded — otherwise results diverge from whole-tensor inference (this is
+//! precisely the DeepThings precision-loss issue the paper fixes).
+//!
+//! [`Patch`] encodes these semantics: it is a tensor plus the global
+//! coordinate of its top-left corner and the global feature-map size.
+//! Reads outside the *global* extent return the padding value `0.0`; reads
+//! inside the global extent but outside the patch indicate an RTC bug and
+//! panic in debug builds.
+
+use crate::Tensor;
+
+/// A half-open spatial rectangle `[y0, y1) × [x0, x1)` in global feature-map
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Inclusive top row.
+    pub y0: usize,
+    /// Exclusive bottom row.
+    pub y1: usize,
+    /// Inclusive left column.
+    pub x0: usize,
+    /// Exclusive right column.
+    pub x1: usize,
+}
+
+impl Region {
+    /// Creates a region; panics if empty or inverted.
+    pub fn new(y0: usize, y1: usize, x0: usize, x1: usize) -> Self {
+        assert!(y0 < y1 && x0 < x1, "empty region [{y0},{y1})x[{x0},{x1})");
+        Self { y0, y1, x0, x1 }
+    }
+
+    /// Region covering an entire `h × w` plane.
+    pub fn full(h: usize, w: usize) -> Self {
+        Self::new(0, h, 0, w)
+    }
+
+    /// Height of the region.
+    pub fn height(&self) -> usize {
+        self.y1 - self.y0
+    }
+
+    /// Width of the region.
+    pub fn width(&self) -> usize {
+        self.x1 - self.x0
+    }
+
+    /// Number of spatial positions covered.
+    pub fn area(&self) -> usize {
+        self.height() * self.width()
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    pub fn contains(&self, other: &Region) -> bool {
+        self.y0 <= other.y0 && other.y1 <= self.y1 && self.x0 <= other.x0 && other.x1 <= self.x1
+    }
+
+    /// Whether the two regions share any position.
+    pub fn intersects(&self, other: &Region) -> bool {
+        self.y0 < other.y1 && other.y0 < self.y1 && self.x0 < other.x1 && other.x0 < self.x1
+    }
+}
+
+/// A crop of a global `C × gh × gw` feature map, carrying enough metadata to
+/// execute border-correct tiled convolutions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Patch {
+    data: Tensor,
+    /// Global row of `data`'s first row.
+    y0: usize,
+    /// Global column of `data`'s first column.
+    x0: usize,
+    /// Height of the global feature map this patch was cut from.
+    global_h: usize,
+    /// Width of the global feature map this patch was cut from.
+    global_w: usize,
+}
+
+impl Patch {
+    /// Wraps a whole feature map as a patch at offset `(0, 0)`.
+    pub fn whole(data: Tensor) -> Self {
+        let (_, h, w) = data.shape();
+        Self {
+            data,
+            y0: 0,
+            x0: 0,
+            global_h: h,
+            global_w: w,
+        }
+    }
+
+    /// Cuts the patch covering `region` out of the global feature map
+    /// `full`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `region` exceeds the bounds of `full`.
+    pub fn from_global(full: &Tensor, region: Region) -> Self {
+        let (_, h, w) = full.shape();
+        assert!(
+            region.y1 <= h && region.x1 <= w,
+            "region {region:?} exceeds global {h}x{w}"
+        );
+        Self {
+            data: full.crop(region.y0, region.y1, region.x0, region.x1),
+            y0: region.y0,
+            x0: region.x0,
+            global_h: h,
+            global_w: w,
+        }
+    }
+
+    /// Builds a patch from an already-cropped tensor plus placement
+    /// metadata. `global` is the `(h, w)` of the full feature map.
+    pub fn from_parts(data: Tensor, y0: usize, x0: usize, global: (usize, usize)) -> Self {
+        let (_, h, w) = data.shape();
+        assert!(
+            y0 + h <= global.0 && x0 + w <= global.1,
+            "patch {h}x{w} at ({y0},{x0}) exceeds global {}x{}",
+            global.0,
+            global.1
+        );
+        Self {
+            data,
+            y0,
+            x0,
+            global_h: global.0,
+            global_w: global.1,
+        }
+    }
+
+    /// The tensor holding the patch's values.
+    pub fn tensor(&self) -> &Tensor {
+        &self.data
+    }
+
+    /// Consumes the patch, returning its tensor.
+    pub fn into_tensor(self) -> Tensor {
+        self.data
+    }
+
+    /// The region of the global plane this patch covers.
+    pub fn region(&self) -> Region {
+        Region::new(
+            self.y0,
+            self.y0 + self.data.height(),
+            self.x0,
+            self.x0 + self.data.width(),
+        )
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.data.channels()
+    }
+
+    /// Global `(h, w)` of the feature map this patch belongs to.
+    pub fn global_size(&self) -> (usize, usize) {
+        (self.global_h, self.global_w)
+    }
+
+    /// Reads the value at *global* coordinate `(c, gy, gx)` where the
+    /// coordinates may range over the padded plane
+    /// `[-pad, global + pad)`. Out-of-global positions read as `0.0`
+    /// (zero padding); positions inside the global plane must be covered
+    /// by the patch.
+    ///
+    /// `gy`/`gx` are signed to allow padding positions.
+    #[inline]
+    pub fn get_global(&self, c: usize, gy: isize, gx: isize) -> f32 {
+        if gy < 0 || gx < 0 || gy as usize >= self.global_h || gx as usize >= self.global_w {
+            return 0.0; // zero padding outside the global plane
+        }
+        let (gy, gx) = (gy as usize, gx as usize);
+        debug_assert!(
+            gy >= self.y0
+                && gy < self.y0 + self.data.height()
+                && gx >= self.x0
+                && gx < self.x0 + self.data.width(),
+            "global read ({gy},{gx}) outside patch region {:?} — RTC under-provisioned",
+            self.region()
+        );
+        self.data.get(c, gy - self.y0, gx - self.x0)
+    }
+
+    /// Whether the patch covers all input positions inside the global plane
+    /// that intersect `needed` (positions of `needed` outside the plane are
+    /// padding and need no coverage).
+    pub fn covers_clamped(&self, needed: &Region) -> bool {
+        let clamped = Region {
+            y0: needed.y0,
+            y1: needed.y1.min(self.global_h),
+            x0: needed.x0,
+            x1: needed.x1.min(self.global_w),
+        };
+        self.region().contains(&clamped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_accessors() {
+        let r = Region::new(1, 4, 2, 8);
+        assert_eq!(r.height(), 3);
+        assert_eq!(r.width(), 6);
+        assert_eq!(r.area(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn empty_region_panics() {
+        Region::new(3, 3, 0, 1);
+    }
+
+    #[test]
+    fn region_contains_and_intersects() {
+        let outer = Region::new(0, 10, 0, 10);
+        let inner = Region::new(2, 5, 3, 7);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.intersects(&inner));
+        let disjoint = Region::new(0, 2, 0, 2);
+        assert!(!disjoint.intersects(&Region::new(2, 4, 2, 4)));
+        assert!(disjoint.intersects(&Region::new(1, 4, 1, 4)));
+    }
+
+    #[test]
+    fn whole_patch_reads_like_tensor() {
+        let t = Tensor::random(2, 5, 5, 3);
+        let p = Patch::whole(t.clone());
+        assert_eq!(p.get_global(1, 2, 3), t.get(1, 2, 3));
+        assert_eq!(p.region(), Region::full(5, 5));
+    }
+
+    #[test]
+    fn padding_reads_zero() {
+        let p = Patch::whole(Tensor::filled(1, 3, 3, 9.0));
+        assert_eq!(p.get_global(0, -1, 0), 0.0);
+        assert_eq!(p.get_global(0, 0, -1), 0.0);
+        assert_eq!(p.get_global(0, 3, 0), 0.0);
+        assert_eq!(p.get_global(0, 0, 3), 0.0);
+        assert_eq!(p.get_global(0, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn from_global_reads_global_coords() {
+        let t = Tensor::from_vec(1, 4, 4, (0..16).map(|i| i as f32).collect());
+        let p = Patch::from_global(&t, Region::new(1, 3, 1, 4));
+        assert_eq!(p.get_global(0, 1, 1), 5.0);
+        assert_eq!(p.get_global(0, 2, 3), 11.0);
+        // Global padding is still visible from a patch touching the border.
+        assert_eq!(p.get_global(0, 1, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn uncovered_interior_read_panics() {
+        let t = Tensor::zeros(1, 4, 4);
+        let p = Patch::from_global(&t, Region::new(0, 2, 0, 2));
+        // (3,3) is inside the global plane but not in the patch.
+        p.get_global(0, 3, 3);
+    }
+
+    #[test]
+    fn covers_clamped_handles_padding_overhang() {
+        let t = Tensor::zeros(1, 4, 4);
+        let p = Patch::from_global(&t, Region::new(1, 4, 0, 3));
+        // Receptive field of a border tile can extend past the plane; the
+        // overhang is padding and does not need patch coverage.
+        assert!(p.covers_clamped(&Region::new(1, 5, 0, 3)));
+        assert!(!p.covers_clamped(&Region::new(0, 4, 0, 3)));
+    }
+}

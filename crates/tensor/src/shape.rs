@@ -1,0 +1,129 @@
+//! Shape arithmetic shared by the operator implementations and by the
+//! graph-level shape inference in `d3-model`.
+
+use std::fmt;
+
+/// The shape of a 3-D feature-map tensor in CHW order
+/// (channels × height × width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape3 {
+    /// Number of channels (depth `D` in the paper's notation).
+    pub c: usize,
+    /// Spatial height `H`.
+    pub h: usize,
+    /// Spatial width `W`.
+    pub w: usize,
+}
+
+impl Shape3 {
+    /// Creates a new shape.
+    pub const fn new(c: usize, h: usize, w: usize) -> Self {
+        Self { c, h, w }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Returns `true` when the shape contains no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes of an `f32` tensor of this shape.
+    pub const fn byte_size(&self) -> usize {
+        self.len() * 4
+    }
+}
+
+impl fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+impl From<(usize, usize, usize)> for Shape3 {
+    fn from((c, h, w): (usize, usize, usize)) -> Self {
+        Self::new(c, h, w)
+    }
+}
+
+/// Output spatial dimension of a convolution:
+/// `(in - kernel + 2*pad) / stride + 1` (Eq. (3) of the paper).
+///
+/// # Panics
+///
+/// Panics if the configuration produces no output (kernel larger than the
+/// padded input) or if `stride == 0`.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+/// Output spatial dimension of a pooling window. Pooling uses the same
+/// arithmetic as convolution; kept separate for call-site clarity.
+pub fn pool_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    conv_out_dim(input, kernel, stride, pad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_len_and_bytes() {
+        let s = Shape3::new(3, 224, 224);
+        assert_eq!(s.len(), 3 * 224 * 224);
+        assert_eq!(s.byte_size(), 3 * 224 * 224 * 4);
+        assert!(!s.is_empty());
+        assert!(Shape3::new(0, 5, 5).is_empty());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(Shape3::new(64, 112, 112).to_string(), "64x112x112");
+    }
+
+    #[test]
+    fn conv_dim_same_padding() {
+        // 3x3 kernel, stride 1, pad 1 keeps the dimension.
+        assert_eq!(conv_out_dim(224, 3, 1, 1), 224);
+    }
+
+    #[test]
+    fn conv_dim_stride_two() {
+        assert_eq!(conv_out_dim(224, 3, 2, 1), 112);
+        // AlexNet conv1: 11x11 stride 4 pad 2 on 224 -> 55.
+        assert_eq!(conv_out_dim(224, 11, 4, 2), 55);
+    }
+
+    #[test]
+    fn conv_dim_no_padding() {
+        assert_eq!(conv_out_dim(8, 3, 1, 0), 6);
+        assert_eq!(conv_out_dim(8, 8, 1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel")]
+    fn conv_dim_kernel_too_large_panics() {
+        conv_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn conv_dim_zero_stride_panics() {
+        conv_out_dim(8, 3, 0, 1);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let s: Shape3 = (1, 2, 3).into();
+        assert_eq!(s, Shape3::new(1, 2, 3));
+    }
+}

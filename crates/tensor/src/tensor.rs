@@ -1,0 +1,281 @@
+//! Dense CHW `f32` tensor.
+
+use crate::Shape3;
+use rand::distr::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A dense 3-D `f32` tensor in CHW (channel-major) layout.
+///
+/// `Tensor` is the unit of data flowing through the reproduction's inference
+/// engine: layer inputs, feature maps, and tile crops are all `Tensor`s.
+/// Indexing is `(c, y, x)` with row-major spatial layout inside each channel.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape3,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Self::filled(c, h, w, 0.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn filled(c: usize, h: usize, w: usize, value: f32) -> Self {
+        let shape = Shape3::new(c, h, w);
+        Self {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor from raw data in CHW order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != c * h * w`.
+    pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        let shape = Shape3::new(c, h, w);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {}",
+            data.len(),
+            shape
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a tensor with uniform random entries in `[-1, 1)`, seeded
+    /// deterministically. Used to generate reproducible synthetic inputs
+    /// (the paper's ImageNet images are substituted with synthetic tensors;
+    /// losslessness is content-independent).
+    pub fn random(c: usize, h: usize, w: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new(-1.0f32, 1.0).expect("valid range");
+        let shape = Shape3::new(c, h, w);
+        let data = (0..shape.len()).map(|_| dist.sample(&mut rng)).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape as `(c, h, w)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.shape.c, self.shape.h, self.shape.w)
+    }
+
+    /// The tensor's shape as a [`Shape3`].
+    pub fn shape3(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.shape.c
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.shape.h
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.shape.w
+    }
+
+    /// Borrow the underlying data in CHW order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying data in CHW order.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    #[inline]
+    fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.shape.c && y < self.shape.h && x < self.shape.w);
+        (c * self.shape.h + y) * self.shape.w + x
+    }
+
+    /// Reads the entry at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[self.index(c, y, x)]
+    }
+
+    /// Writes the entry at `(c, y, x)`.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, value: f32) {
+        let i = self.index(c, y, x);
+        self.data[i] = value;
+    }
+
+    /// Extracts the spatial crop `[y0, y1) × [x0, x1)` across all channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the crop is empty or exceeds the tensor bounds.
+    pub fn crop(&self, y0: usize, y1: usize, x0: usize, x1: usize) -> Tensor {
+        assert!(y0 < y1 && x0 < x1, "empty crop [{y0},{y1})x[{x0},{x1})");
+        assert!(
+            y1 <= self.shape.h && x1 <= self.shape.w,
+            "crop [{y0},{y1})x[{x0},{x1}) exceeds tensor {}",
+            self.shape
+        );
+        let (ch, cw) = (y1 - y0, x1 - x0);
+        let mut out = Tensor::zeros(self.shape.c, ch, cw);
+        for c in 0..self.shape.c {
+            for y in 0..ch {
+                let src = self.index(c, y0 + y, x0);
+                let dst = (c * ch + y) * cw;
+                out.data[dst..dst + cw].copy_from_slice(&self.data[src..src + cw]);
+            }
+        }
+        out
+    }
+
+    /// Copies `src` into this tensor so that `src`'s `(0, 0)` lands at
+    /// `(y0, x0)`. Channel counts must match. Used to merge tile outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes are incompatible.
+    pub fn paste(&mut self, src: &Tensor, y0: usize, x0: usize) {
+        assert_eq!(src.shape.c, self.shape.c, "channel mismatch in paste");
+        assert!(
+            y0 + src.shape.h <= self.shape.h && x0 + src.shape.w <= self.shape.w,
+            "paste of {} at ({y0},{x0}) exceeds target {}",
+            src.shape,
+            self.shape
+        );
+        for c in 0..self.shape.c {
+            for y in 0..src.shape.h {
+                let dst = self.index(c, y0 + y, x0);
+                let s = (c * src.shape.h + y) * src.shape.w;
+                self.data[dst..dst + src.shape.w].copy_from_slice(&src.data[s..s + src.shape.w]);
+            }
+        }
+    }
+
+    /// Flattens the tensor to a `(len, 1, 1)` vector tensor, the layout
+    /// expected by fully-connected layers.
+    pub fn flatten(&self) -> Tensor {
+        Tensor::from_vec(self.shape.len(), 1, 1, self.data.clone())
+    }
+
+    /// Sum of all entries (deterministic left-to-right accumulation).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({})", self.shape)?;
+        if self.shape.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        let t = Tensor::zeros(2, 3, 4);
+        assert_eq!(t.shape(), (2, 3, 4));
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        let f = Tensor::filled(1, 1, 1, 2.5);
+        assert_eq!(f.get(0, 0, 0), 2.5);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(2, 3, 4);
+        t.set(1, 2, 3, 7.0);
+        assert_eq!(t.get(1, 2, 3), 7.0);
+        assert_eq!(t.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn chw_layout() {
+        // data index = (c*h + y)*w + x
+        let t = Tensor::from_vec(2, 2, 2, (0..8).map(|i| i as f32).collect());
+        assert_eq!(t.get(0, 0, 0), 0.0);
+        assert_eq!(t.get(0, 0, 1), 1.0);
+        assert_eq!(t.get(0, 1, 0), 2.0);
+        assert_eq!(t.get(1, 0, 0), 4.0);
+        assert_eq!(t.get(1, 1, 1), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_wrong_len_panics() {
+        Tensor::from_vec(1, 2, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Tensor::random(3, 8, 8, 42);
+        let b = Tensor::random(3, 8, 8, 42);
+        assert_eq!(a, b);
+        let c = Tensor::random(3, 8, 8, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn crop_extracts_expected_region() {
+        let t = Tensor::from_vec(1, 4, 4, (0..16).map(|i| i as f32).collect());
+        let c = t.crop(1, 3, 2, 4);
+        assert_eq!(c.shape(), (1, 2, 2));
+        assert_eq!(c.get(0, 0, 0), 6.0);
+        assert_eq!(c.get(0, 0, 1), 7.0);
+        assert_eq!(c.get(0, 1, 0), 10.0);
+        assert_eq!(c.get(0, 1, 1), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn crop_out_of_bounds_panics() {
+        Tensor::zeros(1, 4, 4).crop(0, 5, 0, 2);
+    }
+
+    #[test]
+    fn paste_then_crop_roundtrip() {
+        let src = Tensor::random(2, 3, 3, 7);
+        let mut dst = Tensor::zeros(2, 8, 8);
+        dst.paste(&src, 2, 4);
+        assert_eq!(dst.crop(2, 5, 4, 7), src);
+    }
+
+    #[test]
+    fn flatten_preserves_data() {
+        let t = Tensor::random(2, 3, 4, 1);
+        let f = t.flatten();
+        assert_eq!(f.shape(), (24, 1, 1));
+        assert_eq!(f.data(), t.data());
+    }
+
+    #[test]
+    fn sum_is_total() {
+        let t = Tensor::filled(2, 2, 2, 0.5);
+        assert!((t.sum() - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,318 @@
+//! Fused-tile execution: the compute side of VSM.
+//!
+//! Each fused tile runs independently — on its own thread, standing in
+//! for the paper's independent edge nodes — consuming only its input crop
+//! and producing its disjoint output tile. The merged result is
+//! bit-identical to whole-tensor inference because the region operators
+//! apply padding only at global borders and accumulate in the same order
+//! (the paper's "lossless" claim, verified by tests and property tests).
+
+use crate::fused::VsmPlan;
+use d3_model::{Executor, LayerOp};
+use d3_tensor::{ops::relu, ops::leaky_relu, Patch, Region, Tensor};
+
+/// Executes one [`VsmPlan`] with materialized weights.
+pub struct TileExecutor {
+    ops: Vec<LayerOp>,
+    plan: VsmPlan,
+    out_channels: usize,
+}
+
+impl TileExecutor {
+    /// Materializes the run's operators from the model executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan contains a vertex kind the tile path cannot
+    /// execute (guarded earlier by [`VsmPlan::new`]).
+    pub fn new(executor: &Executor<'_>, plan: VsmPlan) -> Self {
+        let ops: Vec<LayerOp> = plan.layers.iter().map(|&id| executor.build_op(id)).collect();
+        for op in &ops {
+            assert!(
+                matches!(
+                    op,
+                    LayerOp::Conv { .. }
+                        | LayerOp::Depthwise { .. }
+                        | LayerOp::Pool(_)
+                        | LayerOp::Activation(_)
+                ),
+                "non-tileable op reached the tile executor"
+            );
+        }
+        let out_channels = executor
+            .graph()
+            .node(*plan.layers.last().expect("non-empty plan"))
+            .shape
+            .c;
+        Self {
+            ops,
+            plan,
+            out_channels,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &VsmPlan {
+        &self.plan
+    }
+
+    /// Runs one fused tile: crops the input, walks the layer stack on
+    /// patches, returns the tile's (output region, output tensor).
+    pub fn run_tile(&self, input: &Tensor, idx: usize) -> (Region, Tensor) {
+        let tile = &self.plan.tiles[idx];
+        let mut patch = Patch::from_global(input, tile.input_region());
+        for (i, op) in self.ops.iter().enumerate() {
+            let global_in = self.plan.planes[i];
+            let out_region = tile.regions[i + 1];
+            patch = apply_tiled(op, &patch, out_region, global_in);
+        }
+        (tile.output_region(), patch.into_tensor())
+    }
+
+    /// Sequential tiled execution: every tile in order, merged.
+    pub fn run_sequential(&self, input: &Tensor) -> Tensor {
+        let mut out = self.blank_output();
+        for idx in 0..self.plan.tiles.len() {
+            let (region, tensor) = self.run_tile(input, idx);
+            out.paste(&tensor, region.y0, region.x0);
+        }
+        out
+    }
+
+    /// Parallel tiled execution: one thread per fused tile (the paper's
+    /// one-tile-per-edge-node deployment), merged after a join.
+    pub fn run_parallel(&self, input: &Tensor) -> Tensor {
+        let n = self.plan.tiles.len();
+        let mut results: Vec<Option<(Region, Tensor)>> = (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for idx in 0..n {
+                handles.push(scope.spawn(move |_| self.run_tile(input, idx)));
+            }
+            for (idx, h) in handles.into_iter().enumerate() {
+                results[idx] = Some(h.join().expect("tile thread panicked"));
+            }
+        })
+        .expect("tile scope panicked");
+        let mut out = self.blank_output();
+        for r in results.into_iter().flatten() {
+            out.paste(&r.1, r.0.y0, r.0.x0);
+        }
+        out
+    }
+
+    /// Reference whole-tensor execution through the same operators.
+    pub fn run_whole(&self, input: &Tensor) -> Tensor {
+        let mut cur = input.clone();
+        for op in &self.ops {
+            cur = op.apply(&[&cur]);
+        }
+        cur
+    }
+
+    fn blank_output(&self) -> Tensor {
+        let (h, w) = *self.plan.planes.last().expect("non-empty planes");
+        Tensor::zeros(self.out_channels, h, w)
+    }
+}
+
+/// Applies one operator to a patch, producing exactly `out_region` of the
+/// operator's global output plane.
+fn apply_tiled(op: &LayerOp, patch: &Patch, out_region: Region, global_in: (usize, usize)) -> Patch {
+    match op {
+        LayerOp::Conv {
+            conv,
+            bn,
+            activation,
+        } => {
+            let mut out = conv.forward_patch(patch, out_region, global_in);
+            let region = out.region();
+            let global = out.global_size();
+            let mut t = out.into_tensor();
+            if let Some(bn) = bn {
+                t = bn.forward(&t);
+            }
+            t = apply_act(&t, *activation);
+            out = Patch::from_parts(t, region.y0, region.x0, global);
+            out
+        }
+        LayerOp::Depthwise {
+            conv,
+            bn,
+            activation,
+        } => {
+            let out = conv.forward_patch(patch, out_region, global_in);
+            let region = out.region();
+            let global = out.global_size();
+            let mut t = out.into_tensor();
+            if let Some(bn) = bn {
+                t = bn.forward(&t);
+            }
+            t = apply_act(&t, *activation);
+            Patch::from_parts(t, region.y0, region.x0, global)
+        }
+        LayerOp::Pool(p) => p.forward_patch(patch, out_region, global_in),
+        LayerOp::Activation(a) => {
+            let region = patch.region();
+            debug_assert_eq!(region, out_region, "activation is spatially identity");
+            let t = apply_act(patch.tensor(), *a);
+            Patch::from_parts(t, region.y0, region.x0, patch.global_size())
+        }
+        other => unreachable!("non-tileable op {other:?} in tile path"),
+    }
+}
+
+fn apply_act(t: &Tensor, a: d3_model::Activation) -> Tensor {
+    match a {
+        d3_model::Activation::None => t.clone(),
+        d3_model::Activation::Relu => relu(t),
+        d3_model::Activation::Leaky(alpha) => leaky_relu(t, alpha),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_model::NodeId;
+    use d3_tensor::max_abs_diff;
+
+    fn check_lossless(g: &d3_model::DnnGraph, run: &[NodeId], rows: usize, cols: usize, seed: u64) {
+        let exec = Executor::new(g, seed);
+        let plan = VsmPlan::new(g, run, rows, cols).unwrap();
+        let tex = TileExecutor::new(&exec, plan);
+        let in_shape = g.node(g.node(run[0]).preds[0]).shape;
+        let input = Tensor::random(in_shape.c, in_shape.h, in_shape.w, seed ^ 99);
+        let whole = tex.run_whole(&input);
+        let seq = tex.run_sequential(&input);
+        let par = tex.run_parallel(&input);
+        assert_eq!(
+            max_abs_diff(&seq, &whole),
+            Some(0.0),
+            "sequential tiling diverged"
+        );
+        assert_eq!(
+            max_abs_diff(&par, &whole),
+            Some(0.0),
+            "parallel tiling diverged"
+        );
+    }
+
+    #[test]
+    fn lossless_on_tiny_cnn_2x2() {
+        let g = zoo::tiny_cnn(16);
+        check_lossless(&g, &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)], 2, 2, 1);
+    }
+
+    #[test]
+    fn lossless_on_tiny_cnn_3x1_and_1x3() {
+        let g = zoo::tiny_cnn(24);
+        let run = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        check_lossless(&g, &run, 3, 1, 2);
+        check_lossless(&g, &run, 1, 3, 3);
+    }
+
+    #[test]
+    fn lossless_on_chain_of_same_convs_4x4() {
+        let g = zoo::chain_cnn(3, 8, 32);
+        check_lossless(&g, &[NodeId(1), NodeId(2), NodeId(3)], 4, 4, 7);
+    }
+
+    #[test]
+    fn lossless_single_layer_single_tile() {
+        let g = zoo::tiny_cnn(8);
+        check_lossless(&g, &[NodeId(1)], 1, 1, 5);
+    }
+
+    #[test]
+    fn lossless_on_strided_stack() {
+        // conv/2 + pool: tests stride math through the chain.
+        use d3_model::{Activation, LayerKind};
+        use d3_tensor::ops::{ConvSpec, PoolKind, PoolSpec};
+        let mut g = d3_model::DnnGraph::new("strided", d3_tensor::Shape3::new(3, 32, 32));
+        let c1 = g.chain(
+            "c1",
+            LayerKind::Conv {
+                spec: ConvSpec::new(3, 8, 3, 2, 1),
+                batch_norm: true,
+                activation: Activation::Leaky(0.1),
+            },
+            g.input(),
+        );
+        let p1 = g.chain(
+            "p1",
+            LayerKind::Pool {
+                spec: PoolSpec::new(PoolKind::Max, 3, 2, 1),
+            },
+            c1,
+        );
+        let c2 = g.chain(
+            "c2",
+            LayerKind::Conv {
+                spec: ConvSpec::new(8, 8, 5, 1, 2),
+                batch_norm: false,
+                activation: Activation::Relu,
+            },
+            p1,
+        );
+        g.chain("gap", LayerKind::GlobalAvgPool, c2);
+        check_lossless(&g, &[c1, p1, c2], 2, 2, 11);
+    }
+
+    #[test]
+    fn lossless_with_avg_pool_and_rect_kernels() {
+        use d3_model::{Activation, LayerKind};
+        use d3_tensor::ops::{ConvSpec, PoolKind, PoolSpec};
+        let mut g = d3_model::DnnGraph::new("rect", d3_tensor::Shape3::new(4, 20, 20));
+        let c1 = g.chain(
+            "c1x7",
+            LayerKind::Conv {
+                spec: ConvSpec::rect(4, 6, 1, 7, 1, 1, 0, 3),
+                batch_norm: true,
+                activation: Activation::Relu,
+            },
+            g.input(),
+        );
+        let c2 = g.chain(
+            "c7x1",
+            LayerKind::Conv {
+                spec: ConvSpec::rect(6, 6, 7, 1, 1, 1, 3, 0),
+                batch_norm: false,
+                activation: Activation::None,
+            },
+            c1,
+        );
+        let ap = g.chain(
+            "avg",
+            LayerKind::Pool {
+                spec: PoolSpec::new(PoolKind::Avg, 3, 1, 1),
+            },
+            c2,
+        );
+        g.chain("gap", LayerKind::GlobalAvgPool, ap);
+        check_lossless(&g, &[c1, c2, ap], 2, 3, 13);
+    }
+
+    #[test]
+    fn weighted_plans_are_lossless_too() {
+        // Heterogeneous pool: a 3:1 row split must not affect results.
+        let g = zoo::tiny_cnn(24);
+        let run = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        let exec = Executor::new(&g, 17);
+        let plan = VsmPlan::weighted(&g, &run, &[3.0, 1.0], &[1.0, 2.0]).unwrap();
+        assert!(plan.output_is_partition());
+        let tex = TileExecutor::new(&exec, plan);
+        let input = Tensor::random(3, 24, 24, 99);
+        let whole = tex.run_whole(&input);
+        let par = tex.run_parallel(&input);
+        assert_eq!(max_abs_diff(&par, &whole), Some(0.0));
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_many_seeds() {
+        let g = zoo::tiny_cnn(16);
+        for seed in 0..5 {
+            check_lossless(&g, &[NodeId(1), NodeId(2), NodeId(3)], 2, 2, seed);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Fused tile stacks (Algorithm 2 of the paper).
+//!
+//! Given `k` consecutive tileable layers `c1..ck` hosted at the edge tier,
+//! VSM splits the *output* feature maps of `ck` (equivalently, the input
+//! of the virtual layer `c_{k+1}`) into an `A × B` grid and walks every
+//! tile backwards through [`crate::rtc::reverse_tile`] to find the exact
+//! crop of `c1`'s input each edge node needs. A stack of correlated tiles
+//! across the `k` layers is a *fused tile*; fused tiles execute fully
+//! independently and their merged outputs are bit-identical to
+//! whole-tensor inference.
+
+use crate::grid::TileGrid;
+use crate::rtc::{reverse_tile, SpatialParams};
+use d3_model::{DnnGraph, NodeId};
+use d3_tensor::Region;
+
+/// Errors from planning a vertical separation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VsmError {
+    /// The layer run is empty.
+    EmptyRun,
+    /// A layer in the run is not spatially tileable.
+    NotTileable(NodeId),
+    /// The run is not a chain inside the graph (fan-in/fan-out mid-run).
+    NotAChain(NodeId),
+    /// The requested grid is finer than the output plane.
+    GridTooFine {
+        /// Requested rows/cols.
+        grid: (usize, usize),
+        /// Output plane size.
+        plane: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for VsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VsmError::EmptyRun => write!(f, "empty layer run"),
+            VsmError::NotTileable(id) => write!(f, "layer {id} is not tileable"),
+            VsmError::NotAChain(id) => write!(f, "layer {id} breaks the chain"),
+            VsmError::GridTooFine { grid, plane } => write!(
+                f,
+                "grid {}x{} finer than output plane {}x{}",
+                grid.0, grid.1, plane.0, plane.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VsmError {}
+
+/// One fused tile: the region chain `r_1 ⊃ … ⊃ r_{k+1}` where `r_i` lives
+/// in the *input* plane of layer `c_i` and `r_{k+1}` is the assigned
+/// disjoint output tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedTile {
+    /// Grid position `(a, b)`.
+    pub pos: (usize, usize),
+    /// `regions[i]` = region in the input plane of layer `i` (0-based);
+    /// `regions[k]` = the output tile on `ck`'s output plane.
+    pub regions: Vec<Region>,
+}
+
+impl FusedTile {
+    /// The crop of `c1`'s input this tile's edge node receives.
+    pub fn input_region(&self) -> Region {
+        self.regions[0]
+    }
+
+    /// The disjoint output tile this fused stack produces.
+    pub fn output_region(&self) -> Region {
+        *self.regions.last().expect("non-empty chain")
+    }
+}
+
+/// A complete vertical separation plan for a run of consecutive layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VsmPlan {
+    /// The layer run `c1..ck` (graph vertex ids, in execution order).
+    pub layers: Vec<NodeId>,
+    /// Spatial parameters per layer.
+    pub params: Vec<SpatialParams>,
+    /// Input plane (h, w) per layer, plus the output plane of the last
+    /// layer: `planes.len() == layers.len() + 1`.
+    pub planes: Vec<(usize, usize)>,
+    /// The fused tiles, row-major.
+    pub tiles: Vec<FusedTile>,
+    /// Grid shape.
+    pub grid: (usize, usize),
+}
+
+impl VsmPlan {
+    /// Builds the plan: Algorithm 2 (`VSM()`), with a uniform `A × B`
+    /// tile decision applied to the output of the last layer.
+    ///
+    /// # Errors
+    ///
+    /// See [`VsmError`].
+    pub fn new(
+        graph: &DnnGraph,
+        layers: &[NodeId],
+        rows: usize,
+        cols: usize,
+    ) -> Result<VsmPlan, VsmError> {
+        Self::build(graph, layers, |oh, ow| {
+            if rows > oh || cols > ow {
+                Err(VsmError::GridTooFine {
+                    grid: (rows, cols),
+                    plane: (oh, ow),
+                })
+            } else {
+                Ok(TileGrid::new(rows, cols, oh, ow))
+            }
+        })
+    }
+
+    /// Builds the plan with a capacity-weighted grid (heterogeneous edge
+    /// pools: faster nodes receive proportionally larger tiles; tile
+    /// `(a, b)` maps to the node with row weight `a` and column weight
+    /// `b`).
+    ///
+    /// # Errors
+    ///
+    /// See [`VsmError`].
+    pub fn weighted(
+        graph: &DnnGraph,
+        layers: &[NodeId],
+        row_weights: &[f64],
+        col_weights: &[f64],
+    ) -> Result<VsmPlan, VsmError> {
+        let (rows, cols) = (row_weights.len(), col_weights.len());
+        Self::build(graph, layers, |oh, ow| {
+            if rows > oh || cols > ow {
+                Err(VsmError::GridTooFine {
+                    grid: (rows, cols),
+                    plane: (oh, ow),
+                })
+            } else {
+                Ok(TileGrid::weighted(row_weights, col_weights, oh, ow))
+            }
+        })
+    }
+
+    fn build(
+        graph: &DnnGraph,
+        layers: &[NodeId],
+        make_grid: impl FnOnce(usize, usize) -> Result<TileGrid, VsmError>,
+    ) -> Result<VsmPlan, VsmError> {
+        if layers.is_empty() {
+            return Err(VsmError::EmptyRun);
+        }
+        // Validate chain-ness and tileability; collect params and planes.
+        let mut params = Vec::with_capacity(layers.len());
+        let mut planes = Vec::with_capacity(layers.len() + 1);
+        for (i, &id) in layers.iter().enumerate() {
+            let node = graph.node(id);
+            let p = SpatialParams::of(&node.kind).ok_or(VsmError::NotTileable(id))?;
+            if node.preds.len() != 1 {
+                return Err(VsmError::NotAChain(id));
+            }
+            if i + 1 < layers.len() {
+                // Mid-run vertices must feed exactly the next run member.
+                if node.succs.as_slice() != [layers[i + 1]] {
+                    return Err(VsmError::NotAChain(id));
+                }
+            }
+            let in_shape = graph.node(node.preds[0]).shape;
+            planes.push((in_shape.h, in_shape.w));
+            params.push(p);
+        }
+        let out_shape = graph.node(*layers.last().expect("non-empty")).shape;
+        planes.push((out_shape.h, out_shape.w));
+
+        let (oh, ow) = (out_shape.h, out_shape.w);
+        let grid = make_grid(oh, ow)?;
+        let (rows, cols) = (grid.rows, grid.cols);
+        // Algorithm 2: for each output tile, RTC back through ck..c1.
+        let mut tiles = Vec::with_capacity(grid.len());
+        for a in 0..rows {
+            for b in 0..cols {
+                let mut regions = vec![grid.tile(a, b)];
+                for i in (0..layers.len()).rev() {
+                    let (h, w) = planes[i];
+                    let next = regions.last().expect("non-empty");
+                    regions.push(reverse_tile(&params[i], *next, h, w));
+                }
+                regions.reverse();
+                tiles.push(FusedTile {
+                    pos: (a, b),
+                    regions,
+                });
+            }
+        }
+        Ok(VsmPlan {
+            layers: layers.to_vec(),
+            params,
+            planes,
+            tiles,
+            grid: (rows, cols),
+        })
+    }
+
+    /// Number of fused tiles (= edge nodes used).
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Computational redundancy of the separation: the total *work* of the
+    /// tiled execution relative to whole-tensor execution, where work at
+    /// each layer is proportional to the produced output area. `1.0` means
+    /// no overlap; the paper notes VSM's speedup on 4 nodes stays below 4×
+    /// exactly because of this spatial overlap.
+    ///
+    /// The ratio can even drop *below* 1.0: when a downstream strided
+    /// layer consumes only part of its input plane, RTC computes exactly
+    /// the consumed region, skipping dead outputs that whole-tensor
+    /// execution computes wastefully.
+    pub fn redundancy(&self) -> f64 {
+        let mut tiled = 0usize;
+        let mut whole = 0usize;
+        for (i, _) in self.layers.iter().enumerate() {
+            let (h, w) = self.planes[i + 1];
+            whole += h * w;
+            for t in &self.tiles {
+                tiled += t.regions[i + 1].area();
+            }
+        }
+        tiled as f64 / whole as f64
+    }
+
+    /// Input-transfer redundancy: total bytes of `c1`-input crops shipped
+    /// to edge nodes relative to the whole input (scatter amplification).
+    pub fn input_redundancy(&self) -> f64 {
+        let (h, w) = self.planes[0];
+        let total: usize = self.tiles.iter().map(|t| t.input_region().area()).sum();
+        total as f64 / (h * w) as f64
+    }
+
+    /// Output tiles are disjoint and exactly cover the output plane
+    /// (checked invariant; exposed for tests and debugging).
+    pub fn output_is_partition(&self) -> bool {
+        let (h, w) = *self.planes.last().expect("non-empty");
+        let area: usize = self.tiles.iter().map(|t| t.output_region().area()).sum();
+        if area != h * w {
+            return false;
+        }
+        for i in 0..self.tiles.len() {
+            for j in i + 1..self.tiles.len() {
+                if self.tiles[i]
+                    .output_region()
+                    .intersects(&self.tiles[j].output_region())
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Finds maximal runs of consecutive tileable layers within `members`
+/// (a tier's segment): each run is a chain of conv/pool/activation
+/// vertices, the unit VSM parallelizes. Runs shorter than `min_len` are
+/// dropped.
+pub fn find_tileable_runs(graph: &DnnGraph, members: &[NodeId], min_len: usize) -> Vec<Vec<NodeId>> {
+    let member_set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+    let tileable = |id: NodeId| {
+        id != graph.input()
+            && graph.node(id).kind.is_tileable()
+            && graph.node(id).preds.len() == 1
+    };
+    let mut runs = Vec::new();
+    let mut used: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    let mut sorted: Vec<NodeId> = members.to_vec();
+    sorted.sort();
+    for &start in &sorted {
+        if used.contains(&start) || !tileable(start) {
+            continue;
+        }
+        // `start` must truly start a run: its predecessor is not a
+        // mid-run-extendable member.
+        let pred = graph.node(start).preds[0];
+        let pred_extends = member_set.contains(&pred)
+            && tileable(pred)
+            && graph.node(pred).succs.len() == 1;
+        if pred_extends {
+            continue; // will be covered when the run through `pred` grows
+        }
+        let mut run = vec![start];
+        let mut cur = start;
+        loop {
+            let node = graph.node(cur);
+            if node.succs.len() != 1 {
+                break;
+            }
+            let next = node.succs[0];
+            if !member_set.contains(&next) || !tileable(next) || used.contains(&next) {
+                break;
+            }
+            run.push(next);
+            cur = next;
+        }
+        for &id in &run {
+            used.insert(id);
+        }
+        if run.len() >= min_len {
+            runs.push(run);
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+
+    #[test]
+    fn plan_on_tiny_cnn() {
+        let g = zoo::tiny_cnn(16);
+        // conv1(1), pool1(2), conv2(3), conv3(4) form a tileable run.
+        let run: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        let plan = VsmPlan::new(&g, &run, 2, 2).unwrap();
+        assert_eq!(plan.tile_count(), 4);
+        assert!(plan.output_is_partition());
+        assert!(plan.redundancy() >= 1.0);
+        assert!(plan.input_redundancy() >= 1.0);
+    }
+
+    #[test]
+    fn redundancy_grows_with_grid() {
+        let g = zoo::tiny_cnn(32);
+        let run: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        let r2 = VsmPlan::new(&g, &run, 2, 2).unwrap().redundancy();
+        let r4 = VsmPlan::new(&g, &run, 4, 4).unwrap().redundancy();
+        assert!(r4 > r2, "finer grid → more halo overlap ({r4} vs {r2})");
+    }
+
+    #[test]
+    fn rejects_non_chain_runs() {
+        let g = zoo::diamond_net(16);
+        // stem(1) fans out to 2 and 3: including it mid-run must fail.
+        let run = vec![NodeId(1), NodeId(2)];
+        assert!(matches!(
+            VsmPlan::new(&g, &run, 2, 2),
+            Err(VsmError::NotAChain(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_untileable_layers() {
+        let g = zoo::tiny_cnn(16);
+        // gap (5) is not tileable.
+        let run = vec![NodeId(4), NodeId(5)];
+        assert!(matches!(
+            VsmPlan::new(&g, &run, 2, 2),
+            Err(VsmError::NotTileable(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_too_fine_grids() {
+        let g = zoo::tiny_cnn(16);
+        let run = vec![NodeId(1)];
+        assert!(matches!(
+            VsmPlan::new(&g, &run, 64, 64),
+            Err(VsmError::GridTooFine { .. })
+        ));
+    }
+
+    #[test]
+    fn finds_runs_in_vgg_edge_segment() {
+        let g = zoo::vgg16(224);
+        // Pretend layers 1..=7 (conv1..conv4 + pools) sit at the edge.
+        let members: Vec<NodeId> = (1..=7).map(NodeId).collect();
+        let runs = find_tileable_runs(&g, &members, 2);
+        assert_eq!(runs.len(), 1, "contiguous chain yields a single run");
+        assert_eq!(runs[0].len(), 7);
+    }
+
+    #[test]
+    fn runs_stop_at_non_tileable_vertices() {
+        let g = zoo::tiny_cnn(16);
+        let all: Vec<NodeId> = g.layer_ids().collect();
+        let runs = find_tileable_runs(&g, &all, 1);
+        // conv1,pool1,conv2,conv3 then gap/fc/softmax break it.
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 4);
+    }
+
+    #[test]
+    fn runs_split_at_fanout() {
+        let g = zoo::resnet18(224);
+        let all: Vec<NodeId> = g.layer_ids().collect();
+        let runs = find_tileable_runs(&g, &all, 1);
+        // Residual topology: every run stops at block joins, but conv1 +
+        // maxpool at least form one.
+        assert!(!runs.is_empty());
+        for run in &runs {
+            // Verify each run is a plannable chain.
+            VsmPlan::new(&g, run, 1, 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn fig7_chain_of_two() {
+        // Two same-convs on an 8×8 plane, 2×2 grid: each input crop grows
+        // by a 2-pixel halo (one per conv) where not clamped.
+        let g = zoo::chain_cnn(2, 4, 8);
+        let run = vec![NodeId(1), NodeId(2)];
+        let plan = VsmPlan::new(&g, &run, 2, 2).unwrap();
+        let t00 = &plan.tiles[0];
+        assert_eq!(t00.output_region(), d3_tensor::Region::new(0, 4, 0, 4));
+        assert_eq!(t00.regions[1], d3_tensor::Region::new(0, 5, 0, 5));
+        assert_eq!(t00.input_region(), d3_tensor::Region::new(0, 6, 0, 6));
+    }
+}

@@ -1,0 +1,274 @@
+//! Tile grids: `A × B` non-overlapping continuous tiles over a feature-map
+//! plane (§III-F), including *weighted* grids for heterogeneous edge
+//! pools (the AOFL-style extension the paper cites as related work:
+//! "an algorithm to find the optimal tile partition according to
+//! resources of each computation node").
+
+use d3_tensor::Region;
+
+/// An `A × B` partition of an `h × w` plane into contiguous,
+/// non-overlapping tiles (the paper's `τ^(a,b)` indexing: `a` is the row,
+/// `b` the column, `τ^(0,0)` the top-left tile).
+///
+/// The default ([`TileGrid::new`]) splits uniformly; [`TileGrid::weighted`]
+/// sizes rows/columns proportionally to per-node capacity weights so a
+/// faster edge node receives a larger tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileGrid {
+    /// Tile rows (`A`).
+    pub rows: usize,
+    /// Tile columns (`B`).
+    pub cols: usize,
+    /// Plane height.
+    pub h: usize,
+    /// Plane width.
+    pub w: usize,
+    /// Row boundaries: `rows + 1` ascending offsets, `0` first, `h` last.
+    row_bounds: Vec<usize>,
+    /// Column boundaries: `cols + 1` ascending offsets.
+    col_bounds: Vec<usize>,
+}
+
+impl TileGrid {
+    /// Creates a uniform grid (balanced partition; remainder pixels spread
+    /// over the leading rows/columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grid has more rows/columns than pixels.
+    pub fn new(rows: usize, cols: usize, h: usize, w: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1, "grid must be at least 1x1");
+        assert!(
+            rows <= h && cols <= w,
+            "grid {rows}x{cols} finer than plane {h}x{w}"
+        );
+        Self {
+            rows,
+            cols,
+            h,
+            w,
+            row_bounds: uniform_bounds(h, rows),
+            col_bounds: uniform_bounds(w, cols),
+        }
+    }
+
+    /// Creates a capacity-weighted grid: row `a` gets a share of the
+    /// height proportional to `row_weights[a]` (likewise columns), with
+    /// every tile at least one pixel. Use this when edge nodes are
+    /// heterogeneous, so each node's tile matches its throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/non-positive weights or grids finer than the plane.
+    pub fn weighted(row_weights: &[f64], col_weights: &[f64], h: usize, w: usize) -> Self {
+        let rows = row_weights.len();
+        let cols = col_weights.len();
+        assert!(rows >= 1 && cols >= 1, "grid must be at least 1x1");
+        assert!(
+            rows <= h && cols <= w,
+            "grid {rows}x{cols} finer than plane {h}x{w}"
+        );
+        Self {
+            rows,
+            cols,
+            h,
+            w,
+            row_bounds: weighted_bounds(h, row_weights),
+            col_bounds: weighted_bounds(w, col_weights),
+        }
+    }
+
+    /// Number of tiles (`A × B`).
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Grids always contain at least one tile; provided for the
+    /// `len`/`is_empty` API convention.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The region of tile `(a, b)`.
+    pub fn tile(&self, a: usize, b: usize) -> Region {
+        assert!(a < self.rows && b < self.cols, "tile index out of range");
+        Region::new(
+            self.row_bounds[a],
+            self.row_bounds[a + 1],
+            self.col_bounds[b],
+            self.col_bounds[b + 1],
+        )
+    }
+
+    /// All tiles in row-major order.
+    pub fn tiles(&self) -> Vec<Region> {
+        let mut out = Vec::with_capacity(self.len());
+        for a in 0..self.rows {
+            for b in 0..self.cols {
+                out.push(self.tile(a, b));
+            }
+        }
+        out
+    }
+}
+
+fn uniform_bounds(extent: usize, parts: usize) -> Vec<usize> {
+    let base = extent / parts;
+    let rem = extent % parts;
+    let mut bounds = Vec::with_capacity(parts + 1);
+    let mut pos = 0;
+    bounds.push(0);
+    for idx in 0..parts {
+        pos += base + usize::from(idx < rem);
+        bounds.push(pos);
+    }
+    bounds
+}
+
+/// Proportional boundaries with a 1-pixel floor per part. The floor is
+/// enforced by a final repair sweep (steal pixels from the widest parts),
+/// which terminates because `parts ≤ extent`.
+fn weighted_bounds(extent: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(
+        weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+        "weights must be positive and finite"
+    );
+    let total: f64 = weights.iter().sum();
+    let parts = weights.len();
+    // Initial integer shares by largest remainder.
+    let mut shares: Vec<usize> = weights
+        .iter()
+        .map(|&w| ((w / total) * extent as f64).floor() as usize)
+        .collect();
+    let mut assigned: usize = shares.iter().sum();
+    // Distribute leftover pixels to the largest fractional remainders.
+    let mut order: Vec<usize> = (0..parts).collect();
+    order.sort_by(|&i, &j| {
+        let fi = (weights[i] / total) * extent as f64 - shares[i] as f64;
+        let fj = (weights[j] / total) * extent as f64 - shares[j] as f64;
+        fj.partial_cmp(&fi).expect("finite remainders")
+    });
+    let mut k = 0;
+    while assigned < extent {
+        shares[order[k % parts]] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    // Enforce the 1-pixel floor.
+    loop {
+        let Some(starved) = shares.iter().position(|&s| s == 0) else {
+            break;
+        };
+        let richest = (0..parts)
+            .max_by_key(|&i| shares[i])
+            .expect("non-empty shares");
+        shares[richest] -= 1;
+        shares[starved] += 1;
+    }
+    let mut bounds = Vec::with_capacity(parts + 1);
+    let mut pos = 0;
+    bounds.push(0);
+    for s in shares {
+        pos += s;
+        bounds.push(pos);
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two_even_split() {
+        let g = TileGrid::new(2, 2, 8, 8);
+        assert_eq!(g.tile(0, 0), Region::new(0, 4, 0, 4));
+        assert_eq!(g.tile(1, 1), Region::new(4, 8, 4, 8));
+    }
+
+    #[test]
+    fn tiles_partition_the_plane() {
+        for (rows, cols, h, w) in [(2, 2, 7, 9), (3, 1, 10, 4), (4, 4, 13, 13), (1, 1, 5, 5)] {
+            let g = TileGrid::new(rows, cols, h, w);
+            let tiles = g.tiles();
+            // Disjoint…
+            for i in 0..tiles.len() {
+                for j in i + 1..tiles.len() {
+                    assert!(!tiles[i].intersects(&tiles[j]), "{:?} {:?}", tiles[i], tiles[j]);
+                }
+            }
+            // …and complete.
+            let area: usize = tiles.iter().map(Region::area).sum();
+            assert_eq!(area, h * w);
+        }
+    }
+
+    #[test]
+    fn uneven_split_spreads_remainder() {
+        let g = TileGrid::new(3, 3, 7, 7);
+        // 7 = 3+2+2.
+        assert_eq!(g.tile(0, 0).height(), 3);
+        assert_eq!(g.tile(1, 0).height(), 2);
+        assert_eq!(g.tile(2, 0).height(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finer than plane")]
+    fn overly_fine_grid_rejected() {
+        TileGrid::new(5, 5, 3, 3);
+    }
+
+    #[test]
+    fn row_major_order() {
+        let g = TileGrid::new(2, 2, 4, 4);
+        let tiles = g.tiles();
+        assert_eq!(tiles[0], g.tile(0, 0));
+        assert_eq!(tiles[1], g.tile(0, 1));
+        assert_eq!(tiles[2], g.tile(1, 0));
+        assert_eq!(tiles[3], g.tile(1, 1));
+    }
+
+    #[test]
+    fn weighted_grid_sizes_proportionally() {
+        // 3:1 capacity split of a 16-pixel height → 12 + 4 rows.
+        let g = TileGrid::weighted(&[3.0, 1.0], &[1.0], 16, 8);
+        assert_eq!(g.tile(0, 0), Region::new(0, 12, 0, 8));
+        assert_eq!(g.tile(1, 0), Region::new(12, 16, 0, 8));
+    }
+
+    #[test]
+    fn weighted_grid_partitions_exactly() {
+        for weights in [vec![1.0, 2.0, 3.0], vec![0.1, 5.0], vec![1.0; 5]] {
+            let g = TileGrid::weighted(&weights, &[2.0, 1.0], 23, 17);
+            let area: usize = g.tiles().iter().map(Region::area).sum();
+            assert_eq!(area, 23 * 17, "weights {weights:?}");
+            let tiles = g.tiles();
+            for i in 0..tiles.len() {
+                for j in i + 1..tiles.len() {
+                    assert!(!tiles[i].intersects(&tiles[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_grid_enforces_pixel_floor() {
+        // Extreme skew: the weak node still gets ≥ 1 pixel.
+        let g = TileGrid::weighted(&[1000.0, 0.001], &[1.0], 8, 8);
+        assert!(g.tile(1, 0).height() >= 1);
+        assert_eq!(g.tile(0, 0).height() + g.tile(1, 0).height(), 8);
+    }
+
+    #[test]
+    fn uniform_equals_equal_weights() {
+        let a = TileGrid::new(3, 2, 9, 8);
+        let b = TileGrid::weighted(&[1.0; 3], &[1.0; 2], 9, 8);
+        assert_eq!(a.tiles(), b.tiles());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_weights_rejected() {
+        TileGrid::weighted(&[1.0, 0.0], &[1.0], 8, 8);
+    }
+}

@@ -1,0 +1,224 @@
+//! VSM latency model: what parallel tiled execution costs on a pool of
+//! edge nodes.
+//!
+//! Work per tile and layer scales with the tile's *output area* at that
+//! layer (every output entry costs the same convolution window). Because
+//! fused tiles overlap spatially, total tiled work exceeds whole-tensor
+//! work ([`VsmPlan::redundancy`]) — which is exactly why the paper's
+//! Fig. 12 shows the 4-node VSM speedup staying below 4×. Intra-tier
+//! transmission (scatter/gather over the LAN) is taken as negligible per
+//! the paper's §III-A assumption.
+
+use crate::fused::VsmPlan;
+
+/// Wall-clock seconds of executing `plan` on `nodes` identical edge
+/// nodes, given the *whole-layer* latencies of the run's layers on one
+/// such node. Tiles are assigned round-robin (`tile i → node i mod
+/// nodes`, the paper's one-tile-per-node deployment when counts match);
+/// the result is the busiest node's total.
+///
+/// # Panics
+///
+/// Panics when `full_layer_times` does not match the plan's layer count
+/// or `nodes == 0`.
+pub fn parallel_time(plan: &VsmPlan, full_layer_times: &[f64], nodes: usize) -> f64 {
+    assert_eq!(
+        full_layer_times.len(),
+        plan.layers.len(),
+        "one latency per run layer"
+    );
+    assert!(nodes >= 1, "need at least one edge node");
+    let mut node_time = vec![0.0f64; nodes];
+    for (t_idx, tile) in plan.tiles.iter().enumerate() {
+        let mut cost = 0.0;
+        for (i, &full) in full_layer_times.iter().enumerate() {
+            let (h, w) = plan.planes[i + 1];
+            let frac = tile.regions[i + 1].area() as f64 / (h * w) as f64;
+            cost += full * frac;
+        }
+        node_time[t_idx % nodes] += cost;
+    }
+    node_time
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// The speedup of tiled execution over single-node execution of the same
+/// run: `Σ full_layer_times / parallel_time`.
+pub fn speedup(plan: &VsmPlan, full_layer_times: &[f64], nodes: usize) -> f64 {
+    let serial: f64 = full_layer_times.iter().sum();
+    if serial == 0.0 {
+        return 1.0;
+    }
+    serial / parallel_time(plan, full_layer_times, nodes)
+}
+
+/// Wall-clock seconds on a *heterogeneous* pool: tile `i` runs on node
+/// `i`, whose relative speed is `node_speeds[i]` (1.0 = the node the
+/// `full_layer_times` were measured on). Pair with
+/// [`VsmPlan::weighted`][crate::VsmPlan::weighted] so tile areas match
+/// node speeds.
+///
+/// # Panics
+///
+/// Panics when the node count differs from the tile count or a speed is
+/// non-positive.
+pub fn parallel_time_weighted(
+    plan: &VsmPlan,
+    full_layer_times: &[f64],
+    node_speeds: &[f64],
+) -> f64 {
+    assert_eq!(
+        node_speeds.len(),
+        plan.tiles.len(),
+        "one node per tile for weighted pools"
+    );
+    assert!(
+        node_speeds.iter().all(|&s| s > 0.0),
+        "node speeds must be positive"
+    );
+    let mut worst = 0.0f64;
+    for (tile, &speed) in plan.tiles.iter().zip(node_speeds) {
+        let mut cost = 0.0;
+        for (i, &full) in full_layer_times.iter().enumerate() {
+            let (h, w) = plan.planes[i + 1];
+            let frac = tile.regions[i + 1].area() as f64 / (h * w) as f64;
+            cost += full * frac;
+        }
+        worst = worst.max(cost / speed);
+    }
+    worst
+}
+
+/// Picks the uniform grid (rows × cols ≤ `nodes`, both ≤ 8) minimizing
+/// [`parallel_time`] for a run — the tile-decision search the paper
+/// leaves implicit ("Decision of separation: A × B tiles", Algorithm 2).
+/// Returns the chosen grid and its parallel time.
+pub fn best_uniform_grid(
+    graph: &d3_model::DnnGraph,
+    run: &[d3_model::NodeId],
+    full_layer_times: &[f64],
+    nodes: usize,
+) -> Option<((usize, usize), f64)> {
+    let mut best: Option<((usize, usize), f64)> = None;
+    for rows in 1..=nodes.min(8) {
+        for cols in 1..=nodes.min(8) {
+            if rows * cols > nodes {
+                continue;
+            }
+            let Ok(plan) = VsmPlan::new(graph, run, rows, cols) else {
+                continue;
+            };
+            let t = parallel_time(&plan, full_layer_times, rows * cols);
+            let better = match best {
+                None => true,
+                Some((_, bt)) => t < bt - 1e-15,
+            };
+            if better {
+                best = Some(((rows, cols), t));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_model::NodeId;
+
+    fn plan(hw: usize, rows: usize, cols: usize) -> VsmPlan {
+        let g = zoo::chain_cnn(3, 8, hw);
+        VsmPlan::new(&g, &[NodeId(1), NodeId(2), NodeId(3)], rows, cols).unwrap()
+    }
+
+    #[test]
+    fn single_tile_single_node_is_serial() {
+        let p = plan(16, 1, 1);
+        let times = vec![0.1, 0.2, 0.3];
+        assert!((parallel_time(&p, &times, 1) - 0.6).abs() < 1e-12);
+        assert!((speedup(&p, &times, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_tiles_on_four_nodes_speedup_below_4x() {
+        // The paper's Fig. 12 observation: overlap redundancy keeps the
+        // speedup strictly below the node count.
+        let p = plan(32, 2, 2);
+        let times = vec![0.1, 0.1, 0.1];
+        let s = speedup(&p, &times, 4);
+        assert!(s > 1.5 && s < 4.0, "speedup {s}");
+    }
+
+    #[test]
+    fn more_nodes_never_slower() {
+        let p = plan(32, 2, 2);
+        let times = vec![0.05, 0.2, 0.1];
+        let t1 = parallel_time(&p, &times, 1);
+        let t2 = parallel_time(&p, &times, 2);
+        let t4 = parallel_time(&p, &times, 4);
+        assert!(t2 <= t1 + 1e-12);
+        assert!(t4 <= t2 + 1e-12);
+    }
+
+    #[test]
+    fn one_node_pays_full_redundancy() {
+        // On a single node, tiled execution costs redundancy × serial.
+        let p = plan(32, 2, 2);
+        let times = vec![1.0, 1.0, 1.0];
+        let serial: f64 = times.iter().sum();
+        let tiled = parallel_time(&p, &times, 1);
+        assert!(
+            (tiled / serial - p.redundancy()).abs() < 0.05,
+            "tiled {tiled} serial {serial} redundancy {}",
+            p.redundancy()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one latency per run layer")]
+    fn mismatched_latencies_panic() {
+        let p = plan(16, 2, 2);
+        parallel_time(&p, &[0.1], 2);
+    }
+
+    #[test]
+    fn weighted_plan_balances_heterogeneous_pool() {
+        // One node 3× faster than the other: a matching 3:1 weighted plan
+        // must beat the uniform split on the same pool.
+        let g = zoo::chain_cnn(3, 8, 32);
+        let run = vec![NodeId(1), NodeId(2), NodeId(3)];
+        let times = vec![0.1, 0.1, 0.1];
+        let speeds = vec![3.0, 1.0];
+        let uniform = VsmPlan::new(&g, &run, 2, 1).unwrap();
+        let weighted = VsmPlan::weighted(&g, &run, &[3.0, 1.0], &[1.0]).unwrap();
+        let tu = parallel_time_weighted(&uniform, &times, &speeds);
+        let tw = parallel_time_weighted(&weighted, &times, &speeds);
+        assert!(tw < tu, "weighted {tw} should beat uniform {tu}");
+    }
+
+    #[test]
+    fn best_uniform_grid_uses_the_budget() {
+        let g = zoo::chain_cnn(3, 8, 32);
+        let run = vec![NodeId(1), NodeId(2), NodeId(3)];
+        let times = vec![0.1, 0.1, 0.1];
+        let ((rows, cols), t4) = best_uniform_grid(&g, &run, &times, 4).unwrap();
+        assert!(rows * cols > 1, "should exploit parallelism");
+        let ((_, _), t9) = best_uniform_grid(&g, &run, &times, 9).unwrap();
+        assert!(t9 <= t4 + 1e-12, "more nodes never hurt the search");
+        let serial: f64 = times.iter().sum();
+        assert!(t4 < serial);
+    }
+
+    #[test]
+    fn best_grid_beats_fixed_2x2_sometimes() {
+        // With 6 nodes, 2×3 should beat the paper's fixed 2×2.
+        let g = zoo::chain_cnn(2, 8, 48);
+        let run = vec![NodeId(1), NodeId(2)];
+        let times = vec![0.2, 0.2];
+        let fixed = parallel_time(&VsmPlan::new(&g, &run, 2, 2).unwrap(), &times, 6);
+        let ((_, _), best) = best_uniform_grid(&g, &run, &times, 6).unwrap();
+        assert!(best <= fixed + 1e-12);
+    }
+}

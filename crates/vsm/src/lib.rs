@@ -1,0 +1,50 @@
+//! # d3-vsm
+//!
+//! The Vertical Separation Module of the D3 reproduction (§III-F of the
+//! paper): lossless spatial tiling of consecutive convolutional/pooling
+//! layers for parallel execution across edge nodes.
+//!
+//! - [`TileGrid`]: `A × B` non-overlapping continuous output tiles,
+//! - [`rtc::reverse_tile`]: the reverse tile calculation of Eqs. (4)–(5),
+//!   padding- and stride-correct,
+//! - [`VsmPlan`]: Algorithm 2 — fused tile stacks walked back from the
+//!   last layer's output to the first layer's input, with redundancy
+//!   accounting,
+//! - [`TileExecutor`]: real tiled execution (sequential or one thread per
+//!   tile) that is **bit-identical** to whole-tensor inference,
+//! - [`latency`]: the analytical cost of tiled execution on an edge pool.
+//!
+//! ## Example
+//!
+//! ```
+//! use d3_model::{zoo, Executor, NodeId};
+//! use d3_tensor::{max_abs_diff, Tensor};
+//! use d3_vsm::{TileExecutor, VsmPlan};
+//!
+//! let g = zoo::tiny_cnn(16);
+//! let run: Vec<NodeId> = (1..=4).map(NodeId).collect();
+//! let plan = VsmPlan::new(&g, &run, 2, 2).unwrap();
+//! let exec = Executor::new(&g, 42);
+//! let tiles = TileExecutor::new(&exec, plan);
+//! let input = Tensor::random(3, 16, 16, 7);
+//! let whole = tiles.run_whole(&input);
+//! let tiled = tiles.run_parallel(&input);
+//! assert_eq!(max_abs_diff(&whole, &tiled), Some(0.0)); // lossless
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod fused;
+mod grid;
+pub mod latency;
+pub mod modnn;
+pub mod rtc;
+
+pub use exec::TileExecutor;
+pub use fused::{find_tileable_runs, FusedTile, VsmError, VsmPlan};
+pub use grid::TileGrid;
+pub use latency::{best_uniform_grid, parallel_time, parallel_time_weighted, speedup};
+pub use modnn::{compare_schemes, modnn_time, ModnnConfig};
+pub use rtc::{reverse_tile, SpatialParams};

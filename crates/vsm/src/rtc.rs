@@ -1,0 +1,195 @@
+//! Reverse tile calculation (RTC): Eqs. (4) and (5) of the paper.
+//!
+//! Given a tile of a layer's *output* plane, RTC computes the region of
+//! the layer's *input* plane that is needed to produce it. Eq. (4) maps
+//! output coordinates into the padded input plane; Eq. (5) removes the
+//! padding and clamps to the real plane (padding entries are synthesized
+//! at execution time, only where the receptive field leaves the global
+//! plane — this is precisely what makes VSM lossless where DeepThings'
+//! FTP loses accuracy).
+
+use d3_model::LayerKind;
+use d3_tensor::Region;
+
+/// Spatial parameters of one tileable layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpatialParams {
+    /// Kernel height `Fh` / width `Fw`.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Strides.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Paddings.
+    pub ph: usize,
+    /// Horizontal padding.
+    pub pw: usize,
+}
+
+impl SpatialParams {
+    /// The identity mapping (elementwise layers: standalone activations).
+    pub const IDENTITY: SpatialParams = SpatialParams {
+        kh: 1,
+        kw: 1,
+        sh: 1,
+        sw: 1,
+        ph: 0,
+        pw: 0,
+    };
+
+    /// Extracts spatial parameters from a layer kind.
+    ///
+    /// Returns `None` for kinds VSM cannot tile (dense, concat, …).
+    pub fn of(kind: &LayerKind) -> Option<SpatialParams> {
+        match kind {
+            LayerKind::Conv { spec, .. } => Some(SpatialParams {
+                kh: spec.kh,
+                kw: spec.kw,
+                sh: spec.sh,
+                sw: spec.sw,
+                ph: spec.ph,
+                pw: spec.pw,
+            }),
+            LayerKind::DepthwiseConv { spec, .. } => Some(SpatialParams {
+                kh: spec.kh,
+                kw: spec.kw,
+                sh: spec.sh,
+                sw: spec.sw,
+                ph: spec.ph,
+                pw: spec.pw,
+            }),
+            LayerKind::Pool { spec } => Some(SpatialParams {
+                kh: spec.kh,
+                kw: spec.kw,
+                sh: spec.sh,
+                sw: spec.sw,
+                ph: spec.ph,
+                pw: spec.pw,
+            }),
+            LayerKind::Activation { .. } => Some(SpatialParams::IDENTITY),
+            _ => None,
+        }
+    }
+}
+
+/// Reverse tile calculation: the input-plane region needed to compute the
+/// output-plane region `out` of a layer with parameters `p`, given the
+/// input plane's size `(in_h, in_w)`.
+///
+/// Implements Eq. (4) (padded coordinates:
+/// `x̂α = S·xα`, `x̂β = S·(xβ−1) + F` for half-open regions) followed by
+/// Eq. (5) (padding removal with clamping to the real plane).
+pub fn reverse_tile(p: &SpatialParams, out: Region, in_h: usize, in_w: usize) -> Region {
+    // Eq. (4): coordinates in the padded input plane.
+    let padded_y0 = p.sh * out.y0;
+    let padded_y1 = p.sh * (out.y1 - 1) + p.kh;
+    let padded_x0 = p.sw * out.x0;
+    let padded_x1 = p.sw * (out.x1 - 1) + p.kw;
+    // Eq. (5): offset the padding and clamp to the real plane.
+    let y0 = padded_y0.saturating_sub(p.ph).min(in_h.saturating_sub(1));
+    let y1 = (padded_y1.saturating_sub(p.ph)).min(in_h).max(y0 + 1);
+    let x0 = padded_x0.saturating_sub(p.pw).min(in_w.saturating_sub(1));
+    let x1 = (padded_x1.saturating_sub(p.pw)).min(in_w).max(x0 + 1);
+    Region::new(y0, y1, x0, x1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(k: usize, s: usize, p: usize) -> SpatialParams {
+        SpatialParams {
+            kh: k,
+            kw: k,
+            sh: s,
+            sw: s,
+            ph: p,
+            pw: p,
+        }
+    }
+
+    #[test]
+    fn fig7_example() {
+        // Fig. 7: layer c_{i-1} has a 2×2 input, 3×3 kernel, stride 1,
+        // padding 1 → 2×2 output. Each 1×1 output tile needs the whole
+        // 2×2 (real) input; padding is synthesized at execution time.
+        let p = conv(3, 1, 1);
+        let tile = reverse_tile(&p, Region::new(0, 1, 0, 1), 2, 2);
+        assert_eq!(tile, Region::new(0, 2, 0, 2));
+        let tile = reverse_tile(&p, Region::new(1, 2, 1, 2), 2, 2);
+        assert_eq!(tile, Region::new(0, 2, 0, 2));
+    }
+
+    #[test]
+    fn same_conv_grows_tile_by_halo() {
+        // 3×3/1 pad 1 on a 8×8 plane: interior tile grows by 1 on each side.
+        let p = conv(3, 1, 1);
+        let tile = reverse_tile(&p, Region::new(2, 4, 2, 4), 8, 8);
+        assert_eq!(tile, Region::new(1, 5, 1, 5));
+    }
+
+    #[test]
+    fn border_tile_clamps_to_plane() {
+        let p = conv(3, 1, 1);
+        let tile = reverse_tile(&p, Region::new(0, 4, 0, 4), 8, 8);
+        assert_eq!(tile, Region::new(0, 5, 0, 5));
+        let tile = reverse_tile(&p, Region::new(4, 8, 4, 8), 8, 8);
+        assert_eq!(tile, Region::new(3, 8, 3, 8));
+    }
+
+    #[test]
+    fn strided_conv_maps_back_with_stride() {
+        // 3×3/2 pad 1 on 8×8 → 4×4 output. Output rows [0,2) need padded
+        // rows [0, 2*1+3) = [0,5) → real rows [0,4).
+        let p = conv(3, 2, 1);
+        let tile = reverse_tile(&p, Region::new(0, 2, 0, 2), 8, 8);
+        assert_eq!(tile, Region::new(0, 4, 0, 4));
+    }
+
+    #[test]
+    fn valid_conv_no_padding() {
+        // 3×3/1 pad 0 on 8×8 → 6×6. Output [0,3) needs input [0,5).
+        let p = conv(3, 1, 0);
+        let tile = reverse_tile(&p, Region::new(0, 3, 0, 3), 8, 8);
+        assert_eq!(tile, Region::new(0, 5, 0, 5));
+    }
+
+    #[test]
+    fn pool_2x2_halves_cleanly() {
+        // Non-overlapping 2×2/2 pooling: tiles map back with no halo.
+        let p = conv(2, 2, 0);
+        let tile = reverse_tile(&p, Region::new(0, 2, 2, 4), 8, 8);
+        assert_eq!(tile, Region::new(0, 4, 4, 8));
+    }
+
+    #[test]
+    fn identity_params_are_identity() {
+        let tile = Region::new(1, 3, 2, 5);
+        assert_eq!(reverse_tile(&SpatialParams::IDENTITY, tile, 8, 8), tile);
+    }
+
+    #[test]
+    fn rect_kernel_params_from_layer_kinds() {
+        use d3_model::Activation;
+        use d3_tensor::ops::ConvSpec;
+        let kind = LayerKind::Conv {
+            spec: ConvSpec::rect(4, 4, 1, 7, 1, 1, 0, 3),
+            batch_norm: true,
+            activation: Activation::Relu,
+        };
+        let p = SpatialParams::of(&kind).unwrap();
+        assert_eq!((p.kh, p.kw, p.ph, p.pw), (1, 7, 0, 3));
+        assert_eq!(SpatialParams::of(&LayerKind::Softmax), None);
+        assert_eq!(SpatialParams::of(&LayerKind::Concat), None);
+    }
+
+    #[test]
+    fn receptive_field_is_monotone_in_tile_size() {
+        let p = conv(5, 2, 2);
+        let small = reverse_tile(&p, Region::new(2, 4, 2, 4), 32, 32);
+        let large = reverse_tile(&p, Region::new(1, 5, 1, 5), 32, 32);
+        assert!(large.contains(&small));
+    }
+}

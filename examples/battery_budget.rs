@@ -1,0 +1,84 @@
+//! Battery-budget scenario: a smartphone assistant running AlexNet-class
+//! vision queries all day.
+//!
+//! Latency is not the only currency — the paper's introduction motivates
+//! offloading with energy too. This example prices every deployment
+//! strategy in joules drawn from the device battery, shows how the radio
+//! generation flips the verdict (Wi-Fi offloading saves battery, 4G
+//! uploads burn it), and uses the IONN baseline to account for the
+//! cold-start cost of shipping model parameters to a fresh server.
+//!
+//! ```text
+//! cargo run --example battery_budget
+//! ```
+
+use d3_engine::{deploy_strategy, Strategy, VsmConfig};
+use d3_model::zoo;
+use d3_partition::{energy, ionn, Problem};
+use d3_simnet::{NetworkCondition, TierProfiles};
+
+fn main() {
+    let graph = zoo::alexnet(224);
+    let profiles = TierProfiles::paper_testbed();
+    println!("== Battery budget: AlexNet queries from a mobile device ==\n");
+
+    // 1. Joules per inference, per strategy, per radio.
+    for net in [
+        NetworkCondition::WiFi,
+        NetworkCondition::FourG,
+        NetworkCondition::FiveG,
+    ] {
+        let p = Problem::new(&graph, &profiles, net);
+        println!("--- {net} (radio {} W) ---", net.device_radio_power_w());
+        println!(
+            "{:<13} {:>11} {:>12} {:>12}",
+            "strategy", "latency", "battery J", "queries/Wh"
+        );
+        for s in [
+            Strategy::DeviceOnly,
+            Strategy::CloudOnly,
+            Strategy::Hpa,
+            Strategy::HpaVsm,
+        ] {
+            let d = deploy_strategy(&p, s, VsmConfig::default()).expect("applies");
+            let e = energy(&p, &d.assignment, &profiles);
+            println!(
+                "{:<13} {:>8.1} ms {:>12.3} {:>12.0}",
+                s.label(),
+                d.frame_latency_s * 1e3,
+                e.device_j(),
+                3600.0 / e.device_j().max(1e-9)
+            );
+        }
+        println!();
+    }
+
+    // 2. The verdict flips with the radio: quantify it.
+    let wifi = Problem::new(&graph, &profiles, NetworkCondition::WiFi);
+    let fourg = Problem::new(&graph, &profiles, NetworkCondition::FourG);
+    let battery = |p: &Problem<'_>, s: Strategy| {
+        let d = deploy_strategy(p, s, VsmConfig::default()).expect("applies");
+        energy(p, &d.assignment, &profiles).device_j()
+    };
+    let local = battery(&wifi, Strategy::DeviceOnly);
+    println!(
+        "offload vs local battery: Wi-Fi {:.2}× cheaper, 4G {:.2}× more expensive",
+        local / battery(&wifi, Strategy::CloudOnly),
+        battery(&fourg, Strategy::CloudOnly) / local,
+    );
+
+    // 3. Cold start: a fresh edge/cloud server has no model weights yet.
+    //    IONN amortizes the one-time parameter upload over the expected
+    //    query count before committing layers remotely.
+    println!("\ncold start (IONN, Wi-Fi): layers offloaded by expected query count");
+    for q in [1u64, 100, 1_000, 10_000, 1_000_000] {
+        let a = ionn(&wifi, q).expect("chain model");
+        let offloaded = a
+            .tiers()
+            .iter()
+            .filter(|t| **t == d3_simnet::Tier::Cloud)
+            .count();
+        println!("  {q:>9} queries → {offloaded} layers remote, Θ = {:.1} ms",
+            a.total_latency(&wifi) * 1e3);
+    }
+}

@@ -1,0 +1,364 @@
+//! `d3` — command-line interface to the D3 reproduction.
+//!
+//! ```text
+//! d3 models
+//! d3 partition vgg16 --net 4g
+//! d3 compare darknet53 --net wifi
+//! d3 stream resnet18 --fps 30 --frames 3000
+//! d3 tiles inception_v4 --nodes 4
+//! d3 energy alexnet --net 5g
+//! ```
+
+use d3_engine::{bottleneck_s, deploy_strategy, Strategy, VsmConfig};
+use d3_model::{zoo, DnnGraph};
+use d3_partition::{energy, hpa, HpaOptions, Problem};
+use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+use d3_vsm::find_tileable_runs;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+d3 — dynamic DNN decomposition for lossless synergistic inference
+
+USAGE:
+    d3 <COMMAND> [MODEL] [OPTIONS]
+
+COMMANDS:
+    models                       list the evaluation models
+    partition <model>            run HPA and show the 3-tier split
+    compare   <model>            compare all deployment strategies
+    stream    <model>            stream frames through the pipeline
+    tiles     <model>            show VSM tileable runs and redundancy
+    energy    <model>            per-inference energy accounting
+    help                         show this message
+
+MODELS:
+    alexnet | vgg16 | resnet18 | darknet53 | inception_v4 | mobilenet_v1
+
+OPTIONS:
+    --net <wifi|4g|5g|optical|MBPS>   network condition   [default: wifi]
+    --input <N>                       input size N×N      [default: 224]
+    --fps <F>                         frame rate          [default: 30]
+    --frames <N>                      frames to stream    [default: 3000]
+    --nodes <N>                       edge nodes for VSM  [default: 4]
+";
+
+struct Args {
+    command: String,
+    model: Option<String>,
+    net: NetworkCondition,
+    input: usize,
+    fps: f64,
+    frames: usize,
+    nodes: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter().peekable();
+    let command = it.next().cloned().unwrap_or_else(|| "help".into());
+    let mut args = Args {
+        command,
+        model: None,
+        net: NetworkCondition::WiFi,
+        input: 224,
+        fps: 30.0,
+        frames: 3000,
+        nodes: 4,
+    };
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--net" => {
+                let v = it.next().ok_or("--net needs a value")?;
+                args.net = match v.to_lowercase().as_str() {
+                    "wifi" | "wi-fi" => NetworkCondition::WiFi,
+                    "4g" => NetworkCondition::FourG,
+                    "5g" => NetworkCondition::FiveG,
+                    "optical" => NetworkCondition::Optical,
+                    other => {
+                        let mbps: f64 = other
+                            .parse()
+                            .map_err(|_| format!("unknown network `{other}`"))?;
+                        NetworkCondition::custom_backbone(mbps)
+                    }
+                };
+            }
+            "--input" => {
+                args.input = it
+                    .next()
+                    .ok_or("--input needs a value")?
+                    .parse()
+                    .map_err(|_| "--input must be an integer")?;
+            }
+            "--fps" => {
+                args.fps = it
+                    .next()
+                    .ok_or("--fps needs a value")?
+                    .parse()
+                    .map_err(|_| "--fps must be a number")?;
+            }
+            "--frames" => {
+                args.frames = it
+                    .next()
+                    .ok_or("--frames needs a value")?
+                    .parse()
+                    .map_err(|_| "--frames must be an integer")?;
+            }
+            "--nodes" => {
+                args.nodes = it
+                    .next()
+                    .ok_or("--nodes needs a value")?
+                    .parse()
+                    .map_err(|_| "--nodes must be an integer")?;
+            }
+            other if !other.starts_with("--") && args.model.is_none() => {
+                args.model = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_model(name: &str, input: usize) -> Result<DnnGraph, String> {
+    match name {
+        "alexnet" => Ok(zoo::alexnet(input)),
+        "vgg16" => Ok(zoo::vgg16(input)),
+        "resnet18" => Ok(zoo::resnet18(input)),
+        "darknet53" => Ok(zoo::darknet53(input)),
+        "inception_v4" | "inceptionv4" => Ok(zoo::inception_v4(input)),
+        "mobilenet_v1" | "mobilenet" => Ok(zoo::mobilenet_v1(input)),
+        other => Err(format!(
+            "unknown model `{other}` (try `d3 models` for the list)"
+        )),
+    }
+}
+
+fn require_model(args: &Args) -> Result<DnnGraph, String> {
+    let name = args
+        .model
+        .as_deref()
+        .ok_or("this command needs a model argument")?;
+    load_model(name, args.input)
+}
+
+fn cmd_models() {
+    println!("{:<14} {:>12} {:>12} {:>10} {:>8}", "model", "params", "GFLOPs", "vertices", "DAG?");
+    let mut models = zoo::all_models(224);
+    models.push(zoo::mobilenet_v1(224));
+    for g in models {
+        println!(
+            "{:<14} {:>12} {:>12.2} {:>10} {:>8}",
+            g.name(),
+            g.total_params(),
+            g.total_flops() as f64 / 1e9,
+            g.len(),
+            if g.is_chain() { "chain" } else { "DAG" }
+        );
+    }
+}
+
+fn cmd_partition(args: &Args) -> Result<(), String> {
+    let g = require_model(args)?;
+    let profiles = TierProfiles::paper_testbed();
+    let p = Problem::new(&g, &profiles, args.net);
+    let a = hpa(&p, &HpaOptions::paper());
+    println!(
+        "HPA partition of {} under {} ({}×{} input):",
+        zoo::display_name(g.name()),
+        args.net,
+        args.input,
+        args.input
+    );
+    for tier in Tier::ALL {
+        let seg = a.segment(tier);
+        let names: Vec<&str> = seg
+            .iter()
+            .filter(|id| **id != g.input())
+            .map(|id| g.node(*id).name.as_str())
+            .collect();
+        let shown = if names.len() > 8 {
+            format!(
+                "{} … {} ({} layers)",
+                names[..4].join(", "),
+                names[names.len() - 2..].join(", "),
+                names.len()
+            )
+        } else {
+            names.join(", ")
+        };
+        println!("  {tier:<7} {shown}");
+    }
+    println!("  theta: {:.2} ms", a.total_latency(&p) * 1e3);
+    println!(
+        "  backbone: {:.2} Mb/image",
+        a.backbone_bytes(&p) as f64 * 8.0 / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let g = require_model(args)?;
+    let profiles = TierProfiles::paper_testbed();
+    let p = Problem::new(&g, &profiles, args.net);
+    let vsm = VsmConfig {
+        edge_nodes: args.nodes,
+        ..VsmConfig::default()
+    };
+    println!(
+        "{:<13} {:>11} {:>10} {:>14}",
+        "strategy", "latency", "max fps", "cloud Mb/img"
+    );
+    for s in Strategy::ALL {
+        match deploy_strategy(&p, s, vsm) {
+            Some(d) => println!(
+                "{:<13} {:>8.1} ms {:>7.1} fps {:>11.2} Mb",
+                s.label(),
+                d.frame_latency_s * 1e3,
+                1.0 / bottleneck_s(&d.stages).max(1e-9),
+                d.backbone_bytes as f64 * 8.0 / 1e6
+            ),
+            None => println!("{:<13} {:>11}", s.label(), "n/a (DAG)"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stream(args: &Args) -> Result<(), String> {
+    let g = require_model(args)?;
+    let profiles = TierProfiles::paper_testbed();
+    let p = Problem::new(&g, &profiles, args.net);
+    let d = deploy_strategy(&p, Strategy::HpaVsm, VsmConfig::default())
+        .expect("HPA+VSM always applies");
+    let stats = d.stream(args.fps, args.frames);
+    println!(
+        "{} | {} | {} frames @ {} fps",
+        zoo::display_name(g.name()),
+        args.net,
+        args.frames,
+        args.fps
+    );
+    println!(
+        "  mean {:.1} ms | p95 {:.1} ms | max {:.1} ms | throughput {:.1} fps",
+        stats.mean_latency_s * 1e3,
+        stats.p95_latency_s * 1e3,
+        stats.max_latency_s * 1e3,
+        stats.throughput_fps
+    );
+    let cap = 1.0 / bottleneck_s(&d.stages).max(1e-9);
+    if args.fps > cap {
+        println!(
+            "  note: pipeline saturates at {cap:.1} fps — the queue grows without bound"
+        );
+    }
+    // A short Gantt of the first frames: stages and links interleaved.
+    let traces = d3_engine::simulate_stream_trace(&d.stages, args.fps, args.frames.min(8));
+    let horizon = traces
+        .last()
+        .map(|t| t.spans.last().map_or(0.1, |s| s.1))
+        .unwrap_or(0.1);
+    let resolution = (horizon / 100.0).max(1e-4);
+    println!("
+{}", d3_engine::render_gantt(&d.stages, &traces, 8, resolution));
+    Ok(())
+}
+
+fn cmd_tiles(args: &Args) -> Result<(), String> {
+    let g = require_model(args)?;
+    let profiles = TierProfiles::paper_testbed();
+    let p = Problem::new(&g, &profiles, args.net);
+    let all: Vec<_> = g.layer_ids().collect();
+    let runs = find_tileable_runs(&g, &all, 2);
+    println!(
+        "{}: {} tileable runs (whole network scanned)",
+        zoo::display_name(g.name()),
+        runs.len()
+    );
+    let mut shown = 0;
+    for run in &runs {
+        let times: Vec<f64> = run
+            .iter()
+            .map(|&id| p.vertex_time(id, Tier::Edge))
+            .collect();
+        let Some(((rows, cols), t)) =
+            d3_vsm::best_uniform_grid(&g, run, &times, args.nodes)
+        else {
+            continue;
+        };
+        let serial: f64 = times.iter().sum();
+        let plan = d3_vsm::VsmPlan::new(&g, run, rows, cols).expect("searched grid");
+        println!(
+            "  {} → {} ({} layers): best {}×{} grid, redundancy {:.3}, speedup {:.2}×",
+            g.node(run[0]).name,
+            g.node(*run.last().expect("non-empty")).name,
+            run.len(),
+            rows,
+            cols,
+            plan.redundancy(),
+            serial / t.max(1e-12)
+        );
+        shown += 1;
+        if shown >= 10 {
+            println!("  … ({} more runs)", runs.len() - shown);
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_energy(args: &Args) -> Result<(), String> {
+    let g = require_model(args)?;
+    let profiles = TierProfiles::paper_testbed();
+    let p = Problem::new(&g, &profiles, args.net);
+    println!(
+        "{:<13} {:>12} {:>12} {:>12} {:>12}",
+        "strategy", "device J", "radio J", "total J", "battery J"
+    );
+    for s in Strategy::ALL {
+        let Some(d) = deploy_strategy(&p, s, VsmConfig::default()) else {
+            continue;
+        };
+        let e = energy(&p, &d.assignment, &profiles);
+        println!(
+            "{:<13} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            s.label(),
+            e.compute_j[0],
+            e.device_radio_j,
+            e.total_j(),
+            e.device_j()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "models" => {
+            cmd_models();
+            Ok(())
+        }
+        "partition" => cmd_partition(&args),
+        "compare" => cmd_compare(&args),
+        "stream" => cmd_stream(&args),
+        "tiles" => cmd_tiles(&args),
+        "energy" => cmd_energy(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # d3-repro
+//!
+//! Workspace umbrella crate for the reproduction of *Dynamic DNN
+//! Decomposition for Lossless Synergistic Inference* (ICDCS 2021).
+//! Re-exports the member crates so the root `examples/` and `tests/` can
+//! exercise the whole system; see `d3-core` for the public API.
+
+#![forbid(unsafe_code)]
+
+pub use d3_core as core;
+pub use d3_engine as engine;
+pub use d3_model as model;
+pub use d3_partition as partition;
+pub use d3_profiler as profiler;
+pub use d3_simnet as simnet;
+pub use d3_tensor as tensor;
+pub use d3_vsm as vsm;

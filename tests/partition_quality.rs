@@ -1,0 +1,127 @@
+//! Cross-crate partition-quality guarantees: HPA against baselines and
+//! against the exhaustive optimum, on the real evaluation models.
+
+use d3_model::zoo;
+use d3_partition::{
+    dads, exhaustive_optimal, hpa, neurosurgeon, Assignment, HpaOptions, Problem,
+};
+use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+
+fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+    Problem::new(g, &TierProfiles::paper_testbed(), net)
+}
+
+#[test]
+fn hpa_dominates_every_single_tier_everywhere() {
+    for g in zoo::all_models(224) {
+        for net in NetworkCondition::TABLE3 {
+            let p = problem(&g, net);
+            let theta = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+            for tier in Tier::ALL {
+                let base = Assignment::uniform(g.len(), tier).total_latency(&p);
+                assert!(
+                    theta <= base + 1e-9,
+                    "{} under {net}: HPA {theta} vs {tier}-only {base}",
+                    g.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hpa_never_loses_to_neurosurgeon_or_dads() {
+    for g in zoo::all_models(224) {
+        for net in NetworkCondition::TABLE3 {
+            let p = problem(&g, net);
+            let theta = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+            let d = dads(&p).total_latency(&p);
+            assert!(theta <= d + 1e-9, "{} {net}: HPA {theta} vs DADS {d}", g.name());
+            if let Ok(ns) = neurosurgeon(&p) {
+                let ns = ns.total_latency(&p);
+                assert!(theta <= ns + 1e-9, "{} {net}: HPA vs NS {ns}", g.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn hpa_beats_dads_strictly_somewhere() {
+    // The headline of Fig. 10: three tiers beat two somewhere material.
+    let mut best_gain: f64 = 1.0;
+    for g in zoo::all_models(224) {
+        for net in NetworkCondition::TABLE3 {
+            let p = problem(&g, net);
+            let h = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+            let d = dads(&p).total_latency(&p);
+            best_gain = best_gain.max(d / h);
+        }
+    }
+    assert!(
+        best_gain > 1.3,
+        "expected a material HPA-over-DADS gain somewhere, best {best_gain:.2}×"
+    );
+}
+
+#[test]
+fn hpa_gap_to_optimum_is_bounded_on_small_dags() {
+    let mut worst: f64 = 1.0;
+    for seed in 0..20 {
+        let g = zoo::random_dag(seed, 3, 2, 8);
+        if g.len() - 1 > 12 {
+            continue;
+        }
+        for net in [NetworkCondition::WiFi, NetworkCondition::FourG] {
+            let p = problem(&g, net);
+            let h = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+            let opt = exhaustive_optimal(&p, &Tier::ALL, true).total_latency(&p);
+            assert!(h + 1e-12 >= opt, "heuristic cannot beat the oracle");
+            worst = worst.max(h / opt);
+        }
+    }
+    assert!(worst < 1.5, "HPA worst observed gap {worst:.3}×");
+}
+
+#[test]
+fn dads_equals_two_tier_optimum_on_small_dags() {
+    for seed in 0..12 {
+        let g = zoo::random_dag(seed, 3, 2, 8);
+        if g.len() - 1 > 12 {
+            continue;
+        }
+        let p = problem(&g, NetworkCondition::FiveG);
+        let got = dads(&p).total_latency(&p);
+        let want = exhaustive_optimal(&p, &[Tier::Edge, Tier::Cloud], false).total_latency(&p);
+        assert!(
+            (got - want).abs() <= 1e-9 + want * 1e-9,
+            "seed {seed}: {got} vs {want}"
+        );
+    }
+}
+
+#[test]
+fn assignments_are_monotone_for_all_algorithms() {
+    for g in zoo::all_models(224) {
+        let p = problem(&g, NetworkCondition::WiFi);
+        assert!(hpa(&p, &HpaOptions::paper()).is_monotone(&p));
+        assert!(dads(&p).is_monotone(&p));
+        if let Ok(ns) = neurosurgeon(&p) {
+            assert!(ns.is_monotone(&p));
+        }
+    }
+}
+
+#[test]
+fn more_backbone_bandwidth_never_hurts_hpa() {
+    let g = zoo::inception_v4(224);
+    let mut last = f64::INFINITY;
+    for mbps in [5.0, 10.0, 20.0, 40.0, 80.0, 160.0] {
+        let p = problem(&g, NetworkCondition::custom_backbone(mbps));
+        let theta = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+        assert!(
+            theta <= last + 1e-9,
+            "Θ rose from {last} to {theta} at {mbps} Mbps"
+        );
+        last = theta;
+    }
+}

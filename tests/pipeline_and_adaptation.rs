@@ -1,0 +1,136 @@
+//! Integration tests for the online execution engine: pipeline semantics
+//! against the analytical objective, and end-to-end runtime adaptation.
+
+use d3_core::{D3System, DriftMonitor, NetworkCondition, Strategy, VsmConfig};
+use d3_engine::{bottleneck_s, deploy_strategy};
+use d3_model::{zoo, NodeId};
+use d3_partition::Problem;
+use d3_simnet::TierProfiles;
+
+fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+    Problem::new(g, &TierProfiles::paper_testbed(), net)
+}
+
+#[test]
+fn single_frame_stream_equals_deployment_latency() {
+    for g in zoo::all_models(224) {
+        let p = problem(&g, NetworkCondition::WiFi);
+        for s in Strategy::ALL {
+            let Some(d) = deploy_strategy(&p, s, VsmConfig::default()) else {
+                continue;
+            };
+            let one = d.stream(30.0, 1);
+            assert!(
+                (one.mean_latency_s - d.frame_latency_s).abs() < 1e-9,
+                "{} {}: DES single frame {} vs analytical {}",
+                g.name(),
+                s.label(),
+                one.mean_latency_s,
+                d.frame_latency_s
+            );
+        }
+    }
+}
+
+#[test]
+fn theta_matches_pipeline_on_chain_models() {
+    // On chains every tensor has exactly one consumer, so the paper's
+    // per-link objective Θ and the deployment's deduplicated transfer
+    // accounting must agree to the nanosecond.
+    for g in [zoo::alexnet(224), zoo::vgg16(224)] {
+        let p = problem(&g, NetworkCondition::FiveG);
+        let d = deploy_strategy(&p, Strategy::Hpa, VsmConfig::default()).unwrap();
+        assert!((d.theta_s - d.frame_latency_s).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn saturated_stream_latency_grows_with_queueing() {
+    let g = zoo::vgg16(224);
+    let p = problem(&g, NetworkCondition::WiFi);
+    let d = deploy_strategy(&p, Strategy::DeviceOnly, VsmConfig::default()).unwrap();
+    // Device-only VGG cannot sustain 30 FPS; the queue must build up.
+    let short = d.stream(30.0, 10).mean_latency_s;
+    let long = d.stream(30.0, 100).mean_latency_s;
+    assert!(long > short * 2.0, "expected queue growth: {short} vs {long}");
+}
+
+#[test]
+fn throughput_is_bounded_by_bottleneck() {
+    let g = zoo::resnet18(224);
+    let p = problem(&g, NetworkCondition::WiFi);
+    for s in [Strategy::Hpa, Strategy::EdgeOnly, Strategy::HpaVsm] {
+        let d = deploy_strategy(&p, s, VsmConfig::default()).unwrap();
+        let stats = d.stream(1000.0, 400);
+        let cap = 1.0 / bottleneck_s(&d.stages).max(1e-12);
+        assert!(
+            stats.throughput_fps <= cap * 1.01,
+            "{}: {} fps exceeds cap {}",
+            s.label(),
+            stats.throughput_fps,
+            cap
+        );
+    }
+}
+
+#[test]
+fn vsm_raises_sustainable_throughput_when_edge_bound() {
+    // Under 4G, HPA parks the conv bulk at the edge; VSM must then raise
+    // the pipeline's sustainable frame rate.
+    let g = zoo::darknet53(224);
+    let p = problem(&g, NetworkCondition::FourG);
+    let plain = deploy_strategy(&p, Strategy::Hpa, VsmConfig::default()).unwrap();
+    let tiled = deploy_strategy(&p, Strategy::HpaVsm, VsmConfig::default()).unwrap();
+    let cap = |d: &d3_engine::Deployment| 1.0 / bottleneck_s(&d.stages).max(1e-12);
+    assert!(
+        cap(&tiled) > cap(&plain),
+        "VSM should raise throughput: {} vs {}",
+        cap(&tiled),
+        cap(&plain)
+    );
+}
+
+#[test]
+fn adaptive_engine_tracks_bandwidth_swings_end_to_end() {
+    let g = zoo::inception_v4(224);
+    let d3 = D3System::builder(&g)
+        .network(NetworkCondition::WiFi)
+        .build();
+    let mut engine = d3.into_adaptive(DriftMonitor::default());
+    let mut updates = 0;
+    for mbps in [31.53, 6.0, 6.2, 45.0, 44.0, 3.0, 31.53] {
+        if engine.observe_network(NetworkCondition::custom_backbone(mbps)) {
+            updates += 1;
+        }
+        assert!(engine.assignment().is_monotone(engine.problem()));
+    }
+    assert!(updates >= 3, "big swings must trigger re-partitions");
+    assert!(engine.suppressed >= 1, "small jitter must be suppressed");
+}
+
+#[test]
+fn adaptive_vertex_drift_stays_local() {
+    let g = zoo::darknet53(224);
+    let d3 = D3System::builder(&g).build();
+    let mut engine = d3.into_adaptive(DriftMonitor::default());
+    let id = NodeId(30);
+    let tier = engine.assignment().tier(id);
+    let t = engine.problem().vertex_time(id, tier);
+    let before_theta = engine.current_theta();
+    engine.observe_vertex(id, tier, t * 10.0);
+    // Whatever happened, the plan stays valid and Θ stays finite.
+    assert!(engine.assignment().is_monotone(engine.problem()));
+    assert!(engine.current_theta().is_finite());
+    assert!(engine.current_theta() < before_theta * 20.0);
+}
+
+#[test]
+fn d3_system_full_cycle_on_every_model() {
+    for g in zoo::all_models(224) {
+        let d3 = D3System::builder(&g).build();
+        let stats = d3.stream(30.0, 100);
+        assert!(stats.frames == 100);
+        assert!(stats.mean_latency_s > 0.0 && stats.mean_latency_s.is_finite());
+        assert!(d3.deployment().vsm_redundancy >= 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests over the reproduction's core invariants.
+
+use d3_model::{zoo, Activation, DnnGraph, Executor, LayerKind, NodeId};
+use d3_partition::{hpa, Assignment, HpaOptions, Problem};
+use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+use d3_tensor::ops::{ConvSpec, PoolKind, PoolSpec};
+use d3_tensor::{max_abs_diff, Region, Tensor};
+use d3_vsm::{reverse_tile, SpatialParams, TileExecutor, TileGrid, VsmPlan};
+use proptest::prelude::*;
+
+/// Random conv-stack description for the losslessness property.
+#[derive(Debug, Clone)]
+struct StackSpec {
+    hw: usize,
+    layers: Vec<(usize, usize, usize, bool)>, // (k, s, p, is_pool)
+    rows: usize,
+    cols: usize,
+    seed: u64,
+}
+
+fn stack_strategy() -> impl Strategy<Value = StackSpec> {
+    (
+        16usize..=28,
+        prop::collection::vec(
+            (
+                prop_oneof![Just(1usize), Just(2), Just(3), Just(5)],
+                1usize..=2,
+                0usize..=2,
+                any::<bool>(),
+            ),
+            1..=3,
+        ),
+        1usize..=3,
+        1usize..=3,
+        any::<u64>(),
+    )
+        .prop_map(|(hw, layers, rows, cols, seed)| StackSpec {
+            hw,
+            layers,
+            rows,
+            cols,
+            seed,
+        })
+}
+
+fn build_stack(spec: &StackSpec) -> Option<(DnnGraph, Vec<NodeId>)> {
+    let mut g = DnnGraph::new("prop_stack", d3_tensor::Shape3::new(3, spec.hw, spec.hw));
+    let mut prev = g.input();
+    let mut run = Vec::new();
+    let mut ch = 3usize;
+    for (i, &(k, s, p, is_pool)) in spec.layers.iter().enumerate() {
+        // Reject configurations whose kernel exceeds the padded plane.
+        let cur = g.node(prev).shape;
+        if cur.h + 2 * p < k || cur.w + 2 * p < k {
+            return None;
+        }
+        let kind = if is_pool {
+            LayerKind::Pool {
+                spec: PoolSpec::new(PoolKind::Max, k, s, p),
+            }
+        } else {
+            let out_c = 4 + (i % 3) * 2;
+            let kind = LayerKind::Conv {
+                spec: ConvSpec::new(ch, out_c, k, s, p),
+                batch_norm: i % 2 == 0,
+                activation: if i % 2 == 0 {
+                    Activation::Relu
+                } else {
+                    Activation::Leaky(0.1)
+                },
+            };
+            ch = out_c;
+            kind
+        };
+        let id = g.add_layer(format!("l{i}"), kind, &[prev]).ok()?;
+        run.push(id);
+        prev = id;
+    }
+    g.chain("gap", LayerKind::GlobalAvgPool, prev);
+    Some((g, run))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// VSM tiling is lossless for arbitrary conv/pool stacks and grids.
+    #[test]
+    fn tiled_execution_is_lossless(spec in stack_strategy()) {
+        let Some((g, run)) = build_stack(&spec) else {
+            return Ok(());
+        };
+        let out_shape = g.node(*run.last().unwrap()).shape;
+        let rows = spec.rows.min(out_shape.h);
+        let cols = spec.cols.min(out_shape.w);
+        let plan = match VsmPlan::new(&g, &run, rows.max(1), cols.max(1)) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        prop_assert!(plan.output_is_partition());
+        // Overlap usually makes redundancy ≥ 1, but strided layers can
+        // leave *dead* upstream outputs that RTC legitimately skips, so
+        // the only hard bound is positivity.
+        prop_assert!(plan.redundancy() > 0.0);
+        let exec = Executor::new(&g, spec.seed);
+        let tex = TileExecutor::new(&exec, plan);
+        let input = Tensor::random(3, spec.hw, spec.hw, spec.seed ^ 1);
+        let whole = tex.run_whole(&input);
+        let tiled = tex.run_sequential(&input);
+        prop_assert_eq!(max_abs_diff(&whole, &tiled), Some(0.0));
+    }
+
+    /// RTC always returns a region covering the receptive field of the
+    /// requested output tile (clamped to the plane).
+    #[test]
+    fn rtc_covers_receptive_field(
+        k in 1usize..=5,
+        s in 1usize..=3,
+        p in 0usize..=2,
+        h in 8usize..=32,
+        oy in 0usize..6,
+        ox in 0usize..6,
+        th in 1usize..4,
+        tw in 1usize..4,
+    ) {
+        if h + 2 * p < k {
+            return Ok(());
+        }
+        let params = SpatialParams { kh: k, kw: k, sh: s, sw: s, ph: p, pw: p };
+        let out_h = (h + 2 * p - k) / s + 1;
+        if oy + th > out_h || ox + tw > out_h {
+            return Ok(());
+        }
+        let out = Region::new(oy, oy + th, ox, ox + tw);
+        let input = reverse_tile(&params, out, h, h);
+        // Every in-plane input position of every output entry is covered.
+        for y in oy..oy + th {
+            for x in ox..ox + tw {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let gy = (y * s + ky) as isize - p as isize;
+                        let gx = (x * s + kx) as isize - p as isize;
+                        if gy < 0 || gx < 0 || gy as usize >= h || gx as usize >= h {
+                            continue; // padding, synthesized at run time
+                        }
+                        let (gy, gx) = (gy as usize, gx as usize);
+                        prop_assert!(
+                            gy >= input.y0 && gy < input.y1 && gx >= input.x0 && gx < input.x1,
+                            "output ({y},{x}) needs input ({gy},{gx}) outside {input:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tile grids partition the plane: disjoint and complete.
+    #[test]
+    fn grids_partition_planes(
+        rows in 1usize..=5,
+        cols in 1usize..=5,
+        h in 5usize..=40,
+        w in 5usize..=40,
+    ) {
+        let g = TileGrid::new(rows.min(h), cols.min(w), h, w);
+        let tiles = g.tiles();
+        let area: usize = tiles.iter().map(Region::area).sum();
+        prop_assert_eq!(area, h * w);
+        for i in 0..tiles.len() {
+            for j in i + 1..tiles.len() {
+                prop_assert!(!tiles[i].intersects(&tiles[j]));
+            }
+        }
+    }
+
+    /// HPA output is always monotone (Prop. 1) and never worse than any
+    /// single-tier plan, on random DAGs and random backbone bandwidths.
+    #[test]
+    fn hpa_invariants_on_random_dags(
+        seed in 0u64..500,
+        depth in 1usize..5,
+        width in 1usize..3,
+        mbps in 2.0f64..200.0,
+    ) {
+        let g = zoo::random_dag(seed, depth, width, 8);
+        let p = Problem::new(
+            &g,
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::custom_backbone(mbps),
+        );
+        let a = hpa(&p, &HpaOptions::paper());
+        prop_assert!(a.is_monotone(&p));
+        let theta = a.total_latency(&p);
+        for tier in Tier::ALL {
+            let base = Assignment::uniform(g.len(), tier).total_latency(&p);
+            prop_assert!(theta <= base + 1e-9);
+        }
+    }
+
+    /// Wire encoding round-trips arbitrary tensors bit-exactly.
+    #[test]
+    fn wire_roundtrip(c in 1usize..4, h in 1usize..8, w in 1usize..8, seed in any::<u64>()) {
+        let t = Tensor::random(c, h, w, seed);
+        let back = d3_engine::decode(d3_engine::encode(&t)).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Stream simulation: mean latency is bounded below by the unloaded
+    /// single-frame latency and throughput never exceeds the arrival rate.
+    #[test]
+    fn stream_stats_sane(
+        s1 in 1e-4f64..0.05,
+        s2 in 1e-4f64..0.05,
+        x1 in 0.0f64..0.02,
+        fps in 1.0f64..120.0,
+    ) {
+        let stages = vec![
+            d3_engine::StageSpec { name: "a".into(), service_s: s1, transfer_out_s: x1 },
+            d3_engine::StageSpec { name: "b".into(), service_s: s2, transfer_out_s: 0.0 },
+        ];
+        let stats = d3_engine::simulate_stream(&stages, fps, 50);
+        let unloaded = s1 + x1 + s2;
+        prop_assert!(stats.mean_latency_s >= unloaded - 1e-12);
+        prop_assert!(stats.throughput_fps <= fps * 1.01 + 1.0);
+        prop_assert!(stats.max_latency_s + 1e-12 >= stats.mean_latency_s);
+    }
+}

@@ -1,0 +1,141 @@
+//! Structural audit of the model zoo against published architectures —
+//! the reproduction is only as good as its models.
+
+use d3_model::{zoo, LayerKind, NodeId};
+use d3_simnet::NodeProfile;
+
+#[test]
+fn alexnet_conv_channel_progression() {
+    let g = zoo::alexnet(224);
+    let convs: Vec<usize> = g
+        .nodes()
+        .iter()
+        .filter_map(|n| match &n.kind {
+            LayerKind::Conv { spec, .. } => Some(spec.out_c),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(convs, vec![96, 256, 384, 384, 256]);
+}
+
+#[test]
+fn vgg16_channel_progression() {
+    let g = zoo::vgg16(224);
+    let convs: Vec<usize> = g
+        .nodes()
+        .iter()
+        .filter_map(|n| match &n.kind {
+            LayerKind::Conv { spec, .. } => Some(spec.out_c),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        convs,
+        vec![64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512]
+    );
+}
+
+#[test]
+fn resnet18_graph_depth() {
+    // 2 + 8 blocks × (2 convs + add + relu) along the longest path, plus
+    // classifier tail: the longest distance must reflect the deep path,
+    // not the shortcuts.
+    let g = zoo::resnet18(224);
+    let depth = *g.longest_distances().iter().max().unwrap();
+    // conv1, maxpool, 8×(conv,conv,add,relu), gap, fc, softmax = 2+32+3.
+    assert_eq!(depth, 37);
+}
+
+#[test]
+fn darknet53_weighted_layer_count() {
+    // The name: 52 convs + 1 fc = 53 weighted layers.
+    let g = zoo::darknet53(224);
+    let convs = g
+        .nodes()
+        .iter()
+        .filter(|n| matches!(n.kind, LayerKind::Conv { .. }))
+        .count();
+    let fcs = g
+        .nodes()
+        .iter()
+        .filter(|n| matches!(n.kind, LayerKind::Dense { .. }))
+        .count();
+    assert_eq!(convs + fcs, 53);
+}
+
+#[test]
+fn inception_v4_branch_fanout_at_modules() {
+    // Every inception module's input feeds 4 branches (pool + 3 conv
+    // paths); check a representative concat has at least 3 predecessors.
+    let g = zoo::inception_v4(224);
+    for name in ["inceptionA1.concat", "inceptionB3.concat", "inceptionC2.concat"] {
+        let node = g.nodes().iter().find(|n| n.name == name).unwrap();
+        assert!(
+            node.preds.len() >= 3,
+            "{name} has only {} inputs",
+            node.preds.len()
+        );
+    }
+}
+
+#[test]
+fn mobilenet_alternates_dw_and_pw() {
+    let g = zoo::mobilenet_v1(224);
+    for i in 1..=13 {
+        let dw = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == format!("sep{i}.dw"))
+            .unwrap();
+        assert!(matches!(dw.kind, LayerKind::DepthwiseConv { .. }));
+        let pw = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == format!("sep{i}.pw"))
+            .unwrap();
+        match &pw.kind {
+            LayerKind::Conv { spec, .. } => assert_eq!((spec.kh, spec.kw), (1, 1)),
+            other => panic!("sep{i}.pw is {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn fig1_motivation_holds_on_the_rpi_model() {
+    // The observation the whole paper builds on: intermediate outputs are
+    // much smaller than the worst-case early feature maps, and per-layer
+    // cost is wildly uneven.
+    let rpi = NodeProfile::raspberry_pi4();
+    let g = zoo::vgg16(224);
+    let lat: Vec<f64> = g.layer_ids().map(|id| rpi.layer_latency(&g, id)).collect();
+    let max = lat.iter().cloned().fold(0.0f64, f64::max);
+    let mean = lat.iter().sum::<f64>() / lat.len() as f64;
+    assert!(max > 2.0 * mean, "per-layer cost should be uneven");
+    // Late tensors are far smaller than early ones.
+    let early = g.node(NodeId(1)).output_bytes();
+    let late = g
+        .nodes()
+        .iter()
+        .find(|n| n.name == "maxpool5")
+        .unwrap()
+        .output_bytes();
+    assert!(early > 100 * late);
+}
+
+#[test]
+fn every_zoo_model_has_consistent_bytes_accounting() {
+    let mut models = zoo::all_models(96);
+    models.push(zoo::mobilenet_v1(96));
+    for g in models {
+        for id in g.layer_ids() {
+            let n = g.node(id);
+            // input bytes of a vertex = sum of its preds' output bytes.
+            let expect: u64 = n
+                .preds
+                .iter()
+                .map(|p| g.node(*p).output_bytes())
+                .sum();
+            assert_eq!(g.input_bytes(id), expect, "{}: {}", g.name(), n.name);
+        }
+    }
+}
