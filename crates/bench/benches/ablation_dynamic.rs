@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use d3_model::{zoo, NodeId};
-use d3_partition::{hpa, repartition_local, HpaOptions, Problem};
+use d3_partition::{repartition_local, Hpa, HpaOptions, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, TierProfiles};
 use std::hint::black_box;
 
@@ -12,7 +12,8 @@ fn bench_local_vs_full(c: &mut Criterion) {
     let opts = HpaOptions::paper();
     for g in [zoo::darknet53(224), zoo::inception_v4(224)] {
         let mut p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
-        let base = hpa(&p, &opts);
+        let policy = Hpa(opts.clone());
+        let base = policy.partition(&p).unwrap();
         let victim = NodeId(g.len() / 2);
         p.scale_vertex(victim, base.tier(victim), 4.0);
         let mut group = c.benchmark_group(format!("dynamic_{}", g.name()));
@@ -20,7 +21,7 @@ fn bench_local_vs_full(c: &mut Criterion) {
             b.iter(|| black_box(repartition_local(&p, &base, victim, &opts)));
         });
         group.bench_function(BenchmarkId::from_parameter("full_rerun"), |b| {
-            b.iter(|| black_box(hpa(&p, &opts)));
+            b.iter(|| black_box(policy.partition(&p).unwrap()));
         });
         group.finish();
     }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use d3_model::zoo;
-use d3_partition::{hpa, HpaOptions, Problem};
+use d3_partition::{Hpa, HpaOptions, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, TierProfiles};
 use std::hint::black_box;
 
@@ -19,8 +19,9 @@ fn bench_variants(c: &mut Criterion) {
     let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
     let mut group = c.benchmark_group("hpa_variants_inception");
     for (name, opts) in &variants {
+        let policy = Hpa(opts.clone());
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| black_box(hpa(&p, opts)));
+            b.iter(|| black_box(policy.partition(&p).unwrap()));
         });
     }
     group.finish();

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use d3_model::{zoo, NodeId};
-use d3_partition::{dads, hpa, neurosurgeon, repartition_local, HpaOptions, Problem};
+use d3_partition::{repartition_local, Dads, Hpa, HpaOptions, Neurosurgeon, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, TierProfiles};
 use std::hint::black_box;
 
@@ -14,8 +14,9 @@ fn bench_hpa(c: &mut Criterion) {
     let mut group = c.benchmark_group("hpa");
     for g in zoo::all_models(224) {
         let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
+        let policy = Hpa::paper();
         group.bench_with_input(BenchmarkId::from_parameter(g.name()), &p, |b, p| {
-            b.iter(|| black_box(hpa(p, &HpaOptions::paper())));
+            b.iter(|| black_box(policy.partition(p).unwrap()));
         });
     }
     group.finish();
@@ -23,12 +24,12 @@ fn bench_hpa(c: &mut Criterion) {
 
 fn bench_hpa_greedy_only(c: &mut Criterion) {
     let profiles = TierProfiles::paper_testbed();
-    let opts = HpaOptions::paper().without_cut_search();
+    let policy = Hpa(HpaOptions::paper().without_cut_search());
     let mut group = c.benchmark_group("hpa_greedy_only");
     for g in [zoo::vgg16(224), zoo::inception_v4(224)] {
         let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
         group.bench_with_input(BenchmarkId::from_parameter(g.name()), &p, |b, p| {
-            b.iter(|| black_box(hpa(p, &opts)));
+            b.iter(|| black_box(policy.partition(p).unwrap()));
         });
     }
     group.finish();
@@ -40,7 +41,7 @@ fn bench_dads(c: &mut Criterion) {
     for g in zoo::all_models(224) {
         let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
         group.bench_with_input(BenchmarkId::from_parameter(g.name()), &p, |b, p| {
-            b.iter(|| black_box(dads(p)));
+            b.iter(|| black_box(Dads.partition(p).unwrap()));
         });
     }
     group.finish();
@@ -52,7 +53,7 @@ fn bench_neurosurgeon(c: &mut Criterion) {
     for g in [zoo::alexnet(224), zoo::vgg16(224)] {
         let p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
         group.bench_with_input(BenchmarkId::from_parameter(g.name()), &p, |b, p| {
-            b.iter(|| black_box(neurosurgeon(p).expect("chain")));
+            b.iter(|| black_box(Neurosurgeon.partition(p).expect("chain")));
         });
     }
     group.finish();
@@ -64,7 +65,7 @@ fn bench_local_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_repartition");
     for g in zoo::all_models(224) {
         let mut p = Problem::new(&g, &profiles, NetworkCondition::WiFi);
-        let base = hpa(&p, &opts);
+        let base = Hpa(opts.clone()).partition(&p).unwrap();
         let victim = NodeId(g.len() / 2);
         p.scale_vertex(victim, base.tier(victim), 4.0);
         group.bench_function(BenchmarkId::from_parameter(g.name()), |b| {

@@ -35,12 +35,18 @@ fn bench_tiled(c: &mut Criterion) {
     for (rows, cols) in [(2, 2), (3, 3)] {
         let plan = VsmPlan::new(&g, &run, rows, cols).unwrap();
         let tex = TileExecutor::new(&exec, plan);
-        group.bench_function(BenchmarkId::new("sequential", format!("{rows}x{cols}")), |b| {
-            b.iter(|| black_box(tex.run_sequential(&input)));
-        });
-        group.bench_function(BenchmarkId::new("parallel", format!("{rows}x{cols}")), |b| {
-            b.iter(|| black_box(tex.run_parallel(&input)));
-        });
+        group.bench_function(
+            BenchmarkId::new("sequential", format!("{rows}x{cols}")),
+            |b| {
+                b.iter(|| black_box(tex.run_sequential(&input)));
+            },
+        );
+        group.bench_function(
+            BenchmarkId::new("parallel", format!("{rows}x{cols}")),
+            |b| {
+                b.iter(|| black_box(tex.run_parallel(&input)));
+            },
+        );
     }
     group.finish();
 }
@@ -67,5 +73,11 @@ fn bench_wire(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_whole, bench_tiled, bench_gemm_vs_direct, bench_wire);
+criterion_group!(
+    benches,
+    bench_whole,
+    bench_tiled,
+    bench_gemm_vs_direct,
+    bench_wire
+);
 criterion_main!(benches);

@@ -3,11 +3,11 @@
 
 use crate::report::{fmt_s, fmt_x, md_table, Section};
 use d3_model::zoo;
-use d3_partition::{hpa, repartition_local, HpaOptions, Problem};
+use d3_partition::{repartition_local, Hpa, HpaOptions, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, Tier, TierProfiles};
 use d3_vsm::{parallel_time, VsmPlan};
 
-fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem {
     Problem::new(g, &TierProfiles::paper_testbed(), net)
 }
 
@@ -17,15 +17,24 @@ pub fn ablation_hpa_components() -> Section {
     let variants: Vec<(&str, HpaOptions)> = vec![
         ("full", HpaOptions::paper()),
         ("no SIS", HpaOptions::paper().without_sis()),
-        ("no I/O look-ahead", HpaOptions::paper().without_io_heuristic()),
-        ("greedy only (no cut search)", HpaOptions::paper().without_cut_search()),
+        (
+            "no I/O look-ahead",
+            HpaOptions::paper().without_io_heuristic(),
+        ),
+        (
+            "greedy only (no cut search)",
+            HpaOptions::paper().without_cut_search(),
+        ),
     ];
     let mut rows = Vec::new();
     for g in zoo::all_models(zoo::IMAGENET_HW) {
         let p = problem(&g, NetworkCondition::WiFi);
         let mut row = vec![zoo::display_name(g.name()).to_string()];
         for (_, opts) in &variants {
-            let theta = hpa(&p, opts).total_latency(&p);
+            let theta = Hpa(opts.clone())
+                .partition(&p)
+                .expect("HPA always applies")
+                .total_latency(&p);
             row.push(fmt_s(theta));
         }
         rows.push(row);
@@ -47,7 +56,10 @@ pub fn ablation_tiers() -> Section {
         let p = problem(&g, NetworkCondition::WiFi);
         let theta = |tiers: &[Tier]| {
             let opts = HpaOptions::paper().with_tiers(tiers);
-            hpa(&p, &opts).total_latency(&p)
+            Hpa(opts)
+                .partition(&p)
+                .expect("HPA always applies")
+                .total_latency(&p)
         };
         let three = theta(&Tier::ALL);
         let dc = theta(&[Tier::Device, Tier::Cloud]);
@@ -61,10 +73,7 @@ pub fn ablation_tiers() -> Section {
     }
     Section::new(
         "Ablation — 3-tier vs 2-tier partitioning (Wi-Fi; ratios vs 3-tier)",
-        md_table(
-            &["model", "3-tier", "device+cloud", "edge+cloud"],
-            &rows,
-        ),
+        md_table(&["model", "3-tier", "device+cloud", "edge+cloud"], &rows),
     )
 }
 
@@ -107,13 +116,16 @@ pub fn ablation_dynamic() -> Section {
     for g in zoo::all_models(zoo::IMAGENET_HW) {
         let opts = HpaOptions::paper();
         let mut p = problem(&g, NetworkCondition::WiFi);
-        let base = hpa(&p, &opts);
+        let base = Hpa(opts.clone()).partition(&p).expect("HPA always applies");
         let victim = d3_model::NodeId(g.len() / 2);
         p.scale_vertex(victim, base.tier(victim), 5.0);
         let stale = base.total_latency(&p);
         let local = repartition_local(&p, &base, victim, &opts);
         let local_theta = local.assignment.total_latency(&p);
-        let full_theta = hpa(&p, &opts).total_latency(&p);
+        let full_theta = Hpa(opts.clone())
+            .partition(&p)
+            .expect("HPA always applies")
+            .total_latency(&p);
         rows.push(vec![
             zoo::display_name(g.name()).to_string(),
             fmt_s(stale),
@@ -127,7 +139,10 @@ pub fn ablation_dynamic() -> Section {
     }
     Section::new(
         "Ablation — stale plan vs local re-partition vs full HPA after 5× vertex slowdown",
-        md_table(&["model", "stale Θ", "local update Θ", "full re-run Θ"], &rows),
+        md_table(
+            &["model", "stale Θ", "local update Θ", "full re-run Θ"],
+            &rows,
+        ),
     )
 }
 
@@ -145,8 +160,14 @@ mod tests {
     fn cut_search_never_hurts() {
         for g in [zoo::vgg16(224), zoo::resnet18(224)] {
             let p = problem(&g, NetworkCondition::WiFi);
-            let full = hpa(&p, &HpaOptions::paper()).total_latency(&p);
-            let greedy = hpa(&p, &HpaOptions::paper().without_cut_search()).total_latency(&p);
+            let full = Hpa(HpaOptions::paper())
+                .partition(&p)
+                .unwrap()
+                .total_latency(&p);
+            let greedy = Hpa(HpaOptions::paper().without_cut_search())
+                .partition(&p)
+                .unwrap()
+                .total_latency(&p);
             assert!(full <= greedy + 1e-12, "{}", g.name());
         }
     }
@@ -155,9 +176,15 @@ mod tests {
     fn three_tier_never_worse_than_two_tier() {
         let g = zoo::resnet18(224);
         let p = problem(&g, NetworkCondition::WiFi);
-        let three = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+        let three = Hpa(HpaOptions::paper())
+            .partition(&p)
+            .unwrap()
+            .total_latency(&p);
         for tiers in [[Tier::Device, Tier::Cloud], [Tier::Edge, Tier::Cloud]] {
-            let two = hpa(&p, &HpaOptions::paper().with_tiers(&tiers)).total_latency(&p);
+            let two = Hpa(HpaOptions::paper().with_tiers(&tiers))
+                .partition(&p)
+                .unwrap()
+                .total_latency(&p);
             assert!(three <= two + 1e-9);
         }
     }

@@ -6,11 +6,11 @@
 use crate::report::{fmt_s, fmt_x, md_table, Section};
 use d3_engine::{deploy_strategy, Strategy, VsmConfig};
 use d3_model::{zoo, NodeId};
-use d3_partition::{energy, ionn, neurosurgeon, neurosurgeon_energy, Problem};
+use d3_partition::{energy, neurosurgeon_energy, Ionn, Neurosurgeon, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, Tier, TierProfiles};
 use d3_vsm::{compare_schemes, ModnnConfig, VsmPlan};
 
-fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem {
     Problem::new(g, &TierProfiles::paper_testbed(), net)
 }
 
@@ -22,7 +22,7 @@ pub fn extension_ionn() -> Section {
         let p = problem(&g, NetworkCondition::WiFi);
         let mut rows = Vec::new();
         for q in [1u64, 10, 100, 1_000, 100_000] {
-            let a = ionn(&p, q).expect("chain");
+            let a = Ionn::with_queries(q).partition(&p).expect("chain");
             let cloud = a.tiers().iter().filter(|t| **t == Tier::Cloud).count();
             rows.push(vec![
                 format!("{q}"),
@@ -30,7 +30,7 @@ pub fn extension_ionn() -> Section {
                 fmt_s(a.total_latency(&p)),
             ]);
         }
-        let ns = neurosurgeon(&p).expect("chain");
+        let ns = Neurosurgeon.partition(&p).expect("chain");
         rows.push(vec![
             "∞ (Neurosurgeon)".into(),
             format!(
@@ -83,7 +83,13 @@ pub fn extension_modnn() -> Section {
     Section::new(
         "Extension — MoDNN vs VSM on each model's first conv run (4 nodes, Wi-Fi LAN)",
         md_table(
-            &["model", "run layers", "serial", "MoDNN", "VSM (fused tiles)"],
+            &[
+                "model",
+                "run layers",
+                "serial",
+                "MoDNN",
+                "VSM (fused tiles)",
+            ],
             &rows,
         ),
     )
@@ -110,7 +116,10 @@ pub fn extension_energy() -> Section {
                 joules(Strategy::HpaVsm),
             ]);
         }
-        body.push_str(&format!("### {} (battery J/inference)\n\n", zoo::display_name(g.name())));
+        body.push_str(&format!(
+            "### {} (battery J/inference)\n\n",
+            zoo::display_name(g.name())
+        ));
         body.push_str(&md_table(
             &["network", "Device-only", "Cloud-only", "HPA", "D3"],
             &rows,
@@ -121,7 +130,7 @@ pub fn extension_energy() -> Section {
     let mut rows = Vec::new();
     for g in [zoo::alexnet(224), zoo::vgg16(224)] {
         let p = problem(&g, NetworkCondition::WiFi);
-        let lat = neurosurgeon(&p).expect("chain");
+        let lat = Neurosurgeon.partition(&p).expect("chain");
         let en = neurosurgeon_energy(&p, &profiles).expect("chain");
         rows.push(vec![
             zoo::display_name(g.name()).to_string(),
@@ -174,10 +183,7 @@ pub fn extension_hetero_vsm() -> Section {
     }
     Section::new(
         "Extension — heterogeneous edge pools: uniform vs capacity-weighted tiles",
-        md_table(
-            &["pool", "uniform 2×2", "weighted 2×2", "gain"],
-            &rows,
-        ),
+        md_table(&["pool", "uniform 2×2", "weighted 2×2", "gain"], &rows),
     )
 }
 

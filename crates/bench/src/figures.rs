@@ -13,7 +13,7 @@ pub fn paper_models() -> Vec<DnnGraph> {
     zoo::all_models(zoo::IMAGENET_HW)
 }
 
-fn problem<'g>(g: &'g DnnGraph, net: NetworkCondition) -> Problem<'g> {
+fn problem(g: &DnnGraph, net: NetworkCondition) -> Problem {
     Problem::new(g, &TierProfiles::paper_testbed(), net)
 }
 
@@ -26,7 +26,7 @@ pub fn strategy_latency(g: &DnnGraph, net: NetworkCondition, s: Strategy) -> Opt
 
 /// Problem against the §IV implementation testbed (RPi4 device) — used
 /// by Fig. 9, whose device-only baseline is explicitly the Raspberry Pi.
-fn rpi_problem<'g>(g: &'g DnnGraph, net: NetworkCondition) -> Problem<'g> {
+fn rpi_problem(g: &DnnGraph, net: NetworkCondition) -> Problem {
     Problem::new(g, &TierProfiles::rpi_testbed(), net)
 }
 
@@ -47,7 +47,9 @@ pub fn fig1() -> Section {
         let mut rows = Vec::new();
         for (label, members) in &groups {
             let latency: f64 = members.iter().map(|&id| rpi.layer_latency(&g, id)).sum();
-            let out_bytes = g.node(*members.last().expect("non-empty group")).output_bytes();
+            let out_bytes = g
+                .node(*members.last().expect("non-empty group"))
+                .output_bytes();
             rows.push(vec![
                 label.clone(),
                 fmt_s(latency),
@@ -129,7 +131,10 @@ pub fn fig4() -> Section {
     let est = RegressionEstimator::train(&profiles, &refs, 0.05, 3, 42);
     let alexnet = zoo::alexnet(224);
     let mut body = String::new();
-    for (tier, label) in [(Tier::Edge, "CPU (i7-8700)"), (Tier::Cloud, "GPU (RTX 2080 Ti)")] {
+    for (tier, label) in [
+        (Tier::Edge, "CPU (i7-8700)"),
+        (Tier::Cloud, "GPU (RTX 2080 Ti)"),
+    ] {
         let mut rows = Vec::new();
         for id in alexnet.layer_ids() {
             let node = alexnet.node(id);
@@ -164,8 +169,7 @@ pub fn fig9() -> Section {
     for net in NetworkCondition::TABLE3 {
         let mut rows = Vec::new();
         for g in paper_models() {
-            let base =
-                strategy_latency_rpi(&g, net, Strategy::DeviceOnly).expect("always applies");
+            let base = strategy_latency_rpi(&g, net, Strategy::DeviceOnly).expect("always applies");
             let cell = |s: Strategy| {
                 strategy_latency_rpi(&g, net, s)
                     .map(|l| fmt_x(base / l))
@@ -203,9 +207,7 @@ pub fn fig10() -> Section {
             let dads = strategy_latency(&g, net, Strategy::Dads).expect("applies");
             let hpa = strategy_latency(&g, net, Strategy::Hpa).expect("applies");
             let base = ns.unwrap_or(dads).max(dads).max(hpa);
-            let cell = |l: Option<f64>| {
-                l.map(|l| fmt_x(base / l)).unwrap_or_else(|| "n/a".into())
-            };
+            let cell = |l: Option<f64>| l.map(|l| fmt_x(base / l)).unwrap_or_else(|| "n/a".into());
             rows.push(vec![
                 zoo::display_name(g.name()).to_string(),
                 cell(ns),
@@ -248,7 +250,14 @@ pub fn fig11() -> Section {
     Section::new(
         "Fig. 11 — Inception-v4 speedup vs LAN↔cloud bandwidth (device-only = 1×)",
         md_table(
-            &["Mbps", "Device-only", "Edge-only", "Cloud-only", "DADS", "HPA"],
+            &[
+                "Mbps",
+                "Device-only",
+                "Edge-only",
+                "Cloud-only",
+                "DADS",
+                "HPA",
+            ],
             &rows,
         ),
     )

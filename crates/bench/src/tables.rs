@@ -13,17 +13,14 @@ pub fn table1() -> Section {
     let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
     let rows: Vec<Vec<String>> = placement::table1(&p, NodeId(1), NodeId(2))
         .into_iter()
-        .map(|r| {
-            vec![
-                r.li.to_string(),
-                r.lj.to_string(),
-                fmt_s(r.total_s),
-            ]
-        })
+        .map(|r| vec![r.li.to_string(), r.lj.to_string(), fmt_s(r.total_s)])
         .collect();
     Section::new(
         "Table I — pairwise placement latencies (vi = alexnet conv1, vj = maxpool1, Wi-Fi)",
-        md_table(&["location of vi", "location of vj", "total latency"], &rows),
+        md_table(
+            &["location of vi", "location of vj", "total latency"],
+            &rows,
+        ),
     )
 }
 
@@ -53,7 +50,12 @@ pub fn table2() -> Section {
     Section::new(
         "Table II — synergistic inference time per tier after partitioning (ms, serial edge)",
         md_table(
-            &["DNN", "Device node (ms)", "Edge node (ms)", "Cloud node (ms)"],
+            &[
+                "DNN",
+                "Device node (ms)",
+                "Edge node (ms)",
+                "Cloud node (ms)",
+            ],
             &rows,
         ),
     )
@@ -79,10 +81,7 @@ pub fn table3() -> Section {
     }
     Section::new(
         "Table III — average uplink rate (Mbps) between two nodes",
-        md_table(
-            &["link", "Wi-Fi", "4G", "5G", "Optical Network"],
-            &rows,
-        ),
+        md_table(&["link", "Wi-Fi", "4G", "5G", "Optical Network"], &rows),
     )
 }
 
@@ -99,7 +98,13 @@ mod tests {
     #[test]
     fn table2_covers_five_models() {
         let s = table2();
-        for name in ["AlexNet", "VGG-16", "ResNet-18", "Darknet-53", "Inception-v4"] {
+        for name in [
+            "AlexNet",
+            "VGG-16",
+            "ResNet-18",
+            "Darknet-53",
+            "Inception-v4",
+        ] {
             assert!(s.body.contains(name), "missing {name}");
         }
     }
@@ -107,7 +112,9 @@ mod tests {
     #[test]
     fn table3_matches_paper_numbers() {
         let s = table3();
-        for v in ["84.95", "31.53", "13.79", "22.75", "50.23", "18.75", "6.12", "11.64"] {
+        for v in [
+            "84.95", "31.53", "13.79", "22.75", "50.23", "18.75", "6.12", "11.64",
+        ] {
             assert!(s.body.contains(v), "missing rate {v}");
         }
     }

@@ -9,13 +9,18 @@
 //!    hardware ([`d3_profiler::Profiler`]),
 //! 2. **Estimate** — fit the regression latency model
 //!    ([`d3_profiler::RegressionEstimator`], Fig. 4),
-//! 3. **Partition** — run HPA over the weighted DAG
-//!    ([`d3_partition::hpa()`](fn@d3_partition::hpa), Algorithm 1),
+//! 3. **Partition** — run any [`Partitioner`] over the weighted DAG
+//!    (default: [`Hpa`](d3_partition::Hpa), Algorithm 1),
 //! 4. **Separate** — vertically split edge conv stacks into fused tiles
 //!    ([`d3_vsm::VsmPlan`], Algorithm 2),
 //! 5. **Deploy & run** — stream frames through the discrete-event
 //!    pipeline and/or execute real tensors across threads
 //!    ([`d3_engine`]).
+//!
+//! Systems **own** their graph (shared through an [`Arc`]), so they can
+//! outlive the stack frame that built them and move across threads. For
+//! serving several models concurrently from one process, see
+//! [`D3Runtime`].
 //!
 //! ## Quickstart
 //!
@@ -24,8 +29,7 @@
 //! use d3_model::zoo;
 //! use d3_simnet::NetworkCondition;
 //!
-//! let graph = zoo::alexnet(224);
-//! let d3 = D3System::builder(&graph)
+//! let d3 = D3System::builder(zoo::alexnet(224))
 //!     .network(NetworkCondition::WiFi)
 //!     .build();
 //! println!("plan: {}", d3.describe_partition());
@@ -36,26 +40,47 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod runtime;
+
 pub use d3_engine::{Deployment, Strategy, VsmConfig};
 pub use d3_model::{DnnGraph, NodeId};
-pub use d3_partition::{Assignment, DriftMonitor, HpaOptions, Problem};
+pub use d3_partition::{
+    Assignment, DriftMonitor, HpaOptions, PartitionError, Partitioner, Problem,
+};
 pub use d3_profiler::RegressionEstimator;
 pub use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+pub use runtime::{D3Runtime, ModelOptions, ModelStats, ServeError};
+
+use std::sync::Arc;
 
 use d3_engine::{pipeline::StreamStats, run_distributed, AdaptiveEngine};
+use d3_partition::Hpa;
 use d3_profiler::LatencyProvider;
 use d3_tensor::Tensor;
 
 /// Builder for a [`D3System`].
-#[derive(Debug, Clone)]
-pub struct D3Builder<'g> {
-    graph: &'g DnnGraph,
+pub struct D3Builder {
+    graph: Arc<DnnGraph>,
     profiles: TierProfiles,
     net: NetworkCondition,
+    partitioner: Box<dyn Partitioner>,
     hpa: HpaOptions,
     vsm: Option<VsmConfig>,
     regression: Option<RegressionConfig>,
     seed: u64,
+}
+
+impl std::fmt::Debug for D3Builder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("D3Builder")
+            .field("graph", &self.graph.name())
+            .field("net", &self.net)
+            .field("partitioner", &self.partitioner.name())
+            .field("vsm", &self.vsm)
+            .field("regression", &self.regression)
+            .field("seed", &self.seed)
+            .finish()
+    }
 }
 
 /// Configuration of the regression latency estimator; when absent the
@@ -68,7 +93,7 @@ pub struct RegressionConfig {
     pub repeats: usize,
 }
 
-impl<'g> D3Builder<'g> {
+impl D3Builder {
     /// Hardware profiles per tier (default: the paper's §IV testbed).
     pub fn profiles(mut self, profiles: TierProfiles) -> Self {
         self.profiles = profiles;
@@ -81,9 +106,25 @@ impl<'g> D3Builder<'g> {
         self
     }
 
-    /// HPA options (default: the paper's configuration).
+    /// HPA options (default: the paper's configuration). Also restores
+    /// HPA as the partition policy if [`partitioner`](Self::partitioner)
+    /// had replaced it.
     pub fn hpa_options(mut self, opts: HpaOptions) -> Self {
+        self.partitioner = Box::new(Hpa(opts.clone()));
         self.hpa = opts;
+        self
+    }
+
+    /// Replaces the partition policy (default: HPA with the paper's
+    /// configuration). Any [`Partitioner`] works — the paper baselines
+    /// from [`d3_partition`] or a third-party implementation.
+    pub fn partitioner(self, partitioner: impl Partitioner + 'static) -> Self {
+        self.boxed_partitioner(Box::new(partitioner))
+    }
+
+    /// Replaces the partition policy with an already-boxed [`Partitioner`].
+    pub fn boxed_partitioner(mut self, partitioner: Box<dyn Partitioner>) -> Self {
+        self.partitioner = partitioner;
         self
     }
 
@@ -93,7 +134,7 @@ impl<'g> D3Builder<'g> {
         self
     }
 
-    /// Disables VSM (HPA-only deployment).
+    /// Disables VSM (partition-only deployment).
     pub fn without_vsm(mut self) -> Self {
         self.vsm = None;
         self
@@ -107,6 +148,12 @@ impl<'g> D3Builder<'g> {
         self
     }
 
+    /// Enables or disables the regression estimator from an option.
+    pub fn with_regression_opt(mut self, cfg: Option<RegressionConfig>) -> Self {
+        self.regression = cfg;
+        self
+    }
+
     /// Seed for weights and profiling noise.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -114,11 +161,16 @@ impl<'g> D3Builder<'g> {
     }
 
     /// Profiles, estimates, partitions, separates and deploys.
-    pub fn build(self) -> D3System<'g> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the policy's [`PartitionError`] when it does not apply
+    /// to the model (e.g. Neurosurgeon on a DAG topology).
+    pub fn try_build(self) -> Result<D3System, PartitionError> {
         let estimator = self.regression.map(|cfg| {
             RegressionEstimator::train(
                 &self.profiles,
-                &[self.graph],
+                &[self.graph.as_ref()],
                 cfg.noise_sigma,
                 cfg.repeats,
                 self.seed,
@@ -128,39 +180,69 @@ impl<'g> D3Builder<'g> {
             Some(e) => e,
             None => &self.profiles,
         };
-        let problem = Problem::new(self.graph, provider, self.net);
-        let assignment = d3_partition::hpa(&problem, &self.hpa);
-        let deployment = Deployment::new(&problem, assignment, self.vsm);
-        D3System {
+        let problem = Problem::new(self.graph.clone(), provider, self.net);
+        let deployment = Deployment::plan(&problem, self.partitioner.as_ref(), self.vsm)?;
+        Ok(D3System {
             graph: self.graph,
             problem,
             estimator,
             deployment,
+            partitioner_name: self.partitioner.name().to_string(),
             hpa: self.hpa,
             vsm: self.vsm,
             seed: self.seed,
-        }
+        })
+    }
+
+    /// Profiles, estimates, partitions, separates and deploys.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured partition policy does not apply to the
+    /// model; use [`try_build`](Self::try_build) to handle that case.
+    pub fn build(self) -> D3System {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("cannot deploy: {e}"))
     }
 }
 
 /// A fully deployed D3 system for one DNN.
-pub struct D3System<'g> {
-    graph: &'g DnnGraph,
-    problem: Problem<'g>,
+///
+/// Owns its graph (via [`Arc`]), so it is `Send + Sync + 'static`: build
+/// once, then move it across threads or share it behind a reference and
+/// call [`run`](Self::run) concurrently.
+pub struct D3System {
+    graph: Arc<DnnGraph>,
+    problem: Problem,
     estimator: Option<RegressionEstimator>,
     deployment: Deployment,
+    partitioner_name: String,
     hpa: HpaOptions,
     vsm: Option<VsmConfig>,
     seed: u64,
 }
 
-impl<'g> D3System<'g> {
-    /// Starts building a system for `graph`.
-    pub fn builder(graph: &'g DnnGraph) -> D3Builder<'g> {
+impl std::fmt::Debug for D3System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("D3System")
+            .field("graph", &self.graph.name())
+            .field("partitioner", &self.partitioner_name)
+            .field("theta_s", &self.deployment.theta_s)
+            .field("vsm", &self.vsm)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl D3System {
+    /// Starts building a system for `graph` — an owned [`DnnGraph`], an
+    /// `Arc<DnnGraph>`, or `&DnnGraph` (cloned into a fresh `Arc`).
+    pub fn builder(graph: impl Into<Arc<DnnGraph>>) -> D3Builder {
         D3Builder {
-            graph,
+            graph: graph.into(),
             profiles: TierProfiles::paper_testbed(),
             net: NetworkCondition::WiFi,
+            partitioner: Box::new(Hpa(HpaOptions::paper())),
             hpa: HpaOptions::paper(),
             vsm: Some(VsmConfig::default()),
             regression: None,
@@ -169,18 +251,28 @@ impl<'g> D3System<'g> {
     }
 
     /// The model being served.
-    pub fn graph(&self) -> &'g DnnGraph {
-        self.graph
+    pub fn graph(&self) -> &DnnGraph {
+        &self.graph
+    }
+
+    /// The shared handle to the model (cheap to clone).
+    pub fn graph_arc(&self) -> &Arc<DnnGraph> {
+        &self.graph
     }
 
     /// The weighted partition problem instance.
-    pub fn problem(&self) -> &Problem<'g> {
+    pub fn problem(&self) -> &Problem {
         &self.problem
     }
 
-    /// The HPA tier assignment.
+    /// The tier assignment produced by the configured partitioner.
     pub fn partition(&self) -> &Assignment {
         &self.deployment.assignment
+    }
+
+    /// Name of the partition policy that produced the deployment.
+    pub fn partitioner_name(&self) -> &str {
+        &self.partitioner_name
     }
 
     /// The deployed pipeline (stages, Θ, backbone bytes, VSM plans).
@@ -206,10 +298,11 @@ impl<'g> D3System<'g> {
     /// Executes one real input across device/edge/cloud worker threads,
     /// with VSM tile parallelism at the edge when enabled. The output is
     /// bit-identical to single-node inference — the paper's lossless
-    /// guarantee.
+    /// guarantee. Takes `&self`, so callers may serve concurrently from
+    /// many threads.
     pub fn run(&self, input: &Tensor) -> Tensor {
         run_distributed(
-            self.graph,
+            &self.graph,
             self.seed,
             &self.deployment.assignment,
             self.vsm,
@@ -217,10 +310,20 @@ impl<'g> D3System<'g> {
         )
     }
 
+    /// The seed deriving this system's synthetic weights (single-node
+    /// executors must match it to reproduce outputs bit-exactly).
+    pub fn weight_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Converts into the runtime-adaptive controller (hysteresis-gated
-    /// local re-partitioning).
-    pub fn into_adaptive(self, monitor: DriftMonitor) -> AdaptiveEngine<'g> {
-        AdaptiveEngine::new(self.problem, self.hpa, monitor)
+    /// local re-partitioning). The engine adopts this system's deployed
+    /// assignment as its starting plan — whichever partitioner produced
+    /// it — while drift-triggered *re*-partitions use HPA with the
+    /// builder's HPA options (the paper's adaptation mechanism is
+    /// HPA-specific).
+    pub fn into_adaptive(self, monitor: DriftMonitor) -> AdaptiveEngine {
+        AdaptiveEngine::with_assignment(self.problem, self.deployment.assignment, self.hpa, monitor)
     }
 
     /// A human-readable summary of the partition, e.g.
@@ -255,8 +358,56 @@ mod tests {
         let d3 = D3System::builder(&g).build();
         assert!(d3.theta_s() > 0.0);
         assert!(d3.partition().is_monotone(d3.problem()));
+        assert_eq!(d3.partitioner_name(), "hpa");
         let desc = d3.describe_partition();
         assert!(desc.contains("device") && desc.contains("cloud"));
+    }
+
+    #[test]
+    fn builder_accepts_owned_and_shared_graphs() {
+        let owned = D3System::builder(zoo::alexnet(224)).build();
+        let shared_graph = Arc::new(zoo::alexnet(224));
+        let shared = D3System::builder(shared_graph.clone()).build();
+        assert_eq!(owned.theta_s(), shared.theta_s());
+        // The Arc is shared, not recloned.
+        assert!(Arc::ptr_eq(shared.graph_arc(), &shared_graph));
+    }
+
+    #[test]
+    fn system_outlives_its_building_scope_and_crosses_threads() {
+        let d3 = {
+            let g = zoo::tiny_cnn(16);
+            D3System::builder(g).seed(7).build()
+        };
+        let handle = std::thread::spawn(move || d3.theta_s());
+        assert!(handle.join().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn custom_partitioner_routes_through_trait() {
+        let g = zoo::alexnet(224);
+        let d3 = D3System::builder(&g)
+            .partitioner(d3_partition::Neurosurgeon)
+            .without_vsm()
+            .build();
+        assert_eq!(d3.partitioner_name(), "neurosurgeon");
+        for id in g.layer_ids() {
+            assert_ne!(d3.partition().tier(id), Tier::Edge);
+        }
+    }
+
+    #[test]
+    fn inapplicable_partitioner_is_a_typed_error() {
+        let err = D3System::builder(zoo::resnet18(224))
+            .partitioner(d3_partition::Neurosurgeon)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PartitionError::NotAChain {
+                algorithm: "Neurosurgeon"
+            }
+        );
     }
 
     #[test]
@@ -288,6 +439,22 @@ mod tests {
         let d3 = D3System::builder(&g).build();
         let theta = d3.theta_s();
         let adaptive = d3.into_adaptive(DriftMonitor::default());
+        assert!((adaptive.current_theta() - theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_conversion_adopts_non_hpa_plans() {
+        // A custom policy's deployed plan must survive the conversion
+        // verbatim instead of being silently re-partitioned with HPA.
+        let g = zoo::alexnet(224);
+        let d3 = D3System::builder(&g)
+            .partitioner(d3_partition::Dads)
+            .without_vsm()
+            .build();
+        let plan = d3.partition().clone();
+        let theta = d3.theta_s();
+        let adaptive = d3.into_adaptive(DriftMonitor::default());
+        assert_eq!(adaptive.assignment().tiers(), plan.tiers());
         assert!((adaptive.current_theta() - theta).abs() < 1e-9);
     }
 

@@ -1,0 +1,468 @@
+//! Multi-model serving: one process, many deployed DNNs, concurrent
+//! requests.
+//!
+//! [`D3Runtime`] is the "write the plan once, execute it millions of
+//! times" half of the facade: each registered model is profiled,
+//! partitioned and deployed **once** at registration, then
+//! [`serve`](D3Runtime::serve) executes requests against the frozen plan
+//! from any number of threads (`D3Runtime` is `Send + Sync`; serving
+//! needs only `&self`). Per-model request counters and latency
+//! accumulators come for free, so an operator can watch traffic shift
+//! between tenants.
+//!
+//! ```
+//! use d3_core::{D3Runtime, ModelOptions};
+//! use d3_model::zoo;
+//! use d3_tensor::Tensor;
+//!
+//! let mut rt = D3Runtime::new();
+//! rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(7))
+//!     .unwrap();
+//! let out = rt.serve("tiny", &Tensor::random(3, 16, 16, 1)).unwrap();
+//! assert!(out.data().iter().all(|v| v.is_finite()));
+//! assert_eq!(rt.stats("tiny").unwrap().requests, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use d3_model::DnnGraph;
+use d3_partition::{Hpa, HpaOptions, PartitionError, Partitioner};
+use d3_simnet::{NetworkCondition, TierProfiles};
+use d3_tensor::Tensor;
+
+use crate::{D3System, RegressionConfig, VsmConfig};
+
+/// Per-model configuration for [`D3Runtime::register`] — the same knobs
+/// as [`D3Builder`](crate::D3Builder), minus the graph.
+pub struct ModelOptions {
+    profiles: TierProfiles,
+    net: NetworkCondition,
+    partitioner: Box<dyn Partitioner>,
+    hpa: HpaOptions,
+    vsm: Option<VsmConfig>,
+    regression: Option<RegressionConfig>,
+    seed: u64,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        Self {
+            profiles: TierProfiles::paper_testbed(),
+            net: NetworkCondition::WiFi,
+            partitioner: Box::new(Hpa(HpaOptions::paper())),
+            hpa: HpaOptions::paper(),
+            vsm: Some(VsmConfig::default()),
+            regression: None,
+            seed: 0xD3,
+        }
+    }
+}
+
+impl std::fmt::Debug for ModelOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelOptions")
+            .field("net", &self.net)
+            .field("partitioner", &self.partitioner.name())
+            .field("vsm", &self.vsm)
+            .field("regression", &self.regression)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl ModelOptions {
+    /// The paper-default configuration (HPA + VSM over Wi-Fi).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hardware profiles per tier (default: the paper's §IV testbed).
+    #[must_use]
+    pub fn profiles(mut self, profiles: TierProfiles) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
+    /// Network condition (default: Wi-Fi, Table III).
+    #[must_use]
+    pub fn network(mut self, net: NetworkCondition) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// HPA options; also restores HPA as the partition policy.
+    #[must_use]
+    pub fn hpa_options(mut self, opts: HpaOptions) -> Self {
+        self.partitioner = Box::new(Hpa(opts.clone()));
+        self.hpa = opts;
+        self
+    }
+
+    /// Replaces the partition policy (default: HPA, paper config).
+    #[must_use]
+    pub fn partitioner(mut self, partitioner: impl Partitioner + 'static) -> Self {
+        self.partitioner = Box::new(partitioner);
+        self
+    }
+
+    /// Enables VSM with the given config (default: 4 edge nodes, 2×2).
+    #[must_use]
+    pub fn vsm(mut self, cfg: VsmConfig) -> Self {
+        self.vsm = Some(cfg);
+        self
+    }
+
+    /// Disables VSM (partition-only deployment).
+    #[must_use]
+    pub fn without_vsm(mut self) -> Self {
+        self.vsm = None;
+        self
+    }
+
+    /// Trains and uses the regression latency estimator.
+    #[must_use]
+    pub fn with_regression(mut self, cfg: RegressionConfig) -> Self {
+        self.regression = Some(cfg);
+        self
+    }
+
+    /// Seed for weights and profiling noise.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn into_builder(self, graph: impl Into<Arc<DnnGraph>>) -> crate::D3Builder {
+        let mut builder = D3System::builder(graph)
+            .profiles(self.profiles)
+            .network(self.net)
+            .hpa_options(self.hpa)
+            .with_regression_opt(self.regression)
+            .seed(self.seed);
+        builder = match self.vsm {
+            Some(cfg) => builder.vsm(cfg),
+            None => builder.without_vsm(),
+        };
+        builder.boxed_partitioner(self.partitioner)
+    }
+}
+
+/// Why a serve call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No model registered under the requested name.
+    UnknownModel(String),
+    /// The input tensor does not match the model's input shape.
+    ShapeMismatch {
+        /// The model served.
+        model: String,
+        /// Expected `(c, h, w)`.
+        expected: (usize, usize, usize),
+        /// Received `(c, h, w)`.
+        got: (usize, usize, usize),
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(name) => write!(f, "no model registered as {name:?}"),
+            ServeError::ShapeMismatch {
+                model,
+                expected,
+                got,
+            } => write!(
+                f,
+                "input shape {got:?} does not match {model:?} (expects {expected:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A snapshot of one model's serving statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelStats {
+    /// Requests served since registration.
+    pub requests: u64,
+    /// Wall-clock seconds spent inside [`D3Runtime::serve`], summed.
+    pub total_latency_s: f64,
+    /// `total_latency_s / requests` (zero before the first request).
+    pub mean_latency_s: f64,
+}
+
+struct ModelEntry {
+    system: D3System,
+    requests: AtomicU64,
+    latency_ns: AtomicU64,
+}
+
+/// A multi-tenant serving runtime: named models, each pre-partitioned
+/// and deployed, served concurrently from any number of threads.
+///
+/// Registration (`&mut self`) is the only mutating operation; serving
+/// takes `&self` and only touches atomic counters, so a `D3Runtime`
+/// behind an `Arc` (or a scoped-thread borrow) is safe to hammer from a
+/// thread pool.
+#[derive(Default)]
+pub struct D3Runtime {
+    models: HashMap<String, ModelEntry>,
+}
+
+impl std::fmt::Debug for D3Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("D3Runtime")
+            .field("models", &self.models())
+            .field("total_requests", &self.total_requests())
+            .finish()
+    }
+}
+
+impl D3Runtime {
+    /// An empty runtime.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Profiles, partitions and deploys `graph`, then registers the
+    /// resulting system under `name`. Re-registering a name replaces the
+    /// previous model (and resets its counters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the policy's [`PartitionError`] when it does not apply
+    /// to the model; the runtime is left unchanged.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        graph: impl Into<Arc<DnnGraph>>,
+        options: ModelOptions,
+    ) -> Result<&mut Self, PartitionError> {
+        let system = options.into_builder(graph).try_build()?;
+        self.register_system(name, system);
+        Ok(self)
+    }
+
+    /// Registers an already-built [`D3System`] under `name`.
+    pub fn register_system(&mut self, name: impl Into<String>, system: D3System) -> &mut Self {
+        self.models.insert(
+            name.into(),
+            ModelEntry {
+                system,
+                requests: AtomicU64::new(0),
+                latency_ns: AtomicU64::new(0),
+            },
+        );
+        self
+    }
+
+    /// Removes the model registered under `name`, returning its system.
+    pub fn deregister(&mut self, name: &str) -> Option<D3System> {
+        self.models.remove(name).map(|entry| entry.system)
+    }
+
+    /// Runs one inference on the named model across its deployed tiers.
+    /// The output is bit-identical to single-node inference (the paper's
+    /// lossless guarantee). Callable concurrently from many threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `name` is not registered or the input shape mismatches
+    /// the model.
+    pub fn serve(&self, name: &str, input: &Tensor) -> Result<Tensor, ServeError> {
+        let entry = self
+            .models
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        let expected = entry.system.graph().input_shape();
+        let expected = (expected.c, expected.h, expected.w);
+        let got = input.shape3();
+        let got = (got.c, got.h, got.w);
+        if expected != got {
+            return Err(ServeError::ShapeMismatch {
+                model: name.to_string(),
+                expected,
+                got,
+            });
+        }
+        let start = Instant::now();
+        let output = entry.system.run(input);
+        // Latency before count, and stats() reads count before latency:
+        // a concurrent reader can only over-estimate the mean, never see
+        // a counted request with missing latency (spurious zero mean).
+        entry
+            .latency_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        entry.requests.fetch_add(1, Ordering::Relaxed);
+        Ok(output)
+    }
+
+    /// The deployed system behind `name`, when registered.
+    #[must_use]
+    pub fn system(&self, name: &str) -> Option<&D3System> {
+        self.models.get(name).map(|entry| &entry.system)
+    }
+
+    /// Serving statistics for `name`, when registered.
+    #[must_use]
+    pub fn stats(&self, name: &str) -> Option<ModelStats> {
+        self.models.get(name).map(|entry| {
+            // Count before latency (serve() writes in the opposite
+            // order), so a torn snapshot under concurrent traffic can
+            // only over-estimate the mean.
+            let requests = entry.requests.load(Ordering::Relaxed);
+            let total_latency_s = entry.latency_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+            ModelStats {
+                requests,
+                total_latency_s,
+                mean_latency_s: if requests == 0 {
+                    0.0
+                } else {
+                    total_latency_s / requests as f64
+                },
+            }
+        })
+    }
+
+    /// Registered model names, sorted.
+    #[must_use]
+    pub fn models(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.models.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no models are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Requests served across all models.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.models
+            .values()
+            .map(|entry| entry.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// One line per model: name, partition summary, request count.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut lines: Vec<String> = self
+            .models
+            .iter()
+            .map(|(name, entry)| {
+                format!(
+                    "{name}: [{}] {} | requests: {}",
+                    entry.system.partitioner_name(),
+                    entry.system.describe_partition(),
+                    entry.requests.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        lines.sort_unstable();
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_tensor::max_abs_diff;
+
+    #[test]
+    fn runtime_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<D3Runtime>();
+        assert_send_sync::<D3System>();
+    }
+
+    #[test]
+    fn register_serve_and_count() {
+        let mut rt = D3Runtime::new();
+        rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(3))
+            .unwrap();
+        assert_eq!(rt.models(), vec!["tiny"]);
+        let input = Tensor::random(3, 16, 16, 9);
+        let out = rt.serve("tiny", &input).unwrap();
+        let expect = d3_model::Executor::new(rt.system("tiny").unwrap().graph(), 3).run(&input);
+        assert_eq!(max_abs_diff(&out, &expect), Some(0.0));
+        let stats = rt.stats("tiny").unwrap();
+        assert_eq!(stats.requests, 1);
+        assert!(stats.total_latency_s > 0.0);
+        assert!(stats.mean_latency_s > 0.0);
+    }
+
+    #[test]
+    fn unknown_model_and_bad_shapes_are_typed_errors() {
+        let mut rt = D3Runtime::new();
+        rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new())
+            .unwrap();
+        let input = Tensor::random(3, 16, 16, 1);
+        assert_eq!(
+            rt.serve("missing", &input),
+            Err(ServeError::UnknownModel("missing".into()))
+        );
+        let wrong = Tensor::random(3, 8, 8, 1);
+        assert!(matches!(
+            rt.serve("tiny", &wrong),
+            Err(ServeError::ShapeMismatch { .. })
+        ));
+        assert_eq!(rt.stats("tiny").unwrap().requests, 0);
+    }
+
+    #[test]
+    fn failed_registration_leaves_runtime_unchanged() {
+        let mut rt = D3Runtime::new();
+        let err = rt
+            .register(
+                "res",
+                zoo::resnet18(224),
+                ModelOptions::new().partitioner(d3_partition::Neurosurgeon),
+            )
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::NotAChain { .. }));
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn deregister_returns_the_system() {
+        let mut rt = D3Runtime::new();
+        rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new())
+            .unwrap();
+        let system = rt.deregister("tiny").unwrap();
+        assert_eq!(system.graph().name(), "tiny_cnn");
+        assert!(rt.is_empty());
+        assert!(rt.deregister("tiny").is_none());
+    }
+
+    #[test]
+    fn describe_covers_all_models() {
+        let mut rt = D3Runtime::new();
+        rt.register("a", zoo::tiny_cnn(16), ModelOptions::new())
+            .unwrap()
+            .register("b", zoo::chain_cnn(4, 8, 16), ModelOptions::new())
+            .unwrap();
+        let text = rt.describe();
+        assert!(text.contains("a: [hpa]"));
+        assert!(text.contains("b: [hpa]"));
+        assert_eq!(rt.len(), 2);
+        assert_eq!(rt.total_requests(), 0);
+    }
+}

@@ -7,12 +7,14 @@
 //! vertices instead of re-solving the whole DAG.
 
 use d3_model::{DnnGraph, NodeId};
-use d3_partition::{hpa, repartition_local, Assignment, DriftMonitor, HpaOptions, Problem};
+use d3_partition::{
+    repartition_local, Assignment, DriftMonitor, Hpa, HpaOptions, Partitioner, Problem,
+};
 use d3_simnet::{NetworkCondition, Tier};
 
 /// The adaptive partition controller.
-pub struct AdaptiveEngine<'g> {
-    problem: Problem<'g>,
+pub struct AdaptiveEngine {
+    problem: Problem,
     assignment: Assignment,
     opts: HpaOptions,
     monitor: DriftMonitor,
@@ -28,10 +30,26 @@ pub struct AdaptiveEngine<'g> {
     pub suppressed: usize,
 }
 
-impl<'g> AdaptiveEngine<'g> {
+impl AdaptiveEngine {
     /// Partitions `problem` with HPA and starts monitoring.
-    pub fn new(problem: Problem<'g>, opts: HpaOptions, monitor: DriftMonitor) -> Self {
-        let assignment = hpa(&problem, &opts);
+    pub fn new(problem: Problem, opts: HpaOptions, monitor: DriftMonitor) -> Self {
+        let assignment = Hpa(opts.clone())
+            .partition(&problem)
+            .expect("HPA applies to every topology");
+        Self::with_assignment(problem, assignment, opts, monitor)
+    }
+
+    /// Starts monitoring from an already-computed `assignment` (e.g. the
+    /// plan a [`Deployment`](crate::Deployment) shipped with, possibly
+    /// produced by a non-HPA partitioner). The initial plan is adopted
+    /// as-is; *re*-partitions triggered by drift use HPA with `opts` —
+    /// the paper's adaptation mechanism.
+    pub fn with_assignment(
+        problem: Problem,
+        assignment: Assignment,
+        opts: HpaOptions,
+        monitor: DriftMonitor,
+    ) -> Self {
         let reference = snapshot(&problem);
         let reference_backbone_mbps = backbone_mbps(problem.net());
         Self {
@@ -48,7 +66,7 @@ impl<'g> AdaptiveEngine<'g> {
     }
 
     /// The graph being managed.
-    pub fn graph(&self) -> &'g DnnGraph {
+    pub fn graph(&self) -> &DnnGraph {
         self.problem.graph()
     }
 
@@ -94,7 +112,9 @@ impl<'g> AdaptiveEngine<'g> {
             self.suppressed += 1;
             return false;
         }
-        self.assignment = hpa(&self.problem, &self.opts);
+        self.assignment = Hpa(self.opts.clone())
+            .partition(&self.problem)
+            .expect("HPA applies to every topology");
         self.full_updates += 1;
         self.reference = snapshot(&self.problem);
         self.reference_backbone_mbps = new_mbps;
@@ -102,12 +122,12 @@ impl<'g> AdaptiveEngine<'g> {
     }
 
     /// Borrow the live problem (read-only).
-    pub fn problem(&self) -> &Problem<'g> {
+    pub fn problem(&self) -> &Problem {
         &self.problem
     }
 }
 
-fn snapshot(problem: &Problem<'_>) -> Vec<[f64; 3]> {
+fn snapshot(problem: &Problem) -> Vec<[f64; 3]> {
     problem
         .graph()
         .ids()
@@ -131,7 +151,7 @@ mod tests {
     use d3_model::zoo;
     use d3_simnet::TierProfiles;
 
-    fn engine(g: &DnnGraph) -> AdaptiveEngine<'_> {
+    fn engine(g: &DnnGraph) -> AdaptiveEngine {
         let p = Problem::new(g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
         AdaptiveEngine::new(p, HpaOptions::paper(), DriftMonitor::default())
     }
@@ -202,7 +222,7 @@ mod tests {
         // never-adapting baseline.
         let g = zoo::inception_v4(224);
         let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
-        let frozen = hpa(&p, &HpaOptions::paper());
+        let frozen = Hpa::paper().partition(&p).unwrap();
         let mut e = engine(&g);
         for mbps in [31.53, 10.0, 4.0, 8.0, 60.0, 100.0, 31.53] {
             e.observe_network(NetworkCondition::custom_backbone(mbps));

@@ -7,7 +7,7 @@
 //! (30 FPS × 100 s) and backbone communication per image.
 
 use crate::pipeline::{simulate_stream, StageSpec, StreamStats};
-use d3_partition::{dads, hpa, neurosurgeon, Assignment, HpaOptions, Problem};
+use d3_partition::{Assignment, FixedTier, HpaOptions, PartitionError, Partitioner, Problem};
 use d3_simnet::Tier;
 use d3_vsm::{find_tileable_runs, parallel_time, VsmPlan};
 
@@ -76,6 +76,21 @@ impl Strategy {
             Strategy::HpaVsm => "HPA+VSM",
         }
     }
+
+    /// Resolves the strategy to its partition policy. Every variant
+    /// routes through the [`Partitioner`] trait — [`Strategy::HpaVsm`]
+    /// shares HPA's policy and adds tile parallelism at deploy time (see
+    /// [`deploy_strategy`]).
+    pub fn partitioner(&self) -> Box<dyn Partitioner> {
+        match self {
+            Strategy::DeviceOnly => Box::new(FixedTier(Tier::Device)),
+            Strategy::EdgeOnly => Box::new(FixedTier(Tier::Edge)),
+            Strategy::CloudOnly => Box::new(FixedTier(Tier::Cloud)),
+            Strategy::Neurosurgeon => Box::new(d3_partition::Neurosurgeon),
+            Strategy::Dads => Box::new(d3_partition::Dads),
+            Strategy::Hpa | Strategy::HpaVsm => Box::new(d3_partition::Hpa(HpaOptions::paper())),
+        }
+    }
 }
 
 /// A deployed partition: pipeline stages plus accounting.
@@ -99,9 +114,26 @@ pub struct Deployment {
 }
 
 impl Deployment {
-    /// Builds a deployment for an assignment; `vsm` enables tile
-    /// parallelism for the edge segment.
-    pub fn new(problem: &Problem<'_>, assignment: Assignment, vsm: Option<VsmConfig>) -> Self {
+    /// Partitions `problem` with `partitioner` and deploys the resulting
+    /// assignment — the single deploy entry point every caller (facade,
+    /// adaptation, benches, figure binaries) routes through. `vsm`
+    /// enables tile parallelism for the edge segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the policy's [`PartitionError`] when it does not apply
+    /// to the problem (e.g. Neurosurgeon on a DAG topology).
+    pub fn plan(
+        problem: &Problem,
+        partitioner: &dyn Partitioner,
+        vsm: Option<VsmConfig>,
+    ) -> Result<Self, PartitionError> {
+        Ok(Self::new(problem, partitioner.partition(problem)?, vsm))
+    }
+
+    /// Builds a deployment for an already-computed assignment; `vsm`
+    /// enables tile parallelism for the edge segment.
+    pub fn new(problem: &Problem, assignment: Assignment, vsm: Option<VsmConfig>) -> Self {
         let g = problem.graph();
         // Stage compute per tier.
         let mut stage_service = [0.0f64; 3];
@@ -186,8 +218,7 @@ impl Deployment {
                 transfer_out_s: 0.0,
             },
         ];
-        let frame_latency =
-            stage_service.iter().sum::<f64>() + hop_after.iter().sum::<f64>();
+        let frame_latency = stage_service.iter().sum::<f64>() + hop_after.iter().sum::<f64>();
         let theta = assignment.total_latency(problem);
         Self {
             assignment,
@@ -217,26 +248,18 @@ fn clamp_grid(grid: (usize, usize), plane: (usize, usize)) -> (usize, usize) {
     (grid.0.min(plane.0).max(1), grid.1.min(plane.1).max(1))
 }
 
-/// Partitions with `strategy` and deploys. Returns `None` when the
-/// strategy does not apply (Neurosurgeon on DAG topologies).
+/// Partitions with `strategy`'s [`Partitioner`] and deploys through
+/// [`Deployment::plan`]. Returns `None` when the strategy does not apply
+/// (Neurosurgeon on DAG topologies).
 pub fn deploy_strategy(
-    problem: &Problem<'_>,
+    problem: &Problem,
     strategy: Strategy,
     vsm: VsmConfig,
 ) -> Option<Deployment> {
-    let g = problem.graph();
-    let n = g.len();
-    let assignment = match strategy {
-        Strategy::DeviceOnly => Assignment::uniform(n, Tier::Device),
-        Strategy::EdgeOnly => Assignment::uniform(n, Tier::Edge),
-        Strategy::CloudOnly => Assignment::uniform(n, Tier::Cloud),
-        Strategy::Neurosurgeon => neurosurgeon(problem).ok()?,
-        Strategy::Dads => dads(problem),
-        Strategy::Hpa => hpa(problem, &HpaOptions::paper()),
-        Strategy::HpaVsm => return Some(deploy_hpa_vsm(problem, vsm)),
-    };
-    let vsm_cfg = (strategy == Strategy::HpaVsm).then_some(vsm);
-    Some(Deployment::new(problem, assignment, vsm_cfg))
+    if strategy == Strategy::HpaVsm {
+        return Some(deploy_hpa_vsm(problem, vsm));
+    }
+    Deployment::plan(problem, strategy.partitioner().as_ref(), None).ok()
 }
 
 /// Joint HPA+VSM deployment.
@@ -249,9 +272,10 @@ pub fn deploy_strategy(
 /// weights are scaled by the ideal VSM speedup (node count over typical
 /// overlap redundancy), then evaluates both candidate assignments under
 /// the true (plan-derived) VSM latencies and keeps the faster one.
-fn deploy_hpa_vsm(problem: &Problem<'_>, vsm: VsmConfig) -> Deployment {
-    let opts = HpaOptions::paper();
-    let base = Deployment::new(problem, hpa(problem, &opts), Some(vsm));
+fn deploy_hpa_vsm(problem: &Problem, vsm: VsmConfig) -> Deployment {
+    let policy = Strategy::HpaVsm.partitioner();
+    let base = Deployment::plan(problem, policy.as_ref(), Some(vsm))
+        .expect("HPA applies to every topology");
     // Optimistic parallel factor; the real redundancy is charged by
     // Deployment::new from the actual tile plans afterwards.
     let nodes = vsm.edge_nodes.max(1) as f64;
@@ -265,7 +289,10 @@ fn deploy_hpa_vsm(problem: &Problem<'_>, vsm: VsmConfig) -> Deployment {
             optimistic.set_vertex_time(id, Tier::Edge, t / factor);
         }
     }
-    let aware = Deployment::new(problem, hpa(&optimistic, &opts), Some(vsm));
+    let aware_assignment = policy
+        .partition(&optimistic)
+        .expect("HPA applies to every topology");
+    let aware = Deployment::new(problem, aware_assignment, Some(vsm));
     if aware.frame_latency_s < base.frame_latency_s {
         aware
     } else {
@@ -279,7 +306,7 @@ mod tests {
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};
 
-    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem {
         Problem::new(g, &TierProfiles::paper_testbed(), net)
     }
 

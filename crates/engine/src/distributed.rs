@@ -77,7 +77,10 @@ pub fn run_distributed(
                 Tier::Cloud => Some(rx_cloud.clone()),
             };
             let senders: Vec<(Tier, Sender<WireMsg>)> = match tier {
-                Tier::Device => vec![(Tier::Edge, tx_edge.clone()), (Tier::Cloud, tx_cloud.clone())],
+                Tier::Device => vec![
+                    (Tier::Edge, tx_edge.clone()),
+                    (Tier::Cloud, tx_cloud.clone()),
+                ],
                 Tier::Edge => vec![(Tier::Cloud, tx_cloud.clone())],
                 Tier::Cloud => vec![],
             };
@@ -259,14 +262,14 @@ fn execute_segment(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use d3_partition::{hpa, HpaOptions, Problem};
+    use d3_partition::{Hpa, Partitioner, Problem};
     use d3_simnet::{NetworkCondition, TierProfiles};
     use d3_tensor::max_abs_diff;
 
     fn check_model(g: &DnnGraph, seed: u64, vsm: Option<VsmConfig>) {
         let profiles = TierProfiles::paper_testbed();
         let problem = Problem::new(g, &profiles, NetworkCondition::WiFi);
-        let assignment = hpa(&problem, &HpaOptions::paper());
+        let assignment = Hpa::paper().partition(&problem).unwrap();
         let shape = g.input_shape();
         let input = Tensor::random(shape.c, shape.h, shape.w, seed);
         let expect = Executor::new(g, seed).run(&input);

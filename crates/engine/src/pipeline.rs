@@ -204,8 +204,10 @@ pub fn render_gantt(
     for (label, row) in labels.iter().zip(rows) {
         out.push_str(&format!("{label:>width$} |"));
         out.push_str(&String::from_utf8(row).expect("ascii"));
-        out.push_str("|
-");
+        out.push_str(
+            "|
+",
+        );
     }
     out.push_str(&format!(
         "{:>width$}  ({} per column, {} frames)
@@ -252,7 +254,11 @@ mod tests {
 
     #[test]
     fn single_frame_latency_is_total_service() {
-        let stages = vec![stage("d", 0.01, 0.02), stage("e", 0.03, 0.04), stage("c", 0.05, 0.0)];
+        let stages = vec![
+            stage("d", 0.01, 0.02),
+            stage("e", 0.03, 0.04),
+            stage("c", 0.05, 0.0),
+        ];
         let stats = simulate_stream(&stages, 30.0, 1);
         assert!((stats.mean_latency_s - 0.15).abs() < 1e-12);
         assert_eq!(stats.frames, 1);
@@ -274,7 +280,10 @@ mod tests {
         let stages = vec![stage("d", 0.001, 0.0005), stage("e", 0.1, 0.0)];
         let stats = simulate_stream(&stages, 30.0, 60);
         assert!(stats.mean_latency_s > 0.5, "queueing delay expected");
-        assert!(stats.throughput_fps < 10.5, "throughput capped by bottleneck");
+        assert!(
+            stats.throughput_fps < 10.5,
+            "throughput capped by bottleneck"
+        );
     }
 
     #[test]
@@ -288,7 +297,11 @@ mod tests {
     #[test]
     fn pipelining_beats_serial_throughput() {
         // Three balanced stages: pipeline throughput ~3× the serial rate.
-        let stages = vec![stage("a", 0.03, 0.0), stage("b", 0.03, 0.0), stage("c", 0.03, 0.0)];
+        let stages = vec![
+            stage("a", 0.03, 0.0),
+            stage("b", 0.03, 0.0),
+            stage("c", 0.03, 0.0),
+        ];
         let stats = simulate_stream(&stages, 1000.0, 300);
         assert!(stats.throughput_fps > 30.0, "got {}", stats.throughput_fps);
     }
@@ -325,8 +338,7 @@ mod tests {
         let stages = vec![stage("d", 0.01, 0.005), stage("c", 0.02, 0.0)];
         let traces = simulate_stream_trace(&stages, 30.0, 40);
         let stats = simulate_stream(&stages, 30.0, 40);
-        let mean: f64 =
-            traces.iter().map(FrameTrace::latency_s).sum::<f64>() / traces.len() as f64;
+        let mean: f64 = traces.iter().map(FrameTrace::latency_s).sum::<f64>() / traces.len() as f64;
         assert!((mean - stats.mean_latency_s).abs() < 1e-12);
     }
 

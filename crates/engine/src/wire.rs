@@ -108,7 +108,10 @@ mod tests {
         let bytes = encode(&Tensor::random(1, 3, 3, 0));
         let cut = bytes.slice(0..bytes.len() - 1);
         assert_eq!(decode(cut), Err(WireError::Truncated));
-        assert_eq!(decode(Bytes::from_static(&[1, 2])), Err(WireError::Truncated));
+        assert_eq!(
+            decode(Bytes::from_static(&[1, 2])),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]

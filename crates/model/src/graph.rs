@@ -331,6 +331,16 @@ impl DnnGraph {
     }
 }
 
+/// Clones a borrowed graph into a fresh shared handle, so APIs taking
+/// `impl Into<Arc<DnnGraph>>` (owned problems, the `D3System` builder)
+/// keep accepting plain `&DnnGraph` references. Graphs hold structural
+/// metadata only — no weights — so the clone is cheap.
+impl From<&DnnGraph> for std::sync::Arc<DnnGraph> {
+    fn from(graph: &DnnGraph) -> Self {
+        std::sync::Arc::new(graph.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

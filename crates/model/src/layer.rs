@@ -123,7 +123,9 @@ impl LayerKind {
             LayerKind::DepthwiseConv {
                 spec, batch_norm, ..
             } => spec.param_count() + if *batch_norm { 2 * spec.channels } else { 0 },
-            LayerKind::Dense { in_dim, out_dim, .. } => in_dim * out_dim + out_dim,
+            LayerKind::Dense {
+                in_dim, out_dim, ..
+            } => in_dim * out_dim + out_dim,
             _ => 0,
         }
     }

@@ -21,10 +21,9 @@ fn stem(b: &mut Builder, pred: NodeId) -> NodeId {
     // Split 1: maxpool ‖ stride-2 conv.
     let p1 = b.maxpool("stem.pool1", c3, 3, 2, 0);
     let c4 = b.conv_bn_relu("stem.conv4", c3, 96, 3, 2, 0);
-    let cat1 = b
-        .g
-        .add_layer("stem.concat1", LayerKind::Concat, &[p1, c4])
-        .expect("stem concat1");
+    let cat1 =
+        b.g.add_layer("stem.concat1", LayerKind::Concat, &[p1, c4])
+            .expect("stem concat1");
     // Split 2: short branch ‖ 7×1/1×7 factorized branch.
     let a1 = b.conv_bn_relu("stem.a.conv1", cat1, 64, 1, 1, 0);
     let a2 = b.conv_bn_relu("stem.a.conv2", a1, 96, 3, 1, 0);
@@ -32,10 +31,9 @@ fn stem(b: &mut Builder, pred: NodeId) -> NodeId {
     let b2 = b.conv_rect("stem.b.conv2", b1, 64, 7, 1, 1, 3, 0);
     let b3 = b.conv_rect("stem.b.conv3", b2, 64, 1, 7, 1, 0, 3);
     let b4 = b.conv_bn_relu("stem.b.conv4", b3, 96, 3, 1, 0);
-    let cat2 = b
-        .g
-        .add_layer("stem.concat2", LayerKind::Concat, &[a2, b4])
-        .expect("stem concat2");
+    let cat2 =
+        b.g.add_layer("stem.concat2", LayerKind::Concat, &[a2, b4])
+            .expect("stem concat2");
     // Split 3: stride-2 conv ‖ maxpool.
     let c5 = b.conv_bn_relu("stem.conv5", cat2, 192, 3, 2, 0);
     let p2 = b.maxpool("stem.pool2", cat2, 3, 2, 0);
@@ -53,8 +51,12 @@ fn inception_a(b: &mut Builder, p: &str, pred: NodeId) -> NodeId {
     let b4a = b.conv_bn_relu(&format!("{p}.b4.conv1"), pred, 64, 1, 1, 0);
     let b4b = b.conv_bn_relu(&format!("{p}.b4.conv2"), b4a, 96, 3, 1, 1);
     let b4c = b.conv_bn_relu(&format!("{p}.b4.conv3"), b4b, 96, 3, 1, 1);
-    b.g.add_layer(format!("{p}.concat"), LayerKind::Concat, &[b1, b2, b3b, b4c])
-        .expect("inception-a concat")
+    b.g.add_layer(
+        format!("{p}.concat"),
+        LayerKind::Concat,
+        &[b1, b2, b3b, b4c],
+    )
+    .expect("inception-a concat")
 }
 
 /// Reduction-A: 384 → 1024 channels, spatial halving.
@@ -81,8 +83,12 @@ fn inception_b(b: &mut Builder, p: &str, pred: NodeId) -> NodeId {
     let b4c = b.conv_rect(&format!("{p}.b4.conv3"), b4b, 224, 7, 1, 1, 3, 0);
     let b4d = b.conv_rect(&format!("{p}.b4.conv4"), b4c, 224, 1, 7, 1, 0, 3);
     let b4e = b.conv_rect(&format!("{p}.b4.conv5"), b4d, 256, 7, 1, 1, 3, 0);
-    b.g.add_layer(format!("{p}.concat"), LayerKind::Concat, &[b1, b2, b3c, b4e])
-        .expect("inception-b concat")
+    b.g.add_layer(
+        format!("{p}.concat"),
+        LayerKind::Concat,
+        &[b1, b2, b3c, b4e],
+    )
+    .expect("inception-b concat")
 }
 
 /// Reduction-B: 1024 → 1536 channels, spatial halving.

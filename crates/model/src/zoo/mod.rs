@@ -180,7 +180,14 @@ impl Builder {
         )
     }
 
-    pub(crate) fn maxpool(&mut self, name: &str, pred: NodeId, k: usize, s: usize, p: usize) -> NodeId {
+    pub(crate) fn maxpool(
+        &mut self,
+        name: &str,
+        pred: NodeId,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> NodeId {
         self.g.chain(
             name,
             LayerKind::Pool {
@@ -190,7 +197,14 @@ impl Builder {
         )
     }
 
-    pub(crate) fn avgpool(&mut self, name: &str, pred: NodeId, k: usize, s: usize, p: usize) -> NodeId {
+    pub(crate) fn avgpool(
+        &mut self,
+        name: &str,
+        pred: NodeId,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> NodeId {
         self.g.chain(
             name,
             LayerKind::Pool {
@@ -240,12 +254,7 @@ mod tests {
             assert_eq!(g.outputs().len(), 1, "{} must have one output", g.name());
             // Every classifier ends in softmax over 1000 classes.
             let out = g.outputs()[0];
-            assert_eq!(
-                g.node(out).shape.len(),
-                1000,
-                "{} output classes",
-                g.name()
-            );
+            assert_eq!(g.node(out).shape.len(), 1000, "{} output classes", g.name());
         }
     }
 
@@ -284,13 +293,7 @@ mod tests {
         // Single-inference FLOPs at 224: AlexNet ~1.4G, ResNet-18 ~3.6G,
         // VGG-16 ~31G. Check ordering + rough magnitude.
         let models = all_models(IMAGENET_HW);
-        let f = |n: &str| {
-            models
-                .iter()
-                .find(|g| g.name() == n)
-                .unwrap()
-                .total_flops() as f64
-        };
+        let f = |n: &str| models.iter().find(|g| g.name() == n).unwrap().total_flops() as f64;
         assert!(f("alexnet") < f("resnet18"));
         assert!(f("resnet18") < f("darknet53"));
         assert!(f("darknet53") < f("vgg16"));

@@ -20,10 +20,9 @@ fn basic_block(b: &mut Builder, name: &str, pred: NodeId, out_c: usize, stride: 
     } else {
         pred
     };
-    let sum = b
-        .g
-        .add_layer(format!("{name}.add"), LayerKind::Add, &[c2, shortcut])
-        .expect("residual add");
+    let sum =
+        b.g.add_layer(format!("{name}.add"), LayerKind::Add, &[c2, shortcut])
+            .expect("residual add");
     b.g.chain(
         format!("{name}.relu"),
         LayerKind::Activation {

@@ -127,10 +127,7 @@ pub fn random_dag(seed: u64, depth: usize, width: usize, hw: usize) -> DnnGraph 
         frontier = new_frontier;
     }
     // Join all loose ends with a concat (or pass through when single).
-    let ends: Vec<NodeId> = g
-        .ids()
-        .filter(|&id| g.node(id).succs.is_empty())
-        .collect();
+    let ends: Vec<NodeId> = g.ids().filter(|&id| g.node(id).succs.is_empty()).collect();
     let tail = if ends.len() > 1 {
         g.add_layer("join", LayerKind::Concat, &ends).unwrap()
     } else {
@@ -179,8 +176,7 @@ mod tests {
     fn random_dags_always_validate() {
         for seed in 0..50 {
             let g = random_dag(seed, 4, 3, 8);
-            g.validate()
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            g.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

@@ -30,9 +30,19 @@ use crate::{Assignment, Problem};
 use d3_simnet::Tier;
 
 /// Runs DADS: optimal edge/cloud partition of an arbitrary DAG via
-/// min-cut. `v0` stays at the device (data source); every real layer is
-/// assigned to the edge or the cloud.
-pub fn dads(problem: &Problem<'_>) -> Assignment {
+/// min-cut.
+///
+/// Thin shim over the [`Dads`](crate::Dads) partitioner, kept for
+/// source compatibility.
+#[deprecated(since = "0.2.0", note = "use `Dads.partition(problem)` instead")]
+pub fn dads(problem: &Problem) -> Assignment {
+    solve(problem)
+}
+
+/// DADS implementation shared by the [`Dads`](crate::Dads) partitioner
+/// and the legacy [`dads`] shim. `v0` stays at the device (data source);
+/// every real layer is assigned to the edge or the cloud.
+pub(crate) fn solve(problem: &Problem) -> Assignment {
     two_tier_mincut(problem, Tier::Edge)
 }
 
@@ -45,7 +55,7 @@ pub fn dads(problem: &Problem<'_>) -> Assignment {
 /// # Panics
 ///
 /// Panics when `lan_tier` is the cloud.
-pub fn two_tier_mincut(problem: &Problem<'_>, lan_tier: Tier) -> Assignment {
+pub fn two_tier_mincut(problem: &Problem, lan_tier: Tier) -> Assignment {
     assert_ne!(lan_tier, Tier::Cloud, "LAN side cannot be the cloud");
     let g = problem.graph();
     let n = g.len();
@@ -92,12 +102,14 @@ pub fn two_tier_mincut(problem: &Problem<'_>, lan_tier: Tier) -> Assignment {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy shims stay covered until removal
+
     use super::*;
     use crate::exhaustive::exhaustive_optimal;
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};
 
-    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem {
         Problem::new(g, &TierProfiles::paper_testbed(), net)
     }
 
@@ -158,13 +170,7 @@ mod tests {
         let g = zoo::vgg16(224);
         let fast = problem(&g, NetworkCondition::custom_backbone(200.0));
         let slow = problem(&g, NetworkCondition::custom_backbone(5.0));
-        let edge_count = |p: &Problem<'_>| {
-            dads(p)
-                .tiers()
-                .iter()
-                .filter(|t| **t == Tier::Edge)
-                .count()
-        };
+        let edge_count = |p: &Problem| dads(p).tiers().iter().filter(|t| **t == Tier::Edge).count();
         assert!(edge_count(&slow) >= edge_count(&fast));
     }
 }

@@ -6,34 +6,60 @@
 //! optimum is computable by brute force; the test-suite uses it to bound
 //! HPA's optimality gap and to verify DADS's min-cut reduction.
 
-use crate::{Assignment, Problem};
+use crate::{Assignment, PartitionError, Problem};
 use d3_simnet::Tier;
 
 /// Hard cap on enumerable vertices: `3^16 ≈ 43M` assignments is the most
 /// the tests should ever chew through.
 pub const MAX_EXHAUSTIVE_VERTICES: usize = 16;
 
-/// Finds the minimum-Θ assignment by enumerating every tier assignment of
-/// the real layers over `allowed` tiers. With `monotone_only`, only
-/// assignments obeying Proposition 1 (pipeline-forward data flow) are
-/// considered — the space HPA searches.
+/// Finds the minimum-Θ assignment by enumerating every tier assignment.
+///
+/// Thin shim over the [`ExhaustiveOracle`](crate::ExhaustiveOracle)
+/// partitioner, kept for source compatibility (including its panicking
+/// contract).
 ///
 /// # Panics
 ///
 /// Panics when the graph has more than [`MAX_EXHAUSTIVE_VERTICES`] real
 /// layers or `allowed` is empty.
-pub fn exhaustive_optimal(
-    problem: &Problem<'_>,
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExhaustiveOracle { allowed, monotone_only }.partition(problem)` instead"
+)]
+pub fn exhaustive_optimal(problem: &Problem, allowed: &[Tier], monotone_only: bool) -> Assignment {
+    match solve(problem, allowed, monotone_only) {
+        Ok(assignment) => assignment,
+        Err(PartitionError::EmptyTierSet) => panic!("allowed tier set is empty"),
+        Err(PartitionError::TooLarge { layers, .. }) => {
+            panic!("graph too large for exhaustive search ({layers} layers)")
+        }
+        Err(e) => panic!("exhaustive search failed: {e}"),
+    }
+}
+
+/// Oracle implementation shared by the
+/// [`ExhaustiveOracle`](crate::ExhaustiveOracle) partitioner and the
+/// legacy [`exhaustive_optimal`] shim: enumerates every tier assignment
+/// of the real layers over `allowed` tiers. With `monotone_only`, only
+/// assignments obeying Proposition 1 (pipeline-forward data flow) are
+/// considered — the space HPA searches.
+pub(crate) fn solve(
+    problem: &Problem,
     allowed: &[Tier],
     monotone_only: bool,
-) -> Assignment {
+) -> Result<Assignment, PartitionError> {
     let g = problem.graph();
     let n = g.len() - 1; // real layers
-    assert!(!allowed.is_empty(), "allowed tier set is empty");
-    assert!(
-        n <= MAX_EXHAUSTIVE_VERTICES,
-        "graph too large for exhaustive search ({n} layers)"
-    );
+    if allowed.is_empty() {
+        return Err(PartitionError::EmptyTierSet);
+    }
+    if n > MAX_EXHAUSTIVE_VERTICES {
+        return Err(PartitionError::TooLarge {
+            layers: n,
+            max: MAX_EXHAUSTIVE_VERTICES,
+        });
+    }
     let k = allowed.len();
     let combos = (k as u64).pow(n as u32);
     let mut best: Option<(f64, Assignment)> = None;
@@ -53,17 +79,19 @@ pub fn exhaustive_optimal(
             best = Some((theta, asg));
         }
     }
-    best.expect("at least one assignment").1
+    Ok(best.expect("at least one assignment").1)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy shims stay covered until removal
+
     use super::*;
     use crate::hpa::{hpa, HpaOptions};
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};
 
-    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem {
         Problem::new(g, &TierProfiles::paper_testbed(), net)
     }
 

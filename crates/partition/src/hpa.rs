@@ -91,12 +91,25 @@ impl HpaOptions {
 
 /// Runs HPA, producing a tier assignment for every vertex.
 ///
+/// Thin shim over the [`Hpa`](crate::Hpa) partitioner, kept for source
+/// compatibility.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Hpa(options).partition(problem)` instead"
+)]
+pub fn hpa(problem: &Problem, opts: &HpaOptions) -> Assignment {
+    solve(problem, opts)
+}
+
+/// HPA implementation shared by the [`Hpa`](crate::Hpa) partitioner and
+/// the legacy [`hpa`] shim.
+///
 /// With the (default) cut search enabled, the result is the best of:
 /// the Algorithm 1 greedy sweep, every contiguous depth cut (Fig. 2's
 /// segment shape), and — when the allowed tier set permits — the exact
 /// two-tier min-cut optima (edge/cloud and device/cloud), so HPA never
 /// loses to any single-tier plan, Neurosurgeon, or DADS.
-pub fn hpa(problem: &Problem<'_>, opts: &HpaOptions) -> Assignment {
+pub(crate) fn solve(problem: &Problem, opts: &HpaOptions) -> Assignment {
     let greedy = hpa_greedy(problem, opts);
     if !opts.use_cut_search {
         return greedy;
@@ -125,7 +138,7 @@ pub fn hpa(problem: &Problem<'_>, opts: &HpaOptions) -> Assignment {
 }
 
 /// The per-vertex greedy sweep of Algorithm 1 (no cut search).
-pub fn hpa_greedy(problem: &Problem<'_>, opts: &HpaOptions) -> Assignment {
+pub fn hpa_greedy(problem: &Problem, opts: &HpaOptions) -> Assignment {
     let g = problem.graph();
     let layers = g.graph_layers(); // Z_q via longest distances (O(|V|+|L|))
     let mut tiers = vec![Tier::Device; g.len()];
@@ -155,7 +168,7 @@ pub fn hpa_greedy(problem: &Problem<'_>, opts: &HpaOptions) -> Assignment {
 ///
 /// Runs in O(D² · (V + L)) for depth `D`; single-tier baselines are the
 /// degenerate cuts, so the result never loses to them.
-pub fn best_layered_cut(problem: &Problem<'_>, allowed: &[Tier]) -> Assignment {
+pub fn best_layered_cut(problem: &Problem, allowed: &[Tier]) -> Assignment {
     let g = problem.graph();
     let delta = g.longest_distances();
     let depth = *delta.iter().max().expect("non-empty graph") as isize;
@@ -204,7 +217,7 @@ pub fn best_layered_cut(problem: &Problem<'_>, allowed: &[Tier]) -> Assignment {
 /// fixed) tiers of its direct predecessors, intersected with the allowed
 /// tier set.
 pub(crate) fn potential_tiers(
-    problem: &Problem<'_>,
+    problem: &Problem,
     vi: NodeId,
     tiers: &[Tier],
     allowed: &[Tier],
@@ -234,7 +247,7 @@ pub(crate) fn potential_tiers(
 }
 
 /// Eq. (2): processing at `li` plus transfer of every predecessor output.
-pub(crate) fn local_cost(problem: &Problem<'_>, vi: NodeId, li: Tier, tiers: &[Tier]) -> f64 {
+pub(crate) fn local_cost(problem: &Problem, vi: NodeId, li: Tier, tiers: &[Tier]) -> f64 {
     let g = problem.graph();
     let mut cost = problem.vertex_time(vi, li);
     for &p in &g.node(vi).preds {
@@ -245,7 +258,7 @@ pub(crate) fn local_cost(problem: &Problem<'_>, vi: NodeId, li: Tier, tiers: &[T
 
 /// The optimal-tier selection strategy of §III-E.
 fn optimal_tier(
-    problem: &Problem<'_>,
+    problem: &Problem,
     vi: NodeId,
     candidates: &[Tier],
     tiers: &[Tier],
@@ -311,7 +324,7 @@ fn optimal_tier(
 /// pipeline), set `l_j ← l_i`: all of `vj`'s inputs already reached
 /// `l_i`'s node, so the move costs no extra transfer and runs on faster
 /// hardware.
-pub(crate) fn sis_update(problem: &Problem<'_>, zq: &[NodeId], tiers: &mut [Tier]) {
+pub(crate) fn sis_update(problem: &Problem, zq: &[NodeId], tiers: &mut [Tier]) {
     let g = problem.graph();
     for &vi in zq {
         if vi == g.input() {
@@ -333,12 +346,14 @@ pub(crate) fn sis_update(problem: &Problem<'_>, zq: &[NodeId], tiers: &mut [Tier
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy shims stay covered until removal
+
     use super::*;
     use d3_model::zoo;
     use d3_model::{DnnGraph, LayerKind};
     use d3_simnet::{NetworkCondition, TierProfiles};
 
-    fn problem(g: &DnnGraph, net: NetworkCondition) -> Problem<'_> {
+    fn problem(g: &DnnGraph, net: NetworkCondition) -> Problem {
         Problem::new(g, &TierProfiles::paper_testbed(), net)
     }
 
@@ -401,7 +416,7 @@ mod tests {
         let slow = problem(&g, NetworkCondition::custom_backbone(10.0));
         let fast = problem(&g, NetworkCondition::custom_backbone(100.0));
         let opts = HpaOptions::paper();
-        let cloud_count = |p: &Problem<'_>| {
+        let cloud_count = |p: &Problem| {
             hpa(p, &opts)
                 .tiers()
                 .iter()
@@ -456,12 +471,10 @@ mod tests {
         let mut g = DnnGraph::new("sis", d3_tensor::Shape3::new(3, 16, 16));
         let a = g.chain("a", conv(3), g.input());
         let b = g.chain("b", conv(8), a); // depth 2
-        let x = g
-            .add_layer("x", LayerKind::Concat, &[a, b])
-            .unwrap(); // depth 3? a=1,b=2 -> x=3
+        let x = g.add_layer("x", LayerKind::Concat, &[a, b]).unwrap(); // depth 3? a=1,b=2 -> x=3
         let y = g.chain("y", conv(8), a); // depth 2 — not same layer as x
-        // Force same layer by adding another hop for y? Instead directly
-        // test the primitive with a hand-built layer slice:
+                                          // Force same layer by adding another hop for y? Instead directly
+                                          // test the primitive with a hand-built layer slice:
         let p = problem(&g, NetworkCondition::WiFi);
         let mut tiers = vec![Tier::Device; g.len()];
         tiers[x.index()] = Tier::Cloud;

@@ -20,13 +20,18 @@ use crate::{Assignment, Problem};
 use d3_model::NodeId;
 use d3_simnet::Tier;
 
-/// Errors from the IONN baseline.
+use crate::PartitionError;
+
+/// Errors from the IONN baseline (legacy; folded into
+/// [`PartitionError`]).
+#[deprecated(since = "0.2.0", note = "matched into `PartitionError::NotAChain`")]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IonnError {
     /// IONN's auxiliary-DAG construction covers chain DNNs only.
     NotAChain,
 }
 
+#[allow(deprecated)]
 impl std::fmt::Display for IonnError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -35,21 +40,39 @@ impl std::fmt::Display for IonnError {
     }
 }
 
+#[allow(deprecated)]
 impl std::error::Error for IonnError {}
 
 /// Runs IONN: optimal device/cloud split of a chain DNN accounting for
 /// one-time parameter upload amortized over `expected_queries` inferences.
 ///
-/// With `expected_queries == u64::MAX` the upload cost vanishes and the
-/// result matches Neurosurgeon's split exactly (tested).
+/// Thin shim over the [`Ionn`](crate::Ionn) partitioner, kept for
+/// source compatibility.
 ///
 /// # Errors
 ///
 /// Returns [`IonnError::NotAChain`] for DAG topologies.
-pub fn ionn(problem: &Problem<'_>, expected_queries: u64) -> Result<Assignment, IonnError> {
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Ionn::with_queries(n).partition(problem)` instead"
+)]
+#[allow(deprecated)]
+pub fn ionn(problem: &Problem, expected_queries: u64) -> Result<Assignment, IonnError> {
+    solve(problem, expected_queries).map_err(|_| IonnError::NotAChain)
+}
+
+/// IONN implementation shared by the [`Ionn`](crate::Ionn) partitioner
+/// and the legacy [`ionn`] shim.
+///
+/// With `expected_queries == u64::MAX` the upload cost vanishes and the
+/// result matches Neurosurgeon's split exactly (tested).
+pub(crate) fn solve(
+    problem: &Problem,
+    expected_queries: u64,
+) -> Result<Assignment, PartitionError> {
     let g = problem.graph();
     if !g.is_chain() {
-        return Err(IonnError::NotAChain);
+        return Err(PartitionError::NotAChain { algorithm: "IONN" });
     }
     let n = g.len();
     let queries = expected_queries.max(1) as f64;
@@ -90,12 +113,14 @@ pub fn ionn(problem: &Problem<'_>, expected_queries: u64) -> Result<Assignment, 
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy shims stay covered until removal
+
     use super::*;
     use crate::neurosurgeon::neurosurgeon;
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};
 
-    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem {
         Problem::new(g, &TierProfiles::paper_testbed(), net)
     }
 

@@ -4,6 +4,10 @@
 //!
 //! - [`Problem`] / [`Assignment`]: the weighted-DAG partition instance and
 //!   the total-latency objective Θ of §III-C,
+//! - [`Partitioner`]: the unified trait over every partition policy, with
+//!   strategy objects [`Hpa`], [`Neurosurgeon`], [`Dads`], [`Ionn`],
+//!   [`ExhaustiveOracle`] and [`FixedTier`], all failing through one
+//!   [`PartitionError`],
 //! - [`mod@hpa`]: the paper's Horizontal Partition Algorithm (Algorithm 1) —
 //!   three-way device/edge/cloud splits with Proposition 1 pruning, the
 //!   Table I pairwise look-ahead and Proposition 2 SIS updates,
@@ -11,20 +15,21 @@
 //!   and network drift,
 //! - baselines: [`mod@neurosurgeon`] (chain split, ASPLOS'17), [`mod@dads`]
 //!   (min-cut DAG split, INFOCOM'19 — on a from-scratch Dinic max-flow),
-//!   and an [`exhaustive`] oracle for optimality-gap tests,
+//!   [`mod@ionn`] (upload-amortized chain split, SoCC'18), and an
+//!   [`exhaustive`] oracle for optimality-gap tests,
 //! - [`placement`]: the Table I pairwise placement latencies.
 //!
 //! ## Example
 //!
 //! ```
-//! use d3_partition::{hpa, HpaOptions, Problem};
+//! use d3_partition::{Hpa, Partitioner, Problem};
 //! use d3_simnet::{NetworkCondition, TierProfiles};
 //! use d3_model::zoo;
 //!
 //! let g = zoo::vgg16(224);
 //! let profiles = TierProfiles::paper_testbed();
 //! let problem = Problem::new(&g, &profiles, NetworkCondition::WiFi);
-//! let plan = hpa(&problem, &HpaOptions::paper());
+//! let plan = Hpa::paper().partition(&problem).unwrap();
 //! assert!(plan.is_monotone(&problem));
 //! ```
 
@@ -40,17 +45,31 @@ pub mod hpa;
 pub mod ionn;
 pub mod maxflow;
 pub mod neurosurgeon;
+mod partitioner;
 pub mod placement;
 mod problem;
 
 pub use assignment::Assignment;
-pub use dads::{dads, two_tier_mincut};
+pub use dads::two_tier_mincut;
 pub use dynamic::{repartition_local, DriftMonitor, LocalUpdate};
 pub use energy::{energy, neurosurgeon_energy, EnergyReport};
-pub use exhaustive::exhaustive_optimal;
-pub use ionn::{ionn, IonnError};
-pub use hpa::{hpa, HpaOptions};
+pub use hpa::{best_layered_cut, hpa_greedy, HpaOptions};
 pub use maxflow::FlowNetwork;
-pub use neurosurgeon::{neurosurgeon, NeurosurgeonError};
+pub use partitioner::{
+    Dads, ExhaustiveOracle, FixedTier, Hpa, Ionn, Neurosurgeon, PartitionError, Partitioner,
+};
 pub use placement::{pair_latency, table1, PlacementRow};
 pub use problem::Problem;
+
+// Legacy free-function API, kept as deprecated shims over the
+// `Partitioner` implementations above.
+#[allow(deprecated)]
+pub use dads::dads;
+#[allow(deprecated)]
+pub use exhaustive::exhaustive_optimal;
+#[allow(deprecated)]
+pub use hpa::hpa;
+#[allow(deprecated)]
+pub use ionn::{ionn, IonnError};
+#[allow(deprecated)]
+pub use neurosurgeon::{neurosurgeon, NeurosurgeonError};

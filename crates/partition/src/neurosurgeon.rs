@@ -10,13 +10,18 @@
 use crate::{Assignment, Problem};
 use d3_simnet::Tier;
 
-/// Errors from the Neurosurgeon baseline.
+use crate::PartitionError;
+
+/// Errors from the Neurosurgeon baseline (legacy; folded into
+/// [`PartitionError`]).
+#[deprecated(since = "0.2.0", note = "matched into `PartitionError::NotAChain`")]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NeurosurgeonError {
     /// The DNN is not a chain; Neurosurgeon is undefined for DAGs.
     NotAChain,
 }
 
+#[allow(deprecated)]
 impl std::fmt::Display for NeurosurgeonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -27,17 +32,35 @@ impl std::fmt::Display for NeurosurgeonError {
     }
 }
 
+#[allow(deprecated)]
 impl std::error::Error for NeurosurgeonError {}
 
 /// Runs Neurosurgeon: optimal device/cloud split of a chain DNN.
 ///
+/// Thin shim over the [`Neurosurgeon`](crate::Neurosurgeon) partitioner,
+/// kept for source compatibility.
+///
 /// # Errors
 ///
 /// Returns [`NeurosurgeonError::NotAChain`] for DAG-topology networks.
-pub fn neurosurgeon(problem: &Problem<'_>) -> Result<Assignment, NeurosurgeonError> {
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Neurosurgeon.partition(problem)` instead"
+)]
+#[allow(deprecated)]
+pub fn neurosurgeon(problem: &Problem) -> Result<Assignment, NeurosurgeonError> {
+    solve(problem).map_err(|_| NeurosurgeonError::NotAChain)
+}
+
+/// Neurosurgeon implementation shared by the
+/// [`Neurosurgeon`](crate::Neurosurgeon) partitioner and the legacy
+/// [`neurosurgeon`] shim.
+pub(crate) fn solve(problem: &Problem) -> Result<Assignment, PartitionError> {
     let g = problem.graph();
     if !g.is_chain() {
-        return Err(NeurosurgeonError::NotAChain);
+        return Err(PartitionError::NotAChain {
+            algorithm: "Neurosurgeon",
+        });
     }
     let n = g.len();
     // Prefix sums of device/cloud compute over the chain (ids are
@@ -70,17 +93,23 @@ pub fn neurosurgeon(problem: &Problem<'_>) -> Result<Assignment, NeurosurgeonErr
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy shims stay covered until removal
+
     use super::*;
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};
 
-    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+    fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem {
         Problem::new(g, &TierProfiles::paper_testbed(), net)
     }
 
     #[test]
     fn rejects_dag_topologies() {
-        for g in [zoo::resnet18(224), zoo::darknet53(224), zoo::inception_v4(224)] {
+        for g in [
+            zoo::resnet18(224),
+            zoo::darknet53(224),
+            zoo::inception_v4(224),
+        ] {
             let p = problem(&g, NetworkCondition::WiFi);
             assert_eq!(neurosurgeon(&p), Err(NeurosurgeonError::NotAChain));
         }
@@ -120,7 +149,7 @@ mod tests {
         let g = zoo::alexnet(224);
         let wifi = problem(&g, NetworkCondition::WiFi);
         let fourg = problem(&g, NetworkCondition::FourG);
-        let dev_count = |p: &Problem<'_>| {
+        let dev_count = |p: &Problem| {
             neurosurgeon(p)
                 .unwrap()
                 .tiers()

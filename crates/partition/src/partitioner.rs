@@ -1,0 +1,301 @@
+//! The [`Partitioner`] trait: one object-safe interface over every
+//! partition policy in the crate.
+//!
+//! The D3 paper's central move is swapping partition algorithms (HPA,
+//! Neurosurgeon, DADS, …) over one profiled [`Problem`]. This module
+//! makes that swap a first-class operation: each algorithm is a small
+//! strategy object implementing [`Partitioner`], all failures share one
+//! [`PartitionError`], and registries/benches identify policies through
+//! [`Partitioner::name`]. Third-party policies plug in by implementing
+//! the trait; everything downstream (`Deployment::plan`, `D3Runtime`)
+//! accepts `&dyn Partitioner`.
+//!
+//! ```
+//! use d3_partition::{Hpa, HpaOptions, Partitioner, Problem};
+//! use d3_simnet::{NetworkCondition, TierProfiles};
+//! use d3_model::zoo;
+//!
+//! let g = zoo::vgg16(224);
+//! let problem = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+//! let plan = Hpa::paper().partition(&problem).unwrap();
+//! assert!(plan.is_monotone(&problem));
+//! ```
+
+use crate::hpa::HpaOptions;
+use crate::{Assignment, Problem};
+use d3_simnet::Tier;
+
+/// Why a partition policy could not produce an assignment.
+///
+/// One enum for every algorithm (folding the former `NeurosurgeonError`
+/// and `IonnError`), so callers holding a `&dyn Partitioner` handle all
+/// failures uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The algorithm only supports chain-topology DNNs and the graph is
+    /// a DAG (Neurosurgeon, IONN).
+    NotAChain {
+        /// The policy that rejected the graph.
+        algorithm: &'static str,
+    },
+    /// The graph exceeds the policy's tractable size (exhaustive oracle).
+    TooLarge {
+        /// Real-layer count of the offending graph.
+        layers: usize,
+        /// The policy's maximum.
+        max: usize,
+    },
+    /// The policy was configured with an empty allowed-tier set.
+    EmptyTierSet,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::NotAChain { algorithm } => {
+                write!(f, "{algorithm} only supports chain-topology DNNs")
+            }
+            PartitionError::TooLarge { layers, max } => {
+                write!(
+                    f,
+                    "graph too large for exhaustive search ({layers} layers, max {max})"
+                )
+            }
+            PartitionError::EmptyTierSet => write!(f, "allowed tier set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A partition policy: maps a profiled [`Problem`] to a tier
+/// [`Assignment`].
+///
+/// Implementations must be cheap to construct, deterministic for a given
+/// problem, and thread-safe (`Send + Sync`), so one boxed policy can be
+/// shared by a multi-model runtime partitioning concurrently.
+pub trait Partitioner: Send + Sync {
+    /// Stable identifier for registries, benches and logs (e.g. `"hpa"`).
+    fn name(&self) -> &str;
+
+    /// Produces a tier assignment for every vertex of `problem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PartitionError`] when the policy does not apply to
+    /// the problem's topology or configuration.
+    fn partition(&self, problem: &Problem) -> Result<Assignment, PartitionError>;
+}
+
+/// The paper's Horizontal Partition Algorithm (Algorithm 1 + cut search).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Hpa(pub HpaOptions);
+
+impl Hpa {
+    /// HPA with the paper's configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self(HpaOptions::paper())
+    }
+}
+
+impl Partitioner for Hpa {
+    fn name(&self) -> &str {
+        "hpa"
+    }
+
+    fn partition(&self, problem: &Problem) -> Result<Assignment, PartitionError> {
+        Ok(crate::hpa::solve(problem, &self.0))
+    }
+}
+
+/// The Neurosurgeon baseline (chain-only device/cloud split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Neurosurgeon;
+
+impl Partitioner for Neurosurgeon {
+    fn name(&self) -> &str {
+        "neurosurgeon"
+    }
+
+    fn partition(&self, problem: &Problem) -> Result<Assignment, PartitionError> {
+        crate::neurosurgeon::solve(problem)
+    }
+}
+
+/// The DADS baseline (min-cut edge/cloud split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Dads;
+
+impl Partitioner for Dads {
+    fn name(&self) -> &str {
+        "dads"
+    }
+
+    fn partition(&self, problem: &Problem) -> Result<Assignment, PartitionError> {
+        Ok(crate::dads::solve(problem))
+    }
+}
+
+/// The IONN baseline (chain split amortizing parameter upload over an
+/// expected query count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ionn {
+    /// Inferences amortizing the one-time parameter upload; the default
+    /// (`u64::MAX`) is the steady state, which matches Neurosurgeon.
+    pub expected_queries: u64,
+}
+
+impl Ionn {
+    /// IONN amortizing over `expected_queries` inferences.
+    #[must_use]
+    pub fn with_queries(expected_queries: u64) -> Self {
+        Self { expected_queries }
+    }
+}
+
+impl Default for Ionn {
+    fn default() -> Self {
+        Self {
+            expected_queries: u64::MAX,
+        }
+    }
+}
+
+impl Partitioner for Ionn {
+    fn name(&self) -> &str {
+        "ionn"
+    }
+
+    fn partition(&self, problem: &Problem) -> Result<Assignment, PartitionError> {
+        crate::ionn::solve(problem, self.expected_queries)
+    }
+}
+
+/// The brute-force oracle for optimality-gap measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExhaustiveOracle {
+    /// Tiers the oracle may assign.
+    pub allowed: Vec<Tier>,
+    /// Restrict the search to monotone (Proposition 1) assignments.
+    pub monotone_only: bool,
+}
+
+impl Default for ExhaustiveOracle {
+    fn default() -> Self {
+        Self {
+            allowed: Tier::ALL.to_vec(),
+            monotone_only: false,
+        }
+    }
+}
+
+impl Partitioner for ExhaustiveOracle {
+    fn name(&self) -> &str {
+        "exhaustive"
+    }
+
+    fn partition(&self, problem: &Problem) -> Result<Assignment, PartitionError> {
+        crate::exhaustive::solve(problem, &self.allowed, self.monotone_only)
+    }
+}
+
+/// Places every real layer on one fixed tier (the paper's device-only /
+/// edge-only / cloud-only baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedTier(pub Tier);
+
+impl Partitioner for FixedTier {
+    fn name(&self) -> &str {
+        match self.0 {
+            Tier::Device => "device-only",
+            Tier::Edge => "edge-only",
+            Tier::Cloud => "cloud-only",
+        }
+    }
+
+    fn partition(&self, problem: &Problem) -> Result<Assignment, PartitionError> {
+        Ok(Assignment::uniform(problem.graph().len(), self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_simnet::{NetworkCondition, TierProfiles};
+
+    fn problem(g: &d3_model::DnnGraph) -> Problem {
+        Problem::new(g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi)
+    }
+
+    #[test]
+    fn trait_objects_are_thread_safe() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Partitioner>();
+        assert_send_sync::<Box<dyn Partitioner>>();
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let all: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(Hpa::paper()),
+            Box::new(Neurosurgeon),
+            Box::new(Dads),
+            Box::new(Ionn::default()),
+            Box::new(ExhaustiveOracle::default()),
+            Box::new(FixedTier(Tier::Edge)),
+        ];
+        let names: Vec<&str> = all.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "hpa",
+                "neurosurgeon",
+                "dads",
+                "ionn",
+                "exhaustive",
+                "edge-only"
+            ]
+        );
+    }
+
+    #[test]
+    fn chain_only_policies_reject_dags() {
+        let g = zoo::resnet18(224);
+        let p = problem(&g);
+        assert_eq!(
+            Neurosurgeon.partition(&p),
+            Err(PartitionError::NotAChain {
+                algorithm: "Neurosurgeon"
+            })
+        );
+        assert_eq!(
+            Ionn::default().partition(&p),
+            Err(PartitionError::NotAChain { algorithm: "IONN" })
+        );
+    }
+
+    #[test]
+    fn fixed_tier_covers_every_vertex() {
+        let g = zoo::alexnet(224);
+        let p = problem(&g);
+        let a = FixedTier(Tier::Cloud).partition(&p).unwrap();
+        for id in g.layer_ids() {
+            assert_eq!(a.tier(id), Tier::Cloud);
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_big_graphs_instead_of_panicking() {
+        let g = zoo::vgg16(224);
+        let p = problem(&g);
+        let err = ExhaustiveOracle::default().partition(&p).unwrap_err();
+        assert!(matches!(err, PartitionError::TooLarge { .. }));
+        let empty = ExhaustiveOracle {
+            allowed: vec![],
+            monotone_only: false,
+        };
+        assert_eq!(empty.partition(&p), Err(PartitionError::EmptyTierSet));
+    }
+}

@@ -2,34 +2,48 @@
 //! `T_vi = {t_d, t_e, t_c}` and link weights
 //! `T_(vi,vj) = {t^[d,e], t^[e,c], t^[d,c], 0}` (§III-C of the paper).
 
+use std::sync::Arc;
+
 use d3_model::{DnnGraph, NodeId};
 use d3_profiler::LatencyProvider;
 use d3_simnet::{NetworkCondition, Tier};
 
 /// A concrete instance of the DAG-partition problem.
 ///
+/// The instance **owns** its graph through an [`Arc`], so problems (and
+/// everything deployed from them) can outlive the stack frame that built
+/// the graph and move freely across threads — the posture the
+/// multi-model [`D3Runtime`](https://docs.rs/d3-core) serving API needs.
 /// Vertex weights are materialized once from a [`LatencyProvider`]
 /// (either the ground-truth hardware model or the regression estimator);
 /// link weights are derived on demand from output sizes and the network
 /// condition, matching the paper's `bytes / bandwidth` link weight.
 #[derive(Debug, Clone)]
-pub struct Problem<'g> {
-    graph: &'g DnnGraph,
+pub struct Problem {
+    graph: Arc<DnnGraph>,
     /// `vertex[id][tier.rank()]` = processing seconds.
     vertex: Vec<[f64; 3]>,
     net: NetworkCondition,
 }
 
-impl<'g> Problem<'g> {
+impl Problem {
     /// Builds a problem by querying `provider` for every (vertex, tier).
-    pub fn new(graph: &'g DnnGraph, provider: &dyn LatencyProvider, net: NetworkCondition) -> Self {
+    ///
+    /// Accepts an owned [`DnnGraph`], an `Arc<DnnGraph>`, or `&DnnGraph`
+    /// (which clones the graph into a fresh `Arc`).
+    pub fn new(
+        graph: impl Into<Arc<DnnGraph>>,
+        provider: &dyn LatencyProvider,
+        net: NetworkCondition,
+    ) -> Self {
+        let graph = graph.into();
         let vertex = graph
             .ids()
             .map(|id| {
                 [
-                    provider.latency(graph, id, Tier::Device),
-                    provider.latency(graph, id, Tier::Edge),
-                    provider.latency(graph, id, Tier::Cloud),
+                    provider.latency(&graph, id, Tier::Device),
+                    provider.latency(&graph, id, Tier::Edge),
+                    provider.latency(&graph, id, Tier::Cloud),
                 ]
             })
             .collect();
@@ -38,14 +52,28 @@ impl<'g> Problem<'g> {
 
     /// Builds a problem from explicit vertex weights (used by tests and
     /// the dynamic-repartition path, where weights drift at run time).
-    pub fn from_weights(graph: &'g DnnGraph, vertex: Vec<[f64; 3]>, net: NetworkCondition) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vertex` does not hold one weight triple per vertex.
+    pub fn from_weights(
+        graph: impl Into<Arc<DnnGraph>>,
+        vertex: Vec<[f64; 3]>,
+        net: NetworkCondition,
+    ) -> Self {
+        let graph = graph.into();
         assert_eq!(vertex.len(), graph.len(), "one weight triple per vertex");
         Self { graph, vertex, net }
     }
 
     /// The underlying DAG.
-    pub fn graph(&self) -> &'g DnnGraph {
-        self.graph
+    pub fn graph(&self) -> &DnnGraph {
+        &self.graph
+    }
+
+    /// The shared handle to the underlying DAG (cheap to clone).
+    pub fn graph_arc(&self) -> &Arc<DnnGraph> {
+        &self.graph
     }
 
     /// The network condition supplying link weights.
@@ -109,11 +137,7 @@ mod tests {
     #[test]
     fn link_weight_is_bytes_over_bandwidth() {
         let g = zoo::alexnet(224);
-        let p = Problem::new(
-            &g,
-            &TierProfiles::paper_testbed(),
-            NetworkCondition::WiFi,
-        );
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
         let conv1 = g.layer_ids().next().unwrap();
         let bytes = g.node(conv1).output_bytes();
         let expect = bytes as f64 * 8.0 / (31.53e6);
@@ -124,11 +148,7 @@ mod tests {
     #[test]
     fn raw_input_transfer_uses_v0_output() {
         let g = zoo::alexnet(224);
-        let p = Problem::new(
-            &g,
-            &TierProfiles::paper_testbed(),
-            NetworkCondition::WiFi,
-        );
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
         let bytes = 3 * 224 * 224 * 4;
         let expect = bytes as f64 * 8.0 / 84.95e6;
         assert!((p.input_transfer(Tier::Device, Tier::Edge) - expect).abs() < 1e-12);
@@ -137,16 +157,31 @@ mod tests {
     #[test]
     fn runtime_weight_mutation() {
         let g = zoo::alexnet(224);
-        let mut p = Problem::new(
-            &g,
-            &TierProfiles::paper_testbed(),
-            NetworkCondition::WiFi,
-        );
+        let mut p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
         let id = g.layer_ids().next().unwrap();
         let before = p.vertex_time(id, Tier::Device);
         p.scale_vertex(id, Tier::Device, 2.0);
         assert!((p.vertex_time(id, Tier::Device) - 2.0 * before).abs() < 1e-15);
         p.set_vertex_time(id, Tier::Device, 0.5);
         assert_eq!(p.vertex_time(id, Tier::Device), 0.5);
+    }
+
+    #[test]
+    fn problems_share_one_graph_allocation() {
+        let g = Arc::new(zoo::alexnet(224));
+        let p = Problem::new(
+            g.clone(),
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::WiFi,
+        );
+        assert!(Arc::ptr_eq(p.graph_arc(), &g));
+        let q = p.clone();
+        assert!(Arc::ptr_eq(q.graph_arc(), p.graph_arc()));
+    }
+
+    #[test]
+    fn problem_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Problem>();
     }
 }

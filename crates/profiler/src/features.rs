@@ -59,9 +59,8 @@ pub const FEATURE_DIM: usize = 4;
 pub fn extract(graph: &DnnGraph, id: NodeId) -> Vec<f64> {
     let node = graph.node(id);
     let flops = graph.flops(id) as f64;
-    let bytes = (graph.input_bytes(id)
-        + node.output_bytes()
-        + 4 * node.kind.param_count() as u64) as f64;
+    let bytes =
+        (graph.input_bytes(id) + node.output_bytes() + 4 * node.kind.param_count() as u64) as f64;
     let gflops = flops / 1e9;
     vec![1.0, gflops, bytes / 1e6, gflops.sqrt()]
 }

@@ -149,11 +149,7 @@ pub fn r_squared(pred: &[f64], truth: &[f64]) -> f64 {
     }
     let mean: f64 = truth.iter().sum::<f64>() / n;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
-    let ss_res: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (t - p).powi(2))
-        .sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (t - p).powi(2)).sum();
     if ss_tot == 0.0 {
         return if ss_res == 0.0 { 1.0 } else { 0.0 };
     }

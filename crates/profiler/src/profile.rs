@@ -104,10 +104,7 @@ mod tests {
         let g = zoo::alexnet(224);
         let mut p = Profiler::new(NodeProfile::raspberry_pi4(), 0.05, 7);
         let samples = p.measure_graph(&g, 50);
-        let ratios: Vec<f64> = samples
-            .iter()
-            .map(|s| s.latency_s / s.truth_s)
-            .collect();
+        let ratios: Vec<f64> = samples.iter().map(|s| s.latency_s / s.truth_s).collect();
         let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
         assert!((mean - 1.0).abs() < 0.01, "noise mean {mean}");
         assert!(ratios.iter().all(|&r| r > 0.2 && r < 2.0));

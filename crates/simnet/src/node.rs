@@ -71,7 +71,7 @@ impl NodeProfile {
         Self {
             name: "Raspberry Pi 4B".into(),
             peak_gflops: 24.0, // 4 × Cortex-A72 @1.5 GHz, NEON
-            mem_bw_gbps: 2.5, // sustained, batch-1 inference
+            mem_bw_gbps: 2.5,  // sustained, batch-1 inference
             overhead_s: 25e-6,
             eff: Efficiency {
                 conv: 0.30,
@@ -89,8 +89,8 @@ impl NodeProfile {
         Self {
             name: "Jetson Nano 2GB".into(),
             peak_gflops: 236.0, // 128-core Maxwell @ FP32
-            mem_bw_gbps: 10.0, // sustained share of the 25.6 GB/s LPDDR4
-            overhead_s: 60e-6, // GPU kernel launch
+            mem_bw_gbps: 10.0,  // sustained share of the 25.6 GB/s LPDDR4
+            overhead_s: 60e-6,  // GPU kernel launch
             // Tuned so the device stays strictly slower than the edge
             // (t_d > t_e, §III-C) while remaining capable enough that
             // hosting early layers on it beats shipping raw frames — the
@@ -111,7 +111,7 @@ impl NodeProfile {
         Self {
             name: "Intel i7-8700".into(),
             peak_gflops: 614.0, // 6 cores × 3.2 GHz × 32 FLOP/cycle (AVX2 FMA)
-            mem_bw_gbps: 8.0, // sustained GEMV bandwidth, batch-1
+            mem_bw_gbps: 8.0,   // sustained GEMV bandwidth, batch-1
             overhead_s: 15e-6,
             // Framework CPU inference sustains ~10 % of peak on convs
             // (im2col + GEMM at batch 1), which is what makes the edge
@@ -134,7 +134,7 @@ impl NodeProfile {
             name: "RTX 2080 Ti".into(),
             peak_gflops: 13_450.0,
             mem_bw_gbps: 300.0, // sustained share of the 616 GB/s GDDR6
-            overhead_s: 30e-6, // kernel launch + PCIe staging
+            overhead_s: 30e-6,  // kernel launch + PCIe staging
             eff: Efficiency {
                 conv: 0.55,
                 dense: 0.20,

@@ -31,7 +31,11 @@ pub fn leaky_relu(input: &Tensor, alpha: f32) -> Tensor {
 /// Numerically-stable softmax over the flattened tensor.
 pub fn softmax(input: &Tensor) -> Tensor {
     let (c, h, w) = input.shape();
-    let max = input.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max = input
+        .data()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = input.data().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     Tensor::from_vec(c, h, w, exps.iter().map(|&e| e / sum).collect())

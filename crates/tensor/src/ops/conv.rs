@@ -186,7 +186,12 @@ impl Conv2d {
     /// Panics (in debug builds) when the patch does not cover the receptive
     /// field of `out_region`, i.e. when the reverse tile calculation that
     /// produced the patch was wrong.
-    pub fn forward_patch(&self, input: &Patch, out_region: Region, global_in: (usize, usize)) -> Patch {
+    pub fn forward_patch(
+        &self,
+        input: &Patch,
+        out_region: Region,
+        global_in: (usize, usize),
+    ) -> Patch {
         assert_eq!(input.channels(), self.spec.in_c, "input channel mismatch");
         assert_eq!(input.global_size(), global_in, "global size mismatch");
         let s = &self.spec;

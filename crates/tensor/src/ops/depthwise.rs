@@ -201,11 +201,7 @@ mod tests {
 
     #[test]
     fn interior_sum_3x3() {
-        let dw = DepthwiseConv2d::new(
-            DepthwiseSpec::new(1, 3, 1, 1),
-            vec![1.0; 9],
-            vec![0.0],
-        );
+        let dw = DepthwiseConv2d::new(DepthwiseSpec::new(1, 3, 1, 1), vec![1.0; 9], vec![0.0]);
         let out = dw.forward(&Tensor::filled(1, 5, 5, 1.0));
         assert_eq!(out.get(0, 2, 2), 9.0);
         assert_eq!(out.get(0, 0, 0), 4.0);
@@ -242,7 +238,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "channel mismatch")]
     fn wrong_channels_panics() {
-        DepthwiseConv2d::random(DepthwiseSpec::new(3, 3, 1, 1), 0)
-            .forward(&Tensor::zeros(4, 8, 8));
+        DepthwiseConv2d::random(DepthwiseSpec::new(3, 3, 1, 1), 0).forward(&Tensor::zeros(4, 8, 8));
     }
 }

@@ -90,8 +90,8 @@ impl Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::ConvSpec;
     use crate::max_abs_diff;
+    use crate::ops::ConvSpec;
 
     fn agree(spec: ConvSpec, hw: usize, seed: u64) {
         let conv = Conv2d::random(spec, seed);

@@ -22,8 +22,8 @@ mod pool;
 
 pub use activation::{leaky_relu, relu, softmax};
 pub use conv::{Conv2d, ConvSpec};
-pub use depthwise::{DepthwiseConv2d, DepthwiseSpec};
 pub use dense::Dense;
+pub use depthwise::{DepthwiseConv2d, DepthwiseSpec};
 pub use merge::{add, concat_channels};
 pub use norm::BatchNorm;
 pub use pool::{global_avg_pool, Pool2d, PoolKind, PoolSpec};

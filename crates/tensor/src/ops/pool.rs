@@ -91,7 +91,12 @@ impl Pool2d {
 
     /// Computes the output entries in `out_region` from an input patch of a
     /// `global_in` feature map (see [`super::Conv2d::forward_patch`]).
-    pub fn forward_patch(&self, input: &Patch, out_region: Region, global_in: (usize, usize)) -> Patch {
+    pub fn forward_patch(
+        &self,
+        input: &Patch,
+        out_region: Region,
+        global_in: (usize, usize),
+    ) -> Patch {
         assert_eq!(input.global_size(), global_in, "global size mismatch");
         let s = &self.spec;
         let (goh, gow) = s.out_hw(global_in.0, global_in.1);
@@ -125,11 +130,8 @@ impl Pool2d {
                             let mut acc = 0.0;
                             for ky in 0..s.kh {
                                 for kx in 0..s.kw {
-                                    acc += input.get_global(
-                                        ch,
-                                        iy0 + ky as isize,
-                                        ix0 + kx as isize,
-                                    );
+                                    acc +=
+                                        input.get_global(ch, iy0 + ky as isize, ix0 + kx as isize);
                                 }
                             }
                             acc / area

@@ -9,7 +9,7 @@
 
 use crate::fused::VsmPlan;
 use d3_model::{Executor, LayerOp};
-use d3_tensor::{ops::relu, ops::leaky_relu, Patch, Region, Tensor};
+use d3_tensor::{ops::leaky_relu, ops::relu, Patch, Region, Tensor};
 
 /// Executes one [`VsmPlan`] with materialized weights.
 pub struct TileExecutor {
@@ -26,7 +26,11 @@ impl TileExecutor {
     /// Panics if the plan contains a vertex kind the tile path cannot
     /// execute (guarded earlier by [`VsmPlan::new`]).
     pub fn new(executor: &Executor<'_>, plan: VsmPlan) -> Self {
-        let ops: Vec<LayerOp> = plan.layers.iter().map(|&id| executor.build_op(id)).collect();
+        let ops: Vec<LayerOp> = plan
+            .layers
+            .iter()
+            .map(|&id| executor.build_op(id))
+            .collect();
         for op in &ops {
             assert!(
                 matches!(
@@ -118,7 +122,12 @@ impl TileExecutor {
 
 /// Applies one operator to a patch, producing exactly `out_region` of the
 /// operator's global output plane.
-fn apply_tiled(op: &LayerOp, patch: &Patch, out_region: Region, global_in: (usize, usize)) -> Patch {
+fn apply_tiled(
+    op: &LayerOp,
+    patch: &Patch,
+    out_region: Region,
+    global_in: (usize, usize),
+) -> Patch {
     match op {
         LayerOp::Conv {
             conv,

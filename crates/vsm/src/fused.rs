@@ -262,12 +262,14 @@ impl VsmPlan {
 /// (a tier's segment): each run is a chain of conv/pool/activation
 /// vertices, the unit VSM parallelizes. Runs shorter than `min_len` are
 /// dropped.
-pub fn find_tileable_runs(graph: &DnnGraph, members: &[NodeId], min_len: usize) -> Vec<Vec<NodeId>> {
+pub fn find_tileable_runs(
+    graph: &DnnGraph,
+    members: &[NodeId],
+    min_len: usize,
+) -> Vec<Vec<NodeId>> {
     let member_set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
     let tileable = |id: NodeId| {
-        id != graph.input()
-            && graph.node(id).kind.is_tileable()
-            && graph.node(id).preds.len() == 1
+        id != graph.input() && graph.node(id).kind.is_tileable() && graph.node(id).preds.len() == 1
     };
     let mut runs = Vec::new();
     let mut used: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
@@ -280,9 +282,8 @@ pub fn find_tileable_runs(graph: &DnnGraph, members: &[NodeId], min_len: usize) 
         // `start` must truly start a run: its predecessor is not a
         // mid-run-extendable member.
         let pred = graph.node(start).preds[0];
-        let pred_extends = member_set.contains(&pred)
-            && tileable(pred)
-            && graph.node(pred).succs.len() == 1;
+        let pred_extends =
+            member_set.contains(&pred) && tileable(pred) && graph.node(pred).succs.len() == 1;
         if pred_extends {
             continue; // will be covered when the run through `pred` grows
         }

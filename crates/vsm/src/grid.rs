@@ -155,10 +155,7 @@ fn weighted_bounds(extent: usize, weights: &[f64]) -> Vec<usize> {
         k += 1;
     }
     // Enforce the 1-pixel floor.
-    loop {
-        let Some(starved) = shares.iter().position(|&s| s == 0) else {
-            break;
-        };
+    while let Some(starved) = shares.iter().position(|&s| s == 0) {
         let richest = (0..parts)
             .max_by_key(|&i| shares[i])
             .expect("non-empty shares");
@@ -194,7 +191,12 @@ mod tests {
             // Disjoint…
             for i in 0..tiles.len() {
                 for j in i + 1..tiles.len() {
-                    assert!(!tiles[i].intersects(&tiles[j]), "{:?} {:?}", tiles[i], tiles[j]);
+                    assert!(
+                        !tiles[i].intersects(&tiles[j]),
+                        "{:?} {:?}",
+                        tiles[i],
+                        tiles[j]
+                    );
                 }
             }
             // …and complete.

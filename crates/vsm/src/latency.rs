@@ -38,9 +38,7 @@ pub fn parallel_time(plan: &VsmPlan, full_layer_times: &[f64], nodes: usize) -> 
         }
         node_time[t_idx % nodes] += cost;
     }
-    node_time
-        .into_iter()
-        .fold(0.0, f64::max)
+    node_time.into_iter().fold(0.0, f64::max)
 }
 
 /// The speedup of tiled execution over single-node execution of the same

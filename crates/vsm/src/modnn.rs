@@ -114,8 +114,7 @@ mod tests {
         let g = zoo::chain_cnn(3, 8, 64);
         let run: Vec<NodeId> = (1..=3).map(NodeId).collect();
         let times = vec![0.01, 0.01, 0.01]; // 10 ms/layer
-        let (serial, modnn, vsm) =
-            compare_schemes(&g, &run, &times, cfg(4), (2, 2)).unwrap();
+        let (serial, modnn, vsm) = compare_schemes(&g, &run, &times, cfg(4), (2, 2)).unwrap();
         assert!(vsm < serial, "VSM should parallelize");
         assert!(
             vsm < modnn,

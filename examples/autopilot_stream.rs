@@ -49,7 +49,8 @@ fn main() {
     // uplink, D3 keeps latency low *and* raw frames never leave the LAN.
     let problem = Problem::new(&graph, &profiles, NetworkCondition::FourG);
     let d3 = deploy_strategy(&problem, Strategy::HpaVsm, VsmConfig::default()).expect("applies");
-    let cloud = deploy_strategy(&problem, Strategy::CloudOnly, VsmConfig::default()).expect("applies");
+    let cloud =
+        deploy_strategy(&problem, Strategy::CloudOnly, VsmConfig::default()).expect("applies");
     println!(
         "Under 4G, D3 is {:.1}× faster than cloud-only and ships {:.0}% of its backbone bytes.",
         cloud.frame_latency_s / d3.frame_latency_s,

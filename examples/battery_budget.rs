@@ -14,7 +14,7 @@
 
 use d3_engine::{deploy_strategy, Strategy, VsmConfig};
 use d3_model::zoo;
-use d3_partition::{energy, ionn, Problem};
+use d3_partition::{energy, Ionn, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, TierProfiles};
 
 fn main() {
@@ -56,7 +56,7 @@ fn main() {
     // 2. The verdict flips with the radio: quantify it.
     let wifi = Problem::new(&graph, &profiles, NetworkCondition::WiFi);
     let fourg = Problem::new(&graph, &profiles, NetworkCondition::FourG);
-    let battery = |p: &Problem<'_>, s: Strategy| {
+    let battery = |p: &Problem, s: Strategy| {
         let d = deploy_strategy(p, s, VsmConfig::default()).expect("applies");
         energy(p, &d.assignment, &profiles).device_j()
     };
@@ -72,13 +72,15 @@ fn main() {
     //    query count before committing layers remotely.
     println!("\ncold start (IONN, Wi-Fi): layers offloaded by expected query count");
     for q in [1u64, 100, 1_000, 10_000, 1_000_000] {
-        let a = ionn(&wifi, q).expect("chain model");
+        let a = Ionn::with_queries(q).partition(&wifi).expect("chain model");
         let offloaded = a
             .tiers()
             .iter()
             .filter(|t| **t == d3_simnet::Tier::Cloud)
             .count();
-        println!("  {q:>9} queries → {offloaded} layers remote, Θ = {:.1} ms",
-            a.total_latency(&wifi) * 1e3);
+        println!(
+            "  {q:>9} queries → {offloaded} layers remote, Θ = {:.1} ms",
+            a.total_latency(&wifi) * 1e3
+        );
     }
 }

@@ -12,7 +12,7 @@
 
 use d3_core::{D3System, DriftMonitor, NetworkCondition};
 use d3_model::zoo;
-use d3_partition::{hpa, HpaOptions, Problem};
+use d3_partition::{Hpa, Partitioner, Problem};
 use d3_simnet::TierProfiles;
 
 fn main() {
@@ -24,11 +24,11 @@ fn main() {
         (0, 31.53),
         (3, 45.0),
         (6, 22.0),
-        (8, 9.0),   // morning rush: congested uplink
+        (8, 9.0), // morning rush: congested uplink
         (10, 18.0),
         (12, 14.0),
         (15, 25.0),
-        (18, 7.5),  // evening rush
+        (18, 7.5), // evening rush
         (21, 40.0),
         (23, 55.0),
     ];
@@ -36,10 +36,13 @@ fn main() {
     // Frozen baseline: partitioned once under the initial condition.
     let initial = NetworkCondition::custom_backbone(day[0].1);
     let frozen_problem = Problem::new(&graph, &TierProfiles::paper_testbed(), initial);
-    let frozen = hpa(&frozen_problem, &HpaOptions::paper());
+    let frozen = Hpa::paper()
+        .partition(&frozen_problem)
+        .expect("HPA always applies");
 
-    // Adaptive engine with the paper's threshold band.
-    let d3 = D3System::builder(&graph).network(initial).build();
+    // Adaptive engine with the paper's threshold band. The builder takes
+    // the graph by value (the system owns it via Arc).
+    let d3 = D3System::builder(graph.clone()).network(initial).build();
     let mut engine = d3.into_adaptive(DriftMonitor { lo: 0.75, hi: 1.35 });
 
     println!(
@@ -76,7 +79,11 @@ fn main() {
     let moved = engine.observe_vertex(victim, tier, before * 4.0);
     println!(
         "edge load spike on {victim}: {} (local updates so far: {})",
-        if moved { "locally repartitioned" } else { "absorbed" },
+        if moved {
+            "locally repartitioned"
+        } else {
+            "absorbed"
+        },
         engine.local_updates
     );
 }

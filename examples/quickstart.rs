@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use d3_core::{D3System, NetworkCondition, Strategy, VsmConfig};
+use d3_core::{D3System, Deployment, NetworkCondition, Strategy, VsmConfig};
 use d3_model::zoo;
 use d3_partition::Problem;
 use d3_simnet::TierProfiles;
@@ -13,8 +13,10 @@ use d3_tensor::{max_abs_diff, Tensor};
 
 fn main() {
     // 1. Pick a model (AlexNet at the paper's 3×224×224) and a network.
+    //    The builder takes the graph by value: the system owns it and
+    //    could outlive this function or move to another thread.
     let graph = zoo::alexnet(224);
-    let d3 = D3System::builder(&graph)
+    let d3 = D3System::builder(graph.clone())
         .network(NetworkCondition::WiFi)
         .build();
 
@@ -36,7 +38,9 @@ fn main() {
         stats.throughput_fps
     );
 
-    // 3. Compare against the baselines of the paper's evaluation.
+    // 3. Compare the baselines of the paper's evaluation. Every strategy
+    //    resolves to a `Partitioner` policy object and deploys through
+    //    `Deployment::plan` — swap in your own policy the same way.
     let problem = Problem::new(
         &graph,
         &TierProfiles::paper_testbed(),
@@ -44,8 +48,20 @@ fn main() {
     );
     println!("\nstrategy comparison (single-frame end-to-end latency):");
     for s in Strategy::ALL {
-        if let Some(d) = d3_engine::deploy_strategy(&problem, s, VsmConfig::default()) {
-            println!("  {:<13} {:>8.1} ms", s.label(), d.frame_latency_s * 1e3);
+        // `deploy_strategy` is the one-call convenience over
+        // `Deployment::plan` (and adds the HPA+VSM joint pass).
+        let d = if s == Strategy::HpaVsm {
+            d3_engine::deploy_strategy(&problem, s, VsmConfig::default())
+        } else {
+            Deployment::plan(&problem, s.partitioner().as_ref(), None).ok()
+        };
+        if let Some(d) = d {
+            println!(
+                "  {:<13} [{}] {:>8.1} ms",
+                s.label(),
+                s.partitioner().name(),
+                d.frame_latency_s * 1e3
+            );
         }
     }
 
@@ -53,10 +69,10 @@ fn main() {
     //    to single-node inference. Demonstrated on a small CNN so the
     //    from-scratch executor stays fast.
     let small = zoo::tiny_cnn(16);
-    let d3_small = D3System::builder(&small).seed(7).build();
+    let d3_small = D3System::builder(small).seed(7).build();
     let input = Tensor::random(3, 16, 16, 123);
     let distributed = d3_small.run(&input);
-    let single_node = d3_model::Executor::new(&small, 7).run(&input);
+    let single_node = d3_model::Executor::new(d3_small.graph(), 7).run(&input);
     assert_eq!(max_abs_diff(&distributed, &single_node), Some(0.0));
     println!("\nlossless check: distributed output identical to single-node ✓");
 }

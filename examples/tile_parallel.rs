@@ -69,8 +69,6 @@ fn main() {
         full.crop(16, 32, 16, 32)
     };
     let diff = max_abs_diff(&naive_out, &true_tile).expect("same shape");
-    println!(
-        "naive halo-free tiling error on the same tile: max |Δ| = {diff:.4} (lossy!)"
-    );
+    println!("naive halo-free tiling error on the same tile: max |Δ| = {diff:.4} (lossy!)");
     assert!(diff > 0.0);
 }

@@ -11,7 +11,7 @@
 
 use d3_engine::{bottleneck_s, deploy_strategy, Strategy, VsmConfig};
 use d3_model::{zoo, DnnGraph};
-use d3_partition::{energy, hpa, HpaOptions, Problem};
+use d3_partition::{energy, Hpa, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, Tier, TierProfiles};
 use d3_vsm::find_tileable_runs;
 use std::process::ExitCode;
@@ -142,7 +142,10 @@ fn require_model(args: &Args) -> Result<DnnGraph, String> {
 }
 
 fn cmd_models() {
-    println!("{:<14} {:>12} {:>12} {:>10} {:>8}", "model", "params", "GFLOPs", "vertices", "DAG?");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>8}",
+        "model", "params", "GFLOPs", "vertices", "DAG?"
+    );
     let mut models = zoo::all_models(224);
     models.push(zoo::mobilenet_v1(224));
     for g in models {
@@ -161,7 +164,7 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
     let g = require_model(args)?;
     let profiles = TierProfiles::paper_testbed();
     let p = Problem::new(&g, &profiles, args.net);
-    let a = hpa(&p, &HpaOptions::paper());
+    let a = Hpa::paper().partition(&p).expect("HPA always applies");
     println!(
         "HPA partition of {} under {} ({}×{} input):",
         zoo::display_name(g.name()),
@@ -246,9 +249,7 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     );
     let cap = 1.0 / bottleneck_s(&d.stages).max(1e-9);
     if args.fps > cap {
-        println!(
-            "  note: pipeline saturates at {cap:.1} fps — the queue grows without bound"
-        );
+        println!("  note: pipeline saturates at {cap:.1} fps — the queue grows without bound");
     }
     // A short Gantt of the first frames: stages and links interleaved.
     let traces = d3_engine::simulate_stream_trace(&d.stages, args.fps, args.frames.min(8));
@@ -257,8 +258,11 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         .map(|t| t.spans.last().map_or(0.1, |s| s.1))
         .unwrap_or(0.1);
     let resolution = (horizon / 100.0).max(1e-4);
-    println!("
-{}", d3_engine::render_gantt(&d.stages, &traces, 8, resolution));
+    println!(
+        "
+{}",
+        d3_engine::render_gantt(&d.stages, &traces, 8, resolution)
+    );
     Ok(())
 }
 
@@ -279,9 +283,7 @@ fn cmd_tiles(args: &Args) -> Result<(), String> {
             .iter()
             .map(|&id| p.vertex_time(id, Tier::Edge))
             .collect();
-        let Some(((rows, cols), t)) =
-            d3_vsm::best_uniform_grid(&g, run, &times, args.nodes)
-        else {
+        let Some(((rows, cols), t)) = d3_vsm::best_uniform_grid(&g, run, &times, args.nodes) else {
             continue;
         };
         let serial: f64 = times.iter().sum();

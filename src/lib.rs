@@ -15,3 +15,9 @@ pub use d3_profiler as profiler;
 pub use d3_simnet as simnet;
 pub use d3_tensor as tensor;
 pub use d3_vsm as vsm;
+
+// The headline API, flattened for discoverability: the multi-model
+// serving runtime, the single-system facade, and the pluggable
+// partition-policy trait.
+pub use d3_core::{D3Runtime, D3System, ModelOptions, ModelStats, ServeError};
+pub use d3_partition::{PartitionError, Partitioner};

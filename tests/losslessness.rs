@@ -9,14 +9,16 @@
 
 use d3_engine::{run_distributed, VsmConfig};
 use d3_model::{zoo, Executor};
-use d3_partition::{hpa, Assignment, HpaOptions, Problem};
+use d3_partition::{Assignment, Hpa, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, Tier, TierProfiles};
 use d3_tensor::{max_abs_diff, Tensor};
 
 fn check(g: &d3_model::DnnGraph, seed: u64, vsm: Option<VsmConfig>, net: NetworkCondition) {
     let profiles = TierProfiles::paper_testbed();
     let problem = Problem::new(g, &profiles, net);
-    let assignment = hpa(&problem, &HpaOptions::paper());
+    let assignment = Hpa::paper()
+        .partition(&problem)
+        .expect("HPA always applies");
     let shape = g.input_shape();
     let input = Tensor::random(shape.c, shape.h, shape.w, seed ^ 0xF00D);
     let expect = Executor::new(g, seed).run(&input);
@@ -101,7 +103,9 @@ fn tile_grids_do_not_affect_results() {
     let g = zoo::vgg16(64);
     let profiles = TierProfiles::paper_testbed();
     let problem = Problem::new(&g, &profiles, NetworkCondition::FourG);
-    let assignment = hpa(&problem, &HpaOptions::paper());
+    let assignment = Hpa::paper()
+        .partition(&problem)
+        .expect("HPA always applies");
     let input = Tensor::random(3, 64, 64, 3);
     let expect = Executor::new(&g, 9).run(&input);
     for (rows, cols) in [(1, 1), (2, 2), (3, 3), (1, 4)] {

@@ -2,12 +2,10 @@
 //! against the exhaustive optimum, on the real evaluation models.
 
 use d3_model::zoo;
-use d3_partition::{
-    dads, exhaustive_optimal, hpa, neurosurgeon, Assignment, HpaOptions, Problem,
-};
+use d3_partition::{Assignment, Dads, ExhaustiveOracle, Hpa, Neurosurgeon, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, Tier, TierProfiles};
 
-fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem {
     Problem::new(g, &TierProfiles::paper_testbed(), net)
 }
 
@@ -16,7 +14,7 @@ fn hpa_dominates_every_single_tier_everywhere() {
     for g in zoo::all_models(224) {
         for net in NetworkCondition::TABLE3 {
             let p = problem(&g, net);
-            let theta = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+            let theta = Hpa::paper().partition(&p).unwrap().total_latency(&p);
             for tier in Tier::ALL {
                 let base = Assignment::uniform(g.len(), tier).total_latency(&p);
                 assert!(
@@ -34,10 +32,14 @@ fn hpa_never_loses_to_neurosurgeon_or_dads() {
     for g in zoo::all_models(224) {
         for net in NetworkCondition::TABLE3 {
             let p = problem(&g, net);
-            let theta = hpa(&p, &HpaOptions::paper()).total_latency(&p);
-            let d = dads(&p).total_latency(&p);
-            assert!(theta <= d + 1e-9, "{} {net}: HPA {theta} vs DADS {d}", g.name());
-            if let Ok(ns) = neurosurgeon(&p) {
+            let theta = Hpa::paper().partition(&p).unwrap().total_latency(&p);
+            let d = Dads.partition(&p).unwrap().total_latency(&p);
+            assert!(
+                theta <= d + 1e-9,
+                "{} {net}: HPA {theta} vs DADS {d}",
+                g.name()
+            );
+            if let Ok(ns) = Neurosurgeon.partition(&p) {
                 let ns = ns.total_latency(&p);
                 assert!(theta <= ns + 1e-9, "{} {net}: HPA vs NS {ns}", g.name());
             }
@@ -52,8 +54,8 @@ fn hpa_beats_dads_strictly_somewhere() {
     for g in zoo::all_models(224) {
         for net in NetworkCondition::TABLE3 {
             let p = problem(&g, net);
-            let h = hpa(&p, &HpaOptions::paper()).total_latency(&p);
-            let d = dads(&p).total_latency(&p);
+            let h = Hpa::paper().partition(&p).unwrap().total_latency(&p);
+            let d = Dads.partition(&p).unwrap().total_latency(&p);
             best_gain = best_gain.max(d / h);
         }
     }
@@ -73,8 +75,14 @@ fn hpa_gap_to_optimum_is_bounded_on_small_dags() {
         }
         for net in [NetworkCondition::WiFi, NetworkCondition::FourG] {
             let p = problem(&g, net);
-            let h = hpa(&p, &HpaOptions::paper()).total_latency(&p);
-            let opt = exhaustive_optimal(&p, &Tier::ALL, true).total_latency(&p);
+            let h = Hpa::paper().partition(&p).unwrap().total_latency(&p);
+            let opt = ExhaustiveOracle {
+                allowed: Tier::ALL.to_vec(),
+                monotone_only: true,
+            }
+            .partition(&p)
+            .unwrap()
+            .total_latency(&p);
             assert!(h + 1e-12 >= opt, "heuristic cannot beat the oracle");
             worst = worst.max(h / opt);
         }
@@ -90,8 +98,14 @@ fn dads_equals_two_tier_optimum_on_small_dags() {
             continue;
         }
         let p = problem(&g, NetworkCondition::FiveG);
-        let got = dads(&p).total_latency(&p);
-        let want = exhaustive_optimal(&p, &[Tier::Edge, Tier::Cloud], false).total_latency(&p);
+        let got = Dads.partition(&p).unwrap().total_latency(&p);
+        let want = ExhaustiveOracle {
+            allowed: vec![Tier::Edge, Tier::Cloud],
+            monotone_only: false,
+        }
+        .partition(&p)
+        .unwrap()
+        .total_latency(&p);
         assert!(
             (got - want).abs() <= 1e-9 + want * 1e-9,
             "seed {seed}: {got} vs {want}"
@@ -103,9 +117,9 @@ fn dads_equals_two_tier_optimum_on_small_dags() {
 fn assignments_are_monotone_for_all_algorithms() {
     for g in zoo::all_models(224) {
         let p = problem(&g, NetworkCondition::WiFi);
-        assert!(hpa(&p, &HpaOptions::paper()).is_monotone(&p));
-        assert!(dads(&p).is_monotone(&p));
-        if let Ok(ns) = neurosurgeon(&p) {
+        assert!(Hpa::paper().partition(&p).unwrap().is_monotone(&p));
+        assert!(Dads.partition(&p).unwrap().is_monotone(&p));
+        if let Ok(ns) = Neurosurgeon.partition(&p) {
             assert!(ns.is_monotone(&p));
         }
     }
@@ -117,7 +131,7 @@ fn more_backbone_bandwidth_never_hurts_hpa() {
     let mut last = f64::INFINITY;
     for mbps in [5.0, 10.0, 20.0, 40.0, 80.0, 160.0] {
         let p = problem(&g, NetworkCondition::custom_backbone(mbps));
-        let theta = hpa(&p, &HpaOptions::paper()).total_latency(&p);
+        let theta = Hpa::paper().partition(&p).unwrap().total_latency(&p);
         assert!(
             theta <= last + 1e-9,
             "Θ rose from {last} to {theta} at {mbps} Mbps"

@@ -1,0 +1,180 @@
+//! Equivalence tests for the `Partitioner` redesign: every strategy
+//! object must produce exactly the assignment (same Θ, same tiers) its
+//! legacy free function produced before the API change, on the paper's
+//! evaluation models under the paper profiles.
+
+#![allow(deprecated)] // the whole point: compare against the legacy API
+
+use d3_model::zoo;
+use d3_partition::{
+    dads, exhaustive_optimal, hpa, ionn, neurosurgeon, Assignment, Dads, ExhaustiveOracle,
+    FixedTier, Hpa, HpaOptions, Ionn, Neurosurgeon, PartitionError, Partitioner, Problem,
+};
+use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+
+fn paper_problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem {
+    Problem::new(g, &TierProfiles::paper_testbed(), net)
+}
+
+/// The models the paper evaluates and the ISSUE pins for equivalence.
+fn paper_models() -> Vec<d3_model::DnnGraph> {
+    vec![zoo::alexnet(224), zoo::vgg16(224), zoo::darknet53(224)]
+}
+
+fn assert_same(a: &Assignment, b: &Assignment, what: &str) {
+    assert_eq!(a.tiers(), b.tiers(), "{what}: tier vectors diverge");
+}
+
+#[test]
+fn hpa_trait_matches_legacy_free_function() {
+    for g in paper_models() {
+        for net in [NetworkCondition::WiFi, NetworkCondition::FourG] {
+            let p = paper_problem(&g, net);
+            let legacy = hpa(&p, &HpaOptions::paper());
+            let modern = Hpa::paper().partition(&p).unwrap();
+            assert_same(&modern, &legacy, &format!("hpa {} {net}", g.name()));
+            assert_eq!(modern.total_latency(&p), legacy.total_latency(&p));
+        }
+    }
+}
+
+#[test]
+fn hpa_trait_matches_legacy_under_ablation_options() {
+    let g = zoo::darknet53(224);
+    let p = paper_problem(&g, NetworkCondition::WiFi);
+    for opts in [
+        HpaOptions::paper().without_sis(),
+        HpaOptions::paper().without_io_heuristic(),
+        HpaOptions::paper().without_cut_search(),
+        HpaOptions::paper().with_tiers(&[Tier::Edge, Tier::Cloud]),
+    ] {
+        let legacy = hpa(&p, &opts);
+        let modern = Hpa(opts.clone()).partition(&p).unwrap();
+        assert_same(&modern, &legacy, &format!("hpa options {opts:?}"));
+    }
+}
+
+#[test]
+fn dads_trait_matches_legacy_free_function() {
+    for g in paper_models() {
+        for net in [NetworkCondition::WiFi, NetworkCondition::FourG] {
+            let p = paper_problem(&g, net);
+            let legacy = dads(&p);
+            let modern = Dads.partition(&p).unwrap();
+            assert_same(&modern, &legacy, &format!("dads {} {net}", g.name()));
+        }
+    }
+}
+
+#[test]
+fn neurosurgeon_trait_matches_legacy_free_function() {
+    for g in paper_models() {
+        let p = paper_problem(&g, NetworkCondition::WiFi);
+        match (Neurosurgeon.partition(&p), neurosurgeon(&p)) {
+            (Ok(modern), Ok(legacy)) => {
+                assert!(g.is_chain());
+                assert_same(&modern, &legacy, &format!("neurosurgeon {}", g.name()));
+            }
+            (Err(modern), Err(_)) => {
+                // darknet53 is a DAG: both APIs must refuse it.
+                assert!(!g.is_chain());
+                assert_eq!(
+                    modern,
+                    PartitionError::NotAChain {
+                        algorithm: "Neurosurgeon"
+                    }
+                );
+            }
+            (modern, legacy) => {
+                panic!("{}: trait {modern:?} vs legacy {legacy:?}", g.name())
+            }
+        }
+    }
+}
+
+#[test]
+fn ionn_trait_matches_legacy_free_function() {
+    for g in paper_models() {
+        let p = paper_problem(&g, NetworkCondition::WiFi);
+        for queries in [1u64, 100, u64::MAX] {
+            match (Ionn::with_queries(queries).partition(&p), ionn(&p, queries)) {
+                (Ok(modern), Ok(legacy)) => {
+                    assert_same(&modern, &legacy, &format!("ionn {} q={queries}", g.name()));
+                }
+                (Err(e), Err(_)) => {
+                    assert!(!g.is_chain());
+                    assert_eq!(e, PartitionError::NotAChain { algorithm: "IONN" });
+                }
+                (modern, legacy) => {
+                    panic!("{}: trait {modern:?} vs legacy {legacy:?}", g.name())
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_trait_matches_legacy_free_function() {
+    // Oracle only runs on small graphs; use the synthetic zoo.
+    for g in [zoo::chain_cnn(5, 4, 8), zoo::tiny_cnn(16)] {
+        let p = paper_problem(&g, NetworkCondition::WiFi);
+        for monotone_only in [false, true] {
+            let legacy = exhaustive_optimal(&p, &Tier::ALL, monotone_only);
+            let modern = ExhaustiveOracle {
+                allowed: Tier::ALL.to_vec(),
+                monotone_only,
+            }
+            .partition(&p)
+            .unwrap();
+            assert_same(
+                &modern,
+                &legacy,
+                &format!("exhaustive {} monotone={monotone_only}", g.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_tier_matches_uniform_assignments() {
+    for g in paper_models() {
+        let p = paper_problem(&g, NetworkCondition::WiFi);
+        for tier in Tier::ALL {
+            let legacy = Assignment::uniform(g.len(), tier);
+            let modern = FixedTier(tier).partition(&p).unwrap();
+            assert_same(&modern, &legacy, &format!("fixed {tier:?} {}", g.name()));
+        }
+    }
+}
+
+#[test]
+fn strategy_enum_routes_to_equivalent_partitioners() {
+    use d3_core::Strategy;
+    for g in paper_models() {
+        let p = paper_problem(&g, NetworkCondition::WiFi);
+        for (strategy, legacy) in [
+            (
+                Strategy::DeviceOnly,
+                Some(Assignment::uniform(g.len(), Tier::Device)),
+            ),
+            (
+                Strategy::EdgeOnly,
+                Some(Assignment::uniform(g.len(), Tier::Edge)),
+            ),
+            (
+                Strategy::CloudOnly,
+                Some(Assignment::uniform(g.len(), Tier::Cloud)),
+            ),
+            (Strategy::Neurosurgeon, neurosurgeon(&p).ok()),
+            (Strategy::Dads, Some(dads(&p))),
+            (Strategy::Hpa, Some(hpa(&p, &HpaOptions::paper()))),
+        ] {
+            let modern = strategy.partitioner().partition(&p).ok();
+            match (modern, legacy) {
+                (Some(m), Some(l)) => assert_same(&m, &l, &format!("{strategy:?} {}", g.name())),
+                (None, None) => {}
+                (m, l) => panic!("{strategy:?} {}: {m:?} vs {l:?}", g.name()),
+            }
+        }
+    }
+}

@@ -7,7 +7,7 @@ use d3_model::{zoo, NodeId};
 use d3_partition::Problem;
 use d3_simnet::TierProfiles;
 
-fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem<'_> {
+fn problem(g: &d3_model::DnnGraph, net: NetworkCondition) -> Problem {
     Problem::new(g, &TierProfiles::paper_testbed(), net)
 }
 
@@ -52,7 +52,10 @@ fn saturated_stream_latency_grows_with_queueing() {
     // Device-only VGG cannot sustain 30 FPS; the queue must build up.
     let short = d.stream(30.0, 10).mean_latency_s;
     let long = d.stream(30.0, 100).mean_latency_s;
-    assert!(long > short * 2.0, "expected queue growth: {short} vs {long}");
+    assert!(
+        long > short * 2.0,
+        "expected queue growth: {short} vs {long}"
+    );
 }
 
 #[test]

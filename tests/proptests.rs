@@ -1,7 +1,7 @@
 //! Property-based tests over the reproduction's core invariants.
 
 use d3_model::{zoo, Activation, DnnGraph, Executor, LayerKind, NodeId};
-use d3_partition::{hpa, Assignment, HpaOptions, Problem};
+use d3_partition::{Assignment, Hpa, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, Tier, TierProfiles};
 use d3_tensor::ops::{ConvSpec, PoolKind, PoolSpec};
 use d3_tensor::{max_abs_diff, Region, Tensor};
@@ -187,7 +187,7 @@ proptest! {
             &TierProfiles::paper_testbed(),
             NetworkCondition::custom_backbone(mbps),
         );
-        let a = hpa(&p, &HpaOptions::paper());
+        let a = Hpa::paper().partition(&p).unwrap();
         prop_assert!(a.is_monotone(&p));
         let theta = a.total_latency(&p);
         for tier in Tier::ALL {

@@ -1,0 +1,132 @@
+//! Concurrency tests for `D3Runtime`: several threads hammer `serve`
+//! across multiple registered models, and every response must be
+//! bit-identical to single-node inference — the paper's lossless
+//! guarantee must survive both distribution *and* concurrency.
+
+use d3_core::{D3Runtime, D3System, ModelOptions, NetworkCondition, ServeError};
+use d3_model::{zoo, Executor};
+use d3_tensor::{max_abs_diff, Tensor};
+
+#[test]
+fn runtime_is_send_sync_and_static() {
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<D3Runtime>();
+    assert_send_sync::<D3System>();
+}
+
+#[test]
+fn concurrent_serving_is_bit_identical_across_models() {
+    let mut rt = D3Runtime::new();
+    rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(7))
+        .unwrap();
+    rt.register(
+        "chain",
+        zoo::chain_cnn(3, 8, 16),
+        ModelOptions::new()
+            .seed(11)
+            .network(NetworkCondition::FourG),
+    )
+    .unwrap();
+
+    // Single-node references, built from the same weight seeds.
+    let tiny_ref = Executor::new(rt.system("tiny").unwrap().graph(), 7);
+    let chain_ref = Executor::new(rt.system("chain").unwrap().graph(), 11);
+
+    const THREADS: usize = 4;
+    const REQUESTS: usize = 5;
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let rt = &rt;
+            let (tiny_ref, chain_ref) = (&tiny_ref, &chain_ref);
+            scope.spawn(move || {
+                for req in 0..REQUESTS {
+                    let seed = (thread * 1000 + req) as u64;
+                    let input = Tensor::random(3, 16, 16, seed);
+                    let (name, reference) = if (thread + req) % 2 == 0 {
+                        ("tiny", &tiny_ref)
+                    } else {
+                        ("chain", &chain_ref)
+                    };
+                    let out = rt.serve(name, &input).expect("model registered");
+                    let expect = reference.run(&input);
+                    assert_eq!(
+                        max_abs_diff(&out, &expect),
+                        Some(0.0),
+                        "thread {thread} req {req} on {name}: lossy response"
+                    );
+                }
+            });
+        }
+    });
+
+    // Counters account for every request exactly once.
+    let total = (THREADS * REQUESTS) as u64;
+    assert_eq!(rt.total_requests(), total);
+    let tiny = rt.stats("tiny").unwrap();
+    let chain = rt.stats("chain").unwrap();
+    assert_eq!(tiny.requests + chain.requests, total);
+    assert!(tiny.requests > 0 && chain.requests > 0);
+    assert!(tiny.total_latency_s > 0.0);
+    assert!((tiny.mean_latency_s - tiny.total_latency_s / tiny.requests as f64).abs() < 1e-12);
+}
+
+#[test]
+fn same_model_served_from_many_threads_matches_single_thread() {
+    let mut rt = D3Runtime::new();
+    rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(3))
+        .unwrap();
+    let input = Tensor::random(3, 16, 16, 42);
+    let reference = rt.serve("tiny", &input).unwrap();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let (rt, input) = (&rt, &input);
+                scope.spawn(move || rt.serve("tiny", input).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            let out = handle.join().unwrap();
+            assert_eq!(max_abs_diff(&out, &reference), Some(0.0));
+        }
+    });
+    assert_eq!(rt.stats("tiny").unwrap().requests, 7);
+}
+
+#[test]
+fn runtime_moves_into_a_thread_with_its_models() {
+    let mut rt = D3Runtime::new();
+    rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(5))
+        .unwrap();
+    let handle = std::thread::spawn(move || {
+        let input = Tensor::random(3, 16, 16, 8);
+        rt.serve("tiny", &input).map(|t| t.data().len())
+    });
+    assert!(handle.join().unwrap().unwrap() > 0);
+}
+
+#[test]
+fn serve_errors_do_not_poison_the_runtime() {
+    let mut rt = D3Runtime::new();
+    rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new())
+        .unwrap();
+    let bad_shape = Tensor::random(3, 4, 4, 0);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let (rt, bad_shape) = (&rt, &bad_shape);
+            scope.spawn(move || {
+                assert!(matches!(
+                    rt.serve("tiny", bad_shape),
+                    Err(ServeError::ShapeMismatch { .. })
+                ));
+                assert!(matches!(
+                    rt.serve("ghost", bad_shape),
+                    Err(ServeError::UnknownModel(_))
+                ));
+            });
+        }
+    });
+    assert_eq!(rt.total_requests(), 0);
+    let good = Tensor::random(3, 16, 16, 1);
+    assert!(rt.serve("tiny", &good).is_ok());
+}

@@ -68,7 +68,11 @@ fn inception_v4_branch_fanout_at_modules() {
     // Every inception module's input feeds 4 branches (pool + 3 conv
     // paths); check a representative concat has at least 3 predecessors.
     let g = zoo::inception_v4(224);
-    for name in ["inceptionA1.concat", "inceptionB3.concat", "inceptionC2.concat"] {
+    for name in [
+        "inceptionA1.concat",
+        "inceptionB3.concat",
+        "inceptionC2.concat",
+    ] {
         let node = g.nodes().iter().find(|n| n.name == name).unwrap();
         assert!(
             node.preds.len() >= 3,
@@ -130,11 +134,7 @@ fn every_zoo_model_has_consistent_bytes_accounting() {
         for id in g.layer_ids() {
             let n = g.node(id);
             // input bytes of a vertex = sum of its preds' output bytes.
-            let expect: u64 = n
-                .preds
-                .iter()
-                .map(|p| g.node(*p).output_bytes())
-                .sum();
+            let expect: u64 = n.preds.iter().map(|p| g.node(*p).output_bytes()).sum();
             assert_eq!(g.input_bytes(id), expect, "{}: {}", g.name(), n.name);
         }
     }

@@ -1,0 +1,183 @@
+//! Vendored stand-in for the `bytes` crate.
+//!
+//! Implements the slice of the API the workspace's wire codec uses:
+//! [`Bytes`] (cheaply cloneable shared buffer with a read cursor),
+//! [`BytesMut`] (growable builder), and the [`Buf`]/[`BufMut`]
+//! little-endian accessors.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer with a read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    #[must_use]
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// The unread remainder as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Total unread length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unread bytes remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new buffer viewing `range` of the unread remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Self::from(self.as_slice()[range].to_vec())
+    }
+
+    /// Copies the unread remainder into a vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self {
+            data: Arc::new(data),
+            pos: 0,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer (builder for [`Bytes`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read-side accessors (stand-in for `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads `n` bytes, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain.
+    fn take_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.take_bytes(4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Vec<u8> {
+        assert!(self.len() >= n, "buffer underflow");
+        let out = self.data[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        out
+    }
+}
+
+/// Write-side accessors (stand-in for `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_values() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_f32_le(1.5);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.remaining(), 8);
+        assert_eq!(frozen.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(frozen.get_f32_le(), 1.5);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn clones_share_data_but_not_cursor() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        a.take_bytes(2);
+        assert_eq!(a.as_slice(), &[3, 4]);
+        assert_eq!(b.as_slice(), &[1, 2, 3, 4]);
+        assert_ne!(a, b);
+    }
+}

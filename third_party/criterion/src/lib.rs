@@ -1,0 +1,164 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the slice of criterion's API the workspace's `benches/` use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`] and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple mean-over-N timer instead of
+//! criterion's statistical machinery. Timings print to stdout; there is
+//! no HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    last_mean: Option<Duration>,
+}
+
+/// Target wall-clock spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Runs `routine` repeatedly (one warm-up, then as many timed passes
+    /// as fit the budget, at least three) and records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut runs = 0u32;
+        while runs < 3 || (total < MEASURE_BUDGET && runs < 10_000) {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            runs += 1;
+        }
+        self.last_mean = Some(total / runs);
+    }
+}
+
+/// The harness entry point (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher { last_mean: None };
+    f(&mut bencher);
+    match bencher.last_mean {
+        Some(mean) => println!("bench {id:<50} {mean:>12.2?}/iter"),
+        None => println!("bench {id:<50} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (report flushing in real criterion; a no-op
+    /// here).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness-less bench binaries with test
+            // flags; don't burn time benchmarking in that mode.
+            if std::env::args().any(|a| a == "--test" || a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

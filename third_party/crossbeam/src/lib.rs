@@ -1,0 +1,257 @@
+//! Vendored stand-in for the `crossbeam` crate.
+//!
+//! Implements the two facilities the workspace uses, on top of the
+//! standard library:
+//!
+//! - [`channel::unbounded`]: an MPMC channel (std's `mpsc` receivers are
+//!   not cloneable, so this wraps a mutex-guarded queue with a condvar),
+//! - [`thread::scope`]: crossbeam-style scoped threads delegating to
+//!   `std::thread::scope` (stabilized since the original dependency was
+//!   introduced), preserving crossbeam's `scope.spawn(|scope| ...)` and
+//!   `Result`-returning signatures.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; never blocks.
+        ///
+        /// # Errors
+        ///
+        /// This stub cannot observe receiver liveness, so `send` always
+        /// succeeds (messages to a dropped receiver are discarded with
+        /// the queue).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders += 1;
+            drop(state);
+            Self {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and every
+        /// sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).expect("channel poisoned");
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+}
+
+/// Crossbeam-style scoped threads over `std::thread::scope`.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to [`scope`] and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Unlike crossbeam, `std::thread::scope` propagates panics of
+    /// unjoined children by panicking, so the `Err` arm is never
+    /// produced — it exists to keep crossbeam's signature (callers
+    /// `.expect(...)` the result).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn mpmc_fan_in_fan_out() {
+        let (tx, rx) = unbounded::<usize>();
+        let rx2 = rx.clone();
+        let tx2 = tx.clone();
+        super::thread::scope(|scope| {
+            scope.spawn(move |_| {
+                for i in 0..50 {
+                    tx.send(i).unwrap();
+                }
+            });
+            scope.spawn(move |_| {
+                for i in 50..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let a = scope.spawn(move |_| {
+                let mut got = 0;
+                while rx.recv().is_ok() {
+                    got += 1;
+                }
+                got
+            });
+            let b = scope.spawn(move |_| {
+                let mut got = 0;
+                while rx2.recv().is_ok() {
+                    got += 1;
+                }
+                got
+            });
+            let total = a.join().unwrap() + b.join().unwrap();
+            assert_eq!(total, 100);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recv_errors_once_senders_gone() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this crate
+//! re-implements the (tiny) slice of the rand 0.9 API the workspace
+//! uses: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! [`Rng::random`] for `f32`/`f64`, and [`distr::Uniform`] sampling.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a
+//! high-quality, deterministic PRNG. It is **not** the upstream StdRng
+//! (ChaCha12), so absolute random streams differ from crates.io builds,
+//! but every consumer in this workspace only relies on determinism for a
+//! fixed seed, which this provides.
+
+#![forbid(unsafe_code)]
+
+/// Seedable random generators (stand-in for `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values producible by [`Rng::random`] (stand-in for
+/// `rand::distr::StandardUniform` sampling).
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution for the type.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing generator methods (stand-in for `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws one value of type `T` (uniform in `[0, 1)` for floats).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for
+    /// `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions (stand-in for `rand::distr`).
+pub mod distr {
+    use super::RngCore;
+
+    /// Error from invalid distribution parameters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Error;
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "invalid distribution parameters")
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Types samplable from a distribution.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Types [`Uniform`] can range over.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Whether the value is finite (uniform bounds must be).
+        fn finite(self) -> bool;
+        /// Linear interpolation `low + unit * (high - low)`.
+        fn lerp(low: Self, high: Self, unit: f64) -> Self;
+    }
+
+    impl SampleUniform for f32 {
+        fn finite(self) -> bool {
+            self.is_finite()
+        }
+
+        fn lerp(low: Self, high: Self, unit: f64) -> Self {
+            low + unit as f32 * (high - low)
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn finite(self) -> bool {
+            self.is_finite()
+        }
+
+        fn lerp(low: Self, high: Self, unit: f64) -> Self {
+            low + unit * (high - low)
+        }
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Builds a uniform distribution over `[low, high)`.
+        ///
+        /// # Errors
+        ///
+        /// Fails when the bounds are not finite or out of order.
+        pub fn new(low: T, high: T) -> Result<Self, Error> {
+            if low >= high || !low.finite() || !high.finite() {
+                return Err(Error);
+            }
+            Ok(Self { low, high })
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            T::lerp(self.low, self.high, unit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{distr::Distribution, distr::Uniform, Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>(), b.random::<f64>());
+        }
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let dist = Uniform::new(-1.0f32, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+        }
+        assert!(Uniform::new(1.0f32, -1.0).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of
+//! simnet config types but never serializes through serde at build time
+//! (the wire codec in `d3-engine` is hand-rolled). With no registry
+//! access, this stub keeps those derives compiling by expanding them to
+//! nothing; swap it for the real `serde` by editing the workspace
+//! `Cargo.toml` once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive_stub::{Deserialize, Serialize};

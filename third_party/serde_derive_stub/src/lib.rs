@@ -1,0 +1,21 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` to mark wire
+//! types; nothing serializes through serde at build time (the real codec
+//! is the hand-rolled wire format in `d3-engine`). These derives
+//! therefore expand to nothing, keeping the annotations compiling until
+//! the real `serde` can be vendored or fetched.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
