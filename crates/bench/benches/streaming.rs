@@ -1,0 +1,63 @@
+//! Criterion bench for the streaming serving path: per-frame cost of a
+//! resident `StreamPipeline` (prebuilt stage weights, bounded queues)
+//! vs the one-shot `run_distributed` path a sequential serve loop pays,
+//! plus the raw `SegmentExecutor` frame cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d3_engine::stream::{StreamOptions, StreamPipeline};
+use d3_engine::{run_distributed, Deployment};
+use d3_model::{zoo, NodeId, SegmentExecutor};
+use d3_partition::{EvenSplit, Partitioner, Problem};
+use d3_simnet::{NetworkCondition, TierProfiles};
+use d3_tensor::Tensor;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SEED: u64 = 7;
+
+fn bench_stream_vs_oneshot(c: &mut Criterion) {
+    let g = Arc::new(zoo::chain_cnn(6, 8, 16));
+    let p = Problem::new(
+        g.clone(),
+        &TierProfiles::paper_testbed(),
+        NetworkCondition::WiFi,
+    );
+    let assignment = EvenSplit.partition(&p).unwrap();
+    let deployment = Deployment::new(&p, assignment.clone(), None);
+    let input = Tensor::random(3, 16, 16, 1);
+
+    let mut group = c.benchmark_group("streaming_frame");
+    group.bench_function("one_shot_run_distributed", |b| {
+        b.iter(|| black_box(run_distributed(&g, SEED, &assignment, None, &input)));
+    });
+    let pipeline =
+        StreamPipeline::new(g.clone(), SEED, &deployment, None, StreamOptions::new()).unwrap();
+    group.bench_function("resident_stream_pipeline", |b| {
+        b.iter(|| {
+            pipeline.submit_blocking(&input).unwrap();
+            black_box(pipeline.recv().unwrap())
+        });
+    });
+    group.finish();
+    let report = pipeline.close();
+    println!(
+        "stream report: {:.1} fps sustained, bottleneck {:?}",
+        report.measured.throughput_fps,
+        report.bottleneck()
+    );
+}
+
+fn bench_segment_executor(c: &mut Criterion) {
+    let g = Arc::new(zoo::chain_cnn(6, 8, 16));
+    let members: Vec<NodeId> = g.ids().collect();
+    let seg = SegmentExecutor::new(g.clone(), SEED, &members);
+    let mut boundary = HashMap::new();
+    boundary.insert(g.input(), Tensor::random(3, 16, 16, 1));
+    c.bench_function("segment_executor/prebuilt_full_graph", |b| {
+        b.iter(|| black_box(seg.run(boundary.clone())));
+    });
+}
+
+criterion_group!(benches, bench_stream_vs_oneshot, bench_segment_executor);
+criterion_main!(benches);

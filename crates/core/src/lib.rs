@@ -20,7 +20,8 @@
 //! Systems **own** their graph (shared through an [`Arc`]), so they can
 //! outlive the stack frame that built them and move across threads. For
 //! serving several models concurrently from one process, see
-//! [`D3Runtime`].
+//! [`D3Runtime`]; for sustained frame streams, open a pipelined
+//! [`StreamSession`] via [`D3Runtime::open_stream`].
 //!
 //! ## Quickstart
 //!
@@ -41,8 +42,12 @@
 #![warn(missing_docs)]
 
 mod runtime;
+mod session;
 
-pub use d3_engine::{Deployment, Strategy, VsmConfig};
+pub use d3_engine::{
+    Deployment, FrameId, Strategy, StreamOptions, StreamRecvError, StreamReport, SubmitError,
+    VsmConfig,
+};
 pub use d3_model::{DnnGraph, NodeId};
 pub use d3_partition::{
     Assignment, DriftMonitor, HpaOptions, PartitionError, Partitioner, Problem,
@@ -50,6 +55,7 @@ pub use d3_partition::{
 pub use d3_profiler::RegressionEstimator;
 pub use d3_simnet::{NetworkCondition, Tier, TierProfiles};
 pub use runtime::{D3Runtime, ModelOptions, ModelStats, ServeError};
+pub use session::StreamSession;
 
 use std::sync::Arc;
 
@@ -283,6 +289,12 @@ impl D3System {
     /// The trained regression estimator, when enabled.
     pub fn estimator(&self) -> Option<&RegressionEstimator> {
         self.estimator.as_ref()
+    }
+
+    /// The VSM configuration the system deploys with (None when VSM is
+    /// disabled).
+    pub fn vsm_config(&self) -> Option<VsmConfig> {
+        self.vsm
     }
 
     /// Single-frame end-to-end latency (the paper's Θ objective).

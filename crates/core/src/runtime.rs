@@ -166,6 +166,14 @@ pub enum ServeError {
         /// Received `(c, h, w)`.
         got: (usize, usize, usize),
     },
+    /// The model's deployed plan cannot run as a streaming pipeline
+    /// (e.g. a non-monotone assignment or a multi-output graph).
+    Unstreamable {
+        /// The model whose plan was rejected.
+        model: String,
+        /// Human-readable cause from the pipeline builder.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -180,6 +188,9 @@ impl std::fmt::Display for ServeError {
                 f,
                 "input shape {got:?} does not match {model:?} (expects {expected:?})"
             ),
+            ServeError::Unstreamable { model, reason } => {
+                write!(f, "{model:?} cannot stream: {reason}")
+            }
         }
     }
 }
@@ -263,9 +274,38 @@ impl D3Runtime {
         self
     }
 
-    /// Removes the model registered under `name`, returning its system.
-    pub fn deregister(&mut self, name: &str) -> Option<D3System> {
+    /// Removes the model registered under `name`, returning its system —
+    /// the rotation half of multi-tenant operation (register the new
+    /// version, unregister the old). Live [`StreamSession`]s opened on
+    /// the model keep serving: they captured the deployed plan.
+    ///
+    /// [`StreamSession`]: crate::StreamSession
+    pub fn unregister(&mut self, name: &str) -> Option<D3System> {
         self.models.remove(name).map(|entry| entry.system)
+    }
+
+    /// Opens a pipelined streaming session on the named model: the
+    /// deployed plan's tier segments become resident worker threads
+    /// connected by bounded queues, overlapping consecutive frames for
+    /// bottleneck-bound (rather than sum-bound) throughput. See
+    /// [`StreamSession`](crate::StreamSession) for the session
+    /// lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when `name` is not registered, or
+    /// [`ServeError::Unstreamable`] when the deployed plan cannot run as
+    /// a forward pipeline.
+    pub fn open_stream(
+        &self,
+        name: &str,
+        options: crate::StreamOptions,
+    ) -> Result<crate::StreamSession, ServeError> {
+        let entry = self
+            .models
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        crate::StreamSession::open(name, &entry.system, options)
     }
 
     /// Runs one inference on the named model across its deployed tiers.
@@ -442,14 +482,26 @@ mod tests {
     }
 
     #[test]
-    fn deregister_returns_the_system() {
+    fn unregister_returns_the_system() {
         let mut rt = D3Runtime::new();
         rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new())
             .unwrap();
-        let system = rt.deregister("tiny").unwrap();
+        let system = rt.unregister("tiny").unwrap();
         assert_eq!(system.graph().name(), "tiny_cnn");
         assert!(rt.is_empty());
-        assert!(rt.deregister("tiny").is_none());
+        assert!(rt.unregister("tiny").is_none());
+    }
+
+    #[test]
+    fn models_lists_names_sorted_for_rotation() {
+        let mut rt = D3Runtime::new();
+        rt.register("b", zoo::tiny_cnn(16), ModelOptions::new())
+            .unwrap()
+            .register("a", zoo::chain_cnn(4, 8, 16), ModelOptions::new())
+            .unwrap();
+        assert_eq!(rt.models(), vec!["a", "b"]);
+        rt.unregister("a");
+        assert_eq!(rt.models(), vec!["b"]);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Streaming serving sessions: the pipelined execution path behind
+//! [`D3Runtime::open_stream`](crate::D3Runtime::open_stream).
+//!
+//! Where [`serve`](crate::D3Runtime::serve) runs one frame across the
+//! tiers and waits, a [`StreamSession`] keeps the plan's device/edge/
+//! cloud segments *resident* on dedicated worker threads behind bounded
+//! queues: frame `N+1` enters the device stage while frame `N` is still
+//! on the edge. Sustained throughput is then set by the slowest stage
+//! (the paper's bottleneck phenomenon, §I), not by the end-to-end sum —
+//! and [`close`](StreamSession::close) hands back a [`StreamReport`]
+//! whose measured [`StreamStats`](d3_engine::StreamStats) is directly
+//! comparable to the simulator's prediction.
+//!
+//! ```
+//! use d3_core::{D3Runtime, ModelOptions, StreamOptions};
+//! use d3_model::zoo;
+//! use d3_tensor::Tensor;
+//!
+//! let mut rt = D3Runtime::new();
+//! rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(7))
+//!     .unwrap();
+//! let session = rt.open_stream("tiny", StreamOptions::new()).unwrap();
+//! for k in 0..4 {
+//!     session.submit_blocking(&Tensor::random(3, 16, 16, k)).unwrap();
+//! }
+//! for _ in 0..4 {
+//!     let (_id, out) = session.recv().unwrap();
+//!     assert!(out.data().iter().all(|v| v.is_finite()));
+//! }
+//! let report = session.close();
+//! assert_eq!(report.measured.frames, 4);
+//! ```
+
+use d3_engine::stream::StreamPipeline;
+use d3_engine::{FrameId, StreamRecvError, StreamReport, SubmitError};
+use d3_tensor::Tensor;
+
+use crate::runtime::ServeError;
+use crate::{D3System, StreamOptions};
+
+/// A live streaming session against one registered model.
+///
+/// Created by [`D3Runtime::open_stream`](crate::D3Runtime::open_stream);
+/// the session owns its worker threads and stays valid even if the model
+/// is later [`unregister`](crate::D3Runtime::unregister)ed (it captured
+/// the deployed plan at open time). Results come back in submission
+/// order. Intended for one logical producer/consumer; the methods take
+/// `&self`, so a driving thread and a draining thread may share it.
+#[derive(Debug)]
+pub struct StreamSession {
+    model: String,
+    pipeline: StreamPipeline,
+}
+
+impl StreamSession {
+    pub(crate) fn open(
+        model: &str,
+        system: &D3System,
+        options: StreamOptions,
+    ) -> Result<Self, ServeError> {
+        let pipeline = StreamPipeline::new(
+            system.graph_arc().clone(),
+            system.weight_seed(),
+            system.deployment(),
+            system.vsm_config(),
+            options,
+        )
+        .map_err(|e| ServeError::Unstreamable {
+            model: model.to_string(),
+            reason: e.to_string(),
+        })?;
+        Ok(Self {
+            model: model.to_string(),
+            pipeline,
+        })
+    }
+
+    /// The registered name this session serves.
+    #[must_use]
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Admits one frame without blocking; the returned [`FrameId`] pairs
+    /// the eventual [`recv`](Self::recv) result with this submission.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Backpressure`] once the ingress queue is full
+    /// (admission control: drain results and retry), or
+    /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor.
+    pub fn submit(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
+        self.pipeline.submit(input)
+    }
+
+    /// Admits one frame, waiting for queue space instead of rejecting.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor.
+    pub fn submit_blocking(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
+        self.pipeline.submit_blocking(input)
+    }
+
+    /// Waits for the next completed frame (submission order).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamRecvError::NoFramesInFlight`] when every admitted frame
+    /// was already received.
+    pub fn recv(&self) -> Result<(FrameId, Tensor), StreamRecvError> {
+        self.pipeline.recv()
+    }
+
+    /// Returns the next completed frame if one is ready.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<(FrameId, Tensor)> {
+        self.pipeline.try_recv()
+    }
+
+    /// Frames admitted but not yet received.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.pipeline.pending()
+    }
+
+    /// Frames admitted so far.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.pipeline.submitted()
+    }
+
+    /// Frames rejected by backpressure so far.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.pipeline.rejected()
+    }
+
+    /// Stops admissions, drains in-flight frames, joins the stage
+    /// workers and reports measured per-stage utilization, p50/p95/max
+    /// latency and throughput.
+    #[must_use]
+    pub fn close(self) -> StreamReport {
+        self.pipeline.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{D3Runtime, ModelOptions};
+    use d3_model::zoo;
+
+    #[test]
+    fn session_survives_unregistration() {
+        let mut rt = D3Runtime::new();
+        rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(5))
+            .unwrap();
+        let session = rt.open_stream("tiny", StreamOptions::new()).unwrap();
+        let expect = rt.serve("tiny", &Tensor::random(3, 16, 16, 8)).unwrap();
+        rt.unregister("tiny").unwrap();
+        // The session captured the plan: still serving.
+        session
+            .submit_blocking(&Tensor::random(3, 16, 16, 8))
+            .unwrap();
+        let (_, got) = session.recv().unwrap();
+        assert_eq!(d3_tensor::max_abs_diff(&got, &expect), Some(0.0));
+        assert_eq!(session.model(), "tiny");
+        let report = session.close();
+        assert_eq!(report.measured.frames, 1);
+    }
+
+    #[test]
+    fn open_stream_unknown_model_is_typed() {
+        let rt = D3Runtime::new();
+        assert_eq!(
+            rt.open_stream("nope", StreamOptions::new()).err(),
+            Some(ServeError::UnknownModel("nope".into()))
+        );
+    }
+}

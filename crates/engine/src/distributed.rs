@@ -168,7 +168,9 @@ fn tier_worker(
 
 /// Executes a tier's members, optionally accelerating tileable runs with
 /// the VSM tile executor (edge tier only). Returns the same
-/// crossing-tensor map as [`Executor::run_segment`].
+/// crossing-tensor map as [`Executor::run_segment`]. (The streaming
+/// pipeline's edge stage mirrors this logic with prebuilt operators —
+/// see `VsmStage` in [`crate::stream`].)
 fn execute_segment(
     exec: &Executor<'_>,
     graph: &DnnGraph,

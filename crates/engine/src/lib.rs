@@ -13,6 +13,10 @@
 //! - [`distributed`]: *functional* execution across three real threads
 //!   connected by channels and a wire codec ([`wire`]), proving the
 //!   lossless claim end to end,
+//! - [`stream`]: the *pipelined* streaming executor — the plan's tier
+//!   segments become long-lived worker threads behind bounded queues, so
+//!   measured throughput/latency/utilization come back in the same
+//!   [`StreamStats`] shape the simulator predicts,
 //! - [`adapt`]: threshold-gated runtime re-partitioning under resource
 //!   and bandwidth drift.
 //!
@@ -39,6 +43,7 @@ pub mod adapt;
 pub mod deploy;
 pub mod distributed;
 pub mod pipeline;
+pub mod stream;
 pub mod wire;
 
 pub use adapt::AdaptiveEngine;
@@ -47,5 +52,9 @@ pub use distributed::run_distributed;
 pub use pipeline::{
     bottleneck_s, render_gantt, simulate_stream, simulate_stream_trace, FrameTrace, StageSpec,
     StreamStats,
+};
+pub use stream::{
+    FrameId, StreamBuildError, StreamOptions, StreamPipeline, StreamRecvError, StreamReport,
+    SubmitError,
 };
 pub use wire::{decode, encode, wire_size, WireError};

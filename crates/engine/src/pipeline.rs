@@ -1,4 +1,5 @@
-//! Discrete-event simulation of the inference pipeline.
+//! Discrete-event simulation of the inference pipeline, and the stage
+//! model it shares with real streaming execution.
 //!
 //! The paper's evaluation streams images at 30 FPS for 100 seconds and
 //! reports per-image average end-to-end latency (§IV). This module
@@ -8,6 +9,24 @@
 //! exactly, while a saturated stream exposes the bottleneck stage — the
 //! phenomenon motivating VSM ("the node with the most processing time
 //! becomes the bottleneck", §I).
+//!
+//! ## One stage model, two executors
+//!
+//! [`StageSpec`] and [`StreamStats`] are deliberately shared between two
+//! backends:
+//!
+//! - **Simulated** — [`simulate_stream`] runs the deterministic
+//!   Lindley-recurrence queueing model over a deployment's predicted
+//!   [`StageSpec`]s (this module),
+//! - **Measured** — [`crate::stream::StreamPipeline`] runs the *same*
+//!   three-stage shape as real worker threads over real tensors, and its
+//!   closing [`crate::stream::StreamReport`] carries a [`StreamStats`]
+//!   with identical field semantics and the identical interleaved
+//!   `[stage, link, stage, link, stage]` utilization layout.
+//!
+//! Because both sides speak the same types, predicted-vs-measured
+//! comparison is a field-by-field diff: simulate the deployment's specs
+//! at the observed frame rate and line the two `StreamStats` up.
 
 /// One pipeline stage: compute plus the transfer to the next stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +48,8 @@ pub struct StreamStats {
     pub mean_latency_s: f64,
     /// Maximum end-to-end seconds.
     pub max_latency_s: f64,
+    /// Median end-to-end seconds.
+    pub p50_latency_s: f64,
     /// 95th-percentile end-to-end seconds.
     pub p95_latency_s: f64,
     /// Completed frames per second of simulated time.
@@ -41,15 +62,16 @@ pub struct StreamStats {
 /// Simulates `n_frames` frames arriving at `fps` through the stages.
 ///
 /// Every stage and every link is a FIFO server with deterministic service
-/// time; the event loop is a classic time-ordered heap.
+/// time; the event loop is a classic time-ordered heap. Zero frames
+/// yield all-zero statistics (matching a measured stream that admitted
+/// nothing).
 ///
 /// # Panics
 ///
-/// Panics on an empty stage list, non-positive `fps`, or zero frames.
+/// Panics on an empty stage list or non-positive `fps`.
 pub fn simulate_stream(stages: &[StageSpec], fps: f64, n_frames: usize) -> StreamStats {
     assert!(!stages.is_empty(), "no stages");
     assert!(fps > 0.0, "fps must be positive");
-    assert!(n_frames > 0, "need at least one frame");
 
     // Servers: stage 0, link 0, stage 1, link 1, …, stage k-1.
     let mut service = Vec::new();
@@ -60,6 +82,17 @@ pub fn simulate_stream(stages: &[StageSpec], fps: f64, n_frames: usize) -> Strea
         }
     }
     let n_servers = service.len();
+    if n_frames == 0 {
+        return StreamStats {
+            frames: 0,
+            mean_latency_s: 0.0,
+            max_latency_s: 0.0,
+            p50_latency_s: 0.0,
+            p95_latency_s: 0.0,
+            throughput_fps: 0.0,
+            utilization: vec![0.0; n_servers],
+        };
+    }
     let mut free_at = vec![0.0f64; n_servers];
     let mut busy_total = vec![0.0f64; n_servers];
 
@@ -87,15 +120,26 @@ pub fn simulate_stream(stages: &[StageSpec], fps: f64, n_frames: usize) -> Strea
     let mut sorted = latencies.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
-    let p95 = sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)];
     let horizon = last_done.max(f64::MIN_POSITIVE);
     StreamStats {
         frames: n_frames,
         mean_latency_s: mean,
         max_latency_s: *sorted.last().expect("non-empty"),
-        p95_latency_s: p95,
+        p50_latency_s: percentile(&sorted, 0.50),
+        p95_latency_s: percentile(&sorted, 0.95),
         throughput_fps: n_frames as f64 / horizon,
         utilization: busy_total.iter().map(|b| b / horizon).collect(),
+    }
+}
+
+/// Index-based percentile over an ascending latency vector (0 when
+/// empty). One definition, used by both the simulated and the measured
+/// [`StreamStats`], so the two sides report comparable quantiles.
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[((sorted.len() as f64 * q) as usize).min(sorted.len() - 1)]
     }
 }
 

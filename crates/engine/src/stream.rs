@@ -1,0 +1,1042 @@
+//! Real pipelined stream execution over a deployed plan.
+//!
+//! The discrete-event simulator ([`crate::pipeline`]) *predicts* how a
+//! deployment behaves under a frame stream; this module *measures* it.
+//! [`StreamPipeline`] turns the plan's tier segments (device → edge →
+//! cloud) into three long-lived worker threads connected by **bounded**
+//! channels: frame `N+1` starts on the device stage while frame `N` is
+//! still on the edge stage, so sustained throughput is governed by the
+//! slowest stage rather than the end-to-end sum — exactly the
+//! bottleneck phenomenon the paper's VSM attacks ("the node with the
+//! most processing time becomes the bottleneck", §I).
+//!
+//! Design notes:
+//!
+//! - **Admission control.** Every inter-stage queue is a bounded channel
+//!   ([`crossbeam::channel::bounded`]); [`StreamPipeline::submit`] is
+//!   non-blocking and reports [`SubmitError::Backpressure`] once the
+//!   ingress queue fills, so an overloaded pipeline sheds frames at the
+//!   door instead of hoarding unbounded memory.
+//! - **Prebuilt weights.** Each stage owns a
+//!   [`d3_model::SegmentExecutor`] whose operators (and weights) were
+//!   materialized once at session open; the per-frame cost is pure
+//!   tensor arithmetic. When the plan tiled the edge segment's conv
+//!   runs, the edge stage instead holds prebuilt VSM tile executors
+//!   (plus prebuilt operators for its untiled members) — still zero
+//!   per-frame weight construction.
+//! - **Shared metrics shape.** Closing the pipeline yields a
+//!   [`StreamReport`] whose [`StreamStats`] has the *same shape* the
+//!   simulator emits (p50/p95/max latency, throughput, interleaved
+//!   stage/link utilization), so predicted and measured pipelines are
+//!   directly comparable.
+//! - **Losslessness.** Tensors cross stages through the [`crate::wire`]
+//!   codec, and stage executors reuse the deployment's weight seed:
+//!   streamed outputs are bit-identical to one-shot
+//!   [`crate::run_distributed`] / single-node inference.
+
+use crate::deploy::{Deployment, VsmConfig};
+use crate::pipeline::{percentile, simulate_stream, StageSpec, StreamStats};
+use crate::wire;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use d3_model::{crossing_tensors, DnnGraph, Executor, LayerOp, NodeId, SegmentExecutor};
+use d3_simnet::Tier;
+use d3_tensor::Tensor;
+use d3_vsm::{find_tileable_runs, TileExecutor, VsmPlan};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Identifier of one submitted frame, unique and increasing within a
+/// pipeline (rejected submissions may leave gaps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub u64);
+
+impl std::fmt::Display for FrameId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame#{}", self.0)
+    }
+}
+
+/// Configuration of a streaming session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOptions {
+    /// Bound of every inter-stage queue (and of the result queue). Depth
+    /// trades latency under overload for tolerance to jitter; once the
+    /// ingress queue holds this many frames, [`StreamPipeline::submit`]
+    /// reports backpressure.
+    pub capacity: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        Self { capacity: 8 }
+    }
+}
+
+impl StreamOptions {
+    /// Default options (queue capacity 8).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-stage queue bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.capacity = capacity;
+        self
+    }
+}
+
+/// Why a deployment cannot run as a streaming pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamBuildError {
+    /// A DAG link flows backwards against the device→edge→cloud pipeline
+    /// (the plan violates the paper's Proposition 1 monotonicity).
+    NonMonotone {
+        /// Producer vertex.
+        producer: NodeId,
+        /// Consumer vertex placed on an earlier tier.
+        consumer: NodeId,
+    },
+    /// The graph has several output vertices.
+    MultiOutput {
+        /// Output count.
+        outputs: usize,
+    },
+    /// [`StreamOptions::capacity`] was set to zero (the field is public;
+    /// the [`capacity`](StreamOptions::capacity) builder rejects this
+    /// earlier).
+    ZeroCapacity,
+}
+
+impl std::fmt::Display for StreamBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamBuildError::NonMonotone { producer, consumer } => write!(
+                f,
+                "link {producer} -> {consumer} flows backwards against the pipeline"
+            ),
+            StreamBuildError::MultiOutput { outputs } => {
+                write!(
+                    f,
+                    "streaming requires a single-output graph (has {outputs})"
+                )
+            }
+            StreamBuildError::ZeroCapacity => write!(f, "queue capacity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for StreamBuildError {}
+
+/// Why a frame was not admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The ingress queue is full; retry after draining results.
+    Backpressure,
+    /// The input tensor does not match the model's input shape.
+    ShapeMismatch {
+        /// Expected `(c, h, w)`.
+        expected: (usize, usize, usize),
+        /// Received `(c, h, w)`.
+        got: (usize, usize, usize),
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Backpressure => write!(f, "stream ingress queue is full"),
+            SubmitError::ShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input shape {got:?} does not match model (expects {expected:?})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why [`StreamPipeline::recv`] returned no frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamRecvError {
+    /// Every admitted frame has already been received.
+    NoFramesInFlight,
+}
+
+impl std::fmt::Display for StreamRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamRecvError::NoFramesInFlight => write!(f, "no frames in flight"),
+        }
+    }
+}
+
+impl std::error::Error for StreamRecvError {}
+
+/// One frame travelling between stages: crossing tensors in wire format.
+struct FrameMsg {
+    id: u64,
+    submitted_at: Instant,
+    payload: Vec<(NodeId, Bytes)>,
+}
+
+/// How a stage executes its segment.
+enum StageExec {
+    /// Prebuilt-weights executor (device, cloud, and untiled edge).
+    Prebuilt(SegmentExecutor),
+    /// Edge segment with VSM tile-parallel conv runs, tile executors and
+    /// remaining operators prebuilt once per session.
+    Vsm(VsmStage),
+}
+
+/// One tileable run of the edge segment, prepared at session open.
+struct PreparedRun {
+    /// The vertex feeding the run (outside or upstream of it).
+    input_node: NodeId,
+    /// The run's final vertex — the only run member whose value
+    /// materializes when the run executes tiled.
+    last: NodeId,
+    /// The run's members in chain order.
+    run: Vec<NodeId>,
+    /// Prebuilt tile executor; `None` means the plan was rejected and
+    /// the run executes serially through `VsmStage::ops`.
+    tiles: Option<TileExecutor>,
+}
+
+/// An edge stage with VSM tile parallelism: the streaming counterpart of
+/// [`execute_segment`](crate::distributed) with every weight — tiled and
+/// untiled alike — materialized once at construction instead of per
+/// frame.
+struct VsmStage {
+    graph: Arc<DnnGraph>,
+    /// Segment members, ascending (ids are topological).
+    members: Vec<NodeId>,
+    /// Prepared runs keyed by their head vertex.
+    runs: HashMap<NodeId, PreparedRun>,
+    /// Non-head run members: produced (or skipped) when their head runs.
+    interior: HashSet<NodeId>,
+    /// Prebuilt operators for every member outside a tiled run.
+    ops: HashMap<NodeId, LayerOp>,
+}
+
+impl VsmStage {
+    /// `found_runs` is the [`find_tileable_runs`] result for `members`,
+    /// computed by the caller (which needed it to pick this path).
+    fn new(
+        graph: Arc<DnnGraph>,
+        seed: u64,
+        members: &[NodeId],
+        cfg: VsmConfig,
+        found_runs: Vec<Vec<NodeId>>,
+    ) -> Self {
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let exec = Executor::new(&graph, seed);
+        let mut runs = HashMap::new();
+        let mut interior = HashSet::new();
+        let mut tiled_members: HashSet<NodeId> = HashSet::new();
+        for run in found_runs {
+            let head = run[0];
+            let last = *run.last().expect("non-empty run");
+            let input_node = graph.node(head).preds[0];
+            let out_shape = graph.node(last).shape;
+            let rows = cfg.grid.0.min(out_shape.h).max(1);
+            let cols = cfg.grid.1.min(out_shape.w).max(1);
+            let tiles = VsmPlan::new(&graph, &run, rows, cols)
+                .ok()
+                .map(|plan| TileExecutor::new(&exec, plan));
+            interior.extend(run.iter().skip(1).copied());
+            if tiles.is_some() {
+                tiled_members.extend(run.iter().copied());
+            }
+            runs.insert(
+                head,
+                PreparedRun {
+                    input_node,
+                    last,
+                    run,
+                    tiles,
+                },
+            );
+        }
+        let ops = sorted
+            .iter()
+            .filter(|id| !tiled_members.contains(id))
+            .map(|&id| (id, exec.build_op(id)))
+            .collect();
+        Self {
+            graph,
+            members: sorted,
+            runs,
+            interior,
+            ops,
+        }
+    }
+
+    /// Executes the segment for one frame; same boundary/crossing
+    /// contract as [`SegmentExecutor::run`] (boundary by value — this is
+    /// the per-frame hot path), with tileable runs going through their
+    /// prebuilt [`TileExecutor`]s tile-parallel.
+    fn run(&self, boundary: HashMap<NodeId, Tensor>) -> HashMap<NodeId, Tensor> {
+        let mut values = boundary;
+        for &id in &self.members {
+            if values.contains_key(&id) {
+                continue; // provided as boundary or by an executed run
+            }
+            if let Some(prepared) = self.runs.get(&id) {
+                let input = values
+                    .get(&prepared.input_node)
+                    .unwrap_or_else(|| panic!("run input {} missing", prepared.input_node))
+                    .clone();
+                match &prepared.tiles {
+                    Some(tex) => {
+                        values.insert(prepared.last, tex.run_parallel(&input));
+                    }
+                    None => {
+                        // Un-plannable run: serial through prebuilt ops.
+                        let mut cur = input;
+                        for &rid in &prepared.run {
+                            cur = self.ops[&rid].apply(&[&cur]);
+                            values.insert(rid, cur.clone());
+                        }
+                    }
+                }
+                continue;
+            }
+            if self.interior.contains(&id) {
+                continue; // tiled-run interior: never materialized
+            }
+            let node = self.graph.node(id);
+            let inputs: Vec<&Tensor> = node
+                .preds
+                .iter()
+                .map(|p| {
+                    values
+                        .get(p)
+                        .unwrap_or_else(|| panic!("missing predecessor {p} for {id}"))
+                })
+                .collect();
+            let out = self.ops[&id].apply(&inputs);
+            values.insert(id, out);
+        }
+        crossing_tensors(&self.graph, &self.members, &values)
+    }
+}
+
+/// Static per-stage routing plan.
+struct StageCtx {
+    exec: StageExec,
+    /// Payload ids this stage must decode (external inputs of its
+    /// segment; for the last stage, also the graph output).
+    needed: HashSet<NodeId>,
+    /// Payload/output ids a later stage needs: forwarded in wire format.
+    forward_ids: HashSet<NodeId>,
+    output_node: NodeId,
+    is_last: bool,
+}
+
+/// What a stage worker accumulated over its lifetime.
+#[derive(Default)]
+struct StageMetrics {
+    decode_s: f64,
+    compute_s: f64,
+    encode_s: f64,
+    /// Submit→completion latency per frame (final stage only).
+    latencies_s: Vec<f64>,
+    /// Completion instant of the last frame (final stage only).
+    last_done: Option<Instant>,
+}
+
+/// Final report of a closed streaming session.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Measured statistics, in the exact shape the simulator's
+    /// [`simulate_stream`] emits — compare them field by field.
+    pub measured: StreamStats,
+    /// The deployment's predicted stage specs (feed them to
+    /// [`simulate_stream`] via [`StreamReport::predicted_stats`]).
+    pub predicted: Vec<StageSpec>,
+    /// Server labels matching `measured.utilization` order:
+    /// `[device, device→, edge, edge→, cloud]`.
+    pub server_names: Vec<String>,
+    /// Busy seconds per server, same order as `server_names`. A stage's
+    /// busy time is its worker's compute (plus ingress decode on the
+    /// device stage); a link's is the slower of its producer-encode and
+    /// consumer-decode halves, which bounds its sustainable rate (the
+    /// halves run on different threads, so their sum is not wall time).
+    pub busy_s: Vec<f64>,
+    /// Wall-clock seconds from session open to the last completion.
+    pub wall_s: f64,
+    /// Frames admitted by `submit`/`submit_blocking`.
+    pub submitted: u64,
+    /// Frames rejected by backpressure.
+    pub rejected: u64,
+}
+
+impl StreamReport {
+    /// Simulates the *predicted* pipeline under the given workload, for
+    /// side-by-side comparison with [`StreamReport::measured`].
+    #[must_use]
+    pub fn predicted_stats(&self, fps: f64, n_frames: usize) -> StreamStats {
+        simulate_stream(&self.predicted, fps, n_frames)
+    }
+
+    /// The busiest server — the pipeline's measured bottleneck — as
+    /// `(label, utilization)`.
+    #[must_use]
+    pub fn bottleneck(&self) -> Option<(&str, f64)> {
+        self.server_names
+            .iter()
+            .zip(&self.measured.utilization)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite utilization"))
+            .map(|(name, u)| (name.as_str(), *u))
+    }
+
+    /// Utilization of the named server (e.g. `"edge"`), when present.
+    #[must_use]
+    pub fn utilization_of(&self, server: &str) -> Option<f64> {
+        self.server_names
+            .iter()
+            .position(|n| n == server)
+            .map(|i| self.measured.utilization[i])
+    }
+
+    /// One human-readable line per server plus the headline numbers.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "frames: {} ({} rejected) | throughput: {:.1} fps | latency p50/p95/max: \
+             {:.1}/{:.1}/{:.1} ms\n",
+            self.measured.frames,
+            self.rejected,
+            self.measured.throughput_fps,
+            self.measured.p50_latency_s * 1e3,
+            self.measured.p95_latency_s * 1e3,
+            self.measured.max_latency_s * 1e3,
+        );
+        for (name, u) in self.server_names.iter().zip(&self.measured.utilization) {
+            out.push_str(&format!("  {name:>8}: {:5.1}% busy\n", u * 100.0));
+        }
+        out
+    }
+}
+
+/// A live pipelined executor: one worker thread per tier, bounded queues
+/// between them, real tensors end to end.
+///
+/// Obtain one through `D3Runtime::open_stream` (or directly via
+/// [`StreamPipeline::new`]), push frames with
+/// [`submit`](StreamPipeline::submit), pull results with
+/// [`recv`](StreamPipeline::recv), and [`close`](StreamPipeline::close)
+/// to collect the [`StreamReport`]. Results arrive in submission order
+/// (every queue is FIFO and every stage is a single worker).
+pub struct StreamPipeline {
+    input_node: NodeId,
+    input_shape: (usize, usize, usize),
+    tx_in: Option<Sender<FrameMsg>>,
+    rx_out: Receiver<(FrameId, Tensor)>,
+    handles: Vec<JoinHandle<StageMetrics>>,
+    predicted: Vec<StageSpec>,
+    started: Instant,
+    /// Admission instant of the first frame — the wall-clock anchor for
+    /// throughput/utilization, so pre-stream idle time is not billed.
+    first_submit: Mutex<Option<Instant>>,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    delivered: AtomicU64,
+}
+
+impl std::fmt::Debug for StreamPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamPipeline")
+            .field("submitted", &self.submitted.load(Ordering::Relaxed))
+            .field("delivered", &self.delivered.load(Ordering::Relaxed))
+            .field("rejected", &self.rejected.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl StreamPipeline {
+    /// Spins up the three stage workers for `deployment`'s plan over
+    /// `graph` (weights derived from `seed`, edge tiling from `vsm`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamBuildError`] when the plan cannot run as a
+    /// forward pipeline (backwards link, or several graph outputs).
+    pub fn new(
+        graph: Arc<DnnGraph>,
+        seed: u64,
+        deployment: &Deployment,
+        vsm: Option<VsmConfig>,
+        options: StreamOptions,
+    ) -> Result<Self, StreamBuildError> {
+        if options.capacity == 0 {
+            return Err(StreamBuildError::ZeroCapacity);
+        }
+        let outputs = graph.outputs();
+        if outputs.len() != 1 {
+            return Err(StreamBuildError::MultiOutput {
+                outputs: outputs.len(),
+            });
+        }
+        let output_node = outputs[0];
+        let assignment = &deployment.assignment;
+        for node in graph.nodes() {
+            let from = assignment.tier(node.id);
+            for &succ in &node.succs {
+                if !from.precedes_eq(assignment.tier(succ)) {
+                    return Err(StreamBuildError::NonMonotone {
+                        producer: node.id,
+                        consumer: succ,
+                    });
+                }
+            }
+        }
+
+        // Per-stage routing: which payload ids each stage decodes, and
+        // which it forwards for later stages.
+        let members: Vec<Vec<NodeId>> = Tier::ALL.iter().map(|t| assignment.segment(*t)).collect();
+        let mut needed: Vec<HashSet<NodeId>> = vec![HashSet::new(); 3];
+        for (rank, stage_members) in members.iter().enumerate() {
+            for &m in stage_members {
+                for &p in &graph.node(m).preds {
+                    if assignment.tier(p).rank() != rank {
+                        needed[rank].insert(p);
+                    }
+                }
+            }
+        }
+        // The graph input's tensor is always provided externally (it is
+        // the submitted frame), and the final stage must hold the output
+        // tensor even when an earlier tier produced it.
+        needed[assignment.tier(graph.input()).rank()].insert(graph.input());
+        if !members[2].contains(&output_node) {
+            needed[2].insert(output_node);
+        }
+        let forward_ids: Vec<HashSet<NodeId>> = (0..3)
+            .map(|s| needed[s + 1..].iter().flatten().copied().collect())
+            .collect();
+
+        // Channels: submit → device → edge → cloud → results.
+        let (tx_in, rx_dev) = bounded::<FrameMsg>(options.capacity);
+        let (tx_edge, rx_edge) = bounded::<FrameMsg>(options.capacity);
+        let (tx_cloud, rx_cloud) = bounded::<FrameMsg>(options.capacity);
+        let (tx_out, rx_out) = bounded::<(FrameId, Tensor)>(options.capacity);
+
+        let mut handles = Vec::with_capacity(3);
+        let receivers = [rx_dev, rx_edge, rx_cloud];
+        let mut senders = [Some(tx_edge), Some(tx_cloud), None::<Sender<FrameMsg>>];
+        let mut tx_out = Some(tx_out);
+        for (rank, (rx, stage_members)) in receivers.into_iter().zip(members.iter()).enumerate() {
+            let tier = Tier::ALL[rank];
+            let prebuilt =
+                |graph: &Arc<DnnGraph>| SegmentExecutor::new(graph.clone(), seed, stage_members);
+            let exec = match (tier, vsm) {
+                (Tier::Edge, Some(cfg)) => {
+                    let runs = find_tileable_runs(&graph, stage_members, cfg.min_run_len);
+                    if runs.is_empty() {
+                        StageExec::Prebuilt(prebuilt(&graph))
+                    } else {
+                        StageExec::Vsm(VsmStage::new(graph.clone(), seed, stage_members, cfg, runs))
+                    }
+                }
+                _ => StageExec::Prebuilt(prebuilt(&graph)),
+            };
+            let ctx = StageCtx {
+                exec,
+                needed: needed[rank].clone(),
+                forward_ids: forward_ids[rank].clone(),
+                output_node,
+                is_last: rank == 2,
+            };
+            let tx_next = senders[rank].take();
+            // Only the final stage sends results: that way rx_out
+            // disconnects — and recv() panics instead of hanging — as
+            // soon as a worker dies anywhere in the chain (a death
+            // cascades downstream through dropped channel ends).
+            let tx_results = if rank == 2 { tx_out.take() } else { None };
+            handles.push(std::thread::spawn(move || {
+                stage_worker(ctx, rx, tx_next, tx_results)
+            }));
+        }
+
+        let shape = graph.input_shape();
+        Ok(Self {
+            input_node: graph.input(),
+            input_shape: (shape.c, shape.h, shape.w),
+            tx_in: Some(tx_in),
+            rx_out,
+            handles,
+            predicted: deployment.stages.clone(),
+            started: Instant::now(),
+            first_submit: Mutex::new(None),
+            next_id: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+        })
+    }
+
+    fn encode_frame(&self, input: &Tensor) -> Result<FrameMsg, SubmitError> {
+        let got = input.shape3();
+        let got = (got.c, got.h, got.w);
+        if got != self.input_shape {
+            return Err(SubmitError::ShapeMismatch {
+                expected: self.input_shape,
+                got,
+            });
+        }
+        Ok(FrameMsg {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            submitted_at: Instant::now(),
+            payload: vec![(self.input_node, wire::encode(input))],
+        })
+    }
+
+    /// Admits one frame without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Backpressure`] when the ingress queue is full, or
+    /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a stage worker died (a partitioning bug).
+    pub fn submit(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
+        let msg = self.encode_frame(input)?;
+        let id = FrameId(msg.id);
+        let admitted_at = msg.submitted_at;
+        let tx = self.tx_in.as_ref().expect("pipeline closed");
+        match tx.try_send(msg) {
+            Ok(()) => {
+                // The increment is submit's linearization point (see
+                // pending()); it deliberately happens only for frames
+                // that actually entered the pipeline, so the in-flight
+                // accounting can never over-claim and strand a recv().
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                self.record_first_submit(admitted_at);
+                Ok(id)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Backpressure)
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("stage worker died"),
+        }
+    }
+
+    /// Admits one frame, blocking while the ingress queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a stage worker died (a partitioning bug).
+    pub fn submit_blocking(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
+        let msg = self.encode_frame(input)?;
+        let id = FrameId(msg.id);
+        let admitted_at = msg.submitted_at;
+        let tx = self.tx_in.as_ref().expect("pipeline closed");
+        tx.send(msg).unwrap_or_else(|_| panic!("stage worker died"));
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.record_first_submit(admitted_at);
+        Ok(id)
+    }
+
+    fn record_first_submit(&self, at: Instant) {
+        let mut first = self.first_submit.lock().expect("first_submit poisoned");
+        if first.is_none() {
+            *first = Some(at);
+        }
+    }
+
+    /// Waits for the next completed frame, in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamRecvError::NoFramesInFlight`] when every admitted frame
+    /// was already received (a blocking wait would never return).
+    pub fn recv(&self) -> Result<(FrameId, Tensor), StreamRecvError> {
+        if self.pending() == 0 {
+            return Err(StreamRecvError::NoFramesInFlight);
+        }
+        let frame = self.rx_out.recv().expect("stage worker died");
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        Ok(frame)
+    }
+
+    /// Returns the next completed frame if one is ready.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<(FrameId, Tensor)> {
+        let frame = self.rx_out.try_recv().ok()?;
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        Some(frame)
+    }
+
+    /// Frames admitted but not yet received by the caller.
+    ///
+    /// Saturating: a very fast pipeline can deliver a frame to a
+    /// concurrently draining thread before the submitting thread's
+    /// counter increment lands, making `delivered` transiently exceed
+    /// `submitted`. Reporting 0 in that window is sound — the submit has
+    /// not linearized yet — and it can only make [`recv`](Self::recv)
+    /// conservatively return [`StreamRecvError::NoFramesInFlight`],
+    /// never block on a frame that is not coming.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.submitted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.delivered.load(Ordering::Relaxed))
+    }
+
+    /// Frames admitted so far.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Frames rejected by backpressure so far.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stops admissions, drains every in-flight frame, joins the stage
+    /// workers and reports the measured stream statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a stage worker panicked.
+    #[must_use]
+    pub fn close(mut self) -> StreamReport {
+        drop(self.tx_in.take()); // stop admissions; workers drain and exit
+        while self.rx_out.recv().is_ok() {} // unread frames are dropped
+        let metrics: Vec<StageMetrics> = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("stage worker panicked"))
+            .collect();
+
+        // Anchor the wall clock at the first admission (like the
+        // per-frame latencies), so idle time between session open and
+        // the stream's start does not dilute throughput/utilization.
+        let anchor = self
+            .first_submit
+            .lock()
+            .expect("first_submit poisoned")
+            .unwrap_or(self.started);
+        let last_done = metrics[2].last_done.unwrap_or(anchor);
+        let wall = (last_done - anchor).as_secs_f64().max(f64::MIN_POSITIVE);
+        let mut latencies = metrics[2].latencies_s.clone();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let frames = latencies.len();
+        // Interleaved servers, matching the simulator: stage, link, ….
+        // Ingress decode counts toward the device stage (same thread as
+        // its compute, so their sum never exceeds the wall clock). A
+        // link's two halves — producer encode, consumer decode — run on
+        // *different* threads and can overlap across frames, so summing
+        // them could exceed the wall clock; the slower half bounds the
+        // link's sustainable rate and is reported as its busy time.
+        let link = |enc: f64, dec: f64| enc.max(dec);
+        let busy_s = vec![
+            metrics[0].compute_s + metrics[0].decode_s,
+            link(metrics[0].encode_s, metrics[1].decode_s),
+            metrics[1].compute_s,
+            link(metrics[1].encode_s, metrics[2].decode_s),
+            metrics[2].compute_s,
+        ];
+        let measured = StreamStats {
+            frames,
+            mean_latency_s: if frames == 0 {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / frames as f64
+            },
+            max_latency_s: latencies.last().copied().unwrap_or(0.0),
+            p50_latency_s: percentile(&latencies, 0.50),
+            p95_latency_s: percentile(&latencies, 0.95),
+            throughput_fps: frames as f64 / wall,
+            utilization: busy_s.iter().map(|b| b / wall).collect(),
+        };
+        let server_names = vec![
+            "device".into(),
+            "device→".into(),
+            "edge".into(),
+            "edge→".into(),
+            "cloud".into(),
+        ];
+        StreamReport {
+            measured,
+            predicted: self.predicted.clone(),
+            server_names,
+            busy_s,
+            wall_s: wall,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One stage's event loop: decode needed inputs, run the segment,
+/// forward crossing tensors (or deliver the output), account busy time.
+fn stage_worker(
+    ctx: StageCtx,
+    rx: Receiver<FrameMsg>,
+    tx_next: Option<Sender<FrameMsg>>,
+    tx_results: Option<Sender<(FrameId, Tensor)>>,
+) -> StageMetrics {
+    match &ctx.exec {
+        StageExec::Prebuilt(seg) => pump(&ctx, rx, tx_next, tx_results, |b| seg.run(b)),
+        StageExec::Vsm(stage) => pump(&ctx, rx, tx_next, tx_results, |b| stage.run(b)),
+    }
+}
+
+fn pump<F>(
+    ctx: &StageCtx,
+    rx: Receiver<FrameMsg>,
+    tx_next: Option<Sender<FrameMsg>>,
+    tx_results: Option<Sender<(FrameId, Tensor)>>,
+    run: F,
+) -> StageMetrics
+where
+    F: Fn(HashMap<NodeId, Tensor>) -> HashMap<NodeId, Tensor>,
+{
+    let mut m = StageMetrics::default();
+    while let Ok(FrameMsg {
+        id,
+        submitted_at,
+        payload,
+    }) = rx.recv()
+    {
+        let t0 = Instant::now();
+        let mut boundary: HashMap<NodeId, Tensor> = HashMap::new();
+        let mut forward: Vec<(NodeId, Bytes)> = Vec::new();
+        for (nid, bytes) in payload {
+            if ctx.needed.contains(&nid) {
+                let tensor = wire::decode(bytes.clone()).expect("corrupt frame");
+                boundary.insert(nid, tensor);
+            }
+            if ctx.forward_ids.contains(&nid) {
+                forward.push((nid, bytes));
+            }
+        }
+        // An output produced upstream arrives via payload; pull it out
+        // before the segment consumes the boundary (the output vertex
+        // has no successors, so no member needs it as an input).
+        let payload_output = if ctx.is_last {
+            boundary.remove(&ctx.output_node)
+        } else {
+            None
+        };
+        m.decode_s += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mut outputs = run(boundary);
+        m.compute_s += t1.elapsed().as_secs_f64();
+
+        if ctx.is_last {
+            let out_tensor = outputs
+                .remove(&ctx.output_node)
+                .or(payload_output)
+                .expect("output tensor unavailable at final stage");
+            m.latencies_s.push(submitted_at.elapsed().as_secs_f64());
+            m.last_done = Some(Instant::now());
+            let results = tx_results.as_ref().expect("final stage sends results");
+            if results.send((FrameId(id), out_tensor)).is_err() {
+                break; // session dropped; stop quietly
+            }
+        } else {
+            let t2 = Instant::now();
+            for (nid, tensor) in &outputs {
+                // Skip ids already travelling in wire form (e.g. a raw
+                // input this stage merely re-exposes).
+                if ctx.forward_ids.contains(nid) && forward.iter().all(|(f, _)| f != nid) {
+                    forward.push((*nid, wire::encode(tensor)));
+                }
+            }
+            m.encode_s += t2.elapsed().as_secs_f64();
+            let next = tx_next.as_ref().expect("non-final stage has a successor");
+            if next
+                .send(FrameMsg {
+                    id,
+                    submitted_at,
+                    payload: forward,
+                })
+                .is_err()
+            {
+                break; // downstream worker gone with the session
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_partition::{Assignment, Partitioner, Problem};
+    use d3_simnet::{NetworkCondition, TierProfiles};
+    use d3_tensor::max_abs_diff;
+
+    fn pipeline_for(
+        g: &Arc<DnnGraph>,
+        seed: u64,
+        vsm: Option<VsmConfig>,
+        options: StreamOptions,
+    ) -> StreamPipeline {
+        let problem = Problem::new(
+            g.clone(),
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::WiFi,
+        );
+        let forced = d3_partition::EvenSplit.partition(&problem).unwrap();
+        let deployment = Deployment::new(&problem, forced, vsm);
+        StreamPipeline::new(g.clone(), seed, &deployment, vsm, options).unwrap()
+    }
+
+    #[test]
+    fn streamed_frames_match_one_shot_inference() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let pipeline = pipeline_for(&g, 3, None, StreamOptions::new());
+        let exec = Executor::new(&g, 3);
+        for k in 0..5u64 {
+            let input = Tensor::random(3, 16, 16, 100 + k);
+            let id = pipeline.submit_blocking(&input).unwrap();
+            let (got_id, got) = pipeline.recv().unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(max_abs_diff(&got, &exec.run(&input)), Some(0.0));
+        }
+        let report = pipeline.close();
+        assert_eq!(report.measured.frames, 5);
+        assert_eq!(report.submitted, 5);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.measured.utilization.len(), 5);
+    }
+
+    #[test]
+    fn vsm_edge_stage_stays_lossless() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let vsm = Some(VsmConfig::default());
+        let pipeline = pipeline_for(&g, 1, vsm, StreamOptions::new());
+        let exec = Executor::new(&g, 1);
+        let input = Tensor::random(3, 16, 16, 9);
+        pipeline.submit_blocking(&input).unwrap();
+        let (_, got) = pipeline.recv().unwrap();
+        assert_eq!(max_abs_diff(&got, &exec.run(&input)), Some(0.0));
+        let _ = pipeline.close();
+    }
+
+    #[test]
+    fn backpressure_rejects_when_saturated() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 32));
+        let pipeline = pipeline_for(&g, 7, None, StreamOptions::new().capacity(1));
+        let input = Tensor::random(3, 32, 32, 5);
+        // Flood without draining: the bounded ingress queue must reject
+        // eventually instead of buffering arbitrarily.
+        let mut saw_backpressure = false;
+        for _ in 0..200 {
+            match pipeline.submit(&input) {
+                Ok(_) => {}
+                Err(SubmitError::Backpressure) => {
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(saw_backpressure, "ingress queue never filled");
+        let report = pipeline.close();
+        assert!(report.rejected >= 1);
+        // Every admitted frame still completed during close's drain.
+        assert_eq!(report.measured.frames as u64, report.submitted);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_without_admission() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(&g, 2, None, StreamOptions::new());
+        let wrong = Tensor::random(3, 8, 8, 1);
+        assert!(matches!(
+            pipeline.submit(&wrong),
+            Err(SubmitError::ShapeMismatch { .. })
+        ));
+        assert_eq!(pipeline.submitted(), 0);
+        assert!(matches!(
+            pipeline.recv(),
+            Err(StreamRecvError::NoFramesInFlight)
+        ));
+        let _ = pipeline.close();
+    }
+
+    #[test]
+    fn recv_without_submissions_never_blocks() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(&g, 2, None, StreamOptions::new());
+        assert!(matches!(
+            pipeline.recv(),
+            Err(StreamRecvError::NoFramesInFlight)
+        ));
+        assert!(pipeline.try_recv().is_none());
+        let report = pipeline.close();
+        assert_eq!(report.measured.frames, 0);
+        assert_eq!(report.measured.throughput_fps, 0.0);
+    }
+
+    #[test]
+    fn non_monotone_plans_are_rejected() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let n = g.len();
+        let mut tiers = vec![Tier::Cloud; n];
+        tiers[0] = Tier::Device;
+        tiers[n - 1] = Tier::Device; // consumer upstream of its producer
+        let problem = Problem::new(
+            g.clone(),
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::WiFi,
+        );
+        let deployment = Deployment::new(&problem, Assignment::new(tiers), None);
+        let err =
+            StreamPipeline::new(g.clone(), 1, &deployment, None, StreamOptions::new()).unwrap_err();
+        assert!(matches!(err, StreamBuildError::NonMonotone { .. }));
+    }
+
+    #[test]
+    fn uniform_cloud_plan_streams_through_empty_stages() {
+        // All real layers on the cloud: device and edge stages are empty
+        // pass-throughs, and the raw input must reach the cloud stage.
+        let g = Arc::new(d3_model::zoo::tiny_cnn(16));
+        let problem = Problem::new(
+            g.clone(),
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::WiFi,
+        );
+        let assignment = Assignment::uniform(g.len(), Tier::Cloud);
+        let deployment = Deployment::new(&problem, assignment, None);
+        let pipeline =
+            StreamPipeline::new(g.clone(), 4, &deployment, None, StreamOptions::new()).unwrap();
+        let input = Tensor::random(3, 16, 16, 2);
+        pipeline.submit_blocking(&input).unwrap();
+        let (_, got) = pipeline.recv().unwrap();
+        let expect = Executor::new(&g, 4).run(&input);
+        assert_eq!(max_abs_diff(&got, &expect), Some(0.0));
+        let _ = pipeline.close();
+    }
+}

@@ -10,7 +10,10 @@
 //!   tensors, produce the tensors that cross to the next tier,
 //! - per-vertex operator construction ([`Executor::build_op`]) so the
 //!   vertical separation module can execute conv stacks tile-by-tile with
-//!   the *same* weights, making losslessness checks meaningful.
+//!   the *same* weights, making losslessness checks meaningful,
+//! - an owned, cheaply cloneable [`SegmentExecutor`] that materializes a
+//!   segment's weights **once** and can then move into long-lived worker
+//!   threads — the per-stage engine of the streaming serving pipeline.
 
 use crate::graph::{DnnGraph, NodeId};
 use crate::layer::{Activation, LayerKind};
@@ -20,6 +23,7 @@ use d3_tensor::ops::{
 };
 use d3_tensor::Tensor;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A materialized operator for one vertex.
 #[derive(Debug, Clone)]
@@ -234,7 +238,6 @@ impl<'g> Executor<'g> {
         members: &[NodeId],
         boundary: &HashMap<NodeId, Tensor>,
     ) -> HashMap<NodeId, Tensor> {
-        let member_set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
         let mut values: HashMap<NodeId, Tensor> = boundary.clone();
         let mut sorted: Vec<NodeId> = members.to_vec();
         sorted.sort(); // ids are topological
@@ -259,19 +262,139 @@ impl<'g> Executor<'g> {
             debug_assert_eq!(out.shape3(), node.shape, "shape inference mismatch at {id}");
             values.insert(id, out);
         }
-        // Keep only tensors that must leave the segment.
-        let mut result = HashMap::new();
-        for &id in &sorted {
-            let node = self.graph.node(id);
-            let needed_outside =
-                node.succs.is_empty() || node.succs.iter().any(|s| !member_set.contains(s));
-            if needed_outside {
-                if let Some(t) = values.get(&id) {
-                    result.insert(id, t.clone());
-                }
+        crossing_tensors(self.graph, &sorted, &values)
+    }
+}
+
+/// Filters `values` down to the tensors that must leave the segment:
+/// every member with a successor outside `members`, plus graph outputs —
+/// exactly the data a computing tier transmits onward. Shared by every
+/// segment executor (borrowed, owned, and the streaming VSM stage) so
+/// the crossing rule lives in one place.
+pub fn crossing_tensors(
+    graph: &DnnGraph,
+    members: &[NodeId],
+    values: &HashMap<NodeId, Tensor>,
+) -> HashMap<NodeId, Tensor> {
+    let member_set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+    let mut result = HashMap::new();
+    for &id in members {
+        let node = graph.node(id);
+        let needed_outside =
+            node.succs.is_empty() || node.succs.iter().any(|s| !member_set.contains(s));
+        if needed_outside {
+            if let Some(t) = values.get(&id) {
+                result.insert(id, t.clone());
             }
         }
-        result
+    }
+    result
+}
+
+/// An owned executor for one tier's segment of the graph.
+///
+/// [`Executor`] borrows its graph and rebuilds weights on every
+/// [`build_op`](Executor::build_op) call — fine for one-shot inference,
+/// wasteful for a pipeline stage serving thousands of frames. A
+/// `SegmentExecutor` owns the graph through an [`Arc`] and materializes
+/// every member's operator (weights included) **once** at construction,
+/// so it is `Send + Sync + 'static`, cheap to clone per worker, and its
+/// per-frame cost is pure tensor arithmetic.
+///
+/// Operators are seeded exactly like [`Executor::build_op`], so outputs
+/// stay bit-identical to whole-network single-node inference.
+#[derive(Clone)]
+pub struct SegmentExecutor {
+    graph: Arc<DnnGraph>,
+    seed: u64,
+    /// Segment members, ascending (ids are topological).
+    members: Vec<NodeId>,
+    ops: HashMap<NodeId, LayerOp>,
+}
+
+impl std::fmt::Debug for SegmentExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentExecutor")
+            .field("graph", &self.graph.name())
+            .field("members", &self.members.len())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl SegmentExecutor {
+    /// Materializes the operators (and weights) for `members` of `graph`.
+    pub fn new(graph: Arc<DnnGraph>, seed: u64, members: &[NodeId]) -> Self {
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let borrowed = Executor::new(&graph, seed);
+        let ops = sorted
+            .iter()
+            .map(|&id| (id, borrowed.build_op(id)))
+            .collect();
+        Self {
+            graph,
+            seed,
+            members: sorted,
+            ops,
+        }
+    }
+
+    /// The graph this segment belongs to.
+    pub fn graph(&self) -> &Arc<DnnGraph> {
+        &self.graph
+    }
+
+    /// The weight seed (matches the whole-network executor's).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The segment members, ascending.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Executes the segment with prebuilt operators; same contract as
+    /// [`Executor::run_segment`]: `boundary` provides the tensors of
+    /// vertices outside the segment (or already-computed members such as
+    /// `v0`), and the result maps every member whose output is needed
+    /// outside the segment (crossing tensors plus graph outputs).
+    ///
+    /// Takes `boundary` by value — this runs per frame on the streaming
+    /// hot path, where cloning every crossing tensor again would be pure
+    /// wasted memory traffic; callers that reuse a boundary clone at the
+    /// call site.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a required predecessor tensor is neither computable
+    /// nor provided.
+    pub fn run(&self, boundary: HashMap<NodeId, Tensor>) -> HashMap<NodeId, Tensor> {
+        let mut values = boundary;
+        for &id in &self.members {
+            if values.contains_key(&id) {
+                continue; // provided as boundary (e.g. v0)
+            }
+            let node = self.graph.node(id);
+            let inputs: Vec<&Tensor> = node
+                .preds
+                .iter()
+                .map(|p| {
+                    values.get(p).unwrap_or_else(|| {
+                        panic!(
+                            "segment execution of {} (`{}`) missing predecessor {}",
+                            id, node.name, p
+                        )
+                    })
+                })
+                .collect();
+            let out = self.ops[&id].apply(&inputs);
+            debug_assert_eq!(out.shape3(), node.shape, "shape inference mismatch at {id}");
+            values.insert(id, out);
+        }
+        crossing_tensors(&self.graph, &self.members, &values)
     }
 }
 
@@ -394,5 +517,53 @@ mod tests {
     fn wrong_input_shape_panics() {
         let g = small_net();
         Executor::new(&g, 42).run(&Tensor::zeros(3, 9, 9));
+    }
+
+    #[test]
+    fn segment_executor_matches_borrowed_executor() {
+        let g = Arc::new(small_net());
+        let exec = Executor::new(&g, 42);
+        let input = Tensor::random(3, 8, 8, 11);
+        let mut boundary = HashMap::new();
+        boundary.insert(g.input(), input.clone());
+
+        let seg1: Vec<NodeId> = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let seg2: Vec<NodeId> = (3..g.len()).map(NodeId).collect();
+        let cross_ref = exec.run_segment(&seg1, &boundary);
+
+        let owned1 = SegmentExecutor::new(g.clone(), 42, &seg1);
+        let cross = owned1.run(boundary.clone());
+        assert_eq!(cross.len(), cross_ref.len());
+        for (id, t) in &cross_ref {
+            assert_eq!(max_abs_diff(&cross[id], t), Some(0.0), "diverged at {id}");
+        }
+
+        let owned2 = SegmentExecutor::new(g.clone(), 42, &seg2);
+        let out = owned2.run(cross.clone());
+        let whole = exec.run(&input);
+        let final_out = out.get(&NodeId(g.len() - 1)).unwrap();
+        assert_eq!(max_abs_diff(final_out, &whole), Some(0.0));
+    }
+
+    #[test]
+    fn segment_executor_is_send_sync_and_cloneable() {
+        fn assert_send_sync<T: Send + Sync + Clone + 'static>() {}
+        assert_send_sync::<SegmentExecutor>();
+        let g = Arc::new(small_net());
+        let members: Vec<NodeId> = g.ids().collect();
+        let owned = SegmentExecutor::new(g, 42, &members);
+        let clone = owned.clone();
+        // Clones share the graph and run independently across threads.
+        let input = Tensor::random(3, 8, 8, 2);
+        let mut boundary = HashMap::new();
+        boundary.insert(clone.graph().input(), input.clone());
+        let handle = std::thread::spawn(move || clone.run(boundary));
+        let mut boundary2 = HashMap::new();
+        boundary2.insert(owned.graph().input(), input);
+        let here = owned.run(boundary2);
+        let there = handle.join().unwrap();
+        for (id, t) in &here {
+            assert_eq!(max_abs_diff(&there[id], t), Some(0.0));
+        }
     }
 }

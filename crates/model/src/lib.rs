@@ -7,7 +7,9 @@
 //! - [`graph`]: the DAG `G = (V, L)` of the paper's system model (§III-C),
 //!   including the longest-distance layering `Z_q` that drives HPA,
 //! - [`exec`]: a reference executor with deterministic pseudo-trained
-//!   weights, able to run whole networks and HPA *segments*,
+//!   weights, able to run whole networks and HPA *segments*, plus the
+//!   owned [`SegmentExecutor`] that prebuilds a segment's weights for
+//!   long-lived pipeline-stage workers,
 //! - [`zoo`]: the five evaluation networks — AlexNet, VGG-16, ResNet-18,
 //!   Darknet-53 and Inception-v4 — plus synthetic test graphs.
 //!
@@ -30,6 +32,6 @@ pub mod graph;
 pub mod layer;
 pub mod zoo;
 
-pub use exec::{Executor, LayerOp};
+pub use exec::{crossing_tensors, Executor, LayerOp, SegmentExecutor};
 pub use graph::{DnnGraph, GraphError, Node, NodeId};
 pub use layer::{Activation, LayerKind};

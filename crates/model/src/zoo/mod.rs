@@ -20,7 +20,7 @@ pub use darknet::darknet53;
 pub use inception::{inception_grid_module, inception_v4};
 pub use mobilenet::mobilenet_v1;
 pub use resnet::resnet18;
-pub use synthetic::{chain_cnn, diamond_net, random_dag, tiny_cnn};
+pub use synthetic::{chain_cnn, conv_mlp, diamond_net, random_dag, tiny_cnn};
 pub use vgg::vgg16;
 
 use crate::graph::{DnnGraph, NodeId};

@@ -37,6 +37,44 @@ pub fn chain_cnn(n_convs: usize, ch: usize, hw: usize) -> DnnGraph {
     g
 }
 
+/// A conv front-end with a wide MLP head — the weight-heavy
+/// classifier-tail shape of AlexNet/VGG in miniature. Used by streaming
+/// benchmarks: per-frame weight rebuilding dominates one-shot execution
+/// of this graph, so executors that prebuild weights (sessions, pipeline
+/// stages) show their advantage clearly.
+pub fn conv_mlp(hw: usize) -> DnnGraph {
+    let mut g = DnnGraph::new("conv_mlp", Shape3::new(3, hw, hw));
+    let c = g.chain("conv1", conv_kind(3, 16, 3, 1, 1), g.input());
+    let d1 = g.chain(
+        "fc1",
+        LayerKind::Dense {
+            in_dim: 16 * hw * hw,
+            out_dim: 4096,
+            activation: Activation::Relu,
+        },
+        c,
+    );
+    let d2 = g.chain(
+        "fc2",
+        LayerKind::Dense {
+            in_dim: 4096,
+            out_dim: 4096,
+            activation: Activation::Relu,
+        },
+        d1,
+    );
+    g.chain(
+        "fc3",
+        LayerKind::Dense {
+            in_dim: 4096,
+            out_dim: 10,
+            activation: Activation::None,
+        },
+        d2,
+    );
+    g
+}
+
 /// A diamond DAG: one conv fans out to two branches that re-join with an
 /// elementwise add. The smallest non-chain topology.
 pub fn diamond_net(hw: usize) -> DnnGraph {

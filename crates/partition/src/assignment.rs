@@ -147,8 +147,6 @@ impl Assignment {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy shims stay covered until removal
-
     use super::*;
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};

@@ -29,19 +29,9 @@ use crate::maxflow::FlowNetwork;
 use crate::{Assignment, Problem};
 use d3_simnet::Tier;
 
-/// Runs DADS: optimal edge/cloud partition of an arbitrary DAG via
-/// min-cut.
-///
-/// Thin shim over the [`Dads`](crate::Dads) partitioner, kept for
-/// source compatibility.
-#[deprecated(since = "0.2.0", note = "use `Dads.partition(problem)` instead")]
-pub fn dads(problem: &Problem) -> Assignment {
-    solve(problem)
-}
-
-/// DADS implementation shared by the [`Dads`](crate::Dads) partitioner
-/// and the legacy [`dads`] shim. `v0` stays at the device (data source);
-/// every real layer is assigned to the edge or the cloud.
+/// DADS implementation behind the [`Dads`](crate::Dads) partitioner.
+/// `v0` stays at the device (data source); every real layer is assigned
+/// to the edge or the cloud.
 pub(crate) fn solve(problem: &Problem) -> Assignment {
     two_tier_mincut(problem, Tier::Edge)
 }
@@ -102,10 +92,8 @@ pub fn two_tier_mincut(problem: &Problem, lan_tier: Tier) -> Assignment {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy shims stay covered until removal
-
     use super::*;
-    use crate::exhaustive::exhaustive_optimal;
+    use crate::exhaustive::solve as exhaustive;
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};
 
@@ -117,7 +105,7 @@ mod tests {
     fn uses_only_edge_and_cloud() {
         let g = zoo::resnet18(224);
         let p = problem(&g, NetworkCondition::WiFi);
-        let a = dads(&p);
+        let a = solve(&p);
         for id in g.layer_ids() {
             assert_ne!(a.tier(id), Tier::Device);
         }
@@ -132,8 +120,8 @@ mod tests {
                 continue;
             }
             let p = problem(&g, NetworkCondition::WiFi);
-            let a = dads(&p);
-            let best = exhaustive_optimal(&p, &[Tier::Edge, Tier::Cloud], false);
+            let a = solve(&p);
+            let best = exhaustive(&p, &[Tier::Edge, Tier::Cloud], false).unwrap();
             let (got, want) = (a.total_latency(&p), best.total_latency(&p));
             assert!(
                 (got - want).abs() <= 1e-9 + want * 1e-9,
@@ -147,8 +135,8 @@ mod tests {
         let g = zoo::chain_cnn(6, 8, 16);
         for net in NetworkCondition::TABLE3 {
             let p = problem(&g, net);
-            let a = dads(&p);
-            let best = exhaustive_optimal(&p, &[Tier::Edge, Tier::Cloud], false);
+            let a = solve(&p);
+            let best = exhaustive(&p, &[Tier::Edge, Tier::Cloud], false).unwrap();
             assert!(
                 (a.total_latency(&p) - best.total_latency(&p)).abs() < 1e-9,
                 "{net}"
@@ -160,7 +148,7 @@ mod tests {
     fn handles_all_zoo_models() {
         for g in zoo::all_models(224) {
             let p = problem(&g, NetworkCondition::WiFi);
-            let a = dads(&p);
+            let a = solve(&p);
             assert_eq!(a.len(), g.len());
         }
     }
@@ -170,7 +158,13 @@ mod tests {
         let g = zoo::vgg16(224);
         let fast = problem(&g, NetworkCondition::custom_backbone(200.0));
         let slow = problem(&g, NetworkCondition::custom_backbone(5.0));
-        let edge_count = |p: &Problem| dads(p).tiers().iter().filter(|t| **t == Tier::Edge).count();
+        let edge_count = |p: &Problem| {
+            solve(p)
+                .tiers()
+                .iter()
+                .filter(|t| **t == Tier::Edge)
+                .count()
+        };
         assert!(edge_count(&slow) >= edge_count(&fast));
     }
 }

@@ -168,10 +168,8 @@ fn sis_of(g: &d3_model::DnnGraph, vi: NodeId, layer: &[NodeId]) -> Vec<NodeId> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy shims stay covered until removal
-
     use super::*;
-    use crate::hpa::hpa;
+    use crate::hpa::solve as hpa;
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};
 

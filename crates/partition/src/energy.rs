@@ -113,11 +113,9 @@ pub fn neurosurgeon_energy(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy shims stay covered until removal
-
     use super::*;
-    use crate::hpa::{hpa, HpaOptions};
-    use crate::neurosurgeon;
+    use crate::hpa::{solve as hpa, HpaOptions};
+    use crate::neurosurgeon::solve as neurosurgeon;
     use d3_model::zoo;
     use d3_simnet::NetworkCondition;
 

@@ -13,34 +13,9 @@ use d3_simnet::Tier;
 /// the tests should ever chew through.
 pub const MAX_EXHAUSTIVE_VERTICES: usize = 16;
 
-/// Finds the minimum-Θ assignment by enumerating every tier assignment.
-///
-/// Thin shim over the [`ExhaustiveOracle`](crate::ExhaustiveOracle)
-/// partitioner, kept for source compatibility (including its panicking
-/// contract).
-///
-/// # Panics
-///
-/// Panics when the graph has more than [`MAX_EXHAUSTIVE_VERTICES`] real
-/// layers or `allowed` is empty.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ExhaustiveOracle { allowed, monotone_only }.partition(problem)` instead"
-)]
-pub fn exhaustive_optimal(problem: &Problem, allowed: &[Tier], monotone_only: bool) -> Assignment {
-    match solve(problem, allowed, monotone_only) {
-        Ok(assignment) => assignment,
-        Err(PartitionError::EmptyTierSet) => panic!("allowed tier set is empty"),
-        Err(PartitionError::TooLarge { layers, .. }) => {
-            panic!("graph too large for exhaustive search ({layers} layers)")
-        }
-        Err(e) => panic!("exhaustive search failed: {e}"),
-    }
-}
-
-/// Oracle implementation shared by the
-/// [`ExhaustiveOracle`](crate::ExhaustiveOracle) partitioner and the
-/// legacy [`exhaustive_optimal`] shim: enumerates every tier assignment
+/// Oracle implementation behind the
+/// [`ExhaustiveOracle`](crate::ExhaustiveOracle) partitioner:
+/// enumerates every tier assignment
 /// of the real layers over `allowed` tiers. With `monotone_only`, only
 /// assignments obeying Proposition 1 (pipeline-forward data flow) are
 /// considered — the space HPA searches.
@@ -84,10 +59,8 @@ pub(crate) fn solve(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy shims stay covered until removal
-
     use super::*;
-    use crate::hpa::{hpa, HpaOptions};
+    use crate::hpa::{solve as hpa, HpaOptions};
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};
 
@@ -101,7 +74,7 @@ mod tests {
         let g = zoo::chain_cnn(4, 8, 8);
         let zeros = vec![[0.0; 3]; g.len()];
         let p = Problem::from_weights(&g, zeros, NetworkCondition::WiFi);
-        let a = exhaustive_optimal(&p, &Tier::ALL, false);
+        let a = solve(&p, &Tier::ALL, false).unwrap();
         for id in g.layer_ids() {
             assert_eq!(a.tier(id), Tier::Device);
         }
@@ -115,8 +88,8 @@ mod tests {
                 continue;
             }
             let p = problem(&g, NetworkCondition::WiFi);
-            let free = exhaustive_optimal(&p, &Tier::ALL, false).total_latency(&p);
-            let mono = exhaustive_optimal(&p, &Tier::ALL, true).total_latency(&p);
+            let free = solve(&p, &Tier::ALL, false).unwrap().total_latency(&p);
+            let mono = solve(&p, &Tier::ALL, true).unwrap().total_latency(&p);
             assert!(mono + 1e-12 >= free);
         }
     }
@@ -134,7 +107,7 @@ mod tests {
             for net in [NetworkCondition::WiFi, NetworkCondition::FourG] {
                 let p = problem(&g, net);
                 let h = hpa(&p, &HpaOptions::paper()).total_latency(&p);
-                let opt = exhaustive_optimal(&p, &Tier::ALL, true).total_latency(&p);
+                let opt = solve(&p, &Tier::ALL, true).unwrap().total_latency(&p);
                 worst = worst.max(h / opt);
             }
         }
@@ -146,15 +119,17 @@ mod tests {
         let g = zoo::chain_cnn(5, 4, 8);
         let p = problem(&g, NetworkCondition::WiFi);
         let h = hpa(&p, &HpaOptions::paper()).total_latency(&p);
-        let opt = exhaustive_optimal(&p, &Tier::ALL, true).total_latency(&p);
+        let opt = solve(&p, &Tier::ALL, true).unwrap().total_latency(&p);
         assert!(h <= opt * 1.25, "HPA {h} vs optimum {opt}");
     }
 
     #[test]
-    #[should_panic(expected = "too large")]
     fn refuses_big_graphs() {
         let g = zoo::vgg16(224);
         let p = problem(&g, NetworkCondition::WiFi);
-        exhaustive_optimal(&p, &Tier::ALL, false);
+        assert!(matches!(
+            solve(&p, &Tier::ALL, false),
+            Err(PartitionError::TooLarge { .. })
+        ));
     }
 }

@@ -89,20 +89,7 @@ impl HpaOptions {
     }
 }
 
-/// Runs HPA, producing a tier assignment for every vertex.
-///
-/// Thin shim over the [`Hpa`](crate::Hpa) partitioner, kept for source
-/// compatibility.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Hpa(options).partition(problem)` instead"
-)]
-pub fn hpa(problem: &Problem, opts: &HpaOptions) -> Assignment {
-    solve(problem, opts)
-}
-
-/// HPA implementation shared by the [`Hpa`](crate::Hpa) partitioner and
-/// the legacy [`hpa`] shim.
+/// HPA implementation behind the [`Hpa`](crate::Hpa) partitioner.
 ///
 /// With the (default) cut search enabled, the result is the best of:
 /// the Algorithm 1 greedy sweep, every contiguous depth cut (Fig. 2's
@@ -346,8 +333,6 @@ pub(crate) fn sis_update(problem: &Problem, zq: &[NodeId], tiers: &mut [Tier]) {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy shims stay covered until removal
-
     use super::*;
     use d3_model::zoo;
     use d3_model::{DnnGraph, LayerKind};
@@ -361,7 +346,7 @@ mod tests {
     fn assignment_is_monotone_on_all_models() {
         for g in zoo::all_models(224) {
             let p = problem(&g, NetworkCondition::WiFi);
-            let a = hpa(&p, &HpaOptions::paper());
+            let a = solve(&p, &HpaOptions::paper());
             assert!(a.is_monotone(&p), "{} violates Prop 1", g.name());
         }
     }
@@ -371,7 +356,7 @@ mod tests {
         for g in zoo::all_models(224) {
             for net in NetworkCondition::TABLE3 {
                 let p = problem(&g, net);
-                let a = hpa(&p, &HpaOptions::paper());
+                let a = solve(&p, &HpaOptions::paper());
                 let theta = a.total_latency(&p);
                 for tier in Tier::ALL {
                     let base = Assignment::uniform(g.len(), tier).total_latency(&p);
@@ -405,7 +390,7 @@ mod tests {
         // expensive: the first conv should not be at the cloud.
         let g = zoo::vgg16(224);
         let p = problem(&g, NetworkCondition::FourG);
-        let a = hpa(&p, &HpaOptions::paper());
+        let a = solve(&p, &HpaOptions::paper());
         assert_ne!(a.tier(NodeId(1)), Tier::Cloud);
     }
 
@@ -417,7 +402,7 @@ mod tests {
         let fast = problem(&g, NetworkCondition::custom_backbone(100.0));
         let opts = HpaOptions::paper();
         let cloud_count = |p: &Problem| {
-            hpa(p, &opts)
+            solve(p, &opts)
                 .tiers()
                 .iter()
                 .filter(|t| **t == Tier::Cloud)
@@ -431,7 +416,7 @@ mod tests {
         let g = zoo::resnet18(224);
         let p = problem(&g, NetworkCondition::WiFi);
         let opts = HpaOptions::paper().with_tiers(&[Tier::Edge, Tier::Cloud]);
-        let a = hpa(&p, &opts);
+        let a = solve(&p, &opts);
         for id in g.layer_ids() {
             assert_ne!(a.tier(id), Tier::Device);
         }
@@ -491,7 +476,7 @@ mod tests {
         let g = zoo::alexnet(224);
         let zeros = vec![[0.0; 3]; g.len()];
         let p = Problem::from_weights(&g, zeros, NetworkCondition::WiFi);
-        let a = hpa(&p, &HpaOptions::paper());
+        let a = solve(&p, &HpaOptions::paper());
         for id in g.layer_ids() {
             assert_eq!(a.tier(id), Tier::Device);
         }
@@ -501,8 +486,8 @@ mod tests {
     fn deterministic() {
         let g = zoo::darknet53(224);
         let p = problem(&g, NetworkCondition::FiveG);
-        let a = hpa(&p, &HpaOptions::paper());
-        let b = hpa(&p, &HpaOptions::paper());
+        let a = solve(&p, &HpaOptions::paper());
+        let b = solve(&p, &HpaOptions::paper());
         assert_eq!(a, b);
     }
 }

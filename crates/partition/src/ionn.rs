@@ -22,47 +22,7 @@ use d3_simnet::Tier;
 
 use crate::PartitionError;
 
-/// Errors from the IONN baseline (legacy; folded into
-/// [`PartitionError`]).
-#[deprecated(since = "0.2.0", note = "matched into `PartitionError::NotAChain`")]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum IonnError {
-    /// IONN's auxiliary-DAG construction covers chain DNNs only.
-    NotAChain,
-}
-
-#[allow(deprecated)]
-impl std::fmt::Display for IonnError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            IonnError::NotAChain => write!(f, "IONN only supports chain-topology DNNs"),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl std::error::Error for IonnError {}
-
-/// Runs IONN: optimal device/cloud split of a chain DNN accounting for
-/// one-time parameter upload amortized over `expected_queries` inferences.
-///
-/// Thin shim over the [`Ionn`](crate::Ionn) partitioner, kept for
-/// source compatibility.
-///
-/// # Errors
-///
-/// Returns [`IonnError::NotAChain`] for DAG topologies.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Ionn::with_queries(n).partition(problem)` instead"
-)]
-#[allow(deprecated)]
-pub fn ionn(problem: &Problem, expected_queries: u64) -> Result<Assignment, IonnError> {
-    solve(problem, expected_queries).map_err(|_| IonnError::NotAChain)
-}
-
-/// IONN implementation shared by the [`Ionn`](crate::Ionn) partitioner
-/// and the legacy [`ionn`] shim.
+/// IONN implementation behind the [`Ionn`](crate::Ionn) partitioner.
 ///
 /// With `expected_queries == u64::MAX` the upload cost vanishes and the
 /// result matches Neurosurgeon's split exactly (tested).
@@ -113,10 +73,8 @@ pub(crate) fn solve(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy shims stay covered until removal
-
     use super::*;
-    use crate::neurosurgeon::neurosurgeon;
+    use crate::neurosurgeon::solve as neurosurgeon;
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};
 
@@ -128,7 +86,10 @@ mod tests {
     fn rejects_dags() {
         let g = zoo::resnet18(224);
         let p = problem(&g, NetworkCondition::WiFi);
-        assert_eq!(ionn(&p, 100), Err(IonnError::NotAChain));
+        assert_eq!(
+            solve(&p, 100),
+            Err(PartitionError::NotAChain { algorithm: "IONN" })
+        );
     }
 
     #[test]
@@ -136,7 +97,7 @@ mod tests {
         for g in [zoo::alexnet(224), zoo::vgg16(224)] {
             for net in NetworkCondition::TABLE3 {
                 let p = problem(&g, net);
-                let a = ionn(&p, u64::MAX).unwrap();
+                let a = solve(&p, u64::MAX).unwrap();
                 let ns = neurosurgeon(&p).unwrap();
                 assert_eq!(
                     a.total_latency(&p),
@@ -156,7 +117,7 @@ mod tests {
         let g = zoo::vgg16(224);
         let p = problem(&g, NetworkCondition::FourG);
         let device_layers = |q: u64| {
-            ionn(&p, q)
+            solve(&p, q)
                 .unwrap()
                 .tiers()
                 .iter()
@@ -172,7 +133,7 @@ mod tests {
         // 61M parameters ≈ 244 MB over a 6.12 Mbps uplink ≈ 5 minutes:
         // no split can amortize that in one query.
         let p = problem(&g, NetworkCondition::FourG);
-        let a = ionn(&p, 1).unwrap();
+        let a = solve(&p, 1).unwrap();
         for id in g.layer_ids() {
             assert_eq!(a.tier(id), Tier::Device, "{id} offloaded despite upload");
         }
@@ -185,7 +146,7 @@ mod tests {
         let p = problem(&g, NetworkCondition::WiFi);
         let mut last_cloud = 0;
         for q in [1u64, 10, 100, 10_000, 1_000_000] {
-            let cloud = ionn(&p, q)
+            let cloud = solve(&p, q)
                 .unwrap()
                 .tiers()
                 .iter()

@@ -56,20 +56,8 @@ pub use energy::{energy, neurosurgeon_energy, EnergyReport};
 pub use hpa::{best_layered_cut, hpa_greedy, HpaOptions};
 pub use maxflow::FlowNetwork;
 pub use partitioner::{
-    Dads, ExhaustiveOracle, FixedTier, Hpa, Ionn, Neurosurgeon, PartitionError, Partitioner,
+    Dads, EvenSplit, ExhaustiveOracle, FixedTier, Hpa, Ionn, Neurosurgeon, PartitionError,
+    Partitioner,
 };
 pub use placement::{pair_latency, table1, PlacementRow};
 pub use problem::Problem;
-
-// Legacy free-function API, kept as deprecated shims over the
-// `Partitioner` implementations above.
-#[allow(deprecated)]
-pub use dads::dads;
-#[allow(deprecated)]
-pub use exhaustive::exhaustive_optimal;
-#[allow(deprecated)]
-pub use hpa::hpa;
-#[allow(deprecated)]
-pub use ionn::{ionn, IonnError};
-#[allow(deprecated)]
-pub use neurosurgeon::{neurosurgeon, NeurosurgeonError};

@@ -143,8 +143,6 @@ impl FlowNetwork {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy shims stay covered until removal
-
     use super::*;
 
     #[test]

@@ -12,49 +12,8 @@ use d3_simnet::Tier;
 
 use crate::PartitionError;
 
-/// Errors from the Neurosurgeon baseline (legacy; folded into
-/// [`PartitionError`]).
-#[deprecated(since = "0.2.0", note = "matched into `PartitionError::NotAChain`")]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum NeurosurgeonError {
-    /// The DNN is not a chain; Neurosurgeon is undefined for DAGs.
-    NotAChain,
-}
-
-#[allow(deprecated)]
-impl std::fmt::Display for NeurosurgeonError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            NeurosurgeonError::NotAChain => {
-                write!(f, "Neurosurgeon only supports chain-topology DNNs")
-            }
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl std::error::Error for NeurosurgeonError {}
-
-/// Runs Neurosurgeon: optimal device/cloud split of a chain DNN.
-///
-/// Thin shim over the [`Neurosurgeon`](crate::Neurosurgeon) partitioner,
-/// kept for source compatibility.
-///
-/// # Errors
-///
-/// Returns [`NeurosurgeonError::NotAChain`] for DAG-topology networks.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Neurosurgeon.partition(problem)` instead"
-)]
-#[allow(deprecated)]
-pub fn neurosurgeon(problem: &Problem) -> Result<Assignment, NeurosurgeonError> {
-    solve(problem).map_err(|_| NeurosurgeonError::NotAChain)
-}
-
-/// Neurosurgeon implementation shared by the
-/// [`Neurosurgeon`](crate::Neurosurgeon) partitioner and the legacy
-/// [`neurosurgeon`] shim.
+/// Neurosurgeon implementation behind the
+/// [`Neurosurgeon`](crate::Neurosurgeon) partitioner.
 pub(crate) fn solve(problem: &Problem) -> Result<Assignment, PartitionError> {
     let g = problem.graph();
     if !g.is_chain() {
@@ -93,8 +52,6 @@ pub(crate) fn solve(problem: &Problem) -> Result<Assignment, PartitionError> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy shims stay covered until removal
-
     use super::*;
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};
@@ -111,7 +68,12 @@ mod tests {
             zoo::inception_v4(224),
         ] {
             let p = problem(&g, NetworkCondition::WiFi);
-            assert_eq!(neurosurgeon(&p), Err(NeurosurgeonError::NotAChain));
+            assert_eq!(
+                solve(&p),
+                Err(PartitionError::NotAChain {
+                    algorithm: "Neurosurgeon"
+                })
+            );
         }
     }
 
@@ -119,7 +81,7 @@ mod tests {
     fn handles_chain_models() {
         for g in [zoo::alexnet(224), zoo::vgg16(224)] {
             let p = problem(&g, NetworkCondition::WiFi);
-            let a = neurosurgeon(&p).unwrap();
+            let a = solve(&p).unwrap();
             assert!(a.is_monotone(&p));
             // Only device and cloud are ever used.
             for id in g.layer_ids() {
@@ -132,7 +94,7 @@ mod tests {
     fn split_is_optimal_among_chain_cuts() {
         let g = zoo::alexnet(224);
         let p = problem(&g, NetworkCondition::FourG);
-        let a = neurosurgeon(&p).unwrap();
+        let a = solve(&p).unwrap();
         let theta = a.total_latency(&p);
         let n = g.len();
         for k in 0..n {
@@ -150,7 +112,7 @@ mod tests {
         let wifi = problem(&g, NetworkCondition::WiFi);
         let fourg = problem(&g, NetworkCondition::FourG);
         let dev_count = |p: &Problem| {
-            neurosurgeon(p)
+            solve(p)
                 .unwrap()
                 .tiers()
                 .iter()

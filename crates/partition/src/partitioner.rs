@@ -200,6 +200,34 @@ impl Partitioner for ExhaustiveOracle {
     }
 }
 
+/// Splits the vertices evenly across device/edge/cloud by topological
+/// position, ignoring costs entirely.
+///
+/// Not a paper policy — a diagnostic: it guarantees all three tiers do
+/// real work, which pipeline stress tests and streaming benchmarks need
+/// regardless of what a cost-aware policy would choose. Always monotone
+/// (ids are topological, and each third maps to a later tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvenSplit;
+
+impl Partitioner for EvenSplit {
+    fn name(&self) -> &str {
+        "even-split"
+    }
+
+    fn partition(&self, problem: &Problem) -> Result<Assignment, PartitionError> {
+        let n = problem.graph().len();
+        let tiers = (0..n)
+            .map(|i| match (3 * i) / n {
+                0 => Tier::Device,
+                1 => Tier::Edge,
+                _ => Tier::Cloud,
+            })
+            .collect();
+        Ok(Assignment::new(tiers))
+    }
+}
+
 /// Places every real layer on one fixed tier (the paper's device-only /
 /// edge-only / cloud-only baselines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -274,6 +302,20 @@ mod tests {
             Ionn::default().partition(&p),
             Err(PartitionError::NotAChain { algorithm: "IONN" })
         );
+    }
+
+    #[test]
+    fn even_split_uses_all_tiers_and_stays_monotone() {
+        let g = zoo::chain_cnn(6, 8, 16);
+        let p = problem(&g);
+        let a = EvenSplit.partition(&p).unwrap();
+        assert!(a.is_monotone(&p));
+        for tier in Tier::ALL {
+            assert!(
+                a.tiers().contains(&tier),
+                "{tier:?} unused by the even split"
+            );
+        }
     }
 
     #[test]

@@ -70,8 +70,6 @@ pub fn table1(problem: &Problem, vi: NodeId, vj: NodeId) -> Vec<PlacementRow> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the legacy shims stay covered until removal
-
     use super::*;
     use d3_model::zoo;
     use d3_simnet::{NetworkCondition, TierProfiles};

@@ -17,7 +17,10 @@ pub use d3_tensor as tensor;
 pub use d3_vsm as vsm;
 
 // The headline API, flattened for discoverability: the multi-model
-// serving runtime, the single-system facade, and the pluggable
-// partition-policy trait.
-pub use d3_core::{D3Runtime, D3System, ModelOptions, ModelStats, ServeError};
+// serving runtime (one-shot and streaming), the single-system facade,
+// and the pluggable partition-policy trait.
+pub use d3_core::{
+    D3Runtime, D3System, FrameId, ModelOptions, ModelStats, ServeError, StreamOptions,
+    StreamRecvError, StreamReport, StreamSession, SubmitError,
+};
 pub use d3_partition::{PartitionError, Partitioner};

@@ -1,0 +1,243 @@
+//! Integration tests for the streaming serving API: the pipelined
+//! `StreamSession` must beat sequential `serve` loops on throughput,
+//! while staying bit-identical to one-shot inference frame for frame
+//! (the paper's lossless claim).
+//!
+//! The throughput edge is structural, not scheduling luck: a session's
+//! stage workers materialize their segment weights **once**
+//! (`SegmentExecutor`) and stay resident, whereas every `serve` call
+//! respawns tier threads and rebuilds every layer's weights; on
+//! multi-core hosts the stages additionally overlap adjacent frames.
+
+use std::time::Instant;
+
+use d3_core::{D3Runtime, ModelOptions, ServeError, StreamOptions, SubmitError};
+use d3_model::{zoo, DnnGraph};
+use d3_partition::EvenSplit;
+use d3_tensor::{max_abs_diff, Tensor};
+
+/// A runtime on the cost-oblivious even three-way split
+/// ([`EvenSplit`]), so every pipeline stage does real work;
+/// [`zoo::conv_mlp`] is the weight-heavy shape where per-frame weight
+/// rebuilding dominates a `serve` loop.
+fn runtime_with(name: &str, graph: DnnGraph, seed: u64) -> D3Runtime {
+    let mut rt = D3Runtime::new();
+    rt.register(
+        name,
+        graph,
+        ModelOptions::new()
+            .partitioner(EvenSplit)
+            .without_vsm()
+            .seed(seed),
+    )
+    .unwrap();
+    rt
+}
+
+#[test]
+fn saturated_stream_beats_sequential_serve_throughput() {
+    let rt = runtime_with("mlp", zoo::conv_mlp(8), 11);
+    let frames: Vec<Tensor> = (0..20).map(|k| Tensor::random(3, 8, 8, 500 + k)).collect();
+
+    // Warm both paths (first serve pays one-off page-in costs).
+    let _ = rt.serve("mlp", &frames[0]).unwrap();
+
+    let t0 = Instant::now();
+    for frame in &frames {
+        let _ = rt.serve("mlp", frame).unwrap();
+    }
+    let sequential_s = t0.elapsed().as_secs_f64();
+    let sequential_fps = frames.len() as f64 / sequential_s;
+
+    let session = rt
+        .open_stream("mlp", StreamOptions::new().capacity(4))
+        .unwrap();
+    let t1 = Instant::now();
+    let mut received = 0usize;
+    for frame in &frames {
+        loop {
+            match session.submit(frame) {
+                Ok(_) => break,
+                Err(SubmitError::Backpressure) => {
+                    session.recv().unwrap();
+                    received += 1;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    while received < frames.len() {
+        session.recv().unwrap();
+        received += 1;
+    }
+    let streamed_s = t1.elapsed().as_secs_f64();
+    let report = session.close();
+
+    assert!(
+        streamed_s < sequential_s,
+        "pipelined stream ({streamed_s:.3}s) not faster than sequential serve ({sequential_s:.3}s)"
+    );
+    assert!(
+        report.measured.throughput_fps > sequential_fps,
+        "measured throughput {:.1} fps <= sequential {:.1} fps",
+        report.measured.throughput_fps,
+        sequential_fps
+    );
+    assert_eq!(report.measured.frames, frames.len());
+    assert_eq!(report.submitted, frames.len() as u64);
+}
+
+#[test]
+fn stream_report_exposes_per_stage_utilization_and_bottleneck() {
+    let rt = runtime_with("mlp", zoo::conv_mlp(8), 12);
+    let session = rt.open_stream("mlp", StreamOptions::new()).unwrap();
+    for k in 0..12u64 {
+        session
+            .submit_blocking(&Tensor::random(3, 8, 8, 700 + k))
+            .unwrap();
+    }
+    while session.pending() > 0 {
+        session.recv().unwrap();
+    }
+    let report = session.close();
+
+    // Interleaved [stage, link, stage, link, stage], like the simulator.
+    assert_eq!(report.measured.utilization.len(), 5);
+    assert_eq!(
+        report.server_names,
+        vec!["device", "device→", "edge", "edge→", "cloud"]
+    );
+    for &u in &report.measured.utilization {
+        assert!((0.0..=1.0 + 1e-6).contains(&u), "utilization {u}");
+    }
+    let (bottleneck_name, bottleneck_util) = report.bottleneck().unwrap();
+    assert!(report.server_names.iter().any(|n| n == bottleneck_name));
+    for &u in &report.measured.utilization {
+        assert!(u <= bottleneck_util + 1e-12);
+    }
+    // The three compute stages all ran real layers under a saturating
+    // submit loop, so each must have accumulated busy time.
+    for name in ["device", "edge", "cloud"] {
+        assert!(
+            report.utilization_of(name).unwrap() > 0.0,
+            "{name} stage never worked"
+        );
+    }
+    // Latency percentiles are ordered like the simulator's.
+    let m = &report.measured;
+    assert!(m.p50_latency_s <= m.p95_latency_s + 1e-12);
+    assert!(m.p95_latency_s <= m.max_latency_s + 1e-12);
+    // And the predicted pipeline is available in the same shape.
+    let predicted = report.predicted_stats(30.0, 100);
+    assert_eq!(predicted.utilization.len(), m.utilization.len());
+}
+
+#[test]
+fn streamed_outputs_are_bit_identical_frame_for_frame() {
+    // Forced 3-tier split, no VSM.
+    let rt = runtime_with("chain", zoo::chain_cnn(6, 8, 16), 21);
+    let frames: Vec<Tensor> = (0..10)
+        .map(|k| Tensor::random(3, 16, 16, 900 + k))
+        .collect();
+    let expected: Vec<Tensor> = frames
+        .iter()
+        .map(|f| rt.serve("chain", f).unwrap())
+        .collect();
+
+    let session = rt.open_stream("chain", StreamOptions::new()).unwrap();
+    let mut ids = Vec::new();
+    for frame in &frames {
+        ids.push(session.submit_blocking(frame).unwrap());
+    }
+    for (k, expect) in expected.iter().enumerate() {
+        let (id, got) = session.recv().unwrap();
+        assert_eq!(id, ids[k], "results out of submission order");
+        assert_eq!(
+            max_abs_diff(&got, expect),
+            Some(0.0),
+            "frame {k} diverged from one-shot serve"
+        );
+    }
+    let _ = session.close();
+}
+
+#[test]
+fn streamed_outputs_stay_lossless_with_vsm_edge_tiling() {
+    // Paper-default HPA + VSM deployment: the edge stage may run its
+    // conv runs tile-parallel; streamed outputs must still match.
+    let mut rt = D3Runtime::new();
+    rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(5))
+        .unwrap();
+    let frames: Vec<Tensor> = (0..6).map(|k| Tensor::random(3, 16, 16, 40 + k)).collect();
+    let expected: Vec<Tensor> = frames
+        .iter()
+        .map(|f| rt.serve("tiny", f).unwrap())
+        .collect();
+
+    let session = rt.open_stream("tiny", StreamOptions::new()).unwrap();
+    for frame in &frames {
+        session.submit_blocking(frame).unwrap();
+    }
+    for (k, expect) in expected.iter().enumerate() {
+        let (_, got) = session.recv().unwrap();
+        assert_eq!(max_abs_diff(&got, expect), Some(0.0), "frame {k} diverged");
+    }
+    let report = session.close();
+    assert_eq!(report.measured.frames, frames.len());
+}
+
+#[test]
+fn backpressure_sheds_load_instead_of_buffering() {
+    let rt = runtime_with("mlp", zoo::conv_mlp(8), 31);
+    let session = rt
+        .open_stream("mlp", StreamOptions::new().capacity(1))
+        .unwrap();
+    let input = Tensor::random(3, 8, 8, 77);
+    let mut rejected = 0u64;
+    for _ in 0..100 {
+        if session.submit(&input) == Err(SubmitError::Backpressure) {
+            rejected += 1;
+        }
+    }
+    assert!(rejected > 0, "a capacity-1 queue never pushed back");
+    let report = session.close();
+    assert_eq!(report.rejected, rejected);
+    // Every admitted frame still completed.
+    assert_eq!(report.measured.frames as u64, report.submitted);
+}
+
+#[test]
+fn open_stream_errors_are_typed() {
+    let rt = runtime_with("mlp", zoo::conv_mlp(8), 41);
+    assert_eq!(
+        rt.open_stream("ghost", StreamOptions::new()).err(),
+        Some(ServeError::UnknownModel("ghost".into()))
+    );
+    let session = rt.open_stream("mlp", StreamOptions::new()).unwrap();
+    let wrong = Tensor::random(3, 16, 16, 1);
+    assert!(matches!(
+        session.submit(&wrong),
+        Err(SubmitError::ShapeMismatch { .. })
+    ));
+    let _ = session.close();
+}
+
+#[test]
+fn model_rotation_with_models_and_unregister() {
+    let mut rt = D3Runtime::new();
+    rt.register("v1", zoo::tiny_cnn(16), ModelOptions::new().seed(1))
+        .unwrap();
+    assert_eq!(rt.models(), vec!["v1"]);
+    // Roll out v2 alongside, then retire v1 — no runtime rebuild.
+    rt.register("v2", zoo::tiny_cnn(16), ModelOptions::new().seed(2))
+        .unwrap();
+    assert_eq!(rt.models(), vec!["v1", "v2"]);
+    let retired = rt.unregister("v1").unwrap();
+    assert_eq!(retired.graph().name(), "tiny_cnn");
+    assert_eq!(rt.models(), vec!["v2"]);
+    assert!(rt.serve("v2", &Tensor::random(3, 16, 16, 3)).is_ok());
+    assert_eq!(
+        rt.serve("v1", &Tensor::random(3, 16, 16, 3)).err(),
+        Some(ServeError::UnknownModel("v1".into()))
+    );
+}

@@ -3,8 +3,11 @@
 //! Implements the two facilities the workspace uses, on top of the
 //! standard library:
 //!
-//! - [`channel::unbounded`]: an MPMC channel (std's `mpsc` receivers are
-//!   not cloneable, so this wraps a mutex-guarded queue with a condvar),
+//! - [`channel::unbounded`] / [`channel::bounded`]: MPMC channels (std's
+//!   `mpsc` receivers are not cloneable, so these wrap a mutex-guarded
+//!   queue with condvars). Bounded channels block or reject
+//!   ([`channel::Sender::try_send`]) once `cap` messages queue — the
+//!   backpressure primitive the streaming pipeline is built on,
 //! - [`thread::scope`]: crossbeam-style scoped threads delegating to
 //!   `std::thread::scope` (stabilized since the original dependency was
 //!   introduced), preserving crossbeam's `scope.spawn(|scope| ...)` and
@@ -12,7 +15,7 @@
 
 #![forbid(unsafe_code)]
 
-/// Multi-producer multi-consumer FIFO channels.
+/// Multi-producer multi-consumer FIFO channels, unbounded or bounded.
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
@@ -20,11 +23,17 @@ pub mod channel {
     struct State<T> {
         queue: VecDeque<T>,
         senders: usize,
+        receivers: usize,
     }
 
     struct Shared<T> {
         state: Mutex<State<T>>,
+        /// Capacity bound; `None` for unbounded channels.
+        cap: Option<usize>,
+        /// Signalled when a message arrives or the last sender leaves.
         ready: Condvar,
+        /// Signalled when queue space frees or the last receiver leaves.
+        space: Condvar,
     }
 
     /// The sending half; cloneable.
@@ -41,9 +50,27 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error from [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
     /// Error returned when the channel is empty and all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message queued right now.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
 
     impl std::fmt::Display for RecvError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -53,15 +80,16 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
-    /// Creates an unbounded MPMC channel.
-    #[must_use]
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
+                receivers: 1,
             }),
+            cap,
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -71,16 +99,69 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages;
+    /// [`Sender::send`] blocks and [`Sender::try_send`] rejects while the
+    /// channel is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero (this stand-in does not implement
+    /// rendezvous channels).
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity channels are not supported");
+        channel(Some(cap))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues a message; never blocks.
+        /// Enqueues a message; on a bounded channel, blocks while full.
         ///
         /// # Errors
         ///
-        /// This stub cannot observe receiver liveness, so `send` always
-        /// succeeds (messages to a dropped receiver are discarded with
-        /// the queue).
+        /// Returns [`SendError`] when every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.shared.space.wait(state).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues a message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TrySendError::Full`] when a bounded channel is at
+        /// capacity and [`TrySendError::Disconnected`] when every
+        /// receiver has been dropped; the message is handed back either
+        /// way.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
             state.queue.push_back(value);
             drop(state);
             self.shared.ready.notify_one();
@@ -122,6 +203,8 @@ pub mod channel {
             let mut state = self.shared.state.lock().expect("channel poisoned");
             loop {
                 if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(value);
                 }
                 if state.senders == 0 {
@@ -130,12 +213,47 @@ pub mod channel {
                 state = self.shared.ready.wait(state).expect("channel poisoned");
             }
         }
+
+        /// Dequeues a message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError::Empty`] when nothing is queued and
+        /// [`TryRecvError::Disconnected`] when additionally every sender
+        /// has been dropped.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.space.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.receivers += 1;
+            drop(state);
             Self {
                 shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.receivers -= 1;
+            let disconnected = state.receivers == 0;
+            drop(state);
+            if disconnected {
+                self.shared.space.notify_all();
             }
         }
     }
@@ -208,7 +326,7 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::unbounded;
+    use super::channel::{bounded, unbounded, TryRecvError, TrySendError};
 
     #[test]
     fn mpmc_fan_in_fan_out() {
@@ -253,5 +371,51 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Ok(1));
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_rejects_when_full() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        super::thread::scope(|scope| {
+            scope.spawn(|_| {
+                // Blocks until the main thread drains the queue.
+                tx.send(2).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn send_errors_once_receivers_gone() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        assert_eq!(tx.try_send(2), Err(TrySendError::Disconnected(2)));
+    }
+
+    #[test]
+    fn try_recv_reports_disconnect() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(9));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 }
