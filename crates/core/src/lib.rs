@@ -45,7 +45,9 @@ mod runtime;
 mod session;
 
 pub use d3_engine::{
-    Deployment, FrameId, Strategy, StreamOptions, StreamRecvError, StreamReport, SubmitError,
+    AdaptiveEngine, AdaptivePolicy, Decision, Deployment, FrameId, FullResolve, HysteresisLocal,
+    NoAdapt, Observation, PlanSwap, PlanUpdate, Strategy, StreamBuildError, StreamOptions,
+    StreamRecvError, StreamReport, SubmitError, TelemetrySnapshot, TelemetryTap, UpdateScope,
     VsmConfig,
 };
 pub use d3_model::{DnnGraph, NodeId};
@@ -59,7 +61,7 @@ pub use session::StreamSession;
 
 use std::sync::Arc;
 
-use d3_engine::{pipeline::StreamStats, run_distributed, AdaptiveEngine};
+use d3_engine::{pipeline::StreamStats, run_distributed};
 use d3_partition::Hpa;
 use d3_profiler::LatencyProvider;
 use d3_tensor::Tensor;
@@ -328,14 +330,37 @@ impl D3System {
         self.seed
     }
 
-    /// Converts into the runtime-adaptive controller (hysteresis-gated
-    /// local re-partitioning). The engine adopts this system's deployed
-    /// assignment as its starting plan — whichever partitioner produced
-    /// it — while drift-triggered *re*-partitions use HPA with the
-    /// builder's HPA options (the paper's adaptation mechanism is
-    /// HPA-specific).
+    /// Converts into the runtime-adaptive controller under the paper's
+    /// default policy (hysteresis-gated local re-partitioning,
+    /// [`HysteresisLocal`]). Shorthand for
+    /// [`into_controller`](Self::into_controller).
     pub fn into_adaptive(self, monitor: DriftMonitor) -> AdaptiveEngine {
-        AdaptiveEngine::with_assignment(self.problem, self.deployment.assignment, self.hpa, monitor)
+        self.into_controller(Box::new(HysteresisLocal(monitor)))
+    }
+
+    /// Converts into a runtime-adaptive controller driven by `policy`.
+    /// The controller adopts this system's deployed assignment as its
+    /// starting plan — whichever partitioner produced it — while
+    /// drift-triggered *re*-partitions use HPA with the builder's HPA
+    /// options (the paper's adaptation mechanism is HPA-specific), and
+    /// emitted [`PlanUpdate`]s deploy with this system's VSM
+    /// configuration.
+    pub fn into_controller(self, policy: Box<dyn AdaptivePolicy>) -> AdaptiveEngine {
+        AdaptiveEngine::with_assignment(self.problem, self.deployment.assignment, self.hpa, policy)
+            .with_vsm(self.vsm)
+    }
+
+    /// Builds a per-session controller from an attached policy prototype
+    /// (the system keeps serving; the controller gets its own live copy
+    /// of the problem).
+    pub(crate) fn controller_for_session(&self, policy: Box<dyn AdaptivePolicy>) -> AdaptiveEngine {
+        AdaptiveEngine::with_assignment(
+            self.problem.clone(),
+            self.deployment.assignment.clone(),
+            self.hpa.clone(),
+            policy,
+        )
+        .with_vsm(self.vsm)
     }
 
     /// A human-readable summary of the partition, e.g.

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use d3_engine::AdaptivePolicy;
 use d3_model::DnnGraph;
 use d3_partition::{Hpa, HpaOptions, PartitionError, Partitioner};
 use d3_simnet::{NetworkCondition, TierProfiles};
@@ -212,6 +213,9 @@ struct ModelEntry {
     system: D3System,
     requests: AtomicU64,
     latency_ns: AtomicU64,
+    /// Adaptation-policy prototype; forked into a private controller for
+    /// every stream session opened on this model.
+    controller: Option<Box<dyn AdaptivePolicy>>,
 }
 
 /// A multi-tenant serving runtime: named models, each pre-partitioned
@@ -269,9 +273,45 @@ impl D3Runtime {
                 system,
                 requests: AtomicU64::new(0),
                 latency_ns: AtomicU64::new(0),
+                controller: None,
             },
         );
         self
+    }
+
+    /// Attaches an adaptation-policy prototype to the named model:
+    /// every stream session subsequently opened on it gets its own
+    /// controller (a [`fork`](AdaptivePolicy::fork) of `policy` driving
+    /// an [`AdaptiveEngine`](crate::AdaptiveEngine) seeded with the
+    /// deployed plan), so the session **self-adapts** — its measured
+    /// telemetry and injected observations drive live plan swaps. See
+    /// `StreamSession::adapt`.
+    ///
+    /// Replaces any previously attached policy; already-open sessions
+    /// keep the controller they were born with.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when `name` is not registered.
+    pub fn attach_controller(
+        &mut self,
+        name: &str,
+        policy: Box<dyn AdaptivePolicy>,
+    ) -> Result<&mut Self, ServeError> {
+        let entry = self
+            .models
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        entry.controller = Some(policy);
+        Ok(self)
+    }
+
+    /// Removes the named model's attached adaptation policy (new
+    /// sessions open without a controller). No-op when none is attached.
+    pub fn detach_controller(&mut self, name: &str) -> Option<Box<dyn AdaptivePolicy>> {
+        self.models
+            .get_mut(name)
+            .and_then(|entry| entry.controller.take())
     }
 
     /// Removes the model registered under `name`, returning its system —
@@ -287,7 +327,9 @@ impl D3Runtime {
     /// Opens a pipelined streaming session on the named model: the
     /// deployed plan's tier segments become resident worker threads
     /// connected by bounded queues, overlapping consecutive frames for
-    /// bottleneck-bound (rather than sum-bound) throughput. See
+    /// bottleneck-bound (rather than sum-bound) throughput. When an
+    /// adaptation policy is [attached](Self::attach_controller), the
+    /// session carries its own controller and self-adapts. See
     /// [`StreamSession`](crate::StreamSession) for the session
     /// lifecycle.
     ///
@@ -305,7 +347,11 @@ impl D3Runtime {
             .models
             .get(name)
             .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
-        crate::StreamSession::open(name, &entry.system, options)
+        let controller = entry
+            .controller
+            .as_ref()
+            .map(|proto| entry.system.controller_for_session(proto.fork()));
+        crate::StreamSession::open(name, &entry.system, options, controller)
     }
 
     /// Runs one inference on the named model across its deployed tiers.

@@ -11,6 +11,31 @@
 //! whose measured [`StreamStats`](d3_engine::StreamStats) is directly
 //! comparable to the simulator's prediction.
 //!
+//! ## Live adaptation
+//!
+//! A session is the **apply** end of the observe → decide → apply loop:
+//!
+//! - [`telemetry`](StreamSession::telemetry) taps the live measurement
+//!   stream (per-stage compute per frame, queue depths) the stage
+//!   workers publish while frames flow;
+//! - with a controller attached
+//!   ([`D3Runtime::attach_controller`](crate::D3Runtime::attach_controller)),
+//!   [`adapt`](StreamSession::adapt) feeds that telemetry to the
+//!   session's own [`AdaptiveEngine`] and applies any emitted
+//!   [`PlanUpdate`] mid-stream, while
+//!   [`observe`](StreamSession::observe) injects out-of-band
+//!   observations (e.g. a bandwidth probe's
+//!   [`Observation::Network`](crate::Observation::Network)) into the
+//!   same loop;
+//! - [`apply_plan`](StreamSession::apply_plan) swaps the running
+//!   pipeline onto any externally computed plan — in-flight frames
+//!   drain at a frame boundary (zero drops), unchanged stages keep
+//!   their prebuilt weights, and outputs stay bit-identical across the
+//!   swap.
+//!
+//! Dropping an un-`close()`d session signals and joins its worker
+//! threads; only the final report is lost.
+//!
 //! ```
 //! use d3_core::{D3Runtime, ModelOptions, StreamOptions};
 //! use d3_model::zoo;
@@ -32,7 +57,11 @@
 //! ```
 
 use d3_engine::stream::StreamPipeline;
-use d3_engine::{FrameId, StreamRecvError, StreamReport, SubmitError};
+use d3_engine::{
+    AdaptiveEngine, FrameId, Observation, PlanSwap, PlanUpdate, StreamBuildError, StreamRecvError,
+    StreamReport, SubmitError, TelemetryTap,
+};
+use d3_partition::Assignment;
 use d3_tensor::Tensor;
 
 use crate::runtime::ServeError;
@@ -44,12 +73,18 @@ use crate::{D3System, StreamOptions};
 /// the session owns its worker threads and stays valid even if the model
 /// is later [`unregister`](crate::D3Runtime::unregister)ed (it captured
 /// the deployed plan at open time). Results come back in submission
-/// order. Intended for one logical producer/consumer; the methods take
-/// `&self`, so a driving thread and a draining thread may share it.
+/// order. Intended for one logical producer/consumer; the frame methods
+/// take `&self`, so a driving thread and a draining thread may share it,
+/// while reconfiguration ([`apply_plan`](Self::apply_plan),
+/// [`observe`](Self::observe), [`adapt`](Self::adapt)) takes `&mut self`
+/// — one thread owns the control plane.
 #[derive(Debug)]
 pub struct StreamSession {
     model: String,
     pipeline: StreamPipeline,
+    /// Per-session adaptation controller (present when the runtime had a
+    /// policy attached at open time).
+    controller: Option<AdaptiveEngine>,
 }
 
 impl StreamSession {
@@ -57,6 +92,7 @@ impl StreamSession {
         model: &str,
         system: &D3System,
         options: StreamOptions,
+        controller: Option<AdaptiveEngine>,
     ) -> Result<Self, ServeError> {
         let pipeline = StreamPipeline::new(
             system.graph_arc().clone(),
@@ -72,6 +108,7 @@ impl StreamSession {
         Ok(Self {
             model: model.to_string(),
             pipeline,
+            controller,
         })
     }
 
@@ -102,7 +139,8 @@ impl StreamSession {
         self.pipeline.submit_blocking(input)
     }
 
-    /// Waits for the next completed frame (submission order).
+    /// Waits for the next completed frame (submission order, including
+    /// across plan swaps).
     ///
     /// # Errors
     ///
@@ -136,9 +174,101 @@ impl StreamSession {
         self.pipeline.rejected()
     }
 
+    /// The plan the session is currently executing (changes when a swap
+    /// is applied).
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        self.pipeline.assignment()
+    }
+
+    /// Live plan swaps applied so far.
+    #[must_use]
+    pub fn reconfigurations(&self) -> u64 {
+        self.pipeline.reconfigurations()
+    }
+
+    /// Opens a live telemetry tap: periodic per-stage snapshots
+    /// (measured compute per frame, ingress queue depth) published by
+    /// the stage workers while frames flow. With a controller attached,
+    /// prefer [`adapt`](Self::adapt) — an external tap and the
+    /// controller would *steal* snapshots from each other.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetryTap {
+        self.pipeline.telemetry()
+    }
+
+    /// The session's adaptation controller, when one was attached at
+    /// open time.
+    #[must_use]
+    pub fn controller(&self) -> Option<&AdaptiveEngine> {
+        self.controller.as_ref()
+    }
+
+    /// Swaps the running stream onto `update`'s plan at a frame
+    /// boundary: zero dropped frames, unchanged stages keep their
+    /// prebuilt weights, outputs stay bit-identical. For sessions with
+    /// an attached controller, prefer [`observe`](Self::observe)/
+    /// [`adapt`](Self::adapt), which keep the controller's view of the
+    /// plan in sync.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamBuildError`] when the plan cannot run as a forward
+    /// pipeline; the running stream is untouched.
+    pub fn apply_plan(&mut self, update: &PlanUpdate) -> Result<PlanSwap, StreamBuildError> {
+        self.pipeline.apply_plan(update)
+    }
+
+    /// Injects one out-of-band observation (e.g. a bandwidth probe's
+    /// reading, or simulated drift) into the session's controller and
+    /// applies any resulting plan update mid-stream. Returns the applied
+    /// swap, `None` when the controller held the plan — or when no
+    /// controller is attached (the observation is then dropped; check
+    /// [`controller`](Self::controller)).
+    pub fn observe(&mut self, obs: &Observation) -> Option<PlanSwap> {
+        let update = self.controller.as_mut()?.ingest(obs)?;
+        Some(self.apply_update(&update))
+    }
+
+    /// Runs one adaptation cycle: drains the session's live telemetry
+    /// into the attached controller and applies the emitted plan update
+    /// mid-stream. Call it periodically from the driving loop (e.g.
+    /// once per drained batch of results). Returns the applied swaps
+    /// (empty when nothing drifted or no controller is attached).
+    ///
+    /// At most one swap is applied per cycle: snapshots remaining in the
+    /// batch after a swap were measured under the *old* plan — stale
+    /// stage times that would mis-calibrate the controller's fresh
+    /// anchors — so they are discarded, exactly like the queued
+    /// snapshots the pipeline itself flushes at the swap boundary.
+    pub fn adapt(&mut self) -> Vec<PlanSwap> {
+        if self.controller.is_none() {
+            return Vec::new();
+        }
+        let snapshots = self.pipeline.telemetry().drain();
+        let mut swaps = Vec::new();
+        for snapshot in &snapshots {
+            let controller = self.controller.as_mut().expect("checked above");
+            if let Some(update) = controller.ingest_snapshot(snapshot) {
+                swaps.push(self.apply_update(&update));
+                break; // rest of the batch predates the new plan
+            }
+        }
+        swaps
+    }
+
+    /// Applies a controller-emitted update. Controllers only emit plans
+    /// that already passed the partitioners' invariants (monotone, same
+    /// graph), so a rejection here is a bug worth failing loudly on.
+    fn apply_update(&mut self, update: &PlanUpdate) -> PlanSwap {
+        self.pipeline
+            .apply_plan(update)
+            .expect("controller emitted an unstreamable plan")
+    }
+
     /// Stops admissions, drains in-flight frames, joins the stage
     /// workers and reports measured per-stage utilization, p50/p95/max
-    /// latency and throughput.
+    /// latency, throughput and the number of live plan swaps.
     #[must_use]
     pub fn close(self) -> StreamReport {
         self.pipeline.close()
@@ -148,8 +278,9 @@ impl StreamSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{D3Runtime, ModelOptions};
+    use crate::{D3Runtime, HysteresisLocal, ModelOptions, NetworkCondition};
     use d3_model::zoo;
+    use d3_partition::DriftMonitor;
 
     #[test]
     fn session_survives_unregistration() {
@@ -177,5 +308,50 @@ mod tests {
             rt.open_stream("nope", StreamOptions::new()).err(),
             Some(ServeError::UnknownModel("nope".into()))
         );
+    }
+
+    #[test]
+    fn sessions_without_attached_policy_have_no_controller() {
+        let mut rt = D3Runtime::new();
+        rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new())
+            .unwrap();
+        let mut session = rt.open_stream("tiny", StreamOptions::new()).unwrap();
+        assert!(session.controller().is_none());
+        // Observations are dropped, adapt is a no-op — never a panic.
+        assert!(session
+            .observe(&Observation::Network {
+                net: NetworkCondition::custom_backbone(1.0)
+            })
+            .is_none());
+        assert!(session.adapt().is_empty());
+        let _ = session.close();
+    }
+
+    #[test]
+    fn attach_controller_arms_new_sessions() {
+        let mut rt = D3Runtime::new();
+        rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(3))
+            .unwrap();
+        rt.attach_controller("tiny", Box::new(HysteresisLocal(DriftMonitor::default())))
+            .unwrap();
+        let session = rt.open_stream("tiny", StreamOptions::new()).unwrap();
+        let controller = session.controller().expect("controller attached");
+        assert_eq!(controller.policy_name(), "hysteresis-local");
+        assert_eq!(
+            controller.assignment().tiers(),
+            session.assignment().tiers(),
+            "controller starts from the deployed plan"
+        );
+        let _ = session.close();
+    }
+
+    #[test]
+    fn attach_controller_unknown_model_is_typed() {
+        let mut rt = D3Runtime::new();
+        assert!(matches!(
+            rt.attach_controller("nope", Box::new(HysteresisLocal::default())),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(rt.detach_controller("nope").is_none());
     }
 }

@@ -1,42 +1,306 @@
 //! Runtime adaptation: the online half of "dynamic" DNN decomposition.
 //!
-//! The profiler keeps observing per-layer processing times and network
-//! bandwidth while the pipeline runs. When an observation drifts outside
-//! the hysteresis band (the paper's "upper and lower thresholds", §III-E),
-//! the engine triggers HPA's *local* re-partition around the affected
+//! The paper's system keeps observing per-layer processing times and
+//! network bandwidth while the pipeline runs; when an observation drifts
+//! outside the hysteresis band (the "upper and lower thresholds",
+//! §III-E), it triggers HPA's *local* re-partition around the affected
 //! vertices instead of re-solving the whole DAG.
+//!
+//! This module is the **decide** step of the observe → decide → apply
+//! loop:
+//!
+//! - [`Observation`]s arrive from any telemetry source (live stream
+//!   stages, the simulator, the profiler, bandwidth probes — see
+//!   [`crate::telemetry`]),
+//! - an [`AdaptivePolicy`] turns each observation into a [`Decision`]
+//!   (hold / local re-partition / full re-solve); the paper's mechanism
+//!   is [`HysteresisLocal`], with [`FullResolve`] and [`NoAdapt`] as the
+//!   comparison points,
+//! - the [`AdaptiveEngine`] controller executes decisions against its
+//!   live [`Problem`] and emits [`PlanUpdate`]s — complete redeployments
+//!   a running `StreamSession` applies mid-stream via `apply_plan`.
+//!
+//! ## Stage-time calibration
+//!
+//! Per-vertex and network observations carry model-unit semantics and
+//! fold directly into the problem. Measured *stage* times
+//! ([`Observation::StageTime`]) come from wall clocks that need not agree
+//! with the cost model's units, so the controller anchors the first
+//! sample per tier as a calibration reference and reacts to the drift
+//! *ratio* against that anchor, scaling the segment's vertex weights
+//! proportionally. Any re-partition invalidates the anchors (segments
+//! changed), and the next snapshot recalibrates.
 
+use crate::deploy::{Deployment, VsmConfig};
+use crate::telemetry::{Observation, TelemetrySnapshot};
 use d3_model::{DnnGraph, NodeId};
 use d3_partition::{
     repartition_local, Assignment, DriftMonitor, Hpa, HpaOptions, Partitioner, Problem,
 };
 use d3_simnet::{NetworkCondition, Tier};
 
-/// The adaptive partition controller.
+/// What a policy decided to do about one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the current plan (inside the tolerance band, calibration
+    /// sample, or an observation kind the policy ignores).
+    Hold,
+    /// Re-partition locally around the trigger vertex (the paper's
+    /// mechanism: the trigger, its SIS vertices, its successors and
+    /// their SIS vertices are recomputed).
+    Local(NodeId),
+    /// Re-solve the whole problem with HPA.
+    Full,
+}
+
+/// Read-only controller state a policy consults when deciding.
+pub struct PolicyView<'a> {
+    problem: &'a Problem,
+    assignment: &'a Assignment,
+    reference: &'a [[f64; 3]],
+    reference_backbone_mbps: f64,
+    stage_anchor: &'a [Option<f64>; 3],
+}
+
+impl PolicyView<'_> {
+    /// The live weighted problem (already reflecting the observation
+    /// being decided).
+    #[must_use]
+    pub fn problem(&self) -> &Problem {
+        self.problem
+    }
+
+    /// The currently deployed assignment.
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        self.assignment
+    }
+
+    /// The vertex's processing time at the last (re-)partition — the
+    /// hysteresis reference.
+    #[must_use]
+    pub fn reference_vertex_s(&self, id: NodeId, tier: Tier) -> f64 {
+        self.reference[id.index()][tier.rank()]
+    }
+
+    /// Backbone bandwidth at the last re-partition.
+    #[must_use]
+    pub fn reference_backbone_mbps(&self) -> f64 {
+        self.reference_backbone_mbps
+    }
+
+    /// The measured stage-time anchor for `tier` (None until the first
+    /// snapshot after a (re-)partition calibrates it).
+    #[must_use]
+    pub fn stage_anchor_s(&self, tier: Tier) -> Option<f64> {
+        self.stage_anchor[tier.rank()]
+    }
+
+    /// The heaviest vertex of `tier`'s current segment under the live
+    /// weights — the natural local-repartition trigger for stage-level
+    /// drift.
+    #[must_use]
+    pub fn heaviest_member(&self, tier: Tier) -> Option<NodeId> {
+        let input = self.problem.graph().input();
+        self.assignment
+            .segment(tier)
+            .into_iter()
+            .filter(|&id| id != input)
+            .max_by(|&a, &b| {
+                self.problem
+                    .vertex_time(a, tier)
+                    .total_cmp(&self.problem.vertex_time(b, tier))
+            })
+    }
+}
+
+/// An adaptation policy: turns [`Observation`]s into [`Decision`]s.
+///
+/// Policies are deliberately *pure deciders* — they never mutate the
+/// plan themselves. The [`AdaptiveEngine`] folds the observation into
+/// the live problem, asks the policy, executes the decision, and
+/// re-anchors the references; that split keeps every policy's bookkeeping
+/// identical and makes policies trivially comparable on the same trace.
+pub trait AdaptivePolicy: Send + Sync {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decides what to do about `obs`, given the controller state.
+    fn decide(&mut self, view: &PolicyView<'_>, obs: &Observation) -> Decision;
+
+    /// Clones the policy into a fresh boxed instance — used by the
+    /// runtime to stamp one controller per stream session from an
+    /// attached prototype.
+    fn fork(&self) -> Box<dyn AdaptivePolicy>;
+}
+
+/// The paper's default policy (§III-E): hysteresis thresholds gate every
+/// signal; vertex- and stage-level drift triggers a *local* re-partition
+/// around the affected vertex, bandwidth drift re-solves fully (link
+/// weights change globally, so the local neighbourhood is the whole
+/// frontier and a full solve is O(|V|+|L|) anyway).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HysteresisLocal(pub DriftMonitor);
+
+impl AdaptivePolicy for HysteresisLocal {
+    fn name(&self) -> &'static str {
+        "hysteresis-local"
+    }
+
+    fn decide(&mut self, view: &PolicyView<'_>, obs: &Observation) -> Decision {
+        match obs {
+            Observation::VertexTime {
+                vertex,
+                tier,
+                seconds,
+            } => {
+                if self
+                    .0
+                    .should_repartition(view.reference_vertex_s(*vertex, *tier), *seconds)
+                {
+                    Decision::Local(*vertex)
+                } else {
+                    Decision::Hold
+                }
+            }
+            Observation::StageTime {
+                tier,
+                seconds_per_frame,
+                ..
+            } => match view.stage_anchor_s(*tier) {
+                Some(anchor) if self.0.should_repartition(anchor, *seconds_per_frame) => view
+                    .heaviest_member(*tier)
+                    .map_or(Decision::Hold, Decision::Local),
+                _ => Decision::Hold, // in band, or calibration sample
+            },
+            Observation::Network { net } => {
+                if self
+                    .0
+                    .should_repartition(view.reference_backbone_mbps(), net.rates().edge_cloud_mbps)
+                {
+                    Decision::Full
+                } else {
+                    Decision::Hold
+                }
+            }
+            Observation::QueueDepth { .. } => Decision::Hold,
+        }
+    }
+
+    fn fork(&self) -> Box<dyn AdaptivePolicy> {
+        Box::new(*self)
+    }
+}
+
+/// Comparison policy: the same hysteresis gates as [`HysteresisLocal`],
+/// but every triggered update re-solves the whole DAG — the brute-force
+/// alternative the paper's local mechanism is measured against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullResolve(pub DriftMonitor);
+
+impl AdaptivePolicy for FullResolve {
+    fn name(&self) -> &'static str {
+        "full-resolve"
+    }
+
+    fn decide(&mut self, view: &PolicyView<'_>, obs: &Observation) -> Decision {
+        // Reuse the local policy's gates, escalating any trigger.
+        match HysteresisLocal(self.0).decide(view, obs) {
+            Decision::Hold => Decision::Hold,
+            Decision::Local(_) | Decision::Full => Decision::Full,
+        }
+    }
+
+    fn fork(&self) -> Box<dyn AdaptivePolicy> {
+        Box::new(*self)
+    }
+}
+
+/// Null policy: ingest telemetry, never change the plan (the frozen
+/// baseline every adaptation experiment compares against).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAdapt;
+
+impl AdaptivePolicy for NoAdapt {
+    fn name(&self) -> &'static str {
+        "no-adapt"
+    }
+
+    fn decide(&mut self, _view: &PolicyView<'_>, _obs: &Observation) -> Decision {
+        Decision::Hold
+    }
+
+    fn fork(&self) -> Box<dyn AdaptivePolicy> {
+        Box::new(*self)
+    }
+}
+
+/// How much of the plan a [`PlanUpdate`] recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateScope {
+    /// HPA's local repair around a drifted vertex.
+    Local,
+    /// A full re-solve.
+    Full,
+}
+
+/// A complete, deployable plan change emitted by the controller: the new
+/// deployment (assignment, stage specs, Θ, VSM plans) plus the diff
+/// against the previous plan. Feed it to `StreamSession::apply_plan` to
+/// swap a running stream onto the new plan.
+#[derive(Debug, Clone)]
+pub struct PlanUpdate {
+    /// The new deployment, built from the controller's live problem.
+    pub deployment: Deployment,
+    /// Vertices whose tier changed relative to the previous plan.
+    pub changed: Vec<NodeId>,
+    /// Whether a local repair or a full solve produced it.
+    pub scope: UpdateScope,
+}
+
+/// The adaptive partition controller: ingests [`Observation`]s, lets its
+/// [`AdaptivePolicy`] decide, and emits [`PlanUpdate`]s.
 pub struct AdaptiveEngine {
     problem: Problem,
     assignment: Assignment,
     opts: HpaOptions,
-    monitor: DriftMonitor,
-    /// Vertex weights at the last (re-)partition, the hysteresis reference.
+    policy: Box<dyn AdaptivePolicy>,
+    vsm: Option<VsmConfig>,
+    /// Vertex weights at the last (re-)partition, the hysteresis
+    /// reference.
     reference: Vec<[f64; 3]>,
     /// Backbone bandwidth at the last re-partition.
     reference_backbone_mbps: f64,
+    /// Measured stage-time anchors (wall-clock calibration per tier).
+    stage_anchor: [Option<f64>; 3],
     /// Count of local re-partitions triggered.
     pub local_updates: usize,
     /// Count of full re-partitions triggered (network-wide drift).
     pub full_updates: usize,
-    /// Observations suppressed by hysteresis.
+    /// Observations suppressed by the policy (held inside the band).
     pub suppressed: usize,
 }
 
+impl std::fmt::Debug for AdaptiveEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveEngine")
+            .field("graph", &self.problem.graph().name())
+            .field("policy", &self.policy.name())
+            .field("local_updates", &self.local_updates)
+            .field("full_updates", &self.full_updates)
+            .field("suppressed", &self.suppressed)
+            .finish()
+    }
+}
+
 impl AdaptiveEngine {
-    /// Partitions `problem` with HPA and starts monitoring.
-    pub fn new(problem: Problem, opts: HpaOptions, monitor: DriftMonitor) -> Self {
+    /// Partitions `problem` with HPA and starts monitoring under
+    /// `policy`.
+    pub fn new(problem: Problem, opts: HpaOptions, policy: Box<dyn AdaptivePolicy>) -> Self {
         let assignment = Hpa(opts.clone())
             .partition(&problem)
             .expect("HPA applies to every topology");
-        Self::with_assignment(problem, assignment, opts, monitor)
+        Self::with_assignment(problem, assignment, opts, policy)
     }
 
     /// Starts monitoring from an already-computed `assignment` (e.g. the
@@ -48,7 +312,7 @@ impl AdaptiveEngine {
         problem: Problem,
         assignment: Assignment,
         opts: HpaOptions,
-        monitor: DriftMonitor,
+        policy: Box<dyn AdaptivePolicy>,
     ) -> Self {
         let reference = snapshot(&problem);
         let reference_backbone_mbps = backbone_mbps(problem.net());
@@ -56,13 +320,23 @@ impl AdaptiveEngine {
             problem,
             assignment,
             opts,
-            monitor,
+            policy,
+            vsm: None,
             reference,
             reference_backbone_mbps,
+            stage_anchor: [None; 3],
             local_updates: 0,
             full_updates: 0,
             suppressed: 0,
         }
+    }
+
+    /// Sets the VSM configuration emitted [`PlanUpdate`]s deploy with
+    /// (None: partition-only deployments).
+    #[must_use]
+    pub fn with_vsm(mut self, vsm: Option<VsmConfig>) -> Self {
+        self.vsm = vsm;
+        self
     }
 
     /// The graph being managed.
@@ -75,55 +349,191 @@ impl AdaptiveEngine {
         &self.assignment
     }
 
+    /// Name of the active adaptation policy.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
     /// Current single-frame latency Θ under the live weights.
     pub fn current_theta(&self) -> f64 {
         self.assignment.total_latency(&self.problem)
     }
 
-    /// Reports a new measured processing time for `(vertex, tier)`.
-    /// Returns `true` when the observation escaped the hysteresis band and
-    /// a local re-partition ran.
-    pub fn observe_vertex(&mut self, id: NodeId, tier: Tier, seconds: f64) -> bool {
-        self.problem.set_vertex_time(id, tier, seconds);
-        let reference = self.reference[id.index()][tier.rank()];
-        if !self.monitor.should_repartition(reference, seconds) {
-            self.suppressed += 1;
-            return false;
-        }
-        let update = repartition_local(&self.problem, &self.assignment, id, &self.opts);
-        self.assignment = update.assignment;
-        self.local_updates += 1;
-        // Re-anchor the reference at the new operating point.
-        self.reference[id.index()][tier.rank()] = seconds;
-        true
-    }
-
-    /// Reports a new network condition. Bandwidth drift outside the band
-    /// re-runs HPA (link weights change globally, so the paper's local
-    /// neighbourhood is the whole frontier; a full solve is O(|V|+|L|)
-    /// anyway).
-    pub fn observe_network(&mut self, net: NetworkCondition) -> bool {
-        let new_mbps = backbone_mbps(net);
-        self.problem.set_net(net);
-        if !self
-            .monitor
-            .should_repartition(self.reference_backbone_mbps, new_mbps)
-        {
-            self.suppressed += 1;
-            return false;
-        }
-        self.assignment = Hpa(self.opts.clone())
-            .partition(&self.problem)
-            .expect("HPA applies to every topology");
-        self.full_updates += 1;
-        self.reference = snapshot(&self.problem);
-        self.reference_backbone_mbps = new_mbps;
-        true
-    }
-
     /// Borrow the live problem (read-only).
     pub fn problem(&self) -> &Problem {
         &self.problem
+    }
+
+    /// Ingests one observation: folds it into the live problem, lets the
+    /// policy decide, and executes the decision. Returns a [`PlanUpdate`]
+    /// when the plan actually changed (a triggered re-partition that
+    /// lands on the same assignment re-anchors the references but emits
+    /// nothing — there is nothing to redeploy).
+    pub fn ingest(&mut self, obs: &Observation) -> Option<PlanUpdate> {
+        // 0. Reject malformed measurements outright: a NaN/negative
+        // reading (failed probe, 0/0 upstream) must never be folded
+        // into the live problem, where it would poison weights while
+        // the hysteresis band — false for NaN comparisons — holds.
+        if !observation_is_valid(obs) {
+            return None;
+        }
+        // 1. Fold the observation into the live problem.
+        match obs {
+            Observation::VertexTime {
+                vertex,
+                tier,
+                seconds,
+            } => self.problem.set_vertex_time(*vertex, *tier, *seconds),
+            Observation::StageTime {
+                tier,
+                seconds_per_frame,
+                ..
+            } => {
+                let rank = tier.rank();
+                match self.stage_anchor[rank] {
+                    None => {
+                        // First snapshot since the last (re-)partition:
+                        // calibrate, nothing to decide yet.
+                        if *seconds_per_frame > 0.0 {
+                            self.stage_anchor[rank] = Some(*seconds_per_frame);
+                        }
+                        return None;
+                    }
+                    Some(anchor) if anchor > 0.0 && *seconds_per_frame > 0.0 => {
+                        // Scale the segment's weights by the measured
+                        // drift ratio, from the *reference* weights so
+                        // repeated in-band snapshots never compound.
+                        let ratio = seconds_per_frame / anchor;
+                        let input = self.problem.graph().input();
+                        for m in self.assignment.segment(*tier) {
+                            if m == input {
+                                continue;
+                            }
+                            let base = self.reference[m.index()][rank];
+                            self.problem.set_vertex_time(m, *tier, base * ratio);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Observation::Network { net } => self.problem.set_net(*net),
+            Observation::QueueDepth { .. } => {}
+        }
+
+        // 2. Policy decision against the reference anchors.
+        let view = PolicyView {
+            problem: &self.problem,
+            assignment: &self.assignment,
+            reference: &self.reference,
+            reference_backbone_mbps: self.reference_backbone_mbps,
+            stage_anchor: &self.stage_anchor,
+        };
+        let decision = self.policy.decide(&view, obs);
+
+        // 3. Execute.
+        match decision {
+            Decision::Hold => {
+                if !matches!(obs, Observation::QueueDepth { .. }) {
+                    self.suppressed += 1;
+                }
+                None
+            }
+            Decision::Local(trigger) => {
+                let update =
+                    repartition_local(&self.problem, &self.assignment, trigger, &self.opts);
+                self.local_updates += 1;
+                self.finish_repartition(update.assignment, UpdateScope::Local, obs)
+            }
+            Decision::Full => {
+                let assignment = Hpa(self.opts.clone())
+                    .partition(&self.problem)
+                    .expect("HPA applies to every topology");
+                self.full_updates += 1;
+                self.finish_repartition(assignment, UpdateScope::Full, obs)
+            }
+        }
+    }
+
+    /// Ingests every observation of a snapshot; returns the last emitted
+    /// update (later observations already incorporate earlier ones — the
+    /// final plan is the one to deploy).
+    pub fn ingest_snapshot(&mut self, snapshot: &TelemetrySnapshot) -> Option<PlanUpdate> {
+        let mut last = None;
+        for obs in &snapshot.observations {
+            if let Some(update) = self.ingest(obs) {
+                last = Some(update);
+            }
+        }
+        last
+    }
+
+    /// Re-anchors references after a triggered re-partition and builds
+    /// the [`PlanUpdate`] when the assignment actually changed.
+    fn finish_repartition(
+        &mut self,
+        new_assignment: Assignment,
+        scope: UpdateScope,
+        obs: &Observation,
+    ) -> Option<PlanUpdate> {
+        let changed = self.assignment.diff(&new_assignment);
+        // Re-anchor at the new operating point (before adopting the new
+        // assignment: stage-level re-anchoring targets the segment that
+        // actually drifted — the *old* one).
+        match (scope, obs) {
+            (
+                UpdateScope::Local,
+                Observation::VertexTime {
+                    vertex,
+                    tier,
+                    seconds,
+                },
+            ) => {
+                self.reference[vertex.index()][tier.rank()] = *seconds;
+            }
+            (UpdateScope::Local, Observation::StageTime { tier, .. }) => {
+                // The segment's weights drifted as a block: re-anchor
+                // exactly the old segment's members to their live
+                // weights. Other vertices keep their references, so
+                // per-vertex drift held by hysteresis elsewhere is not
+                // silently absorbed.
+                for m in self.assignment.segment(*tier) {
+                    self.reference[m.index()][tier.rank()] = self.problem.vertex_time(m, *tier);
+                }
+            }
+            _ => {
+                // Full solves re-anchor everything.
+                self.reference = snapshot(&self.problem);
+                self.reference_backbone_mbps = backbone_mbps(self.problem.net());
+            }
+        }
+        self.assignment = new_assignment;
+        // Segments may have moved: measured stage anchors are stale.
+        self.stage_anchor = [None; 3];
+        if changed.is_empty() {
+            return None;
+        }
+        Some(PlanUpdate {
+            deployment: Deployment::new(&self.problem, self.assignment.clone(), self.vsm),
+            changed,
+            scope,
+        })
+    }
+}
+
+/// Whether an observation carries sane, finite measurements.
+fn observation_is_valid(obs: &Observation) -> bool {
+    match obs {
+        Observation::VertexTime { seconds, .. } => seconds.is_finite() && *seconds >= 0.0,
+        Observation::StageTime {
+            seconds_per_frame, ..
+        } => seconds_per_frame.is_finite() && *seconds_per_frame >= 0.0,
+        Observation::Network { net } => {
+            let r = net.rates();
+            [r.device_edge_mbps, r.edge_cloud_mbps, r.device_cloud_mbps]
+                .iter()
+                .all(|mbps| mbps.is_finite() && *mbps > 0.0)
+        }
+        Observation::QueueDepth { .. } => true,
     }
 }
 
@@ -153,7 +563,16 @@ mod tests {
 
     fn engine(g: &DnnGraph) -> AdaptiveEngine {
         let p = Problem::new(g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
-        AdaptiveEngine::new(p, HpaOptions::paper(), DriftMonitor::default())
+        AdaptiveEngine::new(p, HpaOptions::paper(), Box::new(HysteresisLocal::default()))
+    }
+
+    fn vertex_obs(e: &AdaptiveEngine, id: NodeId, factor: f64) -> Observation {
+        let tier = e.assignment().tier(id);
+        Observation::VertexTime {
+            vertex: id,
+            tier,
+            seconds: e.problem().vertex_time(id, tier) * factor,
+        }
     }
 
     #[test]
@@ -161,10 +580,8 @@ mod tests {
         let g = zoo::resnet18(224);
         let mut e = engine(&g);
         let id = NodeId(5);
-        let tier = e.assignment().tier(id);
-        let t = e.problem().vertex_time(id, tier);
-        assert!(!e.observe_vertex(id, tier, t * 1.1));
-        assert!(!e.observe_vertex(id, tier, t * 0.9));
+        assert!(e.ingest(&vertex_obs(&e, id, 1.1)).is_none());
+        assert!(e.ingest(&vertex_obs(&e, id, 0.9)).is_none());
         assert_eq!(e.suppressed, 2);
         assert_eq!(e.local_updates, 0);
     }
@@ -174,9 +591,7 @@ mod tests {
         let g = zoo::resnet18(224);
         let mut e = engine(&g);
         let id = NodeId(5);
-        let tier = e.assignment().tier(id);
-        let t = e.problem().vertex_time(id, tier);
-        assert!(e.observe_vertex(id, tier, t * 5.0));
+        e.ingest(&vertex_obs(&e, id, 5.0));
         assert_eq!(e.local_updates, 1);
         assert!(e.assignment().is_monotone(e.problem()));
     }
@@ -186,12 +601,13 @@ mod tests {
         let g = zoo::alexnet(224);
         let mut e = engine(&g);
         let id = NodeId(2);
-        let tier = e.assignment().tier(id);
-        let t = e.problem().vertex_time(id, tier);
-        assert!(e.observe_vertex(id, tier, t * 3.0));
-        // Same value again: inside the new band, suppressed.
-        assert!(!e.observe_vertex(id, tier, t * 3.0));
+        let obs = vertex_obs(&e, id, 3.0);
+        e.ingest(&obs);
         assert_eq!(e.local_updates, 1);
+        // Same value again: inside the new band, suppressed.
+        assert!(e.ingest(&obs).is_none());
+        assert_eq!(e.local_updates, 1);
+        assert_eq!(e.suppressed, 1);
     }
 
     #[test]
@@ -200,7 +616,9 @@ mod tests {
         let mut e = engine(&g);
         let before = e.assignment().clone();
         // Wi-Fi (31.53 Mbps backbone) → 4G (13.79): ratio 0.44, outside band.
-        assert!(e.observe_network(NetworkCondition::FourG));
+        e.ingest(&Observation::Network {
+            net: NetworkCondition::FourG,
+        });
         assert_eq!(e.full_updates, 1);
         // The new plan must be at least as good as the stale one under 4G.
         let stale = before.total_latency(e.problem());
@@ -212,7 +630,11 @@ mod tests {
         let g = zoo::vgg16(224);
         let mut e = engine(&g);
         // 31.53 → 28 Mbps: within the 0.7–1.4 band.
-        assert!(!e.observe_network(NetworkCondition::custom_backbone(28.0)));
+        assert!(e
+            .ingest(&Observation::Network {
+                net: NetworkCondition::custom_backbone(28.0)
+            })
+            .is_none());
         assert_eq!(e.full_updates, 0);
     }
 
@@ -225,7 +647,9 @@ mod tests {
         let frozen = Hpa::paper().partition(&p).unwrap();
         let mut e = engine(&g);
         for mbps in [31.53, 10.0, 4.0, 8.0, 60.0, 100.0, 31.53] {
-            e.observe_network(NetworkCondition::custom_backbone(mbps));
+            e.ingest(&Observation::Network {
+                net: NetworkCondition::custom_backbone(mbps),
+            });
             let mut frozen_problem =
                 Problem::new(&g, &TierProfiles::paper_testbed(), e.problem().net());
             frozen_problem.set_net(e.problem().net());
@@ -236,5 +660,186 @@ mod tests {
                 "at {mbps} Mbps adapted {adapted} > stale {stale}"
             );
         }
+    }
+
+    #[test]
+    fn plan_updates_carry_the_diff_and_a_consistent_deployment() {
+        let g = zoo::vgg16(224);
+        let mut e = engine(&g);
+        let before = e.assignment().clone();
+        let update = e
+            .ingest(&Observation::Network {
+                net: NetworkCondition::custom_backbone(2.0),
+            })
+            .expect("10x bandwidth collapse must repartition");
+        assert_eq!(update.scope, UpdateScope::Full);
+        assert!(!update.changed.is_empty());
+        assert_eq!(
+            update.changed,
+            before.diff(&update.deployment.assignment),
+            "diff must describe old -> new"
+        );
+        assert_eq!(update.deployment.assignment.tiers(), e.assignment().tiers());
+    }
+
+    #[test]
+    fn stage_time_first_sample_calibrates_then_drift_triggers() {
+        let g = zoo::vgg16(224);
+        let mut e = engine(&g);
+        // Drift whichever tier actually carries layers under this plan.
+        let tier = Tier::ALL
+            .into_iter()
+            .max_by_key(|t| {
+                e.assignment()
+                    .segment(*t)
+                    .iter()
+                    .filter(|&&id| id != e.graph().input())
+                    .count()
+            })
+            .unwrap();
+        // Calibration: arbitrary wall-clock scale, no decision.
+        let calib = Observation::StageTime {
+            tier,
+            seconds_per_frame: 0.5,
+            frames: 16,
+        };
+        assert!(e.ingest(&calib).is_none());
+        assert_eq!(e.suppressed, 0);
+        // In-band snapshot: suppressed.
+        assert!(e
+            .ingest(&Observation::StageTime {
+                tier,
+                seconds_per_frame: 0.55,
+                frames: 16,
+            })
+            .is_none());
+        assert_eq!(e.suppressed, 1);
+        // 3x drift: triggers a local repartition around the heaviest
+        // edge vertex.
+        e.ingest(&Observation::StageTime {
+            tier,
+            seconds_per_frame: 1.5,
+            frames: 16,
+        });
+        assert_eq!(e.local_updates, 1);
+        assert!(e.assignment().is_monotone(e.problem()));
+    }
+
+    #[test]
+    fn full_resolve_policy_escalates_local_triggers() {
+        let g = zoo::resnet18(224);
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        let mut e = AdaptiveEngine::new(p, HpaOptions::paper(), Box::new(FullResolve::default()));
+        let id = NodeId(5);
+        e.ingest(&vertex_obs(&e, id, 6.0));
+        assert_eq!(e.full_updates, 1);
+        assert_eq!(e.local_updates, 0);
+    }
+
+    #[test]
+    fn no_adapt_policy_never_changes_the_plan() {
+        let g = zoo::vgg16(224);
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        let before = Hpa::paper().partition(&p).unwrap();
+        let mut e = AdaptiveEngine::new(p, HpaOptions::paper(), Box::new(NoAdapt));
+        assert!(e
+            .ingest(&Observation::Network {
+                net: NetworkCondition::custom_backbone(1.0)
+            })
+            .is_none());
+        assert!(e.ingest(&vertex_obs(&e, NodeId(3), 50.0)).is_none());
+        assert_eq!(e.assignment().tiers(), before.tiers());
+        assert_eq!(e.full_updates + e.local_updates, 0);
+    }
+
+    #[test]
+    fn malformed_observations_are_rejected_outright() {
+        let g = zoo::alexnet(224);
+        let mut e = engine(&g);
+        let theta = e.current_theta();
+        assert!(e
+            .ingest(&Observation::VertexTime {
+                vertex: NodeId(3),
+                tier: Tier::Cloud,
+                seconds: f64::NAN,
+            })
+            .is_none());
+        assert!(e
+            .ingest(&Observation::StageTime {
+                tier: Tier::Edge,
+                seconds_per_frame: f64::NEG_INFINITY,
+                frames: 1,
+            })
+            .is_none());
+        assert!(e
+            .ingest(&Observation::Network {
+                net: NetworkCondition::custom_backbone(f64::NAN),
+            })
+            .is_none());
+        assert_eq!(e.current_theta(), theta, "no poison folded into weights");
+        assert_eq!(e.local_updates + e.full_updates, 0);
+    }
+
+    #[test]
+    fn stage_repartition_keeps_references_of_non_members() {
+        // Held (in-band) per-vertex drift must survive a stage-triggered
+        // repartition of a segment the vertex does NOT belong to: only
+        // the drifted segment's members re-anchor on that tier
+        // dimension.
+        let g = zoo::vgg16(224);
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        // Force a split plan so every tier has a segment.
+        let assignment = d3_partition::EvenSplit.partition(&p).unwrap();
+        let mut e = AdaptiveEngine::with_assignment(
+            p,
+            assignment,
+            HpaOptions::paper(),
+            Box::new(HysteresisLocal::default()),
+        );
+        let tier = Tier::Edge;
+        // A vertex assigned elsewhere, drifting on `tier`'s dimension.
+        let v = g
+            .layer_ids()
+            .find(|&id| e.assignment().tier(id) != tier)
+            .expect("even split loads all tiers");
+        let base = e.problem().vertex_time(v, tier);
+        e.ingest(&Observation::VertexTime {
+            vertex: v,
+            tier,
+            seconds: base * 1.3,
+        });
+        assert_eq!(e.suppressed, 1, "1.3x is inside the band");
+        // Stage-level drift triggers a local repartition on `tier`.
+        e.ingest(&Observation::StageTime {
+            tier,
+            seconds_per_frame: 0.5,
+            frames: 8,
+        });
+        e.ingest(&Observation::StageTime {
+            tier,
+            seconds_per_frame: 1.5,
+            frames: 8,
+        });
+        assert_eq!(e.local_updates, 1);
+        // The held vertex's reference was NOT silently re-anchored: a
+        // further 1.3x step (1.69x of the original anchor) now escapes
+        // the band.
+        let before = e.local_updates + e.full_updates;
+        e.ingest(&Observation::VertexTime {
+            vertex: v,
+            tier,
+            seconds: base * 1.69,
+        });
+        assert!(
+            e.local_updates + e.full_updates > before,
+            "cumulative drift past the band must still trigger"
+        );
+    }
+
+    #[test]
+    fn policies_fork_into_independent_instances() {
+        let proto: Box<dyn AdaptivePolicy> = Box::new(HysteresisLocal::default());
+        let forked = proto.fork();
+        assert_eq!(proto.name(), forked.name());
     }
 }

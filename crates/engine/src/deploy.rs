@@ -9,7 +9,7 @@
 use crate::pipeline::{simulate_stream, StageSpec, StreamStats};
 use d3_partition::{Assignment, FixedTier, HpaOptions, PartitionError, Partitioner, Problem};
 use d3_simnet::Tier;
-use d3_vsm::{find_tileable_runs, parallel_time, VsmPlan};
+use d3_vsm::{clamp_grid, find_tileable_runs, parallel_time, VsmPlan};
 
 /// Vertical-separation configuration for the edge stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -242,10 +242,6 @@ impl Deployment {
     pub fn paper_stream_latency(&self) -> f64 {
         self.stream(30.0, 3000).mean_latency_s
     }
-}
-
-fn clamp_grid(grid: (usize, usize), plane: (usize, usize)) -> (usize, usize) {
-    (grid.0.min(plane.0).max(1), grid.1.min(plane.1).max(1))
 }
 
 /// Partitions with `strategy`'s [`Partitioner`] and deploys through

@@ -15,12 +15,12 @@ use crate::deploy::VsmConfig;
 use crate::wire;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use d3_model::{DnnGraph, Executor, NodeId};
+use d3_model::{crossing_tensors, walk_segment, DnnGraph, Executor, NodeId};
 use d3_partition::Assignment;
 use d3_simnet::Tier;
 use d3_tensor::Tensor;
-use d3_vsm::{find_tileable_runs, TileExecutor, VsmPlan};
-use std::collections::{HashMap, HashSet};
+use d3_vsm::TiledRuns;
+use std::collections::HashMap;
 
 /// A tensor crossing tiers: producer vertex plus encoded payload.
 type WireMsg = (NodeId, Bytes);
@@ -168,9 +168,10 @@ fn tier_worker(
 
 /// Executes a tier's members, optionally accelerating tileable runs with
 /// the VSM tile executor (edge tier only). Returns the same
-/// crossing-tensor map as [`Executor::run_segment`]. (The streaming
-/// pipeline's edge stage mirrors this logic with prebuilt operators —
-/// see `VsmStage` in [`crate::stream`].)
+/// crossing-tensor map as [`Executor::run_segment`]. The tile-run rules
+/// (grid clamp, plan-rejection serial fallback, interior skipping) are
+/// the shared [`TiledRuns`]; the streaming edge stage (`VsmStage` in
+/// [`crate::stream`]) uses the identical helper with prebuilt operators.
 fn execute_segment(
     exec: &Executor<'_>,
     graph: &DnnGraph,
@@ -183,82 +184,21 @@ fn execute_segment(
         (Tier::Edge, Some(cfg)) => cfg,
         _ => return exec.run_segment(members, boundary),
     };
-    let runs = find_tileable_runs(graph, members, cfg.min_run_len);
+    let runs = TiledRuns::prepare(exec, members, cfg.grid, cfg.min_run_len);
     if runs.is_empty() {
         return exec.run_segment(members, boundary);
     }
-    // Map: run member -> (run index, position).
-    let mut run_of: HashMap<NodeId, usize> = HashMap::new();
-    for (ri, run) in runs.iter().enumerate() {
-        for &id in run {
-            run_of.insert(id, ri);
-        }
-    }
-    let member_set: HashSet<NodeId> = members.iter().copied().collect();
     let mut values: HashMap<NodeId, Tensor> = boundary.clone();
     let mut sorted: Vec<NodeId> = members.to_vec();
-    sorted.sort();
-    for &id in &sorted {
-        if values.contains_key(&id) {
-            continue;
-        }
-        if let Some(&ri) = run_of.get(&id) {
-            let run = &runs[ri];
-            if run[0] != id {
-                continue; // interior run member: produced by the run head
-            }
-            // Execute the whole run tile-parallel.
-            let run_input_node = graph.node(run[0]).preds[0];
-            let run_input = values
-                .get(&run_input_node)
-                .unwrap_or_else(|| panic!("run input {run_input_node} missing"))
-                .clone();
-            let out_shape = graph.node(*run.last().expect("non-empty")).shape;
-            let rows = cfg.grid.0.min(out_shape.h).max(1);
-            let cols = cfg.grid.1.min(out_shape.w).max(1);
-            match VsmPlan::new(graph, run, rows, cols) {
-                Ok(plan) => {
-                    let tex = TileExecutor::new(exec, plan);
-                    let out = tex.run_parallel(&run_input);
-                    values.insert(*run.last().expect("non-empty"), out);
-                }
-                Err(_) => {
-                    // Fall back to serial execution of the run.
-                    let mut cur = run_input;
-                    for &rid in run {
-                        cur = exec.build_op(rid).apply(&[&cur]);
-                        values.insert(rid, cur.clone());
-                    }
-                }
-            }
-            continue;
-        }
-        let node = graph.node(id);
-        let inputs: Vec<&Tensor> = node
-            .preds
-            .iter()
-            .map(|p| {
-                values
-                    .get(p)
-                    .unwrap_or_else(|| panic!("missing predecessor {p} for {id}"))
-            })
-            .collect();
-        let out = exec.build_op(id).apply(&inputs);
-        values.insert(id, out);
-    }
-    // Crossing outputs.
-    let mut result = HashMap::new();
-    for &id in &sorted {
-        let node = graph.node(id);
-        let needed_outside =
-            node.succs.is_empty() || node.succs.iter().any(|s| !member_set.contains(s));
-        if needed_outside {
-            if let Some(t) = values.get(&id) {
-                result.insert(id, t.clone());
-            }
-        }
-    }
-    result
+    sorted.sort_unstable();
+    walk_segment(
+        graph,
+        &sorted,
+        &mut values,
+        |id, values| runs.execute(id, values, |rid, inputs| exec.build_op(rid).apply(inputs)),
+        |id, inputs| exec.build_op(id).apply(inputs),
+    );
+    crossing_tensors(graph, &sorted, &values)
 }
 
 #[cfg(test)]

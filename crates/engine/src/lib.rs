@@ -16,9 +16,15 @@
 //! - [`stream`]: the *pipelined* streaming executor — the plan's tier
 //!   segments become long-lived worker threads behind bounded queues, so
 //!   measured throughput/latency/utilization come back in the same
-//!   [`StreamStats`] shape the simulator predicts,
-//! - [`adapt`]: threshold-gated runtime re-partitioning under resource
-//!   and bandwidth drift.
+//!   [`StreamStats`] shape the simulator predicts; running pipelines
+//!   emit live telemetry and swap plans mid-stream
+//!   ([`StreamPipeline::apply_plan`]) without dropping frames,
+//! - [`telemetry`]: the unified [`Observation`] surface every
+//!   measurement source speaks — live stream stages, the simulator, the
+//!   profiler, and out-of-band probes,
+//! - [`adapt`]: policy-driven runtime re-partitioning
+//!   ([`AdaptivePolicy`]: hysteresis-gated local repair, full re-solve,
+//!   or frozen) emitting deployable [`PlanUpdate`]s.
 //!
 //! ## Example
 //!
@@ -44,9 +50,13 @@ pub mod deploy;
 pub mod distributed;
 pub mod pipeline;
 pub mod stream;
+pub mod telemetry;
 pub mod wire;
 
-pub use adapt::AdaptiveEngine;
+pub use adapt::{
+    AdaptiveEngine, AdaptivePolicy, Decision, FullResolve, HysteresisLocal, NoAdapt, PlanUpdate,
+    PolicyView, UpdateScope,
+};
 pub use deploy::{deploy_strategy, Deployment, Strategy, VsmConfig};
 pub use distributed::run_distributed;
 pub use pipeline::{
@@ -54,7 +64,10 @@ pub use pipeline::{
     StreamStats,
 };
 pub use stream::{
-    FrameId, StreamBuildError, StreamOptions, StreamPipeline, StreamRecvError, StreamReport,
-    SubmitError,
+    FrameId, PlanSwap, StreamBuildError, StreamOptions, StreamPipeline, StreamRecvError,
+    StreamReport, SubmitError,
+};
+pub use telemetry::{
+    predicted_observations, profile_observations, Observation, TelemetrySnapshot, TelemetryTap,
 };
 pub use wire::{decode, encode, wire_size, WireError};

@@ -24,6 +24,18 @@
 //!   runs, the edge stage instead holds prebuilt VSM tile executors
 //!   (plus prebuilt operators for its untiled members) — still zero
 //!   per-frame weight construction.
+//! - **Live telemetry.** Each stage worker periodically publishes a
+//!   [`TelemetrySnapshot`] (measured compute per frame, ingress queue
+//!   depth) over a bounded channel; tap it mid-stream with
+//!   [`StreamPipeline::telemetry`]. Producers drop snapshots when no one
+//!   drains — telemetry never backpressures the data path.
+//! - **Live reconfiguration.** [`StreamPipeline::apply_plan`] swaps the
+//!   running pipeline onto a controller-emitted [`PlanUpdate`] *without
+//!   dropping a frame*: admissions pause, in-flight frames drain to a
+//!   reorder buffer at a frame boundary, stages whose segment did not
+//!   change keep their prebuilt executors (weights and all), changed
+//!   stages are rebuilt, and the stream resumes. Frame ids keep
+//!   increasing across the swap and results stay in submission order.
 //! - **Shared metrics shape.** Closing the pipeline yields a
 //!   [`StreamReport`] whose [`StreamStats`] has the *same shape* the
 //!   simulator emits (p50/p95/max latency, throughput, interleaved
@@ -32,22 +44,32 @@
 //! - **Losslessness.** Tensors cross stages through the [`crate::wire`]
 //!   codec, and stage executors reuse the deployment's weight seed:
 //!   streamed outputs are bit-identical to one-shot
-//!   [`crate::run_distributed`] / single-node inference.
+//!   [`crate::run_distributed`] / single-node inference — before,
+//!   during and after a plan swap.
 
+use crate::adapt::PlanUpdate;
 use crate::deploy::{Deployment, VsmConfig};
 use crate::pipeline::{percentile, simulate_stream, StageSpec, StreamStats};
+use crate::telemetry::{Observation, TelemetrySnapshot, TelemetryTap};
 use crate::wire;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use d3_model::{crossing_tensors, DnnGraph, Executor, LayerOp, NodeId, SegmentExecutor};
+use d3_model::{
+    crossing_tensors, walk_segment, DnnGraph, Executor, LayerOp, NodeId, SegmentExecutor,
+};
+use d3_partition::Assignment;
 use d3_simnet::Tier;
 use d3_tensor::Tensor;
-use d3_vsm::{find_tileable_runs, TileExecutor, VsmPlan};
-use std::collections::{HashMap, HashSet};
+use d3_vsm::TiledRuns;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Bound of the telemetry snapshot queue; producers drop (never block)
+/// once it fills.
+const TELEMETRY_DEPTH: usize = 64;
 
 /// Identifier of one submitted frame, unique and increasing within a
 /// pipeline (rejected submissions may leave gaps).
@@ -68,16 +90,23 @@ pub struct StreamOptions {
     /// ingress queue holds this many frames, [`StreamPipeline::submit`]
     /// reports backpressure.
     pub capacity: usize,
+    /// Frames per telemetry window: every stage worker publishes a
+    /// [`TelemetrySnapshot`] after this many processed frames. `0`
+    /// disables telemetry emission.
+    pub telemetry_every: u64,
 }
 
 impl Default for StreamOptions {
     fn default() -> Self {
-        Self { capacity: 8 }
+        Self {
+            capacity: 8,
+            telemetry_every: 32,
+        }
     }
 }
 
 impl StreamOptions {
-    /// Default options (queue capacity 8).
+    /// Default options (queue capacity 8, telemetry every 32 frames).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -92,6 +121,13 @@ impl StreamOptions {
     pub fn capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         self.capacity = capacity;
+        self
+    }
+
+    /// Sets the telemetry window (frames per snapshot; 0 disables).
+    #[must_use]
+    pub fn telemetry_every(mut self, frames: u64) -> Self {
+        self.telemetry_every = frames;
         self
     }
 }
@@ -112,6 +148,14 @@ pub enum StreamBuildError {
         /// Output count.
         outputs: usize,
     },
+    /// The plan covers a different vertex count than the streaming
+    /// graph (e.g. a [`PlanUpdate`] built for another model).
+    PlanMismatch {
+        /// Vertices in the streaming graph.
+        expected: usize,
+        /// Vertices the plan covers.
+        got: usize,
+    },
     /// [`StreamOptions::capacity`] was set to zero (the field is public;
     /// the [`capacity`](StreamOptions::capacity) builder rejects this
     /// earlier).
@@ -131,6 +175,10 @@ impl std::fmt::Display for StreamBuildError {
                     "streaming requires a single-output graph (has {outputs})"
                 )
             }
+            StreamBuildError::PlanMismatch { expected, got } => write!(
+                f,
+                "plan covers {got} vertices but the streaming graph has {expected}"
+            ),
             StreamBuildError::ZeroCapacity => write!(f, "queue capacity must be positive"),
         }
     }
@@ -201,143 +249,90 @@ enum StageExec {
     Vsm(VsmStage),
 }
 
-/// One tileable run of the edge segment, prepared at session open.
-struct PreparedRun {
-    /// The vertex feeding the run (outside or upstream of it).
-    input_node: NodeId,
-    /// The run's final vertex — the only run member whose value
-    /// materializes when the run executes tiled.
-    last: NodeId,
-    /// The run's members in chain order.
-    run: Vec<NodeId>,
-    /// Prebuilt tile executor; `None` means the plan was rejected and
-    /// the run executes serially through `VsmStage::ops`.
-    tiles: Option<TileExecutor>,
+impl StageExec {
+    /// The segment members served (ascending) — the reuse key for live
+    /// reconfiguration: an executor survives a plan swap iff its member
+    /// set is unchanged.
+    fn members(&self) -> &[NodeId] {
+        match self {
+            StageExec::Prebuilt(seg) => seg.members(),
+            StageExec::Vsm(stage) => &stage.members,
+        }
+    }
+
+    fn run(&self, boundary: HashMap<NodeId, Tensor>) -> HashMap<NodeId, Tensor> {
+        match self {
+            StageExec::Prebuilt(seg) => seg.run(boundary),
+            StageExec::Vsm(stage) => stage.run(boundary),
+        }
+    }
 }
 
 /// An edge stage with VSM tile parallelism: the streaming counterpart of
 /// [`execute_segment`](crate::distributed) with every weight — tiled and
 /// untiled alike — materialized once at construction instead of per
-/// frame.
+/// frame. The tile-run rules themselves (grid clamp, plan-rejection
+/// serial fallback, interior skipping) are the shared
+/// [`d3_vsm::TiledRuns`].
 struct VsmStage {
     graph: Arc<DnnGraph>,
     /// Segment members, ascending (ids are topological).
     members: Vec<NodeId>,
-    /// Prepared runs keyed by their head vertex.
-    runs: HashMap<NodeId, PreparedRun>,
-    /// Non-head run members: produced (or skipped) when their head runs.
-    interior: HashSet<NodeId>,
+    /// Prepared tileable runs (prebuilt tile executors).
+    runs: TiledRuns,
     /// Prebuilt operators for every member outside a tiled run.
     ops: HashMap<NodeId, LayerOp>,
 }
 
 impl VsmStage {
-    /// `found_runs` is the [`find_tileable_runs`] result for `members`,
-    /// computed by the caller (which needed it to pick this path).
-    fn new(
-        graph: Arc<DnnGraph>,
-        seed: u64,
-        members: &[NodeId],
-        cfg: VsmConfig,
-        found_runs: Vec<Vec<NodeId>>,
-    ) -> Self {
+    /// Prepares the stage; `None` when the segment has no tileable run
+    /// (callers then use a plain prebuilt executor).
+    fn new(graph: Arc<DnnGraph>, seed: u64, members: &[NodeId], cfg: VsmConfig) -> Option<Self> {
         let mut sorted = members.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         let exec = Executor::new(&graph, seed);
-        let mut runs = HashMap::new();
-        let mut interior = HashSet::new();
-        let mut tiled_members: HashSet<NodeId> = HashSet::new();
-        for run in found_runs {
-            let head = run[0];
-            let last = *run.last().expect("non-empty run");
-            let input_node = graph.node(head).preds[0];
-            let out_shape = graph.node(last).shape;
-            let rows = cfg.grid.0.min(out_shape.h).max(1);
-            let cols = cfg.grid.1.min(out_shape.w).max(1);
-            let tiles = VsmPlan::new(&graph, &run, rows, cols)
-                .ok()
-                .map(|plan| TileExecutor::new(&exec, plan));
-            interior.extend(run.iter().skip(1).copied());
-            if tiles.is_some() {
-                tiled_members.extend(run.iter().copied());
-            }
-            runs.insert(
-                head,
-                PreparedRun {
-                    input_node,
-                    last,
-                    run,
-                    tiles,
-                },
-            );
+        let runs = TiledRuns::prepare(&exec, &sorted, cfg.grid, cfg.min_run_len);
+        if runs.is_empty() {
+            return None;
         }
         let ops = sorted
             .iter()
-            .filter(|id| !tiled_members.contains(id))
+            .filter(|&&id| !runs.is_tiled(id))
             .map(|&id| (id, exec.build_op(id)))
             .collect();
-        Self {
+        Some(Self {
             graph,
             members: sorted,
             runs,
-            interior,
             ops,
-        }
+        })
     }
 
     /// Executes the segment for one frame; same boundary/crossing
     /// contract as [`SegmentExecutor::run`] (boundary by value — this is
     /// the per-frame hot path), with tileable runs going through their
-    /// prebuilt [`TileExecutor`]s tile-parallel.
+    /// prebuilt tile executors tile-parallel.
     fn run(&self, boundary: HashMap<NodeId, Tensor>) -> HashMap<NodeId, Tensor> {
         let mut values = boundary;
-        for &id in &self.members {
-            if values.contains_key(&id) {
-                continue; // provided as boundary or by an executed run
-            }
-            if let Some(prepared) = self.runs.get(&id) {
-                let input = values
-                    .get(&prepared.input_node)
-                    .unwrap_or_else(|| panic!("run input {} missing", prepared.input_node))
-                    .clone();
-                match &prepared.tiles {
-                    Some(tex) => {
-                        values.insert(prepared.last, tex.run_parallel(&input));
-                    }
-                    None => {
-                        // Un-plannable run: serial through prebuilt ops.
-                        let mut cur = input;
-                        for &rid in &prepared.run {
-                            cur = self.ops[&rid].apply(&[&cur]);
-                            values.insert(rid, cur.clone());
-                        }
-                    }
-                }
-                continue;
-            }
-            if self.interior.contains(&id) {
-                continue; // tiled-run interior: never materialized
-            }
-            let node = self.graph.node(id);
-            let inputs: Vec<&Tensor> = node
-                .preds
-                .iter()
-                .map(|p| {
-                    values
-                        .get(p)
-                        .unwrap_or_else(|| panic!("missing predecessor {p} for {id}"))
-                })
-                .collect();
-            let out = self.ops[&id].apply(&inputs);
-            values.insert(id, out);
-        }
+        walk_segment(
+            &self.graph,
+            &self.members,
+            &mut values,
+            |id, values| {
+                self.runs
+                    .execute(id, values, |rid, inputs| self.ops[&rid].apply(inputs))
+            },
+            |id, inputs| self.ops[&id].apply(inputs),
+        );
         crossing_tensors(&self.graph, &self.members, &values)
     }
 }
 
 /// Static per-stage routing plan.
 struct StageCtx {
+    /// The stage's tier (telemetry labels).
+    tier: Tier,
     exec: StageExec,
     /// Payload ids this stage must decode (external inputs of its
     /// segment; for the last stage, also the graph output).
@@ -360,6 +355,183 @@ struct StageMetrics {
     last_done: Option<Instant>,
 }
 
+impl StageMetrics {
+    /// Merges a retiring worker generation into the accumulated totals
+    /// (live reconfiguration replaces workers; measurements span them).
+    fn absorb(&mut self, other: StageMetrics) {
+        self.decode_s += other.decode_s;
+        self.compute_s += other.compute_s;
+        self.encode_s += other.encode_s;
+        self.latencies_s.extend(other.latencies_s);
+        self.last_done = match (self.last_done, other.last_done) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// Per-stage routing derived from an assignment: segment members plus
+/// which payload ids each stage decodes and forwards.
+struct Routing {
+    /// Segment members per rank, ascending.
+    members: Vec<Vec<NodeId>>,
+    needed: Vec<HashSet<NodeId>>,
+    forward_ids: Vec<HashSet<NodeId>>,
+}
+
+/// Validates `assignment` as a forward pipeline over `graph` and derives
+/// the stage routing — shared by pipeline construction and live
+/// reconfiguration (a bad [`PlanUpdate`] is rejected here *before* the
+/// running stream is touched).
+fn plan_routing(
+    graph: &DnnGraph,
+    assignment: &Assignment,
+    output_node: NodeId,
+) -> Result<Routing, StreamBuildError> {
+    if assignment.len() != graph.len() {
+        return Err(StreamBuildError::PlanMismatch {
+            expected: graph.len(),
+            got: assignment.len(),
+        });
+    }
+    for node in graph.nodes() {
+        let from = assignment.tier(node.id);
+        for &succ in &node.succs {
+            if !from.precedes_eq(assignment.tier(succ)) {
+                return Err(StreamBuildError::NonMonotone {
+                    producer: node.id,
+                    consumer: succ,
+                });
+            }
+        }
+    }
+    // Per-stage routing: which payload ids each stage decodes, and
+    // which it forwards for later stages.
+    let members: Vec<Vec<NodeId>> = Tier::ALL.iter().map(|t| assignment.segment(*t)).collect();
+    let mut needed: Vec<HashSet<NodeId>> = vec![HashSet::new(); 3];
+    for (rank, stage_members) in members.iter().enumerate() {
+        for &m in stage_members {
+            for &p in &graph.node(m).preds {
+                if assignment.tier(p).rank() != rank {
+                    needed[rank].insert(p);
+                }
+            }
+        }
+    }
+    // The graph input's tensor is always provided externally (it is
+    // the submitted frame), and the final stage must hold the output
+    // tensor even when an earlier tier produced it.
+    needed[assignment.tier(graph.input()).rank()].insert(graph.input());
+    if !members[2].contains(&output_node) {
+        needed[2].insert(output_node);
+    }
+    let forward_ids: Vec<HashSet<NodeId>> = (0..3)
+        .map(|s| needed[s + 1..].iter().flatten().copied().collect())
+        .collect();
+    Ok(Routing {
+        members,
+        needed,
+        forward_ids,
+    })
+}
+
+/// Builds the executor for one stage (VSM-tiled edge when the segment
+/// has tileable runs, plain prebuilt weights otherwise).
+fn build_stage_exec(
+    graph: &Arc<DnnGraph>,
+    seed: u64,
+    members: &[NodeId],
+    tier: Tier,
+    vsm: Option<VsmConfig>,
+) -> StageExec {
+    if let (Tier::Edge, Some(cfg)) = (tier, vsm) {
+        if let Some(stage) = VsmStage::new(graph.clone(), seed, members, cfg) {
+            return StageExec::Vsm(stage);
+        }
+    }
+    StageExec::Prebuilt(SegmentExecutor::new(graph.clone(), seed, members))
+}
+
+/// Spawns the three stage workers for `routing`, reusing the executors
+/// in `reuse` whose member sets are unchanged (prebuilt weights survive
+/// the swap). Returns the new ingress sender, result receiver, worker
+/// handles and a per-rank reuse flag.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn spawn_stages(
+    graph: &Arc<DnnGraph>,
+    seed: u64,
+    vsm: Option<VsmConfig>,
+    capacity: usize,
+    output_node: NodeId,
+    routing: &Routing,
+    telemetry_every: u64,
+    telemetry_tx: &Sender<TelemetrySnapshot>,
+    mut reuse: Vec<Option<StageExec>>,
+) -> (
+    Sender<FrameMsg>,
+    Receiver<(FrameId, Tensor)>,
+    Vec<JoinHandle<(StageCtx, StageMetrics)>>,
+    [bool; 3],
+) {
+    // Channels: submit → device → edge → cloud → results.
+    let (tx_in, rx_dev) = bounded::<FrameMsg>(capacity);
+    let (tx_edge, rx_edge) = bounded::<FrameMsg>(capacity);
+    let (tx_cloud, rx_cloud) = bounded::<FrameMsg>(capacity);
+    let (tx_out, rx_out) = bounded::<(FrameId, Tensor)>(capacity);
+
+    let mut handles = Vec::with_capacity(3);
+    let receivers = [rx_dev, rx_edge, rx_cloud];
+    let mut senders = [Some(tx_edge), Some(tx_cloud), None::<Sender<FrameMsg>>];
+    let mut tx_out = Some(tx_out);
+    let mut reused = [false; 3];
+    for (rank, rx) in receivers.into_iter().enumerate() {
+        let tier = Tier::ALL[rank];
+        let members = &routing.members[rank];
+        let exec = match reuse.get_mut(rank).and_then(Option::take) {
+            Some(old) if old.members() == members.as_slice() => {
+                reused[rank] = true;
+                old
+            }
+            _ => build_stage_exec(graph, seed, members, tier, vsm),
+        };
+        let ctx = StageCtx {
+            tier,
+            exec,
+            needed: routing.needed[rank].clone(),
+            forward_ids: routing.forward_ids[rank].clone(),
+            output_node,
+            is_last: rank == 2,
+        };
+        let tx_next = senders[rank].take();
+        // Only the final stage sends results: that way rx_out
+        // disconnects — and recv() panics instead of hanging — as
+        // soon as a worker dies anywhere in the chain (a death
+        // cascades downstream through dropped channel ends).
+        let tx_results = if rank == 2 { tx_out.take() } else { None };
+        let ttx = telemetry_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            stage_worker(ctx, rx, tx_next, tx_results, telemetry_every, ttx)
+        }));
+    }
+    (tx_in, rx_out, handles, reused)
+}
+
+/// What a live plan swap did to the running pipeline.
+#[derive(Debug, Clone)]
+pub struct PlanSwap {
+    /// Vertices whose tier changed (from the applied [`PlanUpdate`]).
+    pub changed: Vec<NodeId>,
+    /// Stages whose prebuilt executor (weights included) survived the
+    /// swap because their segment was unchanged.
+    pub reused: Vec<Tier>,
+    /// Stages rebuilt for the new plan.
+    pub rebuilt: Vec<Tier>,
+    /// In-flight frames drained to the reorder buffer at the swap's
+    /// frame boundary (none dropped; they surface through `recv` in
+    /// submission order).
+    pub drained_frames: u64,
+}
+
 /// Final report of a closed streaming session.
 #[derive(Debug, Clone)]
 pub struct StreamReport {
@@ -367,7 +539,8 @@ pub struct StreamReport {
     /// [`simulate_stream`] emits — compare them field by field.
     pub measured: StreamStats,
     /// The deployment's predicted stage specs (feed them to
-    /// [`simulate_stream`] via [`StreamReport::predicted_stats`]).
+    /// [`simulate_stream`] via [`StreamReport::predicted_stats`]). After
+    /// live reconfigurations these are the *latest* plan's specs.
     pub predicted: Vec<StageSpec>,
     /// Server labels matching `measured.utilization` order:
     /// `[device, device→, edge, edge→, cloud]`.
@@ -384,6 +557,8 @@ pub struct StreamReport {
     pub submitted: u64,
     /// Frames rejected by backpressure.
     pub rejected: u64,
+    /// Live plan swaps applied over the session's lifetime.
+    pub reconfigurations: u64,
 }
 
 impl StreamReport {
@@ -419,13 +594,14 @@ impl StreamReport {
     pub fn summary(&self) -> String {
         let mut out = format!(
             "frames: {} ({} rejected) | throughput: {:.1} fps | latency p50/p95/max: \
-             {:.1}/{:.1}/{:.1} ms\n",
+             {:.1}/{:.1}/{:.1} ms | plan swaps: {}\n",
             self.measured.frames,
             self.rejected,
             self.measured.throughput_fps,
             self.measured.p50_latency_s * 1e3,
             self.measured.p95_latency_s * 1e3,
             self.measured.max_latency_s * 1e3,
+            self.reconfigurations,
         );
         for (name, u) in self.server_names.iter().zip(&self.measured.utilization) {
             out.push_str(&format!("  {name:>8}: {:5.1}% busy\n", u * 100.0));
@@ -442,13 +618,30 @@ impl StreamReport {
 /// [`submit`](StreamPipeline::submit), pull results with
 /// [`recv`](StreamPipeline::recv), and [`close`](StreamPipeline::close)
 /// to collect the [`StreamReport`]. Results arrive in submission order
-/// (every queue is FIFO and every stage is a single worker).
+/// (every queue is FIFO and every stage is a single worker), including
+/// across [`apply_plan`](StreamPipeline::apply_plan) swaps. Dropping an
+/// un-closed pipeline signals and joins its workers (no thread leaks);
+/// only the report is lost.
 pub struct StreamPipeline {
+    graph: Arc<DnnGraph>,
+    seed: u64,
+    vsm: Option<VsmConfig>,
+    capacity: usize,
+    telemetry_every: u64,
     input_node: NodeId,
     input_shape: (usize, usize, usize),
+    output_node: NodeId,
+    assignment: Assignment,
     tx_in: Option<Sender<FrameMsg>>,
     rx_out: Receiver<(FrameId, Tensor)>,
-    handles: Vec<JoinHandle<StageMetrics>>,
+    handles: Vec<JoinHandle<(StageCtx, StageMetrics)>>,
+    /// Metrics absorbed from worker generations retired by plan swaps.
+    retired: Vec<StageMetrics>,
+    /// Frames drained at a swap's frame boundary, served before new
+    /// results to preserve submission order.
+    drained: Mutex<VecDeque<(FrameId, Tensor)>>,
+    telemetry_tx: Sender<TelemetrySnapshot>,
+    telemetry_rx: Receiver<TelemetrySnapshot>,
     predicted: Vec<StageSpec>,
     started: Instant,
     /// Admission instant of the first frame — the wall-clock anchor for
@@ -458,6 +651,7 @@ pub struct StreamPipeline {
     submitted: AtomicU64,
     rejected: AtomicU64,
     delivered: AtomicU64,
+    reconfigs: u64,
 }
 
 impl std::fmt::Debug for StreamPipeline {
@@ -466,6 +660,7 @@ impl std::fmt::Debug for StreamPipeline {
             .field("submitted", &self.submitted.load(Ordering::Relaxed))
             .field("delivered", &self.delivered.load(Ordering::Relaxed))
             .field("rejected", &self.rejected.load(Ordering::Relaxed))
+            .field("reconfigurations", &self.reconfigs)
             .finish()
     }
 }
@@ -495,93 +690,39 @@ impl StreamPipeline {
             });
         }
         let output_node = outputs[0];
-        let assignment = &deployment.assignment;
-        for node in graph.nodes() {
-            let from = assignment.tier(node.id);
-            for &succ in &node.succs {
-                if !from.precedes_eq(assignment.tier(succ)) {
-                    return Err(StreamBuildError::NonMonotone {
-                        producer: node.id,
-                        consumer: succ,
-                    });
-                }
-            }
-        }
-
-        // Per-stage routing: which payload ids each stage decodes, and
-        // which it forwards for later stages.
-        let members: Vec<Vec<NodeId>> = Tier::ALL.iter().map(|t| assignment.segment(*t)).collect();
-        let mut needed: Vec<HashSet<NodeId>> = vec![HashSet::new(); 3];
-        for (rank, stage_members) in members.iter().enumerate() {
-            for &m in stage_members {
-                for &p in &graph.node(m).preds {
-                    if assignment.tier(p).rank() != rank {
-                        needed[rank].insert(p);
-                    }
-                }
-            }
-        }
-        // The graph input's tensor is always provided externally (it is
-        // the submitted frame), and the final stage must hold the output
-        // tensor even when an earlier tier produced it.
-        needed[assignment.tier(graph.input()).rank()].insert(graph.input());
-        if !members[2].contains(&output_node) {
-            needed[2].insert(output_node);
-        }
-        let forward_ids: Vec<HashSet<NodeId>> = (0..3)
-            .map(|s| needed[s + 1..].iter().flatten().copied().collect())
-            .collect();
-
-        // Channels: submit → device → edge → cloud → results.
-        let (tx_in, rx_dev) = bounded::<FrameMsg>(options.capacity);
-        let (tx_edge, rx_edge) = bounded::<FrameMsg>(options.capacity);
-        let (tx_cloud, rx_cloud) = bounded::<FrameMsg>(options.capacity);
-        let (tx_out, rx_out) = bounded::<(FrameId, Tensor)>(options.capacity);
-
-        let mut handles = Vec::with_capacity(3);
-        let receivers = [rx_dev, rx_edge, rx_cloud];
-        let mut senders = [Some(tx_edge), Some(tx_cloud), None::<Sender<FrameMsg>>];
-        let mut tx_out = Some(tx_out);
-        for (rank, (rx, stage_members)) in receivers.into_iter().zip(members.iter()).enumerate() {
-            let tier = Tier::ALL[rank];
-            let prebuilt =
-                |graph: &Arc<DnnGraph>| SegmentExecutor::new(graph.clone(), seed, stage_members);
-            let exec = match (tier, vsm) {
-                (Tier::Edge, Some(cfg)) => {
-                    let runs = find_tileable_runs(&graph, stage_members, cfg.min_run_len);
-                    if runs.is_empty() {
-                        StageExec::Prebuilt(prebuilt(&graph))
-                    } else {
-                        StageExec::Vsm(VsmStage::new(graph.clone(), seed, stage_members, cfg, runs))
-                    }
-                }
-                _ => StageExec::Prebuilt(prebuilt(&graph)),
-            };
-            let ctx = StageCtx {
-                exec,
-                needed: needed[rank].clone(),
-                forward_ids: forward_ids[rank].clone(),
-                output_node,
-                is_last: rank == 2,
-            };
-            let tx_next = senders[rank].take();
-            // Only the final stage sends results: that way rx_out
-            // disconnects — and recv() panics instead of hanging — as
-            // soon as a worker dies anywhere in the chain (a death
-            // cascades downstream through dropped channel ends).
-            let tx_results = if rank == 2 { tx_out.take() } else { None };
-            handles.push(std::thread::spawn(move || {
-                stage_worker(ctx, rx, tx_next, tx_results)
-            }));
-        }
-
+        let routing = plan_routing(&graph, &deployment.assignment, output_node)?;
+        let (telemetry_tx, telemetry_rx) = bounded::<TelemetrySnapshot>(TELEMETRY_DEPTH);
+        let (tx_in, rx_out, handles, _) = spawn_stages(
+            &graph,
+            seed,
+            vsm,
+            options.capacity,
+            output_node,
+            &routing,
+            options.telemetry_every,
+            &telemetry_tx,
+            vec![None, None, None],
+        );
         let shape = graph.input_shape();
         Ok(Self {
             input_node: graph.input(),
             input_shape: (shape.c, shape.h, shape.w),
+            output_node,
+            assignment: deployment.assignment.clone(),
+            graph,
+            seed,
+            vsm,
+            capacity: options.capacity,
+            telemetry_every: options.telemetry_every,
             tx_in: Some(tx_in),
             rx_out,
             handles,
+            retired: std::iter::repeat_with(StageMetrics::default)
+                .take(3)
+                .collect(),
+            drained: Mutex::new(VecDeque::new()),
+            telemetry_tx,
+            telemetry_rx,
             predicted: deployment.stages.clone(),
             started: Instant::now(),
             first_submit: Mutex::new(None),
@@ -589,6 +730,7 @@ impl StreamPipeline {
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
+            reconfigs: 0,
         })
     }
 
@@ -668,13 +810,18 @@ impl StreamPipeline {
         }
     }
 
-    /// Waits for the next completed frame, in submission order.
+    /// Waits for the next completed frame, in submission order (frames
+    /// drained at a plan swap's boundary come first).
     ///
     /// # Errors
     ///
     /// [`StreamRecvError::NoFramesInFlight`] when every admitted frame
     /// was already received (a blocking wait would never return).
     pub fn recv(&self) -> Result<(FrameId, Tensor), StreamRecvError> {
+        if let Some(frame) = self.drained.lock().expect("drained poisoned").pop_front() {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            return Ok(frame);
+        }
         if self.pending() == 0 {
             return Err(StreamRecvError::NoFramesInFlight);
         }
@@ -686,6 +833,10 @@ impl StreamPipeline {
     /// Returns the next completed frame if one is ready.
     #[must_use]
     pub fn try_recv(&self) -> Option<(FrameId, Tensor)> {
+        if let Some(frame) = self.drained.lock().expect("drained poisoned").pop_front() {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            return Some(frame);
+        }
         let frame = self.rx_out.try_recv().ok()?;
         self.delivered.fetch_add(1, Ordering::Relaxed);
         Some(frame)
@@ -719,8 +870,116 @@ impl StreamPipeline {
         self.rejected.load(Ordering::Relaxed)
     }
 
+    /// The plan the pipeline is currently executing.
+    #[must_use]
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Live plan swaps applied so far.
+    #[must_use]
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigs
+    }
+
+    /// Opens a live telemetry tap: periodic per-stage snapshots
+    /// (measured compute per frame, ingress queue depth) over a bounded
+    /// channel. See [`TelemetryTap`] for consumer semantics.
+    #[must_use]
+    pub fn telemetry(&self) -> TelemetryTap {
+        TelemetryTap {
+            rx: self.telemetry_rx.clone(),
+        }
+    }
+
+    /// Swaps the running pipeline onto `update`'s plan **without
+    /// dropping a frame**: admissions pause, every in-flight frame
+    /// completes under the old plan and lands in a reorder buffer
+    /// (served by [`recv`](Self::recv) ahead of new results, preserving
+    /// submission order), then the stage workers are rebuilt for the new
+    /// plan — stages whose segment is unchanged keep their prebuilt
+    /// executor, weights and all — and the stream resumes. Frame ids
+    /// keep increasing across the swap.
+    ///
+    /// Outputs stay bit-identical to single-node inference on both sides
+    /// of the boundary: the swap changes *where* layers run, never what
+    /// they compute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamBuildError`] when the update's plan cannot run as
+    /// a forward pipeline; the running stream is left untouched (the
+    /// plan is validated before any teardown).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a stage worker died (a partitioning bug).
+    pub fn apply_plan(&mut self, update: &PlanUpdate) -> Result<PlanSwap, StreamBuildError> {
+        let deployment = &update.deployment;
+        let routing = plan_routing(&self.graph, &deployment.assignment, self.output_node)?;
+
+        // Quiesce at a frame boundary: stop admissions; the workers
+        // drain every in-flight frame and exit. Completed frames are
+        // parked in the reorder buffer, so the bounded result queue can
+        // never stall the drain.
+        drop(self.tx_in.take());
+        let drained_frames;
+        {
+            let mut drained = self.drained.lock().expect("drained poisoned");
+            let before = drained.len();
+            while let Ok(frame) = self.rx_out.recv() {
+                drained.push_back(frame);
+            }
+            drained_frames = (drained.len() - before) as u64;
+        }
+        let mut reuse: Vec<Option<StageExec>> = Vec::with_capacity(3);
+        for (rank, handle) in self.handles.drain(..).enumerate() {
+            let (ctx, metrics) = handle.join().expect("stage worker panicked");
+            self.retired[rank].absorb(metrics);
+            reuse.push(Some(ctx.exec));
+        }
+        // Every old-generation worker has exited: anything still queued
+        // on the telemetry channel was measured under the *old* plan.
+        // Flush it so a controller never calibrates the new segments
+        // from stale stage times.
+        while self.telemetry_rx.try_recv().is_ok() {}
+
+        let (tx_in, rx_out, handles, reused) = spawn_stages(
+            &self.graph,
+            self.seed,
+            self.vsm,
+            self.capacity,
+            self.output_node,
+            &routing,
+            self.telemetry_every,
+            &self.telemetry_tx,
+            reuse,
+        );
+        self.tx_in = Some(tx_in);
+        self.rx_out = rx_out;
+        self.handles = handles;
+        self.assignment = deployment.assignment.clone();
+        self.predicted = deployment.stages.clone();
+        self.reconfigs += 1;
+        let (mut kept, mut rebuilt) = (Vec::new(), Vec::new());
+        for (rank, was_reused) in reused.into_iter().enumerate() {
+            if was_reused {
+                kept.push(Tier::ALL[rank]);
+            } else {
+                rebuilt.push(Tier::ALL[rank]);
+            }
+        }
+        Ok(PlanSwap {
+            changed: update.changed.clone(),
+            reused: kept,
+            rebuilt,
+            drained_frames,
+        })
+    }
+
     /// Stops admissions, drains every in-flight frame, joins the stage
-    /// workers and reports the measured stream statistics.
+    /// workers and reports the measured stream statistics (spanning
+    /// every plan the session executed).
     ///
     /// # Panics
     ///
@@ -729,11 +988,11 @@ impl StreamPipeline {
     pub fn close(mut self) -> StreamReport {
         drop(self.tx_in.take()); // stop admissions; workers drain and exit
         while self.rx_out.recv().is_ok() {} // unread frames are dropped
-        let metrics: Vec<StageMetrics> = self
-            .handles
-            .drain(..)
-            .map(|h| h.join().expect("stage worker panicked"))
-            .collect();
+        let mut metrics: Vec<StageMetrics> = std::mem::take(&mut self.retired);
+        for (rank, h) in self.handles.drain(..).enumerate() {
+            let (_ctx, m) = h.join().expect("stage worker panicked");
+            metrics[rank].absorb(m);
+        }
 
         // Anchor the wall clock at the first admission (like the
         // per-frame latencies), so idle time between session open and
@@ -791,35 +1050,53 @@ impl StreamPipeline {
             wall_s: wall,
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            reconfigurations: self.reconfigs,
+        }
+    }
+}
+
+impl Drop for StreamPipeline {
+    /// An abandoned (un-[`close`](StreamPipeline::close)d) pipeline
+    /// still signals its workers and joins them: admissions stop, the
+    /// result queue is drained so no worker blocks on a full channel,
+    /// and every thread exits before the pipeline's memory is released.
+    fn drop(&mut self) {
+        drop(self.tx_in.take());
+        while self.rx_out.recv().is_ok() {}
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already tore the session down;
+            // don't double-panic inside drop.
+            let _ = handle.join();
         }
     }
 }
 
 /// One stage's event loop: decode needed inputs, run the segment,
-/// forward crossing tensors (or deliver the output), account busy time.
+/// forward crossing tensors (or deliver the output), account busy time,
+/// periodically publish telemetry.
 fn stage_worker(
     ctx: StageCtx,
     rx: Receiver<FrameMsg>,
     tx_next: Option<Sender<FrameMsg>>,
     tx_results: Option<Sender<(FrameId, Tensor)>>,
-) -> StageMetrics {
-    match &ctx.exec {
-        StageExec::Prebuilt(seg) => pump(&ctx, rx, tx_next, tx_results, |b| seg.run(b)),
-        StageExec::Vsm(stage) => pump(&ctx, rx, tx_next, tx_results, |b| stage.run(b)),
-    }
+    telemetry_every: u64,
+    telemetry: Sender<TelemetrySnapshot>,
+) -> (StageCtx, StageMetrics) {
+    let metrics = pump(&ctx, rx, tx_next, tx_results, telemetry_every, &telemetry);
+    (ctx, metrics)
 }
 
-fn pump<F>(
+fn pump(
     ctx: &StageCtx,
     rx: Receiver<FrameMsg>,
     tx_next: Option<Sender<FrameMsg>>,
     tx_results: Option<Sender<(FrameId, Tensor)>>,
-    run: F,
-) -> StageMetrics
-where
-    F: Fn(HashMap<NodeId, Tensor>) -> HashMap<NodeId, Tensor>,
-{
+    telemetry_every: u64,
+    telemetry: &Sender<TelemetrySnapshot>,
+) -> StageMetrics {
     let mut m = StageMetrics::default();
+    let mut win_frames: u64 = 0;
+    let mut win_compute = 0.0f64;
     while let Ok(FrameMsg {
         id,
         submitted_at,
@@ -849,8 +1126,11 @@ where
         m.decode_s += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let mut outputs = run(boundary);
-        m.compute_s += t1.elapsed().as_secs_f64();
+        let mut outputs = ctx.exec.run(boundary);
+        let compute = t1.elapsed().as_secs_f64();
+        m.compute_s += compute;
+        win_compute += compute;
+        win_frames += 1;
 
         if ctx.is_last {
             let out_tensor = outputs
@@ -885,6 +1165,26 @@ where
                 break; // downstream worker gone with the session
             }
         }
+
+        if telemetry_every > 0 && win_frames >= telemetry_every {
+            // Best-effort publish: a full queue (no consumer) drops the
+            // snapshot rather than slowing the frame path.
+            let _ = telemetry.try_send(TelemetrySnapshot {
+                observations: vec![
+                    Observation::StageTime {
+                        tier: ctx.tier,
+                        seconds_per_frame: win_compute / win_frames as f64,
+                        frames: win_frames,
+                    },
+                    Observation::QueueDepth {
+                        tier: ctx.tier,
+                        depth: rx.len(),
+                    },
+                ],
+            });
+            win_frames = 0;
+            win_compute = 0.0;
+        }
     }
     m
 }
@@ -892,9 +1192,18 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adapt::UpdateScope;
     use d3_partition::{Assignment, Partitioner, Problem};
     use d3_simnet::{NetworkCondition, TierProfiles};
     use d3_tensor::max_abs_diff;
+
+    fn test_problem(g: &Arc<DnnGraph>) -> Problem {
+        Problem::new(
+            g.clone(),
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::WiFi,
+        )
+    }
 
     fn pipeline_for(
         g: &Arc<DnnGraph>,
@@ -902,14 +1211,24 @@ mod tests {
         vsm: Option<VsmConfig>,
         options: StreamOptions,
     ) -> StreamPipeline {
-        let problem = Problem::new(
-            g.clone(),
-            &TierProfiles::paper_testbed(),
-            NetworkCondition::WiFi,
-        );
+        let problem = test_problem(g);
         let forced = d3_partition::EvenSplit.partition(&problem).unwrap();
         let deployment = Deployment::new(&problem, forced, vsm);
         StreamPipeline::new(g.clone(), seed, &deployment, vsm, options).unwrap()
+    }
+
+    fn update_to(
+        g: &Arc<DnnGraph>,
+        from: &Assignment,
+        to: Assignment,
+        vsm: Option<VsmConfig>,
+    ) -> PlanUpdate {
+        let problem = test_problem(g);
+        PlanUpdate {
+            changed: from.diff(&to),
+            deployment: Deployment::new(&problem, to, vsm),
+            scope: UpdateScope::Full,
+        }
     }
 
     #[test]
@@ -928,6 +1247,7 @@ mod tests {
         assert_eq!(report.measured.frames, 5);
         assert_eq!(report.submitted, 5);
         assert_eq!(report.rejected, 0);
+        assert_eq!(report.reconfigurations, 0);
         assert_eq!(report.measured.utilization.len(), 5);
     }
 
@@ -1007,11 +1327,7 @@ mod tests {
         let mut tiers = vec![Tier::Cloud; n];
         tiers[0] = Tier::Device;
         tiers[n - 1] = Tier::Device; // consumer upstream of its producer
-        let problem = Problem::new(
-            g.clone(),
-            &TierProfiles::paper_testbed(),
-            NetworkCondition::WiFi,
-        );
+        let problem = test_problem(&g);
         let deployment = Deployment::new(&problem, Assignment::new(tiers), None);
         let err =
             StreamPipeline::new(g.clone(), 1, &deployment, None, StreamOptions::new()).unwrap_err();
@@ -1023,11 +1339,7 @@ mod tests {
         // All real layers on the cloud: device and edge stages are empty
         // pass-throughs, and the raw input must reach the cloud stage.
         let g = Arc::new(d3_model::zoo::tiny_cnn(16));
-        let problem = Problem::new(
-            g.clone(),
-            &TierProfiles::paper_testbed(),
-            NetworkCondition::WiFi,
-        );
+        let problem = test_problem(&g);
         let assignment = Assignment::uniform(g.len(), Tier::Cloud);
         let deployment = Deployment::new(&problem, assignment, None);
         let pipeline =
@@ -1038,5 +1350,165 @@ mod tests {
         let expect = Executor::new(&g, 4).run(&input);
         assert_eq!(max_abs_diff(&got, &expect), Some(0.0));
         let _ = pipeline.close();
+    }
+
+    #[test]
+    fn apply_plan_swaps_mid_stream_without_dropping_frames() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let mut pipeline = pipeline_for(&g, 5, None, StreamOptions::new());
+        let exec = Executor::new(&g, 5);
+        let inputs: Vec<Tensor> = (0..6).map(|k| Tensor::random(3, 16, 16, 40 + k)).collect();
+        // Two frames in flight across the boundary.
+        pipeline.submit_blocking(&inputs[0]).unwrap();
+        pipeline.submit_blocking(&inputs[1]).unwrap();
+        let before = pipeline.assignment().clone();
+        let swap = pipeline
+            .apply_plan(&update_to(
+                &g,
+                &before,
+                Assignment::uniform(g.len(), Tier::Cloud),
+                None,
+            ))
+            .unwrap();
+        assert_eq!(
+            swap.drained_frames, 2,
+            "in-flight frames drained, not dropped"
+        );
+        for input in &inputs[2..] {
+            pipeline.submit_blocking(input).unwrap();
+        }
+        for (k, input) in inputs.iter().enumerate() {
+            let (id, got) = pipeline.recv().unwrap();
+            assert_eq!(id, FrameId(k as u64), "submission order across the swap");
+            assert_eq!(
+                max_abs_diff(&got, &exec.run(input)),
+                Some(0.0),
+                "frame {k} diverged across the swap"
+            );
+        }
+        let report = pipeline.close();
+        assert_eq!(report.measured.frames, 6);
+        assert_eq!(report.submitted, 6);
+        assert_eq!(report.reconfigurations, 1);
+    }
+
+    #[test]
+    fn apply_plan_reuses_unchanged_stage_executors() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let mut pipeline = pipeline_for(&g, 9, None, StreamOptions::new());
+        // Move exactly one vertex from cloud to edge: device unchanged.
+        let before = pipeline.assignment().clone();
+        let mut tiers = before.tiers().to_vec();
+        let moved = tiers
+            .iter()
+            .position(|t| *t == Tier::Cloud)
+            .expect("even split loads the cloud");
+        tiers[moved] = Tier::Edge;
+        let swap = pipeline
+            .apply_plan(&update_to(&g, &before, Assignment::new(tiers), None))
+            .unwrap();
+        assert!(
+            swap.reused.contains(&Tier::Device),
+            "device segment unchanged"
+        );
+        assert!(swap.rebuilt.contains(&Tier::Edge));
+        assert!(swap.rebuilt.contains(&Tier::Cloud));
+        assert_eq!(swap.changed.len(), 1);
+        // Still lossless after the swap.
+        let input = Tensor::random(3, 16, 16, 77);
+        pipeline.submit_blocking(&input).unwrap();
+        let (_, got) = pipeline.recv().unwrap();
+        let expect = Executor::new(&g, 9).run(&input);
+        assert_eq!(max_abs_diff(&got, &expect), Some(0.0));
+        let _ = pipeline.close();
+    }
+
+    #[test]
+    fn apply_plan_rejects_bad_plans_and_keeps_streaming() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let mut pipeline = pipeline_for(&g, 2, None, StreamOptions::new());
+        let n = g.len();
+        let mut tiers = vec![Tier::Cloud; n];
+        tiers[0] = Tier::Device;
+        tiers[n - 1] = Tier::Device;
+        let before = pipeline.assignment().clone();
+        let err = pipeline
+            .apply_plan(&update_to(&g, &before, Assignment::new(tiers), None))
+            .unwrap_err();
+        assert!(matches!(err, StreamBuildError::NonMonotone { .. }));
+        // The stream survived the rejected update.
+        let input = Tensor::random(3, 16, 16, 3);
+        pipeline.submit_blocking(&input).unwrap();
+        let (_, got) = pipeline.recv().unwrap();
+        let expect = Executor::new(&g, 2).run(&input);
+        assert_eq!(max_abs_diff(&got, &expect), Some(0.0));
+        assert_eq!(pipeline.reconfigurations(), 0);
+        let _ = pipeline.close();
+    }
+
+    #[test]
+    fn telemetry_tap_emits_stage_snapshots() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(&g, 2, None, StreamOptions::new().telemetry_every(2));
+        let tap = pipeline.telemetry();
+        let input = Tensor::random(3, 16, 16, 3);
+        for _ in 0..4 {
+            pipeline.submit_blocking(&input).unwrap();
+            let _ = pipeline.recv().unwrap();
+        }
+        let snaps = tap.drain();
+        assert!(!snaps.is_empty(), "4 frames at window 2 must emit");
+        let obs: Vec<&Observation> = snaps.iter().flat_map(|s| &s.observations).collect();
+        assert!(obs.iter().any(|o| matches!(
+            o,
+            Observation::StageTime { seconds_per_frame, frames: 2, .. } if *seconds_per_frame >= 0.0
+        )));
+        assert!(obs
+            .iter()
+            .any(|o| matches!(o, Observation::QueueDepth { .. })));
+        let _ = pipeline.close();
+    }
+
+    #[test]
+    fn apply_plan_flushes_stale_telemetry() {
+        // Snapshots measured under the old plan must not survive a swap:
+        // a controller reading them would calibrate the new segments
+        // from the old ones' stage times.
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let mut pipeline = pipeline_for(&g, 2, None, StreamOptions::new().telemetry_every(1));
+        let tap = pipeline.telemetry();
+        let input = Tensor::random(3, 16, 16, 3);
+        for _ in 0..3 {
+            pipeline.submit_blocking(&input).unwrap();
+            let _ = pipeline.recv().unwrap();
+        }
+        let before = pipeline.assignment().clone();
+        pipeline
+            .apply_plan(&update_to(
+                &g,
+                &before,
+                Assignment::uniform(g.len(), Tier::Cloud),
+                None,
+            ))
+            .unwrap();
+        // Old workers were joined before the flush, so every pre-swap
+        // snapshot was already queued — and is now gone.
+        assert!(
+            tap.try_recv().is_none(),
+            "pre-swap telemetry must be flushed"
+        );
+        let _ = pipeline.close();
+    }
+
+    #[test]
+    fn dropping_an_unclosed_pipeline_joins_workers() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(&g, 6, None, StreamOptions::new());
+        let input = Tensor::random(3, 16, 16, 8);
+        // Leave frames in flight and results unclaimed, then drop.
+        for _ in 0..3 {
+            pipeline.submit_blocking(&input).unwrap();
+        }
+        drop(pipeline); // must not hang or leak; Drop joins the workers
     }
 }

@@ -1,0 +1,252 @@
+//! The unified observation surface of the adaptation loop.
+//!
+//! The paper's profiler "collects the operating conditions of computation
+//! nodes … as well as the network status" while the system runs (§III-B),
+//! and the decomposer re-partitions when those observations drift
+//! (§III-E). This module defines the **one** currency every observation
+//! source speaks — [`Observation`] — so the adaptive controller
+//! ([`crate::adapt::AdaptiveEngine`]) does not care whether a measurement
+//! came from:
+//!
+//! - **a live stream** — every stage worker of a
+//!   [`StreamPipeline`](crate::stream::StreamPipeline) periodically
+//!   publishes a [`TelemetrySnapshot`] (measured stage compute time and
+//!   ingress queue depth) over a bounded channel, consumable mid-stream
+//!   through a [`TelemetryTap`];
+//! - **the pipeline simulator** — [`predicted_observations`] renders a
+//!   deployment's predicted [`StageSpec`]s in the same shape, so a
+//!   controller can be driven by simulation and by measurement
+//!   interchangeably (and tests can assert both paths agree);
+//! - **the profiler** — [`profile_observations`] runs the measurement
+//!   campaign of [`d3_profiler::Profiler`] over every tier and emits
+//!   per-vertex timings;
+//! - **out-of-band probes** — bandwidth estimates or injected drift enter
+//!   as [`Observation::Network`] (the simulated observations the old
+//!   `observe_vertex`/`observe_network` methods took are now just
+//!   [`Observation::VertexTime`]/[`Observation::Network`] values).
+//!
+//! Shared sim/real observation model: simulated sources report *model*
+//! seconds (the cost model's units) and live stages report *wall-clock*
+//! seconds. The controller therefore treats stage timings as a
+//! **relative** signal — it calibrates an anchor from the first snapshot
+//! and reacts to drift ratios — so the two unit systems never need to be
+//! reconciled; per-vertex and network observations carry their own
+//! absolute semantics.
+
+use crate::pipeline::StageSpec;
+use crossbeam::channel::Receiver;
+use d3_model::{DnnGraph, NodeId};
+use d3_profiler::Profiler;
+use d3_simnet::{NetworkCondition, Tier, TierProfiles};
+
+/// One observed fact about the running system — the single unit of
+/// telemetry every source emits and the adaptive controller ingests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Observation {
+    /// Measured processing time of one vertex on one tier (the profiler's
+    /// native output, and the paper's per-layer drift trigger).
+    VertexTime {
+        /// The vertex measured.
+        vertex: NodeId,
+        /// The tier it ran on.
+        tier: Tier,
+        /// Measured seconds.
+        seconds: f64,
+    },
+    /// Measured compute seconds per frame of a whole tier segment — what
+    /// a resident stream stage can observe without instrumenting each
+    /// member (interpreted *relatively*, see the module docs).
+    StageTime {
+        /// The stage's tier.
+        tier: Tier,
+        /// Mean compute seconds per frame over the window.
+        seconds_per_frame: f64,
+        /// Frames in the averaging window.
+        frames: u64,
+    },
+    /// Observed (or injected) network condition — per-link bandwidth.
+    Network {
+        /// The new condition.
+        net: NetworkCondition,
+    },
+    /// Ingress queue depth of a pipeline stage at snapshot time: early
+    /// congestion signal for queue-aware policies.
+    QueueDepth {
+        /// The stage's tier.
+        tier: Tier,
+        /// Frames waiting in the stage's ingress queue.
+        depth: usize,
+    },
+}
+
+/// A batch of observations published together (one emission window of a
+/// telemetry source).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// The window's observations.
+    pub observations: Vec<Observation>,
+}
+
+/// The consumer end of a live telemetry stream: periodic
+/// [`TelemetrySnapshot`]s over a bounded channel. When no one drains the
+/// tap, producers drop snapshots instead of blocking or buffering
+/// unboundedly — telemetry never backpressures the data path.
+///
+/// Obtained from `StreamSession::telemetry` (or
+/// `StreamPipeline::telemetry`). Intended for a single consumer: clones
+/// share one queue, so two taps *steal* from each other rather than each
+/// seeing every snapshot.
+pub struct TelemetryTap {
+    pub(crate) rx: Receiver<TelemetrySnapshot>,
+}
+
+impl std::fmt::Debug for TelemetryTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryTap")
+            .field("queued", &self.rx.len())
+            .finish()
+    }
+}
+
+impl TelemetryTap {
+    /// Returns the next pending snapshot, if any (never blocks).
+    #[must_use]
+    pub fn try_recv(&self) -> Option<TelemetrySnapshot> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains every pending snapshot.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TelemetrySnapshot> {
+        let mut out = Vec::new();
+        while let Ok(snap) = self.rx.try_recv() {
+            out.push(snap);
+        }
+        out
+    }
+
+    /// Snapshots currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Whether no snapshot is queued right now.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+/// Runs the profiler's measurement campaign (noisy per-layer latency on
+/// every tier, seeded and deterministic) and emits the result as
+/// [`Observation::VertexTime`]s — the same currency a live stream or a
+/// bandwidth probe feeds the controller.
+#[must_use]
+pub fn profile_observations(
+    graph: &DnnGraph,
+    profiles: &TierProfiles,
+    noise_sigma: f64,
+    seed: u64,
+) -> Vec<Observation> {
+    let nodes = [
+        (Tier::Device, &profiles.device),
+        (Tier::Edge, &profiles.edge),
+        (Tier::Cloud, &profiles.cloud),
+    ];
+    let mut out = Vec::new();
+    for (tier, node) in nodes {
+        let mut profiler = Profiler::new(node.clone(), noise_sigma, seed ^ tier.rank() as u64);
+        for id in graph.layer_ids() {
+            let sample = profiler.measure(graph, id);
+            out.push(Observation::VertexTime {
+                vertex: sample.vertex,
+                tier,
+                seconds: sample.latency_s,
+            });
+        }
+    }
+    out
+}
+
+/// Renders a deployment's predicted stage specs as the same
+/// [`TelemetrySnapshot`] a live pipeline emits: one
+/// [`Observation::StageTime`] per tier, carrying the *model's* per-frame
+/// service time. Driving a controller with these snapshots simulates the
+/// measured feedback loop ahead of deployment.
+#[must_use]
+pub fn predicted_observations(stages: &[StageSpec], frames: u64) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        observations: Tier::ALL
+            .iter()
+            .zip(stages)
+            .map(|(tier, spec)| Observation::StageTime {
+                tier: *tier,
+                seconds_per_frame: spec.service_s,
+                frames,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+
+    #[test]
+    fn profile_observations_cover_every_layer_and_tier() {
+        let g = zoo::alexnet(224);
+        let obs = profile_observations(&g, &TierProfiles::paper_testbed(), 0.0, 7);
+        assert_eq!(obs.len(), 3 * (g.len() - 1));
+        // Noiseless profiling equals the cost model exactly.
+        let profiles = TierProfiles::paper_testbed();
+        for o in &obs {
+            let Observation::VertexTime {
+                vertex,
+                tier,
+                seconds,
+            } = o
+            else {
+                panic!("profiler emits vertex timings");
+            };
+            let node = match tier {
+                Tier::Device => &profiles.device,
+                Tier::Edge => &profiles.edge,
+                Tier::Cloud => &profiles.cloud,
+            };
+            assert!((seconds - node.layer_latency(&g, *vertex)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn predicted_observations_mirror_stage_specs() {
+        let stages = vec![
+            StageSpec {
+                name: "device".into(),
+                service_s: 0.010,
+                transfer_out_s: 0.001,
+            },
+            StageSpec {
+                name: "edge".into(),
+                service_s: 0.020,
+                transfer_out_s: 0.002,
+            },
+            StageSpec {
+                name: "cloud".into(),
+                service_s: 0.005,
+                transfer_out_s: 0.0,
+            },
+        ];
+        let snap = predicted_observations(&stages, 30);
+        assert_eq!(snap.observations.len(), 3);
+        assert_eq!(
+            snap.observations[1],
+            Observation::StageTime {
+                tier: Tier::Edge,
+                seconds_per_frame: 0.020,
+                frames: 30
+            }
+        );
+    }
+}

@@ -241,28 +241,69 @@ impl<'g> Executor<'g> {
         let mut values: HashMap<NodeId, Tensor> = boundary.clone();
         let mut sorted: Vec<NodeId> = members.to_vec();
         sorted.sort(); // ids are topological
-        for &id in &sorted {
-            if values.contains_key(&id) {
-                continue; // provided as boundary (e.g. v0)
-            }
-            let node = self.graph.node(id);
-            let inputs: Vec<&Tensor> = node
-                .preds
-                .iter()
-                .map(|p| {
-                    values.get(p).unwrap_or_else(|| {
-                        panic!(
-                            "segment execution of {} (`{}`) missing predecessor {}",
-                            id, node.name, p
-                        )
-                    })
-                })
-                .collect();
-            let out = self.build_op(id).apply(&inputs);
-            debug_assert_eq!(out.shape3(), node.shape, "shape inference mismatch at {id}");
-            values.insert(id, out);
-        }
+        walk_segment(
+            self.graph,
+            &sorted,
+            &mut values,
+            |_, _| false,
+            |id, inputs| self.build_op(id).apply(inputs),
+        );
         crossing_tensors(self.graph, &sorted, &values)
+    }
+}
+
+/// Walks a segment's members in topological order, executing each one.
+///
+/// This is the single execution loop shared by every segment executor
+/// (the borrowed [`Executor::run_segment`], the owned
+/// [`SegmentExecutor::run`], and the engine's per-frame and streaming
+/// VSM stages): members already present in `values` (boundary tensors,
+/// or values materialized by an earlier hook call) are skipped; for each
+/// remaining member the walker first offers the vertex to `hook`, which
+/// may fully handle it (e.g. execute a whole tiled run, or skip a run
+/// interior) and return `true`; otherwise the member's predecessor
+/// tensors are gathered and `apply` produces its output.
+///
+/// `members` must be sorted ascending (ids are topological).
+///
+/// # Panics
+///
+/// Panics when a member's predecessor tensor is neither in `values` nor
+/// produced by an earlier member — the segment is not closed under its
+/// boundary.
+pub fn walk_segment<H, A>(
+    graph: &DnnGraph,
+    members: &[NodeId],
+    values: &mut HashMap<NodeId, Tensor>,
+    mut hook: H,
+    mut apply: A,
+) where
+    H: FnMut(NodeId, &mut HashMap<NodeId, Tensor>) -> bool,
+    A: FnMut(NodeId, &[&Tensor]) -> Tensor,
+{
+    for &id in members {
+        if values.contains_key(&id) {
+            continue; // provided as boundary, or produced by a hook
+        }
+        if hook(id, values) {
+            continue; // fully handled (tiled run head or interior)
+        }
+        let node = graph.node(id);
+        let inputs: Vec<&Tensor> = node
+            .preds
+            .iter()
+            .map(|p| {
+                values.get(p).unwrap_or_else(|| {
+                    panic!(
+                        "segment execution of {} (`{}`) missing predecessor {}",
+                        id, node.name, p
+                    )
+                })
+            })
+            .collect();
+        let out = apply(id, &inputs);
+        debug_assert_eq!(out.shape3(), node.shape, "shape inference mismatch at {id}");
+        values.insert(id, out);
     }
 }
 
@@ -373,27 +414,13 @@ impl SegmentExecutor {
     /// nor provided.
     pub fn run(&self, boundary: HashMap<NodeId, Tensor>) -> HashMap<NodeId, Tensor> {
         let mut values = boundary;
-        for &id in &self.members {
-            if values.contains_key(&id) {
-                continue; // provided as boundary (e.g. v0)
-            }
-            let node = self.graph.node(id);
-            let inputs: Vec<&Tensor> = node
-                .preds
-                .iter()
-                .map(|p| {
-                    values.get(p).unwrap_or_else(|| {
-                        panic!(
-                            "segment execution of {} (`{}`) missing predecessor {}",
-                            id, node.name, p
-                        )
-                    })
-                })
-                .collect();
-            let out = self.ops[&id].apply(&inputs);
-            debug_assert_eq!(out.shape3(), node.shape, "shape inference mismatch at {id}");
-            values.insert(id, out);
-        }
+        walk_segment(
+            &self.graph,
+            &self.members,
+            &mut values,
+            |_, _| false,
+            |id, inputs| self.ops[&id].apply(inputs),
+        );
         crossing_tensors(&self.graph, &self.members, &values)
     }
 }

@@ -32,6 +32,6 @@ pub mod graph;
 pub mod layer;
 pub mod zoo;
 
-pub use exec::{crossing_tensors, Executor, LayerOp, SegmentExecutor};
+pub use exec::{crossing_tensors, walk_segment, Executor, LayerOp, SegmentExecutor};
 pub use graph::{DnnGraph, GraphError, Node, NodeId};
 pub use layer::{Activation, LayerKind};

@@ -68,6 +68,29 @@ impl Assignment {
             .collect()
     }
 
+    /// Vertices whose tier differs between `self` and `other` — the plan
+    /// diff that drives minimal live reconfiguration (only pipeline
+    /// stages containing a changed vertex need rebuilding).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two assignments cover different vertex counts.
+    #[must_use]
+    pub fn diff(&self, other: &Assignment) -> Vec<NodeId> {
+        assert_eq!(
+            self.tiers.len(),
+            other.tiers().len(),
+            "assignments cover different graphs"
+        );
+        self.tiers
+            .iter()
+            .zip(other.tiers())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
     /// Whether every DAG link flows forward in the pipeline
     /// (`tier(u) ⪰ tier(v)` never violated): the Proposition 1 invariant
     /// HPA maintains.

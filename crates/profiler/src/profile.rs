@@ -16,6 +16,9 @@ use rand::{Rng, SeedableRng};
 /// One latency measurement of a layer on a node.
 #[derive(Debug, Clone)]
 pub struct Sample {
+    /// The vertex measured (so downstream consumers — e.g. the engine's
+    /// telemetry API — can address the observation back to the graph).
+    pub vertex: NodeId,
     /// Feature vector (see [`crate::features::extract`]).
     pub features: Vec<f64>,
     /// Operator family.
@@ -64,6 +67,7 @@ impl Profiler {
         let truth = self.node.layer_latency(graph, id);
         let noise = (1.0 + self.noise_sigma * self.standard_normal()).max(0.2);
         Sample {
+            vertex: id,
             features: crate::features::extract(graph, id),
             class: crate::features::KindClass::of(&graph.node(id).kind)
                 .expect("measure called on the virtual input"),

@@ -7,9 +7,11 @@
 //! apply padding only at global borders and accumulate in the same order
 //! (the paper's "lossless" claim, verified by tests and property tests).
 
-use crate::fused::VsmPlan;
-use d3_model::{Executor, LayerOp};
+use crate::fused::{find_tileable_runs, VsmPlan};
+use crate::grid::clamp_grid;
+use d3_model::{Executor, LayerOp, NodeId};
 use d3_tensor::{ops::leaky_relu, ops::relu, Patch, Region, Tensor};
+use std::collections::{HashMap, HashSet};
 
 /// Executes one [`VsmPlan`] with materialized weights.
 pub struct TileExecutor {
@@ -117,6 +119,142 @@ impl TileExecutor {
     fn blank_output(&self) -> Tensor {
         let (h, w) = *self.plan.planes.last().expect("non-empty planes");
         Tensor::zeros(self.out_channels, h, w)
+    }
+}
+
+/// One tileable run of a segment, prepared for execution.
+struct PreparedTileRun {
+    /// The vertex feeding the run (outside or upstream of it).
+    input_node: NodeId,
+    /// The run's final vertex — the only member whose value materializes
+    /// when the run executes tiled.
+    last: NodeId,
+    /// The run's members in chain order.
+    members: Vec<NodeId>,
+    /// Prebuilt tile executor; `None` means [`VsmPlan::new`] rejected the
+    /// run and it executes serially through the caller's operators.
+    tiles: Option<TileExecutor>,
+}
+
+/// The shared tile-run execution rules of a segment: grid clamping,
+/// plan-rejection serial fallback, and interior-member skipping.
+///
+/// Both engine execution paths — per-frame distributed execution and the
+/// resident streaming edge stage — historically carried near-copies of
+/// these rules; `TiledRuns` is their single home. [`TiledRuns::prepare`]
+/// finds the segment's tileable runs, clamps the requested grid to each
+/// run's output plane ([`clamp_grid`]), and prebuilds a [`TileExecutor`]
+/// per plannable run. [`TiledRuns::execute`] is then used as the hook of
+/// [`d3_model::walk_segment`]: it runs a whole tiled run when the walker
+/// reaches the run's head (falling back to serial execution through the
+/// caller's `apply` when the plan was rejected) and skips run interiors,
+/// which never materialize under tiling.
+pub struct TiledRuns {
+    /// Prepared runs keyed by their head vertex.
+    runs: HashMap<NodeId, PreparedTileRun>,
+    /// Non-head run members: produced (or skipped) when their head runs.
+    interior: HashSet<NodeId>,
+    /// Members of successfully planned (tiled) runs; their per-vertex
+    /// operators are never applied individually.
+    tiled: HashSet<NodeId>,
+}
+
+impl TiledRuns {
+    /// Finds the tileable runs of `members` (a tier's segment) and
+    /// prebuilds a tile executor for each plannable one, with weights
+    /// from `exec`. `grid` is the requested `(rows, cols)` tile grid —
+    /// clamped per run to its output plane — and runs shorter than
+    /// `min_run_len` are left serial.
+    #[must_use]
+    pub fn prepare(
+        exec: &Executor<'_>,
+        members: &[NodeId],
+        grid: (usize, usize),
+        min_run_len: usize,
+    ) -> Self {
+        let graph = exec.graph();
+        let mut runs = HashMap::new();
+        let mut interior = HashSet::new();
+        let mut tiled = HashSet::new();
+        for run in find_tileable_runs(graph, members, min_run_len) {
+            let head = run[0];
+            let last = *run.last().expect("non-empty run");
+            let input_node = graph.node(head).preds[0];
+            let out_shape = graph.node(last).shape;
+            let (rows, cols) = clamp_grid(grid, (out_shape.h, out_shape.w));
+            let tiles = VsmPlan::new(graph, &run, rows, cols)
+                .ok()
+                .map(|plan| TileExecutor::new(exec, plan));
+            interior.extend(run.iter().skip(1).copied());
+            if tiles.is_some() {
+                tiled.extend(run.iter().copied());
+            }
+            runs.insert(
+                head,
+                PreparedTileRun {
+                    input_node,
+                    last,
+                    members: run,
+                    tiles,
+                },
+            );
+        }
+        Self {
+            runs,
+            interior,
+            tiled,
+        }
+    }
+
+    /// Whether no tileable run was found (callers then skip the tiled
+    /// path entirely).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Whether `id` belongs to a successfully planned (tiled) run —
+    /// prebuilding executors skip materializing such members' operators.
+    #[must_use]
+    pub fn is_tiled(&self, id: NodeId) -> bool {
+        self.tiled.contains(&id)
+    }
+
+    /// The segment-walk hook: handles `id` when it heads or sits inside
+    /// a prepared run. A plannable run executes tile-parallel through its
+    /// prebuilt [`TileExecutor`]; a rejected run falls back to serial
+    /// execution through `apply` (the caller's per-vertex operators).
+    /// Returns `false` when `id` is an ordinary member the walker should
+    /// execute itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run's input tensor is missing from `values`.
+    pub fn execute<A>(&self, id: NodeId, values: &mut HashMap<NodeId, Tensor>, mut apply: A) -> bool
+    where
+        A: FnMut(NodeId, &[&Tensor]) -> Tensor,
+    {
+        if let Some(prepared) = self.runs.get(&id) {
+            let input = values
+                .get(&prepared.input_node)
+                .unwrap_or_else(|| panic!("run input {} missing", prepared.input_node))
+                .clone();
+            match &prepared.tiles {
+                Some(tex) => {
+                    values.insert(prepared.last, tex.run_parallel(&input));
+                }
+                None => {
+                    // Un-plannable run: serial through the caller's ops.
+                    let mut cur = input;
+                    for &rid in &prepared.members {
+                        cur = apply(rid, &[&cur]);
+                        values.insert(rid, cur.clone());
+                    }
+                }
+            }
+            return true;
+        }
+        self.interior.contains(&id) // tiled-run interior: never materialized
     }
 }
 

@@ -29,6 +29,16 @@ pub struct TileGrid {
     col_bounds: Vec<usize>,
 }
 
+/// Clamps a requested `(rows, cols)` grid to an `(h, w)` output plane:
+/// a grid can never be finer than the plane it tiles, and never
+/// degenerate. Every deployment path (latency planning, per-frame
+/// distributed execution, streaming stages) must clamp identically or
+/// their tile plans diverge.
+#[must_use]
+pub fn clamp_grid(grid: (usize, usize), plane: (usize, usize)) -> (usize, usize) {
+    (grid.0.min(plane.0).max(1), grid.1.min(plane.1).max(1))
+}
+
 impl TileGrid {
     /// Creates a uniform grid (balanced partition; remainder pixels spread
     /// over the leading rows/columns).

@@ -42,9 +42,9 @@ pub mod latency;
 pub mod modnn;
 pub mod rtc;
 
-pub use exec::TileExecutor;
+pub use exec::{TileExecutor, TiledRuns};
 pub use fused::{find_tileable_runs, FusedTile, VsmError, VsmPlan};
-pub use grid::TileGrid;
+pub use grid::{clamp_grid, TileGrid};
 pub use latency::{best_uniform_grid, parallel_time, parallel_time_weighted, speedup};
 pub use modnn::{compare_schemes, modnn_time, ModnnConfig};
 pub use rtc::{reverse_tile, SpatialParams};

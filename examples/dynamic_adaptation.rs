@@ -10,7 +10,7 @@
 //! cargo run --example dynamic_adaptation
 //! ```
 
-use d3_core::{D3System, DriftMonitor, NetworkCondition};
+use d3_core::{D3System, DriftMonitor, NetworkCondition, Observation};
 use d3_model::zoo;
 use d3_partition::{Hpa, Partitioner, Problem};
 use d3_simnet::TierProfiles;
@@ -51,7 +51,7 @@ fn main() {
     );
     for (hour, mbps) in day {
         let net = NetworkCondition::custom_backbone(mbps);
-        let triggered = engine.observe_network(net);
+        let triggered = engine.ingest(&Observation::Network { net }).is_some();
         let mut p = Problem::new(&graph, &TierProfiles::paper_testbed(), net);
         p.set_net(net);
         let frozen_theta = frozen.total_latency(&p);
@@ -76,14 +76,19 @@ fn main() {
     let victim = d3_model::NodeId(graph.len() / 3);
     let tier = engine.assignment().tier(victim);
     let before = engine.problem().vertex_time(victim, tier);
-    let moved = engine.observe_vertex(victim, tier, before * 4.0);
+    let repartitions_before = engine.local_updates;
+    let update = engine.ingest(&Observation::VertexTime {
+        vertex: victim,
+        tier,
+        seconds: before * 4.0,
+    });
+    let verdict = match (&update, engine.local_updates > repartitions_before) {
+        (Some(u), _) => format!("locally repartitioned ({} vertices moved)", u.changed.len()),
+        (None, true) => "repaired locally, plan already optimal".to_string(),
+        (None, false) => "absorbed by hysteresis".to_string(),
+    };
     println!(
-        "edge load spike on {victim}: {} (local updates so far: {})",
-        if moved {
-            "locally repartitioned"
-        } else {
-            "absorbed"
-        },
+        "load spike on {victim}: {verdict} (local updates so far: {})",
         engine.local_updates
     );
 }

@@ -1,7 +1,7 @@
 //! Integration tests for the online execution engine: pipeline semantics
 //! against the analytical objective, and end-to-end runtime adaptation.
 
-use d3_core::{D3System, DriftMonitor, NetworkCondition, Strategy, VsmConfig};
+use d3_core::{D3System, DriftMonitor, NetworkCondition, Observation, Strategy, VsmConfig};
 use d3_engine::{bottleneck_s, deploy_strategy};
 use d3_model::{zoo, NodeId};
 use d3_partition::Problem;
@@ -102,7 +102,11 @@ fn adaptive_engine_tracks_bandwidth_swings_end_to_end() {
     let mut engine = d3.into_adaptive(DriftMonitor::default());
     let mut updates = 0;
     for mbps in [31.53, 6.0, 6.2, 45.0, 44.0, 3.0, 31.53] {
-        if engine.observe_network(NetworkCondition::custom_backbone(mbps)) {
+        let before = engine.full_updates + engine.local_updates;
+        engine.ingest(&Observation::Network {
+            net: NetworkCondition::custom_backbone(mbps),
+        });
+        if engine.full_updates + engine.local_updates > before {
             updates += 1;
         }
         assert!(engine.assignment().is_monotone(engine.problem()));
@@ -120,7 +124,11 @@ fn adaptive_vertex_drift_stays_local() {
     let tier = engine.assignment().tier(id);
     let t = engine.problem().vertex_time(id, tier);
     let before_theta = engine.current_theta();
-    engine.observe_vertex(id, tier, t * 10.0);
+    engine.ingest(&Observation::VertexTime {
+        vertex: id,
+        tier,
+        seconds: t * 10.0,
+    });
     // Whatever happened, the plan stays valid and Θ stays finite.
     assert!(engine.assignment().is_monotone(engine.problem()));
     assert!(engine.current_theta().is_finite());

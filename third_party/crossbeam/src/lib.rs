@@ -235,6 +235,27 @@ pub mod channel {
         }
     }
 
+    impl<T> Receiver<T> {
+        /// Number of messages currently queued (a snapshot; other
+        /// senders/receivers may change it immediately).
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is empty right now (snapshot semantics, see
+        /// [`Receiver::len`]).
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             let mut state = self.shared.state.lock().expect("channel poisoned");
