@@ -1,0 +1,86 @@
+//! Criterion bench for per-stage worker pools and the batching
+//! front-end: streams a fixed frame burst through `StreamPipeline`
+//! sweeping pool sizes 1/2/4 and batch sizes 1/4 on a weight-heavy
+//! model (dense layers dominate, so batching's operator-major execution
+//! keeps weights cache-hot across frames).
+//!
+//! Two workload shapes (the burst protocol itself is the shared
+//! `d3_bench::streamkit` harness, identical to the CI perf gate's):
+//!
+//! - `compute_bound`: raw tensor arithmetic. Pool scaling here tracks
+//!   host core count (on a single-core host pools cannot beat 1x).
+//! - `latency_bound`: the device stage stalls 5 ms per frame (injected
+//!   delay — an RPC-bound or contended stage). Pool scaling here tracks
+//!   pipeline concurrency and is host-independent, which is why the CI
+//!   perf gate anchors on it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d3_bench::streamkit::{even_split_deployment, stream_burst};
+use d3_engine::stream::{BatchOptions, PoolOptions, StreamOptions};
+use d3_model::zoo;
+use d3_simnet::Tier;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const FRAMES: usize = 16;
+
+fn bench_pool_sweep(c: &mut Criterion) {
+    let g = Arc::new(zoo::conv_mlp(8));
+    let d = even_split_deployment(&g);
+    let mut group = c.benchmark_group("pooling/compute_bound");
+    for pool in [1usize, 2, 4] {
+        group.bench_function(format!("pool{pool}_batch1"), |b| {
+            b.iter(|| {
+                black_box(stream_burst(
+                    &g,
+                    &d,
+                    StreamOptions::new()
+                        .capacity(16)
+                        .pool(PoolOptions::uniform(pool)),
+                    FRAMES,
+                ))
+            });
+        });
+    }
+    for batch in [1usize, 4] {
+        group.bench_function(format!("pool1_batch{batch}"), |b| {
+            b.iter(|| {
+                black_box(stream_burst(
+                    &g,
+                    &d,
+                    StreamOptions::new()
+                        .capacity(16)
+                        .batching(BatchOptions::frames(batch).deadline(Duration::from_millis(2))),
+                    FRAMES,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency_bound_pool_sweep(c: &mut Criterion) {
+    let g = Arc::new(zoo::chain_cnn(4, 8, 16));
+    let d = even_split_deployment(&g);
+    let mut group = c.benchmark_group("pooling/latency_bound_device");
+    for pool in [1usize, 2, 4] {
+        group.bench_function(format!("pool{pool}"), |b| {
+            b.iter(|| {
+                black_box(stream_burst(
+                    &g,
+                    &d,
+                    StreamOptions::new()
+                        .capacity(16)
+                        .workers(Tier::Device, pool)
+                        .inject_delay(Tier::Device, 1, Duration::from_millis(5)),
+                    FRAMES,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_sweep, bench_latency_bound_pool_sweep);
+criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! CI perf gate: measure streaming throughput/latency across pool and
+//! batch configurations, emit a machine-readable `BENCH_streaming.json`
+//! snapshot, and (with `--check <baseline>`) fail when a *gated*
+//! scenario's throughput regresses more than 30% against the checked-in
+//! baseline.
+//!
+//! ```text
+//! cargo run --release -p d3-bench --bin perf_gate -- \
+//!     --out BENCH_streaming.json --check ci/BENCH_baseline.json
+//! ```
+//!
+//! Scenario families (the burst protocol is the shared
+//! `d3_bench::streamkit` harness, identical to the pooling bench):
+//!
+//! - `compute_*`: raw tensor arithmetic on a weight-heavy model.
+//!   Absolute numbers are host-dependent, so these are **recorded but
+//!   not gated** — a slower runner generation must not fail CI.
+//! - `latency_bound_*`: the device stage stalls a fixed 5 ms per frame
+//!   (injected delay), so throughput is pinned by pipeline concurrency,
+//!   not host speed. These are the gated anchor — and the scenarios
+//!   where worker pools must show their ≥ 2x scaling.
+
+use d3_bench::streamkit::{even_split_deployment, stream_burst};
+use d3_engine::stream::{BatchOptions, PoolOptions, StreamOptions};
+use d3_engine::Deployment;
+use d3_model::{zoo, DnnGraph};
+use d3_simnet::Tier;
+use std::sync::Arc;
+use std::time::Duration;
+
+const FRAMES: usize = 24;
+/// Best-of-N repetitions per scenario (quick mode; absorbs scheduler
+/// noise without criterion's statistical machinery).
+const REPS: usize = 3;
+/// Throughput may regress at most this fraction against the baseline.
+const TOLERANCE: f64 = 0.30;
+
+struct Measurement {
+    name: &'static str,
+    throughput_fps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl Measurement {
+    /// Whether the gate enforces this scenario (host-independent
+    /// latency-bound family only; compute scenarios are informational).
+    fn gated(&self) -> bool {
+        self.name.starts_with("latency_bound")
+    }
+}
+
+fn measure(
+    name: &'static str,
+    g: &Arc<DnnGraph>,
+    d: &Deployment,
+    options: StreamOptions,
+) -> Measurement {
+    let mut best = Measurement {
+        name,
+        throughput_fps: 0.0,
+        p50_ms: 0.0,
+        p99_ms: 0.0,
+    };
+    for _ in 0..REPS {
+        let m = stream_burst(g, d, options, FRAMES);
+        if m.throughput_fps > best.throughput_fps {
+            best.throughput_fps = m.throughput_fps;
+            best.p50_ms = m.p50_latency_s * 1e3;
+            best.p99_ms = m.p99_latency_s * 1e3;
+        }
+    }
+    println!(
+        "  {name:<28} {:>9.1} fps   p50 {:>7.2} ms   p99 {:>7.2} ms",
+        best.throughput_fps, best.p50_ms, best.p99_ms
+    );
+    best
+}
+
+fn run_suite() -> Vec<Measurement> {
+    let mut out = Vec::new();
+
+    println!("compute-bound (weight-heavy conv_mlp, even split; recorded, not gated):");
+    let g = Arc::new(zoo::conv_mlp(8));
+    let d = even_split_deployment(&g);
+    for (pool, name) in [
+        (1usize, "compute_pool1_batch1"),
+        (2, "compute_pool2_batch1"),
+        (4, "compute_pool4_batch1"),
+    ] {
+        let opts = StreamOptions::new()
+            .capacity(16)
+            .pool(PoolOptions::uniform(pool));
+        out.push(measure(name, &g, &d, opts));
+    }
+    let batched = StreamOptions::new()
+        .capacity(16)
+        .batching(BatchOptions::frames(4).deadline(Duration::from_millis(2)));
+    out.push(measure("compute_pool1_batch4", &g, &d, batched));
+
+    println!("latency-bound (5 ms injected device stall per frame; gated):");
+    let g = Arc::new(zoo::chain_cnn(4, 8, 16));
+    let d = even_split_deployment(&g);
+    for (pool, name) in [
+        (1usize, "latency_bound_pool1"),
+        (2, "latency_bound_pool2"),
+        (4, "latency_bound_pool4"),
+    ] {
+        let opts = StreamOptions::new()
+            .capacity(16)
+            .workers(Tier::Device, pool)
+            .inject_delay(Tier::Device, 1, Duration::from_millis(5));
+        out.push(measure(name, &g, &d, opts));
+    }
+    out
+}
+
+fn to_json(benches: &[Measurement]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"d3-bench-streaming/v1\",\n");
+    s.push_str(&format!("  \"host_cores\": {cores},\n"));
+    s.push_str(&format!("  \"frames_per_run\": {FRAMES},\n"));
+    s.push_str("  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"gated\": {}, \"throughput_fps\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            b.name,
+            b.gated(),
+            b.throughput_fps,
+            b.p50_ms,
+            b.p99_ms,
+            if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Minimal extractor for the flat schema this binary writes: returns
+/// `baseline[name].throughput_fps` when present.
+fn baseline_throughput(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let at = json.find(&needle)?;
+    let rest = &json[at..];
+    let key = "\"throughput_fps\":";
+    let k = rest.find(key)?;
+    let tail = rest[k + key.len()..].trim_start();
+    let end = tail
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_streaming.json");
+    let mut check_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let benches = run_suite();
+    std::fs::write(&out_path, to_json(&benches)).expect("write bench snapshot");
+    println!("\nwrote {out_path}");
+
+    let Some(check_path) = check_path else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&check_path)
+        .unwrap_or_else(|e| panic!("read baseline {check_path}: {e}"));
+    let mut regressions = Vec::new();
+    let mut gated = 0usize;
+    for b in &benches {
+        let Some(base) = baseline_throughput(&baseline, b.name) else {
+            println!(
+                "perf-gate: {} not in baseline (new scenario, skipped)",
+                b.name
+            );
+            continue;
+        };
+        let ratio = b.throughput_fps / base;
+        if !b.gated() {
+            println!(
+                "perf-gate: {} informational ({:.1} fps, {:.2}x of baseline {:.1})",
+                b.name, b.throughput_fps, ratio, base
+            );
+            continue;
+        }
+        gated += 1;
+        let floor = base * (1.0 - TOLERANCE);
+        if b.throughput_fps < floor {
+            regressions.push(format!(
+                "{}: {:.1} fps < floor {:.1} fps (baseline {:.1})",
+                b.name, b.throughput_fps, floor, base
+            ));
+        } else {
+            println!(
+                "perf-gate: {} ok ({:.1} fps vs baseline {:.1}, floor {:.1})",
+                b.name, b.throughput_fps, base, floor
+            );
+        }
+    }
+    if !regressions.is_empty() {
+        eprintln!("\nperf-gate FAILED — throughput regressed >30%:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    println!("perf-gate passed ({gated} gated scenarios)");
+}

@@ -18,6 +18,7 @@ pub mod ablations;
 pub mod extensions;
 pub mod figures;
 pub mod report;
+pub mod streamkit;
 pub mod tables;
 
 pub use report::Section;

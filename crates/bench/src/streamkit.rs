@@ -1,0 +1,58 @@
+//! Shared streaming-burst harness for the pooling bench and the CI
+//! perf gate, so both measure exactly the same protocol: an even
+//! three-way split deployment, submit-until-backpressure admission with
+//! drain-on-full, and the closing report's measured statistics.
+
+use d3_engine::stream::{StreamOptions, StreamPipeline};
+use d3_engine::{Deployment, StreamStats};
+use d3_model::DnnGraph;
+use d3_partition::{EvenSplit, Partitioner, Problem};
+use d3_simnet::{NetworkCondition, TierProfiles};
+use d3_tensor::Tensor;
+use std::sync::Arc;
+
+/// Weight seed shared by every streaming measurement.
+pub const SEED: u64 = 7;
+
+/// Deploys `g` on the cost-oblivious even three-way split (every stage
+/// does real work) under the paper testbed's Wi-Fi condition.
+#[must_use]
+pub fn even_split_deployment(g: &Arc<DnnGraph>) -> Deployment {
+    let p = Problem::new(
+        g.clone(),
+        &TierProfiles::paper_testbed(),
+        NetworkCondition::WiFi,
+    );
+    let assignment = EvenSplit.partition(&p).unwrap();
+    Deployment::new(&p, assignment, None)
+}
+
+/// Streams `frames` frames end to end (submit until backpressure, drain
+/// one, retry) and returns the closing report's measured statistics.
+///
+/// # Panics
+///
+/// Panics when the pipeline cannot be built or a worker dies.
+#[must_use]
+pub fn stream_burst(
+    g: &Arc<DnnGraph>,
+    d: &Deployment,
+    options: StreamOptions,
+    frames: usize,
+) -> StreamStats {
+    let pipeline = StreamPipeline::new(g.clone(), SEED, d, None, options).unwrap();
+    let shape = g.input_shape();
+    let input = Tensor::random(shape.c, shape.h, shape.w, 1);
+    let mut received = 0usize;
+    for _ in 0..frames {
+        while pipeline.submit(&input).is_err() {
+            let _ = std::hint::black_box(pipeline.recv().unwrap());
+            received += 1;
+        }
+    }
+    while received < frames {
+        let _ = std::hint::black_box(pipeline.recv().unwrap());
+        received += 1;
+    }
+    pipeline.close().measured
+}

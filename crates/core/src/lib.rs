@@ -45,10 +45,11 @@ mod runtime;
 mod session;
 
 pub use d3_engine::{
-    AdaptiveEngine, AdaptivePolicy, Decision, Deployment, FrameId, FullResolve, HysteresisLocal,
-    NoAdapt, Observation, PlanSwap, PlanUpdate, Strategy, StreamBuildError, StreamOptions,
-    StreamRecvError, StreamReport, SubmitError, TelemetrySnapshot, TelemetryTap, UpdateScope,
-    VsmConfig,
+    AdaptiveEngine, AdaptivePolicy, AutoscalePolicy, BatchOptions, ControlUpdate, Decision,
+    Deployment, FrameId, FullResolve, HysteresisLocal, InjectedDelay, NoAdapt, Observation,
+    PlanSwap, PlanUpdate, PoolOptions, PoolResize, PoolSize, PoolUpdate, StagePoolStats, Strategy,
+    StreamBuildError, StreamOptions, StreamRecvError, StreamReport, SubmitError, TelemetrySnapshot,
+    TelemetryTap, UpdateScope, VsmConfig,
 };
 pub use d3_model::{DnnGraph, NodeId};
 pub use d3_partition::{
@@ -57,7 +58,7 @@ pub use d3_partition::{
 pub use d3_profiler::RegressionEstimator;
 pub use d3_simnet::{NetworkCondition, Tier, TierProfiles};
 pub use runtime::{D3Runtime, ModelOptions, ModelStats, ServeError};
-pub use session::StreamSession;
+pub use session::{AdaptEvent, StreamSession};
 
 use std::sync::Arc;
 

@@ -58,14 +58,26 @@
 
 use d3_engine::stream::StreamPipeline;
 use d3_engine::{
-    AdaptiveEngine, FrameId, Observation, PlanSwap, PlanUpdate, StreamBuildError, StreamRecvError,
-    StreamReport, SubmitError, TelemetryTap,
+    AdaptiveEngine, ControlUpdate, FrameId, Observation, PlanSwap, PlanUpdate, PoolResize,
+    StreamBuildError, StreamRecvError, StreamReport, SubmitError, TelemetryTap,
 };
 use d3_partition::Assignment;
+use d3_simnet::Tier;
 use d3_tensor::Tensor;
 
 use crate::runtime::ServeError;
 use crate::{D3System, StreamOptions};
+
+/// One change a session's adaptation loop applied to the running stream:
+/// a plan swap or a worker-pool resize. Returned by
+/// [`StreamSession::observe`] and [`StreamSession::adapt`].
+#[derive(Debug, Clone)]
+pub enum AdaptEvent {
+    /// The controller re-partitioned and the stream swapped plans.
+    Plan(PlanSwap),
+    /// The controller resized one stage's worker pool.
+    Pool(PoolResize),
+}
 
 /// A live streaming session against one registered model.
 ///
@@ -219,51 +231,87 @@ impl StreamSession {
         self.pipeline.apply_plan(update)
     }
 
+    /// Resizes one stage's worker pool live, at the same lossless frame
+    /// boundary plan swaps use (see `StreamPipeline::resize_pool`).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamBuildError::ZeroPool`] when `workers` is zero; the
+    /// running stream is untouched.
+    pub fn resize_pool(
+        &mut self,
+        tier: Tier,
+        workers: usize,
+    ) -> Result<PoolResize, StreamBuildError> {
+        self.pipeline.resize_pool(tier, workers)
+    }
+
+    /// Current workers per stage, in tier order (device, edge, cloud).
+    #[must_use]
+    pub fn pool(&self) -> [usize; 3] {
+        self.pipeline.pool()
+    }
+
     /// Injects one out-of-band observation (e.g. a bandwidth probe's
-    /// reading, or simulated drift) into the session's controller and
-    /// applies any resulting plan update mid-stream. Returns the applied
-    /// swap, `None` when the controller held the plan — or when no
-    /// controller is attached (the observation is then dropped; check
-    /// [`controller`](Self::controller)).
-    pub fn observe(&mut self, obs: &Observation) -> Option<PlanSwap> {
+    /// reading, a queue-depth report, or simulated drift) into the
+    /// session's controller and applies any resulting update mid-stream.
+    /// Returns the applied event, `None` when the controller held — or
+    /// when no controller is attached (the observation is then dropped;
+    /// check [`controller`](Self::controller)).
+    pub fn observe(&mut self, obs: &Observation) -> Option<AdaptEvent> {
         let update = self.controller.as_mut()?.ingest(obs)?;
         Some(self.apply_update(&update))
     }
 
     /// Runs one adaptation cycle: drains the session's live telemetry
-    /// into the attached controller and applies the emitted plan update
-    /// mid-stream. Call it periodically from the driving loop (e.g.
-    /// once per drained batch of results). Returns the applied swaps
-    /// (empty when nothing drifted or no controller is attached).
+    /// into the attached controller and applies the emitted update
+    /// mid-stream — a plan swap for timing/network drift, a pool resize
+    /// for sustained queue-depth pressure. Call it periodically from the
+    /// driving loop (e.g. once per drained batch of results). Returns
+    /// the applied events (empty when nothing drifted or no controller
+    /// is attached).
     ///
-    /// At most one swap is applied per cycle: snapshots remaining in the
-    /// batch after a swap were measured under the *old* plan — stale
-    /// stage times that would mis-calibrate the controller's fresh
-    /// anchors — so they are discarded, exactly like the queued
-    /// snapshots the pipeline itself flushes at the swap boundary.
-    pub fn adapt(&mut self) -> Vec<PlanSwap> {
+    /// At most one event is applied per cycle: snapshots remaining in
+    /// the batch after a swap or resize were measured under the *old*
+    /// configuration — stale readings that would mis-calibrate the
+    /// controller's fresh anchors or double-trigger the autoscaler — so
+    /// they are discarded, exactly like the queued snapshots the
+    /// pipeline itself flushes at the reconfiguration boundary.
+    pub fn adapt(&mut self) -> Vec<AdaptEvent> {
         if self.controller.is_none() {
             return Vec::new();
         }
         let snapshots = self.pipeline.telemetry().drain();
-        let mut swaps = Vec::new();
-        for snapshot in &snapshots {
-            let controller = self.controller.as_mut().expect("checked above");
-            if let Some(update) = controller.ingest_snapshot(snapshot) {
-                swaps.push(self.apply_update(&update));
-                break; // rest of the batch predates the new plan
+        let mut events = Vec::new();
+        'snapshots: for snapshot in &snapshots {
+            for obs in &snapshot.observations {
+                let controller = self.controller.as_mut().expect("checked above");
+                if let Some(update) = controller.ingest(obs) {
+                    events.push(self.apply_update(&update));
+                    break 'snapshots; // rest of the batch predates the change
+                }
             }
         }
-        swaps
+        events
     }
 
     /// Applies a controller-emitted update. Controllers only emit plans
     /// that already passed the partitioners' invariants (monotone, same
-    /// graph), so a rejection here is a bug worth failing loudly on.
-    fn apply_update(&mut self, update: &PlanUpdate) -> PlanSwap {
-        self.pipeline
-            .apply_plan(update)
-            .expect("controller emitted an unstreamable plan")
+    /// graph) and positive pool sizes, so a rejection here is a bug
+    /// worth failing loudly on.
+    fn apply_update(&mut self, update: &ControlUpdate) -> AdaptEvent {
+        match update {
+            ControlUpdate::Plan(plan) => AdaptEvent::Plan(
+                self.pipeline
+                    .apply_plan(plan)
+                    .expect("controller emitted an unstreamable plan"),
+            ),
+            ControlUpdate::Pool(pool) => AdaptEvent::Pool(
+                self.pipeline
+                    .resize_pool(pool.tier, pool.workers)
+                    .expect("controller emitted an empty pool"),
+            ),
+        }
     }
 
     /// Stops admissions, drains in-flight frames, joins the stage

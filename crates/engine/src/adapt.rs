@@ -13,12 +13,15 @@
 //!   stages, the simulator, the profiler, bandwidth probes — see
 //!   [`crate::telemetry`]),
 //! - an [`AdaptivePolicy`] turns each observation into a [`Decision`]
-//!   (hold / local re-partition / full re-solve); the paper's mechanism
-//!   is [`HysteresisLocal`], with [`FullResolve`] and [`NoAdapt`] as the
-//!   comparison points,
+//!   (hold / local re-partition / full re-solve / pool resize); the
+//!   paper's mechanism is [`HysteresisLocal`], with [`FullResolve`] and
+//!   [`NoAdapt`] as the comparison points and [`AutoscalePolicy`] as the
+//!   queue-depth-driven worker-pool autoscaler,
 //! - the [`AdaptiveEngine`] controller executes decisions against its
-//!   live [`Problem`] and emits [`PlanUpdate`]s — complete redeployments
-//!   a running `StreamSession` applies mid-stream via `apply_plan`.
+//!   live [`Problem`] and emits [`ControlUpdate`]s — complete
+//!   redeployments ([`PlanUpdate`]) a running `StreamSession` applies
+//!   mid-stream via `apply_plan`, or pool resizes ([`PoolUpdate`]) it
+//!   applies via `resize_pool`.
 //!
 //! ## Stage-time calibration
 //!
@@ -51,6 +54,15 @@ pub enum Decision {
     Local(NodeId),
     /// Re-solve the whole problem with HPA.
     Full,
+    /// Resize one pipeline stage's worker pool to `workers` (the plan is
+    /// untouched — only thread counts change). Emitted by queue-aware
+    /// policies such as [`AutoscalePolicy`].
+    Resize {
+        /// The stage to resize.
+        tier: Tier,
+        /// Target worker count (absolute, not a delta).
+        workers: usize,
+    },
 }
 
 /// Read-only controller state a policy consults when deciding.
@@ -208,6 +220,7 @@ impl AdaptivePolicy for FullResolve {
         match HysteresisLocal(self.0).decide(view, obs) {
             Decision::Hold => Decision::Hold,
             Decision::Local(_) | Decision::Full => Decision::Full,
+            resize @ Decision::Resize { .. } => resize, // never emitted
         }
     }
 
@@ -235,6 +248,152 @@ impl AdaptivePolicy for NoAdapt {
     }
 }
 
+/// Queue-depth-driven pool autoscaling: the consumer of
+/// [`Observation::QueueDepth`] that closes the measure-then-adapt loop
+/// for worker pools. A stage whose ingress queue stays at or above
+/// [`scale_up_depth`](Self::scale_up_depth) for
+/// [`patience`](Self::patience) consecutive snapshots gets its pool
+/// doubled (clamped to [`max_workers`](Self::max_workers)); a stage
+/// whose queue stays at or below
+/// [`scale_down_depth`](Self::scale_down_depth) gets it halved (clamped
+/// to [`min_workers`](Self::min_workers)). Hysteresis between the two
+/// thresholds — the same discipline [`HysteresisLocal`] applies to
+/// timing drift — keeps the pool from flapping. Every other observation
+/// kind is held, so an `AutoscalePolicy` composes with plan-level
+/// policies only by running in its own controller; it never re-partitions.
+///
+/// The policy tracks its own per-tier target, starting at
+/// `min_workers` — open the session with `pool = min_workers` so the
+/// first emitted resize is consistent (an equal-size resize is a no-op
+/// at the pipeline anyway).
+#[derive(Debug, Clone)]
+pub struct AutoscalePolicy {
+    /// Smallest pool the policy scales down to (also its assumed
+    /// starting size). Default 1.
+    pub min_workers: usize,
+    /// Largest pool the policy scales up to. Default 4.
+    pub max_workers: usize,
+    /// Queue depth at/above which a snapshot votes to scale up.
+    /// Default 4 (half the default ingress capacity).
+    pub scale_up_depth: usize,
+    /// Queue depth at/below which a snapshot votes to scale down.
+    /// Default 0 (an empty queue).
+    pub scale_down_depth: usize,
+    /// Consecutive votes required before acting. Default 2.
+    pub patience: u32,
+    /// Current per-tier target (the policy's belief of the pool).
+    target: [usize; 3],
+    up_streak: [u32; 3],
+    down_streak: [u32; 3],
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        Self::new(1, 4)
+    }
+}
+
+impl AutoscalePolicy {
+    /// An autoscaler driving every stage's pool within
+    /// `[min_workers, max_workers]`, starting from `min_workers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_workers` is zero or exceeds `max_workers`.
+    #[must_use]
+    pub fn new(min_workers: usize, max_workers: usize) -> Self {
+        assert!(min_workers > 0, "pools need at least one worker");
+        assert!(min_workers <= max_workers, "min must not exceed max");
+        Self {
+            min_workers,
+            max_workers,
+            scale_up_depth: 4,
+            scale_down_depth: 0,
+            patience: 2,
+            target: [min_workers; 3],
+            up_streak: [0; 3],
+            down_streak: [0; 3],
+        }
+    }
+
+    /// Sets the scale-up / scale-down queue-depth thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `down` is not strictly below `up` (the hysteresis
+    /// band would be empty and the pool would flap).
+    #[must_use]
+    pub fn thresholds(mut self, up: usize, down: usize) -> Self {
+        assert!(down < up, "scale-down threshold must sit below scale-up");
+        self.scale_up_depth = up;
+        self.scale_down_depth = down;
+        self
+    }
+
+    /// Sets how many consecutive votes trigger a resize.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `patience` is zero.
+    #[must_use]
+    pub fn patience(mut self, patience: u32) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        self.patience = patience;
+        self
+    }
+
+    /// The policy's current per-tier pool target.
+    #[must_use]
+    pub fn targets(&self) -> [usize; 3] {
+        self.target
+    }
+}
+
+impl AdaptivePolicy for AutoscalePolicy {
+    fn name(&self) -> &'static str {
+        "autoscale"
+    }
+
+    fn decide(&mut self, _view: &PolicyView<'_>, obs: &Observation) -> Decision {
+        let Observation::QueueDepth { tier, depth } = obs else {
+            return Decision::Hold;
+        };
+        let rank = tier.rank();
+        if *depth >= self.scale_up_depth {
+            self.down_streak[rank] = 0;
+            self.up_streak[rank] += 1;
+            if self.up_streak[rank] >= self.patience && self.target[rank] < self.max_workers {
+                self.up_streak[rank] = 0;
+                self.target[rank] = (self.target[rank] * 2).min(self.max_workers);
+                return Decision::Resize {
+                    tier: *tier,
+                    workers: self.target[rank],
+                };
+            }
+        } else if *depth <= self.scale_down_depth {
+            self.up_streak[rank] = 0;
+            self.down_streak[rank] += 1;
+            if self.down_streak[rank] >= self.patience && self.target[rank] > self.min_workers {
+                self.down_streak[rank] = 0;
+                self.target[rank] = (self.target[rank] / 2).max(self.min_workers);
+                return Decision::Resize {
+                    tier: *tier,
+                    workers: self.target[rank],
+                };
+            }
+        } else {
+            // Inside the band: reset both streaks (hysteresis).
+            self.up_streak[rank] = 0;
+            self.down_streak[rank] = 0;
+        }
+        Decision::Hold
+    }
+
+    fn fork(&self) -> Box<dyn AdaptivePolicy> {
+        Box::new(self.clone())
+    }
+}
+
 /// How much of the plan a [`PlanUpdate`] recomputed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateScope {
@@ -258,6 +417,29 @@ pub struct PlanUpdate {
     pub scope: UpdateScope,
 }
 
+/// A pool-resize directive emitted by the controller: set one stage's
+/// worker count. Feed it to `StreamSession::resize_pool` (or
+/// `StreamPipeline::resize_pool`) to apply it at a lossless frame
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolUpdate {
+    /// The stage to resize.
+    pub tier: Tier,
+    /// Target worker count.
+    pub workers: usize,
+}
+
+/// Everything an [`AdaptiveEngine`] can ask the apply side to do: swap
+/// the partition plan, or resize a stage's worker pool. One observation
+/// produces at most one update.
+#[derive(Debug, Clone)]
+pub enum ControlUpdate {
+    /// Redeploy onto a new partition plan.
+    Plan(PlanUpdate),
+    /// Resize one stage's worker pool.
+    Pool(PoolUpdate),
+}
+
 /// The adaptive partition controller: ingests [`Observation`]s, lets its
 /// [`AdaptivePolicy`] decide, and emits [`PlanUpdate`]s.
 pub struct AdaptiveEngine {
@@ -277,6 +459,8 @@ pub struct AdaptiveEngine {
     pub local_updates: usize,
     /// Count of full re-partitions triggered (network-wide drift).
     pub full_updates: usize,
+    /// Count of pool resizes emitted (queue-depth autoscaling).
+    pub pool_updates: usize,
     /// Observations suppressed by the policy (held inside the band).
     pub suppressed: usize,
 }
@@ -288,6 +472,7 @@ impl std::fmt::Debug for AdaptiveEngine {
             .field("policy", &self.policy.name())
             .field("local_updates", &self.local_updates)
             .field("full_updates", &self.full_updates)
+            .field("pool_updates", &self.pool_updates)
             .field("suppressed", &self.suppressed)
             .finish()
     }
@@ -327,6 +512,7 @@ impl AdaptiveEngine {
             stage_anchor: [None; 3],
             local_updates: 0,
             full_updates: 0,
+            pool_updates: 0,
             suppressed: 0,
         }
     }
@@ -365,11 +551,14 @@ impl AdaptiveEngine {
     }
 
     /// Ingests one observation: folds it into the live problem, lets the
-    /// policy decide, and executes the decision. Returns a [`PlanUpdate`]
-    /// when the plan actually changed (a triggered re-partition that
-    /// lands on the same assignment re-anchors the references but emits
-    /// nothing — there is nothing to redeploy).
-    pub fn ingest(&mut self, obs: &Observation) -> Option<PlanUpdate> {
+    /// policy decide, and executes the decision. Returns a
+    /// [`ControlUpdate`] when something must change on the apply side —
+    /// [`ControlUpdate::Plan`] when the plan actually changed (a
+    /// triggered re-partition that lands on the same assignment
+    /// re-anchors the references but emits nothing — there is nothing to
+    /// redeploy), or [`ControlUpdate::Pool`] when a queue-aware policy
+    /// wants a stage's worker pool resized.
+    pub fn ingest(&mut self, obs: &Observation) -> Option<ControlUpdate> {
         // 0. Reject malformed measurements outright: a NaN/negative
         // reading (failed probe, 0/0 upstream) must never be folded
         // into the live problem, where it would poison weights while
@@ -443,6 +632,7 @@ impl AdaptiveEngine {
                     repartition_local(&self.problem, &self.assignment, trigger, &self.opts);
                 self.local_updates += 1;
                 self.finish_repartition(update.assignment, UpdateScope::Local, obs)
+                    .map(ControlUpdate::Plan)
             }
             Decision::Full => {
                 let assignment = Hpa(self.opts.clone())
@@ -450,21 +640,39 @@ impl AdaptiveEngine {
                     .expect("HPA applies to every topology");
                 self.full_updates += 1;
                 self.finish_repartition(assignment, UpdateScope::Full, obs)
+                    .map(ControlUpdate::Plan)
+            }
+            Decision::Resize { tier, workers } => {
+                // Pool sizing never touches the cost model, the plan or
+                // the hysteresis references — it is purely an apply-side
+                // directive.
+                self.pool_updates += 1;
+                Some(ControlUpdate::Pool(PoolUpdate { tier, workers }))
             }
         }
     }
 
-    /// Ingests every observation of a snapshot; returns the last emitted
-    /// update (later observations already incorporate earlier ones — the
-    /// final plan is the one to deploy).
-    pub fn ingest_snapshot(&mut self, snapshot: &TelemetrySnapshot) -> Option<PlanUpdate> {
-        let mut last = None;
+    /// Ingests every observation of a snapshot and returns the one
+    /// update to apply. Within a kind, later updates win (later
+    /// observations already incorporate earlier ones); across kinds a
+    /// **plan** update always wins: the controller has already adopted
+    /// the new assignment internally, so dropping it would desync the
+    /// deployed pipeline from every future local repair, whereas a
+    /// dropped pool resize is simply re-emitted by the autoscaler on the
+    /// next congested window.
+    pub fn ingest_snapshot(&mut self, snapshot: &TelemetrySnapshot) -> Option<ControlUpdate> {
+        let mut last_plan = None;
+        let mut last_pool = None;
         for obs in &snapshot.observations {
-            if let Some(update) = self.ingest(obs) {
-                last = Some(update);
+            match self.ingest(obs) {
+                Some(ControlUpdate::Plan(update)) => last_plan = Some(update),
+                Some(ControlUpdate::Pool(update)) => last_pool = Some(update),
+                None => {}
             }
         }
-        last
+        last_plan
+            .map(ControlUpdate::Plan)
+            .or(last_pool.map(ControlUpdate::Pool))
     }
 
     /// Re-anchors references after a triggered re-partition and builds
@@ -667,11 +875,11 @@ mod tests {
         let g = zoo::vgg16(224);
         let mut e = engine(&g);
         let before = e.assignment().clone();
-        let update = e
-            .ingest(&Observation::Network {
-                net: NetworkCondition::custom_backbone(2.0),
-            })
-            .expect("10x bandwidth collapse must repartition");
+        let Some(ControlUpdate::Plan(update)) = e.ingest(&Observation::Network {
+            net: NetworkCondition::custom_backbone(2.0),
+        }) else {
+            panic!("10x bandwidth collapse must repartition");
+        };
         assert_eq!(update.scope, UpdateScope::Full);
         assert!(!update.changed.is_empty());
         assert_eq!(
@@ -841,5 +1049,105 @@ mod tests {
         let proto: Box<dyn AdaptivePolicy> = Box::new(HysteresisLocal::default());
         let forked = proto.fork();
         assert_eq!(proto.name(), forked.name());
+    }
+
+    fn depth(tier: Tier, depth: usize) -> Observation {
+        Observation::QueueDepth { tier, depth }
+    }
+
+    fn autoscale_engine(g: &DnnGraph, policy: AutoscalePolicy) -> AdaptiveEngine {
+        let p = Problem::new(g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        AdaptiveEngine::new(p, HpaOptions::paper(), Box::new(policy))
+    }
+
+    #[test]
+    fn autoscale_scales_up_after_patience_and_respects_max() {
+        let g = zoo::alexnet(224);
+        let mut e = autoscale_engine(&g, AutoscalePolicy::new(1, 4).thresholds(4, 0).patience(2));
+        // First congested snapshot: one vote, held.
+        assert!(e.ingest(&depth(Tier::Device, 6)).is_none());
+        // Second: patience reached, pool doubles 1 → 2.
+        let Some(ControlUpdate::Pool(up)) = e.ingest(&depth(Tier::Device, 6)) else {
+            panic!("sustained congestion must resize");
+        };
+        assert_eq!((up.tier, up.workers), (Tier::Device, 2));
+        // Keep congesting: 2 → 4, then pinned at max.
+        assert!(e.ingest(&depth(Tier::Device, 7)).is_none());
+        let Some(ControlUpdate::Pool(up)) = e.ingest(&depth(Tier::Device, 7)) else {
+            panic!("still congested");
+        };
+        assert_eq!(up.workers, 4);
+        assert!(e.ingest(&depth(Tier::Device, 9)).is_none());
+        assert!(e.ingest(&depth(Tier::Device, 9)).is_none(), "at max: hold");
+        assert_eq!(e.pool_updates, 2);
+        // The plan never moved — autoscaling is pool-only.
+        assert_eq!(e.local_updates + e.full_updates, 0);
+    }
+
+    #[test]
+    fn autoscale_scales_down_on_idle_queues_and_respects_min() {
+        let g = zoo::alexnet(224);
+        let mut e = autoscale_engine(&g, AutoscalePolicy::new(1, 4).thresholds(4, 0).patience(1));
+        // Pump the edge pool up to 4.
+        for _ in 0..2 {
+            let _ = e.ingest(&depth(Tier::Edge, 8));
+        }
+        // Idle queue: halve back down to 2, then 1, then hold at min.
+        let Some(ControlUpdate::Pool(down)) = e.ingest(&depth(Tier::Edge, 0)) else {
+            panic!("idle queue must scale down");
+        };
+        assert_eq!((down.tier, down.workers), (Tier::Edge, 2));
+        let Some(ControlUpdate::Pool(down)) = e.ingest(&depth(Tier::Edge, 0)) else {
+            panic!("still idle");
+        };
+        assert_eq!(down.workers, 1);
+        assert!(e.ingest(&depth(Tier::Edge, 0)).is_none(), "at min: hold");
+    }
+
+    #[test]
+    fn autoscale_band_resets_streaks_and_ignores_other_signals() {
+        let g = zoo::alexnet(224);
+        let mut e = autoscale_engine(&g, AutoscalePolicy::new(1, 4).thresholds(4, 0).patience(2));
+        // One congested vote, then an in-band snapshot: streak resets,
+        // so the next congested vote does not trigger either.
+        assert!(e.ingest(&depth(Tier::Cloud, 5)).is_none());
+        assert!(e.ingest(&depth(Tier::Cloud, 2)).is_none());
+        assert!(e.ingest(&depth(Tier::Cloud, 5)).is_none());
+        assert_eq!(e.pool_updates, 0);
+        // Timing and network drift are someone else's job: held, and
+        // the plan never moves.
+        let id = NodeId(2);
+        let _ = e.ingest(&vertex_obs(&e, id, 50.0));
+        let _ = e.ingest(&Observation::Network {
+            net: NetworkCondition::custom_backbone(0.5),
+        });
+        assert_eq!(e.local_updates + e.full_updates, 0);
+    }
+
+    #[test]
+    fn autoscale_forks_with_fresh_state() {
+        let mut proto = AutoscalePolicy::new(1, 4).patience(1);
+        let forked = proto.fork();
+        assert_eq!(forked.name(), "autoscale");
+        // Mutating the original does not affect the fork's decisions.
+        let g = zoo::alexnet(224);
+        let mut e = autoscale_engine(&g, AutoscalePolicy::new(1, 4).patience(1));
+        let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        let a = Hpa(HpaOptions::paper()).partition(&p).unwrap();
+        let view = PolicyView {
+            problem: &p,
+            assignment: &a,
+            reference: &[],
+            reference_backbone_mbps: 0.0,
+            stage_anchor: &[None; 3],
+        };
+        assert_eq!(
+            proto.decide(&view, &depth(Tier::Device, 9)),
+            Decision::Resize {
+                tier: Tier::Device,
+                workers: 2
+            }
+        );
+        let _ = e; // silence unused when assertions change
     }
 }

@@ -54,8 +54,8 @@ pub mod telemetry;
 pub mod wire;
 
 pub use adapt::{
-    AdaptiveEngine, AdaptivePolicy, Decision, FullResolve, HysteresisLocal, NoAdapt, PlanUpdate,
-    PolicyView, UpdateScope,
+    AdaptiveEngine, AdaptivePolicy, AutoscalePolicy, ControlUpdate, Decision, FullResolve,
+    HysteresisLocal, NoAdapt, PlanUpdate, PolicyView, PoolUpdate, UpdateScope,
 };
 pub use deploy::{deploy_strategy, Deployment, Strategy, VsmConfig};
 pub use distributed::run_distributed;
@@ -64,8 +64,9 @@ pub use pipeline::{
     StreamStats,
 };
 pub use stream::{
-    FrameId, PlanSwap, StreamBuildError, StreamOptions, StreamPipeline, StreamRecvError,
-    StreamReport, SubmitError,
+    BatchOptions, FrameId, InjectedDelay, PlanSwap, PoolOptions, PoolResize, PoolSize,
+    StagePoolStats, StreamBuildError, StreamOptions, StreamPipeline, StreamRecvError, StreamReport,
+    SubmitError,
 };
 pub use telemetry::{
     predicted_observations, profile_observations, Observation, TelemetrySnapshot, TelemetryTap,

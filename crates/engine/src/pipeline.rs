@@ -52,6 +52,8 @@ pub struct StreamStats {
     pub p50_latency_s: f64,
     /// 95th-percentile end-to-end seconds.
     pub p95_latency_s: f64,
+    /// 99th-percentile end-to-end seconds (the perf-gate's tail metric).
+    pub p99_latency_s: f64,
     /// Completed frames per second of simulated time.
     pub throughput_fps: f64,
     /// Utilization (busy fraction) per server, stage and link interleaved:
@@ -89,6 +91,7 @@ pub fn simulate_stream(stages: &[StageSpec], fps: f64, n_frames: usize) -> Strea
             max_latency_s: 0.0,
             p50_latency_s: 0.0,
             p95_latency_s: 0.0,
+            p99_latency_s: 0.0,
             throughput_fps: 0.0,
             utilization: vec![0.0; n_servers],
         };
@@ -127,6 +130,7 @@ pub fn simulate_stream(stages: &[StageSpec], fps: f64, n_frames: usize) -> Strea
         max_latency_s: *sorted.last().expect("non-empty"),
         p50_latency_s: percentile(&sorted, 0.50),
         p95_latency_s: percentile(&sorted, 0.95),
+        p99_latency_s: percentile(&sorted, 0.99),
         throughput_fps: n_frames as f64 / horizon,
         utilization: busy_total.iter().map(|b| b / horizon).collect(),
     }

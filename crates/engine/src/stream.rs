@@ -3,12 +3,20 @@
 //! The discrete-event simulator ([`crate::pipeline`]) *predicts* how a
 //! deployment behaves under a frame stream; this module *measures* it.
 //! [`StreamPipeline`] turns the plan's tier segments (device → edge →
-//! cloud) into three long-lived worker threads connected by **bounded**
+//! cloud) into long-lived worker **pools** connected by **bounded**
 //! channels: frame `N+1` starts on the device stage while frame `N` is
 //! still on the edge stage, so sustained throughput is governed by the
 //! slowest stage rather than the end-to-end sum — exactly the
 //! bottleneck phenomenon the paper's VSM attacks ("the node with the
-//! most processing time becomes the bottleneck", §I).
+//! most processing time becomes the bottleneck", §I). A stage may run
+//! several workers ([`PoolOptions`]) so a slow tier holds multiple
+//! frames in flight, and an optional batching front-end
+//! ([`BatchOptions`]) coalesces admitted frames into one executor call;
+//! per-stage resequencers keep results in submission order and outputs
+//! bit-identical to the single-worker, unbatched pipeline. Pools resize
+//! **live** ([`StreamPipeline::resize_pool`]) at the same lossless frame
+//! boundary plan swaps use — the apply end of queue-depth-driven
+//! autoscaling (`AutoscalePolicy` in [`crate::adapt`]).
 //!
 //! Design notes:
 //!
@@ -53,7 +61,7 @@ use crate::pipeline::{percentile, simulate_stream, StageSpec, StreamStats};
 use crate::telemetry::{Observation, TelemetrySnapshot, TelemetryTap};
 use crate::wire;
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use d3_model::{
     crossing_tensors, walk_segment, DnnGraph, Executor, LayerOp, NodeId, SegmentExecutor,
 };
@@ -61,18 +69,20 @@ use d3_partition::Assignment;
 use d3_simnet::Tier;
 use d3_tensor::Tensor;
 use d3_vsm::TiledRuns;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Bound of the telemetry snapshot queue; producers drop (never block)
 /// once it fills.
 const TELEMETRY_DEPTH: usize = 64;
 
-/// Identifier of one submitted frame, unique and increasing within a
-/// pipeline (rejected submissions may leave gaps).
+/// Identifier of one admitted frame: dense and increasing within a
+/// pipeline (0, 1, 2, …; rejected submissions do **not** consume ids —
+/// the per-stage resequencers rely on contiguity to restore submission
+/// order under pooled workers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameId(pub u64);
 
@@ -82,18 +92,189 @@ impl std::fmt::Display for FrameId {
     }
 }
 
+/// How many resident workers one pipeline stage runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolSize {
+    /// Derive the worker count from the host's available parallelism
+    /// (one third of the cores, clamped to `1..=4` — three stages share
+    /// the machine).
+    Auto,
+    /// Exactly this many workers (must be positive).
+    Fixed(usize),
+}
+
+impl PoolSize {
+    /// Resolves to a concrete worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamBuildError::ZeroPool`] for `Fixed(0)`.
+    fn resolve(self) -> Result<usize, StreamBuildError> {
+        match self {
+            PoolSize::Auto => {
+                let cores = std::thread::available_parallelism().map_or(1, usize::from);
+                Ok((cores / 3).clamp(1, 4))
+            }
+            PoolSize::Fixed(0) => Err(StreamBuildError::ZeroPool),
+            PoolSize::Fixed(n) => Ok(n),
+        }
+    }
+}
+
+/// Per-stage worker-pool sizing: each tier's stage runs this many
+/// cloned-executor workers pulling frames from its inbound queue. More
+/// workers let one stage hold several frames in flight — the knob that
+/// un-bottlenecks a slow tier — while a per-stage resequencer keeps
+/// results in submission order, bit-identical to `pool = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolOptions {
+    /// Device-stage workers.
+    pub device: PoolSize,
+    /// Edge-stage workers.
+    pub edge: PoolSize,
+    /// Cloud-stage workers.
+    pub cloud: PoolSize,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        Self::uniform(1)
+    }
+}
+
+impl PoolOptions {
+    /// The same fixed worker count on every stage.
+    #[must_use]
+    pub fn uniform(workers: usize) -> Self {
+        Self {
+            device: PoolSize::Fixed(workers),
+            edge: PoolSize::Fixed(workers),
+            cloud: PoolSize::Fixed(workers),
+        }
+    }
+
+    /// [`PoolSize::Auto`] on every stage.
+    #[must_use]
+    pub fn auto() -> Self {
+        Self {
+            device: PoolSize::Auto,
+            edge: PoolSize::Auto,
+            cloud: PoolSize::Auto,
+        }
+    }
+
+    /// Sets one tier's pool size.
+    #[must_use]
+    pub fn with(mut self, tier: Tier, size: PoolSize) -> Self {
+        match tier {
+            Tier::Device => self.device = size,
+            Tier::Edge => self.edge = size,
+            Tier::Cloud => self.cloud = size,
+        }
+        self
+    }
+
+    /// Resolves every tier to a concrete worker count.
+    fn resolve(self) -> Result<[usize; 3], StreamBuildError> {
+        Ok([
+            self.device.resolve()?,
+            self.edge.resolve()?,
+            self.cloud.resolve()?,
+        ])
+    }
+}
+
+/// Batching front-end configuration: coalesce admitted frames into one
+/// multi-frame executor call per stage. A batch closes when it reaches
+/// [`max_frames`](Self::max_frames) or when
+/// [`deadline`](Self::deadline) elapses after its first frame — the
+/// classic size-or-timeout rule, so a trickle of traffic never stalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Largest number of frames coalesced into one batch. `1` disables
+    /// batching (the default); `0` is rejected at build time.
+    pub max_frames: usize,
+    /// How long the batcher waits after a batch's first frame for more
+    /// frames to arrive. Zero coalesces only frames already queued.
+    pub deadline: Duration,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            max_frames: 1,
+            deadline: Duration::ZERO,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Batching disabled (every frame travels alone).
+    #[must_use]
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Batches of up to `max_frames`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_frames` is zero.
+    #[must_use]
+    pub fn frames(max_frames: usize) -> Self {
+        assert!(max_frames > 0, "batch size must be positive");
+        Self {
+            max_frames,
+            deadline: Duration::ZERO,
+        }
+    }
+
+    /// Sets the batch-forming deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+/// Fault-injection knob: stall one tier's stage before computing every
+/// `every`-th frame. This models a latency-bound stage — a saturated
+/// accelerator, an RPC hop, a co-tenant stealing cycles — without
+/// touching the arithmetic, so outputs stay bit-identical. It is how
+/// the test suite builds a *deliberately slow worker* (order-preservation
+/// under pooling) and a device-bottlenecked pipeline whose pool speedup
+/// does not depend on host core count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedDelay {
+    /// The stage to slow down.
+    pub tier: Tier,
+    /// Apply the delay to frames whose id is a multiple of this
+    /// (`1` = every frame). Must be positive.
+    pub every: u64,
+    /// How long to stall per affected frame.
+    pub delay: Duration,
+}
+
 /// Configuration of a streaming session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamOptions {
     /// Bound of every inter-stage queue (and of the result queue). Depth
     /// trades latency under overload for tolerance to jitter; once the
     /// ingress queue holds this many frames, [`StreamPipeline::submit`]
-    /// reports backpressure.
+    /// reports backpressure. Later queues are bounded in *messages*
+    /// (single frames, or batches when batching is on).
     pub capacity: usize,
     /// Frames per telemetry window: every stage worker publishes a
     /// [`TelemetrySnapshot`] after this many processed frames. `0`
     /// disables telemetry emission.
     pub telemetry_every: u64,
+    /// Per-stage worker pools (default: one worker per stage).
+    pub pool: PoolOptions,
+    /// Batching front-end (default: off).
+    pub batching: BatchOptions,
+    /// Optional injected per-frame stage delay (fault injection for
+    /// tests and latency-bound benchmarks; default: none).
+    pub chaos: Option<InjectedDelay>,
 }
 
 impl Default for StreamOptions {
@@ -101,12 +282,16 @@ impl Default for StreamOptions {
         Self {
             capacity: 8,
             telemetry_every: 32,
+            pool: PoolOptions::default(),
+            batching: BatchOptions::default(),
+            chaos: None,
         }
     }
 }
 
 impl StreamOptions {
-    /// Default options (queue capacity 8, telemetry every 32 frames).
+    /// Default options (queue capacity 8, telemetry every 32 frames,
+    /// one worker per stage, batching off).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -128,6 +313,44 @@ impl StreamOptions {
     #[must_use]
     pub fn telemetry_every(mut self, frames: u64) -> Self {
         self.telemetry_every = frames;
+        self
+    }
+
+    /// Sets the per-stage worker pools.
+    #[must_use]
+    pub fn pool(mut self, pool: PoolOptions) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Sets one tier's worker count (shorthand for [`pool`](Self::pool)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    #[must_use]
+    pub fn workers(mut self, tier: Tier, workers: usize) -> Self {
+        assert!(workers > 0, "worker pool must be positive");
+        self.pool = self.pool.with(tier, PoolSize::Fixed(workers));
+        self
+    }
+
+    /// Enables the batching front-end.
+    #[must_use]
+    pub fn batching(mut self, batching: BatchOptions) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Injects a per-frame stage delay (see [`InjectedDelay`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every` is zero.
+    #[must_use]
+    pub fn inject_delay(mut self, tier: Tier, every: u64, delay: Duration) -> Self {
+        assert!(every > 0, "delay period must be positive");
+        self.chaos = Some(InjectedDelay { tier, every, delay });
         self
     }
 }
@@ -160,6 +383,13 @@ pub enum StreamBuildError {
     /// the [`capacity`](StreamOptions::capacity) builder rejects this
     /// earlier).
     ZeroCapacity,
+    /// A worker pool was sized [`PoolSize::Fixed(0)`](PoolSize::Fixed)
+    /// (the [`workers`](StreamOptions::workers) builder rejects this
+    /// earlier).
+    ZeroPool,
+    /// [`BatchOptions::max_frames`] was set to zero (the
+    /// [`frames`](BatchOptions::frames) builder rejects this earlier).
+    ZeroBatch,
 }
 
 impl std::fmt::Display for StreamBuildError {
@@ -180,6 +410,8 @@ impl std::fmt::Display for StreamBuildError {
                 "plan covers {got} vertices but the streaming graph has {expected}"
             ),
             StreamBuildError::ZeroCapacity => write!(f, "queue capacity must be positive"),
+            StreamBuildError::ZeroPool => write!(f, "worker pool must be positive"),
+            StreamBuildError::ZeroBatch => write!(f, "batch size must be positive"),
         }
     }
 }
@@ -234,10 +466,31 @@ impl std::fmt::Display for StreamRecvError {
 impl std::error::Error for StreamRecvError {}
 
 /// One frame travelling between stages: crossing tensors in wire format.
-struct FrameMsg {
+struct Frame {
     id: u64,
     submitted_at: Instant,
     payload: Vec<(NodeId, Bytes)>,
+}
+
+/// The unit travelling the inter-stage queues: one or more frames with
+/// contiguous ascending ids (singletons unless batching is on).
+struct BatchMsg {
+    frames: Vec<Frame>,
+}
+
+impl BatchMsg {
+    /// Id of the first frame — the resequencing key.
+    fn first_id(&self) -> u64 {
+        self.frames[0].id
+    }
+}
+
+/// What one worker hands downstream after processing a batch.
+enum StageOut {
+    /// Crossing tensors for the next stage (non-final stages).
+    Forward(BatchMsg),
+    /// Finished output tensors (final stage).
+    Results(Vec<(FrameId, Tensor)>),
 }
 
 /// How a stage executes its segment.
@@ -260,10 +513,14 @@ impl StageExec {
         }
     }
 
-    fn run(&self, boundary: HashMap<NodeId, Tensor>) -> HashMap<NodeId, Tensor> {
+    /// Executes a whole batch in one call: operator-major through the
+    /// prebuilt segment executor (weights loaded once per batch), or
+    /// frame-by-frame through the VSM tile executors (tile runs are
+    /// already their own parallel unit).
+    fn run_batch(&self, boundaries: Vec<HashMap<NodeId, Tensor>>) -> Vec<HashMap<NodeId, Tensor>> {
         match self {
-            StageExec::Prebuilt(seg) => seg.run(boundary),
-            StageExec::Vsm(stage) => stage.run(boundary),
+            StageExec::Prebuilt(seg) => seg.run_batch(boundaries),
+            StageExec::Vsm(stage) => boundaries.into_iter().map(|b| stage.run(b)).collect(),
         }
     }
 }
@@ -329,11 +586,13 @@ impl VsmStage {
     }
 }
 
-/// Static per-stage routing plan.
+/// Static per-stage routing plan, shared by every worker of the stage's
+/// pool (the executor — weights included — is behind an [`Arc`], so N
+/// workers cost one weight materialization).
 struct StageCtx {
     /// The stage's tier (telemetry labels).
     tier: Tier,
-    exec: StageExec,
+    exec: Arc<StageExec>,
     /// Payload ids this stage must decode (external inputs of its
     /// segment; for the last stage, also the graph output).
     needed: HashSet<NodeId>,
@@ -349,6 +608,8 @@ struct StageMetrics {
     decode_s: f64,
     compute_s: f64,
     encode_s: f64,
+    /// Executor calls made (each serves a whole batch).
+    batches: u64,
     /// Submit→completion latency per frame (final stage only).
     latencies_s: Vec<f64>,
     /// Completion instant of the last frame (final stage only).
@@ -356,12 +617,13 @@ struct StageMetrics {
 }
 
 impl StageMetrics {
-    /// Merges a retiring worker generation into the accumulated totals
-    /// (live reconfiguration replaces workers; measurements span them).
+    /// Merges a retiring worker (pool sibling or a generation replaced
+    /// by live reconfiguration) into the accumulated totals.
     fn absorb(&mut self, other: StageMetrics) {
         self.decode_s += other.decode_s;
         self.compute_s += other.compute_s;
         self.encode_s += other.encode_s;
+        self.batches += other.batches;
         self.latencies_s.extend(other.latencies_s);
         self.last_done = match (self.last_done, other.last_done) {
             (Some(a), Some(b)) => Some(a.max(b)),
@@ -452,68 +714,217 @@ fn build_stage_exec(
     StageExec::Prebuilt(SegmentExecutor::new(graph.clone(), seed, members))
 }
 
-/// Spawns the three stage workers for `routing`, reusing the executors
-/// in `reuse` whose member sets are unchanged (prebuilt weights survive
-/// the swap). Returns the new ingress sender, result receiver, worker
-/// handles and a per-rank reuse flag.
-#[allow(clippy::too_many_arguments, clippy::type_complexity)]
-fn spawn_stages(
-    graph: &Arc<DnnGraph>,
+/// Where a worker delivers processed batches.
+#[derive(Clone)]
+enum StageSink {
+    /// Single-worker stage: forward directly (FIFO order is inherent).
+    Direct {
+        next: Option<Sender<BatchMsg>>,
+        results: Option<Sender<(FrameId, Tensor)>>,
+    },
+    /// Pooled stage: hand `(first_id, frame_count, out)` to the stage's
+    /// resequencer, which restores submission order.
+    Reseq(Sender<(u64, usize, StageOut)>),
+}
+
+/// Forwards one processed unit downstream; `false` when the downstream
+/// end is gone (session dropped) and the caller should stop.
+fn deliver(
+    out: StageOut,
+    next: &Option<Sender<BatchMsg>>,
+    results: &Option<Sender<(FrameId, Tensor)>>,
+) -> bool {
+    match out {
+        StageOut::Forward(batch) => next
+            .as_ref()
+            .expect("non-final stage has a successor")
+            .send(batch)
+            .is_ok(),
+        StageOut::Results(frames) => {
+            let tx = results.as_ref().expect("final stage sends results");
+            for frame in frames {
+                if tx.send(frame).is_err() {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// A pooled stage's reorder point: workers complete batches out of
+/// order; this thread buffers them and releases strictly by frame id
+/// (ids are dense, so `expected` advances by each unit's frame count).
+fn resequencer(
+    rx: Receiver<(u64, usize, StageOut)>,
+    start: u64,
+    next: Option<Sender<BatchMsg>>,
+    results: Option<Sender<(FrameId, Tensor)>>,
+) {
+    let mut expected = start;
+    let mut buffer: BTreeMap<u64, (usize, StageOut)> = BTreeMap::new();
+    while let Ok((first, count, out)) = rx.recv() {
+        buffer.insert(first, (count, out));
+        while let Some((count, out)) = buffer.remove(&expected) {
+            expected += count as u64;
+            if !deliver(out, &next, &results) {
+                return; // downstream gone with the session
+            }
+        }
+    }
+    // Workers exited; ids are contiguous, so anything still buffered
+    // can only be a tail cut short by a dying downstream. Flush in
+    // order regardless — deliver() stops cleanly if no one listens.
+    while let Some((_, (_, out))) = buffer.pop_first() {
+        if !deliver(out, &next, &results) {
+            return;
+        }
+    }
+}
+
+/// The size-or-deadline batch former between the ingress queue and the
+/// device stage: admitted frames arrive as singletons; a batch closes at
+/// `max_frames` or when `deadline` elapses after its first frame.
+fn batcher(rx: Receiver<BatchMsg>, tx: Sender<BatchMsg>, max_frames: usize, deadline: Duration) {
+    loop {
+        let mut batch = match rx.recv() {
+            Ok(batch) => batch,
+            Err(_) => return, // admissions closed, nothing pending
+        };
+        let cutoff = Instant::now() + deadline;
+        let mut open = true;
+        while open && batch.frames.len() < max_frames {
+            let remaining = cutoff.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(more) => batch.frames.extend(more.frames),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => open = false,
+            }
+        }
+        if tx.send(batch).is_err() || !open {
+            return;
+        }
+    }
+}
+
+/// Everything one worker generation is spawned from.
+struct SpawnSpec<'a> {
+    graph: &'a Arc<DnnGraph>,
     seed: u64,
     vsm: Option<VsmConfig>,
     capacity: usize,
     output_node: NodeId,
-    routing: &Routing,
+    routing: &'a Routing,
     telemetry_every: u64,
-    telemetry_tx: &Sender<TelemetrySnapshot>,
-    mut reuse: Vec<Option<StageExec>>,
-) -> (
-    Sender<FrameMsg>,
-    Receiver<(FrameId, Tensor)>,
-    Vec<JoinHandle<(StageCtx, StageMetrics)>>,
-    [bool; 3],
-) {
-    // Channels: submit → device → edge → cloud → results.
-    let (tx_in, rx_dev) = bounded::<FrameMsg>(capacity);
-    let (tx_edge, rx_edge) = bounded::<FrameMsg>(capacity);
-    let (tx_cloud, rx_cloud) = bounded::<FrameMsg>(capacity);
-    let (tx_out, rx_out) = bounded::<(FrameId, Tensor)>(capacity);
+    telemetry_tx: &'a Sender<TelemetrySnapshot>,
+    /// Concrete workers per stage rank.
+    pool: [usize; 3],
+    batch: BatchOptions,
+    chaos: Option<InjectedDelay>,
+    /// First frame id this generation will see (the resequencers'
+    /// starting point; every earlier id has already drained).
+    start_seq: u64,
+}
 
-    let mut handles = Vec::with_capacity(3);
+/// One spawned worker generation.
+struct Spawned {
+    tx_in: Sender<BatchMsg>,
+    rx_out: Receiver<(FrameId, Tensor)>,
+    /// Stage workers, grouped by rank.
+    workers: [Vec<JoinHandle<(StageCtx, StageMetrics)>>; 3],
+    /// Order-keeping helpers: the batcher and the resequencers.
+    aux: Vec<JoinHandle<()>>,
+    reused: [bool; 3],
+}
+
+/// Spawns the stage worker pools for `routing`, reusing the executors in
+/// `reuse` whose member sets are unchanged (prebuilt weights survive the
+/// swap). Stages with one worker forward directly; pooled stages fan
+/// batches out over cloned receivers and restore submission order
+/// through a per-stage [`resequencer`].
+fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) -> Spawned {
+    // Channels: submit → [batcher →] device → edge → cloud → results.
+    let (tx_in, rx_ingress) = bounded::<BatchMsg>(spec.capacity);
+    let (tx_edge, rx_edge) = bounded::<BatchMsg>(spec.capacity);
+    let (tx_cloud, rx_cloud) = bounded::<BatchMsg>(spec.capacity);
+    let (tx_out, rx_out) = bounded::<(FrameId, Tensor)>(spec.capacity);
+
+    let mut aux = Vec::new();
+    let rx_dev = if spec.batch.max_frames > 1 {
+        let (tx_dev, rx_dev) = bounded::<BatchMsg>(spec.capacity);
+        let (max_frames, deadline) = (spec.batch.max_frames, spec.batch.deadline);
+        aux.push(std::thread::spawn(move || {
+            batcher(rx_ingress, tx_dev, max_frames, deadline);
+        }));
+        rx_dev
+    } else {
+        rx_ingress
+    };
+
+    let mut workers: [Vec<JoinHandle<(StageCtx, StageMetrics)>>; 3] = Default::default();
     let receivers = [rx_dev, rx_edge, rx_cloud];
-    let mut senders = [Some(tx_edge), Some(tx_cloud), None::<Sender<FrameMsg>>];
+    let mut senders = [Some(tx_edge), Some(tx_cloud), None::<Sender<BatchMsg>>];
     let mut tx_out = Some(tx_out);
     let mut reused = [false; 3];
     for (rank, rx) in receivers.into_iter().enumerate() {
         let tier = Tier::ALL[rank];
-        let members = &routing.members[rank];
+        let members = &spec.routing.members[rank];
         let exec = match reuse.get_mut(rank).and_then(Option::take) {
             Some(old) if old.members() == members.as_slice() => {
                 reused[rank] = true;
                 old
             }
-            _ => build_stage_exec(graph, seed, members, tier, vsm),
-        };
-        let ctx = StageCtx {
-            tier,
-            exec,
-            needed: routing.needed[rank].clone(),
-            forward_ids: routing.forward_ids[rank].clone(),
-            output_node,
-            is_last: rank == 2,
+            _ => Arc::new(build_stage_exec(
+                spec.graph, spec.seed, members, tier, spec.vsm,
+            )),
         };
         let tx_next = senders[rank].take();
-        // Only the final stage sends results: that way rx_out
-        // disconnects — and recv() panics instead of hanging — as
-        // soon as a worker dies anywhere in the chain (a death
-        // cascades downstream through dropped channel ends).
+        // Only the final stage's sink holds tx_out: that way rx_out
+        // disconnects — and recv() panics instead of hanging — as soon
+        // as the chain collapses (a death cascades downstream through
+        // dropped channel ends).
         let tx_results = if rank == 2 { tx_out.take() } else { None };
-        let ttx = telemetry_tx.clone();
-        handles.push(std::thread::spawn(move || {
-            stage_worker(ctx, rx, tx_next, tx_results, telemetry_every, ttx)
-        }));
+        let n_workers = spec.pool[rank];
+        // Pooled stages reorder through a resequencer; single-worker
+        // stages keep the zero-overhead direct path.
+        let sink_proto = if n_workers > 1 {
+            let (tx_seq, rx_seq) = bounded::<(u64, usize, StageOut)>(spec.capacity + n_workers);
+            let start = spec.start_seq;
+            aux.push(std::thread::spawn(move || {
+                resequencer(rx_seq, start, tx_next, tx_results);
+            }));
+            StageSink::Reseq(tx_seq)
+        } else {
+            StageSink::Direct {
+                next: tx_next,
+                results: tx_results,
+            }
+        };
+        for _ in 0..n_workers {
+            let ctx = StageCtx {
+                tier,
+                exec: exec.clone(),
+                needed: spec.routing.needed[rank].clone(),
+                forward_ids: spec.routing.forward_ids[rank].clone(),
+                output_node: spec.output_node,
+                is_last: rank == 2,
+            };
+            let sink = sink_proto.clone();
+            let rx = rx.clone();
+            let ttx = spec.telemetry_tx.clone();
+            let (telemetry_every, chaos) = (spec.telemetry_every, spec.chaos);
+            workers[rank].push(std::thread::spawn(move || {
+                stage_worker(ctx, rx, sink, telemetry_every, ttx, chaos)
+            }));
+        }
     }
-    (tx_in, rx_out, handles, reused)
+    Spawned {
+        tx_in,
+        rx_out,
+        workers,
+        aux,
+        reused,
+    }
 }
 
 /// What a live plan swap did to the running pipeline.
@@ -530,6 +941,35 @@ pub struct PlanSwap {
     /// frame boundary (none dropped; they surface through `recv` in
     /// submission order).
     pub drained_frames: u64,
+}
+
+/// What a live pool resize ([`StreamPipeline::resize_pool`]) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolResize {
+    /// The resized stage's tier.
+    pub tier: Tier,
+    /// Workers before the resize.
+    pub from: usize,
+    /// Workers after the resize.
+    pub to: usize,
+    /// In-flight frames drained to the reorder buffer at the resize's
+    /// frame boundary (0 when `from == to`: a no-op resize does not
+    /// quiesce the stream).
+    pub drained_frames: u64,
+}
+
+/// One stage's pool accounting in the final [`StreamReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagePoolStats {
+    /// The stage's tier.
+    pub tier: Tier,
+    /// Worker count at close (after any live resizes).
+    pub workers: usize,
+    /// Executor calls made over the session (each serves one batch; with
+    /// batching off this equals the frames the stage processed).
+    pub batches: u64,
+    /// Live pool resizes applied to this stage.
+    pub resize_events: u64,
 }
 
 /// Final report of a closed streaming session.
@@ -559,6 +999,9 @@ pub struct StreamReport {
     pub rejected: u64,
     /// Live plan swaps applied over the session's lifetime.
     pub reconfigurations: u64,
+    /// Per-stage pool accounting: `{workers, batches, resize_events}`
+    /// for device, edge and cloud, in tier order.
+    pub stage_pools: Vec<StagePoolStats>,
 }
 
 impl StreamReport {
@@ -610,16 +1053,18 @@ impl StreamReport {
     }
 }
 
-/// A live pipelined executor: one worker thread per tier, bounded queues
+/// A live pipelined executor: a worker pool per tier, bounded queues
 /// between them, real tensors end to end.
 ///
 /// Obtain one through `D3Runtime::open_stream` (or directly via
 /// [`StreamPipeline::new`]), push frames with
 /// [`submit`](StreamPipeline::submit), pull results with
 /// [`recv`](StreamPipeline::recv), and [`close`](StreamPipeline::close)
-/// to collect the [`StreamReport`]. Results arrive in submission order
-/// (every queue is FIFO and every stage is a single worker), including
-/// across [`apply_plan`](StreamPipeline::apply_plan) swaps. Dropping an
+/// to collect the [`StreamReport`]. Results arrive in submission order —
+/// single-worker stages are FIFO by construction, pooled stages restore
+/// order through a per-stage resequencer — including across
+/// [`apply_plan`](StreamPipeline::apply_plan) swaps and
+/// [`resize_pool`](StreamPipeline::resize_pool) events. Dropping an
 /// un-closed pipeline signals and joins its workers (no thread leaks);
 /// only the report is lost.
 pub struct StreamPipeline {
@@ -628,14 +1073,21 @@ pub struct StreamPipeline {
     vsm: Option<VsmConfig>,
     capacity: usize,
     telemetry_every: u64,
+    batch: BatchOptions,
+    chaos: Option<InjectedDelay>,
+    /// Live worker count per stage rank.
+    pool: [usize; 3],
     input_node: NodeId,
     input_shape: (usize, usize, usize),
     output_node: NodeId,
     assignment: Assignment,
-    tx_in: Option<Sender<FrameMsg>>,
+    tx_in: Option<Sender<BatchMsg>>,
     rx_out: Receiver<(FrameId, Tensor)>,
-    handles: Vec<JoinHandle<(StageCtx, StageMetrics)>>,
-    /// Metrics absorbed from worker generations retired by plan swaps.
+    /// Stage workers by rank (the live generation).
+    workers: [Vec<JoinHandle<(StageCtx, StageMetrics)>>; 3],
+    /// The generation's batcher and resequencer threads.
+    aux: Vec<JoinHandle<()>>,
+    /// Metrics absorbed from workers retired by plan swaps or resizes.
     retired: Vec<StageMetrics>,
     /// Frames drained at a swap's frame boundary, served before new
     /// results to preserve submission order.
@@ -644,10 +1096,21 @@ pub struct StreamPipeline {
     telemetry_rx: Receiver<TelemetrySnapshot>,
     predicted: Vec<StageSpec>,
     started: Instant,
+    /// Pool sizes over time: one entry per (re)configuration, valid from
+    /// its instant until the next entry — the integral of this step
+    /// function is each stage's available worker-seconds, the
+    /// denominator that keeps pooled utilization ≤ 1.
+    pool_history: Vec<(Instant, [usize; 3])>,
+    /// Live pool resizes per stage rank.
+    resize_events: [u64; 3],
     /// Admission instant of the first frame — the wall-clock anchor for
     /// throughput/utilization, so pre-stream idle time is not billed.
     first_submit: Mutex<Option<Instant>>,
-    next_id: AtomicU64,
+    /// Next frame id. Guarded by a mutex (not an atomic) so ids stay
+    /// *dense*: an id is consumed only when its frame is actually
+    /// admitted, which is what lets the resequencers equate contiguous
+    /// ids with submission order.
+    admission: Mutex<u64>,
     submitted: AtomicU64,
     rejected: AtomicU64,
     delivered: AtomicU64,
@@ -683,6 +1146,10 @@ impl StreamPipeline {
         if options.capacity == 0 {
             return Err(StreamBuildError::ZeroCapacity);
         }
+        if options.batching.max_frames == 0 {
+            return Err(StreamBuildError::ZeroBatch);
+        }
+        let pool = options.pool.resolve()?;
         let outputs = graph.outputs();
         if outputs.len() != 1 {
             return Err(StreamBuildError::MultiOutput {
@@ -692,18 +1159,25 @@ impl StreamPipeline {
         let output_node = outputs[0];
         let routing = plan_routing(&graph, &deployment.assignment, output_node)?;
         let (telemetry_tx, telemetry_rx) = bounded::<TelemetrySnapshot>(TELEMETRY_DEPTH);
-        let (tx_in, rx_out, handles, _) = spawn_stages(
-            &graph,
-            seed,
-            vsm,
-            options.capacity,
-            output_node,
-            &routing,
-            options.telemetry_every,
-            &telemetry_tx,
+        let spawned = spawn_stages(
+            &SpawnSpec {
+                graph: &graph,
+                seed,
+                vsm,
+                capacity: options.capacity,
+                output_node,
+                routing: &routing,
+                telemetry_every: options.telemetry_every,
+                telemetry_tx: &telemetry_tx,
+                pool,
+                batch: options.batching,
+                chaos: options.chaos,
+                start_seq: 0,
+            },
             vec![None, None, None],
         );
         let shape = graph.input_shape();
+        let started = Instant::now();
         Ok(Self {
             input_node: graph.input(),
             input_shape: (shape.c, shape.h, shape.w),
@@ -714,9 +1188,13 @@ impl StreamPipeline {
             vsm,
             capacity: options.capacity,
             telemetry_every: options.telemetry_every,
-            tx_in: Some(tx_in),
-            rx_out,
-            handles,
+            batch: options.batching,
+            chaos: options.chaos,
+            pool,
+            tx_in: Some(spawned.tx_in),
+            rx_out: spawned.rx_out,
+            workers: spawned.workers,
+            aux: spawned.aux,
             retired: std::iter::repeat_with(StageMetrics::default)
                 .take(3)
                 .collect(),
@@ -724,9 +1202,11 @@ impl StreamPipeline {
             telemetry_tx,
             telemetry_rx,
             predicted: deployment.stages.clone(),
-            started: Instant::now(),
+            started,
+            pool_history: vec![(started, pool)],
+            resize_events: [0; 3],
             first_submit: Mutex::new(None),
-            next_id: AtomicU64::new(0),
+            admission: Mutex::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
@@ -734,7 +1214,7 @@ impl StreamPipeline {
         })
     }
 
-    fn encode_frame(&self, input: &Tensor) -> Result<FrameMsg, SubmitError> {
+    fn encode_payload(&self, input: &Tensor) -> Result<Vec<(NodeId, Bytes)>, SubmitError> {
         let got = input.shape3();
         let got = (got.c, got.h, got.w);
         if got != self.input_shape {
@@ -743,11 +1223,50 @@ impl StreamPipeline {
                 got,
             });
         }
-        Ok(FrameMsg {
-            id: self.next_id.fetch_add(1, Ordering::Relaxed),
-            submitted_at: Instant::now(),
-            payload: vec![(self.input_node, wire::encode(input))],
-        })
+        Ok(vec![(self.input_node, wire::encode(input))])
+    }
+
+    /// One admission attempt: mints the next dense id under the
+    /// admission lock and `try_send`s — the lock is held only across
+    /// this non-blocking critical section, never across a blocking
+    /// wait, so `submit` stays non-blocking no matter what concurrent
+    /// submitters do. Ids are consumed only on success (rejections leave
+    /// them dense); on a full queue the payload is handed back for a
+    /// retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a stage worker died (a partitioning bug).
+    fn try_admit(&self, payload: Vec<(NodeId, Bytes)>) -> Result<FrameId, Vec<(NodeId, Bytes)>> {
+        let tx = self.tx_in.as_ref().expect("pipeline closed");
+        let mut next = self.admission.lock().expect("admission poisoned");
+        let admitted_at = Instant::now();
+        let frame = Frame {
+            id: *next,
+            submitted_at: admitted_at,
+            payload,
+        };
+        let id = FrameId(frame.id);
+        match tx.try_send(BatchMsg {
+            frames: vec![frame],
+        }) {
+            Ok(()) => {
+                *next += 1;
+                drop(next);
+                // The increment is submit's linearization point (see
+                // pending()); it deliberately happens only for frames
+                // that actually entered the pipeline, so the in-flight
+                // accounting can never over-claim and strand a recv().
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                self.record_first_submit(admitted_at);
+                Ok(id)
+            }
+            Err(TrySendError::Full(mut msg)) => {
+                drop(next);
+                Err(msg.frames.pop().expect("singleton admission").payload)
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("stage worker died"),
+        }
     }
 
     /// Admits one frame without blocking.
@@ -761,29 +1280,21 @@ impl StreamPipeline {
     ///
     /// Panics when a stage worker died (a partitioning bug).
     pub fn submit(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
-        let msg = self.encode_frame(input)?;
-        let id = FrameId(msg.id);
-        let admitted_at = msg.submitted_at;
-        let tx = self.tx_in.as_ref().expect("pipeline closed");
-        match tx.try_send(msg) {
-            Ok(()) => {
-                // The increment is submit's linearization point (see
-                // pending()); it deliberately happens only for frames
-                // that actually entered the pipeline, so the in-flight
-                // accounting can never over-claim and strand a recv().
-                self.submitted.fetch_add(1, Ordering::Relaxed);
-                self.record_first_submit(admitted_at);
-                Ok(id)
-            }
-            Err(TrySendError::Full(_)) => {
+        let payload = self.encode_payload(input)?;
+        match self.try_admit(payload) {
+            Ok(id) => Ok(id),
+            Err(_) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::Backpressure)
             }
-            Err(TrySendError::Disconnected(_)) => panic!("stage worker died"),
         }
     }
 
-    /// Admits one frame, blocking while the ingress queue is full.
+    /// Admits one frame, waiting (polling with capped backoff) while the
+    /// ingress queue is full. The wait never holds the admission lock,
+    /// so concurrent [`submit`](Self::submit) callers keep getting
+    /// immediate backpressure verdicts instead of queueing behind this
+    /// call.
     ///
     /// # Errors
     ///
@@ -793,14 +1304,18 @@ impl StreamPipeline {
     ///
     /// Panics when a stage worker died (a partitioning bug).
     pub fn submit_blocking(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
-        let msg = self.encode_frame(input)?;
-        let id = FrameId(msg.id);
-        let admitted_at = msg.submitted_at;
-        let tx = self.tx_in.as_ref().expect("pipeline closed");
-        tx.send(msg).unwrap_or_else(|_| panic!("stage worker died"));
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.record_first_submit(admitted_at);
-        Ok(id)
+        let mut payload = self.encode_payload(input)?;
+        let mut wait = Duration::from_micros(50);
+        loop {
+            match self.try_admit(payload) {
+                Ok(id) => return Ok(id),
+                Err(returned) => {
+                    payload = returned;
+                    std::thread::sleep(wait);
+                    wait = (wait * 2).min(Duration::from_millis(2));
+                }
+            }
+        }
     }
 
     fn record_first_submit(&self, at: Instant) {
@@ -882,6 +1397,18 @@ impl StreamPipeline {
         self.reconfigs
     }
 
+    /// Current workers per stage, in tier order (device, edge, cloud).
+    #[must_use]
+    pub fn pool(&self) -> [usize; 3] {
+        self.pool
+    }
+
+    /// Live pool resizes applied per stage, in tier order.
+    #[must_use]
+    pub fn pool_resizes(&self) -> [u64; 3] {
+        self.resize_events
+    }
+
     /// Opens a live telemetry tap: periodic per-stage snapshots
     /// (measured compute per frame, ingress queue depth) over a bounded
     /// channel. See [`TelemetryTap`] for consumer semantics.
@@ -917,47 +1444,8 @@ impl StreamPipeline {
     pub fn apply_plan(&mut self, update: &PlanUpdate) -> Result<PlanSwap, StreamBuildError> {
         let deployment = &update.deployment;
         let routing = plan_routing(&self.graph, &deployment.assignment, self.output_node)?;
-
-        // Quiesce at a frame boundary: stop admissions; the workers
-        // drain every in-flight frame and exit. Completed frames are
-        // parked in the reorder buffer, so the bounded result queue can
-        // never stall the drain.
-        drop(self.tx_in.take());
-        let drained_frames;
-        {
-            let mut drained = self.drained.lock().expect("drained poisoned");
-            let before = drained.len();
-            while let Ok(frame) = self.rx_out.recv() {
-                drained.push_back(frame);
-            }
-            drained_frames = (drained.len() - before) as u64;
-        }
-        let mut reuse: Vec<Option<StageExec>> = Vec::with_capacity(3);
-        for (rank, handle) in self.handles.drain(..).enumerate() {
-            let (ctx, metrics) = handle.join().expect("stage worker panicked");
-            self.retired[rank].absorb(metrics);
-            reuse.push(Some(ctx.exec));
-        }
-        // Every old-generation worker has exited: anything still queued
-        // on the telemetry channel was measured under the *old* plan.
-        // Flush it so a controller never calibrates the new segments
-        // from stale stage times.
-        while self.telemetry_rx.try_recv().is_ok() {}
-
-        let (tx_in, rx_out, handles, reused) = spawn_stages(
-            &self.graph,
-            self.seed,
-            self.vsm,
-            self.capacity,
-            self.output_node,
-            &routing,
-            self.telemetry_every,
-            &self.telemetry_tx,
-            reuse,
-        );
-        self.tx_in = Some(tx_in);
-        self.rx_out = rx_out;
-        self.handles = handles;
+        let (drained_frames, reuse) = self.quiesce();
+        let reused = self.respawn(&routing, reuse);
         self.assignment = deployment.assignment.clone();
         self.predicted = deployment.stages.clone();
         self.reconfigs += 1;
@@ -977,6 +1465,121 @@ impl StreamPipeline {
         })
     }
 
+    /// Resizes one stage's worker pool **live**, with the same
+    /// frame-boundary discipline as [`apply_plan`](Self::apply_plan):
+    /// admissions pause, in-flight frames drain losslessly to the
+    /// reorder buffer, and the stage respawns with `workers` workers —
+    /// every stage keeps its prebuilt executor (the segments did not
+    /// change; only thread counts do). Resizing to the current size is
+    /// a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamBuildError::ZeroPool`] when `workers` is zero; the
+    /// running stream is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a stage worker died (a partitioning bug).
+    pub fn resize_pool(
+        &mut self,
+        tier: Tier,
+        workers: usize,
+    ) -> Result<PoolResize, StreamBuildError> {
+        if workers == 0 {
+            return Err(StreamBuildError::ZeroPool);
+        }
+        let rank = tier.rank();
+        let from = self.pool[rank];
+        if from == workers {
+            return Ok(PoolResize {
+                tier,
+                from,
+                to: workers,
+                drained_frames: 0,
+            });
+        }
+        let routing = plan_routing(&self.graph, &self.assignment, self.output_node)
+            .expect("the running plan stays streamable");
+        let (drained_frames, reuse) = self.quiesce();
+        self.pool[rank] = workers;
+        self.resize_events[rank] += 1;
+        self.pool_history.push((Instant::now(), self.pool));
+        self.respawn(&routing, reuse);
+        Ok(PoolResize {
+            tier,
+            from,
+            to: workers,
+            drained_frames,
+        })
+    }
+
+    /// Quiesces the live generation at a frame boundary: stops
+    /// admissions, drains every in-flight frame into the reorder buffer
+    /// (so the bounded result queue can never stall the drain), joins
+    /// all workers and helpers, absorbs their metrics, flushes stale
+    /// telemetry, and hands back each stage's executor for reuse.
+    fn quiesce(&mut self) -> (u64, Vec<Option<Arc<StageExec>>>) {
+        drop(self.tx_in.take());
+        let drained_frames;
+        {
+            let mut drained = self.drained.lock().expect("drained poisoned");
+            let before = drained.len();
+            while let Ok(frame) = self.rx_out.recv() {
+                drained.push_back(frame);
+            }
+            drained_frames = (drained.len() - before) as u64;
+        }
+        let mut reuse: Vec<Option<Arc<StageExec>>> = Vec::with_capacity(3);
+        for rank in 0..3 {
+            let mut kept = None;
+            for handle in self.workers[rank].drain(..) {
+                let (ctx, metrics) = handle.join().expect("stage worker panicked");
+                self.retired[rank].absorb(metrics);
+                kept.get_or_insert(ctx.exec);
+            }
+            reuse.push(kept);
+        }
+        for helper in self.aux.drain(..) {
+            helper.join().expect("pipeline helper panicked");
+        }
+        // Every old-generation worker has exited: anything still queued
+        // on the telemetry channel was measured under the *old*
+        // configuration. Flush it so a controller never calibrates the
+        // new segments (or judges the new pool) from stale snapshots.
+        while self.telemetry_rx.try_recv().is_ok() {}
+        (drained_frames, reuse)
+    }
+
+    /// Spawns a fresh worker generation for `routing` (executors whose
+    /// member set is unchanged are reused from `reuse`) and rewires the
+    /// pipeline onto it. Returns the per-rank reuse flags.
+    fn respawn(&mut self, routing: &Routing, reuse: Vec<Option<Arc<StageExec>>>) -> [bool; 3] {
+        let start_seq = *self.admission.lock().expect("admission poisoned");
+        let spawned = spawn_stages(
+            &SpawnSpec {
+                graph: &self.graph,
+                seed: self.seed,
+                vsm: self.vsm,
+                capacity: self.capacity,
+                output_node: self.output_node,
+                routing,
+                telemetry_every: self.telemetry_every,
+                telemetry_tx: &self.telemetry_tx,
+                pool: self.pool,
+                batch: self.batch,
+                chaos: self.chaos,
+                start_seq,
+            },
+            reuse,
+        );
+        self.tx_in = Some(spawned.tx_in);
+        self.rx_out = spawned.rx_out;
+        self.workers = spawned.workers;
+        self.aux = spawned.aux;
+        spawned.reused
+    }
+
     /// Stops admissions, drains every in-flight frame, joins the stage
     /// workers and reports the measured stream statistics (spanning
     /// every plan the session executed).
@@ -986,13 +1589,10 @@ impl StreamPipeline {
     /// Panics when a stage worker panicked.
     #[must_use]
     pub fn close(mut self) -> StreamReport {
-        drop(self.tx_in.take()); // stop admissions; workers drain and exit
-        while self.rx_out.recv().is_ok() {} // unread frames are dropped
-        let mut metrics: Vec<StageMetrics> = std::mem::take(&mut self.retired);
-        for (rank, h) in self.handles.drain(..).enumerate() {
-            let (_ctx, m) = h.join().expect("stage worker panicked");
-            metrics[rank].absorb(m);
-        }
+        // Quiesce exactly like a plan swap (unread frames land in the
+        // reorder buffer, which dies with `self`), then report.
+        let _ = self.quiesce();
+        let metrics: Vec<StageMetrics> = std::mem::take(&mut self.retired);
 
         // Anchor the wall clock at the first admission (like the
         // per-frame latencies), so idle time between session open and
@@ -1008,12 +1608,12 @@ impl StreamPipeline {
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         let frames = latencies.len();
         // Interleaved servers, matching the simulator: stage, link, ….
-        // Ingress decode counts toward the device stage (same thread as
-        // its compute, so their sum never exceeds the wall clock). A
-        // link's two halves — producer encode, consumer decode — run on
-        // *different* threads and can overlap across frames, so summing
-        // them could exceed the wall clock; the slower half bounds the
-        // link's sustainable rate and is reported as its busy time.
+        // Ingress decode counts toward the device stage (same threads as
+        // its compute). A link's two halves — producer encode, consumer
+        // decode — run on *different* threads and can overlap across
+        // frames, so summing them could exceed the wall clock; the
+        // slower half bounds the link's sustainable rate and is reported
+        // as its busy time.
         let link = |enc: f64, dec: f64| enc.max(dec);
         let busy_s = vec![
             metrics[0].compute_s + metrics[0].decode_s,
@@ -1021,6 +1621,24 @@ impl StreamPipeline {
             metrics[1].compute_s,
             link(metrics[1].encode_s, metrics[2].decode_s),
             metrics[2].compute_s,
+        ];
+        // Pool-aware utilization: a stage with N workers has N
+        // worker-seconds of capacity per wall second, and resizes change
+        // N mid-stream — so each stage's busy time is divided by the
+        // integral of its pool size over the measured window, never by
+        // the bare wall clock. That keeps utilization ≤ 1 with any pool
+        // shape. Links are served by the adjacent stages' workers, so
+        // each half normalizes by its own stage's capacity.
+        let ws: Vec<f64> = (0..3)
+            .map(|rank| worker_seconds(&self.pool_history, rank, anchor, last_done))
+            .collect();
+        let ws = |rank: usize| ws[rank].max(f64::MIN_POSITIVE);
+        let utilization = vec![
+            busy_s[0] / ws(0),
+            (metrics[0].encode_s / ws(0)).max(metrics[1].decode_s / ws(1)),
+            busy_s[2] / ws(1),
+            (metrics[1].encode_s / ws(1)).max(metrics[2].decode_s / ws(2)),
+            busy_s[4] / ws(2),
         ];
         let measured = StreamStats {
             frames,
@@ -1032,8 +1650,9 @@ impl StreamPipeline {
             max_latency_s: latencies.last().copied().unwrap_or(0.0),
             p50_latency_s: percentile(&latencies, 0.50),
             p95_latency_s: percentile(&latencies, 0.95),
+            p99_latency_s: percentile(&latencies, 0.99),
             throughput_fps: frames as f64 / wall,
-            utilization: busy_s.iter().map(|b| b / wall).collect(),
+            utilization,
         };
         let server_names = vec![
             "device".into(),
@@ -1042,6 +1661,14 @@ impl StreamPipeline {
             "edge→".into(),
             "cloud".into(),
         ];
+        let stage_pools = (0..3)
+            .map(|rank| StagePoolStats {
+                tier: Tier::ALL[rank],
+                workers: self.pool[rank],
+                batches: metrics[rank].batches,
+                resize_events: self.resize_events[rank],
+            })
+            .collect();
         StreamReport {
             measured,
             predicted: self.predicted.clone(),
@@ -1051,8 +1678,28 @@ impl StreamPipeline {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             reconfigurations: self.reconfigs,
+            stage_pools,
         }
     }
+}
+
+/// Integral of one stage's pool-size step function over `[from, to]` —
+/// the stage's available worker-seconds in the measured window.
+fn worker_seconds(
+    history: &[(Instant, [usize; 3])],
+    rank: usize,
+    from: Instant,
+    to: Instant,
+) -> f64 {
+    let mut total = 0.0;
+    for (i, (start, pool)) in history.iter().enumerate() {
+        let seg_start = (*start).max(from);
+        let seg_end = history.get(i + 1).map_or(to, |(t, _)| *t).min(to);
+        if seg_end > seg_start {
+            total += (seg_end - seg_start).as_secs_f64() * pool[rank] as f64;
+        }
+    }
+    total
 }
 
 impl Drop for StreamPipeline {
@@ -1063,107 +1710,144 @@ impl Drop for StreamPipeline {
     fn drop(&mut self) {
         drop(self.tx_in.take());
         while self.rx_out.recv().is_ok() {}
-        for handle in self.handles.drain(..) {
-            // A worker that panicked already tore the session down;
-            // don't double-panic inside drop.
-            let _ = handle.join();
+        for rank in 0..3 {
+            for handle in self.workers[rank].drain(..) {
+                // A worker that panicked already tore the session down;
+                // don't double-panic inside drop.
+                let _ = handle.join();
+            }
+        }
+        for helper in self.aux.drain(..) {
+            let _ = helper.join();
         }
     }
 }
 
-/// One stage's event loop: decode needed inputs, run the segment,
-/// forward crossing tensors (or deliver the output), account busy time,
-/// periodically publish telemetry.
+/// One stage worker's event loop: decode needed inputs, run the segment
+/// (one executor call per batch), forward crossing tensors (or deliver
+/// outputs), account busy time, periodically publish telemetry. Pool
+/// siblings run this same loop over a shared inbound queue.
 fn stage_worker(
     ctx: StageCtx,
-    rx: Receiver<FrameMsg>,
-    tx_next: Option<Sender<FrameMsg>>,
-    tx_results: Option<Sender<(FrameId, Tensor)>>,
+    rx: Receiver<BatchMsg>,
+    sink: StageSink,
     telemetry_every: u64,
     telemetry: Sender<TelemetrySnapshot>,
+    chaos: Option<InjectedDelay>,
 ) -> (StageCtx, StageMetrics) {
-    let metrics = pump(&ctx, rx, tx_next, tx_results, telemetry_every, &telemetry);
+    let metrics = pump(&ctx, rx, sink, telemetry_every, &telemetry, chaos);
     (ctx, metrics)
 }
 
 fn pump(
     ctx: &StageCtx,
-    rx: Receiver<FrameMsg>,
-    tx_next: Option<Sender<FrameMsg>>,
-    tx_results: Option<Sender<(FrameId, Tensor)>>,
+    rx: Receiver<BatchMsg>,
+    sink: StageSink,
     telemetry_every: u64,
     telemetry: &Sender<TelemetrySnapshot>,
+    chaos: Option<InjectedDelay>,
 ) -> StageMetrics {
     let mut m = StageMetrics::default();
     let mut win_frames: u64 = 0;
     let mut win_compute = 0.0f64;
-    while let Ok(FrameMsg {
-        id,
-        submitted_at,
-        payload,
-    }) = rx.recv()
-    {
+    while let Ok(batch) = rx.recv() {
+        let first_id = batch.first_id();
+        let n_frames = batch.frames.len();
+
+        // Decode every frame's needed tensors (and set aside what must
+        // be forwarded in wire form).
         let t0 = Instant::now();
-        let mut boundary: HashMap<NodeId, Tensor> = HashMap::new();
-        let mut forward: Vec<(NodeId, Bytes)> = Vec::new();
-        for (nid, bytes) in payload {
-            if ctx.needed.contains(&nid) {
-                let tensor = wire::decode(bytes.clone()).expect("corrupt frame");
-                boundary.insert(nid, tensor);
-            }
-            if ctx.forward_ids.contains(&nid) {
-                forward.push((nid, bytes));
-            }
-        }
-        // An output produced upstream arrives via payload; pull it out
-        // before the segment consumes the boundary (the output vertex
-        // has no successors, so no member needs it as an input).
-        let payload_output = if ctx.is_last {
-            boundary.remove(&ctx.output_node)
-        } else {
-            None
-        };
-        m.decode_s += t0.elapsed().as_secs_f64();
-
-        let t1 = Instant::now();
-        let mut outputs = ctx.exec.run(boundary);
-        let compute = t1.elapsed().as_secs_f64();
-        m.compute_s += compute;
-        win_compute += compute;
-        win_frames += 1;
-
-        if ctx.is_last {
-            let out_tensor = outputs
-                .remove(&ctx.output_node)
-                .or(payload_output)
-                .expect("output tensor unavailable at final stage");
-            m.latencies_s.push(submitted_at.elapsed().as_secs_f64());
-            m.last_done = Some(Instant::now());
-            let results = tx_results.as_ref().expect("final stage sends results");
-            if results.send((FrameId(id), out_tensor)).is_err() {
-                break; // session dropped; stop quietly
-            }
-        } else {
-            let t2 = Instant::now();
-            for (nid, tensor) in &outputs {
-                // Skip ids already travelling in wire form (e.g. a raw
-                // input this stage merely re-exposes).
-                if ctx.forward_ids.contains(nid) && forward.iter().all(|(f, _)| f != nid) {
-                    forward.push((*nid, wire::encode(tensor)));
+        let mut boundaries: Vec<HashMap<NodeId, Tensor>> = Vec::with_capacity(n_frames);
+        let mut forwards: Vec<Vec<(NodeId, Bytes)>> = Vec::with_capacity(n_frames);
+        let mut meta: Vec<(u64, Instant)> = Vec::with_capacity(n_frames);
+        let mut payload_outputs: Vec<Option<Tensor>> = Vec::with_capacity(n_frames);
+        for frame in batch.frames {
+            let mut boundary: HashMap<NodeId, Tensor> = HashMap::new();
+            let mut forward: Vec<(NodeId, Bytes)> = Vec::new();
+            for (nid, bytes) in frame.payload {
+                if ctx.needed.contains(&nid) {
+                    let tensor = wire::decode(bytes.clone()).expect("corrupt frame");
+                    boundary.insert(nid, tensor);
+                }
+                if ctx.forward_ids.contains(&nid) {
+                    forward.push((nid, bytes));
                 }
             }
-            m.encode_s += t2.elapsed().as_secs_f64();
-            let next = tx_next.as_ref().expect("non-final stage has a successor");
-            if next
-                .send(FrameMsg {
+            // An output produced upstream arrives via payload; pull it
+            // out before the segment consumes the boundary (the output
+            // vertex has no successors, so no member needs it as input).
+            payload_outputs.push(if ctx.is_last {
+                boundary.remove(&ctx.output_node)
+            } else {
+                None
+            });
+            boundaries.push(boundary);
+            forwards.push(forward);
+            meta.push((frame.id, frame.submitted_at));
+        }
+        m.decode_s += t0.elapsed().as_secs_f64();
+
+        // Compute: injected stalls (fault injection) count as service
+        // time — they model a slow stage, not a slow queue.
+        let t1 = Instant::now();
+        if let Some(InjectedDelay { tier, every, delay }) = chaos {
+            if tier == ctx.tier {
+                let stalls = meta.iter().filter(|(id, _)| id % every == 0).count() as u32;
+                if stalls > 0 {
+                    std::thread::sleep(delay * stalls);
+                }
+            }
+        }
+        let mut outputs = ctx.exec.run_batch(boundaries);
+        let compute = t1.elapsed().as_secs_f64();
+        m.compute_s += compute;
+        m.batches += 1;
+        win_compute += compute;
+        win_frames += n_frames as u64;
+
+        let out = if ctx.is_last {
+            let mut results = Vec::with_capacity(n_frames);
+            let done = Instant::now();
+            for (k, outputs) in outputs.iter_mut().enumerate() {
+                let out_tensor = outputs
+                    .remove(&ctx.output_node)
+                    .or_else(|| payload_outputs[k].take())
+                    .expect("output tensor unavailable at final stage");
+                let (id, submitted_at) = meta[k];
+                m.latencies_s.push((done - submitted_at).as_secs_f64());
+                results.push((FrameId(id), out_tensor));
+            }
+            m.last_done = Some(done);
+            StageOut::Results(results)
+        } else {
+            let t2 = Instant::now();
+            let mut frames = Vec::with_capacity(n_frames);
+            for (k, outputs) in outputs.iter().enumerate() {
+                let forward = &mut forwards[k];
+                for (nid, tensor) in outputs {
+                    // Skip ids already travelling in wire form (e.g. a
+                    // raw input this stage merely re-exposes).
+                    if ctx.forward_ids.contains(nid) && forward.iter().all(|(f, _)| f != nid) {
+                        forward.push((*nid, wire::encode(tensor)));
+                    }
+                }
+                let (id, submitted_at) = meta[k];
+                frames.push(Frame {
                     id,
                     submitted_at,
-                    payload: forward,
-                })
-                .is_err()
-            {
-                break; // downstream worker gone with the session
+                    payload: std::mem::take(forward),
+                });
             }
+            m.encode_s += t2.elapsed().as_secs_f64();
+            StageOut::Forward(BatchMsg { frames })
+        };
+
+        let delivered = match &sink {
+            StageSink::Direct { next, results } => deliver(out, next, results),
+            StageSink::Reseq(tx_seq) => tx_seq.send((first_id, n_frames, out)).is_ok(),
+        };
+        if !delivered {
+            break; // downstream gone with the session
         }
 
         if telemetry_every > 0 && win_frames >= telemetry_every {
@@ -1498,6 +2182,250 @@ mod tests {
             "pre-swap telemetry must be flushed"
         );
         let _ = pipeline.close();
+    }
+
+    #[test]
+    fn pooled_stream_is_bit_identical_and_ordered() {
+        // Every stage pooled: outputs must stay frame-for-frame
+        // bit-identical to single-node inference and in submission
+        // order, because the per-stage resequencers undo any worker
+        // interleaving.
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let pipeline = pipeline_for(
+            &g,
+            13,
+            None,
+            StreamOptions::new()
+                .capacity(16)
+                .pool(PoolOptions::uniform(3)),
+        );
+        let exec = Executor::new(&g, 13);
+        let inputs: Vec<Tensor> = (0..24)
+            .map(|k| Tensor::random(3, 16, 16, 600 + k))
+            .collect();
+        for input in &inputs {
+            pipeline.submit_blocking(input).unwrap();
+        }
+        for (k, input) in inputs.iter().enumerate() {
+            let (id, got) = pipeline.recv().unwrap();
+            assert_eq!(id, FrameId(k as u64), "pooled results out of order");
+            assert_eq!(
+                max_abs_diff(&got, &exec.run(input)),
+                Some(0.0),
+                "frame {k} diverged under pooling"
+            );
+        }
+        let report = pipeline.close();
+        assert_eq!(report.measured.frames, inputs.len());
+        for stage in &report.stage_pools {
+            assert_eq!(stage.workers, 3);
+            assert_eq!(stage.resize_events, 0);
+        }
+    }
+
+    #[test]
+    fn deliberately_slow_worker_cannot_reorder_results() {
+        // Every 4th frame stalls its device worker while pool siblings
+        // race ahead with later frames — the resequencer must hold them
+        // back. This is the strongest order-preservation probe the
+        // fault-injection knob enables.
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(
+            &g,
+            13,
+            None,
+            StreamOptions::new()
+                .capacity(16)
+                .workers(Tier::Device, 3)
+                .inject_delay(Tier::Device, 4, Duration::from_millis(15)),
+        );
+        let exec = Executor::new(&g, 13);
+        let inputs: Vec<Tensor> = (0..12)
+            .map(|k| Tensor::random(3, 16, 16, 700 + k))
+            .collect();
+        for input in &inputs {
+            pipeline.submit_blocking(input).unwrap();
+        }
+        for (k, input) in inputs.iter().enumerate() {
+            let (id, got) = pipeline.recv().unwrap();
+            assert_eq!(id, FrameId(k as u64), "slow worker leaked later frames");
+            assert_eq!(max_abs_diff(&got, &exec.run(input)), Some(0.0));
+        }
+        let _ = pipeline.close();
+    }
+
+    #[test]
+    fn batched_stream_stays_lossless_and_coalesces() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let pipeline = pipeline_for(
+            &g,
+            17,
+            None,
+            StreamOptions::new()
+                .capacity(16)
+                .batching(BatchOptions::frames(4).deadline(Duration::from_millis(200)))
+                // Hold the device stage briefly so admitted frames pile
+                // up at the batcher instead of racing through singly.
+                .inject_delay(Tier::Device, 1, Duration::from_millis(2)),
+        );
+        let exec = Executor::new(&g, 17);
+        let inputs: Vec<Tensor> = (0..8).map(|k| Tensor::random(3, 16, 16, 800 + k)).collect();
+        for input in &inputs {
+            pipeline.submit_blocking(input).unwrap();
+        }
+        for (k, input) in inputs.iter().enumerate() {
+            let (id, got) = pipeline.recv().unwrap();
+            assert_eq!(id, FrameId(k as u64));
+            assert_eq!(
+                max_abs_diff(&got, &exec.run(input)),
+                Some(0.0),
+                "frame {k} diverged under batching"
+            );
+        }
+        let report = pipeline.close();
+        let device = &report.stage_pools[0];
+        assert_eq!(report.measured.frames, inputs.len());
+        assert!(
+            device.batches < inputs.len() as u64,
+            "batcher never coalesced: {} executor calls for {} frames",
+            device.batches,
+            inputs.len()
+        );
+    }
+
+    #[test]
+    fn resize_pool_swaps_live_without_dropping_frames() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let mut pipeline = pipeline_for(&g, 19, None, StreamOptions::new().capacity(16));
+        let exec = Executor::new(&g, 19);
+        let inputs: Vec<Tensor> = (0..12)
+            .map(|k| Tensor::random(3, 16, 16, 900 + k))
+            .collect();
+        // Two frames in flight across the resize boundary.
+        pipeline.submit_blocking(&inputs[0]).unwrap();
+        pipeline.submit_blocking(&inputs[1]).unwrap();
+        let resize = pipeline.resize_pool(Tier::Device, 3).unwrap();
+        assert_eq!((resize.from, resize.to), (1, 3));
+        assert_eq!(pipeline.pool(), [3, 1, 1]);
+        for input in &inputs[2..] {
+            pipeline.submit_blocking(input).unwrap();
+        }
+        for (k, input) in inputs.iter().enumerate() {
+            let (id, got) = pipeline.recv().unwrap();
+            assert_eq!(id, FrameId(k as u64), "order across the resize");
+            assert_eq!(
+                max_abs_diff(&got, &exec.run(input)),
+                Some(0.0),
+                "frame {k} diverged across the resize"
+            );
+        }
+        let report = pipeline.close();
+        assert_eq!(report.measured.frames, inputs.len());
+        assert_eq!(report.submitted, inputs.len() as u64);
+        assert_eq!(report.stage_pools[0].resize_events, 1);
+        assert_eq!(report.stage_pools[0].workers, 3);
+        // A resize is not a plan swap.
+        assert_eq!(report.reconfigurations, 0);
+    }
+
+    #[test]
+    fn resize_to_current_size_is_a_noop() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let mut pipeline = pipeline_for(&g, 3, None, StreamOptions::new());
+        let resize = pipeline.resize_pool(Tier::Edge, 1).unwrap();
+        assert_eq!((resize.from, resize.to, resize.drained_frames), (1, 1, 0));
+        let report = pipeline.close();
+        assert_eq!(report.stage_pools[1].resize_events, 0);
+    }
+
+    #[test]
+    fn zero_pool_and_zero_batch_are_rejected() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let problem = test_problem(&g);
+        let forced = d3_partition::EvenSplit.partition(&problem).unwrap();
+        let deployment = Deployment::new(&problem, forced, None);
+        let mut opts = StreamOptions::new();
+        opts.pool.device = PoolSize::Fixed(0);
+        assert!(matches!(
+            StreamPipeline::new(g.clone(), 1, &deployment, None, opts),
+            Err(StreamBuildError::ZeroPool)
+        ));
+        let mut opts = StreamOptions::new();
+        opts.batching.max_frames = 0;
+        assert!(matches!(
+            StreamPipeline::new(g.clone(), 1, &deployment, None, opts),
+            Err(StreamBuildError::ZeroBatch)
+        ));
+        let mut pipeline = pipeline_for(&g, 1, None, StreamOptions::new());
+        assert!(matches!(
+            pipeline.resize_pool(Tier::Device, 0),
+            Err(StreamBuildError::ZeroPool)
+        ));
+        let _ = pipeline.close();
+    }
+
+    #[test]
+    fn pooled_utilization_never_exceeds_one() {
+        // Saturate a 3-worker device stage with injected stalls: the
+        // workers' summed busy time far exceeds the wall clock, so the
+        // old per-wall accounting would report utilization ≈ 3. The
+        // pool-aware denominator must keep every server ≤ 1.
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(
+            &g,
+            23,
+            None,
+            StreamOptions::new()
+                .capacity(16)
+                .workers(Tier::Device, 3)
+                .inject_delay(Tier::Device, 1, Duration::from_millis(10)),
+        );
+        let input = Tensor::random(3, 16, 16, 5);
+        for _ in 0..12 {
+            pipeline.submit_blocking(&input).unwrap();
+        }
+        while pipeline.pending() > 0 {
+            let _ = pipeline.recv().unwrap();
+        }
+        let report = pipeline.close();
+        for (name, &u) in report.server_names.iter().zip(&report.measured.utilization) {
+            assert!(
+                (0.0..=1.0 + 1e-6).contains(&u),
+                "{name} utilization {u} out of range"
+            );
+        }
+        // The stalled, pooled device stage dominated the pipeline.
+        let (bottleneck, _) = report.bottleneck().unwrap();
+        assert_eq!(bottleneck, "device");
+    }
+
+    #[test]
+    fn pool_resize_composes_with_plan_swaps() {
+        // Resize, then swap plans, then resize again: executors are
+        // reused where segments are unchanged, and the stream stays
+        // lossless throughout.
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let mut pipeline = pipeline_for(&g, 29, None, StreamOptions::new());
+        let exec = Executor::new(&g, 29);
+        pipeline.resize_pool(Tier::Cloud, 2).unwrap();
+        let before = pipeline.assignment().clone();
+        let swap = pipeline
+            .apply_plan(&update_to(
+                &g,
+                &before,
+                Assignment::uniform(g.len(), Tier::Cloud),
+                None,
+            ))
+            .unwrap();
+        assert!(!swap.rebuilt.is_empty());
+        pipeline.resize_pool(Tier::Cloud, 1).unwrap();
+        let input = Tensor::random(3, 16, 16, 31);
+        pipeline.submit_blocking(&input).unwrap();
+        let (_, got) = pipeline.recv().unwrap();
+        assert_eq!(max_abs_diff(&got, &exec.run(&input)), Some(0.0));
+        let report = pipeline.close();
+        assert_eq!(report.reconfigurations, 1);
+        assert_eq!(report.stage_pools[2].resize_events, 2);
     }
 
     #[test]

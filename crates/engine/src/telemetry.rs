@@ -69,12 +69,14 @@ pub enum Observation {
         /// The new condition.
         net: NetworkCondition,
     },
-    /// Ingress queue depth of a pipeline stage at snapshot time: early
-    /// congestion signal for queue-aware policies.
+    /// Ingress queue depth of a pipeline stage at snapshot time: the
+    /// congestion signal queue-aware policies (e.g. the pool autoscaler
+    /// `AutoscalePolicy`) act on.
     QueueDepth {
         /// The stage's tier.
         tier: Tier,
-        /// Frames waiting in the stage's ingress queue.
+        /// Messages waiting in the stage's ingress queue (individual
+        /// frames, or whole batches when the batching front-end is on).
         depth: usize,
     },
 }

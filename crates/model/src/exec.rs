@@ -423,6 +423,55 @@ impl SegmentExecutor {
         );
         crossing_tensors(&self.graph, &self.members, &values)
     }
+
+    /// Executes the segment for a whole batch of frames in **one
+    /// executor call**, returning one crossing map per frame (same
+    /// order). The walk is *operator-major*: each member's prebuilt
+    /// operator is applied to every frame before the next member runs,
+    /// so a layer's weights are loaded once per batch instead of once
+    /// per frame — the amortization a batching pipeline stage buys on
+    /// weight-heavy segments.
+    ///
+    /// Per-frame results are bit-identical to [`run`](Self::run): only
+    /// the loop order changes, never the arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a required predecessor tensor is neither computable
+    /// nor provided for some frame.
+    pub fn run_batch(
+        &self,
+        boundaries: Vec<HashMap<NodeId, Tensor>>,
+    ) -> Vec<HashMap<NodeId, Tensor>> {
+        let mut frames = boundaries;
+        for &id in &self.members {
+            let node = self.graph.node(id);
+            for values in &mut frames {
+                if values.contains_key(&id) {
+                    continue; // provided as boundary input
+                }
+                let inputs: Vec<&Tensor> = node
+                    .preds
+                    .iter()
+                    .map(|p| {
+                        values.get(p).unwrap_or_else(|| {
+                            panic!(
+                                "batched segment execution of {} (`{}`) missing predecessor {}",
+                                id, node.name, p
+                            )
+                        })
+                    })
+                    .collect();
+                let out = self.ops[&id].apply(&inputs);
+                debug_assert_eq!(out.shape3(), node.shape, "shape inference mismatch at {id}");
+                values.insert(id, out);
+            }
+        }
+        frames
+            .iter()
+            .map(|values| crossing_tensors(&self.graph, &self.members, values))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -570,6 +619,33 @@ mod tests {
         let whole = exec.run(&input);
         let final_out = out.get(&NodeId(g.len() - 1)).unwrap();
         assert_eq!(max_abs_diff(final_out, &whole), Some(0.0));
+    }
+
+    #[test]
+    fn run_batch_matches_per_frame_run() {
+        let g = Arc::new(small_net());
+        let members: Vec<NodeId> = g.ids().collect();
+        let seg = SegmentExecutor::new(g.clone(), 42, &members);
+        let boundaries: Vec<HashMap<NodeId, Tensor>> = (0..4)
+            .map(|k| {
+                let mut b = HashMap::new();
+                b.insert(g.input(), Tensor::random(3, 8, 8, 60 + k));
+                b
+            })
+            .collect();
+        let batched = seg.run_batch(boundaries.clone());
+        assert_eq!(batched.len(), boundaries.len());
+        for (k, boundary) in boundaries.into_iter().enumerate() {
+            let single = seg.run(boundary);
+            assert_eq!(batched[k].len(), single.len(), "frame {k} crossing set");
+            for (id, t) in &single {
+                assert_eq!(
+                    max_abs_diff(&batched[k][id], t),
+                    Some(0.0),
+                    "frame {k} diverged at {id}"
+                );
+            }
+        }
     }
 
     #[test]

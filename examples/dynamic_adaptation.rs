@@ -83,7 +83,12 @@ fn main() {
         seconds: before * 4.0,
     });
     let verdict = match (&update, engine.local_updates > repartitions_before) {
-        (Some(u), _) => format!("locally repartitioned ({} vertices moved)", u.changed.len()),
+        (Some(d3_core::ControlUpdate::Plan(u)), _) => {
+            format!("locally repartitioned ({} vertices moved)", u.changed.len())
+        }
+        (Some(d3_core::ControlUpdate::Pool(p)), _) => {
+            format!("pool resized ({:?} -> {} workers)", p.tier, p.workers)
+        }
         (None, true) => "repaired locally, plan already optimal".to_string(),
         (None, false) => "absorbed by hysteresis".to_string(),
     };

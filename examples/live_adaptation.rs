@@ -65,13 +65,17 @@ fn main() {
             net: NetworkCondition::custom_backbone(mbps),
         });
         match &swap {
-            Some(s) => println!(
+            Some(d3_core::AdaptEvent::Plan(s)) => println!(
                 "[{label:>16}] {mbps:>6.2} Mbps -> repartitioned: {} vertices moved, \
                  stages rebuilt {:?}, kept {:?}, {} in-flight frames drained",
                 s.changed.len(),
                 s.rebuilt,
                 s.reused,
                 s.drained_frames
+            ),
+            Some(d3_core::AdaptEvent::Pool(p)) => println!(
+                "[{label:>16}] {mbps:>6.2} Mbps -> pool resized: {:?} {} -> {} workers",
+                p.tier, p.from, p.to
             ),
             None => println!("[{label:>16}] {mbps:>6.2} Mbps -> plan held"),
         }
@@ -91,11 +95,17 @@ fn main() {
         }
         // Measured loop: feed the stage workers' telemetry snapshots to
         // the controller too (compute drift would trigger the same way).
-        for s in session.adapt() {
-            println!(
-                "[{label:>16}] telemetry-driven swap: {} vertices moved",
-                s.changed.len()
-            );
+        for event in session.adapt() {
+            match event {
+                d3_core::AdaptEvent::Plan(s) => println!(
+                    "[{label:>16}] telemetry-driven swap: {} vertices moved",
+                    s.changed.len()
+                ),
+                d3_core::AdaptEvent::Pool(p) => println!(
+                    "[{label:>16}] telemetry-driven resize: {:?} {} -> {} workers",
+                    p.tier, p.from, p.to
+                ),
+            }
         }
     }
 

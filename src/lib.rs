@@ -20,7 +20,8 @@ pub use d3_vsm as vsm;
 // serving runtime (one-shot and streaming), the single-system facade,
 // and the pluggable partition-policy trait.
 pub use d3_core::{
-    D3Runtime, D3System, FrameId, ModelOptions, ModelStats, ServeError, StreamOptions,
-    StreamRecvError, StreamReport, StreamSession, SubmitError,
+    AdaptEvent, AutoscalePolicy, BatchOptions, D3Runtime, D3System, FrameId, ModelOptions,
+    ModelStats, PoolOptions, PoolResize, PoolSize, ServeError, StagePoolStats, StreamOptions,
+    StreamRecvError, StreamReport, StreamSession, SubmitError, Tier,
 };
 pub use d3_partition::{PartitionError, Partitioner};

@@ -13,14 +13,15 @@
 //!   observation trace.
 
 use d3_core::{
-    Assignment, D3Runtime, D3System, Deployment, DriftMonitor, FrameId, HysteresisLocal,
-    ModelOptions, NetworkCondition, Observation, PlanUpdate, Problem, StreamOptions, Tier,
-    TierProfiles, UpdateScope,
+    AdaptEvent, Assignment, AutoscalePolicy, D3Runtime, D3System, Deployment, DriftMonitor,
+    FrameId, HysteresisLocal, ModelOptions, NetworkCondition, Observation, PlanUpdate, Problem,
+    StreamOptions, Tier, TierProfiles, UpdateScope,
 };
 use d3_model::{zoo, DnnGraph, Executor};
 use d3_partition::EvenSplit;
 use d3_tensor::{max_abs_diff, Tensor};
 use std::sync::Arc;
+use std::time::Duration;
 
 const SEED: u64 = 11;
 
@@ -126,11 +127,14 @@ fn bandwidth_drift_repartitions_a_running_stream() {
     // frames are in flight. The controller must resolve a new plan and
     // swap it in mid-stream.
     let before = session.assignment().clone();
-    let swap = session
+    let event = session
         .observe(&Observation::Network {
             net: NetworkCondition::custom_backbone(0.5),
         })
         .expect("a 60x bandwidth collapse must repartition");
+    let d3_core::AdaptEvent::Plan(swap) = event else {
+        panic!("bandwidth drift must produce a plan swap, not {event:?}");
+    };
     assert!(!swap.changed.is_empty());
     assert_eq!(session.reconfigurations(), 1);
     assert_ne!(
@@ -220,6 +224,78 @@ fn measured_driven_controller_matches_simulated_driven_on_same_trace() {
         "the trace's swings must have swapped plans at least once"
     );
     let _ = session.close();
+}
+
+#[test]
+fn queue_pressure_autoscales_the_device_pool_mid_stream() {
+    // The full autoscaling loop, measured end to end: a stalled device
+    // stage backs its ingress queue up, the stage workers publish
+    // QueueDepth telemetry, the attached AutoscalePolicy votes to scale
+    // up, and adapt() resizes the pool at a lossless frame boundary.
+    let g = Arc::new(graph());
+    let mut rt = runtime_with(graph(), false);
+    rt.attach_controller(
+        "m",
+        Box::new(AutoscalePolicy::new(1, 4).thresholds(4, 0).patience(1)),
+    )
+    .unwrap();
+    let mut session = rt
+        .open_stream(
+            "m",
+            StreamOptions::new()
+                .capacity(16)
+                .telemetry_every(1)
+                .inject_delay(Tier::Device, 1, Duration::from_millis(5)),
+        )
+        .unwrap();
+    let exec = Executor::new(&g, SEED);
+    let inputs: Vec<Tensor> = (0..12)
+        .map(|k| Tensor::random(3, 16, 16, 600 + k))
+        .collect();
+    for input in &inputs {
+        session.submit_blocking(input).unwrap();
+    }
+    // Drain two results so at least one device telemetry window has
+    // been published with a deep queue behind it, then adapt.
+    let mut got: Vec<(usize, Tensor)> = Vec::new();
+    for _ in 0..2 {
+        let (id, t) = session.recv().unwrap();
+        got.push((id.0 as usize, t));
+    }
+    let events = session.adapt();
+    assert!(
+        matches!(
+            events.as_slice(),
+            [AdaptEvent::Pool(p)] if p.tier == Tier::Device && p.to == 2
+        ),
+        "expected a device scale-up, got {events:?}"
+    );
+    assert_eq!(session.pool()[0], 2);
+    while session.pending() > 0 {
+        let (id, t) = session.recv().unwrap();
+        got.push((id.0 as usize, t));
+    }
+    // Submission order held across the resize, outputs bit-identical.
+    let ids: Vec<usize> = got.iter().map(|(k, _)| *k).collect();
+    assert_eq!(ids, (0..inputs.len()).collect::<Vec<_>>());
+    for (k, t) in &got {
+        assert_eq!(
+            max_abs_diff(t, &exec.run(&inputs[*k])),
+            Some(0.0),
+            "frame {k} diverged across the autoscale resize"
+        );
+    }
+    let report = session.close();
+    assert_eq!(
+        report.measured.frames as u64, report.submitted,
+        "zero drops"
+    );
+    assert_eq!(report.stage_pools[0].resize_events, 1);
+    assert_eq!(report.stage_pools[0].workers, 2);
+    let controller = rt
+        .detach_controller("m")
+        .expect("the autoscale prototype stays attached");
+    assert_eq!(controller.name(), "autoscale");
 }
 
 #[test]

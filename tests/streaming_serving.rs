@@ -9,9 +9,12 @@
 //! respawns tier threads and rebuilds every layer's weights; on
 //! multi-core hosts the stages additionally overlap adjacent frames.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use d3_core::{D3Runtime, ModelOptions, ServeError, StreamOptions, SubmitError};
+use d3_core::{
+    BatchOptions, D3Runtime, ModelOptions, PoolOptions, ServeError, StreamOptions, SubmitError,
+    Tier,
+};
 use d3_model::{zoo, DnnGraph};
 use d3_partition::EvenSplit;
 use d3_tensor::{max_abs_diff, Tensor};
@@ -220,6 +223,135 @@ fn open_stream_errors_are_typed() {
         Err(SubmitError::ShapeMismatch { .. })
     ));
     let _ = session.close();
+}
+
+/// Streams `frames` through `session`-like options and returns the
+/// measured throughput, asserting every output bit-identical to `serve`.
+fn run_stream(rt: &D3Runtime, model: &str, options: StreamOptions, frames: &[Tensor]) -> f64 {
+    let expected: Vec<Tensor> = frames.iter().map(|f| rt.serve(model, f).unwrap()).collect();
+    let session = rt.open_stream(model, options).unwrap();
+    let mut received = 0usize;
+    for frame in frames {
+        loop {
+            match session.submit(frame) {
+                Ok(_) => break,
+                Err(SubmitError::Backpressure) => {
+                    let (id, got) = session.recv().unwrap();
+                    assert_eq!(
+                        max_abs_diff(&got, &expected[id.0 as usize]),
+                        Some(0.0),
+                        "frame {id} diverged"
+                    );
+                    received += 1;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    while received < frames.len() {
+        let (id, got) = session.recv().unwrap();
+        assert_eq!(
+            max_abs_diff(&got, &expected[id.0 as usize]),
+            Some(0.0),
+            "frame {id} diverged"
+        );
+        received += 1;
+    }
+    let report = session.close();
+    assert_eq!(report.measured.frames, frames.len());
+    report.measured.throughput_fps
+}
+
+#[test]
+fn pooled_session_is_bit_identical_to_serve() {
+    let rt = runtime_with("chain", zoo::chain_cnn(6, 8, 16), 61);
+    let frames: Vec<Tensor> = (0..20)
+        .map(|k| Tensor::random(3, 16, 16, 1100 + k))
+        .collect();
+    let fps = run_stream(
+        &rt,
+        "chain",
+        StreamOptions::new()
+            .capacity(8)
+            .pool(PoolOptions::uniform(2)),
+        &frames,
+    );
+    assert!(fps > 0.0);
+}
+
+#[test]
+fn batched_session_is_bit_identical_to_serve() {
+    let rt = runtime_with("mlp", zoo::conv_mlp(8), 62);
+    let frames: Vec<Tensor> = (0..16).map(|k| Tensor::random(3, 8, 8, 1200 + k)).collect();
+    let fps = run_stream(
+        &rt,
+        "mlp",
+        StreamOptions::new()
+            .capacity(16)
+            .batching(BatchOptions::frames(4).deadline(Duration::from_millis(50))),
+        &frames,
+    );
+    assert!(fps > 0.0);
+}
+
+#[test]
+fn four_device_workers_double_throughput_on_a_device_bound_stage() {
+    // The acceptance bar for worker pools: a device-bottlenecked model
+    // must stream ≥ 2x faster with 4 device workers than with 1, with
+    // bit-identical, submission-ordered outputs (run_stream checks
+    // both). The bottleneck is a latency-bound device stage (injected
+    // 8 ms stall per frame — an RPC-bound or contended accelerator), so
+    // the speedup measures pipeline concurrency, not host core count.
+    let rt = runtime_with("chain", zoo::chain_cnn(4, 8, 16), 63);
+    let frames: Vec<Tensor> = (0..24)
+        .map(|k| Tensor::random(3, 16, 16, 1300 + k))
+        .collect();
+    let stall = Duration::from_millis(8);
+    let base = StreamOptions::new()
+        .capacity(16)
+        .inject_delay(Tier::Device, 1, stall);
+    let fps_1 = run_stream(&rt, "chain", base, &frames);
+    let fps_4 = run_stream(&rt, "chain", base.workers(Tier::Device, 4), &frames);
+    assert!(
+        fps_4 >= 2.0 * fps_1,
+        "4 device workers: {fps_4:.1} fps, single worker: {fps_1:.1} fps — speedup {:.2}x < 2x",
+        fps_4 / fps_1
+    );
+}
+
+#[test]
+fn mid_stream_pool_resize_is_lossless_at_session_level() {
+    let rt = runtime_with("chain", zoo::chain_cnn(6, 8, 16), 64);
+    let frames: Vec<Tensor> = (0..10)
+        .map(|k| Tensor::random(3, 16, 16, 1400 + k))
+        .collect();
+    let expected: Vec<Tensor> = frames
+        .iter()
+        .map(|f| rt.serve("chain", f).unwrap())
+        .collect();
+    let mut session = rt
+        .open_stream("chain", StreamOptions::new().capacity(16))
+        .unwrap();
+    for frame in &frames[..4] {
+        session.submit_blocking(frame).unwrap();
+    }
+    let resize = session.resize_pool(Tier::Edge, 3).unwrap();
+    assert_eq!((resize.from, resize.to), (1, 3));
+    assert_eq!(session.pool(), [1, 3, 1]);
+    for frame in &frames[4..] {
+        session.submit_blocking(frame).unwrap();
+    }
+    for (k, expect) in expected.iter().enumerate() {
+        let (id, got) = session.recv().unwrap();
+        assert_eq!(id.0 as usize, k, "order across the resize");
+        assert_eq!(max_abs_diff(&got, expect), Some(0.0), "frame {k} diverged");
+    }
+    let report = session.close();
+    assert_eq!(
+        report.measured.frames as u64, report.submitted,
+        "zero drops"
+    );
+    assert_eq!(report.stage_pools[1].resize_events, 1);
 }
 
 #[test]

@@ -72,6 +72,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
     impl std::fmt::Display for RecvError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "receiving on an empty and disconnected channel")
@@ -214,6 +223,41 @@ pub mod channel {
             }
         }
 
+        /// Blocks until a message arrives, but at most for `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvTimeoutError::Timeout`] when nothing arrived in
+        /// time and [`RecvTimeoutError::Disconnected`] when the channel
+        /// is empty and every sender has been dropped.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, remaining)
+                    .expect("channel poisoned");
+                state = guard;
+            }
+        }
+
         /// Dequeues a message without blocking.
         ///
         /// # Errors
@@ -347,7 +391,7 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{bounded, unbounded, TryRecvError, TrySendError};
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TryRecvError, TrySendError};
 
     #[test]
     fn mpmc_fan_in_fan_out() {
@@ -429,6 +473,17 @@ mod tests {
         drop(rx);
         assert!(tx.send(1).is_err());
         assert_eq!(tx.try_send(2), Err(TrySendError::Disconnected(2)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_receives_and_reports_disconnect() {
+        let (tx, rx) = bounded::<u8>(2);
+        let short = std::time::Duration::from_millis(5);
+        assert_eq!(rx.recv_timeout(short), Err(RecvTimeoutError::Timeout));
+        tx.send(4).unwrap();
+        assert_eq!(rx.recv_timeout(short), Ok(4));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(short), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]
