@@ -5,7 +5,7 @@
 //! keeps weights cache-hot across frames).
 //!
 //! Two workload shapes (the burst protocol itself is the shared
-//! `d3_bench::streamkit` harness, identical to the CI perf gate's):
+//! `d3_test_support` burst harness, identical to the CI perf gate's):
 //!
 //! - `compute_bound`: raw tensor arithmetic. Pool scaling here tracks
 //!   host core count (on a single-core host pools cannot beat 1x).
@@ -15,10 +15,10 @@
 //!   perf gate anchors on it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use d3_bench::streamkit::{even_split_deployment, stream_burst};
 use d3_engine::stream::{BatchOptions, PoolOptions, StreamOptions};
 use d3_model::zoo;
 use d3_simnet::Tier;
+use d3_test_support::{even_split_deployment, stream_burst};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;

@@ -18,7 +18,6 @@ pub mod ablations;
 pub mod extensions;
 pub mod figures;
 pub mod report;
-pub mod streamkit;
 pub mod tables;
 
 pub use report::Section;

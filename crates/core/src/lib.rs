@@ -46,10 +46,11 @@ mod session;
 
 pub use d3_engine::{
     AdaptiveEngine, AdaptivePolicy, AutoscalePolicy, BatchOptions, ControlUpdate, Decision,
-    Deployment, FrameId, FullResolve, HysteresisLocal, InjectedDelay, NoAdapt, Observation,
-    PlanSwap, PlanUpdate, PoolOptions, PoolResize, PoolSize, PoolUpdate, StagePoolStats, Strategy,
+    Deployment, FleetController, FleetOptions, FleetUpdate, FrameId, FullResolve, HysteresisLocal,
+    InjectedDelay, LinkShaping, NoAdapt, Observation, PlanSwap, PlanUpdate, PoolOptions,
+    PoolResize, PoolSize, PoolUpdate, ProbeOptions, ResourceLedger, StagePoolStats, Strategy,
     StreamBuildError, StreamOptions, StreamRecvError, StreamReport, SubmitError, TelemetrySnapshot,
-    TelemetryTap, UpdateScope, VsmConfig,
+    TelemetryTap, TenantCommit, TierContention, UpdateScope, VsmConfig,
 };
 pub use d3_model::{DnnGraph, NodeId};
 pub use d3_partition::{

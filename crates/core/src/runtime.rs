@@ -25,10 +25,10 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use d3_engine::AdaptivePolicy;
+use d3_engine::{AdaptivePolicy, FleetController, FleetOptions};
 use d3_model::DnnGraph;
 use d3_partition::{Hpa, HpaOptions, PartitionError, Partitioner};
 use d3_simnet::{NetworkCondition, TierProfiles};
@@ -228,6 +228,9 @@ struct ModelEntry {
 #[derive(Default)]
 pub struct D3Runtime {
     models: HashMap<String, ModelEntry>,
+    /// The shared multi-tenant arbiter, when one is attached. Sessions
+    /// opened on its tenants route their adaptation through it.
+    fleet: Option<Arc<Mutex<FleetController>>>,
 }
 
 impl std::fmt::Debug for D3Runtime {
@@ -314,6 +317,82 @@ impl D3Runtime {
             .and_then(|entry| entry.controller.take())
     }
 
+    /// Attaches a **fleet controller** arbitrating the named models as
+    /// co-resident tenants — the multi-tenant generalization of
+    /// [`attach_controller`](Self::attach_controller). Each `(model,
+    /// weight)` pair registers one tenant: a fork of `policy` drives an
+    /// engine seeded with that model's deployed plan, and the weight is
+    /// its priority (higher wins contention; lower gets evicted first).
+    ///
+    /// Streams subsequently opened on a tenant model route their
+    /// `observe`/`adapt` calls through the shared
+    /// [`FleetController`]: re-partitions solve against *residual*
+    /// capacity (total minus the other tenants' committed load), one
+    /// decision may emit coordinated updates for several tenants
+    /// (delivered to the other sessions through per-tenant mailboxes),
+    /// and a global budget plus per-tenant cooldown keep the fleet from
+    /// thrashing. Intended for **one live session per tenant**.
+    ///
+    /// Uses [`FleetOptions::default`]; see
+    /// [`attach_fleet_controller_with`](Self::attach_fleet_controller_with)
+    /// to tune arbitration. Replaces any previously attached fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when any named model is not
+    /// registered; the runtime is left unchanged.
+    pub fn attach_fleet_controller(
+        &mut self,
+        policy: Box<dyn AdaptivePolicy>,
+        weights: &[(&str, f64)],
+    ) -> Result<&mut Self, ServeError> {
+        self.attach_fleet_controller_with(policy, weights, FleetOptions::default())
+    }
+
+    /// [`attach_fleet_controller`](Self::attach_fleet_controller) with
+    /// explicit arbitration options.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when any named model is not
+    /// registered; the runtime is left unchanged.
+    pub fn attach_fleet_controller_with(
+        &mut self,
+        policy: Box<dyn AdaptivePolicy>,
+        weights: &[(&str, f64)],
+        options: FleetOptions,
+    ) -> Result<&mut Self, ServeError> {
+        let mut fleet = FleetController::new(options);
+        for (name, weight) in weights {
+            let entry = self
+                .models
+                .get(*name)
+                .ok_or_else(|| ServeError::UnknownModel((*name).to_string()))?;
+            fleet.register(
+                *name,
+                *weight,
+                entry.system.controller_for_session(policy.fork()),
+            );
+        }
+        self.fleet = Some(Arc::new(Mutex::new(fleet)));
+        Ok(self)
+    }
+
+    /// Removes the attached fleet controller, returning its shared
+    /// handle (already-open sessions keep theirs and continue to
+    /// arbitrate through it).
+    pub fn detach_fleet_controller(&mut self) -> Option<Arc<Mutex<FleetController>>> {
+        self.fleet.take()
+    }
+
+    /// The attached fleet controller's shared handle, when present
+    /// (lock it to inspect the [`ResourceLedger`](d3_engine::ResourceLedger)
+    /// or arbitration counters).
+    #[must_use]
+    pub fn fleet_controller(&self) -> Option<&Arc<Mutex<FleetController>>> {
+        self.fleet.as_ref()
+    }
+
     /// Removes the model registered under `name`, returning its system —
     /// the rotation half of multi-tenant operation (register the new
     /// version, unregister the old). Live [`StreamSession`]s opened on
@@ -347,11 +426,29 @@ impl D3Runtime {
             .models
             .get(name)
             .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
-        let controller = entry
-            .controller
-            .as_ref()
-            .map(|proto| entry.system.controller_for_session(proto.fork()));
-        crate::StreamSession::open(name, &entry.system, options, controller)
+        // A fleet tenancy outranks a per-model controller: the session
+        // arbitrates through the shared FleetController (which owns the
+        // tenant's engine) instead of carrying a private one.
+        let fleet = self.fleet.as_ref().and_then(|fleet| {
+            let is_tenant = fleet
+                .lock()
+                .expect("fleet controller lock poisoned")
+                .tenant_names()
+                .contains(&name);
+            is_tenant.then(|| crate::session::FleetHandle {
+                tenant: name.to_string(),
+                fleet: Arc::clone(fleet),
+            })
+        });
+        let controller = if fleet.is_some() {
+            None
+        } else {
+            entry
+                .controller
+                .as_ref()
+                .map(|proto| entry.system.controller_for_session(proto.fork()))
+        };
+        crate::StreamSession::open(name, &entry.system, options, controller, fleet)
     }
 
     /// Runs one inference on the named model across its deployed tiers.

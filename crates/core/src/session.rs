@@ -58,15 +58,25 @@
 
 use d3_engine::stream::StreamPipeline;
 use d3_engine::{
-    AdaptiveEngine, ControlUpdate, FrameId, Observation, PlanSwap, PlanUpdate, PoolResize,
-    StreamBuildError, StreamRecvError, StreamReport, SubmitError, TelemetryTap,
+    AdaptiveEngine, ControlUpdate, FleetController, FrameId, Observation, PlanSwap, PlanUpdate,
+    PoolResize, StreamBuildError, StreamRecvError, StreamReport, SubmitError, TelemetryTap,
 };
 use d3_partition::Assignment;
 use d3_simnet::Tier;
 use d3_tensor::Tensor;
+use std::sync::{Arc, Mutex};
 
 use crate::runtime::ServeError;
 use crate::{D3System, StreamOptions};
+
+/// A session's membership in a runtime-attached fleet: the tenant name
+/// plus the shared arbiter. Observations route through the fleet, and
+/// coordinated updates for this tenant arrive via its mailbox.
+#[derive(Debug)]
+pub(crate) struct FleetHandle {
+    pub(crate) tenant: String,
+    pub(crate) fleet: Arc<Mutex<FleetController>>,
+}
 
 /// One change a session's adaptation loop applied to the running stream:
 /// a plan swap or a worker-pool resize. Returned by
@@ -95,17 +105,29 @@ pub struct StreamSession {
     model: String,
     pipeline: StreamPipeline,
     /// Per-session adaptation controller (present when the runtime had a
-    /// policy attached at open time).
+    /// policy attached at open time and the model is not a fleet
+    /// tenant).
     controller: Option<AdaptiveEngine>,
+    /// Fleet membership (present when the runtime had a fleet controller
+    /// attached covering this model).
+    fleet: Option<FleetHandle>,
 }
 
 impl StreamSession {
     pub(crate) fn open(
         model: &str,
         system: &D3System,
-        options: StreamOptions,
+        mut options: StreamOptions,
         controller: Option<AdaptiveEngine>,
+        fleet: Option<FleetHandle>,
     ) -> Result<Self, ServeError> {
+        // Seed the bandwidth prober's belief with the model's configured
+        // network condition unless the caller pinned one explicitly.
+        if let Some(probe) = &mut options.probe {
+            if probe.initial.is_none() {
+                probe.initial = Some(system.problem().net());
+            }
+        }
         let pipeline = StreamPipeline::new(
             system.graph_arc().clone(),
             system.weight_seed(),
@@ -121,6 +143,7 @@ impl StreamSession {
             model: model.to_string(),
             pipeline,
             controller,
+            fleet,
         })
     }
 
@@ -210,10 +233,19 @@ impl StreamSession {
     }
 
     /// The session's adaptation controller, when one was attached at
-    /// open time.
+    /// open time. Fleet sessions return `None` — their engine lives in
+    /// the shared [`FleetController`]; see
+    /// [`fleet_tenant`](Self::fleet_tenant).
     #[must_use]
     pub fn controller(&self) -> Option<&AdaptiveEngine> {
         self.controller.as_ref()
+    }
+
+    /// The fleet tenant name this session arbitrates under, when the
+    /// runtime had a fleet controller attached at open time.
+    #[must_use]
+    pub fn fleet_tenant(&self) -> Option<&str> {
+        self.fleet.as_ref().map(|h| h.tenant.as_str())
     }
 
     /// Swaps the running stream onto `update`'s plan at a frame
@@ -254,30 +286,102 @@ impl StreamSession {
 
     /// Injects one out-of-band observation (e.g. a bandwidth probe's
     /// reading, a queue-depth report, or simulated drift) into the
-    /// session's controller and applies any resulting update mid-stream.
-    /// Returns the applied event, `None` when the controller held — or
-    /// when no controller is attached (the observation is then dropped;
-    /// check [`controller`](Self::controller)).
-    pub fn observe(&mut self, obs: &Observation) -> Option<AdaptEvent> {
-        let update = self.controller.as_mut()?.ingest(obs)?;
-        Some(self.apply_update(&update))
+    /// session's adaptation loop and applies every resulting update
+    /// mid-stream. Returns the applied events — empty when the
+    /// controller held, or when neither a controller nor a fleet is
+    /// attached (the observation is then dropped; check
+    /// [`controller`](Self::controller) /
+    /// [`fleet_tenant`](Self::fleet_tenant)).
+    ///
+    /// Fleet sessions first drain coordinated updates queued for them by
+    /// other tenants' decisions (their mailbox), then arbitrate the
+    /// observation fleet-wide; a single call can therefore apply several
+    /// events (e.g. a mailbox eviction plus this observation's swap).
+    pub fn observe(&mut self, obs: &Observation) -> Vec<AdaptEvent> {
+        if self.fleet.is_some() {
+            let mut events = self.poll_fleet();
+            for update in self.fleet_ingest(obs) {
+                events.push(self.apply_update(&update));
+            }
+            return events;
+        }
+        let Some(update) = self.controller.as_mut().and_then(|c| c.ingest(obs)) else {
+            return Vec::new();
+        };
+        vec![self.apply_update(&update)]
+    }
+
+    /// Arbitrates one observation through the fleet and returns the
+    /// updates addressed to **this** tenant (updates for other tenants
+    /// are already queued in their mailboxes by the controller).
+    fn fleet_ingest(&self, obs: &Observation) -> Vec<ControlUpdate> {
+        let handle = self.fleet.as_ref().expect("fleet session");
+        let updates = handle
+            .fleet
+            .lock()
+            .expect("fleet controller lock poisoned")
+            .ingest(&handle.tenant, obs);
+        updates
+            .into_iter()
+            .filter(|u| u.tenant == handle.tenant)
+            .map(|u| u.update)
+            .collect()
+    }
+
+    /// Applies every coordinated update other tenants' decisions queued
+    /// for this session (the fleet mailbox — e.g. an eviction freeing a
+    /// shared tier for a higher-priority model). Empty for non-fleet
+    /// sessions and when nothing is queued. [`observe`](Self::observe)
+    /// and [`adapt`](Self::adapt) drain the mailbox automatically; call
+    /// this from sessions that only pump frames.
+    pub fn poll_fleet(&mut self) -> Vec<AdaptEvent> {
+        let Some(handle) = &self.fleet else {
+            return Vec::new();
+        };
+        let updates = handle
+            .fleet
+            .lock()
+            .expect("fleet controller lock poisoned")
+            .take_mailbox(&handle.tenant);
+        updates
+            .iter()
+            .map(|update| self.apply_update(update))
+            .collect()
     }
 
     /// Runs one adaptation cycle: drains the session's live telemetry
-    /// into the attached controller and applies the emitted update
-    /// mid-stream — a plan swap for timing/network drift, a pool resize
-    /// for sustained queue-depth pressure. Call it periodically from the
-    /// driving loop (e.g. once per drained batch of results). Returns
-    /// the applied events (empty when nothing drifted or no controller
-    /// is attached).
+    /// into the attached controller (or the fleet arbiter) and applies
+    /// the emitted updates mid-stream — a plan swap for timing/network
+    /// drift, a pool resize for sustained queue-depth pressure. Call it
+    /// periodically from the driving loop (e.g. once per drained batch
+    /// of results). Returns the applied events (empty when nothing
+    /// drifted or no controller is attached). Fleet sessions also drain
+    /// their mailbox first.
     ///
-    /// At most one event is applied per cycle: snapshots remaining in
-    /// the batch after a swap or resize were measured under the *old*
-    /// configuration — stale readings that would mis-calibrate the
-    /// controller's fresh anchors or double-trigger the autoscaler — so
-    /// they are discarded, exactly like the queued snapshots the
-    /// pipeline itself flushes at the reconfiguration boundary.
+    /// At most one telemetry-driven event burst is applied per cycle:
+    /// snapshots remaining in the batch after a swap or resize were
+    /// measured under the *old* configuration — stale readings that
+    /// would mis-calibrate the controller's fresh anchors or
+    /// double-trigger the autoscaler — so they are discarded, exactly
+    /// like the queued snapshots the pipeline itself flushes at the
+    /// reconfiguration boundary.
     pub fn adapt(&mut self) -> Vec<AdaptEvent> {
+        if self.fleet.is_some() {
+            let mut events = self.poll_fleet();
+            let snapshots = self.pipeline.telemetry().drain();
+            'snapshots: for snapshot in &snapshots {
+                for obs in &snapshot.observations {
+                    let own = self.fleet_ingest(obs);
+                    if !own.is_empty() {
+                        for update in &own {
+                            events.push(self.apply_update(update));
+                        }
+                        break 'snapshots; // rest of the batch predates the change
+                    }
+                }
+            }
+            return events;
+        }
         if self.controller.is_none() {
             return Vec::new();
         }
@@ -365,13 +469,15 @@ mod tests {
             .unwrap();
         let mut session = rt.open_stream("tiny", StreamOptions::new()).unwrap();
         assert!(session.controller().is_none());
+        assert!(session.fleet_tenant().is_none());
         // Observations are dropped, adapt is a no-op — never a panic.
         assert!(session
             .observe(&Observation::Network {
                 net: NetworkCondition::custom_backbone(1.0)
             })
-            .is_none());
+            .is_empty());
         assert!(session.adapt().is_empty());
+        assert!(session.poll_fleet().is_empty());
         let _ = session.close();
     }
 

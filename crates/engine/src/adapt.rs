@@ -394,6 +394,41 @@ impl AdaptivePolicy for AutoscalePolicy {
     }
 }
 
+/// Per-tier cost inflation a multi-tenant arbiter applies to one
+/// tenant's re-partitions: each factor scales the apparent vertex cost
+/// of its tier during the solve (the live problem itself is untouched),
+/// so a tier other tenants have already committed load to looks slower
+/// and HPA naturally routes work around it. Factors of exactly `1.0`
+/// leave the solve bit-identical to the uncontended path — a
+/// single-tenant fleet therefore makes the same decisions as a plain
+/// [`AdaptiveEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierContention {
+    /// Multiplier per tier rank (device, edge, cloud).
+    pub factors: [f64; 3],
+}
+
+impl Default for TierContention {
+    fn default() -> Self {
+        Self::neutral()
+    }
+}
+
+impl TierContention {
+    /// No contention: every factor is exactly `1.0`.
+    #[must_use]
+    pub fn neutral() -> Self {
+        Self { factors: [1.0; 3] }
+    }
+
+    /// Whether every factor is exactly `1.0` (the solve may skip the
+    /// scaled clone entirely).
+    #[must_use]
+    pub fn is_neutral(&self) -> bool {
+        self.factors == [1.0; 3]
+    }
+}
+
 /// How much of the plan a [`PlanUpdate`] recomputed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateScope {
@@ -559,14 +594,43 @@ impl AdaptiveEngine {
     /// redeploy), or [`ControlUpdate::Pool`] when a queue-aware policy
     /// wants a stage's worker pool resized.
     pub fn ingest(&mut self, obs: &Observation) -> Option<ControlUpdate> {
-        // 0. Reject malformed measurements outright: a NaN/negative
-        // reading (failed probe, 0/0 upstream) must never be folded
-        // into the live problem, where it would poison weights while
-        // the hysteresis band — false for NaN comparisons — holds.
-        if !observation_is_valid(obs) {
+        let decision = self.absorb_and_decide(obs)?;
+        self.execute(decision, obs, &TierContention::neutral())
+    }
+
+    /// The fold + decide half of [`ingest`](Self::ingest), split out so
+    /// a fleet arbiter can gate or contend the execution: folds the
+    /// observation into the live problem and returns the policy's
+    /// decision (`None` when the observation was swallowed — invalid or
+    /// a calibration sample). The caller is expected to follow up with
+    /// [`execute`](Self::execute); a withheld Local/Full decision leaves
+    /// the hysteresis references untouched, so the same drift
+    /// re-triggers once the gate lifts.
+    pub(crate) fn absorb_and_decide(&mut self, obs: &Observation) -> Option<Decision> {
+        if !self.fold(obs) {
             return None;
         }
-        // 1. Fold the observation into the live problem.
+        // Policy decision against the reference anchors.
+        let view = PolicyView {
+            problem: &self.problem,
+            assignment: &self.assignment,
+            reference: &self.reference,
+            reference_backbone_mbps: self.reference_backbone_mbps,
+            stage_anchor: &self.stage_anchor,
+        };
+        Some(self.policy.decide(&view, obs))
+    }
+
+    /// Folds one observation into the live problem. Returns `false` when
+    /// the observation must be swallowed without a policy decision: a
+    /// malformed measurement (a NaN/negative reading — failed probe, 0/0
+    /// upstream — must never poison the weights while the hysteresis
+    /// band, false for NaN comparisons, holds) or a stage-time
+    /// calibration sample.
+    fn fold(&mut self, obs: &Observation) -> bool {
+        if !observation_is_valid(obs) {
+            return false;
+        }
         match obs {
             Observation::VertexTime {
                 vertex,
@@ -586,7 +650,7 @@ impl AdaptiveEngine {
                         if *seconds_per_frame > 0.0 {
                             self.stage_anchor[rank] = Some(*seconds_per_frame);
                         }
-                        return None;
+                        return false;
                     }
                     Some(anchor) if anchor > 0.0 && *seconds_per_frame > 0.0 => {
                         // Scale the segment's weights by the measured
@@ -608,18 +672,35 @@ impl AdaptiveEngine {
             Observation::Network { net } => self.problem.set_net(*net),
             Observation::QueueDepth { .. } => {}
         }
+        true
+    }
 
-        // 2. Policy decision against the reference anchors.
-        let view = PolicyView {
-            problem: &self.problem,
-            assignment: &self.assignment,
-            reference: &self.reference,
-            reference_backbone_mbps: self.reference_backbone_mbps,
-            stage_anchor: &self.stage_anchor,
-        };
-        let decision = self.policy.decide(&view, obs);
+    /// The live problem as one tenant of a contended fleet sees it:
+    /// vertex costs inflated by the arbiter's per-tier factors (a
+    /// neutral contention returns an untouched clone-free reference via
+    /// [`std::borrow::Cow`]-like dispatch at the call sites).
+    fn contended_problem(&self, contention: &TierContention) -> Problem {
+        let mut scaled = self.problem.clone();
+        let ids: Vec<NodeId> = scaled.graph().ids().collect();
+        for tier in Tier::ALL {
+            let factor = contention.factors[tier.rank()];
+            if factor != 1.0 {
+                for &id in &ids {
+                    scaled.scale_vertex(id, tier, factor);
+                }
+            }
+        }
+        scaled
+    }
 
-        // 3. Execute.
+    /// Executes a policy decision against the (possibly contended)
+    /// problem view.
+    pub(crate) fn execute(
+        &mut self,
+        decision: Decision,
+        obs: &Observation,
+        contention: &TierContention,
+    ) -> Option<ControlUpdate> {
         match decision {
             Decision::Hold => {
                 if !matches!(obs, Observation::QueueDepth { .. }) {
@@ -628,16 +709,23 @@ impl AdaptiveEngine {
                 None
             }
             Decision::Local(trigger) => {
-                let update =
-                    repartition_local(&self.problem, &self.assignment, trigger, &self.opts);
+                let update = if contention.is_neutral() {
+                    repartition_local(&self.problem, &self.assignment, trigger, &self.opts)
+                } else {
+                    let contended = self.contended_problem(contention);
+                    repartition_local(&contended, &self.assignment, trigger, &self.opts)
+                };
                 self.local_updates += 1;
                 self.finish_repartition(update.assignment, UpdateScope::Local, obs)
                     .map(ControlUpdate::Plan)
             }
             Decision::Full => {
-                let assignment = Hpa(self.opts.clone())
-                    .partition(&self.problem)
-                    .expect("HPA applies to every topology");
+                let assignment = if contention.is_neutral() {
+                    Hpa(self.opts.clone()).partition(&self.problem)
+                } else {
+                    Hpa(self.opts.clone()).partition(&self.contended_problem(contention))
+                }
+                .expect("HPA applies to every topology");
                 self.full_updates += 1;
                 self.finish_repartition(assignment, UpdateScope::Full, obs)
                     .map(ControlUpdate::Plan)
@@ -673,6 +761,84 @@ impl AdaptiveEngine {
         last_plan
             .map(ControlUpdate::Plan)
             .or(last_pool.map(ControlUpdate::Pool))
+    }
+
+    /// Evicts this tenant from `tier`: re-solves the whole problem with
+    /// `tier` removed from the allowed set (under the arbiter's
+    /// contention view of the remaining tiers), so a higher-priority
+    /// tenant's segment can take the freed capacity. Returns the plan
+    /// change, or `None` when the tenant already had nothing on `tier`
+    /// (the solve lands on the same assignment). Counts as a full
+    /// update.
+    pub(crate) fn evict_from(
+        &mut self,
+        tier: Tier,
+        contention: &TierContention,
+    ) -> Option<PlanUpdate> {
+        let allowed: Vec<Tier> = self
+            .opts
+            .allowed
+            .iter()
+            .copied()
+            .filter(|t| *t != tier)
+            .collect();
+        if allowed.is_empty() {
+            return None; // nowhere left to run — never evict the last tier
+        }
+        let opts = self.opts.clone().with_tiers(&allowed);
+        let assignment = if contention.is_neutral() {
+            Hpa(opts).partition(&self.problem)
+        } else {
+            Hpa(opts).partition(&self.contended_problem(contention))
+        }
+        .expect("HPA applies to every topology");
+        self.full_updates += 1;
+        // Full-scope re-anchor: the eviction is a global plan change.
+        let anchor_obs = Observation::Network {
+            net: self.problem.net(),
+        };
+        self.finish_repartition(assignment, UpdateScope::Full, &anchor_obs)
+    }
+
+    /// Per-tier compute seconds per frame the current plan commits under
+    /// the live weights (the input vertex excluded) — this tenant's row
+    /// of a fleet's resource ledger.
+    #[must_use]
+    pub fn committed_s(&self) -> [f64; 3] {
+        let input = self.problem.graph().input();
+        let mut out = [0.0; 3];
+        for tier in Tier::ALL {
+            out[tier.rank()] = self
+                .assignment
+                .segment(tier)
+                .into_iter()
+                .filter(|&id| id != input)
+                .map(|id| self.problem.vertex_time(id, tier))
+                .sum();
+        }
+        out
+    }
+
+    /// Bytes per frame the current plan ships across each inter-tier
+    /// link, as `[device↔edge, edge↔cloud, device↔cloud]` — the
+    /// bandwidth row of a fleet's resource ledger. A tensor consumed by
+    /// several vertices of the same remote tier crosses once.
+    #[must_use]
+    pub fn committed_link_bytes(&self) -> [u64; 3] {
+        let mut out = [0u64; 3];
+        let mut seen = std::collections::HashSet::new();
+        for node in self.problem.graph().nodes() {
+            let a = self.assignment.tier(node.id);
+            for &succ in &node.succs {
+                let Some(link) = a.link_index(self.assignment.tier(succ)) else {
+                    continue; // same tier
+                };
+                if seen.insert((node.id, link)) {
+                    out[link] += node.output_bytes();
+                }
+            }
+        }
+        out
     }
 
     /// Re-anchors references after a triggered re-partition and builds
@@ -1131,7 +1297,7 @@ mod tests {
         assert_eq!(forked.name(), "autoscale");
         // Mutating the original does not affect the fork's decisions.
         let g = zoo::alexnet(224);
-        let mut e = autoscale_engine(&g, AutoscalePolicy::new(1, 4).patience(1));
+        let e = autoscale_engine(&g, AutoscalePolicy::new(1, 4).patience(1));
         let p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
         let a = Hpa(HpaOptions::paper()).partition(&p).unwrap();
         let view = PolicyView {

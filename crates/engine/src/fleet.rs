@@ -1,0 +1,705 @@
+//! Multi-tenant fleet control: one arbiter over many sessions' plans.
+//!
+//! A single [`AdaptiveEngine`](crate::AdaptiveEngine) adapts greedily,
+//! as if its model had the device/edge/cloud hardware to itself. Under
+//! multi-tenant traffic that assumption breaks: two co-resident models
+//! that both see a degrading backbone both offload to the edge, both
+//! observe the resulting contention, and both flee back — the classic
+//! oscillation of uncoordinated controllers. The [`FleetController`]
+//! closes the loop at fleet scope:
+//!
+//! - it **owns** one adaptation engine per registered tenant (each a
+//!   fork of the attached policy, seeded with the tenant's deployed
+//!   plan),
+//! - it maintains a [`ResourceLedger`] of per-tier compute commitments
+//!   and per-link byte commitments across all tenants,
+//! - when one tenant's ingested [`Observation`] triggers a re-partition,
+//!   the solve runs against **residual** capacity: shared tiers (edge
+//!   and cloud — each model's device is its own hardware) are inflated
+//!   by the other tenants' committed load
+//!   ([`TierContention`]), so the plan routes around booked capacity
+//!   instead of piling on,
+//! - one decision may emit **coordinated** updates for several tenants:
+//!   when the triggering tenant's new plan overcommits a shared tier,
+//!   the lowest-weight co-tenant on that tier is **evicted** from it
+//!   (its plan re-solved with the tier removed), making room for the
+//!   higher-priority model,
+//! - a **global hysteresis budget** (at most `reconfig_budget` plan
+//!   changes per `budget_window` ingested observations) plus a
+//!   per-tenant cooldown bound how fast the fleet as a whole may
+//!   reconfigure, so coordinated tenants cannot thrash.
+//!
+//! A single-tenant fleet is deliberately degenerate: contention is
+//! neutral and the budget/cooldown gates are disabled, so its decisions
+//! are bit-identical to a plain per-session controller
+//! (`D3Runtime::attach_controller`).
+//!
+//! Updates for tenants other than the one whose observation triggered
+//! the decision are queued in per-tenant **mailboxes**; each session
+//! drains its own mailbox at its next `observe`/`adapt`/`poll_fleet`
+//! call, so a coordinated eviction reaches the victim session even
+//! though the decision happened on another tenant's thread.
+
+use crate::adapt::{AdaptiveEngine, ControlUpdate, Decision, TierContention};
+use crate::telemetry::Observation;
+use d3_simnet::Tier;
+
+/// Fleet-wide arbitration knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetOptions {
+    /// The frame period (seconds) each shared tier must sustain — the
+    /// capacity denominator of the contention ratio and the overcommit
+    /// threshold of the eviction check. Default: 1/30 s (the paper's
+    /// 30 FPS workload).
+    pub frame_period_s: f64,
+    /// Plan changes the whole fleet may apply per
+    /// [`budget_window`](Self::budget_window) ingested observations
+    /// (the global hysteresis budget). Default 4.
+    pub reconfig_budget: u32,
+    /// Observations per budget window. Default 64.
+    pub budget_window: u32,
+    /// After a tenant's plan changes, that tenant holds for this many of
+    /// its own ingested observations. Default 8.
+    pub cooldown: u32,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            frame_period_s: 1.0 / 30.0,
+            reconfig_budget: 4,
+            budget_window: 64,
+            cooldown: 8,
+        }
+    }
+}
+
+impl FleetOptions {
+    /// The default options (30 FPS capacity, budget 4 per 64
+    /// observations, cooldown 8).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the shared-tier capacity (seconds of compute per frame
+    /// period).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seconds` is not positive and finite.
+    #[must_use]
+    pub fn frame_period(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds > 0.0 && seconds.is_finite(),
+            "frame period must be positive"
+        );
+        self.frame_period_s = seconds;
+        self
+    }
+
+    /// Sets the global reconfiguration budget per window.
+    #[must_use]
+    pub fn budget(mut self, reconfigs: u32, window: u32) -> Self {
+        assert!(window > 0, "budget window must be positive");
+        self.reconfig_budget = reconfigs;
+        self.budget_window = window;
+        self
+    }
+
+    /// Sets the per-tenant cooldown (in that tenant's ingests).
+    #[must_use]
+    pub fn cooldown(mut self, ingests: u32) -> Self {
+        self.cooldown = ingests;
+        self
+    }
+}
+
+/// One tenant's row of the fleet's resource ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantCommit {
+    /// The tenant's registered name.
+    pub tenant: String,
+    /// The tenant's priority weight.
+    pub weight: f64,
+    /// Compute seconds per frame committed per tier rank.
+    pub tier_s: [f64; 3],
+    /// Bytes per frame committed per link
+    /// (`[device↔edge, edge↔cloud, device↔cloud]`).
+    pub link_bytes: [u64; 3],
+}
+
+/// A snapshot of the fleet's commitments: per-tier compute and per-link
+/// bandwidth, per tenant and in total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceLedger {
+    /// The capacity denominator (seconds per frame period).
+    pub capacity_s: f64,
+    /// One row per tenant, in registration order.
+    pub commits: Vec<TenantCommit>,
+}
+
+impl ResourceLedger {
+    /// Total committed compute seconds per frame on `tier`.
+    #[must_use]
+    pub fn tier_committed_s(&self, tier: Tier) -> f64 {
+        self.commits.iter().map(|c| c.tier_s[tier.rank()]).sum()
+    }
+
+    /// Total committed bytes per frame on the link between `a` and `b`
+    /// (`None` within a tier).
+    #[must_use]
+    pub fn link_committed_bytes(&self, a: Tier, b: Tier) -> Option<u64> {
+        let link = a.link_index(b)?;
+        Some(self.commits.iter().map(|c| c.link_bytes[link]).sum())
+    }
+
+    /// Shared tiers whose total commitment exceeds the capacity.
+    #[must_use]
+    pub fn overcommitted(&self) -> Vec<Tier> {
+        [Tier::Edge, Tier::Cloud]
+            .into_iter()
+            .filter(|t| self.tier_committed_s(*t) > self.capacity_s)
+            .collect()
+    }
+}
+
+/// One arbitration outcome: which tenant must apply which update.
+#[derive(Debug, Clone)]
+pub struct FleetUpdate {
+    /// The tenant whose running session must apply the update.
+    pub tenant: String,
+    /// The update to apply (`StreamSession::apply_plan` /
+    /// `resize_pool`, or `observe`/`adapt` do it automatically).
+    pub update: ControlUpdate,
+}
+
+struct Tenant {
+    name: String,
+    weight: f64,
+    engine: AdaptiveEngine,
+    cooldown_left: u32,
+    plan_changes: u64,
+    mailbox: Vec<ControlUpdate>,
+}
+
+/// The multi-tenant arbiter: owns every registered tenant's adaptation
+/// engine and turns each ingested [`Observation`] into zero or more
+/// coordinated [`FleetUpdate`]s (see the [module docs](self)).
+pub struct FleetController {
+    options: FleetOptions,
+    tenants: Vec<Tenant>,
+    /// Observations ingested (the budget-window clock).
+    ingests: u64,
+    /// Plan changes spent in the current budget window.
+    window_spent: u32,
+    /// Decisions that emitted updates for more than one tenant.
+    pub arbitrations: u64,
+    /// Evictions of a lower-weight tenant from an overcommitted tier.
+    pub evictions: u64,
+    /// Plan changes withheld by the exhausted global budget.
+    pub held_by_budget: u64,
+    /// Plan changes withheld by a tenant's cooldown.
+    pub held_by_cooldown: u64,
+}
+
+impl std::fmt::Debug for FleetController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetController")
+            .field("tenants", &self.tenant_names())
+            .field("ingests", &self.ingests)
+            .field("arbitrations", &self.arbitrations)
+            .field("evictions", &self.evictions)
+            .field("held_by_budget", &self.held_by_budget)
+            .field("held_by_cooldown", &self.held_by_cooldown)
+            .finish()
+    }
+}
+
+impl FleetController {
+    /// An empty fleet under `options`.
+    #[must_use]
+    pub fn new(options: FleetOptions) -> Self {
+        Self {
+            options,
+            tenants: Vec::new(),
+            ingests: 0,
+            window_spent: 0,
+            arbitrations: 0,
+            evictions: 0,
+            held_by_budget: 0,
+            held_by_cooldown: 0,
+        }
+    }
+
+    /// Registers a tenant: its adaptation engine (seeded with the
+    /// deployed plan) and its priority weight — higher weights win
+    /// contention, lower weights get evicted first. Re-registering a
+    /// name replaces the tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is not positive and finite.
+    pub fn register(&mut self, name: impl Into<String>, weight: f64, engine: AdaptiveEngine) {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "tenant weight must be positive"
+        );
+        let name = name.into();
+        let tenant = Tenant {
+            name: name.clone(),
+            weight,
+            engine,
+            cooldown_left: 0,
+            plan_changes: 0,
+            mailbox: Vec::new(),
+        };
+        match self.tenants.iter_mut().find(|t| t.name == name) {
+            Some(slot) => *slot = tenant,
+            None => self.tenants.push(tenant),
+        }
+    }
+
+    /// Registered tenant names, in registration order.
+    #[must_use]
+    pub fn tenant_names(&self) -> Vec<&str> {
+        self.tenants.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// The named tenant's adaptation engine (read-only).
+    #[must_use]
+    pub fn engine(&self, tenant: &str) -> Option<&AdaptiveEngine> {
+        self.tenants
+            .iter()
+            .find(|t| t.name == tenant)
+            .map(|t| &t.engine)
+    }
+
+    /// Plan changes applied to the named tenant so far.
+    #[must_use]
+    pub fn plan_changes(&self, tenant: &str) -> Option<u64> {
+        self.tenants
+            .iter()
+            .find(|t| t.name == tenant)
+            .map(|t| t.plan_changes)
+    }
+
+    /// A snapshot of every tenant's tier and link commitments.
+    #[must_use]
+    pub fn ledger(&self) -> ResourceLedger {
+        ResourceLedger {
+            capacity_s: self.options.frame_period_s,
+            commits: self
+                .tenants
+                .iter()
+                .map(|t| TenantCommit {
+                    tenant: t.name.clone(),
+                    weight: t.weight,
+                    tier_s: t.engine.committed_s(),
+                    link_bytes: t.engine.committed_link_bytes(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Takes everything queued for `tenant` by other tenants' decisions
+    /// (coordinated updates — e.g. an eviction — waiting for the
+    /// tenant's session to apply them).
+    pub fn take_mailbox(&mut self, tenant: &str) -> Vec<ControlUpdate> {
+        self.tenants
+            .iter_mut()
+            .find(|t| t.name == tenant)
+            .map(|t| std::mem::take(&mut t.mailbox))
+            .unwrap_or_default()
+    }
+
+    /// The contention the named tenant solves under: shared tiers (edge,
+    /// cloud) inflated by the *other* tenants' committed load over the
+    /// frame-period capacity. The device tier is each model's own
+    /// hardware and never contended. Neutral for a single-tenant fleet.
+    fn contention_excluding(&self, idx: usize) -> TierContention {
+        let mut contention = TierContention::neutral();
+        if self.tenants.len() < 2 {
+            return contention;
+        }
+        for tier in [Tier::Edge, Tier::Cloud] {
+            let others: f64 = self
+                .tenants
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != idx)
+                .map(|(_, t)| t.engine.committed_s()[tier.rank()])
+                .sum();
+            contention.factors[tier.rank()] = 1.0 + others / self.options.frame_period_s;
+        }
+        contention
+    }
+
+    /// Ingests one observation on behalf of `tenant` and arbitrates.
+    /// Returns every update this decision produced — the first entry
+    /// (when present) targets the ingesting tenant; updates for *other*
+    /// tenants (coordinated evictions) are also queued in their
+    /// mailboxes, so their sessions pick them up independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tenant` is not registered.
+    pub fn ingest(&mut self, tenant: &str, obs: &Observation) -> Vec<FleetUpdate> {
+        let idx = self
+            .tenants
+            .iter()
+            .position(|t| t.name == tenant)
+            .unwrap_or_else(|| panic!("unknown fleet tenant {tenant:?}"));
+
+        // Budget-window clock: replenish at every window boundary.
+        if self
+            .ingests
+            .is_multiple_of(u64::from(self.options.budget_window))
+        {
+            self.window_spent = 0;
+        }
+        self.ingests += 1;
+
+        let multi = self.tenants.len() > 1;
+        let tenant_state = &mut self.tenants[idx];
+        let cooling = tenant_state.cooldown_left > 0;
+        if cooling {
+            tenant_state.cooldown_left -= 1;
+        }
+        let budget_spent = self.window_spent >= self.options.reconfig_budget;
+        // Single-tenant fleets never gate: they must decide exactly like
+        // a plain per-session controller.
+        let allow_plan = !multi || (!cooling && !budget_spent);
+
+        let Some(decision) = tenant_state.engine.absorb_and_decide(obs) else {
+            return Vec::new(); // invalid reading or calibration sample
+        };
+        let wants_plan = matches!(decision, Decision::Local(_) | Decision::Full);
+        if wants_plan && !allow_plan {
+            // Withheld without touching the hysteresis references: the
+            // same drift re-triggers once the gate lifts.
+            if budget_spent {
+                self.held_by_budget += 1;
+            } else {
+                self.held_by_cooldown += 1;
+            }
+            return Vec::new();
+        }
+        // Contention is only consulted by re-partition solves, and
+        // computing it walks every co-tenant's plan — keep it off the
+        // (overwhelmingly common) hold/resize path.
+        let contention = if wants_plan && multi {
+            self.contention_excluding(idx)
+        } else {
+            TierContention::neutral()
+        };
+        let update = self.tenants[idx].engine.execute(decision, obs, &contention);
+
+        let mut out = Vec::new();
+        if let Some(update) = update {
+            let planned = matches!(update, ControlUpdate::Plan(_));
+            if planned {
+                let tenant_state = &mut self.tenants[idx];
+                tenant_state.plan_changes += 1;
+                // A tenant's engine state is linear, so this plan change
+                // supersedes any plan update still waiting in its
+                // mailbox (queued by an earlier arbitration but not yet
+                // applied by the session): applying the stale one later
+                // would revert the pipeline to a plan the engine has
+                // already moved past. Pool resizes stay — they are
+                // orthogonal to the plan.
+                tenant_state
+                    .mailbox
+                    .retain(|u| matches!(u, ControlUpdate::Pool(_)));
+                if multi {
+                    tenant_state.cooldown_left = self.options.cooldown;
+                    self.window_spent += 1;
+                }
+            }
+            out.push(FleetUpdate {
+                tenant: self.tenants[idx].name.clone(),
+                update,
+            });
+            if planned && multi {
+                out.extend(self.arbitrate(idx));
+            }
+        }
+        if out.len() > 1 {
+            self.arbitrations += 1;
+        }
+        out
+    }
+
+    /// After a plan change by `caller`, checks the shared tiers for
+    /// overcommitment and evicts the lowest-weight co-tenant from each
+    /// overcommitted tier (only when it outranks the caller's weight —
+    /// no tenant is evicted to serve a lower-priority one).
+    fn arbitrate(&mut self, caller: usize) -> Vec<FleetUpdate> {
+        let mut out = Vec::new();
+        let caller_weight = self.tenants[caller].weight;
+        for tier in [Tier::Edge, Tier::Cloud] {
+            let rank = tier.rank();
+            let total: f64 = self
+                .tenants
+                .iter()
+                .map(|t| t.engine.committed_s()[rank])
+                .sum();
+            if total <= self.options.frame_period_s {
+                continue;
+            }
+            // Victim: the lowest-weight other tenant with load on the
+            // tier, and strictly below the caller's priority.
+            let victim = self
+                .tenants
+                .iter()
+                .enumerate()
+                .filter(|(i, t)| {
+                    *i != caller && t.engine.committed_s()[rank] > 0.0 && t.weight < caller_weight
+                })
+                .min_by(|(_, a), (_, b)| a.weight.total_cmp(&b.weight))
+                .map(|(i, _)| i);
+            let Some(victim) = victim else {
+                continue;
+            };
+            if self.window_spent >= self.options.reconfig_budget {
+                self.held_by_budget += 1;
+                continue;
+            }
+            let contention = self.contention_excluding(victim);
+            let Some(plan) = self.tenants[victim].engine.evict_from(tier, &contention) else {
+                continue;
+            };
+            self.evictions += 1;
+            self.window_spent += 1;
+            let tenant = &mut self.tenants[victim];
+            tenant.plan_changes += 1;
+            tenant.cooldown_left = self.options.cooldown;
+            let update = ControlUpdate::Plan(plan);
+            tenant.mailbox.push(update.clone());
+            out.push(FleetUpdate {
+                tenant: tenant.name.clone(),
+                update,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapt::HysteresisLocal;
+    use d3_model::zoo;
+    use d3_partition::{EvenSplit, HpaOptions, Partitioner, Problem};
+    use d3_simnet::{NetworkCondition, TierProfiles};
+
+    fn engine(seed_graph: &d3_model::DnnGraph) -> AdaptiveEngine {
+        let p = Problem::new(
+            seed_graph,
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::WiFi,
+        );
+        let a = EvenSplit.partition(&p).unwrap();
+        AdaptiveEngine::with_assignment(
+            p,
+            a,
+            HpaOptions::paper(),
+            Box::new(HysteresisLocal::default()),
+        )
+    }
+
+    fn net(mbps: f64) -> Observation {
+        Observation::Network {
+            net: NetworkCondition::custom_backbone(mbps),
+        }
+    }
+
+    #[test]
+    fn single_tenant_fleet_matches_plain_engine_exactly() {
+        let g = zoo::chain_cnn(6, 8, 16);
+        let mut plain = engine(&g);
+        let mut fleet = FleetController::new(FleetOptions::new().budget(1, 4).cooldown(16));
+        fleet.register("solo", 1.0, engine(&g));
+        // A trace that would blow through the (tiny) budget if gating
+        // applied — single-tenant fleets must not gate.
+        for mbps in [31.53, 4.0, 31.53, 3.0, 45.0, 2.0, 31.53] {
+            let obs = net(mbps);
+            let plain_update = plain.ingest(&obs);
+            let fleet_updates = fleet.ingest("solo", &obs);
+            assert_eq!(plain_update.is_some(), !fleet_updates.is_empty());
+            assert_eq!(
+                fleet.engine("solo").unwrap().assignment().tiers(),
+                plain.assignment().tiers(),
+                "single-tenant fleet diverged from the plain engine"
+            );
+        }
+        let solo = fleet.engine("solo").unwrap();
+        assert_eq!(solo.full_updates, plain.full_updates);
+        assert_eq!(solo.local_updates, plain.local_updates);
+        assert_eq!(solo.suppressed, plain.suppressed);
+        assert_eq!(fleet.held_by_budget + fleet.held_by_cooldown, 0);
+    }
+
+    #[test]
+    fn ledger_sums_tenant_commitments() {
+        let g = zoo::chain_cnn(6, 8, 16);
+        let mut fleet = FleetController::new(FleetOptions::new());
+        fleet.register("a", 1.0, engine(&g));
+        fleet.register("b", 2.0, engine(&g));
+        let ledger = fleet.ledger();
+        assert_eq!(ledger.commits.len(), 2);
+        for tier in Tier::ALL {
+            let total: f64 = ledger.commits.iter().map(|c| c.tier_s[tier.rank()]).sum();
+            assert!((ledger.tier_committed_s(tier) - total).abs() < 1e-12);
+        }
+        // Even split forces crossings, so some link carries bytes.
+        assert!(
+            ledger
+                .link_committed_bytes(Tier::Device, Tier::Edge)
+                .unwrap()
+                > 0
+        );
+        assert_eq!(ledger.link_committed_bytes(Tier::Edge, Tier::Edge), None);
+    }
+
+    #[test]
+    fn budget_gates_plan_changes_and_replenishes() {
+        let g = zoo::chain_cnn(6, 8, 16);
+        // Two tenants, budget of 1 plan change per window of 4 ingests,
+        // no cooldown so only the budget gates.
+        let mut fleet = FleetController::new(FleetOptions::new().budget(1, 4).cooldown(0));
+        fleet.register("a", 1.0, engine(&g));
+        fleet.register("b", 1.0, engine(&g));
+        // a's collapse consumes the window's budget…
+        assert!(!fleet.ingest("a", &net(2.0)).is_empty());
+        // …so b's equally drastic drift is held.
+        assert!(fleet.ingest("b", &net(2.0)).is_empty());
+        assert_eq!(fleet.held_by_budget, 1);
+        // Burn through the rest of the window; the next window
+        // replenishes and b's still-standing drift re-triggers.
+        let _ = fleet.ingest("a", &net(2.1));
+        let _ = fleet.ingest("b", &net(2.1));
+        assert!(!fleet.ingest("b", &net(2.0)).is_empty());
+    }
+
+    #[test]
+    fn eviction_picks_the_lowest_weight_tenant() {
+        let g = zoo::chain_cnn(6, 8, 16);
+        // A microscopic frame period guarantees any shared-tier load is
+        // an overcommit, forcing the eviction path.
+        let mut fleet = FleetController::new(
+            FleetOptions::new()
+                .frame_period(1e-7)
+                .cooldown(0)
+                .budget(8, 64),
+        );
+        fleet.register("lo", 1.0, engine(&g));
+        fleet.register("mid", 2.0, engine(&g));
+        fleet.register("hi", 3.0, engine(&g));
+        let updates = fleet.ingest("hi", &net(2.0));
+        assert!(
+            updates.iter().any(|u| u.tenant == "hi"),
+            "the triggering tenant repartitions"
+        );
+        assert!(fleet.evictions >= 1, "overcommit must evict");
+        // The first eviction (edge) targets the lowest weight; a second
+        // overcommitted tier may then evict the next-lowest, but never
+        // the high-priority caller.
+        let victims: Vec<&str> = updates
+            .iter()
+            .filter(|u| u.tenant != "hi")
+            .map(|u| u.tenant.as_str())
+            .collect();
+        assert_eq!(
+            victims.first(),
+            Some(&"lo"),
+            "the lowest-weight tenant is evicted first, got {victims:?}"
+        );
+        // The victim's update waits in its mailbox.
+        assert!(!fleet.take_mailbox("lo").is_empty());
+        assert!(fleet.take_mailbox("lo").is_empty(), "mailbox drains once");
+        assert!(fleet.arbitrations >= 1);
+    }
+
+    #[test]
+    fn own_plan_change_supersedes_stale_mailbox_plans() {
+        // An eviction sits undelivered in the victim's mailbox; before
+        // its session polls, the victim's own observation triggers a
+        // fresh re-partition (solved from the post-eviction engine
+        // state). The stale mailbox plan must be dropped — applying it
+        // afterwards would revert the pipeline to a plan the engine has
+        // already moved past.
+        let g = zoo::chain_cnn(6, 8, 16);
+        let mut fleet = FleetController::new(
+            FleetOptions::new()
+                .frame_period(1e-7)
+                .cooldown(0)
+                .budget(16, 64),
+        );
+        fleet.register("lo", 1.0, engine(&g));
+        fleet.register("hi", 2.0, engine(&g));
+        let updates = fleet.ingest("hi", &net(2.0));
+        assert!(
+            updates.iter().any(|u| u.tenant == "lo"),
+            "hi's collapse evicts lo"
+        );
+        // lo's own drift triggers before its session drained the
+        // mailbox: one of its vertices becomes 1000x slower on its
+        // current tier, forcing a local repair that actually moves it.
+        let engine = fleet.engine("lo").unwrap();
+        let input = engine.graph().input();
+        let (vertex, tier) = Tier::ALL
+            .into_iter()
+            .find_map(|t| {
+                engine
+                    .assignment()
+                    .segment(t)
+                    .into_iter()
+                    .find(|&id| id != input)
+                    .map(|id| (id, t))
+            })
+            .expect("lo's plan places layers somewhere");
+        let seconds = engine.problem().vertex_time(vertex, tier) * 1e3;
+        let own = fleet.ingest(
+            "lo",
+            &Observation::VertexTime {
+                vertex,
+                tier,
+                seconds,
+            },
+        );
+        assert!(
+            own.iter().any(|u| u.tenant == "lo"),
+            "lo repartitions on its own drift: {own:?}"
+        );
+        assert!(
+            fleet.take_mailbox("lo").is_empty(),
+            "the superseded eviction must not survive in the mailbox"
+        );
+    }
+
+    #[test]
+    fn contention_inflates_only_shared_tiers() {
+        let g = zoo::chain_cnn(6, 8, 16);
+        let mut fleet = FleetController::new(FleetOptions::new());
+        fleet.register("a", 1.0, engine(&g));
+        fleet.register("b", 1.0, engine(&g));
+        let contention = fleet.contention_excluding(0);
+        assert_eq!(contention.factors[Tier::Device.rank()], 1.0);
+        assert!(contention.factors[Tier::Edge.rank()] >= 1.0);
+        assert!(contention.factors[Tier::Cloud.rank()] >= 1.0);
+        // b has edge/cloud load under the even split, so a's view of
+        // those tiers is strictly inflated.
+        assert!(
+            contention.factors[Tier::Edge.rank()] > 1.0
+                || contention.factors[Tier::Cloud.rank()] > 1.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fleet tenant")]
+    fn unknown_tenant_panics() {
+        let mut fleet = FleetController::new(FleetOptions::new());
+        let _ = fleet.ingest("ghost", &net(10.0));
+    }
+}

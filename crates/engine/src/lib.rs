@@ -48,6 +48,7 @@
 pub mod adapt;
 pub mod deploy;
 pub mod distributed;
+pub mod fleet;
 pub mod pipeline;
 pub mod stream;
 pub mod telemetry;
@@ -55,20 +56,21 @@ pub mod wire;
 
 pub use adapt::{
     AdaptiveEngine, AdaptivePolicy, AutoscalePolicy, ControlUpdate, Decision, FullResolve,
-    HysteresisLocal, NoAdapt, PlanUpdate, PolicyView, PoolUpdate, UpdateScope,
+    HysteresisLocal, NoAdapt, PlanUpdate, PolicyView, PoolUpdate, TierContention, UpdateScope,
 };
 pub use deploy::{deploy_strategy, Deployment, Strategy, VsmConfig};
 pub use distributed::run_distributed;
+pub use fleet::{FleetController, FleetOptions, FleetUpdate, ResourceLedger, TenantCommit};
 pub use pipeline::{
     bottleneck_s, render_gantt, simulate_stream, simulate_stream_trace, FrameTrace, StageSpec,
     StreamStats,
 };
 pub use stream::{
-    BatchOptions, FrameId, InjectedDelay, PlanSwap, PoolOptions, PoolResize, PoolSize,
-    StagePoolStats, StreamBuildError, StreamOptions, StreamPipeline, StreamRecvError, StreamReport,
-    SubmitError,
+    BatchOptions, FrameId, InjectedDelay, LinkShaping, PlanSwap, PoolOptions, PoolResize, PoolSize,
+    ProbeOptions, StagePoolStats, StreamBuildError, StreamOptions, StreamPipeline, StreamRecvError,
+    StreamReport, SubmitError,
 };
 pub use telemetry::{
     predicted_observations, profile_observations, Observation, TelemetrySnapshot, TelemetryTap,
 };
-pub use wire::{decode, encode, wire_size, WireError};
+pub use wire::{decode, encode, measured_mbps, shaped_delay, wire_size, WireError};

@@ -59,18 +59,18 @@ use crate::adapt::PlanUpdate;
 use crate::deploy::{Deployment, VsmConfig};
 use crate::pipeline::{percentile, simulate_stream, StageSpec, StreamStats};
 use crate::telemetry::{Observation, TelemetrySnapshot, TelemetryTap};
-use crate::wire;
+use crate::wire::{self, measured_mbps, shaped_delay};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use d3_model::{
     crossing_tensors, walk_segment, DnnGraph, Executor, LayerOp, NodeId, SegmentExecutor,
 };
 use d3_partition::Assignment;
-use d3_simnet::Tier;
+use d3_simnet::{LinkRates, NetworkCondition, Tier};
 use d3_tensor::Tensor;
 use d3_vsm::TiledRuns;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -255,8 +255,149 @@ pub struct InjectedDelay {
     pub delay: Duration,
 }
 
+/// Simulated per-link bandwidth: the sending stage sleeps the
+/// serialization delay ([`crate::wire::shaped_delay`]) of every transfer
+/// before handing it downstream, so the in-process channels behave like
+/// bandwidth-limited wires. `f64::INFINITY` leaves a link unshaped.
+/// This is what gives the [`BandwidthProber`](ProbeOptions) something
+/// real to measure in tests and latency-bound benchmarks — and it is
+/// host-independent, like the stage-delay fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkShaping {
+    /// Device→edge link rate in Mbit/s (`INFINITY` = unshaped).
+    pub device_edge_mbps: f64,
+    /// Edge→cloud (backbone) link rate in Mbit/s (`INFINITY` = unshaped).
+    pub edge_cloud_mbps: f64,
+}
+
+impl LinkShaping {
+    /// No shaping on either link.
+    #[must_use]
+    pub fn unshaped() -> Self {
+        Self {
+            device_edge_mbps: f64::INFINITY,
+            edge_cloud_mbps: f64::INFINITY,
+        }
+    }
+
+    /// Shapes only the edge→cloud backbone.
+    #[must_use]
+    pub fn backbone(mbps: f64) -> Self {
+        Self {
+            device_edge_mbps: f64::INFINITY,
+            edge_cloud_mbps: mbps,
+        }
+    }
+
+    /// Shapes both links.
+    #[must_use]
+    pub fn links(device_edge_mbps: f64, edge_cloud_mbps: f64) -> Self {
+        Self {
+            device_edge_mbps,
+            edge_cloud_mbps,
+        }
+    }
+
+    /// The serialization delay of `bytes` leaving stage `rank`
+    /// (0: device→edge, 1: edge→cloud; the cloud has no out-link).
+    fn delay(&self, out_link: usize, bytes: u64) -> Duration {
+        match out_link {
+            0 => shaped_delay(bytes, self.device_edge_mbps),
+            1 => shaped_delay(bytes, self.edge_cloud_mbps),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+/// Bandwidth-prober configuration: measure real inter-stage transfer
+/// times and publish the resulting [`Observation::Network`] estimates
+/// through the pipeline's telemetry channel — the measured replacement
+/// for injected network observations.
+///
+/// Transfers are timestamped **piggyback** on frame sends (every
+/// [`every`](Self::every)-th frame's batch carries a stamp; the
+/// receiving stage turns it into a rate sample), so a busy stream is
+/// probed for free. An optional **idle fallback** thread probes a link
+/// with a synthetic payload whenever no stamped transfer crossed it for
+/// [`idle`](Self::idle), so estimates stay fresh through traffic gaps.
+/// Samples are averaged over [`window`](Self::window)-sized windows and
+/// folded into a belief seeded from [`initial`](Self::initial); each
+/// published observation carries the full belief, so a controller
+/// ingests it exactly like an injected condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeOptions {
+    /// Stamp every Nth frame's transfer (by frame id; `1` = every
+    /// frame, `0` disables piggyback probing).
+    pub every: u64,
+    /// Samples averaged per published estimate (per link).
+    pub window: usize,
+    /// Idle-probe fallback period: when a link saw no sample for this
+    /// long, probe it with a synthetic payload. `None` disables the
+    /// fallback thread.
+    pub idle: Option<Duration>,
+    /// Synthetic payload size of an idle probe, in bytes.
+    pub idle_bytes: u64,
+    /// Belief seed. `None` lets the runtime fill in the model's
+    /// configured network condition (falling back to Wi-Fi).
+    pub initial: Option<NetworkCondition>,
+}
+
+impl Default for ProbeOptions {
+    fn default() -> Self {
+        Self {
+            every: 4,
+            window: 4,
+            idle: None,
+            idle_bytes: 64 * 1024,
+            initial: None,
+        }
+    }
+}
+
+impl ProbeOptions {
+    /// Default probing: piggyback every 4th frame, 4-sample windows, no
+    /// idle fallback.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the piggyback period (frames between stamped transfers).
+    #[must_use]
+    pub fn every(mut self, frames: u64) -> Self {
+        self.every = frames;
+        self
+    }
+
+    /// Sets the per-link averaging window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is zero.
+    #[must_use]
+    pub fn window(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "probe window must be positive");
+        self.window = samples;
+        self
+    }
+
+    /// Enables the idle-probe fallback with the given period.
+    #[must_use]
+    pub fn idle_fallback(mut self, period: Duration) -> Self {
+        self.idle = Some(period);
+        self
+    }
+
+    /// Sets the belief seed (the condition estimates start from).
+    #[must_use]
+    pub fn initial(mut self, net: NetworkCondition) -> Self {
+        self.initial = Some(net);
+        self
+    }
+}
+
 /// Configuration of a streaming session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamOptions {
     /// Bound of every inter-stage queue (and of the result queue). Depth
     /// trades latency under overload for tolerance to jitter; once the
@@ -275,6 +416,11 @@ pub struct StreamOptions {
     /// Optional injected per-frame stage delay (fault injection for
     /// tests and latency-bound benchmarks; default: none).
     pub chaos: Option<InjectedDelay>,
+    /// Optional simulated per-link bandwidth (default: unshaped).
+    pub shaping: Option<LinkShaping>,
+    /// Optional bandwidth prober publishing measured
+    /// [`Observation::Network`] estimates (default: off).
+    pub probe: Option<ProbeOptions>,
 }
 
 impl Default for StreamOptions {
@@ -285,6 +431,8 @@ impl Default for StreamOptions {
             pool: PoolOptions::default(),
             batching: BatchOptions::default(),
             chaos: None,
+            shaping: None,
+            probe: None,
         }
     }
 }
@@ -351,6 +499,21 @@ impl StreamOptions {
     pub fn inject_delay(mut self, tier: Tier, every: u64, delay: Duration) -> Self {
         assert!(every > 0, "delay period must be positive");
         self.chaos = Some(InjectedDelay { tier, every, delay });
+        self
+    }
+
+    /// Simulates bandwidth-limited inter-stage links (see
+    /// [`LinkShaping`]).
+    #[must_use]
+    pub fn shape_links(mut self, shaping: LinkShaping) -> Self {
+        self.shaping = Some(shaping);
+        self
+    }
+
+    /// Enables the bandwidth prober (see [`ProbeOptions`]).
+    #[must_use]
+    pub fn probe(mut self, probe: ProbeOptions) -> Self {
+        self.probe = Some(probe);
         self
     }
 }
@@ -472,16 +635,139 @@ struct Frame {
     payload: Vec<(NodeId, Bytes)>,
 }
 
+/// A probe timestamp piggybacked on one inter-stage transfer: when the
+/// producing stage handed the batch to the wire, and how many payload
+/// bytes it carried. The consuming stage turns it into a bandwidth
+/// sample.
+#[derive(Clone, Copy)]
+struct LinkStamp {
+    sent_at: Instant,
+    bytes: u64,
+}
+
 /// The unit travelling the inter-stage queues: one or more frames with
 /// contiguous ascending ids (singletons unless batching is on).
 struct BatchMsg {
     frames: Vec<Frame>,
+    /// Present on (a sampled subset of) inter-stage transfers when the
+    /// bandwidth prober is on; always `None` at ingress.
+    stamp: Option<LinkStamp>,
 }
 
 impl BatchMsg {
     /// Id of the first frame — the resequencing key.
     fn first_id(&self) -> u64 {
         self.frames[0].id
+    }
+}
+
+/// Shared bandwidth-prober state: the per-link sample windows and the
+/// current belief (the last published [`LinkRates`], seeded from the
+/// configured condition). One instance per pipeline, shared by every
+/// stage worker and the idle-fallback thread.
+struct ProbeShared {
+    rates: LinkRates,
+    /// Pending rate samples per link (0: device→edge, 1: edge→cloud).
+    samples: [Vec<f64>; 2],
+    /// When each link last produced a sample (drives the idle fallback).
+    last_sample: [Option<Instant>; 2],
+}
+
+/// The measured-bandwidth prober: accumulates per-link transfer samples
+/// and publishes windowed [`Observation::Network`] estimates over the
+/// telemetry channel (best-effort, like every telemetry producer).
+struct Prober {
+    shared: Mutex<ProbeShared>,
+    window: usize,
+    telemetry: Sender<TelemetrySnapshot>,
+}
+
+impl Prober {
+    fn new(initial: NetworkCondition, window: usize, telemetry: Sender<TelemetrySnapshot>) -> Self {
+        Self {
+            shared: Mutex::new(ProbeShared {
+                rates: initial.rates(),
+                samples: [Vec::new(), Vec::new()],
+                last_sample: [None; 2],
+            }),
+            window: window.max(1),
+            telemetry,
+        }
+    }
+
+    /// Folds one timestamped transfer into the link's sample window;
+    /// when the window fills, updates the belief and publishes it.
+    fn record(&self, link: usize, bytes: u64, elapsed: Duration) {
+        if bytes == 0 {
+            return; // nothing crossed; no information about the link
+        }
+        let mbps = measured_mbps(bytes, elapsed);
+        let mut shared = self.shared.lock().expect("probe state poisoned");
+        shared.last_sample[link] = Some(Instant::now());
+        shared.samples[link].push(mbps);
+        if shared.samples[link].len() < self.window {
+            return;
+        }
+        let mean = shared.samples[link].iter().sum::<f64>() / shared.samples[link].len() as f64;
+        shared.samples[link].clear();
+        match link {
+            0 => shared.rates.device_edge_mbps = mean,
+            _ => shared.rates.edge_cloud_mbps = mean,
+        }
+        let net = NetworkCondition::Custom(shared.rates);
+        drop(shared);
+        let _ = self.telemetry.try_send(TelemetrySnapshot {
+            observations: vec![Observation::Network { net }],
+        });
+    }
+
+    /// Whether `link` produced no sample within `horizon`.
+    fn stale(&self, link: usize, horizon: Duration) -> bool {
+        let shared = self.shared.lock().expect("probe state poisoned");
+        shared.last_sample[link].is_none_or(|at| at.elapsed() >= horizon)
+    }
+
+    /// The current belief.
+    fn rates(&self) -> LinkRates {
+        self.shared.lock().expect("probe state poisoned").rates
+    }
+}
+
+/// The idle-fallback loop: wakes every `period`, and for each link that
+/// produced no sample in the last period performs a synthetic shaped
+/// transfer of `bytes` and records it — so bandwidth estimates stay
+/// fresh while no frames flow. Sleeps in short slices so a dropping
+/// pipeline joins it promptly.
+fn idle_probe_loop(
+    probe: Arc<Prober>,
+    stop: Arc<AtomicBool>,
+    shaping: Option<LinkShaping>,
+    period: Duration,
+    bytes: u64,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        let mut slept = Duration::ZERO;
+        while slept < period && !stop.load(Ordering::Relaxed) {
+            let slice = (period - slept).min(Duration::from_millis(10));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        for link in 0..2usize {
+            if !probe.stale(link, period) {
+                continue;
+            }
+            let t0 = Instant::now();
+            if let Some(shaping) = shaping {
+                let delay = shaping.delay(link, bytes);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+            probe.record(link, bytes, t0.elapsed().max(Duration::from_nanos(100)));
+        }
     }
 }
 
@@ -600,6 +886,13 @@ struct StageCtx {
     forward_ids: HashSet<NodeId>,
     output_node: NodeId,
     is_last: bool,
+    /// Simulated out-link bandwidth (the stage sleeps the serialization
+    /// delay before forwarding).
+    shaping: Option<LinkShaping>,
+    /// Shared bandwidth-prober state, when probing is on.
+    probe: Option<Arc<Prober>>,
+    /// Stamp every Nth frame's transfer (0 disables piggyback stamps).
+    probe_every: u64,
 }
 
 /// What a stage worker accumulated over its lifetime.
@@ -821,6 +1114,9 @@ struct SpawnSpec<'a> {
     pool: [usize; 3],
     batch: BatchOptions,
     chaos: Option<InjectedDelay>,
+    shaping: Option<LinkShaping>,
+    probe: Option<Arc<Prober>>,
+    probe_every: u64,
     /// First frame id this generation will see (the resequencers'
     /// starting point; every earlier id has already drained).
     start_seq: u64,
@@ -908,6 +1204,9 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
                 forward_ids: spec.routing.forward_ids[rank].clone(),
                 output_node: spec.output_node,
                 is_last: rank == 2,
+                shaping: spec.shaping,
+                probe: spec.probe.clone(),
+                probe_every: spec.probe_every,
             };
             let sink = sink_proto.clone();
             let rx = rx.clone();
@@ -1075,6 +1374,13 @@ pub struct StreamPipeline {
     telemetry_every: u64,
     batch: BatchOptions,
     chaos: Option<InjectedDelay>,
+    shaping: Option<LinkShaping>,
+    /// Shared bandwidth-prober state (piggyback stamps + idle fallback).
+    probe: Option<Arc<Prober>>,
+    probe_every: u64,
+    /// Idle-fallback prober thread and its stop flag (joined on drop).
+    prober_stop: Option<Arc<AtomicBool>>,
+    prober_thread: Option<JoinHandle<()>>,
     /// Live worker count per stage rank.
     pool: [usize; 3],
     input_node: NodeId,
@@ -1159,6 +1465,27 @@ impl StreamPipeline {
         let output_node = outputs[0];
         let routing = plan_routing(&graph, &deployment.assignment, output_node)?;
         let (telemetry_tx, telemetry_rx) = bounded::<TelemetrySnapshot>(TELEMETRY_DEPTH);
+        let probe = options.probe.map(|popts| {
+            Arc::new(Prober::new(
+                popts.initial.unwrap_or(NetworkCondition::WiFi),
+                popts.window,
+                telemetry_tx.clone(),
+            ))
+        });
+        let probe_every = options.probe.map_or(0, |p| p.every);
+        let (prober_thread, prober_stop) = match (&probe, options.probe.and_then(|p| p.idle)) {
+            (Some(prober), Some(period)) if period > Duration::ZERO => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let (prober, stop_flag) = (prober.clone(), stop.clone());
+                let shaping = options.shaping;
+                let bytes = options.probe.map_or(0, |p| p.idle_bytes).max(1);
+                let handle = std::thread::spawn(move || {
+                    idle_probe_loop(prober, stop_flag, shaping, period, bytes);
+                });
+                (Some(handle), Some(stop))
+            }
+            _ => (None, None),
+        };
         let spawned = spawn_stages(
             &SpawnSpec {
                 graph: &graph,
@@ -1172,6 +1499,9 @@ impl StreamPipeline {
                 pool,
                 batch: options.batching,
                 chaos: options.chaos,
+                shaping: options.shaping,
+                probe: probe.clone(),
+                probe_every,
                 start_seq: 0,
             },
             vec![None, None, None],
@@ -1190,6 +1520,11 @@ impl StreamPipeline {
             telemetry_every: options.telemetry_every,
             batch: options.batching,
             chaos: options.chaos,
+            shaping: options.shaping,
+            probe,
+            probe_every,
+            prober_stop,
+            prober_thread,
             pool,
             tx_in: Some(spawned.tx_in),
             rx_out: spawned.rx_out,
@@ -1249,6 +1584,7 @@ impl StreamPipeline {
         let id = FrameId(frame.id);
         match tx.try_send(BatchMsg {
             frames: vec![frame],
+            stamp: None,
         }) {
             Ok(()) => {
                 *next += 1;
@@ -1419,6 +1755,13 @@ impl StreamPipeline {
         }
     }
 
+    /// The bandwidth prober's current belief (the last published
+    /// per-link rates), when probing is enabled.
+    #[must_use]
+    pub fn probed_rates(&self) -> Option<LinkRates> {
+        self.probe.as_ref().map(|p| p.rates())
+    }
+
     /// Swaps the running pipeline onto `update`'s plan **without
     /// dropping a frame**: admissions pause, every in-flight frame
     /// completes under the old plan and lands in a reorder buffer
@@ -1569,6 +1912,9 @@ impl StreamPipeline {
                 pool: self.pool,
                 batch: self.batch,
                 chaos: self.chaos,
+                shaping: self.shaping,
+                probe: self.probe.clone(),
+                probe_every: self.probe_every,
                 start_seq,
             },
             reuse,
@@ -1720,6 +2066,14 @@ impl Drop for StreamPipeline {
         for helper in self.aux.drain(..) {
             let _ = helper.join();
         }
+        // Stop and join the idle-fallback prober (it sleeps in short
+        // slices, so this returns promptly).
+        if let Some(stop) = self.prober_stop.take() {
+            stop.store(true, Ordering::Relaxed);
+        }
+        if let Some(handle) = self.prober_thread.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -1753,6 +2107,19 @@ fn pump(
     while let Ok(batch) = rx.recv() {
         let first_id = batch.first_id();
         let n_frames = batch.frames.len();
+
+        // A stamped transfer landed: close the bandwidth measurement for
+        // the link feeding this stage (rank 1 ← device→edge, rank 2 ←
+        // edge→cloud).
+        if let (Some(probe), Some(stamp)) = (&ctx.probe, batch.stamp) {
+            if ctx.tier.rank() >= 1 {
+                probe.record(
+                    ctx.tier.rank() - 1,
+                    stamp.bytes,
+                    stamp.sent_at.elapsed().max(Duration::from_nanos(100)),
+                );
+            }
+        }
 
         // Decode every frame's needed tensors (and set aside what must
         // be forwarded in wire form).
@@ -1838,8 +2205,33 @@ fn pump(
                     payload: std::mem::take(forward),
                 });
             }
+            let bytes: u64 = frames
+                .iter()
+                .flat_map(|f| &f.payload)
+                .map(|(_, b)| b.len() as u64)
+                .sum();
+            // Piggyback probe stamp: taken as the transfer *enters* the
+            // wire — before the shaped serialization delay — so the
+            // receiving stage's measurement spans the whole wire time.
+            let stamp = (ctx.probe.is_some()
+                && ctx.probe_every > 0
+                && first_id % ctx.probe_every == 0
+                && bytes > 0)
+                .then(|| LinkStamp {
+                    sent_at: Instant::now(),
+                    bytes,
+                });
+            // Link shaping: sleep the serialization delay of this
+            // transfer. It accrues to encode time, so the report's link
+            // accounting reflects the simulated wire.
+            if let Some(shaping) = ctx.shaping {
+                let delay = shaping.delay(ctx.tier.rank(), bytes);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
             m.encode_s += t2.elapsed().as_secs_f64();
-            StageOut::Forward(BatchMsg { frames })
+            StageOut::Forward(BatchMsg { frames, stamp })
         };
 
         let delivered = match &sink {
@@ -2428,6 +2820,125 @@ mod tests {
         assert_eq!(report.stage_pools[2].resize_events, 2);
     }
 
+    /// Network observations a telemetry tap collected, flattened.
+    fn network_rates(tap: &TelemetryTap) -> Vec<LinkRates> {
+        tap.drain()
+            .iter()
+            .flat_map(|s| &s.observations)
+            .filter_map(|o| match o {
+                Observation::Network { net } => Some(net.rates()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prober_tracks_shaped_link_bandwidth() {
+        // Shape both links to known rates; the piggybacked probe must
+        // publish Network observations tracking them. The measured value
+        // sits at or below the shaped rate (queueing and decode time add
+        // to the wire time) but within the same band.
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let pipeline = pipeline_for(
+            &g,
+            3,
+            None,
+            StreamOptions::new()
+                .capacity(4)
+                .telemetry_every(0)
+                .shape_links(LinkShaping::links(4.0, 2.0))
+                .probe(ProbeOptions::new().every(1).window(2)),
+        );
+        let tap = pipeline.telemetry();
+        let input = Tensor::random(3, 16, 16, 5);
+        for _ in 0..8 {
+            pipeline.submit_blocking(&input).unwrap();
+            let _ = pipeline.recv().unwrap();
+        }
+        let rates = network_rates(&tap);
+        assert!(!rates.is_empty(), "the prober never published");
+        let last = rates.last().unwrap();
+        assert!(
+            last.device_edge_mbps > 4.0 * 0.35 && last.device_edge_mbps < 4.0 * 1.2,
+            "device-edge estimate {} not near the shaped 4.0 Mbps",
+            last.device_edge_mbps
+        );
+        assert!(
+            last.edge_cloud_mbps > 2.0 * 0.35 && last.edge_cloud_mbps < 2.0 * 1.2,
+            "backbone estimate {} not near the shaped 2.0 Mbps",
+            last.edge_cloud_mbps
+        );
+        // The belief accessor agrees with the last publication.
+        let belief = pipeline.probed_rates().unwrap();
+        assert_eq!(belief.edge_cloud_mbps, last.edge_cloud_mbps);
+        let _ = pipeline.close();
+    }
+
+    #[test]
+    fn idle_prober_publishes_without_traffic() {
+        // No frames at all: the idle-fallback thread must keep the
+        // bandwidth estimate fresh on its own.
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(
+            &g,
+            3,
+            None,
+            StreamOptions::new()
+                .telemetry_every(0)
+                .shape_links(LinkShaping::backbone(50.0))
+                .probe(
+                    ProbeOptions::new()
+                        .window(1)
+                        .idle_fallback(Duration::from_millis(5)),
+                ),
+        );
+        let tap = pipeline.telemetry();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut rates = Vec::new();
+        while rates.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+            rates = network_rates(&tap);
+        }
+        assert!(!rates.is_empty(), "idle prober never published");
+        let last = rates.last().unwrap();
+        assert!(
+            last.edge_cloud_mbps > 50.0 * 0.3 && last.edge_cloud_mbps < 50.0 * 1.2,
+            "idle estimate {} not near the shaped 50 Mbps",
+            last.edge_cloud_mbps
+        );
+        drop(pipeline); // joins the prober thread promptly
+    }
+
+    #[test]
+    fn shaped_stream_stays_lossless_and_probing_is_free_of_drops() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(
+            &g,
+            9,
+            None,
+            StreamOptions::new()
+                .capacity(8)
+                .shape_links(LinkShaping::links(20.0, 10.0))
+                .probe(ProbeOptions::new().every(2).window(3)),
+        );
+        let exec = Executor::new(&g, 9);
+        let inputs: Vec<Tensor> = (0..6).map(|k| Tensor::random(3, 16, 16, 70 + k)).collect();
+        for input in &inputs {
+            pipeline.submit_blocking(input).unwrap();
+        }
+        for (k, input) in inputs.iter().enumerate() {
+            let (id, got) = pipeline.recv().unwrap();
+            assert_eq!(id, FrameId(k as u64));
+            assert_eq!(
+                max_abs_diff(&got, &exec.run(input)),
+                Some(0.0),
+                "frame {k} diverged under shaping + probing"
+            );
+        }
+        let report = pipeline.close();
+        assert_eq!(report.measured.frames as u64, report.submitted);
+    }
+
     #[test]
     fn dropping_an_unclosed_pipeline_joins_workers() {
         let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
@@ -2438,5 +2949,120 @@ mod tests {
             pipeline.submit_blocking(&input).unwrap();
         }
         drop(pipeline); // must not hang or leak; Drop joins the workers
+    }
+
+    // ------------------------------------------------------------------
+    // Property tests for the order-keeping primitives: any interleaving
+    // of pooled-worker completions must re-sequence to dense submission
+    // order, and the size-or-deadline batcher must never drop, duplicate
+    // or reorder frames.
+    // ------------------------------------------------------------------
+
+    use proptest::prelude::*;
+
+    /// Deterministic Fisher–Yates driven by SplitMix64 — the arbitrary
+    /// completion interleaving of a worker pool.
+    fn shuffle<T>(items: &mut [T], mut seed: u64) {
+        let mut next = move || {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..items.len()).rev() {
+            items.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+    }
+
+    /// One completed unit per batch: `(first_id, frame_count, frames)`.
+    fn completion_units(sizes: &[usize]) -> (u64, Vec<(u64, usize, Vec<(FrameId, Tensor)>)>) {
+        let mut units = Vec::new();
+        let mut next_id = 0u64;
+        for &size in sizes {
+            let frames: Vec<(FrameId, Tensor)> = (next_id..next_id + size as u64)
+                .map(|id| (FrameId(id), Tensor::zeros(1, 1, 1)))
+                .collect();
+            units.push((next_id, size, frames));
+            next_id += size as u64;
+        }
+        (next_id, units)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The resequencer releases any interleaving of pooled
+        /// completions strictly in submission order with dense ids —
+        /// nothing dropped, nothing duplicated.
+        #[test]
+        fn resequencer_restores_any_interleaving(
+            sizes in prop::collection::vec(1usize..=3, 1..=10),
+            shuffle_seed in any::<u64>(),
+        ) {
+            let (total, mut units) = completion_units(&sizes);
+            shuffle(&mut units, shuffle_seed);
+            let (tx_seq, rx_seq) = bounded::<(u64, usize, StageOut)>(units.len() + 1);
+            let (tx_out, rx_out) = bounded::<(FrameId, Tensor)>(total as usize + 1);
+            let handle = std::thread::spawn(move || {
+                resequencer(rx_seq, 0, None, Some(tx_out));
+            });
+            for (first, count, frames) in units {
+                prop_assert!(
+                    tx_seq.send((first, count, StageOut::Results(frames))).is_ok(),
+                    "resequencer died early"
+                );
+            }
+            drop(tx_seq);
+            handle.join().expect("resequencer exits cleanly");
+            let mut released = Vec::new();
+            while let Ok((id, _)) = rx_out.try_recv() {
+                released.push(id.0);
+            }
+            let expect: Vec<u64> = (0..total).collect();
+            prop_assert_eq!(released, expect);
+        }
+
+        /// The size-or-deadline batcher forwards every admitted frame
+        /// exactly once, in submission order, never exceeding the batch
+        /// bound.
+        #[test]
+        fn batcher_never_drops_duplicates_or_reorders(
+            n in 1usize..=24,
+            max_frames in 1usize..=5,
+            deadline_ms in 0u64..=2,
+        ) {
+            let (tx_in, rx_in) = bounded::<BatchMsg>(n + 1);
+            let (tx_out, rx_out) = bounded::<BatchMsg>(n + 1);
+            for id in 0..n as u64 {
+                let fed = tx_in.send(BatchMsg {
+                    frames: vec![Frame {
+                        id,
+                        submitted_at: Instant::now(),
+                        payload: Vec::new(),
+                    }],
+                    stamp: None,
+                });
+                prop_assert!(fed.is_ok(), "feeding the batcher failed");
+            }
+            drop(tx_in); // admissions close; the batcher must flush
+            let deadline = Duration::from_millis(deadline_ms);
+            let handle = std::thread::spawn(move || {
+                batcher(rx_in, tx_out, max_frames.max(2), deadline);
+            });
+            handle.join().expect("batcher exits cleanly");
+            let mut seen = Vec::new();
+            while let Ok(batch) = rx_out.try_recv() {
+                prop_assert!(
+                    batch.frames.len() <= max_frames.max(2),
+                    "batch of {} exceeds the bound {}",
+                    batch.frames.len(),
+                    max_frames.max(2)
+                );
+                seen.extend(batch.frames.iter().map(|f| f.id));
+            }
+            let expect: Vec<u64> = (0..n as u64).collect();
+            prop_assert_eq!(seen, expect);
+        }
     }
 }

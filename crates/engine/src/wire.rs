@@ -7,8 +7,17 @@
 //! it, so serialization is exercised on the real data path (and its
 //! size-on-wire is what the communication accounting measures).
 
+//!
+//! It is also where the transport's *timing* primitives live: the
+//! simulated per-link serialization delay ([`shaped_delay`]) that the
+//! streaming pipeline's link shaping sleeps, and the inverse
+//! ([`measured_mbps`]) the bandwidth prober uses to turn a timestamped
+//! transfer back into a rate estimate for
+//! [`Observation::Network`](crate::Observation::Network).
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use d3_tensor::Tensor;
+use std::time::Duration;
 
 /// Magic tag guarding against stream corruption.
 const MAGIC: u32 = 0xD3D3_0001;
@@ -86,6 +95,28 @@ pub fn decode(mut buf: Bytes) -> Result<Tensor, WireError> {
     Ok(Tensor::from_vec(c, h, w, data))
 }
 
+/// Serialization delay of `bytes` crossing a link of `mbps` — the sleep
+/// the streaming pipeline's link shaping injects per transfer to
+/// simulate a bandwidth-limited wire. Non-finite or non-positive rates
+/// mean "unshaped" (the in-process channel's native speed): zero delay.
+#[must_use]
+pub fn shaped_delay(bytes: u64, mbps: f64) -> Duration {
+    if !mbps.is_finite() || mbps <= 0.0 {
+        return Duration::ZERO;
+    }
+    Duration::from_secs_f64(bytes as f64 * 8.0 / (mbps * 1e6))
+}
+
+/// The rate estimate of one timestamped transfer: `bytes` observed to
+/// take `elapsed` on the wire, in Mbit/s. The elapsed time is clamped to
+/// a nanosecond so an instantaneous in-process hop reads as a very fast
+/// — but finite, hence valid — link.
+#[must_use]
+pub fn measured_mbps(bytes: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    bytes as f64 * 8.0 / (secs * 1e6)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +150,19 @@ mod tests {
         let mut raw = encode(&Tensor::zeros(1, 1, 1)).to_vec();
         raw[0] ^= 0xFF;
         assert_eq!(decode(Bytes::from(raw)), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn shaped_delay_and_measured_mbps_are_inverses() {
+        // 1 MB over 8 Mbps = 1 second, and measuring that transfer
+        // recovers the rate.
+        let d = shaped_delay(1_000_000, 8.0);
+        assert!((d.as_secs_f64() - 1.0).abs() < 1e-9);
+        let mbps = measured_mbps(1_000_000, d);
+        assert!((mbps - 8.0).abs() < 1e-6);
+        // Unshaped links sleep nothing; instantaneous hops stay finite.
+        assert_eq!(shaped_delay(1 << 20, f64::INFINITY), Duration::ZERO);
+        assert!(measured_mbps(1 << 20, Duration::ZERO).is_finite());
     }
 
     #[test]

@@ -47,6 +47,24 @@ impl Tier {
         &Self::ALL[self.rank()..]
     }
 
+    /// Index of the inter-tier link between `self` and `other` in the
+    /// canonical `[device↔edge, edge↔cloud, device↔cloud]` order — the
+    /// field order of [`LinkRates`](crate::LinkRates) and the wire
+    /// format of every per-link accounting array. `None` within a tier.
+    pub const fn link_index(self, other: Tier) -> Option<usize> {
+        let (lo, hi) = if self.rank() <= other.rank() {
+            (self.rank(), other.rank())
+        } else {
+            (other.rank(), self.rank())
+        };
+        match (lo, hi) {
+            (0, 1) => Some(0),
+            (1, 2) => Some(1),
+            (0, 2) => Some(2),
+            _ => None, // same tier
+        }
+    }
+
     /// Short lowercase tag (`d`, `e`, `c`) matching the paper's notation.
     pub const fn tag(self) -> &'static str {
         match self {

@@ -1,0 +1,333 @@
+//! # d3-test-support
+//!
+//! The workspace's deterministic test kit: the seeded graph/workload
+//! builders, streaming harnesses, scripted observation traces and fake
+//! clock that the integration tests, benches and the CI perf gate
+//! previously hand-rolled in near-identical copies. Everything here is
+//! seeded and wall-clock-free (except where a harness deliberately
+//! measures), so tests replay bit-identically.
+//!
+//! This crate is a **dev-dependency** of the workspace's test targets
+//! and a regular dependency of the bench harness (whose perf-gate
+//! binary shares the burst protocol with the pooling bench).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use d3_core::{D3Runtime, ModelOptions, Observation, TelemetryTap};
+use d3_engine::stream::{StreamOptions, StreamPipeline};
+use d3_engine::{Deployment, StreamStats};
+use d3_model::{zoo, DnnGraph, Executor};
+use d3_partition::{EvenSplit, Partitioner, Problem};
+use d3_simnet::{LinkRates, NetworkCondition, TierProfiles};
+use d3_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The weight seed the adaptation/fleet integration tests share.
+pub const SEED: u64 = 11;
+
+/// The weight seed every streaming *measurement* (benches, perf gate)
+/// shares.
+pub const STREAM_SEED: u64 = 7;
+
+/// The canonical forced-three-tier test model: a six-layer conv chain
+/// whose even split loads every pipeline stage with real work.
+#[must_use]
+pub fn chain_graph() -> DnnGraph {
+    zoo::chain_cnn(6, 8, 16)
+}
+
+/// A runtime serving `graph` under the cost-oblivious even three-way
+/// split ([`EvenSplit`], no VSM), so every pipeline stage does real
+/// work — the setup the streaming and adaptation tests all start from.
+///
+/// # Panics
+///
+/// Panics when the graph cannot be deployed (even splits always can).
+#[must_use]
+pub fn even_split_runtime(name: &str, graph: DnnGraph, seed: u64) -> D3Runtime {
+    even_split_runtime_with(name, graph, seed, false)
+}
+
+/// [`even_split_runtime`] with VSM edge tiling switchable on (the
+/// default VSM config) — the knob the plan-swap losslessness tests
+/// toggle.
+///
+/// # Panics
+///
+/// Panics when the graph cannot be deployed (even splits always can).
+#[must_use]
+pub fn even_split_runtime_with(name: &str, graph: DnnGraph, seed: u64, vsm: bool) -> D3Runtime {
+    let mut options = ModelOptions::new().partitioner(EvenSplit).seed(seed);
+    if !vsm {
+        options = options.without_vsm();
+    }
+    let mut rt = D3Runtime::new();
+    rt.register(name, graph, options)
+        .expect("even split deploys on any graph");
+    rt
+}
+
+/// Deploys `g` on the cost-oblivious even three-way split (every stage
+/// does real work) under the paper testbed's Wi-Fi condition.
+///
+/// # Panics
+///
+/// Panics when the graph cannot be partitioned (even splits always can).
+#[must_use]
+pub fn even_split_deployment(g: &Arc<DnnGraph>) -> Deployment {
+    let p = Problem::new(
+        g.clone(),
+        &TierProfiles::paper_testbed(),
+        NetworkCondition::WiFi,
+    );
+    let assignment = EvenSplit.partition(&p).unwrap();
+    Deployment::new(&p, assignment, None)
+}
+
+/// A deterministic burst of random frames shaped `(c, h, w)`, seeded
+/// `base_seed + k` for frame `k`.
+#[must_use]
+pub fn frame_burst(n: usize, (c, h, w): (usize, usize, usize), base_seed: u64) -> Vec<Tensor> {
+    (0..n as u64)
+        .map(|k| Tensor::random(c, h, w, base_seed + k))
+        .collect()
+}
+
+/// Single-node reference outputs for `frames` under `graph`'s weights —
+/// the bit-identical baseline every losslessness assertion compares
+/// streamed results against.
+#[must_use]
+pub fn reference_outputs(graph: &DnnGraph, seed: u64, frames: &[Tensor]) -> Vec<Tensor> {
+    let exec = Executor::new(graph, seed);
+    frames.iter().map(|f| exec.run(f)).collect()
+}
+
+/// Streams `frames` frames end to end (submit until backpressure, drain
+/// one, retry) and returns the closing report's measured statistics —
+/// the burst protocol the pooling bench and the CI perf gate share.
+///
+/// # Panics
+///
+/// Panics when the pipeline cannot be built or a worker dies.
+#[must_use]
+pub fn stream_burst(
+    g: &Arc<DnnGraph>,
+    d: &Deployment,
+    options: StreamOptions,
+    frames: usize,
+) -> StreamStats {
+    let pipeline = StreamPipeline::new(g.clone(), STREAM_SEED, d, None, options).unwrap();
+    let shape = g.input_shape();
+    let input = Tensor::random(shape.c, shape.h, shape.w, 1);
+    let mut received = 0usize;
+    for _ in 0..frames {
+        while pipeline.submit(&input).is_err() {
+            let _ = std::hint::black_box(pipeline.recv().unwrap());
+            received += 1;
+        }
+    }
+    while received < frames {
+        let _ = std::hint::black_box(pipeline.recv().unwrap());
+        received += 1;
+    }
+    pipeline.close().measured
+}
+
+/// Drains a telemetry tap and returns the link rates of every
+/// [`Observation::Network`] it held, oldest first — the flattener
+/// bandwidth-prober tests use to compare published estimates against a
+/// shaped link.
+#[must_use]
+pub fn network_rates(tap: &TelemetryTap) -> Vec<LinkRates> {
+    tap.drain()
+        .iter()
+        .flat_map(|s| &s.observations)
+        .filter_map(|o| match o {
+            Observation::Network { net } => Some(net.rates()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A deterministic observation-trace player: a scripted sequence of
+/// per-step observation batches (e.g. a link-degradation drift trace)
+/// that tests replay against controllers, sessions, or whole fleets.
+#[derive(Debug, Clone)]
+pub struct ScriptedObservations {
+    steps: Vec<Vec<Observation>>,
+    cursor: usize,
+}
+
+impl ScriptedObservations {
+    /// A player over explicit per-step batches.
+    #[must_use]
+    pub fn new(steps: Vec<Vec<Observation>>) -> Self {
+        Self { steps, cursor: 0 }
+    }
+
+    /// One [`Observation::Network`] step per backbone bandwidth value
+    /// (the Fig. 11-style sweep shape).
+    #[must_use]
+    pub fn bandwidth_trace(mbps: &[f64]) -> Self {
+        Self::new(
+            mbps.iter()
+                .map(|&m| {
+                    vec![Observation::Network {
+                        net: NetworkCondition::custom_backbone(m),
+                    }]
+                })
+                .collect(),
+        )
+    }
+
+    /// A link-degradation trace: the backbone ramps linearly from
+    /// `from_mbps` to `to_mbps` over `ramp` steps, then holds the final
+    /// value for `hold` more steps — the convergence-probing shape of
+    /// the multi-tenant tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ramp` is zero.
+    #[must_use]
+    pub fn degradation(from_mbps: f64, to_mbps: f64, ramp: usize, hold: usize) -> Self {
+        assert!(ramp > 0, "a degradation needs at least one ramp step");
+        let mut values: Vec<f64> = (0..ramp)
+            .map(|k| from_mbps + (to_mbps - from_mbps) * (k as f64 + 1.0) / ramp as f64)
+            .collect();
+        values.extend(std::iter::repeat_n(to_mbps, hold));
+        Self::bandwidth_trace(&values)
+    }
+
+    /// Steps remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.steps.len().saturating_sub(self.cursor)
+    }
+
+    /// Total steps in the script.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the script is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Plays the next step's batch, advancing the cursor.
+    pub fn next_step(&mut self) -> Option<&[Observation]> {
+        let step = self.steps.get(self.cursor)?;
+        self.cursor += 1;
+        Some(step)
+    }
+
+    /// Replays the whole remaining script into `sink`, advancing a
+    /// [`FakeClock`] by `step` per batch — so observation timestamps
+    /// (where a consumer derives any) are deterministic.
+    pub fn play(
+        &mut self,
+        clock: &FakeClock,
+        step: Duration,
+        mut sink: impl FnMut(usize, &Observation),
+    ) {
+        let mut index = self.cursor;
+        while let Some(batch) = self.next_step() {
+            for obs in batch {
+                sink(index, obs);
+            }
+            clock.advance(step);
+            index += 1;
+        }
+    }
+}
+
+impl Iterator for ScriptedObservations {
+    type Item = Vec<Observation>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_step().map(<[Observation]>::to_vec)
+    }
+}
+
+/// A deterministic, thread-safe test clock: time only moves when a test
+/// calls [`advance`](Self::advance), so timing-derived assertions replay
+/// exactly. Clones share the same instant.
+#[derive(Debug, Clone, Default)]
+pub struct FakeClock(Arc<AtomicU64>);
+
+impl FakeClock {
+    /// A clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current fake time since the clock's epoch.
+    #[must_use]
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.0.load(Ordering::SeqCst))
+    }
+
+    /// Moves time forward by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.0.fetch_add(delta.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_bursts_are_deterministic() {
+        let a = frame_burst(3, (3, 8, 8), 100);
+        let b = frame_burst(3, (3, 8, 8), 100);
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1], "distinct seeds per frame");
+    }
+
+    #[test]
+    fn reference_outputs_match_streamed_serving() {
+        let rt = even_split_runtime("m", chain_graph(), SEED);
+        let frames = frame_burst(2, (3, 16, 16), 50);
+        let expect = reference_outputs(&chain_graph(), SEED, &frames);
+        for (frame, expect) in frames.iter().zip(&expect) {
+            let got = rt.serve("m", frame).unwrap();
+            assert_eq!(d3_tensor::max_abs_diff(&got, expect), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn degradation_ramps_then_holds() {
+        let mut trace = ScriptedObservations::degradation(30.0, 3.0, 3, 2);
+        assert_eq!(trace.len(), 5);
+        let values: Vec<f64> = trace
+            .by_ref()
+            .flatten()
+            .map(|obs| match obs {
+                Observation::Network { net } => net.rates().edge_cloud_mbps,
+                _ => unreachable!("degradations are network traces"),
+            })
+            .collect();
+        assert!((values[0] - 21.0).abs() < 1e-9);
+        assert!((values[2] - 3.0).abs() < 1e-9);
+        assert_eq!(values[3], values[4]);
+        assert_eq!(trace.remaining(), 0);
+    }
+
+    #[test]
+    fn fake_clock_advances_deterministically_across_clones() {
+        let clock = FakeClock::new();
+        let shared = clock.clone();
+        let mut trace = ScriptedObservations::bandwidth_trace(&[10.0, 20.0]);
+        let mut seen = 0;
+        trace.play(&clock, Duration::from_millis(5), |_, _| seen += 1);
+        assert_eq!(seen, 2);
+        assert_eq!(shared.now(), Duration::from_millis(10));
+    }
+}

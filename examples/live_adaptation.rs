@@ -61,23 +61,27 @@ fn main() {
         // decide + apply: inject the probe's bandwidth reading into the
         // controller; an out-of-band swap happens mid-stream when the
         // drift escapes the band.
-        let swap = session.observe(&Observation::Network {
+        let events = session.observe(&Observation::Network {
             net: NetworkCondition::custom_backbone(mbps),
         });
-        match &swap {
-            Some(d3_core::AdaptEvent::Plan(s)) => println!(
-                "[{label:>16}] {mbps:>6.2} Mbps -> repartitioned: {} vertices moved, \
-                 stages rebuilt {:?}, kept {:?}, {} in-flight frames drained",
-                s.changed.len(),
-                s.rebuilt,
-                s.reused,
-                s.drained_frames
-            ),
-            Some(d3_core::AdaptEvent::Pool(p)) => println!(
-                "[{label:>16}] {mbps:>6.2} Mbps -> pool resized: {:?} {} -> {} workers",
-                p.tier, p.from, p.to
-            ),
-            None => println!("[{label:>16}] {mbps:>6.2} Mbps -> plan held"),
+        if events.is_empty() {
+            println!("[{label:>16}] {mbps:>6.2} Mbps -> plan held");
+        }
+        for event in &events {
+            match event {
+                d3_core::AdaptEvent::Plan(s) => println!(
+                    "[{label:>16}] {mbps:>6.2} Mbps -> repartitioned: {} vertices moved, \
+                     stages rebuilt {:?}, kept {:?}, {} in-flight frames drained",
+                    s.changed.len(),
+                    s.rebuilt,
+                    s.reused,
+                    s.drained_frames
+                ),
+                d3_core::AdaptEvent::Pool(p) => println!(
+                    "[{label:>16}] {mbps:>6.2} Mbps -> pool resized: {:?} {} -> {} workers",
+                    p.tier, p.from, p.to
+                ),
+            }
         }
 
         // Stream a burst under this condition; every output must match

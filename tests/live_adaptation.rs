@@ -14,29 +14,18 @@
 
 use d3_core::{
     AdaptEvent, Assignment, AutoscalePolicy, D3Runtime, D3System, Deployment, DriftMonitor,
-    FrameId, HysteresisLocal, ModelOptions, NetworkCondition, Observation, PlanUpdate, Problem,
-    StreamOptions, Tier, TierProfiles, UpdateScope,
+    FrameId, HysteresisLocal, NetworkCondition, Observation, PlanUpdate, Problem, StreamOptions,
+    Tier, TierProfiles, UpdateScope,
 };
-use d3_model::{zoo, DnnGraph, Executor};
+use d3_model::{DnnGraph, Executor};
 use d3_partition::EvenSplit;
 use d3_tensor::{max_abs_diff, Tensor};
+use d3_test_support::{chain_graph as graph, even_split_runtime_with, frame_burst, SEED};
 use std::sync::Arc;
 use std::time::Duration;
 
-const SEED: u64 = 11;
-
-fn graph() -> DnnGraph {
-    zoo::chain_cnn(6, 8, 16)
-}
-
 fn runtime_with(graph: DnnGraph, vsm: bool) -> D3Runtime {
-    let mut options = ModelOptions::new().seed(SEED).partitioner(EvenSplit);
-    if !vsm {
-        options = options.without_vsm();
-    }
-    let mut rt = D3Runtime::new();
-    rt.register("m", graph, options).unwrap();
-    rt
+    even_split_runtime_with("m", graph, SEED, vsm)
 }
 
 fn update_to(g: &Arc<DnnGraph>, from: &Assignment, to: Assignment) -> PlanUpdate {
@@ -59,7 +48,7 @@ fn swap_roundtrip(vsm: bool) {
     let rt = runtime_with(graph(), vsm);
     let mut session = rt.open_stream("m", StreamOptions::new()).unwrap();
     let exec = Executor::new(&g, SEED);
-    let inputs: Vec<Tensor> = (0..8).map(|k| Tensor::random(3, 16, 16, 200 + k)).collect();
+    let inputs = frame_burst(8, (3, 16, 16), 200);
 
     // Keep two frames in flight across the boundary.
     session.submit_blocking(&inputs[0]).unwrap();
@@ -117,7 +106,7 @@ fn bandwidth_drift_repartitions_a_running_stream() {
         .unwrap();
     let mut session = rt.open_stream("m", StreamOptions::new()).unwrap();
     let exec = Executor::new(&g, SEED);
-    let inputs: Vec<Tensor> = (0..9).map(|k| Tensor::random(3, 16, 16, 300 + k)).collect();
+    let inputs = frame_burst(9, (3, 16, 16), 300);
 
     // Phase 1: steady state under Wi-Fi.
     for input in &inputs[..3] {
@@ -127,13 +116,11 @@ fn bandwidth_drift_repartitions_a_running_stream() {
     // frames are in flight. The controller must resolve a new plan and
     // swap it in mid-stream.
     let before = session.assignment().clone();
-    let event = session
-        .observe(&Observation::Network {
-            net: NetworkCondition::custom_backbone(0.5),
-        })
-        .expect("a 60x bandwidth collapse must repartition");
-    let d3_core::AdaptEvent::Plan(swap) = event else {
-        panic!("bandwidth drift must produce a plan swap, not {event:?}");
+    let events = session.observe(&Observation::Network {
+        net: NetworkCondition::custom_backbone(0.5),
+    });
+    let [d3_core::AdaptEvent::Plan(swap)] = events.as_slice() else {
+        panic!("a 60x bandwidth collapse must produce one plan swap, not {events:?}");
     };
     assert!(!swap.changed.is_empty());
     assert_eq!(session.reconfigurations(), 1);
@@ -193,10 +180,10 @@ fn measured_driven_controller_matches_simulated_driven_on_same_trace() {
 
     for (step, obs) in trace.iter().enumerate() {
         let sim_update = simulated.ingest(obs);
-        let live_swap = session.observe(obs);
+        let live_events = session.observe(obs);
         assert_eq!(
             sim_update.is_some(),
-            live_swap.is_some(),
+            !live_events.is_empty(),
             "step {step}: decision diverged"
         );
         assert_eq!(
@@ -249,9 +236,7 @@ fn queue_pressure_autoscales_the_device_pool_mid_stream() {
         )
         .unwrap();
     let exec = Executor::new(&g, SEED);
-    let inputs: Vec<Tensor> = (0..12)
-        .map(|k| Tensor::random(3, 16, 16, 600 + k))
-        .collect();
+    let inputs = frame_burst(12, (3, 16, 16), 600);
     for input in &inputs {
         session.submit_blocking(input).unwrap();
     }

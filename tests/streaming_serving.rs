@@ -15,32 +15,18 @@ use d3_core::{
     BatchOptions, D3Runtime, ModelOptions, PoolOptions, ServeError, StreamOptions, SubmitError,
     Tier,
 };
-use d3_model::{zoo, DnnGraph};
-use d3_partition::EvenSplit;
+use d3_model::zoo;
 use d3_tensor::{max_abs_diff, Tensor};
-
-/// A runtime on the cost-oblivious even three-way split
-/// ([`EvenSplit`]), so every pipeline stage does real work;
-/// [`zoo::conv_mlp`] is the weight-heavy shape where per-frame weight
-/// rebuilding dominates a `serve` loop.
-fn runtime_with(name: &str, graph: DnnGraph, seed: u64) -> D3Runtime {
-    let mut rt = D3Runtime::new();
-    rt.register(
-        name,
-        graph,
-        ModelOptions::new()
-            .partitioner(EvenSplit)
-            .without_vsm()
-            .seed(seed),
-    )
-    .unwrap();
-    rt
-}
+// The shared builder kit: even-split runtimes (every pipeline stage does
+// real work) and deterministic frame bursts. [`zoo::conv_mlp`] is the
+// weight-heavy shape where per-frame weight rebuilding dominates a
+// `serve` loop.
+use d3_test_support::{even_split_runtime as runtime_with, frame_burst};
 
 #[test]
 fn saturated_stream_beats_sequential_serve_throughput() {
     let rt = runtime_with("mlp", zoo::conv_mlp(8), 11);
-    let frames: Vec<Tensor> = (0..20).map(|k| Tensor::random(3, 8, 8, 500 + k)).collect();
+    let frames = frame_burst(20, (3, 8, 8), 500);
 
     // Warm both paths (first serve pays one-off page-in costs).
     let _ = rt.serve("mlp", &frames[0]).unwrap();
@@ -139,9 +125,7 @@ fn stream_report_exposes_per_stage_utilization_and_bottleneck() {
 fn streamed_outputs_are_bit_identical_frame_for_frame() {
     // Forced 3-tier split, no VSM.
     let rt = runtime_with("chain", zoo::chain_cnn(6, 8, 16), 21);
-    let frames: Vec<Tensor> = (0..10)
-        .map(|k| Tensor::random(3, 16, 16, 900 + k))
-        .collect();
+    let frames = frame_burst(10, (3, 16, 16), 900);
     let expected: Vec<Tensor> = frames
         .iter()
         .map(|f| rt.serve("chain", f).unwrap())
@@ -171,7 +155,7 @@ fn streamed_outputs_stay_lossless_with_vsm_edge_tiling() {
     let mut rt = D3Runtime::new();
     rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(5))
         .unwrap();
-    let frames: Vec<Tensor> = (0..6).map(|k| Tensor::random(3, 16, 16, 40 + k)).collect();
+    let frames = frame_burst(6, (3, 16, 16), 40);
     let expected: Vec<Tensor> = frames
         .iter()
         .map(|f| rt.serve("tiny", f).unwrap())
@@ -265,9 +249,7 @@ fn run_stream(rt: &D3Runtime, model: &str, options: StreamOptions, frames: &[Ten
 #[test]
 fn pooled_session_is_bit_identical_to_serve() {
     let rt = runtime_with("chain", zoo::chain_cnn(6, 8, 16), 61);
-    let frames: Vec<Tensor> = (0..20)
-        .map(|k| Tensor::random(3, 16, 16, 1100 + k))
-        .collect();
+    let frames = frame_burst(20, (3, 16, 16), 1100);
     let fps = run_stream(
         &rt,
         "chain",
@@ -282,7 +264,7 @@ fn pooled_session_is_bit_identical_to_serve() {
 #[test]
 fn batched_session_is_bit_identical_to_serve() {
     let rt = runtime_with("mlp", zoo::conv_mlp(8), 62);
-    let frames: Vec<Tensor> = (0..16).map(|k| Tensor::random(3, 8, 8, 1200 + k)).collect();
+    let frames = frame_burst(16, (3, 8, 8), 1200);
     let fps = run_stream(
         &rt,
         "mlp",
@@ -303,9 +285,7 @@ fn four_device_workers_double_throughput_on_a_device_bound_stage() {
     // 8 ms stall per frame — an RPC-bound or contended accelerator), so
     // the speedup measures pipeline concurrency, not host core count.
     let rt = runtime_with("chain", zoo::chain_cnn(4, 8, 16), 63);
-    let frames: Vec<Tensor> = (0..24)
-        .map(|k| Tensor::random(3, 16, 16, 1300 + k))
-        .collect();
+    let frames = frame_burst(24, (3, 16, 16), 1300);
     let stall = Duration::from_millis(8);
     let base = StreamOptions::new()
         .capacity(16)
@@ -322,9 +302,7 @@ fn four_device_workers_double_throughput_on_a_device_bound_stage() {
 #[test]
 fn mid_stream_pool_resize_is_lossless_at_session_level() {
     let rt = runtime_with("chain", zoo::chain_cnn(6, 8, 16), 64);
-    let frames: Vec<Tensor> = (0..10)
-        .map(|k| Tensor::random(3, 16, 16, 1400 + k))
-        .collect();
+    let frames = frame_burst(10, (3, 16, 16), 1400);
     let expected: Vec<Tensor> = frames
         .iter()
         .map(|f| rt.serve("chain", f).unwrap())
