@@ -1,0 +1,101 @@
+//! The clock seam: one sanctioned source of "now" for the whole engine.
+//!
+//! Every timestamp the engine takes — frame admission instants, probe
+//! stamps, busy-time accounting, pool-history boundaries — flows through
+//! a [`Clock`] instead of calling `Instant::now()` directly (the
+//! `cargo xtask lint` `raw-instant` rule enforces this). Two gains:
+//!
+//! - **Deterministic tests.** A [`Clock::manual`] clock only moves when
+//!   the test advances it, so timing-derived assertions replay exactly
+//!   (`d3-test-support`'s `FakeClock` bridges into one).
+//! - **Model checking.** Under the `model` feature the loomlite checker
+//!   explores thread interleavings; a schedule must behave identically
+//!   every time it is replayed, which a wall-clock read would break. The
+//!   extracted flow units ([`crate::flow`]) therefore only ever see a
+//!   `Clock`.
+//!
+//! A [`Stamp`] is a point on a clock's timeline: the elapsed time since
+//! that clock's epoch. Stamps from the same clock compare and subtract
+//! like the `Instant`s they replace; stamps from different clocks are
+//! meaningless to mix, exactly like `Instant`s from different machines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A point on a [`Clock`]'s timeline: elapsed time since its epoch.
+/// Subtract with [`Duration::saturating_sub`] — a stamp taken later on
+/// the same clock is never smaller, but saturation keeps accidental
+/// cross-thread races harmless.
+pub type Stamp = Duration;
+
+/// A monotonic time source: the real wall clock anchored at an epoch, or
+/// a manually-advanced test clock. Clones share the same timeline.
+#[derive(Debug, Clone)]
+pub struct Clock(Imp);
+
+#[derive(Debug, Clone)]
+enum Imp {
+    /// The OS monotonic clock, anchored at construction.
+    Real { epoch: Instant },
+    /// Test clock: nanoseconds since epoch, advanced externally.
+    Manual { now_ns: Arc<AtomicU64> },
+}
+
+impl Clock {
+    /// A real clock whose epoch is the moment of this call.
+    #[must_use]
+    pub fn real() -> Self {
+        Clock(Imp::Real {
+            epoch: Instant::now(),
+        })
+    }
+
+    /// A manual clock reading `now_ns` nanoseconds-since-epoch. The
+    /// caller advances time by bumping the shared atomic; readings are
+    /// monotone as long as the atomic only ever grows.
+    #[must_use]
+    pub fn manual(now_ns: Arc<AtomicU64>) -> Self {
+        Clock(Imp::Manual { now_ns })
+    }
+
+    /// The current instant on this clock's timeline.
+    #[must_use]
+    pub fn now(&self) -> Stamp {
+        match &self.0 {
+            Imp::Real { epoch } => epoch.elapsed(),
+            Imp::Manual { now_ns } => Duration::from_nanos(now_ns.load(Ordering::SeqCst)),
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::real()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let clock = Clock::real();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let handle = Arc::new(AtomicU64::new(0));
+        let clock = Clock::manual(handle.clone());
+        assert_eq!(clock.now(), Duration::ZERO);
+        assert_eq!(clock.now(), Duration::ZERO);
+        handle.fetch_add(1_500, Ordering::SeqCst);
+        assert_eq!(clock.now(), Duration::from_nanos(1_500));
+        // Clones share the timeline.
+        assert_eq!(clock.clone().now(), Duration::from_nanos(1_500));
+    }
+}

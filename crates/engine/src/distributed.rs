@@ -14,7 +14,7 @@
 use crate::deploy::VsmConfig;
 use crate::wire;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use d3_model::{crossing_tensors, walk_segment, DnnGraph, Executor, NodeId};
 use d3_partition::Assignment;
 use d3_simnet::Tier;
@@ -48,9 +48,15 @@ pub fn run_distributed(
     };
 
     // One inbound channel per tier; upstream tiers clone the senders.
-    let (tx_edge, rx_edge) = unbounded::<WireMsg>();
-    let (tx_cloud, rx_cloud) = unbounded::<WireMsg>();
-    let (tx_result, rx_result) = unbounded::<Bytes>();
+    // Bounded at one slot per graph vertex: a tier never sends more than
+    // one message per crossing tensor (≤ one per vertex), so the bound
+    // can never be hit — it exists to keep the engine's "bounded
+    // channels only" invariant checkable rather than to apply
+    // backpressure.
+    let slots = graph.nodes().len().max(1);
+    let (tx_edge, rx_edge) = bounded::<WireMsg>(slots);
+    let (tx_cloud, rx_cloud) = bounded::<WireMsg>(slots);
+    let (tx_result, rx_result) = bounded::<Bytes>(1);
 
     // How many crossing tensors each tier must wait for.
     let mut expected = [0usize; 3];

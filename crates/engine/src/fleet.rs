@@ -41,6 +41,7 @@
 //! though the decision happened on another tenant's thread.
 
 use crate::adapt::{AdaptiveEngine, ControlUpdate, Decision, TierContention};
+use crate::flow::Mailbox;
 use crate::telemetry::Observation;
 use d3_simnet::Tier;
 
@@ -180,7 +181,11 @@ struct Tenant {
     engine: AdaptiveEngine,
     cooldown_left: u32,
     plan_changes: u64,
-    mailbox: Vec<ControlUpdate>,
+    /// Coordinated updates waiting for this tenant's session (see
+    /// [`crate::flow::Mailbox`]): plans post as *supersedable* so the
+    /// tenant's own next plan change can drop the stale ones, pool
+    /// resizes as durable.
+    mailbox: Mailbox<ControlUpdate>,
 }
 
 /// The multi-tenant arbiter: owns every registered tenant's adaptation
@@ -252,7 +257,7 @@ impl FleetController {
             engine,
             cooldown_left: 0,
             plan_changes: 0,
-            mailbox: Vec::new(),
+            mailbox: Mailbox::new(),
         };
         match self.tenants.iter_mut().find(|t| t.name == name) {
             Some(slot) => *slot = tenant,
@@ -309,7 +314,7 @@ impl FleetController {
         self.tenants
             .iter_mut()
             .find(|t| t.name == tenant)
-            .map(|t| std::mem::take(&mut t.mailbox))
+            .map(|t| t.mailbox.take())
             .unwrap_or_default()
     }
 
@@ -407,10 +412,8 @@ impl FleetController {
                 // applied by the session): applying the stale one later
                 // would revert the pipeline to a plan the engine has
                 // already moved past. Pool resizes stay — they are
-                // orthogonal to the plan.
-                tenant_state
-                    .mailbox
-                    .retain(|u| matches!(u, ControlUpdate::Pool(_)));
+                // orthogonal to the plan (posted as non-supersedable).
+                tenant_state.mailbox.supersede();
                 if multi {
                     tenant_state.cooldown_left = self.options.cooldown;
                     self.window_spent += 1;
@@ -475,7 +478,7 @@ impl FleetController {
             tenant.plan_changes += 1;
             tenant.cooldown_left = self.options.cooldown;
             let update = ControlUpdate::Plan(plan);
-            tenant.mailbox.push(update.clone());
+            tenant.mailbox.post(update.clone(), true);
             out.push(FleetUpdate {
                 tenant: tenant.name.clone(),
                 update,

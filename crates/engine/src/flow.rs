@@ -1,0 +1,371 @@
+//! Interleaving-critical flow-control units, extracted into
+//! model-checkable form.
+//!
+//! The streaming pipeline ([`crate::stream`]) and the fleet controller
+//! ([`crate::fleet`]) each contain a handful of small state machines
+//! whose correctness depends on how concurrent threads interleave: the
+//! per-stage [`Resequencer`] that restores submission order under pooled
+//! workers, the [`Admission`] lock that keeps frame ids dense, the
+//! size-or-deadline [`run_batcher`] loop, and the per-tenant [`Mailbox`]
+//! with plan supersession. This module isolates them from the tensor
+//! machinery around them so the loomlite model checker (`cargo test
+//! --features model`) can exhaustively explore their schedules with
+//! real multi-thread executions — and so their unit invariants are
+//! testable without spinning up a pipeline.
+//!
+//! Everything here synchronises through [`crate::sync`] (std types
+//! normally, loomlite shims under the `model` feature) and reads time
+//! only through the [`Clock`] seam, which is what makes a model
+//! execution deterministic.
+
+use crate::clock::Clock;
+use crate::sync::{self, Mutex};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The reorder point of a pooled stage: workers complete units
+/// (contiguous id ranges) out of order; this buffer releases them
+/// strictly by ascending id. Ids must be **dense** — `expected` advances
+/// by each unit's count, so a gap would stall the stage forever (which
+/// is why [`Admission`] never burns an id on a rejected frame).
+#[derive(Debug)]
+pub struct Resequencer<T> {
+    expected: u64,
+    buffer: BTreeMap<u64, (usize, T)>,
+}
+
+impl<T> Resequencer<T> {
+    /// An empty resequencer expecting `start` as the next first-id.
+    #[must_use]
+    pub fn new(start: u64) -> Self {
+        Self {
+            expected: start,
+            buffer: BTreeMap::new(),
+        }
+    }
+
+    /// Accepts one completed unit (`count` items whose ids begin at
+    /// `first`) and returns every unit now releasable, in order.
+    pub fn push(&mut self, first: u64, count: usize, item: T) -> Vec<T> {
+        self.buffer.insert(first, (count, item));
+        let mut released = Vec::new();
+        while let Some((count, item)) = self.buffer.remove(&self.expected) {
+            self.expected += count as u64;
+            released.push(item);
+        }
+        released
+    }
+
+    /// Flushes whatever is still buffered, in id order. With dense ids
+    /// this only holds a tail cut short upstream; releasing it in order
+    /// is still the best the stage can do.
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut released = Vec::new();
+        while let Some((_, (_, item))) = self.buffer.pop_first() {
+            released.push(item);
+        }
+        released
+    }
+
+    /// The next id the resequencer will release.
+    #[must_use]
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Units waiting for an earlier id to arrive.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+/// Drives a [`Resequencer`] over a channel of completed units until the
+/// senders disconnect, handing each released unit to `deliver` (which
+/// returns `false` when downstream is gone and the loop should stop).
+pub fn run_resequencer<T>(
+    rx: &Receiver<(u64, usize, T)>,
+    start: u64,
+    mut deliver: impl FnMut(T) -> bool,
+) {
+    let mut seq = Resequencer::new(start);
+    while let Ok((first, count, item)) = rx.recv() {
+        for released in seq.push(first, count, item) {
+            if !deliver(released) {
+                return;
+            }
+        }
+    }
+    for released in seq.drain() {
+        if !deliver(released) {
+            return;
+        }
+    }
+}
+
+/// The dense-id admission lock: mints ids `start, start+1, …` such that
+/// an id is consumed **only when its item actually enters the system**.
+/// Density is what lets a [`Resequencer`] equate contiguous ids with
+/// submission order, so a rejected admission (backpressure) must not
+/// burn an id — the send attempt runs *inside* the lock, and the next id
+/// only advances on success. The critical section must stay non-blocking
+/// (a `try_send`, never a wait) so concurrent admitters cannot convoy.
+#[derive(Debug)]
+pub struct Admission {
+    next: Mutex<u64>,
+}
+
+impl Admission {
+    /// An admission counter starting at `start`.
+    #[must_use]
+    pub fn new(start: u64) -> Self {
+        Self {
+            next: Mutex::new(start),
+        }
+    }
+
+    /// One admission attempt: calls `send` with the next id while
+    /// holding the lock; the id is consumed only when `send` succeeds.
+    /// `send`'s error (e.g. the payload handed back on a full queue)
+    /// passes through to the caller.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `send` returned.
+    pub fn admit<E>(&self, send: impl FnOnce(u64) -> Result<(), E>) -> Result<u64, E> {
+        let mut next = sync::lock(&self.next);
+        let id = *next;
+        send(id)?;
+        *next += 1;
+        Ok(id)
+    }
+
+    /// The id the next successful admission will receive — equivalently,
+    /// how many admissions have succeeded since `start = 0`.
+    #[must_use]
+    pub fn next_id(&self) -> u64 {
+        *sync::lock(&self.next)
+    }
+}
+
+/// A per-tenant coordination mailbox: decisions made on other threads
+/// queue items here until the owner drains them with [`take`]. An item
+/// posted as *supersedable* is dropped by [`supersede`] — the fleet
+/// controller uses this when a tenant's **own** plan change outdates an
+/// eviction plan still waiting in its mailbox (applying the stale plan
+/// later would revert state the decision engine has already moved past),
+/// while non-supersedable items (pool resizes) always survive to `take`.
+///
+/// [`take`]: Mailbox::take
+/// [`supersede`]: Mailbox::supersede
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    queue: Mutex<Vec<(T, bool)>>,
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// An empty mailbox.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Queues `item` for the owner. A `supersedable` item is dropped by
+    /// the next [`supersede`](Self::supersede) instead of delivered.
+    pub fn post(&self, item: T, supersedable: bool) {
+        sync::lock(&self.queue).push((item, supersedable));
+    }
+
+    /// Drops every supersedable item still queued (a newer decision has
+    /// outdated them) and returns how many were dropped.
+    pub fn supersede(&self) -> usize {
+        let mut queue = sync::lock(&self.queue);
+        let before = queue.len();
+        queue.retain(|(_, supersedable)| !supersedable);
+        before - queue.len()
+    }
+
+    /// Takes everything queued, in posting order.
+    pub fn take(&self) -> Vec<T> {
+        std::mem::take(&mut *sync::lock(&self.queue))
+            .into_iter()
+            .map(|(item, _)| item)
+            .collect()
+    }
+
+    /// Whether nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        sync::lock(&self.queue).is_empty()
+    }
+}
+
+/// A unit the size-or-deadline batcher can coalesce.
+pub trait Coalesce {
+    /// How many atomic items this unit carries (frames in a batch).
+    fn units(&self) -> usize;
+    /// Folds `other` into `self`, preserving arrival order.
+    fn absorb(&mut self, other: Self);
+}
+
+/// The size-or-deadline batch former: units arrive on `rx`; a batch
+/// closes when it reaches `max_units` or when `deadline` elapses after
+/// its first unit (the classic rule — a trickle never stalls), then
+/// ships on `tx`. Returns when either channel disconnects, flushing the
+/// batch in hand.
+///
+/// Under an active model execution the timed receive degenerates to a
+/// blocking one (the model has no deadlines), so model schedules
+/// exercise the size trigger and the disconnect flush.
+pub fn run_batcher<T: Coalesce>(
+    rx: &Receiver<T>,
+    tx: &Sender<T>,
+    max_units: usize,
+    deadline: Duration,
+    clock: &Clock,
+) {
+    loop {
+        let Ok(mut batch) = rx.recv() else {
+            return; // senders closed, nothing pending
+        };
+        let cutoff = clock.now() + deadline;
+        let mut open = true;
+        while open && batch.units() < max_units {
+            let remaining = cutoff.saturating_sub(clock.now());
+            match rx.recv_timeout(remaining) {
+                Ok(more) => batch.absorb(more),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => open = false,
+            }
+        }
+        if tx.send(batch).is_err() || !open {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    #[test]
+    fn resequencer_releases_in_dense_order() {
+        let mut seq = Resequencer::new(0);
+        assert!(seq.push(2, 1, "c").is_empty());
+        assert!(seq.push(1, 1, "b").is_empty());
+        assert_eq!(seq.buffered(), 2);
+        assert_eq!(seq.push(0, 1, "a"), ["a", "b", "c"]);
+        assert_eq!(seq.expected(), 3);
+        assert_eq!(seq.buffered(), 0);
+    }
+
+    #[test]
+    fn resequencer_advances_by_unit_counts() {
+        let mut seq = Resequencer::new(10);
+        assert!(seq.push(12, 3, "late").is_empty());
+        assert_eq!(seq.push(10, 2, "early"), ["early", "late"]);
+        assert_eq!(seq.expected(), 15);
+    }
+
+    #[test]
+    fn resequencer_drain_flushes_the_tail_in_order() {
+        let mut seq = Resequencer::new(0);
+        let _ = seq.push(3, 1, "d");
+        let _ = seq.push(1, 2, "b");
+        assert_eq!(seq.drain(), ["b", "d"]);
+        assert_eq!(seq.buffered(), 0);
+    }
+
+    #[test]
+    fn run_resequencer_reorders_and_flushes() {
+        let (tx, rx) = bounded::<(u64, usize, u64)>(8);
+        for unit in [(1u64, 1usize, 10u64), (0, 1, 0), (3, 1, 30)] {
+            tx.send(unit).unwrap();
+        }
+        drop(tx);
+        let mut out = Vec::new();
+        run_resequencer(&rx, 0, |v| {
+            out.push(v);
+            true
+        });
+        // 0 and 1 release in order; 3 (its predecessor never arrived —
+        // upstream died) flushes at disconnect.
+        assert_eq!(out, [0, 10, 30]);
+    }
+
+    #[test]
+    fn admission_ids_stay_dense_across_rejections() {
+        let adm = Admission::new(0);
+        assert_eq!(adm.admit(|_| Ok::<(), ()>(())), Ok(0));
+        // A rejected send must not burn the id.
+        assert_eq!(adm.admit(|_| Err::<(), &str>("full")), Err("full"));
+        assert_eq!(adm.admit(|_| Ok::<(), ()>(())), Ok(1));
+        assert_eq!(adm.next_id(), 2);
+    }
+
+    #[test]
+    fn mailbox_supersedes_only_supersedable_items() {
+        let mb = Mailbox::new();
+        mb.post("stale-plan", true);
+        mb.post("pool-resize", false);
+        assert_eq!(mb.supersede(), 1);
+        assert_eq!(mb.take(), ["pool-resize"]);
+        assert!(mb.is_empty());
+        assert_eq!(mb.supersede(), 0);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Units(Vec<u64>);
+
+    impl Coalesce for Units {
+        fn units(&self) -> usize {
+            self.0.len()
+        }
+        fn absorb(&mut self, other: Self) {
+            self.0.extend(other.0);
+        }
+    }
+
+    #[test]
+    fn batcher_closes_at_size_and_flushes_on_disconnect() {
+        let (tx_in, rx_in) = bounded::<Units>(8);
+        let (tx_out, rx_out) = bounded::<Units>(8);
+        for id in 0..5u64 {
+            tx_in.send(Units(vec![id])).unwrap();
+        }
+        drop(tx_in);
+        run_batcher(&rx_in, &tx_out, 2, Duration::from_secs(1), &Clock::real());
+        let mut batches: Vec<Units> = Vec::new();
+        while let Ok(batch) = rx_out.try_recv() {
+            batches.push(batch);
+        }
+        assert_eq!(
+            batches,
+            [Units(vec![0, 1]), Units(vec![2, 3]), Units(vec![4])]
+        );
+    }
+
+    #[test]
+    fn batcher_deadline_zero_ships_what_is_queued() {
+        let (tx_in, rx_in) = bounded::<Units>(8);
+        let (tx_out, rx_out) = bounded::<Units>(8);
+        tx_in.send(Units(vec![0])).unwrap();
+        drop(tx_in);
+        run_batcher(&rx_in, &tx_out, 4, Duration::ZERO, &Clock::real());
+        let mut batches: Vec<Units> = Vec::new();
+        while let Ok(batch) = rx_out.try_recv() {
+            batches.push(batch);
+        }
+        assert_eq!(batches, [Units(vec![0])]);
+    }
+}

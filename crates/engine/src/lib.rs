@@ -24,7 +24,12 @@
 //!   profiler, and out-of-band probes,
 //! - [`adapt`]: policy-driven runtime re-partitioning
 //!   ([`AdaptivePolicy`]: hysteresis-gated local repair, full re-solve,
-//!   or frozen) emitting deployable [`PlanUpdate`]s.
+//!   or frozen) emitting deployable [`PlanUpdate`]s,
+//! - [`flow`]: the interleaving-critical flow-control units extracted
+//!   from the stream and fleet layers (resequencer, dense-id admission,
+//!   batcher, coordination mailbox) — model-checked by the vendored
+//!   loomlite checker under the `model` feature — with every timestamp
+//!   read through the [`clock`] seam.
 //!
 //! ## Example
 //!
@@ -46,11 +51,14 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
+pub mod clock;
 pub mod deploy;
 pub mod distributed;
 pub mod fleet;
+pub mod flow;
 pub mod pipeline;
 pub mod stream;
+mod sync;
 pub mod telemetry;
 pub mod wire;
 
@@ -58,6 +66,7 @@ pub use adapt::{
     AdaptiveEngine, AdaptivePolicy, AutoscalePolicy, ControlUpdate, Decision, FullResolve,
     HysteresisLocal, NoAdapt, PlanUpdate, PolicyView, PoolUpdate, TierContention, UpdateScope,
 };
+pub use clock::{Clock, Stamp};
 pub use deploy::{deploy_strategy, Deployment, Strategy, VsmConfig};
 pub use distributed::run_distributed;
 pub use fleet::{FleetController, FleetOptions, FleetUpdate, ResourceLedger, TenantCommit};

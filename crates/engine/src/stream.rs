@@ -56,12 +56,16 @@
 //!   during and after a plan swap.
 
 use crate::adapt::PlanUpdate;
+use crate::clock::{Clock, Stamp};
 use crate::deploy::{Deployment, VsmConfig};
+use crate::flow::{self, Coalesce};
 use crate::pipeline::{percentile, simulate_stream, StageSpec, StreamStats};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{self, Mutex};
 use crate::telemetry::{Observation, TelemetrySnapshot, TelemetryTap};
 use crate::wire::{self, measured_mbps, shaped_delay};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use d3_model::{
     crossing_tensors, walk_segment, DnnGraph, Executor, LayerOp, NodeId, SegmentExecutor,
 };
@@ -69,11 +73,10 @@ use d3_partition::Assignment;
 use d3_simnet::{LinkRates, NetworkCondition, Tier};
 use d3_tensor::Tensor;
 use d3_vsm::TiledRuns;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Bound of the telemetry snapshot queue; producers drop (never block)
 /// once it fills.
@@ -593,6 +596,9 @@ pub enum SubmitError {
         /// Received `(c, h, w)`.
         got: (usize, usize, usize),
     },
+    /// The stage workers are gone — a worker died mid-stream (e.g. on a
+    /// corrupt frame), so the session can no longer admit frames.
+    Closed,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -605,23 +611,37 @@ impl std::fmt::Display for SubmitError {
                     "input shape {got:?} does not match model (expects {expected:?})"
                 )
             }
+            SubmitError::Closed => write!(f, "stream pipeline is closed (a stage worker died)"),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
 
+/// Internal admission verdict: on a full queue the payload comes back so
+/// the caller can retry without re-encoding.
+enum AdmitError {
+    Full(Vec<(NodeId, Bytes)>),
+    Closed,
+}
+
 /// Why [`StreamPipeline::recv`] returned no frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamRecvError {
     /// Every admitted frame has already been received.
     NoFramesInFlight,
+    /// A stage worker died with frames still in flight (the channel
+    /// chain collapsed), so the awaited frame can never arrive.
+    WorkerDied,
 }
 
 impl std::fmt::Display for StreamRecvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StreamRecvError::NoFramesInFlight => write!(f, "no frames in flight"),
+            StreamRecvError::WorkerDied => {
+                write!(f, "a stage worker died with frames in flight")
+            }
         }
     }
 }
@@ -631,7 +651,7 @@ impl std::error::Error for StreamRecvError {}
 /// One frame travelling between stages: crossing tensors in wire format.
 struct Frame {
     id: u64,
-    submitted_at: Instant,
+    submitted_at: Stamp,
     payload: Vec<(NodeId, Bytes)>,
 }
 
@@ -641,7 +661,7 @@ struct Frame {
 /// sample.
 #[derive(Clone, Copy)]
 struct LinkStamp {
-    sent_at: Instant,
+    sent_at: Stamp,
     bytes: u64,
 }
 
@@ -661,6 +681,17 @@ impl BatchMsg {
     }
 }
 
+impl Coalesce for BatchMsg {
+    fn units(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Ingress messages are stampless, so coalescing drops nothing.
+    fn absorb(&mut self, other: Self) {
+        self.frames.extend(other.frames);
+    }
+}
+
 /// Shared bandwidth-prober state: the per-link sample windows and the
 /// current belief (the last published [`LinkRates`], seeded from the
 /// configured condition). One instance per pipeline, shared by every
@@ -670,7 +701,7 @@ struct ProbeShared {
     /// Pending rate samples per link (0: device→edge, 1: edge→cloud).
     samples: [Vec<f64>; 2],
     /// When each link last produced a sample (drives the idle fallback).
-    last_sample: [Option<Instant>; 2],
+    last_sample: [Option<Stamp>; 2],
 }
 
 /// The measured-bandwidth prober: accumulates per-link transfer samples
@@ -679,11 +710,17 @@ struct ProbeShared {
 struct Prober {
     shared: Mutex<ProbeShared>,
     window: usize,
+    clock: Clock,
     telemetry: Sender<TelemetrySnapshot>,
 }
 
 impl Prober {
-    fn new(initial: NetworkCondition, window: usize, telemetry: Sender<TelemetrySnapshot>) -> Self {
+    fn new(
+        initial: NetworkCondition,
+        window: usize,
+        clock: Clock,
+        telemetry: Sender<TelemetrySnapshot>,
+    ) -> Self {
         Self {
             shared: Mutex::new(ProbeShared {
                 rates: initial.rates(),
@@ -691,6 +728,7 @@ impl Prober {
                 last_sample: [None; 2],
             }),
             window: window.max(1),
+            clock,
             telemetry,
         }
     }
@@ -702,8 +740,8 @@ impl Prober {
             return; // nothing crossed; no information about the link
         }
         let mbps = measured_mbps(bytes, elapsed);
-        let mut shared = self.shared.lock().expect("probe state poisoned");
-        shared.last_sample[link] = Some(Instant::now());
+        let mut shared = sync::lock(&self.shared);
+        shared.last_sample[link] = Some(self.clock.now());
         shared.samples[link].push(mbps);
         if shared.samples[link].len() < self.window {
             return;
@@ -723,13 +761,13 @@ impl Prober {
 
     /// Whether `link` produced no sample within `horizon`.
     fn stale(&self, link: usize, horizon: Duration) -> bool {
-        let shared = self.shared.lock().expect("probe state poisoned");
-        shared.last_sample[link].is_none_or(|at| at.elapsed() >= horizon)
+        let shared = sync::lock(&self.shared);
+        shared.last_sample[link].is_none_or(|at| self.clock.now().saturating_sub(at) >= horizon)
     }
 
     /// The current belief.
     fn rates(&self) -> LinkRates {
-        self.shared.lock().expect("probe state poisoned").rates
+        sync::lock(&self.shared).rates
     }
 }
 
@@ -744,11 +782,13 @@ fn idle_probe_loop(
     shaping: Option<LinkShaping>,
     period: Duration,
     bytes: u64,
+    clock: Clock,
 ) {
     while !stop.load(Ordering::Relaxed) {
         let mut slept = Duration::ZERO;
         while slept < period && !stop.load(Ordering::Relaxed) {
             let slice = (period - slept).min(Duration::from_millis(10));
+            // xtask:allow(thread-sleep): the idle-fallback prober's pacing.
             std::thread::sleep(slice);
             slept += slice;
         }
@@ -759,14 +799,16 @@ fn idle_probe_loop(
             if !probe.stale(link, period) {
                 continue;
             }
-            let t0 = Instant::now();
+            let t0 = clock.now();
             if let Some(shaping) = shaping {
                 let delay = shaping.delay(link, bytes);
                 if !delay.is_zero() {
+                    // xtask:allow(thread-sleep): synthetic shaped transfer.
                     std::thread::sleep(delay);
                 }
             }
-            probe.record(link, bytes, t0.elapsed().max(Duration::from_nanos(100)));
+            let elapsed = clock.now().saturating_sub(t0);
+            probe.record(link, bytes, elapsed.max(Duration::from_nanos(100)));
         }
     }
 }
@@ -893,6 +935,8 @@ struct StageCtx {
     probe: Option<Arc<Prober>>,
     /// Stamp every Nth frame's transfer (0 disables piggyback stamps).
     probe_every: u64,
+    /// The pipeline's clock (busy-time accounting, probe stamps).
+    clock: Clock,
 }
 
 /// What a stage worker accumulated over its lifetime.
@@ -906,7 +950,7 @@ struct StageMetrics {
     /// Submit→completion latency per frame (final stage only).
     latencies_s: Vec<f64>,
     /// Completion instant of the last frame (final stage only).
-    last_done: Option<Instant>,
+    last_done: Option<Stamp>,
 }
 
 impl StageMetrics {
@@ -1007,97 +1051,62 @@ fn build_stage_exec(
     StageExec::Prebuilt(SegmentExecutor::new(graph.clone(), seed, members))
 }
 
+/// Where a stage's processed units leave it: the kind of channel is
+/// fixed by the stage's position (non-final stages forward, the final
+/// stage emits results), so a worker can never hold the wrong sender.
+#[derive(Clone)]
+enum Route {
+    /// Crossing tensors for the next stage.
+    Forward(Sender<BatchMsg>),
+    /// Finished output tensors (final stage).
+    Results(Sender<(FrameId, Tensor)>),
+}
+
 /// Where a worker delivers processed batches.
 #[derive(Clone)]
 enum StageSink {
     /// Single-worker stage: forward directly (FIFO order is inherent).
-    Direct {
-        next: Option<Sender<BatchMsg>>,
-        results: Option<Sender<(FrameId, Tensor)>>,
-    },
+    Direct(Route),
     /// Pooled stage: hand `(first_id, frame_count, out)` to the stage's
     /// resequencer, which restores submission order.
     Reseq(Sender<(u64, usize, StageOut)>),
 }
 
 /// Forwards one processed unit downstream; `false` when the downstream
-/// end is gone (session dropped) and the caller should stop.
-fn deliver(
-    out: StageOut,
-    next: &Option<Sender<BatchMsg>>,
-    results: &Option<Sender<(FrameId, Tensor)>>,
-) -> bool {
-    match out {
-        StageOut::Forward(batch) => next
-            .as_ref()
-            .expect("non-final stage has a successor")
-            .send(batch)
-            .is_ok(),
-        StageOut::Results(frames) => {
-            let tx = results.as_ref().expect("final stage sends results");
-            for frame in frames {
-                if tx.send(frame).is_err() {
-                    return false;
-                }
-            }
-            true
+/// end is gone (session dropped) and the caller should stop. A
+/// kind-mismatched unit (a wiring bug) also stops the stage — cleanly,
+/// so the collapse surfaces as [`StreamRecvError::WorkerDied`] instead
+/// of a misdelivery.
+fn deliver(out: StageOut, route: &Route) -> bool {
+    match (out, route) {
+        (StageOut::Forward(batch), Route::Forward(next)) => next.send(batch).is_ok(),
+        (StageOut::Results(frames), Route::Results(tx)) => {
+            frames.into_iter().all(|frame| tx.send(frame).is_ok())
         }
+        _ => false,
     }
 }
 
 /// A pooled stage's reorder point: workers complete batches out of
-/// order; this thread buffers them and releases strictly by frame id
-/// (ids are dense, so `expected` advances by each unit's frame count).
-fn resequencer(
-    rx: Receiver<(u64, usize, StageOut)>,
-    start: u64,
-    next: Option<Sender<BatchMsg>>,
-    results: Option<Sender<(FrameId, Tensor)>>,
-) {
-    let mut expected = start;
-    let mut buffer: BTreeMap<u64, (usize, StageOut)> = BTreeMap::new();
-    while let Ok((first, count, out)) = rx.recv() {
-        buffer.insert(first, (count, out));
-        while let Some((count, out)) = buffer.remove(&expected) {
-            expected += count as u64;
-            if !deliver(out, &next, &results) {
-                return; // downstream gone with the session
-            }
-        }
-    }
-    // Workers exited; ids are contiguous, so anything still buffered
-    // can only be a tail cut short by a dying downstream. Flush in
-    // order regardless — deliver() stops cleanly if no one listens.
-    while let Some((_, (_, out))) = buffer.pop_first() {
-        if !deliver(out, &next, &results) {
-            return;
-        }
-    }
+/// order; this thread buffers them through a [`flow::Resequencer`] and
+/// releases strictly by frame id (ids are dense, so the expected id
+/// advances by each unit's frame count).
+fn resequencer(rx: Receiver<(u64, usize, StageOut)>, start: u64, route: Route) {
+    flow::run_resequencer(&rx, start, |out| deliver(out, &route));
 }
 
 /// The size-or-deadline batch former between the ingress queue and the
 /// device stage: admitted frames arrive as singletons; a batch closes at
-/// `max_frames` or when `deadline` elapses after its first frame.
-fn batcher(rx: Receiver<BatchMsg>, tx: Sender<BatchMsg>, max_frames: usize, deadline: Duration) {
-    loop {
-        let mut batch = match rx.recv() {
-            Ok(batch) => batch,
-            Err(_) => return, // admissions closed, nothing pending
-        };
-        let cutoff = Instant::now() + deadline;
-        let mut open = true;
-        while open && batch.frames.len() < max_frames {
-            let remaining = cutoff.saturating_duration_since(Instant::now());
-            match rx.recv_timeout(remaining) {
-                Ok(more) => batch.frames.extend(more.frames),
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => open = false,
-            }
-        }
-        if tx.send(batch).is_err() || !open {
-            return;
-        }
-    }
+/// `max_frames` or when `deadline` elapses after its first frame (the
+/// shared [`flow::run_batcher`] loop).
+fn batcher(
+    rx: Receiver<BatchMsg>,
+    tx: Sender<BatchMsg>,
+    max_frames: usize,
+    deadline: Duration,
+    clock: &Clock,
+) {
+    flow::run_batcher(&rx, &tx, max_frames, deadline, clock);
 }
 
 /// Everything one worker generation is spawned from.
@@ -1120,6 +1129,8 @@ struct SpawnSpec<'a> {
     /// First frame id this generation will see (the resequencers'
     /// starting point; every earlier id has already drained).
     start_seq: u64,
+    /// The pipeline's clock, cloned into every worker and helper.
+    clock: &'a Clock,
 }
 
 /// One spawned worker generation.
@@ -1149,8 +1160,9 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
     let rx_dev = if spec.batch.max_frames > 1 {
         let (tx_dev, rx_dev) = bounded::<BatchMsg>(spec.capacity);
         let (max_frames, deadline) = (spec.batch.max_frames, spec.batch.deadline);
+        let clock = spec.clock.clone();
         aux.push(std::thread::spawn(move || {
-            batcher(rx_ingress, tx_dev, max_frames, deadline);
+            batcher(rx_ingress, tx_dev, max_frames, deadline, &clock);
         }));
         rx_dev
     } else {
@@ -1159,10 +1171,17 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
 
     let mut workers: [Vec<JoinHandle<(StageCtx, StageMetrics)>>; 3] = Default::default();
     let receivers = [rx_dev, rx_edge, rx_cloud];
-    let mut senders = [Some(tx_edge), Some(tx_cloud), None::<Sender<BatchMsg>>];
-    let mut tx_out = Some(tx_out);
+    // Only the final stage's route holds tx_out: that way rx_out
+    // disconnects — and recv() reports the death instead of hanging — as
+    // soon as the chain collapses (a death cascades downstream through
+    // dropped channel ends).
+    let routes = [
+        Route::Forward(tx_edge),
+        Route::Forward(tx_cloud),
+        Route::Results(tx_out),
+    ];
     let mut reused = [false; 3];
-    for (rank, rx) in receivers.into_iter().enumerate() {
+    for (rank, (rx, route)) in receivers.into_iter().zip(routes).enumerate() {
         let tier = Tier::ALL[rank];
         let members = &spec.routing.members[rank];
         let exec = match reuse.get_mut(rank).and_then(Option::take) {
@@ -1174,12 +1193,6 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
                 spec.graph, spec.seed, members, tier, spec.vsm,
             )),
         };
-        let tx_next = senders[rank].take();
-        // Only the final stage's sink holds tx_out: that way rx_out
-        // disconnects — and recv() panics instead of hanging — as soon
-        // as the chain collapses (a death cascades downstream through
-        // dropped channel ends).
-        let tx_results = if rank == 2 { tx_out.take() } else { None };
         let n_workers = spec.pool[rank];
         // Pooled stages reorder through a resequencer; single-worker
         // stages keep the zero-overhead direct path.
@@ -1187,14 +1200,11 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
             let (tx_seq, rx_seq) = bounded::<(u64, usize, StageOut)>(spec.capacity + n_workers);
             let start = spec.start_seq;
             aux.push(std::thread::spawn(move || {
-                resequencer(rx_seq, start, tx_next, tx_results);
+                resequencer(rx_seq, start, route);
             }));
             StageSink::Reseq(tx_seq)
         } else {
-            StageSink::Direct {
-                next: tx_next,
-                results: tx_results,
-            }
+            StageSink::Direct(route)
         };
         for _ in 0..n_workers {
             let ctx = StageCtx {
@@ -1207,6 +1217,7 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
                 shaping: spec.shaping,
                 probe: spec.probe.clone(),
                 probe_every: spec.probe_every,
+                clock: spec.clock.clone(),
             };
             let sink = sink_proto.clone();
             let rx = rx.clone();
@@ -1318,7 +1329,7 @@ impl StreamReport {
         self.server_names
             .iter()
             .zip(&self.measured.utilization)
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite utilization"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(name, u)| (name.as_str(), *u))
     }
 
@@ -1401,22 +1412,25 @@ pub struct StreamPipeline {
     telemetry_tx: Sender<TelemetrySnapshot>,
     telemetry_rx: Receiver<TelemetrySnapshot>,
     predicted: Vec<StageSpec>,
-    started: Instant,
+    /// The session's time source: every stamp the pipeline takes reads
+    /// this clock (wall time normally; a manual clock under test).
+    clock: Clock,
+    started: Stamp,
     /// Pool sizes over time: one entry per (re)configuration, valid from
     /// its instant until the next entry — the integral of this step
     /// function is each stage's available worker-seconds, the
     /// denominator that keeps pooled utilization ≤ 1.
-    pool_history: Vec<(Instant, [usize; 3])>,
+    pool_history: Vec<(Stamp, [usize; 3])>,
     /// Live pool resizes per stage rank.
     resize_events: [u64; 3],
     /// Admission instant of the first frame — the wall-clock anchor for
     /// throughput/utilization, so pre-stream idle time is not billed.
-    first_submit: Mutex<Option<Instant>>,
-    /// Next frame id. Guarded by a mutex (not an atomic) so ids stay
+    first_submit: Mutex<Option<Stamp>>,
+    /// Next frame id, guarded by a lock (not an atomic) so ids stay
     /// *dense*: an id is consumed only when its frame is actually
     /// admitted, which is what lets the resequencers equate contiguous
-    /// ids with submission order.
-    admission: Mutex<u64>,
+    /// ids with submission order (see [`flow::Admission`]).
+    admission: flow::Admission,
     submitted: AtomicU64,
     rejected: AtomicU64,
     delivered: AtomicU64,
@@ -1449,6 +1463,25 @@ impl StreamPipeline {
         vsm: Option<VsmConfig>,
         options: StreamOptions,
     ) -> Result<Self, StreamBuildError> {
+        Self::with_clock(graph, seed, deployment, vsm, options, Clock::real())
+    }
+
+    /// Like [`new`](Self::new), but reading time from `clock` — inject a
+    /// [`Clock::manual`] clock (e.g. `d3-test-support`'s `FakeClock`) to
+    /// make every timestamp the session takes deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamBuildError`] when the plan cannot run as a
+    /// forward pipeline (backwards link, or several graph outputs).
+    pub fn with_clock(
+        graph: Arc<DnnGraph>,
+        seed: u64,
+        deployment: &Deployment,
+        vsm: Option<VsmConfig>,
+        options: StreamOptions,
+        clock: Clock,
+    ) -> Result<Self, StreamBuildError> {
         if options.capacity == 0 {
             return Err(StreamBuildError::ZeroCapacity);
         }
@@ -1469,6 +1502,7 @@ impl StreamPipeline {
             Arc::new(Prober::new(
                 popts.initial.unwrap_or(NetworkCondition::WiFi),
                 popts.window,
+                clock.clone(),
                 telemetry_tx.clone(),
             ))
         });
@@ -1479,8 +1513,9 @@ impl StreamPipeline {
                 let (prober, stop_flag) = (prober.clone(), stop.clone());
                 let shaping = options.shaping;
                 let bytes = options.probe.map_or(0, |p| p.idle_bytes).max(1);
+                let idle_clock = clock.clone();
                 let handle = std::thread::spawn(move || {
-                    idle_probe_loop(prober, stop_flag, shaping, period, bytes);
+                    idle_probe_loop(prober, stop_flag, shaping, period, bytes, idle_clock);
                 });
                 (Some(handle), Some(stop))
             }
@@ -1503,11 +1538,12 @@ impl StreamPipeline {
                 probe: probe.clone(),
                 probe_every,
                 start_seq: 0,
+                clock: &clock,
             },
             vec![None, None, None],
         );
         let shape = graph.input_shape();
-        let started = Instant::now();
+        let started = clock.now();
         Ok(Self {
             input_node: graph.input(),
             input_shape: (shape.c, shape.h, shape.w),
@@ -1537,11 +1573,12 @@ impl StreamPipeline {
             telemetry_tx,
             telemetry_rx,
             predicted: deployment.stages.clone(),
+            clock,
             started,
             pool_history: vec![(started, pool)],
             resize_events: [0; 3],
             first_submit: Mutex::new(None),
-            admission: Mutex::new(0),
+            admission: flow::Admission::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
@@ -1568,61 +1605,53 @@ impl StreamPipeline {
     /// submitters do. Ids are consumed only on success (rejections leave
     /// them dense); on a full queue the payload is handed back for a
     /// retry.
-    ///
-    /// # Panics
-    ///
-    /// Panics when a stage worker died (a partitioning bug).
-    fn try_admit(&self, payload: Vec<(NodeId, Bytes)>) -> Result<FrameId, Vec<(NodeId, Bytes)>> {
-        let tx = self.tx_in.as_ref().expect("pipeline closed");
-        let mut next = self.admission.lock().expect("admission poisoned");
-        let admitted_at = Instant::now();
-        let frame = Frame {
-            id: *next,
-            submitted_at: admitted_at,
-            payload,
+    fn try_admit(&self, payload: Vec<(NodeId, Bytes)>) -> Result<FrameId, AdmitError> {
+        let Some(tx) = self.tx_in.as_ref() else {
+            return Err(AdmitError::Closed);
         };
-        let id = FrameId(frame.id);
-        match tx.try_send(BatchMsg {
-            frames: vec![frame],
-            stamp: None,
-        }) {
-            Ok(()) => {
-                *next += 1;
-                drop(next);
-                // The increment is submit's linearization point (see
-                // pending()); it deliberately happens only for frames
-                // that actually entered the pipeline, so the in-flight
-                // accounting can never over-claim and strand a recv().
-                self.submitted.fetch_add(1, Ordering::Relaxed);
-                self.record_first_submit(admitted_at);
-                Ok(id)
+        let admitted_at = self.clock.now();
+        let id = self.admission.admit(|id| {
+            match tx.try_send(BatchMsg {
+                frames: vec![Frame {
+                    id,
+                    submitted_at: admitted_at,
+                    payload,
+                }],
+                stamp: None,
+            }) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(mut msg)) => Err(AdmitError::Full(match msg.frames.pop() {
+                    Some(frame) => frame.payload,
+                    None => Vec::new(),
+                })),
+                Err(TrySendError::Disconnected(_)) => Err(AdmitError::Closed),
             }
-            Err(TrySendError::Full(mut msg)) => {
-                drop(next);
-                Err(msg.frames.pop().expect("singleton admission").payload)
-            }
-            Err(TrySendError::Disconnected(_)) => panic!("stage worker died"),
-        }
+        })?;
+        // The id increment inside `admit` is submit's linearization
+        // point (see pending()); it deliberately happens only for frames
+        // that actually entered the pipeline, so the in-flight
+        // accounting can never over-claim and strand a recv().
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.record_first_submit(admitted_at);
+        Ok(FrameId(id))
     }
 
     /// Admits one frame without blocking.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Backpressure`] when the ingress queue is full, or
-    /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor.
-    ///
-    /// # Panics
-    ///
-    /// Panics when a stage worker died (a partitioning bug).
+    /// [`SubmitError::Backpressure`] when the ingress queue is full,
+    /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor, or
+    /// [`SubmitError::Closed`] when the ingress stage is gone.
     pub fn submit(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
         let payload = self.encode_payload(input)?;
         match self.try_admit(payload) {
             Ok(id) => Ok(id),
-            Err(_) => {
+            Err(AdmitError::Full(_)) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(SubmitError::Backpressure)
             }
+            Err(AdmitError::Closed) => Err(SubmitError::Closed),
         }
     }
 
@@ -1634,28 +1663,29 @@ impl StreamPipeline {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor.
-    ///
-    /// # Panics
-    ///
-    /// Panics when a stage worker died (a partitioning bug).
+    /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor, or
+    /// [`SubmitError::Closed`] when the ingress stage is gone.
     pub fn submit_blocking(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
         let mut payload = self.encode_payload(input)?;
         let mut wait = Duration::from_micros(50);
         loop {
             match self.try_admit(payload) {
                 Ok(id) => return Ok(id),
-                Err(returned) => {
+                Err(AdmitError::Full(returned)) => {
                     payload = returned;
+                    // xtask:allow(thread-sleep): admission backoff — a
+                    // deliberate bounded wall-clock wait for queue space,
+                    // not a synchronization hack.
                     std::thread::sleep(wait);
                     wait = (wait * 2).min(Duration::from_millis(2));
                 }
+                Err(AdmitError::Closed) => return Err(SubmitError::Closed),
             }
         }
     }
 
-    fn record_first_submit(&self, at: Instant) {
-        let mut first = self.first_submit.lock().expect("first_submit poisoned");
+    fn record_first_submit(&self, at: Stamp) {
+        let mut first = sync::lock(&self.first_submit);
         if first.is_none() {
             *first = Some(at);
         }
@@ -1667,24 +1697,30 @@ impl StreamPipeline {
     /// # Errors
     ///
     /// [`StreamRecvError::NoFramesInFlight`] when every admitted frame
-    /// was already received (a blocking wait would never return).
+    /// was already received (a blocking wait would never return), or
+    /// [`StreamRecvError::WorkerDied`] when a stage worker stopped with
+    /// frames still in flight.
     pub fn recv(&self) -> Result<(FrameId, Tensor), StreamRecvError> {
-        if let Some(frame) = self.drained.lock().expect("drained poisoned").pop_front() {
+        if let Some(frame) = sync::lock(&self.drained).pop_front() {
             self.delivered.fetch_add(1, Ordering::Relaxed);
             return Ok(frame);
         }
         if self.pending() == 0 {
             return Err(StreamRecvError::NoFramesInFlight);
         }
-        let frame = self.rx_out.recv().expect("stage worker died");
-        self.delivered.fetch_add(1, Ordering::Relaxed);
-        Ok(frame)
+        match self.rx_out.recv() {
+            Ok(frame) => {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                Ok(frame)
+            }
+            Err(_) => Err(StreamRecvError::WorkerDied),
+        }
     }
 
     /// Returns the next completed frame if one is ready.
     #[must_use]
     pub fn try_recv(&self) -> Option<(FrameId, Tensor)> {
-        if let Some(frame) = self.drained.lock().expect("drained poisoned").pop_front() {
+        if let Some(frame) = sync::lock(&self.drained).pop_front() {
             self.delivered.fetch_add(1, Ordering::Relaxed);
             return Some(frame);
         }
@@ -1823,7 +1859,7 @@ impl StreamPipeline {
     ///
     /// # Panics
     ///
-    /// Panics when a stage worker died (a partitioning bug).
+    /// Panics when a stage worker panicked (a partitioning bug).
     pub fn resize_pool(
         &mut self,
         tier: Tier,
@@ -1847,7 +1883,7 @@ impl StreamPipeline {
         let (drained_frames, reuse) = self.quiesce();
         self.pool[rank] = workers;
         self.resize_events[rank] += 1;
-        self.pool_history.push((Instant::now(), self.pool));
+        self.pool_history.push((self.clock.now(), self.pool));
         self.respawn(&routing, reuse);
         Ok(PoolResize {
             tier,
@@ -1866,7 +1902,7 @@ impl StreamPipeline {
         drop(self.tx_in.take());
         let drained_frames;
         {
-            let mut drained = self.drained.lock().expect("drained poisoned");
+            let mut drained = sync::lock(&self.drained);
             let before = drained.len();
             while let Ok(frame) = self.rx_out.recv() {
                 drained.push_back(frame);
@@ -1898,7 +1934,7 @@ impl StreamPipeline {
     /// member set is unchanged are reused from `reuse`) and rewires the
     /// pipeline onto it. Returns the per-rank reuse flags.
     fn respawn(&mut self, routing: &Routing, reuse: Vec<Option<Arc<StageExec>>>) -> [bool; 3] {
-        let start_seq = *self.admission.lock().expect("admission poisoned");
+        let start_seq = self.admission.next_id();
         let spawned = spawn_stages(
             &SpawnSpec {
                 graph: &self.graph,
@@ -1916,6 +1952,7 @@ impl StreamPipeline {
                 probe: self.probe.clone(),
                 probe_every: self.probe_every,
                 start_seq,
+                clock: &self.clock,
             },
             reuse,
         );
@@ -1943,15 +1980,14 @@ impl StreamPipeline {
         // Anchor the wall clock at the first admission (like the
         // per-frame latencies), so idle time between session open and
         // the stream's start does not dilute throughput/utilization.
-        let anchor = self
-            .first_submit
-            .lock()
-            .expect("first_submit poisoned")
-            .unwrap_or(self.started);
+        let anchor = sync::lock(&self.first_submit).unwrap_or(self.started);
         let last_done = metrics[2].last_done.unwrap_or(anchor);
-        let wall = (last_done - anchor).as_secs_f64().max(f64::MIN_POSITIVE);
+        let wall = last_done
+            .saturating_sub(anchor)
+            .as_secs_f64()
+            .max(f64::MIN_POSITIVE);
         let mut latencies = metrics[2].latencies_s.clone();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        latencies.sort_by(|a, b| a.total_cmp(b));
         let frames = latencies.len();
         // Interleaved servers, matching the simulator: stage, link, ….
         // Ingress decode counts toward the device stage (same threads as
@@ -2031,18 +2067,13 @@ impl StreamPipeline {
 
 /// Integral of one stage's pool-size step function over `[from, to]` —
 /// the stage's available worker-seconds in the measured window.
-fn worker_seconds(
-    history: &[(Instant, [usize; 3])],
-    rank: usize,
-    from: Instant,
-    to: Instant,
-) -> f64 {
+fn worker_seconds(history: &[(Stamp, [usize; 3])], rank: usize, from: Stamp, to: Stamp) -> f64 {
     let mut total = 0.0;
     for (i, (start, pool)) in history.iter().enumerate() {
         let seg_start = (*start).max(from);
         let seg_end = history.get(i + 1).map_or(to, |(t, _)| *t).min(to);
         if seg_end > seg_start {
-            total += (seg_end - seg_start).as_secs_f64() * pool[rank] as f64;
+            total += seg_end.saturating_sub(seg_start).as_secs_f64() * pool[rank] as f64;
         }
     }
     total
@@ -2104,7 +2135,7 @@ fn pump(
     let mut m = StageMetrics::default();
     let mut win_frames: u64 = 0;
     let mut win_compute = 0.0f64;
-    while let Ok(batch) = rx.recv() {
+    'session: while let Ok(batch) = rx.recv() {
         let first_id = batch.first_id();
         let n_frames = batch.frames.len();
 
@@ -2116,24 +2147,33 @@ fn pump(
                 probe.record(
                     ctx.tier.rank() - 1,
                     stamp.bytes,
-                    stamp.sent_at.elapsed().max(Duration::from_nanos(100)),
+                    ctx.clock
+                        .now()
+                        .saturating_sub(stamp.sent_at)
+                        .max(Duration::from_nanos(100)),
                 );
             }
         }
 
         // Decode every frame's needed tensors (and set aside what must
         // be forwarded in wire form).
-        let t0 = Instant::now();
+        let t0 = ctx.clock.now();
         let mut boundaries: Vec<HashMap<NodeId, Tensor>> = Vec::with_capacity(n_frames);
         let mut forwards: Vec<Vec<(NodeId, Bytes)>> = Vec::with_capacity(n_frames);
-        let mut meta: Vec<(u64, Instant)> = Vec::with_capacity(n_frames);
+        let mut meta: Vec<(u64, Stamp)> = Vec::with_capacity(n_frames);
         let mut payload_outputs: Vec<Option<Tensor>> = Vec::with_capacity(n_frames);
         for frame in batch.frames {
             let mut boundary: HashMap<NodeId, Tensor> = HashMap::new();
             let mut forward: Vec<(NodeId, Bytes)> = Vec::new();
             for (nid, bytes) in frame.payload {
                 if ctx.needed.contains(&nid) {
-                    let tensor = wire::decode(bytes.clone()).expect("corrupt frame");
+                    // A frame that does not decode cannot be computed;
+                    // stop this worker cleanly — the session surfaces it
+                    // as `StreamRecvError::WorkerDied` instead of a
+                    // cross-thread panic.
+                    let Ok(tensor) = wire::decode(bytes.clone()) else {
+                        break 'session;
+                    };
                     boundary.insert(nid, tensor);
                 }
                 if ctx.forward_ids.contains(&nid) {
@@ -2152,21 +2192,23 @@ fn pump(
             forwards.push(forward);
             meta.push((frame.id, frame.submitted_at));
         }
-        m.decode_s += t0.elapsed().as_secs_f64();
+        m.decode_s += ctx.clock.now().saturating_sub(t0).as_secs_f64();
 
         // Compute: injected stalls (fault injection) count as service
         // time — they model a slow stage, not a slow queue.
-        let t1 = Instant::now();
+        let t1 = ctx.clock.now();
         if let Some(InjectedDelay { tier, every, delay }) = chaos {
             if tier == ctx.tier {
                 let stalls = meta.iter().filter(|(id, _)| id % every == 0).count() as u32;
                 if stalls > 0 {
+                    // xtask:allow(thread-sleep): fault injection — the
+                    // stall *is* the simulated slow stage.
                     std::thread::sleep(delay * stalls);
                 }
             }
         }
         let mut outputs = ctx.exec.run_batch(boundaries);
-        let compute = t1.elapsed().as_secs_f64();
+        let compute = ctx.clock.now().saturating_sub(t1).as_secs_f64();
         m.compute_s += compute;
         m.batches += 1;
         win_compute += compute;
@@ -2174,20 +2216,26 @@ fn pump(
 
         let out = if ctx.is_last {
             let mut results = Vec::with_capacity(n_frames);
-            let done = Instant::now();
+            let done = ctx.clock.now();
             for (k, outputs) in outputs.iter_mut().enumerate() {
-                let out_tensor = outputs
+                // A plan that never computes the output vertex is a
+                // partitioning bug; stop cleanly rather than panicking
+                // across the pool.
+                let Some(out_tensor) = outputs
                     .remove(&ctx.output_node)
                     .or_else(|| payload_outputs[k].take())
-                    .expect("output tensor unavailable at final stage");
+                else {
+                    break 'session;
+                };
                 let (id, submitted_at) = meta[k];
-                m.latencies_s.push((done - submitted_at).as_secs_f64());
+                m.latencies_s
+                    .push(done.saturating_sub(submitted_at).as_secs_f64());
                 results.push((FrameId(id), out_tensor));
             }
             m.last_done = Some(done);
             StageOut::Results(results)
         } else {
-            let t2 = Instant::now();
+            let t2 = ctx.clock.now();
             let mut frames = Vec::with_capacity(n_frames);
             for (k, outputs) in outputs.iter().enumerate() {
                 let forward = &mut forwards[k];
@@ -2218,7 +2266,7 @@ fn pump(
                 && first_id % ctx.probe_every == 0
                 && bytes > 0)
                 .then(|| LinkStamp {
-                    sent_at: Instant::now(),
+                    sent_at: ctx.clock.now(),
                     bytes,
                 });
             // Link shaping: sleep the serialization delay of this
@@ -2227,15 +2275,17 @@ fn pump(
             if let Some(shaping) = ctx.shaping {
                 let delay = shaping.delay(ctx.tier.rank(), bytes);
                 if !delay.is_zero() {
+                    // xtask:allow(thread-sleep): link shaping — the sleep
+                    // *is* the simulated serialization delay.
                     std::thread::sleep(delay);
                 }
             }
-            m.encode_s += t2.elapsed().as_secs_f64();
+            m.encode_s += ctx.clock.now().saturating_sub(t2).as_secs_f64();
             StageOut::Forward(BatchMsg { frames, stamp })
         };
 
         let delivered = match &sink {
-            StageSink::Direct { next, results } => deliver(out, next, results),
+            StageSink::Direct(route) => deliver(out, route),
             StageSink::Reseq(tx_seq) => tx_seq.send((first_id, n_frames, out)).is_ok(),
         };
         if !delivered {
@@ -2272,6 +2322,7 @@ mod tests {
     use d3_partition::{Assignment, Partitioner, Problem};
     use d3_simnet::{NetworkCondition, TierProfiles};
     use d3_tensor::max_abs_diff;
+    use std::time::Instant;
 
     fn test_problem(g: &Arc<DnnGraph>) -> Problem {
         Problem::new(
@@ -2976,7 +3027,9 @@ mod tests {
     }
 
     /// One completed unit per batch: `(first_id, frame_count, frames)`.
-    fn completion_units(sizes: &[usize]) -> (u64, Vec<(u64, usize, Vec<(FrameId, Tensor)>)>) {
+    type CompletionUnit = (u64, usize, Vec<(FrameId, Tensor)>);
+
+    fn completion_units(sizes: &[usize]) -> (u64, Vec<CompletionUnit>) {
         let mut units = Vec::new();
         let mut next_id = 0u64;
         for &size in sizes {
@@ -3005,7 +3058,7 @@ mod tests {
             let (tx_seq, rx_seq) = bounded::<(u64, usize, StageOut)>(units.len() + 1);
             let (tx_out, rx_out) = bounded::<(FrameId, Tensor)>(total as usize + 1);
             let handle = std::thread::spawn(move || {
-                resequencer(rx_seq, 0, None, Some(tx_out));
+                resequencer(rx_seq, 0, Route::Results(tx_out));
             });
             for (first, count, frames) in units {
                 prop_assert!(
@@ -3038,7 +3091,7 @@ mod tests {
                 let fed = tx_in.send(BatchMsg {
                     frames: vec![Frame {
                         id,
-                        submitted_at: Instant::now(),
+                        submitted_at: Stamp::ZERO,
                         payload: Vec::new(),
                     }],
                     stamp: None,
@@ -3047,8 +3100,9 @@ mod tests {
             }
             drop(tx_in); // admissions close; the batcher must flush
             let deadline = Duration::from_millis(deadline_ms);
+            let clock = Clock::real();
             let handle = std::thread::spawn(move || {
-                batcher(rx_in, tx_out, max_frames.max(2), deadline);
+                batcher(rx_in, tx_out, max_frames.max(2), deadline, &clock);
             });
             handle.join().expect("batcher exits cleanly");
             let mut seen = Vec::new();

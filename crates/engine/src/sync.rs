@@ -1,0 +1,36 @@
+//! Synchronisation primitives behind the `model` feature seam.
+//!
+//! Interleaving-critical state in this crate takes its `Mutex` and
+//! atomics from here instead of `std::sync`. Without the `model` feature
+//! these re-exports *are* the std types, so the seam costs nothing in
+//! release builds. With `model` they are the [`loomlite`] shims: outside
+//! a model execution they pass through to std (regular tests behave
+//! identically), inside one every operation yields to the model
+//! scheduler, letting `cargo test --features model` exhaustively explore
+//! thread interleavings over the same code the release path runs.
+
+#[cfg(feature = "model")]
+pub(crate) use loomlite::sync::{Mutex, MutexGuard};
+#[cfg(not(feature = "model"))]
+pub(crate) use std::sync::{Mutex, MutexGuard};
+
+pub(crate) mod atomic {
+    //! Atomic shims: std's, or loomlite's under the `model` feature.
+    #[cfg(feature = "model")]
+    pub(crate) use loomlite::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    #[cfg(not(feature = "model"))]
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+}
+
+/// Locks `mutex`, recovering the data from a poisoned lock.
+///
+/// Every lock in this crate guards plain state (counters, buffers,
+/// sample windows) whose invariants hold between any two operations, so
+/// a panic on another thread never leaves the data half-updated in a way
+/// later readers could misread — propagating the poison would only turn
+/// one failure into a cascade across unrelated threads.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

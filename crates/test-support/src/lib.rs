@@ -277,6 +277,14 @@ impl FakeClock {
     pub fn advance(&self, delta: Duration) {
         self.0.fetch_add(delta.as_nanos() as u64, Ordering::SeqCst);
     }
+
+    /// An engine [`d3_engine::Clock`] driven by this fake clock: the
+    /// engine's stamps move exactly when the test calls
+    /// [`advance`](Self::advance), sharing this clock's timeline.
+    #[must_use]
+    pub fn engine_clock(&self) -> d3_engine::Clock {
+        d3_engine::Clock::manual(Arc::clone(&self.0))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,537 @@
+//! # xtask — the workspace task runner
+//!
+//! `cargo xtask lint` runs the repo-invariant lint: a source scan over
+//! `crates/` enforcing the concurrency hygiene rules the model checker
+//! and the clock seam rely on, ratcheted against a committed baseline
+//! (`ci/lint_baseline.json`). Existing violations are grandfathered at
+//! their current per-file counts; any *increase* fails the build, any
+//! decrease is advisory until the baseline is re-recorded with
+//! `cargo xtask lint --update-baseline`.
+//!
+//! The rules (see [`RULES`]):
+//!
+//! - **engine-unwrap** — no `.unwrap()` / `.expect(` in
+//!   `crates/engine/src` non-test code. Panicking on a poisoned lock or
+//!   a dead worker takes the whole pipeline down; the typed-error paths
+//!   (`SubmitError`, `StreamRecvError`) exist for a reason.
+//! - **thread-sleep** — no `std::thread::sleep` in `crates/`. Sleeping
+//!   for synchronization hides races the model checker would otherwise
+//!   surface; the sanctioned sites (shaped-link delays, the idle
+//!   prober's pacing, admission backoff) carry explicit
+//!   `xtask:allow(thread-sleep)` markers.
+//! - **raw-instant** — no `Instant::now()` outside the clock seam
+//!   (`crates/engine/src/clock.rs`). Timestamps must flow through the
+//!   engine `Clock` so tests and the model checker can drive time
+//!   manually.
+//! - **unbounded-channel** — no `unbounded(` channel constructors.
+//!   Every queue in the pipeline is bounded so backpressure composes;
+//!   an unbounded queue turns overload into unbounded memory growth.
+//!
+//! A violation is silenced in place with a marker comment on the same
+//! line or in the comment block directly above it:
+//! `// xtask:allow(<rule>): <why>`.
+//! Markers require a justification by convention — they are grep-able
+//! review anchors, not escape hatches.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint rule: a name (used in baseline keys and allow markers), a
+/// human explanation, and the matcher run against each comment-stripped
+/// source line.
+struct Rule {
+    name: &'static str,
+    explanation: &'static str,
+    matches: fn(&str, &Path) -> bool,
+    /// Whether the rule applies to this file at all.
+    applies: fn(&Path) -> bool,
+}
+
+fn in_engine_src(path: &Path) -> bool {
+    path.starts_with("crates/engine/src")
+}
+
+fn any_crate(_: &Path) -> bool {
+    true
+}
+
+/// The repo-invariant rule set.
+const RULES: &[Rule] = &[
+    Rule {
+        name: "engine-unwrap",
+        explanation: "`.unwrap()`/`.expect(` in engine non-test code — use the typed error paths",
+        matches: |line, _| line.contains(".unwrap()") || line.contains(".expect("),
+        applies: in_engine_src,
+    },
+    Rule {
+        name: "thread-sleep",
+        explanation:
+            "`thread::sleep` — sleeping for synchronization hides races; mark deliberate waits",
+        matches: |line, _| line.contains("thread::sleep"),
+        applies: any_crate,
+    },
+    Rule {
+        name: "raw-instant",
+        explanation: "`Instant::now()` outside the clock seam — route timestamps through `Clock`",
+        matches: |line, path| {
+            line.contains("Instant::now()") && path != Path::new("crates/engine/src/clock.rs")
+        },
+        applies: any_crate,
+    },
+    Rule {
+        name: "unbounded-channel",
+        explanation: "`unbounded(` channel constructor — every pipeline queue must be bounded",
+        matches: |line, _| line.contains("unbounded("),
+        applies: any_crate,
+    },
+];
+
+/// A single rule hit, for reporting.
+struct Violation {
+    rule: &'static str,
+    path: PathBuf,
+    line_no: usize,
+    line: String,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("usage: cargo xtask lint [--update-baseline]");
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "lint" => {
+            let update = match args.next().as_deref() {
+                None => false,
+                Some("--update-baseline") => true,
+                Some(other) => {
+                    eprintln!("unknown lint flag `{other}` (expected --update-baseline)");
+                    return ExitCode::FAILURE;
+                }
+            };
+            lint(update)
+        }
+        other => {
+            eprintln!("unknown xtask command `{other}` (expected `lint`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the scan and ratchets it against `ci/lint_baseline.json`.
+fn lint(update_baseline: bool) -> ExitCode {
+    let root = workspace_root();
+    let baseline_path = root.join("ci/lint_baseline.json");
+
+    let mut violations = Vec::new();
+    for file in rust_sources(&root.join("crates")) {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let rel = PathBuf::from(rel);
+        // The linter does not lint itself: its rule patterns would
+        // trip every rule.
+        if rel.starts_with("crates/xtask") {
+            continue;
+        }
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            eprintln!("warning: unreadable source file {}", file.display());
+            continue;
+        };
+        scan_file(&rel, &source, &mut violations);
+    }
+
+    // Collapse to the baseline's shape: per-rule-per-file counts.
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for v in &violations {
+        *counts
+            .entry(format!("{}:{}", v.rule, v.path.display()))
+            .or_default() += 1;
+    }
+
+    if update_baseline {
+        let serialized = serialize_baseline(&counts);
+        if let Err(err) = std::fs::write(&baseline_path, serialized) {
+            eprintln!("error: cannot write {}: {err}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "lint baseline updated: {} grandfathered hit(s) across {} key(s)",
+            counts.values().sum::<usize>(),
+            counts.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(map) => map,
+            Err(err) => {
+                eprintln!("error: malformed {}: {err}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => {
+            eprintln!(
+                "error: missing {} — run `cargo xtask lint --update-baseline` once and commit it",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    report(&violations, &counts, &baseline)
+}
+
+/// Compares current counts against the ratchet and prints the verdict.
+fn report(
+    violations: &[Violation],
+    counts: &BTreeMap<String, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> ExitCode {
+    let mut regressed = false;
+    let mut improved = 0usize;
+    for (key, &count) in counts {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        if count > allowed {
+            regressed = true;
+            let (rule, path) = key.split_once(':').unwrap_or((key, ""));
+            let explanation = RULES
+                .iter()
+                .find(|r| r.name == rule)
+                .map_or("", |r| r.explanation);
+            eprintln!("lint: {path}: {count} `{rule}` hit(s), baseline allows {allowed}");
+            eprintln!("      {explanation}");
+            for v in violations
+                .iter()
+                .filter(|v| v.rule == rule && v.path == Path::new(path))
+            {
+                eprintln!("      {}:{}: {}", path, v.line_no, v.line.trim());
+            }
+            eprintln!(
+                "      silence a deliberate use with `// xtask:allow({rule}): <why>` on the same or preceding line"
+            );
+        }
+    }
+    for (key, &allowed) in baseline {
+        let count = counts.get(key).copied().unwrap_or(0);
+        if count < allowed {
+            improved += allowed - count;
+            println!(
+                "lint: {key}: {count} hit(s), baseline allows {allowed} — ratchet can tighten"
+            );
+        }
+    }
+    if regressed {
+        eprintln!(
+            "lint: FAILED — new violations above the committed baseline (ci/lint_baseline.json)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if improved > 0 {
+        println!(
+            "lint: ok — {improved} hit(s) below baseline; run `cargo xtask lint --update-baseline` to lock in the improvement"
+        );
+    } else {
+        println!("lint: ok — no violations above baseline");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Scans one file, appending every un-silenced rule hit to `out`.
+///
+/// Test code (`#[cfg(test)]` modules and anything under a `tests/`
+/// directory) is exempt: tests unwrap by design. Allow markers are
+/// matched against the *raw* line text (before comment stripping, since
+/// the marker lives in a comment) on the hit line or the contiguous
+/// comment block above it.
+fn scan_file(rel: &Path, source: &str, out: &mut Vec<Violation>) {
+    if rel.components().any(|c| c.as_os_str() == "tests") {
+        return;
+    }
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let test_mask = cfg_test_mask(&raw_lines);
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        if test_mask[idx] {
+            continue;
+        }
+        let code = strip_line_comment(raw);
+        if code.trim().is_empty() {
+            continue;
+        }
+        for rule in RULES {
+            if !(rule.applies)(rel) || !(rule.matches)(&code, rel) {
+                continue;
+            }
+            if has_allow_marker(&raw_lines, idx, rule.name) {
+                continue;
+            }
+            out.push(Violation {
+                rule: rule.name,
+                path: rel.to_path_buf(),
+                line_no: idx + 1,
+                line: (*raw).to_string(),
+            });
+        }
+    }
+}
+
+/// Whether line `idx` or the contiguous comment block immediately above
+/// it carries `xtask:allow(rule)` — so a justification long enough to
+/// wrap across comment lines still anchors to the statement below it.
+fn has_allow_marker(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let marker = format!("xtask:allow({rule})");
+    if lines[idx].contains(&marker) {
+        return true;
+    }
+    lines[..idx]
+        .iter()
+        .rev()
+        .take_while(|l| l.trim_start().starts_with("//"))
+        .any(|l| l.contains(&marker))
+}
+
+/// A per-line mask of `#[cfg(test)]`-gated code, computed by tracking
+/// brace depth from each `#[cfg(test)]` attribute to the close of the
+/// item it gates. Good enough for this repo's layout (the attribute
+/// and its item live in the same file, and braces inside string
+/// literals don't straddle the boundary in ways that matter here).
+fn cfg_test_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0i64; // brace depth inside the gated item; 0 = outside
+    let mut gated = false;
+    let mut pending = false; // saw the attribute, waiting for the opening brace
+    for (idx, raw) in lines.iter().enumerate() {
+        let code = strip_line_comment(raw);
+        if !gated && !pending && code.contains("#[cfg(test)]") {
+            pending = true;
+            mask[idx] = true;
+            continue;
+        }
+        if pending || gated {
+            mask[idx] = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if pending {
+                        pending = false;
+                        gated = true;
+                    }
+                    if gated {
+                        depth += 1;
+                    }
+                }
+                '}' if gated => {
+                    depth -= 1;
+                    if depth == 0 {
+                        gated = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+/// Strips a trailing `//` comment, honouring string and char literals
+/// so a `"//"` inside a string doesn't truncate the code.
+fn strip_line_comment(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str || in_char => i += 1, // skip the escaped byte
+            b'"' if !in_char => in_str = !in_str,
+            b'\'' if !in_str => {
+                // Only toggle for char literals, not lifetimes: a char
+                // literal closes within a few bytes.
+                if in_char {
+                    in_char = false;
+                } else if matches!(bytes.get(i + 2), Some(b'\''))
+                    || (bytes.get(i + 1) == Some(&b'\\'))
+                {
+                    in_char = true;
+                }
+            }
+            b'/' if !in_str && !in_char && bytes.get(i + 1) == Some(&b'/') => {
+                return line[..i].to_string();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line.to_string()
+}
+
+/// Every `.rs` file under `dir`, depth-first, deterministic order.
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        let mut entries: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// The workspace root: the ancestor of this binary's manifest dir that
+/// holds the top-level `Cargo.toml` and the `crates/` tree, falling
+/// back to the current dir (where `cargo xtask` runs from anyway).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .find(|a| a.join("Cargo.toml").is_file() && a.join("crates").is_dir())
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+/// Writes the baseline as a flat, sorted, diff-friendly JSON object.
+fn serialize_baseline(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, count)) in counts.iter().enumerate() {
+        let comma = if i + 1 == counts.len() { "" } else { "," };
+        let _ = writeln!(out, "  \"{key}\": {count}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat `{"rule:path": count}` baseline. A hand-rolled
+/// parser keeps xtask dependency-free; the format is exactly what
+/// [`serialize_baseline`] emits (keys themselves contain colons, so
+/// each entry splits on its *last* colon).
+fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("expected a top-level JSON object")?;
+    let mut map = BTreeMap::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .rsplit_once(':')
+            .ok_or_else(|| format!("malformed entry `{entry}`"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key in `{entry}`"))?;
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("non-numeric count in `{entry}`"))?;
+        map.insert(key.to_string(), count);
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, source: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        scan_file(Path::new(rel), source, &mut out);
+        out.iter()
+            .map(|v| format!("{}:{}", v.rule, v.line_no))
+            .collect()
+    }
+
+    #[test]
+    fn engine_unwrap_fires_only_in_engine_src() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            scan("crates/engine/src/stream.rs", src),
+            ["engine-unwrap:1"]
+        );
+        assert!(scan("crates/core/src/runtime.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\nfn h() { y.unwrap(); }\n";
+        assert_eq!(scan("crates/engine/src/a.rs", src), ["engine-unwrap:6"]);
+    }
+
+    #[test]
+    fn allow_marker_on_same_or_preceding_line_silences() {
+        let same = "thread::sleep(d); // xtask:allow(thread-sleep): pacing\n";
+        assert!(scan("crates/engine/src/a.rs", same).is_empty());
+        let above = "// xtask:allow(thread-sleep): pacing\nthread::sleep(d);\n";
+        assert!(scan("crates/engine/src/a.rs", above).is_empty());
+        let wrapped =
+            "// xtask:allow(thread-sleep): a justification\n// that wraps\nthread::sleep(d);\n";
+        assert!(scan("crates/engine/src/a.rs", wrapped).is_empty());
+        let non_contiguous = "// xtask:allow(thread-sleep): stale\nlet x = 1;\nthread::sleep(d);\n";
+        assert_eq!(
+            scan("crates/engine/src/a.rs", non_contiguous),
+            ["thread-sleep:3"]
+        );
+        let wrong_rule = "// xtask:allow(raw-instant): pacing\nthread::sleep(d);\n";
+        assert_eq!(
+            scan("crates/engine/src/a.rs", wrong_rule),
+            ["thread-sleep:2"]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_rules() {
+        let comment = "// calls thread::sleep eventually\n";
+        assert!(scan("crates/engine/src/a.rs", comment).is_empty());
+        let slashes_in_string = "let url = \"http://x\"; y.unwrap();\n";
+        assert_eq!(
+            scan("crates/engine/src/a.rs", slashes_in_string),
+            ["engine-unwrap:1"]
+        );
+    }
+
+    #[test]
+    fn clock_seam_is_exempt_from_raw_instant() {
+        let src = "let t = Instant::now();\n";
+        assert!(scan("crates/engine/src/clock.rs", src).is_empty());
+        assert_eq!(scan("crates/engine/src/stream.rs", src), ["raw-instant:1"]);
+    }
+
+    #[test]
+    fn tests_directories_are_exempt() {
+        let src = "fn f() { thread::sleep(d); x.unwrap(); }\n";
+        assert!(scan("crates/engine/tests/it.rs", src).is_empty());
+    }
+
+    #[test]
+    fn baseline_roundtrips() {
+        let mut counts = BTreeMap::new();
+        counts.insert("engine-unwrap:crates/engine/src/a.rs".to_string(), 3);
+        counts.insert("thread-sleep:crates/core/src/b.rs".to_string(), 1);
+        let text = serialize_baseline(&counts);
+        assert_eq!(parse_baseline(&text).unwrap(), counts);
+        assert_eq!(parse_baseline("{}").unwrap(), BTreeMap::new());
+    }
+}

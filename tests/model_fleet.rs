@@ -1,0 +1,98 @@
+//! Model-checked schedules for the fleet controller's coordination
+//! mailbox (`d3_engine::flow::Mailbox`): the arbiter posts coordinated
+//! updates from its own thread while tenant sessions drain and supersede
+//! concurrently. See `tests/model_stream.rs` for how these explorations
+//! work.
+#![cfg(feature = "model")]
+
+use d3_engine::flow::Mailbox;
+use loomlite::{model, thread};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// The supersession invariant under every post/supersede/take schedule:
+/// a supersedable plan is either dropped by the supersede or delivered
+/// by exactly one take — never both, never neither — while the durable
+/// pool update always survives to exactly one take.
+#[test]
+fn model_mailbox_supersession_never_loses_durable_items() {
+    let report = model(|| {
+        let mailbox = Arc::new(Mailbox::new());
+        let taken = Arc::new(StdMutex::new(Vec::new()));
+        let dropped = Arc::new(StdMutex::new(0usize));
+
+        // The arbiter thread queues an eviction plan (supersedable) and
+        // a pool resize (durable) for the tenant.
+        let arbiter = {
+            let mailbox = Arc::clone(&mailbox);
+            thread::spawn(move || {
+                mailbox.post("evict-plan", true);
+                mailbox.post("pool-resize", false);
+            })
+        };
+        // The tenant's own plan change supersedes stale plans, then its
+        // session drains the mailbox — racing the arbiter's posts.
+        let tenant = {
+            let mailbox = Arc::clone(&mailbox);
+            let taken = Arc::clone(&taken);
+            let dropped = Arc::clone(&dropped);
+            thread::spawn(move || {
+                *dropped.lock().unwrap() += mailbox.supersede();
+                taken.lock().unwrap().extend(mailbox.take());
+            })
+        };
+        arbiter.join().unwrap();
+        tenant.join().unwrap();
+        // The session's next poll drains whatever the race left behind.
+        taken.lock().unwrap().extend(mailbox.take());
+
+        let taken = taken.lock().unwrap().clone();
+        let dropped = *dropped.lock().unwrap();
+        let plans = taken.iter().filter(|u| **u == "evict-plan").count();
+        let pools = taken.iter().filter(|u| **u == "pool-resize").count();
+        assert_eq!(
+            dropped + plans,
+            1,
+            "the plan is dropped or delivered exactly once (dropped={dropped}, delivered={plans})"
+        );
+        assert_eq!(pools, 1, "the durable pool update always arrives once");
+        assert!(mailbox.is_empty(), "nothing is left behind");
+    });
+    assert!(
+        report.complete,
+        "mailbox schedule space must be exhausted, ran {} schedules",
+        report.schedules
+    );
+}
+
+/// Two arbiters posting durable updates while the owner drains midway:
+/// every posted item is delivered exactly once across the takes, in
+/// post order per arbiter, under every interleaving.
+#[test]
+fn model_mailbox_concurrent_posts_all_delivered_exactly_once() {
+    let report = model(|| {
+        let mailbox = Arc::new(Mailbox::new());
+        let posters: Vec<_> = ["a", "b"]
+            .into_iter()
+            .map(|tag| {
+                let mailbox = Arc::clone(&mailbox);
+                thread::spawn(move || {
+                    mailbox.post(tag, false);
+                })
+            })
+            .collect();
+        // The owner races a drain against the posts.
+        let early = mailbox.take();
+        for p in posters {
+            p.join().unwrap();
+        }
+        let mut all = early;
+        all.extend(mailbox.take());
+        all.sort_unstable();
+        assert_eq!(all, ["a", "b"], "each post delivered exactly once");
+    });
+    assert!(
+        report.complete,
+        "concurrent-post schedule space must be exhausted, ran {} schedules",
+        report.schedules
+    );
+}

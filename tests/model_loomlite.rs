@@ -1,0 +1,151 @@
+//! Self-tests for the vendored `loomlite` model checker: the explorer
+//! must find a deliberately planted race, report a replayable seed, and
+//! replay that seed to the exact same failure. These run without the
+//! `model` feature — loomlite itself is feature-free.
+
+use loomlite::sync::atomic::{AtomicU64, Ordering};
+use loomlite::sync::Mutex;
+use loomlite::{model, replay, thread, Builder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// The toy two-thread counter with a planted lost-update race: each
+/// thread does a non-atomic read-modify-write (load then store), so an
+/// interleaving where both load before either stores loses an
+/// increment.
+fn racy_counter() {
+    let counter = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let counter = counter.clone();
+            thread::spawn(move || {
+                let seen = counter.load(Ordering::SeqCst);
+                counter.store(seen + 1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+}
+
+/// Extracts the replay seed from a loomlite failure message:
+/// `loomlite: model failure [seed 0-1-2]: ...`.
+fn seed_of_failure(payload: &(dyn std::any::Any + Send)) -> (String, String) {
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .expect("loomlite failures carry string payloads");
+    let start = message
+        .find("[seed ")
+        .expect("failure message names a seed")
+        + "[seed ".len();
+    let end = message[start..]
+        .find(']')
+        .expect("seed is bracket-delimited")
+        + start;
+    (message[start..end].to_string(), message)
+}
+
+#[test]
+fn explorer_finds_the_planted_race() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| model(racy_counter)));
+    let payload = outcome.expect_err("the lost update must be found");
+    let (seed, message) = seed_of_failure(&*payload);
+    assert!(
+        message.contains("lost update"),
+        "failure is the planted assertion, got: {message}"
+    );
+    assert!(
+        !seed.is_empty(),
+        "a two-thread race needs at least one real scheduling decision"
+    );
+}
+
+#[test]
+fn seeded_replay_reproduces_the_exact_failure() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| model(racy_counter)));
+    let payload = outcome.expect_err("the lost update must be found");
+    let (seed, explored_message) = seed_of_failure(&*payload);
+
+    // Same seed → same schedule → same failure, twice over.
+    let mut replayed = Vec::new();
+    for _ in 0..2 {
+        let outcome = catch_unwind(AssertUnwindSafe(|| replay(&seed, racy_counter)));
+        let payload = outcome.expect_err("the seed replays to the failure");
+        let (replay_seed, replay_message) = seed_of_failure(&*payload);
+        assert_eq!(replay_seed, seed, "replay followed the given schedule");
+        replayed.push(replay_message);
+    }
+    assert_eq!(replayed[0], replayed[1], "replay is deterministic");
+    assert_eq!(
+        replayed[0], explored_message,
+        "replay reproduces the explorer's failure verbatim"
+    );
+}
+
+#[test]
+fn mutex_guarded_counter_survives_exhaustive_exploration() {
+    let report = model(|| {
+        let counter = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = counter.clone();
+                thread::spawn(move || {
+                    let mut guard = counter.lock().unwrap();
+                    *guard += 1;
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 2);
+    });
+    assert!(report.complete, "two mutexed increments are a tiny space");
+    assert!(
+        report.schedules > 1,
+        "lock contention must yield real scheduling decisions"
+    );
+}
+
+#[test]
+fn deadlock_is_detected_and_named() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let handle = thread::spawn(move || {
+                let _b = b2.lock().unwrap();
+                let _a = a2.lock().unwrap();
+            });
+            let _a = a.lock().unwrap();
+            let _b = b.lock().unwrap();
+            drop((_a, _b));
+            handle.join().unwrap();
+        })
+    }));
+    let payload = outcome.expect_err("AB/BA lock order must deadlock somewhere");
+    let (_, message) = seed_of_failure(&*payload);
+    assert!(message.contains("deadlock"), "got: {message}");
+}
+
+#[test]
+fn park_unpark_handshake_is_modelled() {
+    let report = Builder::new().max_schedules(10_000).check(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        let flag2 = flag.clone();
+        let parked = thread::spawn(move || {
+            while flag2.load(Ordering::SeqCst) == 0 {
+                thread::park();
+            }
+        });
+        flag.store(1, Ordering::SeqCst);
+        parked.unpark();
+        parked.join().unwrap();
+    });
+    assert!(report.complete, "the handshake space must be exhausted");
+}

@@ -16,9 +16,20 @@
 #![forbid(unsafe_code)]
 
 /// Multi-producer multi-consumer FIFO channels, unbounded or bounded.
+///
+/// With the `model` feature the internal `Mutex`/`Condvar` are the
+/// loomlite model-checker shims: every channel operation becomes a
+/// scheduling point a model execution can explore, while outside a
+/// model execution the shims pass through to `std` unchanged.
 pub mod channel {
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::Arc;
+
+    #[cfg(not(feature = "model"))]
+    use std::sync::{Condvar, Mutex};
+
+    #[cfg(feature = "model")]
+    use loomlite::sync::{Condvar, Mutex};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -231,6 +242,18 @@ pub mod channel {
         /// time and [`RecvTimeoutError::Disconnected`] when the channel
         /// is empty and every sender has been dropped.
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            // An un-timed model has no deadlines: under the virtual
+            // scheduler a timed receive degenerates to a blocking one
+            // (an immediate-timeout variant would hand the explorer an
+            // unbounded spin loop). Timeout behaviour is timing, not
+            // ordering; it stays covered by the non-model tests.
+            #[cfg(feature = "model")]
+            if loomlite::is_model_active() {
+                return match self.recv() {
+                    Ok(value) => Ok(value),
+                    Err(RecvError) => Err(RecvTimeoutError::Disconnected),
+                };
+            }
             let deadline = std::time::Instant::now() + timeout;
             let mut state = self.shared.state.lock().expect("channel poisoned");
             loop {

@@ -1,0 +1,671 @@
+//! The controlled scheduler: one OS thread per model thread, a single
+//! "turn" token deciding which may run, and a bounded DFS over the
+//! branch points where more than one thread was runnable.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Panic payload the scheduler throws to unwind threads of an aborted
+/// execution (one that already recorded a failure). Caught and swallowed
+/// by [`run_thread`]; never user-visible.
+struct Abort;
+
+/// What a blocked thread is waiting for. `on` is a resource key — a shim
+/// object address for `Mutex`/`Condvar`, a thread id for `Join`/`Park`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BlockKind {
+    /// Waiting to acquire a shim mutex.
+    Mutex,
+    /// Waiting on a shim condvar.
+    Condvar,
+    /// Waiting for a thread to finish.
+    Join,
+    /// Parked, waiting for an unpark.
+    Park,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    Blocked { on: usize, kind: BlockKind },
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    taken: usize,
+    options: usize,
+}
+
+struct ThreadSlot {
+    state: ThreadState,
+    /// The `park`/`unpark` permit: an unpark with no parked thread is
+    /// remembered and consumes the next park.
+    unpark_permit: bool,
+}
+
+struct Inner {
+    threads: Vec<ThreadSlot>,
+    /// Which thread currently holds the turn token. `None` once the
+    /// execution has completed or aborted.
+    active: Option<usize>,
+    /// The schedule: replayed up to `cursor`, extended (first-option)
+    /// past it. Only decisions with more than one candidate thread are
+    /// recorded.
+    choices: Vec<Choice>,
+    cursor: usize,
+    branches: usize,
+    max_branches: usize,
+    /// Preemptions taken so far on this schedule: times the turn moved
+    /// away from a thread that could have kept running. Forced switches
+    /// (the active thread blocked or finished) are free.
+    preemptions: usize,
+    /// CHESS-style context bound: once `preemptions` reaches this, a
+    /// still-runnable active thread keeps the turn instead of branching.
+    max_preemptions: usize,
+    /// Threads not yet `Finished` (blocked ones count).
+    running: usize,
+    failure: Option<String>,
+    aborting: bool,
+}
+
+/// One model execution: shared by the driver and every model thread.
+pub(crate) struct Execution {
+    inner: StdMutex<Inner>,
+    /// Model threads wait here for their turn.
+    turn: StdCondvar,
+    /// The driver waits here for `running == 0`.
+    driver: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's execution context, if it is a model thread.
+/// `None` means passthrough mode: shims defer to std.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(Abort)
+}
+
+fn lock_inner(exec: &Execution) -> StdMutexGuard<'_, Inner> {
+    exec.inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Execution {
+    fn new(prefix: Vec<Choice>, max_branches: usize, max_preemptions: usize) -> Self {
+        Self {
+            inner: StdMutex::new(Inner {
+                threads: vec![ThreadSlot {
+                    state: ThreadState::Runnable,
+                    unpark_permit: false,
+                }],
+                active: Some(0),
+                choices: prefix,
+                cursor: 0,
+                branches: 0,
+                max_branches,
+                preemptions: 0,
+                max_preemptions,
+                running: 1,
+                failure: None,
+                aborting: false,
+            }),
+            turn: StdCondvar::new(),
+            driver: StdCondvar::new(),
+        }
+    }
+
+    /// Records a failure (first one wins) and aborts the execution:
+    /// every thread panics with [`Abort`] at its next scheduling point.
+    fn fail_locked(&self, inner: &mut Inner, msg: String) {
+        if inner.failure.is_none() {
+            inner.failure = Some(msg);
+        }
+        inner.aborting = true;
+        inner.active = None;
+        self.turn.notify_all();
+        self.driver.notify_all();
+    }
+
+    /// Hands the turn token to the next runnable thread, recording a
+    /// branch when the choice was real (more than one candidate).
+    fn pick_next(&self, inner: &mut Inner) {
+        if inner.aborting {
+            self.turn.notify_all();
+            return;
+        }
+        let prev = inner.active;
+        let mut runnable: Vec<usize> = inner
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == ThreadState::Runnable)
+            .map(|(id, _)| id)
+            .collect();
+        // Context bounding (CHESS): once the preemption budget is
+        // spent, a thread that can keep running must keep running —
+        // only *forced* switches (the active thread blocked or
+        // finished) still branch. This collapses the schedule space
+        // from exponential in scheduling points to exponential in the
+        // (small) bound, while still covering every schedule reachable
+        // with ≤ bound preemptions.
+        if inner.preemptions >= inner.max_preemptions {
+            if let Some(p) = prev {
+                if runnable.contains(&p) {
+                    runnable = vec![p];
+                }
+            }
+        }
+        if runnable.is_empty() {
+            if inner.running == 0 {
+                inner.active = None;
+                self.driver.notify_all();
+            } else {
+                let blocked: Vec<String> = inner
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(id, t)| match t.state {
+                        ThreadState::Blocked { kind, .. } => Some(format!("t{id}:{kind:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                self.fail_locked(
+                    inner,
+                    format!(
+                        "deadlock: all live threads blocked ({})",
+                        blocked.join(", ")
+                    ),
+                );
+            }
+            self.turn.notify_all();
+            return;
+        }
+        let index = if runnable.len() == 1 {
+            0
+        } else {
+            inner.branches += 1;
+            if inner.branches > inner.max_branches {
+                self.fail_locked(
+                    inner,
+                    format!("schedule exceeded max_branches = {}", inner.max_branches),
+                );
+                return;
+            }
+            if inner.cursor < inner.choices.len() {
+                let taken = inner.choices[inner.cursor].taken;
+                if taken >= runnable.len() {
+                    self.fail_locked(
+                        inner,
+                        format!(
+                            "seed mismatch at branch {}: choice {taken} of {} runnable — \
+                             the model is non-deterministic or the seed is stale",
+                            inner.cursor,
+                            runnable.len()
+                        ),
+                    );
+                    return;
+                }
+                taken
+            } else {
+                inner.choices.push(Choice {
+                    taken: 0,
+                    options: runnable.len(),
+                });
+                0
+            }
+        };
+        if runnable.len() > 1 {
+            // Keep `options` honest on replayed prefixes (a parsed seed
+            // carries a sentinel) so odometer backtracking stays valid.
+            inner.choices[inner.cursor].options = runnable.len();
+            inner.cursor += 1;
+        }
+        let chosen = runnable[index];
+        if let Some(p) = prev {
+            // Moving the turn off a thread that could have continued
+            // spends one unit of the preemption budget.
+            if chosen != p && inner.threads[p].state == ThreadState::Runnable {
+                inner.preemptions += 1;
+            }
+        }
+        inner.active = Some(chosen);
+        self.turn.notify_all();
+    }
+
+    /// The universal scheduling point: restate the calling thread
+    /// (`None` = stay runnable, i.e. a yield; `Some` = block), pick a
+    /// successor, and wait for the turn token to come back.
+    pub(crate) fn switch(&self, me: usize, block_on: Option<(usize, BlockKind)>) {
+        let mut inner = lock_inner(self);
+        if inner.aborting {
+            drop(inner);
+            panic_abort();
+        }
+        inner.threads[me].state = match block_on {
+            None => ThreadState::Runnable,
+            Some((on, kind)) => ThreadState::Blocked { on, kind },
+        };
+        self.pick_next(&mut inner);
+        loop {
+            if inner.aborting {
+                drop(inner);
+                panic_abort();
+            }
+            if inner.active == Some(me) {
+                return;
+            }
+            inner = self
+                .turn
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Wakes every thread blocked on (`on`, `kind`). The woken threads
+    /// become runnable but do not run until scheduled.
+    pub(crate) fn wake_all(&self, on: usize, kind: BlockKind) {
+        let mut inner = lock_inner(self);
+        for t in &mut inner.threads {
+            if t.state == (ThreadState::Blocked { on, kind }) {
+                t.state = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// Wakes the lowest-id thread blocked on (`on`, `kind`) — the
+    /// deterministic stand-in for "some waiter". Returns whether one
+    /// was found.
+    pub(crate) fn wake_one(&self, on: usize, kind: BlockKind) -> bool {
+        let mut inner = lock_inner(self);
+        for t in &mut inner.threads {
+            if t.state == (ThreadState::Blocked { on, kind }) {
+                t.state = ThreadState::Runnable;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Registers a new model thread (runnable, not yet scheduled) and
+    /// returns its id. Called by the spawning thread, which keeps the
+    /// turn token.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut inner = lock_inner(self);
+        inner.threads.push(ThreadSlot {
+            state: ThreadState::Runnable,
+            unpark_permit: false,
+        });
+        inner.running += 1;
+        inner.threads.len() - 1
+    }
+
+    /// Whether `id` has finished (join fast-path). Because only the
+    /// calling thread runs, the answer cannot change before the caller's
+    /// next scheduling point.
+    pub(crate) fn is_finished(&self, id: usize) -> bool {
+        lock_inner(self).threads[id].state == ThreadState::Finished
+    }
+
+    /// `park` support: consumes the pending unpark permit if present.
+    pub(crate) fn take_unpark_permit(&self, me: usize) -> bool {
+        let mut inner = lock_inner(self);
+        let had = inner.threads[me].unpark_permit;
+        inner.threads[me].unpark_permit = false;
+        had
+    }
+
+    /// `unpark` support: wakes a parked thread or banks the permit.
+    pub(crate) fn unpark(&self, target: usize) {
+        let mut inner = lock_inner(self);
+        if inner.threads[target].state
+            == (ThreadState::Blocked {
+                on: target,
+                kind: BlockKind::Park,
+            })
+        {
+            inner.threads[target].state = ThreadState::Runnable;
+        } else {
+            inner.threads[target].unpark_permit = true;
+        }
+    }
+
+    /// Marks `id` finished, wakes its joiners, records a panic as the
+    /// execution's failure, and passes the turn on.
+    fn finish_thread(&self, id: usize, panic_msg: Option<String>) {
+        let mut inner = lock_inner(self);
+        inner.threads[id].state = ThreadState::Finished;
+        inner.running -= 1;
+        for t in &mut inner.threads {
+            if t.state
+                == (ThreadState::Blocked {
+                    on: id,
+                    kind: BlockKind::Join,
+                })
+            {
+                t.state = ThreadState::Runnable;
+            }
+        }
+        if let Some(msg) = panic_msg {
+            self.fail_locked(&mut inner, format!("thread {id} panicked: {msg}"));
+        }
+        if inner.running == 0 {
+            inner.active = None;
+            self.driver.notify_all();
+            self.turn.notify_all();
+        } else if !inner.aborting {
+            self.pick_next(&mut inner);
+        }
+    }
+}
+
+/// A yield: a scheduling point where the calling thread stays runnable.
+pub(crate) fn yield_point(exec: &Arc<Execution>, me: usize) {
+    exec.switch(me, None);
+}
+
+/// Blocks the calling thread on (`on`, `kind`) until woken *and*
+/// rescheduled.
+pub(crate) fn block(exec: &Arc<Execution>, me: usize, on: usize, kind: BlockKind) {
+    exec.switch(me, Some((on, kind)));
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
+    if payload.is::<Abort>() {
+        return None;
+    }
+    Some(match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
+    })
+}
+
+/// The body every model OS thread runs: install the thread-local
+/// context, wait for the first turn, run the user closure, tear down.
+pub(crate) fn run_thread(exec: Arc<Execution>, id: usize, body: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec.clone(), id)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Wait for the first turn inside the unwind guard so an abort
+        // while queued still reaches finish_thread.
+        {
+            let mut inner = lock_inner(&exec);
+            loop {
+                if inner.aborting {
+                    drop(inner);
+                    panic_abort();
+                }
+                if inner.active == Some(id) {
+                    break;
+                }
+                inner = exec
+                    .turn
+                    .wait(inner)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        body();
+    }));
+    let panic_msg = match outcome {
+        Ok(()) => None,
+        Err(payload) => panic_message(payload),
+    };
+    exec.finish_thread(id, panic_msg);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Used by `thread::spawn` to hand the spawned closure its context.
+pub(crate) fn spawn_model_thread(
+    exec: &Arc<Execution>,
+    body: impl FnOnce() + Send + 'static,
+) -> usize {
+    let id = exec.register_thread();
+    let exec2 = exec.clone();
+    std::thread::spawn(move || run_thread(exec2, id, body));
+    id
+}
+
+struct Outcome {
+    failure: Option<String>,
+    choices: Vec<Choice>,
+}
+
+fn run_one(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<Choice>,
+    max_branches: usize,
+    max_preemptions: usize,
+) -> Outcome {
+    let exec = Arc::new(Execution::new(prefix, max_branches, max_preemptions));
+    let exec2 = exec.clone();
+    let f2 = f.clone();
+    let root = std::thread::spawn(move || run_thread(exec2, 0, move || f2()));
+    let outcome = {
+        let mut inner = lock_inner(&exec);
+        while inner.running > 0 {
+            inner = exec
+                .driver
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        Outcome {
+            failure: inner.failure.clone(),
+            choices: inner.choices.clone(),
+        }
+    };
+    let _ = root.join();
+    outcome
+}
+
+/// A seed names a schedule completely: the preemption bound it was
+/// explored under (`p<k>:` prefix; absent = unbounded) plus the
+/// dash-separated branch choices. The bound is part of the seed because
+/// it decides *where* branches occur — replaying bound-2 choices under
+/// a different bound would desynchronise the cursor.
+fn seed_of(bound: usize, choices: &[Choice]) -> String {
+    let choices = choices
+        .iter()
+        .map(|c| c.taken.to_string())
+        .collect::<Vec<_>>()
+        .join("-");
+    if bound == usize::MAX {
+        choices
+    } else {
+        format!("p{bound}:{choices}")
+    }
+}
+
+fn parse_seed(seed: &str) -> (usize, Vec<Choice>) {
+    let (bound, choices) = match seed.strip_prefix('p').and_then(|rest| rest.split_once(':')) {
+        Some((bound, choices)) => (
+            bound
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("malformed loomlite seed bound {bound:?}")),
+            choices,
+        ),
+        None => (usize::MAX, seed),
+    };
+    let choices = choices
+        .split('-')
+        .filter(|part| !part.is_empty())
+        .map(|part| Choice {
+            taken: part
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("malformed loomlite seed component {part:?}")),
+            // Sentinel: the real option count is recomputed (and
+            // validated against `taken`) when the branch replays.
+            options: usize::MAX,
+        })
+        .collect();
+    (bound, choices)
+}
+
+/// Outcome of a completed (non-failing) exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Whether the whole schedule space *within the preemption bound*
+    /// was exhausted (`false` means the [`Builder::max_schedules`] cap
+    /// stopped the search).
+    pub complete: bool,
+}
+
+/// Exploration configuration. The defaults exhaust small models (2–3
+/// threads, a handful of sync operations each) in well under a second.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    max_schedules: usize,
+    max_branches: usize,
+    max_preemptions: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            max_schedules: 100_000,
+            max_branches: 10_000,
+            max_preemptions: 2,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps how many schedules the DFS may execute before giving up
+    /// (reported via [`Report::complete`]).
+    #[must_use]
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Caps scheduling decisions *within* one schedule; exceeding it is
+    /// reported as a failure (it means the model diverges).
+    #[must_use]
+    pub fn max_branches(mut self, n: usize) -> Self {
+        self.max_branches = n;
+        self
+    }
+
+    /// Caps *preemptions* per schedule (default 2): switches away from
+    /// a thread that could have kept running. Forced switches — the
+    /// active thread blocked or finished — are always free, so every
+    /// blocking handshake is still fully explored. Empirically (CHESS)
+    /// almost all interleaving bugs manifest within two preemptions,
+    /// and the bound is what keeps channel-heavy models exhaustible.
+    /// `usize::MAX` disables the bound.
+    #[must_use]
+    pub fn max_preemptions(mut self, n: usize) -> Self {
+        self.max_preemptions = n;
+        self
+    }
+
+    /// Explores interleavings of `f` depth-first until the space (within
+    /// the preemption bound) is exhausted or
+    /// [`max_schedules`](Self::max_schedules) is hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing schedule — assertion failure, panic,
+    /// or deadlock — with a message carrying the replay seed (also
+    /// printed to stderr).
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut prefix: Vec<Choice> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            let outcome = run_one(&f, prefix, self.max_branches, self.max_preemptions);
+            schedules += 1;
+            if let Some(msg) = outcome.failure {
+                let seed = seed_of(self.max_preemptions, &outcome.choices);
+                eprintln!("loomlite: schedule {schedules} failed; replay with seed \"{seed}\"");
+                panic!("loomlite: model failure [seed {seed}]: {msg}");
+            }
+            if schedules >= self.max_schedules {
+                return Report {
+                    schedules,
+                    complete: false,
+                };
+            }
+            // Odometer backtracking: bump the deepest branch that still
+            // has untried options, dropping exhausted suffixes.
+            let mut next = outcome.choices;
+            loop {
+                match next.last_mut() {
+                    None => {
+                        return Report {
+                            schedules,
+                            complete: true,
+                        }
+                    }
+                    Some(last) if last.taken + 1 < last.options => {
+                        last.taken += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        next.pop();
+                    }
+                }
+            }
+            prefix = next;
+        }
+    }
+}
+
+/// Explores interleavings of `f` with the default [`Builder`] bounds.
+///
+/// # Panics
+///
+/// Panics on the first failing schedule, with a replay seed in the
+/// message.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+/// Re-runs `f` under exactly the schedule a failure message named —
+/// `seed` is the dash-separated choice list from
+/// `"loomlite: model failure [seed ...]"`.
+///
+/// # Panics
+///
+/// Panics (with the same failure text) if the replayed schedule fails,
+/// and on a malformed or stale seed. Returns normally if the schedule
+/// passes.
+pub fn replay<F>(seed: &str, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let (bound, choices) = parse_seed(seed);
+    let outcome = run_one(&f, choices, Builder::default().max_branches, bound);
+    if let Some(msg) = outcome.failure {
+        panic!(
+            "loomlite: model failure [seed {}]: {msg}",
+            seed_of(bound, &outcome.choices)
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! # loomlite
+//!
+//! A minimal [loom](https://github.com/tokio-rs/loom)-style concurrency
+//! model checker, vendored for this workspace (no crates.io access).
+//!
+//! The idea: a test body spawns threads through [`thread::spawn`] and
+//! synchronises through the shim types in [`sync`]. Under
+//! [`model`]/[`Builder::check`] those shims hand control to a
+//! cooperative scheduler that runs exactly **one** thread at a time and
+//! treats every synchronisation operation as a *scheduling point*. The
+//! checker then enumerates thread interleavings by bounded depth-first
+//! search over the scheduling decisions, re-running the test body once
+//! per schedule, and reports the first schedule that panics, fails an
+//! assertion, or deadlocks.
+//!
+//! Every failure message carries a **seed** — the dash-separated list of
+//! branch choices that produced the failing schedule. [`replay`] re-runs
+//! exactly that schedule, so a counterexample found by the (possibly
+//! hours-long) exploration reproduces in milliseconds under a debugger.
+//!
+//! ## Passthrough mode
+//!
+//! Outside an active model execution the shims defer to their `std`
+//! equivalents, so code routed through loomlite under a `model` cfg
+//! behaves identically to std when a regular test (or the release
+//! binary) exercises it. This is what lets the vendored crossbeam and
+//! the engine's hot-state structures compile against the shims
+//! unconditionally once the `model` feature is on.
+//!
+//! ## Scope and caveats
+//!
+//! - Atomics are modelled with **sequentially consistent** semantics
+//!   regardless of the `Ordering` argument: loomlite explores thread
+//!   interleavings, not weak-memory reorderings. It therefore finds
+//!   lost updates, broken handshakes, deadlocks and lost/duplicated
+//!   messages, but not `Relaxed`-ordering-specific bugs.
+//! - Exploration is bounded by [`Builder::max_schedules`],
+//!   [`Builder::max_branches`] and a CHESS-style preemption bound
+//!   ([`Builder::max_preemptions`], default 2): schedules with more
+//!   than that many *optional* context switches are pruned, while
+//!   forced switches (a thread blocking) stay free. A [`Report`] says
+//!   whether the space within the bounds was exhausted. Seeds embed
+//!   the preemption bound (`p2:…`), so replay is exact.
+//! - The test body must be deterministic apart from scheduling (no wall
+//!   clock, no OS randomness) or seeds will not replay.
+//!
+//! ## Example
+//!
+//! ```
+//! use loomlite::sync::Mutex;
+//! use loomlite::{model, thread};
+//! use std::sync::Arc;
+//!
+//! let report = model(|| {
+//!     let counter = Arc::new(Mutex::new(0u32));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let counter = counter.clone();
+//!             thread::spawn(move || {
+//!                 let mut guard = counter.lock().unwrap();
+//!                 *guard += 1;
+//!             })
+//!         })
+//!         .collect();
+//!     for handle in handles {
+//!         handle.join().unwrap();
+//!     }
+//!     assert_eq!(*counter.lock().unwrap(), 2);
+//! });
+//! assert!(report.complete, "two-thread mutex space is tiny");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+pub mod sync;
+pub mod thread;
+
+pub use exec::{model, replay, Builder, Report};
+
+/// Whether the calling thread is running inside a model execution.
+///
+/// Code shared between model and passthrough builds uses this to gate
+/// behaviour that only makes sense under the virtual scheduler (e.g.
+/// the vendored crossbeam treats timed receives as blocking ones in
+/// model executions — an un-timed model has no deadlines).
+#[must_use]
+pub fn is_model_active() -> bool {
+    exec::current().is_some()
+}

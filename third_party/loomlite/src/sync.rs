@@ -1,0 +1,415 @@
+//! Shim synchronisation primitives: `std`-shaped `Mutex`, `Condvar` and
+//! atomics that insert scheduling points under a model execution and
+//! defer to `std` otherwise (passthrough mode).
+//!
+//! Signatures mirror `std::sync` closely enough that code written
+//! against `std` compiles unchanged after swapping the import — the
+//! property the vendored crossbeam's `model` feature relies on.
+
+use crate::exec::{self, BlockKind};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+pub use std::sync::{LockResult, PoisonError};
+
+/// A mutual-exclusion lock. In a model execution, acquisition is a
+/// scheduling point and contention is resolved by the explorer; in
+/// passthrough mode it is a plain `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: StdMutex<T>,
+    /// Model-side ownership (the thread id holding the lock). Only
+    /// consulted inside a model execution; the std lock above is then
+    /// uncontended by construction (one thread runs at a time).
+    owner: StdMutex<Option<usize>>,
+}
+
+/// RAII guard for [`Mutex`]; releases (and wakes model waiters) on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex around `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            data: StdMutex::new(value),
+            owner: StdMutex::new(None),
+        }
+    }
+
+    fn key(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    fn data_guard(&self) -> (StdMutexGuard<'_, T>, bool) {
+        match self.data.try_lock() {
+            Ok(guard) => (guard, false),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => (poisoned.into_inner(), true),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                unreachable!("loomlite invariant: model-owned mutex data contended")
+            }
+        }
+    }
+
+    /// Acquires the lock, blocking (in model mode: descheduling) until
+    /// available.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors `std`: poisoned in passthrough mode when a holder
+    /// panicked. Model executions abort the whole schedule on panic
+    /// instead, so model-mode acquisition never observes poison from a
+    /// *model* thread.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match exec::current() {
+            None => match self.data.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: false,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    model: false,
+                })),
+            },
+            Some((execution, me)) => {
+                loop {
+                    exec::yield_point(&execution, me);
+                    let mut owner = self.owner.lock().unwrap_or_else(PoisonError::into_inner);
+                    if owner.is_none() {
+                        *owner = Some(me);
+                        break;
+                    }
+                    drop(owner);
+                    exec::block(&execution, me, self.key(), BlockKind::Mutex);
+                }
+                let (inner, poisoned) = self.data_guard();
+                let guard = MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: true,
+                };
+                if poisoned {
+                    Err(PoisonError::new(guard))
+                } else {
+                    Ok(guard)
+                }
+            }
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    ///
+    /// # Errors
+    ///
+    /// Poisoned when a (passthrough) holder panicked.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+}
+
+impl<T> MutexGuard<'_, T> {
+    /// Releases the model-side ownership and wakes waiters, leaving the
+    /// guard inert. Used by [`Condvar::wait`] and `Drop`.
+    fn release(&mut self) {
+        self.inner = None;
+        if self.model {
+            self.model = false;
+            let mut owner = self
+                .lock
+                .owner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *owner = None;
+            drop(owner);
+            if let Some((execution, _)) = exec::current() {
+                execution.wake_all(self.lock.key(), BlockKind::Mutex);
+            }
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("loomlite: guard used after release")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("loomlite: guard used after release")
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`] (std's equivalent has no public
+/// constructor, so the shim defines its own).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable over the shim [`Mutex`]. Model-mode
+/// notification deterministically wakes the lowest-id waiter
+/// (`notify_one`) or all waiters (`notify_all`).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// A new condvar.
+    pub const fn new() -> Self {
+        Self {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn key(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Atomically releases `guard` and waits for a notification, then
+    /// reacquires the lock.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors `std` poison semantics in passthrough mode.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        match exec::current() {
+            None => {
+                let std_guard = guard
+                    .inner
+                    .take()
+                    .expect("loomlite: guard used after release");
+                drop(guard);
+                match self.inner.wait(std_guard) {
+                    Ok(inner) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: false,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(poisoned.into_inner()),
+                        model: false,
+                    })),
+                }
+            }
+            Some((execution, me)) => {
+                guard.release();
+                drop(guard);
+                exec::block(&execution, me, self.key(), BlockKind::Condvar);
+                lock.lock()
+            }
+        }
+    }
+
+    /// [`wait`](Self::wait) with a timeout. In model executions there
+    /// is no wall clock: the wait is treated as timing out after a
+    /// single scheduling point (callers loop on their predicate, so
+    /// this only trades blocking for polling in model runs).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors `std` poison semantics in passthrough mode.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let lock = guard.lock;
+        match exec::current() {
+            None => {
+                let mut guard = guard;
+                let std_guard = guard
+                    .inner
+                    .take()
+                    .expect("loomlite: guard used after release");
+                drop(guard);
+                match self.inner.wait_timeout(std_guard, timeout) {
+                    Ok((inner, timed_out)) => Ok((
+                        MutexGuard {
+                            lock,
+                            inner: Some(inner),
+                            model: false,
+                        },
+                        WaitTimeoutResult(timed_out.timed_out()),
+                    )),
+                    Err(poisoned) => {
+                        let (inner, timed_out) = poisoned.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock,
+                                inner: Some(inner),
+                                model: false,
+                            },
+                            WaitTimeoutResult(timed_out.timed_out()),
+                        )))
+                    }
+                }
+            }
+            Some((execution, me)) => {
+                let mut guard = guard;
+                guard.release();
+                drop(guard);
+                exec::yield_point(&execution, me);
+                match lock.lock() {
+                    Ok(guard) => Ok((guard, WaitTimeoutResult(true))),
+                    Err(poisoned) => Err(PoisonError::new((
+                        poisoned.into_inner(),
+                        WaitTimeoutResult(true),
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Wakes one waiter (model: the lowest-id one, deterministically).
+    pub fn notify_one(&self) {
+        match exec::current() {
+            None => self.inner.notify_one(),
+            Some((execution, _)) => {
+                execution.wake_one(self.key(), BlockKind::Condvar);
+            }
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match exec::current() {
+            None => self.inner.notify_all(),
+            Some((execution, _)) => {
+                execution.wake_all(self.key(), BlockKind::Condvar);
+            }
+        }
+    }
+}
+
+/// Shim atomics: every operation is a scheduling point in a model
+/// execution. Semantics are sequentially consistent regardless of the
+/// `Ordering` argument (see the crate docs for scope).
+pub mod atomic {
+    use crate::exec;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! shim_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $value:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                /// A new atomic holding `value`.
+                pub const fn new(value: $value) -> Self {
+                    Self(std::sync::atomic::$std::new(value))
+                }
+
+                fn sched(&self) {
+                    if let Some((execution, me)) = exec::current() {
+                        exec::yield_point(&execution, me);
+                    }
+                }
+
+                /// Loads the value (scheduling point in model mode).
+                pub fn load(&self, order: Ordering) -> $value {
+                    self.sched();
+                    self.0.load(order)
+                }
+
+                /// Stores `value` (scheduling point in model mode).
+                pub fn store(&self, value: $value, order: Ordering) {
+                    self.sched();
+                    self.0.store(value, order);
+                }
+
+                /// Swaps in `value`, returning the previous value.
+                pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                    self.sched();
+                    self.0.swap(value, order)
+                }
+
+                /// Compare-and-exchange; the read-modify-write itself is
+                /// atomic, the scheduling point sits before it.
+                pub fn compare_exchange(
+                    &self,
+                    current: $value,
+                    new: $value,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$value, $value> {
+                    self.sched();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    macro_rules! shim_atomic_arith {
+        ($name:ident, $value:ty) => {
+            impl $name {
+                /// Adds `value`, returning the previous value.
+                pub fn fetch_add(&self, value: $value, order: Ordering) -> $value {
+                    self.sched();
+                    self.0.fetch_add(value, order)
+                }
+
+                /// Subtracts `value`, returning the previous value.
+                pub fn fetch_sub(&self, value: $value, order: Ordering) -> $value {
+                    self.sched();
+                    self.0.fetch_sub(value, order)
+                }
+
+                /// Returns the maximum of the current value and `value`,
+                /// storing it.
+                pub fn fetch_max(&self, value: $value, order: Ordering) -> $value {
+                    self.sched();
+                    self.0.fetch_max(value, order)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(
+        /// Shim over `std::sync::atomic::AtomicBool`.
+        AtomicBool,
+        AtomicBool,
+        bool
+    );
+    shim_atomic!(
+        /// Shim over `std::sync::atomic::AtomicU64`.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    shim_atomic!(
+        /// Shim over `std::sync::atomic::AtomicUsize`.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    shim_atomic_arith!(AtomicU64, u64);
+    shim_atomic_arith!(AtomicUsize, usize);
+}

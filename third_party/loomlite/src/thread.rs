@@ -1,0 +1,132 @@
+//! Shim threading: `spawn`/`join`, `yield_now`, `sleep` and
+//! `park`/`unpark` that participate in the model scheduler, deferring to
+//! `std::thread` in passthrough mode.
+
+use crate::exec::{self, BlockKind, Execution};
+use std::sync::{Arc, Mutex as StdMutex};
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        execution: Arc<Execution>,
+        id: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Imp<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the thread's panic payload if it panicked — though under
+    /// a model execution a panicking thread fails the whole schedule, so
+    /// model-mode `join` only ever returns `Ok` (the joiner unwinds via
+    /// the scheduler instead of observing the panic).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Imp::Std(handle) => handle.join(),
+            Imp::Model {
+                execution,
+                id,
+                result,
+            } => {
+                let (_, me) = exec::current()
+                    .expect("loomlite: model JoinHandle joined from outside the model");
+                if !execution.is_finished(id) {
+                    exec::block(&execution, me, id, BlockKind::Join);
+                }
+                match result
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                {
+                    Some(value) => Ok(value),
+                    // The target panicked: its payload became the
+                    // schedule's failure; unwind this thread too.
+                    None => std::panic::panic_any(LoomliteJoinAbort),
+                }
+            }
+        }
+    }
+
+    /// Wakes the thread from [`park`], or banks the permit for its next
+    /// park — `std`'s `Thread::unpark`, surfaced on the handle (the
+    /// shim has no `Thread` type).
+    pub fn unpark(&self) {
+        match &self.0 {
+            Imp::Std(handle) => handle.thread().unpark(),
+            Imp::Model { execution, id, .. } => execution.unpark(*id),
+        }
+    }
+}
+
+/// Internal marker payload: joining a panicked model thread unwinds the
+/// joiner; the scheduler treats any panic during an aborting execution
+/// as part of the teardown.
+struct LoomliteJoinAbort;
+
+/// Spawns a thread. Inside a model execution the thread is registered
+/// with the scheduler and only runs when given the turn; otherwise this
+/// is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match exec::current() {
+        None => JoinHandle(Imp::Std(std::thread::spawn(f))),
+        Some((execution, _)) => {
+            let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+            let slot = result.clone();
+            let id = exec::spawn_model_thread(&execution, move || {
+                let value = f();
+                *slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+            });
+            JoinHandle(Imp::Model {
+                execution,
+                id,
+                result,
+            })
+        }
+    }
+}
+
+/// A scheduling point (model) / `std::thread::yield_now` (passthrough).
+pub fn yield_now() {
+    match exec::current() {
+        None => std::thread::yield_now(),
+        Some((execution, me)) => exec::yield_point(&execution, me),
+    }
+}
+
+/// Sleeping has no meaning under a virtual scheduler: in model mode
+/// this is a single scheduling point (as if the duration elapsed with
+/// no intervening wakeup); in passthrough mode a real sleep.
+pub fn sleep(duration: std::time::Duration) {
+    match exec::current() {
+        None => std::thread::sleep(duration),
+        Some((execution, me)) => exec::yield_point(&execution, me),
+    }
+}
+
+/// Blocks the calling thread until unparked (or consumes a banked
+/// permit). Mirrors `std::thread::park`; pair with
+/// [`JoinHandle::unpark`].
+pub fn park() {
+    match exec::current() {
+        None => std::thread::park(),
+        Some((execution, me)) => {
+            if execution.take_unpark_permit(me) {
+                exec::yield_point(&execution, me);
+            } else {
+                exec::block(&execution, me, me, BlockKind::Park);
+            }
+        }
+    }
+}
