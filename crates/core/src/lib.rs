@@ -45,16 +45,17 @@ mod runtime;
 mod session;
 
 pub use d3_engine::{
-    AdaptiveEngine, AdaptivePolicy, AutoscalePolicy, BatchOptions, ControlUpdate, Decision,
-    Deployment, FleetController, FleetOptions, FleetUpdate, FrameId, FullResolve, HysteresisLocal,
-    InjectedDelay, LinkShaping, NoAdapt, Observation, PlanSwap, PlanUpdate, PoolOptions,
-    PoolResize, PoolSize, PoolUpdate, ProbeOptions, ResourceLedger, StagePoolStats, Strategy,
-    StreamBuildError, StreamOptions, StreamRecvError, StreamReport, SubmitError, TelemetrySnapshot,
-    TelemetryTap, TenantCommit, TierContention, UpdateScope, VsmConfig,
+    AdaptiveEngine, AdaptivePolicy, AutoscalePolicy, BatchOptions, Codec, CodecSwitcher,
+    CodecUpdate, ControlUpdate, Decision, Deployment, Encoded, FleetController, FleetOptions,
+    FleetUpdate, FrameId, FullResolve, HysteresisLocal, InjectedDelay, LinkShaping, LinkTraffic,
+    NoAdapt, Observation, PlanSwap, PlanUpdate, PoolOptions, PoolResize, PoolSize, PoolUpdate,
+    ProbeOptions, ResourceLedger, StagePoolStats, Strategy, StreamBuildError, StreamOptions,
+    StreamRecvError, StreamReport, SubmitError, TelemetrySnapshot, TelemetryTap, TenantCommit,
+    TierContention, UpdateScope, VsmConfig, WireCodec,
 };
 pub use d3_model::{DnnGraph, NodeId};
 pub use d3_partition::{
-    Assignment, DriftMonitor, HpaOptions, PartitionError, Partitioner, Problem,
+    Assignment, CodecProfile, DriftMonitor, HpaOptions, PartitionError, Partitioner, Problem,
 };
 pub use d3_profiler::RegressionEstimator;
 pub use d3_simnet::{NetworkCondition, Tier, TierProfiles};

@@ -26,9 +26,8 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
-use d3_engine::{AdaptivePolicy, FleetController, FleetOptions};
+use d3_engine::{AdaptivePolicy, Clock, FleetController, FleetOptions};
 use d3_model::DnnGraph;
 use d3_partition::{Hpa, HpaOptions, PartitionError, Partitioner};
 use d3_simnet::{NetworkCondition, TierProfiles};
@@ -231,6 +230,9 @@ pub struct D3Runtime {
     /// The shared multi-tenant arbiter, when one is attached. Sessions
     /// opened on its tenants route their adaptation through it.
     fleet: Option<Arc<Mutex<FleetController>>>,
+    /// Timestamp source for serve-latency accounting — the engine-wide
+    /// clock seam rather than a raw `Instant::now()`.
+    clock: Clock,
 }
 
 impl std::fmt::Debug for D3Runtime {
@@ -475,14 +477,15 @@ impl D3Runtime {
                 got,
             });
         }
-        let start = Instant::now();
+        let start = self.clock.now();
         let output = entry.system.run(input);
         // Latency before count, and stats() reads count before latency:
         // a concurrent reader can only over-estimate the mean, never see
         // a counted request with missing latency (spurious zero mean).
+        let elapsed = self.clock.now().saturating_sub(start);
         entry
             .latency_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         entry.requests.fetch_add(1, Ordering::Relaxed);
         Ok(output)
     }

@@ -58,8 +58,9 @@
 
 use d3_engine::stream::StreamPipeline;
 use d3_engine::{
-    AdaptiveEngine, ControlUpdate, FleetController, FrameId, Observation, PlanSwap, PlanUpdate,
-    PoolResize, StreamBuildError, StreamRecvError, StreamReport, SubmitError, TelemetryTap,
+    AdaptiveEngine, CodecUpdate, ControlUpdate, FleetController, FrameId, Observation, PlanSwap,
+    PlanUpdate, PoolResize, StreamBuildError, StreamRecvError, StreamReport, SubmitError,
+    TelemetryTap,
 };
 use d3_partition::Assignment;
 use d3_simnet::Tier;
@@ -79,14 +80,16 @@ pub(crate) struct FleetHandle {
 }
 
 /// One change a session's adaptation loop applied to the running stream:
-/// a plan swap or a worker-pool resize. Returned by
-/// [`StreamSession::observe`] and [`StreamSession::adapt`].
+/// a plan swap, a worker-pool resize, or a per-link codec switch.
+/// Returned by [`StreamSession::observe`] and [`StreamSession::adapt`].
 #[derive(Debug, Clone)]
 pub enum AdaptEvent {
     /// The controller re-partitioned and the stream swapped plans.
     Plan(PlanSwap),
     /// The controller resized one stage's worker pool.
     Pool(PoolResize),
+    /// The controller switched one inter-tier link's wire codec.
+    Codec(CodecUpdate),
 }
 
 /// A live streaming session against one registered model.
@@ -284,6 +287,14 @@ impl StreamSession {
         self.pipeline.pool()
     }
 
+    /// The wire codec currently active per inter-tier link
+    /// (`[device→edge, edge→cloud]`). Changes when the controller
+    /// applies a [`CodecUpdate`] or the stream options selected one.
+    #[must_use]
+    pub fn link_codecs(&self) -> [d3_engine::WireCodec; 2] {
+        self.pipeline.link_codecs()
+    }
+
     /// Injects one out-of-band observation (e.g. a bandwidth probe's
     /// reading, a queue-depth report, or simulated drift) into the
     /// session's adaptation loop and applies every resulting update
@@ -415,6 +426,12 @@ impl StreamSession {
                     .resize_pool(pool.tier, pool.workers)
                     .expect("controller emitted an empty pool"),
             ),
+            ControlUpdate::Codec(codec) => {
+                // Quiesce-free: frames are self-describing, so the switch
+                // simply lands on the next batch boundary.
+                self.pipeline.set_link_codec(codec.link, codec.codec);
+                AdaptEvent::Codec(*codec)
+            }
         }
     }
 

@@ -34,6 +34,7 @@
 //! proportionally. Any re-partition invalidates the anchors (segments
 //! changed), and the next snapshot recalibrates.
 
+use crate::codec::{self, WireCodec};
 use crate::deploy::{Deployment, VsmConfig};
 use crate::telemetry::{Observation, TelemetrySnapshot};
 use d3_model::{DnnGraph, NodeId};
@@ -62,6 +63,19 @@ pub enum Decision {
         tier: Tier,
         /// Target worker count (absolute, not a delta).
         workers: usize,
+    },
+    /// Switch one inter-tier link's wire codec (emitted by
+    /// [`CodecSwitcher`] on bandwidth drift). The controller installs the
+    /// codec's [`d3_partition::CodecProfile`] on the live problem — so
+    /// later re-partitions optimize against the codec-adjusted link cost
+    /// — and asks the apply side to switch the running stream's link.
+    SwitchCodec {
+        /// Link index, shared with the stream layer (0: device→edge, 1:
+        /// edge→cloud; these coincide with the problem's
+        /// [`d3_simnet::Tier::link_index`] values).
+        link: usize,
+        /// The codec to run on the link.
+        codec: WireCodec,
     },
 }
 
@@ -220,7 +234,8 @@ impl AdaptivePolicy for FullResolve {
         match HysteresisLocal(self.0).decide(view, obs) {
             Decision::Hold => Decision::Hold,
             Decision::Local(_) | Decision::Full => Decision::Full,
-            resize @ Decision::Resize { .. } => resize, // never emitted
+            // Never emitted by the inner gates.
+            other @ (Decision::Resize { .. } | Decision::SwitchCodec { .. }) => other,
         }
     }
 
@@ -394,6 +409,150 @@ impl AdaptivePolicy for AutoscalePolicy {
     }
 }
 
+/// Bandwidth-driven per-link codec switching: the consumer of
+/// [`Observation::Network`] that closes the measure-then-adapt loop for
+/// wire codecs. When a link's measured rate stays at or below
+/// [`engage_mbps`](Self::engage_mbps) for [`patience`](Self::patience)
+/// consecutive network observations, the policy asks for
+/// [`codec`](Self::codec) on that link; once the rate recovers to
+/// [`disengage_mbps`](Self::disengage_mbps) or above for `patience`
+/// observations, it asks for [`WireCodec::Raw`] again. The gap between
+/// the two thresholds is the hysteresis band that keeps a jittery link
+/// from flapping between formats.
+///
+/// The policy is deliberately *stateless about the pipeline*: whether a
+/// link is currently compressed is read from the live problem's
+/// [`d3_partition::CodecProfile`] (which only the controller's `execute`
+/// updates) — so a switch withheld by a fleet arbiter's cooldown is
+/// simply re-proposed on the next low-bandwidth observation instead of
+/// being lost.
+///
+/// Every observation the switcher does not act on is delegated to the
+/// wrapped `inner` policy, so codec switching composes with plan-level
+/// adaptation (e.g. [`HysteresisLocal`]) in one controller.
+pub struct CodecSwitcher {
+    /// The plan-level policy handling everything the switcher holds.
+    inner: Box<dyn AdaptivePolicy>,
+    /// The codec to engage on a starved link.
+    pub codec: WireCodec,
+    /// Link rate (Mbit/s) at/below which an observation votes to engage.
+    pub engage_mbps: f64,
+    /// Link rate (Mbit/s) at/above which an observation votes to revert
+    /// to raw. Must exceed `engage_mbps` (hysteresis).
+    pub disengage_mbps: f64,
+    /// Consecutive votes required before acting. Default 2.
+    pub patience: u32,
+    low_streak: [u32; 2],
+    high_streak: [u32; 2],
+}
+
+impl CodecSwitcher {
+    /// A switcher engaging `codec` below `engage_mbps` and reverting to
+    /// raw above `disengage_mbps`, delegating everything else to `inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the thresholds leave no hysteresis band
+    /// (`disengage_mbps <= engage_mbps`) or when `codec` is raw.
+    #[must_use]
+    pub fn new(
+        inner: Box<dyn AdaptivePolicy>,
+        codec: WireCodec,
+        engage_mbps: f64,
+        disengage_mbps: f64,
+    ) -> Self {
+        assert!(
+            disengage_mbps > engage_mbps,
+            "disengage threshold must sit above engage (hysteresis)"
+        );
+        assert!(
+            codec != WireCodec::Raw,
+            "engaging the raw codec would make the switcher a no-op"
+        );
+        Self {
+            inner,
+            codec,
+            engage_mbps,
+            disengage_mbps,
+            patience: 2,
+            low_streak: [0; 2],
+            high_streak: [0; 2],
+        }
+    }
+
+    /// Sets how many consecutive votes trigger a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `patience` is zero.
+    #[must_use]
+    pub fn patience(mut self, patience: u32) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        self.patience = patience;
+        self
+    }
+}
+
+impl AdaptivePolicy for CodecSwitcher {
+    fn name(&self) -> &'static str {
+        "codec-switch"
+    }
+
+    fn decide(&mut self, view: &PolicyView<'_>, obs: &Observation) -> Decision {
+        let Observation::Network { net } = obs else {
+            return self.inner.decide(view, obs);
+        };
+        let rates = net.rates();
+        let per_link = [rates.device_edge_mbps, rates.edge_cloud_mbps];
+        for (link, mbps) in per_link.into_iter().enumerate() {
+            // The authoritative "is this link compressed" bit lives in
+            // the problem, not the policy, so withheld switches re-fire.
+            let engaged = !view.problem().link_codec(link).is_raw();
+            if !engaged && mbps <= self.engage_mbps {
+                self.high_streak[link] = 0;
+                self.low_streak[link] += 1;
+                if self.low_streak[link] >= self.patience {
+                    self.low_streak[link] = 0;
+                    return Decision::SwitchCodec {
+                        link,
+                        codec: self.codec,
+                    };
+                }
+            } else if engaged && mbps >= self.disengage_mbps {
+                self.low_streak[link] = 0;
+                self.high_streak[link] += 1;
+                if self.high_streak[link] >= self.patience {
+                    self.high_streak[link] = 0;
+                    return Decision::SwitchCodec {
+                        link,
+                        codec: WireCodec::Raw,
+                    };
+                }
+            } else {
+                // Inside the band (or already where the vote points):
+                // reset both streaks (hysteresis).
+                self.low_streak[link] = 0;
+                self.high_streak[link] = 0;
+            }
+        }
+        // No switch fired: the bandwidth signal still belongs to the
+        // plan-level policy (it may want a re-partition).
+        self.inner.decide(view, obs)
+    }
+
+    fn fork(&self) -> Box<dyn AdaptivePolicy> {
+        Box::new(Self {
+            inner: self.inner.fork(),
+            codec: self.codec,
+            engage_mbps: self.engage_mbps,
+            disengage_mbps: self.disengage_mbps,
+            patience: self.patience,
+            low_streak: [0; 2],
+            high_streak: [0; 2],
+        })
+    }
+}
+
 /// Per-tier cost inflation a multi-tenant arbiter applies to one
 /// tenant's re-partitions: each factor scales the apparent vertex cost
 /// of its tier during the solve (the live problem itself is untouched),
@@ -464,15 +623,29 @@ pub struct PoolUpdate {
     pub workers: usize,
 }
 
+/// A codec-switch directive emitted by the controller: run `codec` on
+/// one inter-tier link. Feed it to `StreamSession`'s update path (or
+/// `StreamPipeline::set_link_codec`) — the switch is quiesce-free, since
+/// wire frames are self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecUpdate {
+    /// Link index (0: device→edge, 1: edge→cloud).
+    pub link: usize,
+    /// The codec to run on the link.
+    pub codec: WireCodec,
+}
+
 /// Everything an [`AdaptiveEngine`] can ask the apply side to do: swap
-/// the partition plan, or resize a stage's worker pool. One observation
-/// produces at most one update.
+/// the partition plan, resize a stage's worker pool, or switch a link's
+/// wire codec. One observation produces at most one update.
 #[derive(Debug, Clone)]
 pub enum ControlUpdate {
     /// Redeploy onto a new partition plan.
     Plan(PlanUpdate),
     /// Resize one stage's worker pool.
     Pool(PoolUpdate),
+    /// Switch one inter-tier link's wire codec.
+    Codec(CodecUpdate),
 }
 
 /// The adaptive partition controller: ingests [`Observation`]s, lets its
@@ -496,6 +669,8 @@ pub struct AdaptiveEngine {
     pub full_updates: usize,
     /// Count of pool resizes emitted (queue-depth autoscaling).
     pub pool_updates: usize,
+    /// Count of link codec switches emitted (bandwidth-driven).
+    pub codec_updates: usize,
     /// Observations suppressed by the policy (held inside the band).
     pub suppressed: usize,
 }
@@ -508,6 +683,7 @@ impl std::fmt::Debug for AdaptiveEngine {
             .field("local_updates", &self.local_updates)
             .field("full_updates", &self.full_updates)
             .field("pool_updates", &self.pool_updates)
+            .field("codec_updates", &self.codec_updates)
             .field("suppressed", &self.suppressed)
             .finish()
     }
@@ -548,6 +724,7 @@ impl AdaptiveEngine {
             local_updates: 0,
             full_updates: 0,
             pool_updates: 0,
+            codec_updates: 0,
             suppressed: 0,
         }
     }
@@ -737,6 +914,16 @@ impl AdaptiveEngine {
                 self.pool_updates += 1;
                 Some(ControlUpdate::Pool(PoolUpdate { tier, workers }))
             }
+            Decision::SwitchCodec { link, codec } => {
+                // Unlike a resize, a codec switch *does* touch the cost
+                // model: the link's codec profile changes its effective
+                // weight, so every later re-partition optimizes against
+                // the compressed link. The hysteresis references stay
+                // untouched — vertex weights did not move.
+                self.problem.set_link_codec(link, codec::profile(codec));
+                self.codec_updates += 1;
+                Some(ControlUpdate::Codec(CodecUpdate { link, codec }))
+            }
         }
     }
 
@@ -749,17 +936,35 @@ impl AdaptiveEngine {
     /// dropped pool resize is simply re-emitted by the autoscaler on the
     /// next congested window.
     pub fn ingest_snapshot(&mut self, snapshot: &TelemetrySnapshot) -> Option<ControlUpdate> {
+        let prior_codec = [self.problem.link_codec(0), self.problem.link_codec(1)];
         let mut last_plan = None;
         let mut last_pool = None;
+        let mut last_codec = None;
         for obs in &snapshot.observations {
             match self.ingest(obs) {
                 Some(ControlUpdate::Plan(update)) => last_plan = Some(update),
                 Some(ControlUpdate::Pool(update)) => last_pool = Some(update),
+                Some(ControlUpdate::Codec(update)) => last_codec = Some(update),
                 None => {}
             }
         }
-        last_plan
-            .map(ControlUpdate::Plan)
+        // Plan first (the controller already adopted it internally),
+        // then codec (the problem's link profile already changed), then
+        // pool (freely re-emitted by the autoscaler).
+        if last_plan.is_some() {
+            if let Some(update) = last_codec {
+                // The plan wins this snapshot, so the codec switch never
+                // reaches the pipeline: restore the link's prior profile
+                // — [`CodecSwitcher`] reads engagement from the problem,
+                // so the dropped switch is re-proposed on the next
+                // low-bandwidth observation instead of being lost.
+                self.problem
+                    .set_link_codec(update.link, prior_codec[update.link]);
+            }
+            return last_plan.map(ControlUpdate::Plan);
+        }
+        last_codec
+            .map(ControlUpdate::Codec)
             .or(last_pool.map(ControlUpdate::Pool))
     }
 
@@ -822,7 +1027,10 @@ impl AdaptiveEngine {
     /// Bytes per frame the current plan ships across each inter-tier
     /// link, as `[device↔edge, edge↔cloud, device↔cloud]` — the
     /// bandwidth row of a fleet's resource ledger. A tensor consumed by
-    /// several vertices of the same remote tier crosses once.
+    /// several vertices of the same remote tier crosses once. These are
+    /// **on-wire** bytes: a codec profile installed on a link shrinks its
+    /// row by the codec's achieved ratio, so the ledger never
+    /// double-charges compressed traffic.
     #[must_use]
     pub fn committed_link_bytes(&self) -> [u64; 3] {
         let mut out = [0u64; 3];
@@ -834,7 +1042,13 @@ impl AdaptiveEngine {
                     continue; // same tier
                 };
                 if seen.insert((node.id, link)) {
-                    out[link] += node.output_bytes();
+                    let raw = node.output_bytes();
+                    let profile = self.problem.link_codec(link);
+                    out[link] += if profile.is_raw() {
+                        raw
+                    } else {
+                        (raw as f64 * profile.ratio).ceil() as u64
+                    };
                 }
             }
         }

@@ -1,0 +1,987 @@
+//! Compressed + quantized wire codecs for inter-tier tensor transport.
+//!
+//! The paper's premise is that the device↔edge↔cloud link is the
+//! bottleneck — yet the raw [`wire`](crate::wire) format ships every
+//! activation tensor as plain f32. This module adds the codec layer at
+//! the stage boundary, with two families behind one [`Codec`] trait:
+//!
+//! - **Lossless** ([`WireCodec::Lossless`]): bit-exact byte-plane
+//!   compression. The f32 payload is split into its four little-endian
+//!   byte planes (activation tensors have highly coherent sign/exponent
+//!   bytes and, after ReLU, long all-zero spans), each plane is
+//!   delta-filtered and run-length coded, and any plane the filter does
+//!   not shrink is stored raw. The design is deliberately *asymmetric*
+//!   in the ZXC/ZX02 style: the encoder does the scanning work, while
+//!   decoding is a near-memcpy pass (RLE expand + prefix sum) — which
+//!   matches the traffic shape, where a weak device encodes once and a
+//!   fast tier decodes.
+//! - **Quantized** ([`WireCodec::F16`], [`WireCodec::I8`]): opt-in lossy
+//!   paths. f16 keeps a per-value relative error ≤ 2⁻¹¹; i8 stores a
+//!   per-tensor affine `min + q·scale` with error ≤ `scale/2`. Both
+//!   bound their worst case via [`error_bound`], measure the *achieved*
+//!   max dequantization error at encode time ([`Encoded::accuracy_delta`],
+//!   aggregated into the stream report), and fall back to a bit-exact
+//!   raw payload per frame when the tensor contains non-finite values
+//!   (so NaN/Inf probes survive even the lossy paths).
+//!
+//! Frames are **self-describing**: raw [`wire`](crate::wire) frames keep
+//! their magic, codec frames carry their own magic + codec tag, and
+//! [`decode`] dispatches on content. A receiving stage therefore handles
+//! any mix of encodings, which is what lets the adaptation loop switch a
+//! link's codec mid-stream without quiescing the pipeline.
+//!
+//! Codecs also *drive decisions*: [`profile`]/[`measured_profile`]
+//! express a codec as a [`d3_partition::CodecProfile`] (achieved ratio,
+//! encode/decode s/MB) that [`d3_partition::Problem::set_link_codec`]
+//! folds into the link weights, so the optimal split point moves when
+//! compression is on.
+
+use crate::clock::Clock;
+use crate::wire::{self, WireError};
+use bytes::Bytes;
+use d3_partition::CodecProfile;
+use d3_tensor::Tensor;
+
+/// Magic tag of a codec-encoded frame (raw frames keep the
+/// [`wire`](crate::wire) magic, so the two formats are distinguishable
+/// on content alone).
+const CODEC_MAGIC: u32 = 0xD3C0_0002;
+
+/// Header bytes of a codec frame: magic, tag, flags, reserved, shape.
+const HEADER: usize = 4 + 1 + 1 + 2 + 12;
+
+/// Frame flag: a quantized frame whose payload is raw f32 little-endian
+/// (the encoder hit non-finite or out-of-range values and fell back to
+/// the bit-exact representation).
+const FLAG_RAW_FALLBACK: u8 = 0x01;
+
+/// Frame flag: a lossless frame whose payload is stored uncompressed
+/// (the filters did not shrink this tensor, so the encoder shipped the
+/// f32 payload as-is — decode is a pure memcpy).
+const FLAG_STORED: u8 = 0x02;
+
+/// The wire codec active on a link — the unit the stream options,
+/// adaptation decisions and partition cost model all speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireCodec {
+    /// Plain [`wire`](crate::wire) frames (the pre-codec format).
+    #[default]
+    Raw,
+    /// Bit-exact byte-plane + delta/RLE compression (asymmetric:
+    /// decode is near-memcpy).
+    Lossless,
+    /// f32 → f16 quantization, relative error ≤ 2⁻¹¹ per value.
+    F16,
+    /// f32 → i8 affine quantization with per-tensor scale/zero-point,
+    /// error ≤ scale/2.
+    I8,
+}
+
+impl WireCodec {
+    /// Every codec, in tag order.
+    pub const ALL: [WireCodec; 4] = [
+        WireCodec::Raw,
+        WireCodec::Lossless,
+        WireCodec::F16,
+        WireCodec::I8,
+    ];
+
+    /// Whether this codec may change values (quantized paths).
+    #[must_use]
+    pub fn is_lossy(self) -> bool {
+        matches!(self, WireCodec::F16 | WireCodec::I8)
+    }
+
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WireCodec::Raw => "raw",
+            WireCodec::Lossless => "lossless",
+            WireCodec::F16 => "f16",
+            WireCodec::I8 => "i8",
+        }
+    }
+
+    /// The frame tag byte of this codec (raw frames carry no tag).
+    fn tag(self) -> u8 {
+        match self {
+            WireCodec::Raw => 0,
+            WireCodec::Lossless => 1,
+            WireCodec::F16 => 2,
+            WireCodec::I8 => 3,
+        }
+    }
+
+    /// Codec for a stored frame tag, used by the live codec switch
+    /// (codec state travels between threads as its tag byte).
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<WireCodec> {
+        WireCodec::ALL.into_iter().find(|c| c.tag() == tag)
+    }
+
+    /// The tag byte, public counterpart of [`from_tag`](Self::from_tag).
+    #[must_use]
+    pub fn to_tag(self) -> u8 {
+        self.tag()
+    }
+}
+
+impl std::fmt::Display for WireCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One encoded frame plus its accounting: the on-wire bytes, what the
+/// raw wire format would have used, and the achieved quantization error.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// The self-describing frame.
+    pub bytes: Bytes,
+    /// Bytes the raw [`wire`](crate::wire) format would have used
+    /// (header + f32 payload) — the "before" of the compression ratio
+    /// and the number the prober reports as raw bytes.
+    pub raw_len: u64,
+    /// Measured max |original − dequantized| over the tensor (0 for
+    /// bit-exact paths and raw-fallback frames).
+    pub accuracy_delta: f64,
+}
+
+impl Encoded {
+    /// Bytes actually on the wire.
+    #[must_use]
+    pub fn wire_len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Achieved compression ratio (on-wire / raw; 1.0 for empty frames).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.raw_len == 0 {
+            1.0
+        } else {
+            self.wire_len() as f64 / self.raw_len as f64
+        }
+    }
+}
+
+/// One wire codec: encodes tensors into self-describing frames that the
+/// universal [`decode`] reverses. Implementations must be stateless per
+/// frame (frames from different codecs interleave freely on a link).
+pub trait Codec: Send + Sync {
+    /// Which codec this is.
+    fn id(&self) -> WireCodec;
+    /// Encodes one tensor into a self-describing frame.
+    fn encode(&self, t: &Tensor) -> Encoded;
+}
+
+/// The raw pass-through codec ([`wire`](crate::wire) frames).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RawCodec;
+
+/// The bit-exact byte-plane + delta/RLE codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LosslessCodec;
+
+/// The f32→f16 quantizing codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct F16Codec;
+
+/// The f32→i8 affine quantizing codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct I8Codec;
+
+impl Codec for RawCodec {
+    fn id(&self) -> WireCodec {
+        WireCodec::Raw
+    }
+
+    fn encode(&self, t: &Tensor) -> Encoded {
+        let bytes = wire::encode(t);
+        Encoded {
+            raw_len: bytes.len() as u64,
+            bytes,
+            accuracy_delta: 0.0,
+        }
+    }
+}
+
+impl Codec for LosslessCodec {
+    fn id(&self) -> WireCodec {
+        WireCodec::Lossless
+    }
+
+    fn encode(&self, t: &Tensor) -> Encoded {
+        let data = t.data();
+        let n = data.len();
+        // Zero bitmap (bit i set ⇔ element i has nonzero *bits* — `-0.0`
+        // counts as nonzero so the round trip stays bit-exact). ReLU
+        // activations are half zeros, and each zero costs one bit here
+        // instead of four bytes on the wire.
+        let mut bitmap = vec![0u8; n.div_ceil(8)];
+        let mut nonzero: Vec<f32> = Vec::with_capacity(n);
+        for (i, &v) in data.iter().enumerate() {
+            if v.to_bits() != 0 {
+                bitmap[i / 8] |= 1 << (i % 8);
+                nonzero.push(v);
+            }
+        }
+        // Split the nonzero residue into its four little-endian byte
+        // planes; sign/exponent bytes of same-magnitude activations are
+        // coherent, so the delta filter turns them into RLE runs.
+        let mut planes: [Vec<u8>; 4] = std::array::from_fn(|_| Vec::with_capacity(nonzero.len()));
+        for &v in &nonzero {
+            let b = v.to_le_bytes();
+            for (plane, byte) in planes.iter_mut().zip(b) {
+                plane.push(byte);
+            }
+        }
+        let mut out = Vec::with_capacity(HEADER + n * 2 + 32);
+        put_header(&mut out, WireCodec::Lossless, 0, t);
+        put_section(&mut out, &bitmap);
+        for plane in &planes {
+            put_section(&mut out, plane);
+        }
+        if out.len() > HEADER + n * 4 {
+            // Incompressible frame: store the raw payload under the
+            // codec magic instead (decode is a pure memcpy).
+            out.truncate(0);
+            put_header(&mut out, WireCodec::Lossless, FLAG_STORED, t);
+            for &v in data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Encoded {
+            bytes: Bytes::from(out),
+            raw_len: wire::wire_size(t),
+            accuracy_delta: 0.0,
+        }
+    }
+}
+
+/// Appends one filtered section: `method (0 = stored, 1 = delta+RLE)`,
+/// `u32` stored length, payload. The encoder picks whichever is smaller,
+/// so a section never costs more than its raw bytes plus framing.
+fn put_section(out: &mut Vec<u8>, raw: &[u8]) {
+    let filtered = rle_compress(&delta_filter(raw));
+    if filtered.len() < raw.len() {
+        out.push(1);
+        out.extend_from_slice(&(filtered.len() as u32).to_le_bytes());
+        out.extend_from_slice(&filtered);
+    } else {
+        out.push(0);
+        out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        out.extend_from_slice(raw);
+    }
+}
+
+/// Reads one [`put_section`] frame back, returning the raw bytes (which
+/// must measure `expect`) and the cursor advance.
+fn get_section(body: &[u8], at: usize, expect: usize) -> Result<(Vec<u8>, usize), WireError> {
+    let method = *body.get(at).ok_or(WireError::Truncated)?;
+    let len_bytes = body.get(at + 1..at + 5).ok_or(WireError::Truncated)?;
+    let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+    let stored = body.get(at + 5..at + 5 + len).ok_or(WireError::Truncated)?;
+    let raw = match method {
+        0 => {
+            if stored.len() != expect {
+                return Err(WireError::BadHeader);
+            }
+            stored.to_vec()
+        }
+        1 => {
+            let mut p = rle_decompress(stored, expect)?;
+            delta_unfilter(&mut p);
+            p
+        }
+        _ => return Err(WireError::BadHeader),
+    };
+    Ok((raw, 5 + len))
+}
+
+impl Codec for F16Codec {
+    fn id(&self) -> WireCodec {
+        WireCodec::F16
+    }
+
+    fn encode(&self, t: &Tensor) -> Encoded {
+        let data = t.data();
+        if !f16_representable(data) {
+            return quantized_fallback(WireCodec::F16, t);
+        }
+        let mut out = Vec::with_capacity(HEADER + data.len() * 2);
+        put_header(&mut out, WireCodec::F16, 0, t);
+        let mut delta = 0.0f64;
+        for &v in data {
+            let h = f32_to_f16_bits(v);
+            out.extend_from_slice(&h.to_le_bytes());
+            delta = delta.max((f64::from(v) - f64::from(f16_bits_to_f32(h))).abs());
+        }
+        Encoded {
+            bytes: Bytes::from(out),
+            raw_len: wire::wire_size(t),
+            accuracy_delta: delta,
+        }
+    }
+}
+
+impl Codec for I8Codec {
+    fn id(&self) -> WireCodec {
+        WireCodec::I8
+    }
+
+    fn encode(&self, t: &Tensor) -> Encoded {
+        let data = t.data();
+        if data.iter().any(|v| !v.is_finite()) {
+            return quantized_fallback(WireCodec::I8, t);
+        }
+        let (min, max) = data
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let (min, scale) = if data.is_empty() || min > max {
+            (0.0f32, 0.0f32)
+        } else {
+            (min, (max - min) / 255.0)
+        };
+        let mut out = Vec::with_capacity(HEADER + 8 + data.len());
+        put_header(&mut out, WireCodec::I8, 0, t);
+        out.extend_from_slice(&min.to_le_bytes());
+        out.extend_from_slice(&scale.to_le_bytes());
+        let mut delta = 0.0f64;
+        for &v in data {
+            let q = if scale == 0.0 {
+                0.0
+            } else {
+                ((v - min) / scale).round().clamp(0.0, 255.0)
+            };
+            out.push(q as u8);
+            let dq = i8_dequant(min, scale, q as u8);
+            delta = delta.max((f64::from(v) - f64::from(dq)).abs());
+        }
+        Encoded {
+            bytes: Bytes::from(out),
+            raw_len: wire::wire_size(t),
+            accuracy_delta: delta,
+        }
+    }
+}
+
+/// The codec implementation behind an id.
+#[must_use]
+pub fn codec_for(codec: WireCodec) -> &'static dyn Codec {
+    match codec {
+        WireCodec::Raw => &RawCodec,
+        WireCodec::Lossless => &LosslessCodec,
+        WireCodec::F16 => &F16Codec,
+        WireCodec::I8 => &I8Codec,
+    }
+}
+
+/// Encodes one tensor with `codec` (convenience over [`codec_for`]).
+#[must_use]
+pub fn encode(t: &Tensor, codec: WireCodec) -> Encoded {
+    codec_for(codec).encode(t)
+}
+
+/// Decodes any self-describing frame — raw [`wire`](crate::wire) frames
+/// and every codec frame — dispatching on the frame's own magic/tag.
+/// This is what lets a link switch codecs mid-stream: the receiver never
+/// needs to know what the sender chose.
+///
+/// # Errors
+///
+/// See [`WireError`].
+pub fn decode(buf: Bytes) -> Result<Tensor, WireError> {
+    let s = buf.as_slice();
+    if s.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let magic = u32::from_le_bytes([s[0], s[1], s[2], s[3]]);
+    if magic != CODEC_MAGIC {
+        // Raw frames (or garbage — wire::decode rejects bad magics).
+        return wire::decode(buf);
+    }
+    if s.len() < HEADER {
+        return Err(WireError::Truncated);
+    }
+    let tag = s[4];
+    let flags = s[5];
+    let c = u32::from_le_bytes([s[8], s[9], s[10], s[11]]) as usize;
+    let h = u32::from_le_bytes([s[12], s[13], s[14], s[15]]) as usize;
+    let w = u32::from_le_bytes([s[16], s[17], s[18], s[19]]) as usize;
+    let n = c
+        .checked_mul(h)
+        .and_then(|x| x.checked_mul(w))
+        .ok_or(WireError::BadHeader)?;
+    let body = &s[HEADER..];
+    let codec = WireCodec::from_tag(tag).ok_or(WireError::BadHeader)?;
+    let data = match codec {
+        WireCodec::Raw => return Err(WireError::BadHeader),
+        WireCodec::Lossless if flags & FLAG_STORED != 0 => decode_f32_payload(body, n)?,
+        WireCodec::Lossless => decode_lossless(body, n)?,
+        WireCodec::F16 | WireCodec::I8 if flags & FLAG_RAW_FALLBACK != 0 => {
+            decode_f32_payload(body, n)?
+        }
+        WireCodec::F16 => decode_f16(body, n)?,
+        WireCodec::I8 => decode_i8(body, n)?,
+    };
+    Ok(Tensor::from_vec(c, h, w, data))
+}
+
+/// Worst-case dequantization error `codec` can introduce on `t` — the
+/// *declared* bound the achieved [`Encoded::accuracy_delta`] must stay
+/// within. Bit-exact paths (and quantized frames that would fall back to
+/// raw) bound at zero.
+#[must_use]
+pub fn error_bound(codec: WireCodec, t: &Tensor) -> f64 {
+    let data = t.data();
+    match codec {
+        WireCodec::Raw | WireCodec::Lossless => 0.0,
+        WireCodec::F16 => {
+            if !f16_representable(data) {
+                return 0.0; // raw fallback: bit-exact
+            }
+            data.iter()
+                .map(|&v| (f64::from(v).abs() * 2f64.powi(-11)).max(2f64.powi(-25)))
+                .fold(0.0, f64::max)
+        }
+        WireCodec::I8 => {
+            if data.iter().any(|v| !v.is_finite()) {
+                return 0.0; // raw fallback: bit-exact
+            }
+            let (min, max) = data
+                .iter()
+                .fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            if data.is_empty() || min >= max {
+                return 0.0;
+            }
+            let scale = f64::from((max - min) / 255.0);
+            // Half a quantization step, plus slack for the f32 rounding
+            // of the quant/dequant arithmetic itself.
+            scale / 2.0 + (f64::from(min.abs().max(max.abs()))) * 1e-5 + 1e-30
+        }
+    }
+}
+
+/// Nominal cost-model descriptor of a codec: the default
+/// [`CodecProfile`] installed on a link when no measurement is
+/// available. Ratios are conservative for post-ReLU activation traffic;
+/// the encode/decode costs encode the deliberate asymmetry (decode is
+/// near-memcpy). Use [`measured_profile`] to replace these with numbers
+/// measured on real traffic.
+#[must_use]
+pub fn profile(codec: WireCodec) -> CodecProfile {
+    match codec {
+        WireCodec::Raw => CodecProfile::raw(),
+        WireCodec::Lossless => CodecProfile {
+            ratio: 0.60,
+            encode_s_per_mb: 0.012,
+            decode_s_per_mb: 0.003,
+        },
+        WireCodec::F16 => CodecProfile {
+            ratio: 0.50,
+            encode_s_per_mb: 0.005,
+            decode_s_per_mb: 0.002,
+        },
+        WireCodec::I8 => CodecProfile {
+            ratio: 0.26,
+            encode_s_per_mb: 0.006,
+            decode_s_per_mb: 0.002,
+        },
+    }
+}
+
+/// Measures a codec against a sample tensor: achieved ratio plus
+/// encode/decode seconds per raw megabyte, timed through the engine's
+/// [`Clock`] seam. The result plugs straight into
+/// [`d3_partition::Problem::set_link_codec`], so a partitioner can run
+/// against the codec's behavior *on this traffic* instead of the
+/// nominal constants.
+#[must_use]
+pub fn measured_profile(codec: WireCodec, sample: &Tensor, clock: &Clock) -> CodecProfile {
+    if codec == WireCodec::Raw {
+        return CodecProfile::raw();
+    }
+    const REPS: u32 = 3;
+    let start = clock.now();
+    let mut encoded = encode(sample, codec);
+    for _ in 1..REPS {
+        encoded = encode(sample, codec);
+    }
+    let encode_elapsed = clock.now().saturating_sub(start);
+    let start = clock.now();
+    for _ in 0..REPS {
+        let _ = decode(encoded.bytes.clone());
+    }
+    let decode_elapsed = clock.now().saturating_sub(start);
+    let mb = (encoded.raw_len as f64 / 1e6).max(1e-12);
+    CodecProfile {
+        ratio: encoded.ratio(),
+        encode_s_per_mb: encode_elapsed.as_secs_f64() / (f64::from(REPS) * mb),
+        decode_s_per_mb: decode_elapsed.as_secs_f64() / (f64::from(REPS) * mb),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame plumbing
+// ---------------------------------------------------------------------
+
+fn put_header(out: &mut Vec<u8>, codec: WireCodec, flags: u8, t: &Tensor) {
+    let (c, h, w) = t.shape();
+    out.extend_from_slice(&CODEC_MAGIC.to_le_bytes());
+    out.push(codec.tag());
+    out.push(flags);
+    out.extend_from_slice(&[0, 0]); // reserved
+    out.extend_from_slice(&(c as u32).to_le_bytes());
+    out.extend_from_slice(&(h as u32).to_le_bytes());
+    out.extend_from_slice(&(w as u32).to_le_bytes());
+}
+
+/// A quantized frame whose content cannot be represented (non-finite or
+/// out-of-range values): ship the bit-exact f32 payload under the
+/// codec's tag with the fallback flag set.
+fn quantized_fallback(codec: WireCodec, t: &Tensor) -> Encoded {
+    let data = t.data();
+    let mut out = Vec::with_capacity(HEADER + data.len() * 4);
+    put_header(&mut out, codec, FLAG_RAW_FALLBACK, t);
+    for &v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Encoded {
+        bytes: Bytes::from(out),
+        raw_len: wire::wire_size(t),
+        accuracy_delta: 0.0,
+    }
+}
+
+fn decode_f32_payload(body: &[u8], n: usize) -> Result<Vec<f32>, WireError> {
+    if body.len() != n * 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(body
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+// ---------------------------------------------------------------------
+// Lossless path: byte planes + delta filter + RLE
+// ---------------------------------------------------------------------
+
+/// Delta filter: each byte becomes its wrapping difference from the
+/// previous one, turning slowly-varying planes (exponents of
+/// similar-magnitude activations) into long zero runs for the RLE.
+fn delta_filter(plane: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(plane.len());
+    let mut prev = 0u8;
+    for &b in plane {
+        out.push(b.wrapping_sub(prev));
+        prev = b;
+    }
+    out
+}
+
+/// Inverse of [`delta_filter`]: a single prefix-sum pass (the decode
+/// side of the asymmetry — no scanning, no branching on content).
+fn delta_unfilter(deltas: &mut [u8]) {
+    let mut prev = 0u8;
+    for b in deltas {
+        *b = b.wrapping_add(prev);
+        prev = *b;
+    }
+}
+
+/// Run-length coding. Control byte: high bit set → a run of
+/// `(ctrl & 0x7F) + 2` copies of the following byte (runs 2–129); high
+/// bit clear → a literal block of `ctrl + 1` bytes (1–128). Runs shorter
+/// than 3 join the surrounding literal (a 2-run token saves nothing).
+fn rle_compress(src: &[u8]) -> Vec<u8> {
+    fn run_at(src: &[u8], i: usize, cap: usize) -> usize {
+        let b = src[i];
+        let mut len = 1;
+        while i + len < src.len() && src[i + len] == b && len < cap {
+            len += 1;
+        }
+        len
+    }
+    let mut out = Vec::with_capacity(src.len() / 4 + 8);
+    let mut i = 0;
+    while i < src.len() {
+        let run = run_at(src, i, 129);
+        if run >= 3 {
+            out.push(0x80 | (run - 2) as u8);
+            out.push(src[i]);
+            i += run;
+            continue;
+        }
+        // Literal: extend until a worthwhile run starts, chunk at 128.
+        let start = i;
+        i += run;
+        while i < src.len() && i - start < 128 {
+            let next = run_at(src, i, 3);
+            if next >= 3 {
+                break;
+            }
+            i += next;
+        }
+        let mut chunk = &src[start..i];
+        while !chunk.is_empty() {
+            let take = chunk.len().min(128);
+            out.push((take - 1) as u8);
+            out.extend_from_slice(&chunk[..take]);
+            chunk = &chunk[take..];
+        }
+    }
+    out
+}
+
+fn rle_decompress(src: &[u8], expect: usize) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(expect);
+    let mut i = 0;
+    while i < src.len() {
+        let ctrl = src[i];
+        i += 1;
+        if ctrl & 0x80 != 0 {
+            let run = (ctrl & 0x7F) as usize + 2;
+            let b = *src.get(i).ok_or(WireError::Truncated)?;
+            i += 1;
+            out.resize(out.len() + run, b);
+        } else {
+            let len = ctrl as usize + 1;
+            let chunk = src.get(i..i + len).ok_or(WireError::Truncated)?;
+            out.extend_from_slice(chunk);
+            i += len;
+        }
+        if out.len() > expect {
+            return Err(WireError::BadHeader);
+        }
+    }
+    if out.len() != expect {
+        return Err(WireError::Truncated);
+    }
+    Ok(out)
+}
+
+fn decode_lossless(body: &[u8], n: usize) -> Result<Vec<f32>, WireError> {
+    let (bitmap, advance) = get_section(body, 0, n.div_ceil(8))?;
+    let mut at = advance;
+    let nnz: usize = (0..n)
+        .filter(|&i| bitmap[i / 8] & (1 << (i % 8)) != 0)
+        .count();
+    let mut planes: [Vec<u8>; 4] = std::array::from_fn(|_| Vec::new());
+    for plane in &mut planes {
+        let (raw, advance) = get_section(body, at, nnz)?;
+        *plane = raw;
+        at += advance;
+    }
+    if at != body.len() {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut k = 0usize;
+    for i in 0..n {
+        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            out.push(f32::from_le_bytes([
+                planes[0][k],
+                planes[1][k],
+                planes[2][k],
+                planes[3][k],
+            ]));
+            k += 1;
+        } else {
+            out.push(0.0);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Quantized paths
+// ---------------------------------------------------------------------
+
+/// Whether every value survives the f16 round trip within the declared
+/// bound: finite and safely inside the f16 normal/subnormal range.
+fn f16_representable(data: &[f32]) -> bool {
+    data.iter().all(|v| v.is_finite() && v.abs() <= 65504.0)
+}
+
+/// f32 → f16 bit conversion, round-to-nearest-even. Callers guarantee
+/// the input is finite with |x| ≤ 65504 (see [`f16_representable`]).
+fn f32_to_f16_bits(x: f32) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 16) & 0x8000) as u16;
+    let e = ((b >> 23) & 0xFF) as i32 - 127;
+    let m = b & 0x007F_FFFF;
+    if e >= -14 {
+        // Normal half-precision range.
+        let mut half = (((e + 15) as u32) << 10) | (m >> 13);
+        let rest = m & 0x1FFF;
+        if rest > 0x1000 || (rest == 0x1000 && half & 1 == 1) {
+            half += 1; // may carry into the exponent, which is correct
+        }
+        sign | half as u16
+    } else if e >= -25 {
+        // Subnormal half: shift the full significand into place.
+        let full = m | 0x0080_0000;
+        let shift = (13 + (-14 - e)) as u32;
+        let mut half = (full >> shift) as u16;
+        let rest = full & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        if rest > halfway || (rest == halfway && half & 1 == 1) {
+            half += 1;
+        }
+        sign | half
+    } else {
+        sign // underflows to signed zero
+    }
+}
+
+/// f16 bits → f32 (exact: every f16 value is representable in f32).
+fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = if h & 0x8000 != 0 { -1.0f32 } else { 1.0f32 };
+    let e = (h >> 10) & 0x1F;
+    let m = u32::from(h & 0x03FF);
+    match e {
+        0 => sign * m as f32 * 2f32.powi(-24), // zero / subnormal
+        0x1F => {
+            if m == 0 {
+                sign * f32::INFINITY
+            } else {
+                f32::NAN
+            }
+        }
+        _ => {
+            let bits = (u32::from(h & 0x8000) << 16) | ((u32::from(e) + 112) << 23) | (m << 13);
+            f32::from_bits(bits)
+        }
+    }
+}
+
+fn decode_f16(body: &[u8], n: usize) -> Result<Vec<f32>, WireError> {
+    if body.len() != n * 2 {
+        return Err(WireError::Truncated);
+    }
+    Ok(body
+        .chunks_exact(2)
+        .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
+        .collect())
+}
+
+fn i8_dequant(min: f32, scale: f32, q: u8) -> f32 {
+    min + f32::from(q) * scale
+}
+
+fn decode_i8(body: &[u8], n: usize) -> Result<Vec<f32>, WireError> {
+    if body.len() != 8 + n {
+        return Err(WireError::Truncated);
+    }
+    let min = f32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+    let scale = f32::from_le_bytes([body[4], body[5], body[6], body[7]]);
+    Ok(body[8..]
+        .iter()
+        .map(|&q| i8_dequant(min, scale, q))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activationish(seed: u64) -> Tensor {
+        // Post-ReLU-like data: spatially clumped zeros + positive values.
+        let mut t = Tensor::random(4, 8, 8, seed);
+        for (i, v) in t.data_mut().iter_mut().enumerate() {
+            if (i / 7) % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn lossless_roundtrip_is_bit_exact() {
+        for seed in 0..4 {
+            let t = activationish(seed);
+            let enc = encode(&t, WireCodec::Lossless);
+            assert_eq!(enc.accuracy_delta, 0.0);
+            let back = decode(enc.bytes).unwrap();
+            assert_eq!(back.data(), t.data());
+        }
+    }
+
+    #[test]
+    fn lossless_compresses_sparse_activations() {
+        let t = activationish(1);
+        let enc = encode(&t, WireCodec::Lossless);
+        assert!(
+            enc.ratio() < 0.8,
+            "sparse activations should compress (ratio {})",
+            enc.ratio()
+        );
+    }
+
+    #[test]
+    fn lossless_never_exceeds_raw_by_more_than_header_delta() {
+        // Incompressible frames fall back to FLAG_STORED, so the worst
+        // case is the codec header's 4 extra bytes over the raw wire
+        // header — never the per-section framing.
+        let t = Tensor::random(2, 5, 5, 9);
+        let enc = encode(&t, WireCodec::Lossless);
+        assert!(enc.wire_len() <= enc.raw_len + (HEADER as u64 - 16));
+        assert_eq!(decode(enc.bytes).unwrap().data(), t.data());
+    }
+
+    #[test]
+    fn raw_codec_frames_are_plain_wire_frames() {
+        let t = Tensor::random(1, 4, 4, 3);
+        let enc = encode(&t, WireCodec::Raw);
+        assert_eq!(enc.bytes, wire::encode(&t));
+        assert_eq!(decode(enc.bytes).unwrap().data(), t.data());
+    }
+
+    #[test]
+    fn special_values_survive_every_codec() {
+        let t = Tensor::from_vec(
+            1,
+            1,
+            6,
+            vec![
+                0.0,
+                -0.0,
+                f32::NAN,
+                f32::INFINITY,
+                f32::MIN_POSITIVE,
+                -1.5e30,
+            ],
+        );
+        for codec in WireCodec::ALL {
+            let enc = encode(&t, codec);
+            // NaN/Inf force the quantized paths onto the raw fallback,
+            // so every codec is bit-exact here.
+            assert_eq!(enc.accuracy_delta, 0.0, "{codec}");
+            let back = decode(enc.bytes).unwrap();
+            assert_eq!(
+                back.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{codec}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_tensor_roundtrips_every_codec() {
+        let t = Tensor::from_vec(0, 3, 3, vec![]);
+        for codec in WireCodec::ALL {
+            let back = decode(encode(&t, codec).bytes).unwrap();
+            assert_eq!(back.shape(), (0, 3, 3), "{codec}");
+        }
+    }
+
+    #[test]
+    fn f16_error_within_declared_bound() {
+        let t = Tensor::random(3, 9, 9, 17);
+        let enc = encode(&t, WireCodec::F16);
+        let bound = error_bound(WireCodec::F16, &t);
+        assert!(
+            enc.accuracy_delta <= bound,
+            "{} > {bound}",
+            enc.accuracy_delta
+        );
+        assert!(
+            enc.accuracy_delta > 0.0,
+            "random data must quantize lossily"
+        );
+        // And the wire shrinks to ~half.
+        assert!(enc.ratio() < 0.55);
+    }
+
+    #[test]
+    fn i8_error_within_declared_bound() {
+        let t = Tensor::random(3, 9, 9, 23);
+        let enc = encode(&t, WireCodec::I8);
+        let bound = error_bound(WireCodec::I8, &t);
+        assert!(
+            enc.accuracy_delta <= bound,
+            "{} > {bound}",
+            enc.accuracy_delta
+        );
+        assert!(enc.ratio() < 0.3);
+    }
+
+    #[test]
+    fn i8_constant_tensor_is_exact() {
+        let t = Tensor::filled(2, 3, 3, 1.25);
+        let enc = encode(&t, WireCodec::I8);
+        assert_eq!(enc.accuracy_delta, 0.0);
+        assert_eq!(decode(enc.bytes).unwrap().data(), t.data());
+    }
+
+    #[test]
+    fn f16_conversion_matches_known_values() {
+        for (x, bits) in [
+            (0.0f32, 0x0000u16),
+            (1.0, 0x3C00),
+            (-2.0, 0xC000),
+            (65504.0, 0x7BFF),
+            (6.1035156e-5, 0x0400), // smallest normal
+            (5.9604645e-8, 0x0001), // smallest subnormal
+            (0.333_251_95, 0x3555),
+        ] {
+            assert_eq!(f32_to_f16_bits(x), bits, "{x}");
+            assert_eq!(f16_bits_to_f32(bits), x, "{bits:#x}");
+        }
+    }
+
+    #[test]
+    fn corrupt_codec_frames_are_typed_errors() {
+        let t = Tensor::random(2, 4, 4, 5);
+        let enc = encode(&t, WireCodec::Lossless);
+        let cut = enc.bytes.slice(0..enc.bytes.len() - 1);
+        assert!(decode(cut).is_err());
+        let mut bad_tag = enc.bytes.to_vec();
+        bad_tag[4] = 99;
+        assert_eq!(decode(Bytes::from(bad_tag)), Err(WireError::BadHeader));
+        assert_eq!(
+            decode(Bytes::from_static(&[1, 2, 3])),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rle_roundtrips_edge_shapes() {
+        for src in [
+            vec![],
+            vec![7u8],
+            vec![0u8; 1000],
+            (0..=255u8).collect::<Vec<_>>(),
+            vec![1, 1, 2, 2, 3, 3, 3, 0, 0, 0, 0, 9],
+        ] {
+            let packed = rle_compress(&src);
+            assert_eq!(rle_decompress(&packed, src.len()).unwrap(), src);
+        }
+    }
+
+    #[test]
+    fn nominal_profiles_are_sane() {
+        assert!(profile(WireCodec::Raw).is_raw());
+        for codec in [WireCodec::Lossless, WireCodec::F16, WireCodec::I8] {
+            let p = profile(codec);
+            assert!(p.ratio < 1.0 && p.ratio > 0.0);
+            assert!(
+                p.encode_s_per_mb > p.decode_s_per_mb,
+                "{codec}: codecs are asymmetric by design"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_profile_reflects_achieved_ratio() {
+        let t = activationish(2);
+        let p = measured_profile(WireCodec::Lossless, &t, &Clock::real());
+        let enc = encode(&t, WireCodec::Lossless);
+        assert!((p.ratio - enc.ratio()).abs() < 1e-12);
+        assert!(p.encode_s_per_mb >= 0.0 && p.decode_s_per_mb >= 0.0);
+        assert!(measured_profile(WireCodec::Raw, &t, &Clock::real()).is_raw());
+    }
+}

@@ -379,7 +379,16 @@ impl FleetController {
         let Some(decision) = tenant_state.engine.absorb_and_decide(obs) else {
             return Vec::new(); // invalid reading or calibration sample
         };
-        let wants_plan = matches!(decision, Decision::Local(_) | Decision::Full);
+        // Codec switches ride the plan gate: like a re-partition they
+        // change what the tenant's traffic looks like to everyone else
+        // (the ledger's on-wire bytes), so they respect the same
+        // cooldown and budget. A withheld switch re-proposes itself —
+        // the `CodecSwitcher` reads engagement from the live problem,
+        // which only `execute` updates.
+        let wants_plan = matches!(
+            decision,
+            Decision::Local(_) | Decision::Full | Decision::SwitchCodec { .. }
+        );
         if wants_plan && !allow_plan {
             // Withheld without touching the hysteresis references: the
             // same drift re-triggers once the gate lifts.
@@ -418,6 +427,13 @@ impl FleetController {
                     tenant_state.cooldown_left = self.options.cooldown;
                     self.window_spent += 1;
                 }
+            } else if matches!(update, ControlUpdate::Codec(_)) && multi {
+                // A codec switch spends the same reconfiguration budget
+                // as a plan change (it rode the plan gate), but it never
+                // supersedes a queued plan — the two are orthogonal.
+                let tenant_state = &mut self.tenants[idx];
+                tenant_state.cooldown_left = self.options.cooldown;
+                self.window_spent += 1;
             }
             out.push(FleetUpdate {
                 tenant: self.tenants[idx].name.clone(),

@@ -19,6 +19,11 @@
 //!   [`StreamStats`] shape the simulator predicts; running pipelines
 //!   emit live telemetry and swap plans mid-stream
 //!   ([`StreamPipeline::apply_plan`]) without dropping frames,
+//! - [`codec`]: compressed + quantized wire codecs at the stage
+//!   boundary — a bit-exact byte-plane/delta/RLE path and opt-in
+//!   f16/i8 quantization with accuracy-delta accounting, expressed to
+//!   the partitioner as per-link [`d3_partition::CodecProfile`]s so
+//!   compression moves split points,
 //! - [`telemetry`]: the unified [`Observation`] surface every
 //!   measurement source speaks — live stream stages, the simulator, the
 //!   profiler, and out-of-band probes,
@@ -52,6 +57,7 @@
 
 pub mod adapt;
 pub mod clock;
+pub mod codec;
 pub mod deploy;
 pub mod distributed;
 pub mod fleet;
@@ -63,10 +69,12 @@ pub mod telemetry;
 pub mod wire;
 
 pub use adapt::{
-    AdaptiveEngine, AdaptivePolicy, AutoscalePolicy, ControlUpdate, Decision, FullResolve,
-    HysteresisLocal, NoAdapt, PlanUpdate, PolicyView, PoolUpdate, TierContention, UpdateScope,
+    AdaptiveEngine, AdaptivePolicy, AutoscalePolicy, CodecSwitcher, CodecUpdate, ControlUpdate,
+    Decision, FullResolve, HysteresisLocal, NoAdapt, PlanUpdate, PolicyView, PoolUpdate,
+    TierContention, UpdateScope,
 };
 pub use clock::{Clock, Stamp};
+pub use codec::{Codec, Encoded, WireCodec};
 pub use deploy::{deploy_strategy, Deployment, Strategy, VsmConfig};
 pub use distributed::run_distributed;
 pub use fleet::{FleetController, FleetOptions, FleetUpdate, ResourceLedger, TenantCommit};
@@ -75,9 +83,9 @@ pub use pipeline::{
     StreamStats,
 };
 pub use stream::{
-    BatchOptions, FrameId, InjectedDelay, LinkShaping, PlanSwap, PoolOptions, PoolResize, PoolSize,
-    ProbeOptions, StagePoolStats, StreamBuildError, StreamOptions, StreamPipeline, StreamRecvError,
-    StreamReport, SubmitError,
+    BatchOptions, FrameId, InjectedDelay, LinkShaping, LinkTraffic, PlanSwap, PoolOptions,
+    PoolResize, PoolSize, ProbeOptions, StagePoolStats, StreamBuildError, StreamOptions,
+    StreamPipeline, StreamRecvError, StreamReport, SubmitError,
 };
 pub use telemetry::{
     predicted_observations, profile_observations, Observation, TelemetrySnapshot, TelemetryTap,

@@ -54,13 +54,23 @@
 //!   streamed outputs are bit-identical to one-shot
 //!   [`crate::run_distributed`] / single-node inference — before,
 //!   during and after a plan swap.
+//! - **Wire codecs.** Each inter-tier link can carry a [`WireCodec`]
+//!   ([`StreamOptions::codec`], switchable live through
+//!   [`StreamPipeline::set_link_codec`]): crossing tensors are encoded
+//!   through [`crate::codec`] instead of the raw wire format, frames
+//!   stay self-describing (decode dispatches on the frame header, so a
+//!   mid-stream switch needs no quiesce), the prober and link shaping
+//!   account **on-wire** (post-codec) bytes, and the closing
+//!   [`StreamReport`] carries the raw/wire byte ledger plus the worst
+//!   lossy-codec accuracy delta.
 
 use crate::adapt::PlanUpdate;
 use crate::clock::{Clock, Stamp};
+use crate::codec::{self, WireCodec};
 use crate::deploy::{Deployment, VsmConfig};
 use crate::flow::{self, Coalesce};
 use crate::pipeline::{percentile, simulate_stream, StageSpec, StreamStats};
-use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use crate::sync::{self, Mutex};
 use crate::telemetry::{Observation, TelemetrySnapshot, TelemetryTap};
 use crate::wire::{self, measured_mbps, shaped_delay};
@@ -424,6 +434,12 @@ pub struct StreamOptions {
     /// Optional bandwidth prober publishing measured
     /// [`Observation::Network`] estimates (default: off).
     pub probe: Option<ProbeOptions>,
+    /// Wire codec per inter-tier link (`[device→edge, edge→cloud]`,
+    /// default: [`WireCodec::Raw`] on both). Crossing tensors leaving a
+    /// stage are encoded with the link's codec; frames are
+    /// self-describing, so links may differ and switch live
+    /// ([`StreamPipeline::set_link_codec`]).
+    pub codec: [WireCodec; 2],
 }
 
 impl Default for StreamOptions {
@@ -436,6 +452,7 @@ impl Default for StreamOptions {
             chaos: None,
             shaping: None,
             probe: None,
+            codec: [WireCodec::Raw; 2],
         }
     }
 }
@@ -517,6 +534,25 @@ impl StreamOptions {
     #[must_use]
     pub fn probe(mut self, probe: ProbeOptions) -> Self {
         self.probe = Some(probe);
+        self
+    }
+
+    /// Uses `codec` on both inter-tier links.
+    #[must_use]
+    pub fn codec(mut self, codec: WireCodec) -> Self {
+        self.codec = [codec; 2];
+        self
+    }
+
+    /// Uses `codec` on one link (0: device→edge, 1: edge→cloud).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link` is not 0 or 1.
+    #[must_use]
+    pub fn link_codec(mut self, link: usize, codec: WireCodec) -> Self {
+        assert!(link < 2, "link must be 0 (device→edge) or 1 (edge→cloud)");
+        self.codec[link] = codec;
         self
     }
 }
@@ -657,12 +693,64 @@ struct Frame {
 
 /// A probe timestamp piggybacked on one inter-stage transfer: when the
 /// producing stage handed the batch to the wire, and how many payload
-/// bytes it carried. The consuming stage turns it into a bandwidth
-/// sample.
+/// bytes it carried — both raw (pre-codec) and on-wire (post-codec).
+/// The consuming stage turns it into a bandwidth sample; the *wire*
+/// bytes are what crossed the link, so they are what the rate estimate
+/// divides by.
 #[derive(Clone, Copy)]
 struct LinkStamp {
     sent_at: Stamp,
-    bytes: u64,
+    /// Pre-codec payload bytes (raw tensor wire size).
+    raw_bytes: u64,
+    /// Post-codec payload bytes (what actually crossed the link).
+    wire_bytes: u64,
+}
+
+/// Live per-link codec selection, shared between the pipeline handle and
+/// every stage worker: one atomic tag per inter-tier link, read once per
+/// outgoing batch. Frames are self-describing ([`codec::decode`]
+/// dispatches on the frame header), so a switch needs no quiesce — the
+/// next batch simply leaves in the new format.
+struct LinkCodecs([AtomicU8; 2]);
+
+impl LinkCodecs {
+    fn new(initial: [WireCodec; 2]) -> Self {
+        Self([
+            AtomicU8::new(initial[0].to_tag()),
+            AtomicU8::new(initial[1].to_tag()),
+        ])
+    }
+
+    /// The codec currently selected for `link` (out-of-range links read
+    /// as raw — the cloud stage has no out-link).
+    fn get(&self, link: usize) -> WireCodec {
+        self.0
+            .get(link)
+            .and_then(|tag| WireCodec::from_tag(tag.load(Ordering::Relaxed)))
+            .unwrap_or(WireCodec::Raw)
+    }
+
+    fn set(&self, link: usize, codec: WireCodec) {
+        if let Some(tag) = self.0.get(link) {
+            tag.store(codec.to_tag(), Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> [WireCodec; 2] {
+        [self.get(0), self.get(1)]
+    }
+}
+
+/// Cumulative byte ledger of one probed link: raw (pre-codec) bytes
+/// alongside on-wire (post-codec) bytes, so bandwidth beliefs and
+/// compression accounting stay separable. With no codec active the two
+/// sides are equal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkTraffic {
+    /// Pre-codec payload bytes carried over stamped transfers.
+    pub raw_bytes: u64,
+    /// Post-codec payload bytes carried over stamped transfers.
+    pub wire_bytes: u64,
 }
 
 /// The unit travelling the inter-stage queues: one or more frames with
@@ -702,6 +790,8 @@ struct ProbeShared {
     samples: [Vec<f64>; 2],
     /// When each link last produced a sample (drives the idle fallback).
     last_sample: [Option<Stamp>; 2],
+    /// Cumulative raw/on-wire byte ledger per link.
+    traffic: [LinkTraffic; 2],
 }
 
 /// The measured-bandwidth prober: accumulates per-link transfer samples
@@ -726,6 +816,7 @@ impl Prober {
                 rates: initial.rates(),
                 samples: [Vec::new(), Vec::new()],
                 last_sample: [None; 2],
+                traffic: [LinkTraffic::default(); 2],
             }),
             window: window.max(1),
             clock,
@@ -734,14 +825,20 @@ impl Prober {
     }
 
     /// Folds one timestamped transfer into the link's sample window;
-    /// when the window fills, updates the belief and publishes it.
-    fn record(&self, link: usize, bytes: u64, elapsed: Duration) {
-        if bytes == 0 {
+    /// when the window fills, updates the belief and publishes it. The
+    /// rate divides by the **on-wire** bytes (what actually crossed the
+    /// link); the raw side only feeds the [`LinkTraffic`] ledger, so a
+    /// codec compressing the payload never inflates the bandwidth
+    /// belief.
+    fn record(&self, link: usize, raw_bytes: u64, wire_bytes: u64, elapsed: Duration) {
+        if wire_bytes == 0 {
             return; // nothing crossed; no information about the link
         }
-        let mbps = measured_mbps(bytes, elapsed);
+        let mbps = measured_mbps(wire_bytes, elapsed);
         let mut shared = sync::lock(&self.shared);
         shared.last_sample[link] = Some(self.clock.now());
+        shared.traffic[link].raw_bytes += raw_bytes;
+        shared.traffic[link].wire_bytes += wire_bytes;
         shared.samples[link].push(mbps);
         if shared.samples[link].len() < self.window {
             return;
@@ -768,6 +865,11 @@ impl Prober {
     /// The current belief.
     fn rates(&self) -> LinkRates {
         sync::lock(&self.shared).rates
+    }
+
+    /// The cumulative raw/on-wire byte ledger per link.
+    fn traffic(&self) -> [LinkTraffic; 2] {
+        sync::lock(&self.shared).traffic
     }
 }
 
@@ -808,7 +910,8 @@ fn idle_probe_loop(
                 }
             }
             let elapsed = clock.now().saturating_sub(t0);
-            probe.record(link, bytes, elapsed.max(Duration::from_nanos(100)));
+            // Synthetic probe payloads never pass a codec: raw == wire.
+            probe.record(link, bytes, bytes, elapsed.max(Duration::from_nanos(100)));
         }
     }
 }
@@ -935,6 +1038,8 @@ struct StageCtx {
     probe: Option<Arc<Prober>>,
     /// Stamp every Nth frame's transfer (0 disables piggyback stamps).
     probe_every: u64,
+    /// Live per-link codec selection (shared with the pipeline handle).
+    codecs: Arc<LinkCodecs>,
     /// The pipeline's clock (busy-time accounting, probe stamps).
     clock: Clock,
 }
@@ -947,6 +1052,13 @@ struct StageMetrics {
     encode_s: f64,
     /// Executor calls made (each serves a whole batch).
     batches: u64,
+    /// Pre-codec payload bytes this stage forwarded (non-final stages).
+    raw_bytes: u64,
+    /// Post-codec payload bytes this stage forwarded (non-final stages).
+    wire_bytes: u64,
+    /// Worst per-tensor accuracy delta a lossy codec introduced on this
+    /// stage's out-link (0 while only raw/lossless codecs ran).
+    accuracy_delta: f64,
     /// Submit→completion latency per frame (final stage only).
     latencies_s: Vec<f64>,
     /// Completion instant of the last frame (final stage only).
@@ -961,6 +1073,9 @@ impl StageMetrics {
         self.compute_s += other.compute_s;
         self.encode_s += other.encode_s;
         self.batches += other.batches;
+        self.raw_bytes += other.raw_bytes;
+        self.wire_bytes += other.wire_bytes;
+        self.accuracy_delta = self.accuracy_delta.max(other.accuracy_delta);
         self.latencies_s.extend(other.latencies_s);
         self.last_done = match (self.last_done, other.last_done) {
             (Some(a), Some(b)) => Some(a.max(b)),
@@ -1126,6 +1241,8 @@ struct SpawnSpec<'a> {
     shaping: Option<LinkShaping>,
     probe: Option<Arc<Prober>>,
     probe_every: u64,
+    /// Live per-link codec selection, shared across generations.
+    codecs: &'a Arc<LinkCodecs>,
     /// First frame id this generation will see (the resequencers'
     /// starting point; every earlier id has already drained).
     start_seq: u64,
@@ -1217,6 +1334,7 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
                 shaping: spec.shaping,
                 probe: spec.probe.clone(),
                 probe_every: spec.probe_every,
+                codecs: spec.codecs.clone(),
                 clock: spec.clock.clone(),
             };
             let sink = sink_proto.clone();
@@ -1312,6 +1430,17 @@ pub struct StreamReport {
     /// Per-stage pool accounting: `{workers, batches, resize_events}`
     /// for device, edge and cloud, in tier order.
     pub stage_pools: Vec<StagePoolStats>,
+    /// Pre-codec payload bytes forwarded over the inter-tier links
+    /// (crossing tensors at raw wire size), summed over the session.
+    pub link_raw_bytes: u64,
+    /// Post-codec payload bytes actually forwarded — equals
+    /// [`link_raw_bytes`](Self::link_raw_bytes) when every link ran the
+    /// raw codec.
+    pub link_wire_bytes: u64,
+    /// Worst per-tensor accuracy delta a lossy codec introduced over the
+    /// session (max-abs dequantization error; 0.0 while only raw or
+    /// lossless codecs ran).
+    pub max_accuracy_delta: f64,
 }
 
 impl StreamReport {
@@ -1320,6 +1449,17 @@ impl StreamReport {
     #[must_use]
     pub fn predicted_stats(&self, fps: f64, n_frames: usize) -> StreamStats {
         simulate_stream(&self.predicted, fps, n_frames)
+    }
+
+    /// On-wire bytes per raw byte over the inter-tier links (1.0 when no
+    /// payload crossed a link, so a linkless run reads as "no
+    /// compression" rather than dividing by zero).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        if self.link_raw_bytes == 0 {
+            return 1.0;
+        }
+        self.link_wire_bytes as f64 / self.link_raw_bytes as f64
     }
 
     /// The busiest server — the pipeline's measured bottleneck — as
@@ -1389,6 +1529,8 @@ pub struct StreamPipeline {
     /// Shared bandwidth-prober state (piggyback stamps + idle fallback).
     probe: Option<Arc<Prober>>,
     probe_every: u64,
+    /// Live per-link codec selection, shared with every stage worker.
+    codecs: Arc<LinkCodecs>,
     /// Idle-fallback prober thread and its stop flag (joined on drop).
     prober_stop: Option<Arc<AtomicBool>>,
     prober_thread: Option<JoinHandle<()>>,
@@ -1521,6 +1663,7 @@ impl StreamPipeline {
             }
             _ => (None, None),
         };
+        let codecs = Arc::new(LinkCodecs::new(options.codec));
         let spawned = spawn_stages(
             &SpawnSpec {
                 graph: &graph,
@@ -1537,6 +1680,7 @@ impl StreamPipeline {
                 shaping: options.shaping,
                 probe: probe.clone(),
                 probe_every,
+                codecs: &codecs,
                 start_seq: 0,
                 clock: &clock,
             },
@@ -1559,6 +1703,7 @@ impl StreamPipeline {
             shaping: options.shaping,
             probe,
             probe_every,
+            codecs,
             prober_stop,
             prober_thread,
             pool,
@@ -1798,6 +1943,29 @@ impl StreamPipeline {
         self.probe.as_ref().map(|p| p.rates())
     }
 
+    /// The prober's cumulative raw vs on-wire byte ledger per link
+    /// (`[device→edge, edge→cloud]`), when probing is enabled. With no
+    /// codec active each link's two sides are equal.
+    #[must_use]
+    pub fn probed_traffic(&self) -> Option<[LinkTraffic; 2]> {
+        self.probe.as_ref().map(|p| p.traffic())
+    }
+
+    /// The codec currently selected per inter-tier link.
+    #[must_use]
+    pub fn link_codecs(&self) -> [WireCodec; 2] {
+        self.codecs.snapshot()
+    }
+
+    /// Switches one link's wire codec **live** (0: device→edge, 1:
+    /// edge→cloud). No quiesce: frames are self-describing, so in-flight
+    /// frames decode under their original codec while the next outgoing
+    /// batch leaves in the new format. Out-of-range links are ignored
+    /// (the cloud stage has no out-link).
+    pub fn set_link_codec(&self, link: usize, codec: WireCodec) {
+        self.codecs.set(link, codec);
+    }
+
     /// Swaps the running pipeline onto `update`'s plan **without
     /// dropping a frame**: admissions pause, every in-flight frame
     /// completes under the old plan and lands in a reorder buffer
@@ -1816,10 +1984,6 @@ impl StreamPipeline {
     /// Returns [`StreamBuildError`] when the update's plan cannot run as
     /// a forward pipeline; the running stream is left untouched (the
     /// plan is validated before any teardown).
-    ///
-    /// # Panics
-    ///
-    /// Panics when a stage worker died (a partitioning bug).
     pub fn apply_plan(&mut self, update: &PlanUpdate) -> Result<PlanSwap, StreamBuildError> {
         let deployment = &update.deployment;
         let routing = plan_routing(&self.graph, &deployment.assignment, self.output_node)?;
@@ -1856,10 +2020,6 @@ impl StreamPipeline {
     ///
     /// [`StreamBuildError::ZeroPool`] when `workers` is zero; the
     /// running stream is untouched.
-    ///
-    /// # Panics
-    ///
-    /// Panics when a stage worker panicked (a partitioning bug).
     pub fn resize_pool(
         &mut self,
         tier: Tier,
@@ -1878,8 +2038,10 @@ impl StreamPipeline {
                 drained_frames: 0,
             });
         }
-        let routing = plan_routing(&self.graph, &self.assignment, self.output_node)
-            .expect("the running plan stays streamable");
+        // The running plan validated when it was applied, so this
+        // re-derivation cannot fail; routed through `?` anyway — a
+        // resize should report, not crash, if that invariant ever breaks.
+        let routing = plan_routing(&self.graph, &self.assignment, self.output_node)?;
         let (drained_frames, reuse) = self.quiesce();
         self.pool[rank] = workers;
         self.resize_events[rank] += 1;
@@ -1913,14 +2075,18 @@ impl StreamPipeline {
         for rank in 0..3 {
             let mut kept = None;
             for handle in self.workers[rank].drain(..) {
-                let (ctx, metrics) = handle.join().expect("stage worker panicked");
-                self.retired[rank].absorb(metrics);
-                kept.get_or_insert(ctx.exec);
+                // A worker that panicked takes its metrics (and its
+                // executor) with it; the stage rebuilds on respawn. Like
+                // Drop, don't turn one thread's failure into a cascade.
+                if let Ok((ctx, metrics)) = handle.join() {
+                    self.retired[rank].absorb(metrics);
+                    kept.get_or_insert(ctx.exec);
+                }
             }
             reuse.push(kept);
         }
         for helper in self.aux.drain(..) {
-            helper.join().expect("pipeline helper panicked");
+            let _ = helper.join();
         }
         // Every old-generation worker has exited: anything still queued
         // on the telemetry channel was measured under the *old*
@@ -1951,6 +2117,7 @@ impl StreamPipeline {
                 shaping: self.shaping,
                 probe: self.probe.clone(),
                 probe_every: self.probe_every,
+                codecs: &self.codecs,
                 start_seq,
                 clock: &self.clock,
             },
@@ -1966,10 +2133,6 @@ impl StreamPipeline {
     /// Stops admissions, drains every in-flight frame, joins the stage
     /// workers and reports the measured stream statistics (spanning
     /// every plan the session executed).
-    ///
-    /// # Panics
-    ///
-    /// Panics when a stage worker panicked.
     #[must_use]
     pub fn close(mut self) -> StreamReport {
         // Quiesce exactly like a plan swap (unread frames land in the
@@ -2061,6 +2224,11 @@ impl StreamPipeline {
             rejected: self.rejected.load(Ordering::Relaxed),
             reconfigurations: self.reconfigs,
             stage_pools,
+            // Only non-final stages forward payload, so the link ledger
+            // is the device and edge stages' totals.
+            link_raw_bytes: metrics[0].raw_bytes + metrics[1].raw_bytes,
+            link_wire_bytes: metrics[0].wire_bytes + metrics[1].wire_bytes,
+            max_accuracy_delta: metrics[0].accuracy_delta.max(metrics[1].accuracy_delta),
         }
     }
 }
@@ -2146,7 +2314,8 @@ fn pump(
             if ctx.tier.rank() >= 1 {
                 probe.record(
                     ctx.tier.rank() - 1,
-                    stamp.bytes,
+                    stamp.raw_bytes,
+                    stamp.wire_bytes,
                     ctx.clock
                         .now()
                         .saturating_sub(stamp.sent_at)
@@ -2170,8 +2339,10 @@ fn pump(
                     // A frame that does not decode cannot be computed;
                     // stop this worker cleanly — the session surfaces it
                     // as `StreamRecvError::WorkerDied` instead of a
-                    // cross-thread panic.
-                    let Ok(tensor) = wire::decode(bytes.clone()) else {
+                    // cross-thread panic. `codec::decode` dispatches on
+                    // the frame header, so raw and codec-encoded frames
+                    // interleave freely (e.g. across a live switch).
+                    let Ok(tensor) = codec::decode(bytes.clone()) else {
                         break 'session;
                     };
                     boundary.insert(nid, tensor);
@@ -2236,14 +2407,25 @@ fn pump(
             StageOut::Results(results)
         } else {
             let t2 = ctx.clock.now();
+            // One codec read per batch: the link's selection at this
+            // instant encodes the whole batch (a live switch lands on a
+            // batch boundary).
+            let link_codec = ctx.codecs.get(ctx.tier.rank());
+            let mut raw_bytes: u64 = 0;
             let mut frames = Vec::with_capacity(n_frames);
             for (k, outputs) in outputs.iter().enumerate() {
                 let forward = &mut forwards[k];
+                // Payloads passed through in their original wire form
+                // (e.g. a raw input this stage merely re-exposes) count
+                // the same on both sides of the codec ledger.
+                raw_bytes += forward.iter().map(|(_, b)| b.len() as u64).sum::<u64>();
                 for (nid, tensor) in outputs {
-                    // Skip ids already travelling in wire form (e.g. a
-                    // raw input this stage merely re-exposes).
+                    // Skip ids already travelling in wire form.
                     if ctx.forward_ids.contains(nid) && forward.iter().all(|(f, _)| f != nid) {
-                        forward.push((*nid, wire::encode(tensor)));
+                        let enc = codec::encode(tensor, link_codec);
+                        raw_bytes += enc.raw_len;
+                        m.accuracy_delta = m.accuracy_delta.max(enc.accuracy_delta);
+                        forward.push((*nid, enc.bytes));
                     }
                 }
                 let (id, submitted_at) = meta[k];
@@ -2253,11 +2435,14 @@ fn pump(
                     payload: std::mem::take(forward),
                 });
             }
+            // On-wire bytes: what actually crosses the (shaped) link.
             let bytes: u64 = frames
                 .iter()
                 .flat_map(|f| &f.payload)
                 .map(|(_, b)| b.len() as u64)
                 .sum();
+            m.raw_bytes += raw_bytes;
+            m.wire_bytes += bytes;
             // Piggyback probe stamp: taken as the transfer *enters* the
             // wire — before the shaped serialization delay — so the
             // receiving stage's measurement spans the whole wire time.
@@ -2267,7 +2452,8 @@ fn pump(
                 && bytes > 0)
                 .then(|| LinkStamp {
                     sent_at: ctx.clock.now(),
-                    bytes,
+                    raw_bytes,
+                    wire_bytes: bytes,
                 });
             // Link shaping: sleep the serialization delay of this
             // transfer. It accrues to encode time, so the report's link

@@ -17,9 +17,9 @@ pub(crate) use std::sync::{Mutex, MutexGuard};
 pub(crate) mod atomic {
     //! Atomic shims: std's, or loomlite's under the `model` feature.
     #[cfg(feature = "model")]
-    pub(crate) use loomlite::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    pub(crate) use loomlite::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
     #[cfg(not(feature = "model"))]
-    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 }
 
 /// Locks `mutex`, recovering the data from a poisoned lock.

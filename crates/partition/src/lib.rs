@@ -60,4 +60,4 @@ pub use partitioner::{
     Partitioner,
 };
 pub use placement::{pair_latency, table1, PlacementRow};
-pub use problem::Problem;
+pub use problem::{CodecProfile, Problem};

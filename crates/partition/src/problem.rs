@@ -8,6 +8,48 @@ use d3_model::{DnnGraph, NodeId};
 use d3_profiler::LatencyProvider;
 use d3_simnet::{NetworkCondition, Tier};
 
+/// Cost-model descriptor of a wire codec active on one inter-tier link:
+/// the achieved compression ratio plus the per-megabyte encode/decode
+/// work the codec adds at the link's endpoints. Folding this into
+/// [`Problem::link_time`] is what lets compression *move split points*
+/// instead of just shrinking byte counts — transfer cost falls by
+/// `ratio` while codec compute cost appears on both sides of the cut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecProfile {
+    /// On-wire bytes divided by raw bytes (1.0 = no compression).
+    pub ratio: f64,
+    /// Encode cost in seconds per raw megabyte (paid on the sender).
+    pub encode_s_per_mb: f64,
+    /// Decode cost in seconds per raw megabyte (paid on the receiver;
+    /// asymmetric codecs keep this near zero).
+    pub decode_s_per_mb: f64,
+}
+
+impl CodecProfile {
+    /// The identity profile: raw transfer, no codec cost. Links carrying
+    /// this profile use the exact pre-codec cost expression.
+    #[must_use]
+    pub const fn raw() -> Self {
+        Self {
+            ratio: 1.0,
+            encode_s_per_mb: 0.0,
+            decode_s_per_mb: 0.0,
+        }
+    }
+
+    /// Whether this is the identity (raw) profile.
+    #[must_use]
+    pub fn is_raw(&self) -> bool {
+        *self == Self::raw()
+    }
+}
+
+impl Default for CodecProfile {
+    fn default() -> Self {
+        Self::raw()
+    }
+}
+
 /// A concrete instance of the DAG-partition problem.
 ///
 /// The instance **owns** its graph through an [`Arc`], so problems (and
@@ -24,6 +66,9 @@ pub struct Problem {
     /// `vertex[id][tier.rank()]` = processing seconds.
     vertex: Vec<[f64; 3]>,
     net: NetworkCondition,
+    /// Active codec per link, indexed by [`Tier::link_index`]
+    /// (`[device↔edge, edge↔cloud, device↔cloud]`). Defaults to raw.
+    link_codec: [CodecProfile; 3],
 }
 
 impl Problem {
@@ -47,7 +92,12 @@ impl Problem {
                 ]
             })
             .collect();
-        Self { graph, vertex, net }
+        Self {
+            graph,
+            vertex,
+            net,
+            link_codec: [CodecProfile::raw(); 3],
+        }
     }
 
     /// Builds a problem from explicit vertex weights (used by tests and
@@ -63,7 +113,12 @@ impl Problem {
     ) -> Self {
         let graph = graph.into();
         assert_eq!(vertex.len(), graph.len(), "one weight triple per vertex");
-        Self { graph, vertex, net }
+        Self {
+            graph,
+            vertex,
+            net,
+            link_codec: [CodecProfile::raw(); 3],
+        }
     }
 
     /// The underlying DAG.
@@ -101,11 +156,45 @@ impl Problem {
         self.vertex[id.index()][tier.rank()] *= factor;
     }
 
+    /// The codec profile active on a link (indexed by
+    /// [`Tier::link_index`]); raw when none was installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link >= 3`.
+    pub fn link_codec(&self, link: usize) -> CodecProfile {
+        self.link_codec[link]
+    }
+
+    /// Installs a codec profile on one link (indexed by
+    /// [`Tier::link_index`]): subsequent [`link_time`](Self::link_time)
+    /// queries fold its ratio and encode/decode cost in, so partitioners
+    /// see the codec-adjusted optimization problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link >= 3`.
+    pub fn set_link_codec(&mut self, link: usize, profile: CodecProfile) {
+        self.link_codec[link] = profile;
+    }
+
     /// Link weight `t^[a,b]_ij` for the data flowing out of `from` between
-    /// two tiers: output bytes over bandwidth, zero within a tier.
+    /// two tiers: output bytes over bandwidth, zero within a tier. With a
+    /// codec installed on the link, transfer shrinks by the codec's ratio
+    /// and its encode/decode seconds-per-megabyte are added — so the
+    /// optimal cut moves when compression is switched on.
     pub fn link_time(&self, from: NodeId, a: Tier, b: Tier) -> f64 {
-        self.net
-            .transfer_s(self.graph.node(from).output_bytes(), a, b)
+        let bytes = self.graph.node(from).output_bytes();
+        match a.link_index(b) {
+            Some(link) if !self.link_codec[link].is_raw() => {
+                let p = self.link_codec[link];
+                let mb = bytes as f64 / 1e6;
+                self.net
+                    .transfer_s((bytes as f64 * p.ratio).ceil() as u64, a, b)
+                    + mb * (p.encode_s_per_mb + p.decode_s_per_mb)
+            }
+            _ => self.net.transfer_s(bytes, a, b),
+        }
     }
 
     /// Transfer time of the *raw network input* between two tiers (the
@@ -177,6 +266,69 @@ mod tests {
         assert!(Arc::ptr_eq(p.graph_arc(), &g));
         let q = p.clone();
         assert!(Arc::ptr_eq(q.graph_arc(), p.graph_arc()));
+    }
+
+    #[test]
+    fn codec_profile_scales_link_weight_and_adds_codec_cost() {
+        let g = zoo::alexnet(224);
+        let mut p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        let conv1 = g.layer_ids().next().unwrap();
+        let raw = p.link_time(conv1, Tier::Edge, Tier::Cloud);
+        let profile = CodecProfile {
+            ratio: 0.5,
+            encode_s_per_mb: 0.0,
+            decode_s_per_mb: 0.0,
+        };
+        let link = Tier::Edge.link_index(Tier::Cloud).unwrap();
+        p.set_link_codec(link, profile);
+        assert_eq!(p.link_codec(link), profile);
+        // Pure ratio halves the transfer (up to the 1-byte ceil).
+        let halved = p.link_time(conv1, Tier::Edge, Tier::Cloud);
+        assert!(
+            (halved - raw / 2.0).abs() < 1e-6,
+            "{halved} vs {}",
+            raw / 2.0
+        );
+        // Codec compute cost lands on top of the scaled transfer.
+        let bytes = g.node(conv1).output_bytes();
+        p.set_link_codec(
+            link,
+            CodecProfile {
+                ratio: 0.5,
+                encode_s_per_mb: 0.010,
+                decode_s_per_mb: 0.002,
+            },
+        );
+        let with_cost = p.link_time(conv1, Tier::Edge, Tier::Cloud);
+        let expect = halved + bytes as f64 / 1e6 * 0.012;
+        assert!((with_cost - expect).abs() < 1e-9);
+        // Other links and intra-tier transfers are untouched.
+        assert_eq!(p.link_time(conv1, Tier::Edge, Tier::Edge), 0.0);
+        assert_eq!(
+            p.link_time(conv1, Tier::Device, Tier::Edge),
+            Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi).link_time(
+                conv1,
+                Tier::Device,
+                Tier::Edge
+            )
+        );
+    }
+
+    #[test]
+    fn raw_codec_profile_is_bit_identical_to_no_codec() {
+        let g = zoo::alexnet(224);
+        let mut p = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        let baseline = Problem::new(&g, &TierProfiles::paper_testbed(), NetworkCondition::WiFi);
+        for link in 0..3 {
+            p.set_link_codec(link, CodecProfile::raw());
+        }
+        for id in g.layer_ids() {
+            for a in [Tier::Device, Tier::Edge, Tier::Cloud] {
+                for b in [Tier::Device, Tier::Edge, Tier::Cloud] {
+                    assert_eq!(p.link_time(id, a, b), baseline.link_time(id, a, b));
+                }
+            }
+        }
     }
 
     #[test]

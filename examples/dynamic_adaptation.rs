@@ -89,6 +89,9 @@ fn main() {
         (Some(d3_core::ControlUpdate::Pool(p)), _) => {
             format!("pool resized ({:?} -> {} workers)", p.tier, p.workers)
         }
+        (Some(d3_core::ControlUpdate::Codec(c)), _) => {
+            format!("link {} codec switched to {}", c.link, c.codec)
+        }
         (None, true) => "repaired locally, plan already optimal".to_string(),
         (None, false) => "absorbed by hysteresis".to_string(),
     };

@@ -81,6 +81,10 @@ fn main() {
                     "[{label:>16}] {mbps:>6.2} Mbps -> pool resized: {:?} {} -> {} workers",
                     p.tier, p.from, p.to
                 ),
+                d3_core::AdaptEvent::Codec(c) => println!(
+                    "[{label:>16}] {mbps:>6.2} Mbps -> link {} codec -> {}",
+                    c.link, c.codec
+                ),
             }
         }
 
@@ -108,6 +112,10 @@ fn main() {
                 d3_core::AdaptEvent::Pool(p) => println!(
                     "[{label:>16}] telemetry-driven resize: {:?} {} -> {} workers",
                     p.tier, p.from, p.to
+                ),
+                d3_core::AdaptEvent::Codec(c) => println!(
+                    "[{label:>16}] telemetry-driven codec switch: link {} -> {}",
+                    c.link, c.codec
                 ),
             }
         }

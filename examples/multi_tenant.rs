@@ -95,6 +95,10 @@ fn main() {
                         "[{label:>9}] {name:>10} @ {mbps:>5.2} Mbps -> resized {:?} to {}",
                         p.tier, p.to
                     ),
+                    d3_core::AdaptEvent::Codec(c) => println!(
+                        "[{label:>9}] {name:>10} @ {mbps:>5.2} Mbps -> link {} codec -> {}",
+                        c.link, c.codec
+                    ),
                 }
             }
         }

@@ -1,5 +1,6 @@
 //! Property-based tests over the reproduction's core invariants.
 
+use d3_engine::codec::{self, WireCodec};
 use d3_model::{zoo, Activation, DnnGraph, Executor, LayerKind, NodeId};
 use d3_partition::{Assignment, Hpa, Partitioner, Problem};
 use d3_simnet::{NetworkCondition, Tier, TierProfiles};
@@ -204,6 +205,72 @@ proptest! {
         prop_assert_eq!(back, t);
     }
 
+    /// Every codec's frames survive the universal decoder with the
+    /// original shape, and the bit-exact paths (raw, lossless) return
+    /// the *identical bit pattern* — NaN payloads, infinities, negative
+    /// zero and all.
+    #[test]
+    fn codec_lossless_roundtrip_is_bit_exact(t in codec_tensor_strategy()) {
+        for c in WireCodec::ALL {
+            let enc = codec::encode(&t, c);
+            let back = codec::decode(enc.bytes.clone()).unwrap();
+            prop_assert_eq!(back.shape(), t.shape());
+            if !c.is_lossy() {
+                prop_assert_eq!(tensor_bits(&back), tensor_bits(&t));
+                prop_assert_eq!(enc.accuracy_delta, 0.0);
+            }
+            // Compression never cheats the ledger: the frame on the wire
+            // is exactly what the accounting claims.
+            prop_assert_eq!(enc.wire_len(), enc.bytes.len() as u64);
+            prop_assert_eq!(enc.raw_len, d3_engine::wire_size(&t));
+        }
+    }
+
+    /// Quantized paths stay within their *declared* error bound, and the
+    /// accuracy delta reported in the encode ledger equals the delta an
+    /// independent decode-and-compare measures.
+    #[test]
+    fn codec_quantized_error_within_declared_bound(t in finite_tensor_strategy()) {
+        for c in [WireCodec::F16, WireCodec::I8] {
+            let bound = codec::error_bound(c, &t);
+            let enc = codec::encode(&t, c);
+            let back = codec::decode(enc.bytes.clone()).unwrap();
+            let independent = t
+                .data()
+                .iter()
+                .zip(back.data())
+                .map(|(&a, &b)| (f64::from(a) - f64::from(b)).abs())
+                .fold(0.0f64, f64::max);
+            prop_assert!(
+                independent <= bound + 1e-30,
+                "{}: measured delta {independent} exceeds declared bound {bound}", c
+            );
+            // The encode-side ledger must agree with an independent
+            // decode-and-compare, exactly.
+            prop_assert_eq!(enc.accuracy_delta, independent);
+        }
+    }
+
+    /// Lossless frames of VSM-style crops (tiles cut out of a larger
+    /// activation plane) round-trip bit-exactly — the shape codec frames
+    /// actually take at a tiled edge stage boundary.
+    #[test]
+    fn codec_roundtrips_cropped_tiles(
+        c in 1usize..4,
+        h in 4usize..12,
+        w in 4usize..12,
+        y0 in 0usize..4,
+        x0 in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let plane = Tensor::random(c, h, w, seed);
+        let tile = plane.crop(y0.min(h - 1), h, x0.min(w - 1), w);
+        let enc = codec::encode(&tile, WireCodec::Lossless);
+        let back = codec::decode(enc.bytes).unwrap();
+        prop_assert_eq!(tensor_bits(&back), tensor_bits(&tile));
+        prop_assert_eq!(back.shape(), tile.shape());
+    }
+
     /// Stream simulation: mean latency is bounded below by the unloaded
     /// single-frame latency and throughput never exceeds the arrival rate.
     #[test]
@@ -223,4 +290,52 @@ proptest! {
         prop_assert!(stats.throughput_fps <= fps * 1.01 + 1.0);
         prop_assert!(stats.max_latency_s + 1e-12 >= stats.mean_latency_s);
     }
+}
+
+/// The exact bit pattern of a tensor's payload — the comparison the
+/// bit-exact codec properties need (`f32` equality would already fail on
+/// NaN and conflate `0.0` with `-0.0`).
+fn tensor_bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Wraps a value vector into a tensor (empty vectors become the empty
+/// `1×0×0` tensor — a legal frame the codecs must survive).
+fn tensor_of(values: Vec<f32>) -> Tensor {
+    if values.is_empty() {
+        Tensor::from_vec(1, 0, 0, values)
+    } else {
+        let n = values.len();
+        Tensor::from_vec(1, 1, n, values)
+    }
+}
+
+/// Adversarial codec payloads: zeros (the activation-sparsity case the
+/// lossless front-end exploits), denormals-from-bits, NaN, ±∞, −0.0 and
+/// ordinary values — in tensors from empty up to ~96 elements.
+fn codec_tensor_strategy() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0.0f32),
+            Just(-0.0f32),
+            Just(f32::NAN),
+            Just(f32::INFINITY),
+            Just(f32::NEG_INFINITY),
+            any::<u32>().prop_map(f32::from_bits),
+            -10.0f32..10.0,
+        ],
+        0..=96,
+    )
+    .prop_map(tensor_of)
+}
+
+/// Finite payloads only — what the quantized paths quantize (non-finite
+/// inputs take the bit-exact raw fallback, covered above). Mixes zeros
+/// in so per-tensor scale/zero-point ranges straddle zero.
+fn finite_tensor_strategy() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(
+        prop_oneof![Just(0.0f32), -100.0f32..100.0, -0.5f32..0.5],
+        0..=96,
+    )
+    .prop_map(tensor_of)
 }

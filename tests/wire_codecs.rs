@@ -1,0 +1,450 @@
+//! End-to-end tests of the wire-codec subsystem: codec streams against
+//! the raw baseline, the prober's on-wire byte ledger, codec-aware
+//! partitioning, and bandwidth-driven codec adaptation.
+//!
+//! The headline guarantees pinned here:
+//!
+//! - a stream running the **lossless** codec is frame-for-frame
+//!   bit-identical to the raw wire path (and to single-node inference),
+//! - the prober accounts **on-wire** bytes: raw == wire with no codec
+//!   (the regression the probe path must never lose), wire < raw with
+//!   one,
+//! - installing a codec profile on the partition problem's links
+//!   provably moves the optimal split point tier-ward, while the raw
+//!   profile stays bit-identical to the pre-codec cost model,
+//! - a `CodecSwitcher` engages compression on measured bandwidth
+//!   collapse and reverts with hysteresis — live against a session, and
+//!   gated by the fleet's reconfiguration budget in multi-tenant mode.
+
+use d3_core::{AdaptEvent, CodecSwitcher, Observation};
+use d3_engine::codec::{self, WireCodec};
+use d3_engine::stream::StreamPipeline;
+use d3_engine::{
+    AdaptiveEngine, ControlUpdate, FleetController, FleetOptions, NoAdapt, ProbeOptions,
+    StreamOptions,
+};
+use d3_model::{DnnGraph, Executor};
+use d3_partition::{Hpa, HpaOptions, Partitioner, Problem};
+use d3_simnet::{LinkRates, NetworkCondition, Tier, TierProfiles};
+use d3_tensor::Tensor;
+use d3_test_support::{
+    chain_graph, even_split_deployment, even_split_runtime, frame_burst, SEED, STREAM_SEED,
+};
+use std::sync::Arc;
+
+/// Streams `frames` through a fresh even-split pipeline under `options`
+/// and returns the outputs in submission order plus the closing report.
+fn stream_outputs(
+    options: StreamOptions,
+    frames: &[Tensor],
+) -> (Vec<Tensor>, d3_engine::StreamReport) {
+    let g = Arc::new(chain_graph());
+    let d = even_split_deployment(&g);
+    let pipeline = StreamPipeline::new(g, STREAM_SEED, &d, None, options).unwrap();
+    let mut out = Vec::with_capacity(frames.len());
+    for input in frames {
+        pipeline.submit(input).unwrap();
+        let (_, got) = pipeline.recv().unwrap();
+        out.push(got);
+    }
+    (out, pipeline.close())
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn lossless_codec_stream_is_bit_identical_to_raw() {
+    let frames = frame_burst(6, (3, 16, 16), 900);
+    let (raw, raw_report) = stream_outputs(StreamOptions::new(), &frames);
+    let (coded, coded_report) =
+        stream_outputs(StreamOptions::new().codec(WireCodec::Lossless), &frames);
+    for (k, (a, b)) in raw.iter().zip(&coded).enumerate() {
+        assert_eq!(bits(a), bits(b), "frame {k} diverged under the codec");
+    }
+    // And both match single-node inference (the paper's lossless claim).
+    let g = chain_graph();
+    let exec = Executor::new(&g, STREAM_SEED);
+    for (k, (input, got)) in frames.iter().zip(&coded).enumerate() {
+        assert_eq!(bits(&exec.run(input)), bits(got), "frame {k} not lossless");
+    }
+    // The raw stream's ledger is trivial; the codec stream actually
+    // compressed and stayed bit-exact while doing it.
+    assert_eq!(raw_report.link_raw_bytes, raw_report.link_wire_bytes);
+    assert_eq!(raw_report.compression_ratio(), 1.0);
+    assert_eq!(raw_report.max_accuracy_delta, 0.0);
+    assert!(coded_report.link_raw_bytes > 0);
+    assert!(
+        coded_report.link_wire_bytes < coded_report.link_raw_bytes,
+        "lossless codec failed to shrink chain-CNN activations: {} -> {}",
+        coded_report.link_raw_bytes,
+        coded_report.link_wire_bytes
+    );
+    assert!(coded_report.compression_ratio() < 1.0);
+    assert_eq!(
+        coded_report.max_accuracy_delta, 0.0,
+        "a bit-exact path reported quantization error"
+    );
+    // Same frames either way: the codec changes bytes, not behavior.
+    assert_eq!(raw_report.link_raw_bytes, coded_report.link_raw_bytes);
+}
+
+#[test]
+fn quantized_stream_reports_its_accuracy_delta() {
+    let frames = frame_burst(4, (3, 16, 16), 950);
+    let (outputs, report) = stream_outputs(StreamOptions::new().codec(WireCodec::F16), &frames);
+    assert!(outputs
+        .iter()
+        .all(|t| t.data().iter().all(|v| v.is_finite())));
+    assert!(
+        report.max_accuracy_delta > 0.0,
+        "f16 quantization of random activations must round somewhere"
+    );
+    assert!(
+        report.max_accuracy_delta < 1.0,
+        "f16 error blew past any plausible bound: {}",
+        report.max_accuracy_delta
+    );
+    // f16 halves the payload; headers keep the ratio a bit above 0.5.
+    assert!(
+        report.compression_ratio() < 0.66,
+        "f16 ratio {} not near half",
+        report.compression_ratio()
+    );
+}
+
+#[test]
+fn prober_ledger_is_raw_equals_wire_without_codec() {
+    // The regression test for the no-codec probe path: the ledger's two
+    // sides must be the *same* number, byte for byte.
+    let g = Arc::new(chain_graph());
+    let d = even_split_deployment(&g);
+    let pipeline = StreamPipeline::new(
+        g,
+        STREAM_SEED,
+        &d,
+        None,
+        StreamOptions::new().probe(ProbeOptions::new().every(1).window(2)),
+    )
+    .unwrap();
+    for input in &frame_burst(6, (3, 16, 16), 1000) {
+        pipeline.submit(input).unwrap();
+        let _ = pipeline.recv().unwrap();
+    }
+    let traffic = pipeline.probed_traffic().expect("probing is on");
+    let _ = pipeline.close();
+    for (link, t) in traffic.iter().enumerate() {
+        assert!(t.raw_bytes > 0, "link {link} saw no traffic");
+        assert_eq!(
+            t.raw_bytes, t.wire_bytes,
+            "link {link}: no codec, yet raw and on-wire bytes differ"
+        );
+    }
+}
+
+#[test]
+fn prober_ledger_reflects_on_wire_bytes_under_a_codec() {
+    let g = Arc::new(chain_graph());
+    let d = even_split_deployment(&g);
+    let pipeline = StreamPipeline::new(
+        g,
+        STREAM_SEED,
+        &d,
+        None,
+        StreamOptions::new()
+            .codec(WireCodec::Lossless)
+            .probe(ProbeOptions::new().every(1).window(2)),
+    )
+    .unwrap();
+    for input in &frame_burst(6, (3, 16, 16), 1100) {
+        pipeline.submit(input).unwrap();
+        let _ = pipeline.recv().unwrap();
+    }
+    let traffic = pipeline.probed_traffic().expect("probing is on");
+    let _ = pipeline.close();
+    for (link, t) in traffic.iter().enumerate() {
+        assert!(
+            t.wire_bytes < t.raw_bytes,
+            "link {link}: the prober is not accounting post-codec bytes \
+             (raw {}, wire {})",
+            t.raw_bytes,
+            t.wire_bytes
+        );
+    }
+}
+
+/// The pinned bandwidth-constrained problem: every inter-tier link at
+/// 2 Mbit/s, where HPA keeps `chain_cnn(6, 8, 32)` entirely on-device
+/// under raw transfer costs.
+fn constrained_problem() -> (DnnGraph, Problem) {
+    let g = d3_model::zoo::chain_cnn(6, 8, 32);
+    let p = Problem::new(
+        &g,
+        &TierProfiles::paper_testbed(),
+        NetworkCondition::Custom(LinkRates {
+            device_edge_mbps: 2.0,
+            edge_cloud_mbps: 2.0,
+            device_cloud_mbps: 1.0,
+        }),
+    );
+    (g, p)
+}
+
+#[test]
+fn codec_profile_moves_the_split_point_tierward() {
+    let (g, mut p) = constrained_problem();
+    let raw_plan = Hpa::paper().partition(&p).unwrap();
+    let on_device = |a: &d3_partition::Assignment| {
+        (0..g.len())
+            .filter(|&i| a.tiers()[i] == Tier::Device)
+            .count()
+    };
+    // Raw transfer at 2 Mbit/s: shipping 8 KiB activations is slower
+    // than the slow device computing the whole chain itself.
+    assert_eq!(
+        on_device(&raw_plan),
+        g.len(),
+        "premise: raw stays on-device"
+    );
+
+    for link in 0..3 {
+        p.set_link_codec(link, codec::profile(WireCodec::Lossless));
+    }
+    let coded_plan = Hpa::paper().partition(&p).unwrap();
+    assert!(coded_plan.is_monotone(&p));
+    assert!(
+        on_device(&coded_plan) < on_device(&raw_plan),
+        "cheaper links must pull layers off the device: raw {:?} vs coded {:?}",
+        raw_plan.tiers(),
+        coded_plan.tiers()
+    );
+    // And the move pays: under the codec-adjusted cost model the new cut
+    // is strictly faster than staying device-only.
+    assert!(coded_plan.total_latency(&p) < raw_plan.total_latency(&p));
+}
+
+#[test]
+fn raw_codec_profile_is_bit_identical_to_the_pre_codec_cost_model() {
+    for mbps in [0.5, 2.0, 8.0, 31.53] {
+        let g = chain_graph();
+        let pristine = Problem::new(
+            &g,
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::custom_backbone(mbps),
+        );
+        let mut touched = Problem::new(
+            &g,
+            &TierProfiles::paper_testbed(),
+            NetworkCondition::custom_backbone(mbps),
+        );
+        for link in 0..3 {
+            touched.set_link_codec(link, d3_partition::CodecProfile::raw());
+        }
+        let a = Hpa::paper().partition(&pristine).unwrap();
+        let b = Hpa::paper().partition(&touched).unwrap();
+        assert_eq!(a.tiers(), b.tiers(), "{mbps} Mbps: plans diverged");
+        // Exact f64 equality: the raw profile takes the literal pre-codec
+        // arithmetic path, not a ratio-1.0 rescale of it.
+        assert_eq!(
+            a.total_latency(&pristine).to_bits(),
+            b.total_latency(&touched).to_bits(),
+            "{mbps} Mbps: raw-profile cost model drifted from the original"
+        );
+    }
+}
+
+#[test]
+fn codec_switcher_engages_on_collapse_and_reverts_with_hysteresis() {
+    let (_, p) = constrained_problem();
+    let policy = CodecSwitcher::new(Box::new(NoAdapt), WireCodec::Lossless, 4.0, 10.0);
+    let mut engine = AdaptiveEngine::new(p, HpaOptions::paper(), Box::new(policy));
+    let obs = |mbps: f64| Observation::Network {
+        net: NetworkCondition::custom_backbone(mbps),
+    };
+
+    // Healthy backbone: nothing to do.
+    assert!(engine.ingest(&obs(30.0)).is_none());
+    // Collapse: the first low reading only builds the streak (patience
+    // 2), the second engages compression on the starved backbone link.
+    assert!(engine.ingest(&obs(3.0)).is_none());
+    let update = engine.ingest(&obs(3.0)).expect("second low vote engages");
+    let ControlUpdate::Codec(u) = update else {
+        panic!("expected a codec switch, got {update:?}");
+    };
+    assert_eq!((u.link, u.codec), (1, WireCodec::Lossless));
+    assert!(!engine.problem().link_codec(1).is_raw());
+    assert!(
+        engine.problem().link_codec(0).is_raw(),
+        "LAN link untouched"
+    );
+    assert_eq!(engine.codec_updates, 1);
+
+    // Inside the hysteresis band: stay engaged.
+    assert!(engine.ingest(&obs(7.0)).is_none());
+    assert!(engine.ingest(&obs(7.0)).is_none());
+    // Recovery above the disengage threshold: revert to raw.
+    assert!(engine.ingest(&obs(20.0)).is_none());
+    let update = engine.ingest(&obs(20.0)).expect("second high vote reverts");
+    assert!(
+        matches!(
+            update,
+            ControlUpdate::Codec(u) if u.link == 1 && u.codec == WireCodec::Raw
+        ),
+        "expected a revert, got {update:?}"
+    );
+    assert!(engine.problem().link_codec(1).is_raw());
+    assert_eq!(engine.codec_updates, 2);
+}
+
+#[test]
+fn session_applies_codec_switches_live_and_stays_lossless() {
+    let g = Arc::new(chain_graph());
+    let mut rt = even_split_runtime("m", chain_graph(), SEED);
+    rt.attach_controller(
+        "m",
+        Box::new(CodecSwitcher::new(
+            Box::new(NoAdapt),
+            WireCodec::Lossless,
+            4.0,
+            10.0,
+        )),
+    )
+    .unwrap();
+    let mut session = rt.open_stream("m", StreamOptions::new()).unwrap();
+    let exec = Executor::new(&g, SEED);
+    assert_eq!(session.link_codecs(), [WireCodec::Raw; 2]);
+
+    let collapse = Observation::Network {
+        net: NetworkCondition::custom_backbone(3.0),
+    };
+    assert!(session.observe(&collapse).is_empty(), "patience is 2");
+    let events = session.observe(&collapse);
+    assert!(
+        matches!(
+            events.as_slice(),
+            [AdaptEvent::Codec(u)] if u.link == 1 && u.codec == WireCodec::Lossless
+        ),
+        "the collapse must switch the backbone codec, got {events:?}"
+    );
+    assert_eq!(
+        session.link_codecs(),
+        [WireCodec::Raw, WireCodec::Lossless],
+        "the running pipeline did not pick the switch up"
+    );
+    // A codec switch is not a plan swap: no drain, no reconfiguration.
+    assert_eq!(session.reconfigurations(), 0);
+
+    // The stream keeps serving bit-identically on the compressed link.
+    for (k, input) in frame_burst(4, (3, 16, 16), 1200).iter().enumerate() {
+        session.submit_blocking(input).unwrap();
+        let (_, got) = session.recv().unwrap();
+        assert_eq!(
+            bits(&exec.run(input)),
+            bits(&got),
+            "frame {k} diverged after the live codec switch"
+        );
+    }
+    let report = session.close();
+    assert!(report.link_wire_bytes < report.link_raw_bytes);
+    assert_eq!(report.max_accuracy_delta, 0.0);
+}
+
+#[test]
+fn fleet_budget_gates_codec_switches() {
+    // Two tenants, a one-reconfiguration budget window of 4 ingests:
+    // tenant a's codec switch spends the window's budget, so tenant b's
+    // switch is withheld until the window rolls — then re-fires, because
+    // a withheld CodecSwitcher re-proposes from the problem's state.
+    let engine = || {
+        let (_, p) = constrained_problem();
+        AdaptiveEngine::new(
+            p,
+            HpaOptions::paper(),
+            Box::new(CodecSwitcher::new(
+                Box::new(NoAdapt),
+                WireCodec::Lossless,
+                4.0,
+                10.0,
+            )),
+        )
+    };
+    let mut fleet = FleetController::new(FleetOptions::new().budget(1, 4).cooldown(0));
+    fleet.register("a", 1.0, engine());
+    fleet.register("b", 1.0, engine());
+    let low = Observation::Network {
+        net: NetworkCondition::custom_backbone(3.0),
+    };
+
+    assert!(fleet.ingest("a", &low).is_empty()); // a: streak 1
+    let updates = fleet.ingest("a", &low); // a: engages, spends the budget
+    assert!(
+        matches!(
+            updates.as_slice(),
+            [d3_engine::FleetUpdate { tenant, update: ControlUpdate::Codec(u) }]
+                if tenant == "a" && u.link == 1
+        ),
+        "tenant a's switch must pass the fresh budget, got {updates:?}"
+    );
+    assert!(fleet.ingest("b", &low).is_empty()); // b: streak 1
+    assert!(
+        fleet.ingest("b", &low).is_empty(),
+        "tenant b's switch must be withheld by the spent budget"
+    );
+    assert_eq!(fleet.held_by_budget, 1);
+    assert!(
+        fleet.engine("b").unwrap().problem().link_codec(1).is_raw(),
+        "a withheld switch must not touch the problem"
+    );
+
+    // Ingest 5 opens a new budget window; the still-starved link
+    // re-proposes and now goes through.
+    assert!(fleet.ingest("b", &low).is_empty()); // b: streak 1 again
+    let updates = fleet.ingest("b", &low);
+    assert!(
+        matches!(
+            updates.as_slice(),
+            [d3_engine::FleetUpdate { tenant, update: ControlUpdate::Codec(u) }]
+                if tenant == "b" && u.link == 1 && u.codec == WireCodec::Lossless
+        ),
+        "tenant b's switch must re-fire after the window rolls, got {updates:?}"
+    );
+    assert!(!fleet.engine("b").unwrap().problem().link_codec(1).is_raw());
+}
+
+#[test]
+fn mid_stream_manual_codec_switches_stay_lossless() {
+    // Flip codecs on a *running* pipeline, twice, with frames in flight
+    // across each flip: every output must stay bit-identical. Frames are
+    // self-describing, so no quiesce is needed.
+    let g = Arc::new(chain_graph());
+    let d = even_split_deployment(&g);
+    let pipeline =
+        StreamPipeline::new(g.clone(), STREAM_SEED, &d, None, StreamOptions::new()).unwrap();
+    let exec = Executor::new(&g, STREAM_SEED);
+    let frames = frame_burst(9, (3, 16, 16), 1300);
+    for (k, input) in frames.iter().enumerate() {
+        if k == 3 {
+            pipeline.set_link_codec(0, WireCodec::Lossless);
+            pipeline.set_link_codec(1, WireCodec::Lossless);
+            assert_eq!(pipeline.link_codecs(), [WireCodec::Lossless; 2]);
+        }
+        if k == 6 {
+            pipeline.set_link_codec(0, WireCodec::Raw);
+            assert_eq!(
+                pipeline.link_codecs(),
+                [WireCodec::Raw, WireCodec::Lossless]
+            );
+        }
+        pipeline.submit(input).unwrap();
+        let (_, got) = pipeline.recv().unwrap();
+        assert_eq!(
+            bits(&exec.run(input)),
+            bits(&got),
+            "frame {k} diverged across a live codec flip"
+        );
+    }
+    let report = pipeline.close();
+    assert_eq!(report.reconfigurations, 0, "codec flips are not plan swaps");
+    assert!(report.link_wire_bytes < report.link_raw_bytes);
+}

@@ -399,6 +399,12 @@ pub mod atomic {
         bool
     );
     shim_atomic!(
+        /// Shim over `std::sync::atomic::AtomicU8`.
+        AtomicU8,
+        AtomicU8,
+        u8
+    );
+    shim_atomic!(
         /// Shim over `std::sync::atomic::AtomicU64`.
         AtomicU64,
         AtomicU64,
