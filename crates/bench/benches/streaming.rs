@@ -29,7 +29,7 @@ fn bench_stream_vs_oneshot(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("streaming_frame");
     group.bench_function("one_shot_run_distributed", |b| {
-        b.iter(|| black_box(run_distributed(&g, SEED, &assignment, None, &input)));
+        b.iter(|| black_box(run_distributed(&g, SEED, &assignment, None, &input).unwrap()));
     });
     let pipeline =
         StreamPipeline::new(g.clone(), SEED, &deployment, None, StreamOptions::new()).unwrap();

@@ -31,11 +31,13 @@
 //!   constrained-link speedup (asserted ≥ 1.5x in-binary).
 
 use d3_engine::codec::WireCodec;
+use d3_engine::link::{serve, LinkAddr, StageHost};
 use d3_engine::stream::{BatchOptions, LinkShaping, PoolOptions, StreamOptions};
-use d3_engine::Deployment;
+use d3_engine::{Deployment, RemoteOptions};
 use d3_model::{zoo, DnnGraph};
 use d3_simnet::Tier;
 use d3_test_support::{even_split_deployment, stream_burst};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -77,7 +79,7 @@ fn measure(
         p99_ms: 0.0,
     };
     for _ in 0..REPS {
-        let m = stream_burst(g, d, options, FRAMES);
+        let m = stream_burst(g, d, options.clone(), FRAMES);
         if m.throughput_fps > best.throughput_fps {
             best.throughput_fps = m.throughput_fps;
             best.p50_ms = m.p50_latency_s * 1e3;
@@ -156,7 +158,37 @@ fn run_suite() -> Vec<Measurement> {
     );
     out.push(raw);
     out.push(coded);
+
+    println!(
+        "UDS loopback (edge stage behind a real Unix-socket stage link; recorded, not gated):"
+    );
+    out.push(measure_uds_loopback("uds_loopback_edge", &g, &d));
     out
+}
+
+/// Streams the burst with the edge segment proxied over a real
+/// Unix-domain stage link served from a background thread of this
+/// process — the multi-process wire path without the process-spawn
+/// overhead. Loopback socket speed is host-dependent, so the scenario
+/// is recorded but never gated.
+fn measure_uds_loopback(name: &'static str, g: &Arc<DnnGraph>, d: &Deployment) -> Measurement {
+    let path = std::env::temp_dir().join(format!("d3-gate-{}.sock", std::process::id()));
+    let addr = LinkAddr::Uds(path.clone());
+    let listener = addr.listen().expect("bind perf-gate stage link");
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let mut host = StageHost::new(g.name().to_string(), Arc::clone(g));
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || serve(&listener, &mut host, &stop))
+    };
+    let opts = StreamOptions::new()
+        .capacity(16)
+        .remote(Tier::Edge, RemoteOptions::new(addr));
+    let best = measure(name, g, d, opts);
+    stop.store(true, Ordering::SeqCst);
+    server.join().expect("perf-gate stage server panicked");
+    let _ = std::fs::remove_file(path);
+    best
 }
 
 /// Streams the latency-bound burst through **two** concurrent pipelines
@@ -178,7 +210,10 @@ fn measure_fleet(name: &'static str, g: &Arc<DnnGraph>, d: &Deployment) -> Measu
     for _ in 0..REPS {
         let stats = std::thread::scope(|scope| {
             let tenants: Vec<_> = (0..2)
-                .map(|_| scope.spawn(|| stream_burst(g, d, opts, FRAMES)))
+                .map(|_| {
+                    let opts = opts.clone();
+                    scope.spawn(move || stream_burst(g, d, opts, FRAMES))
+                })
                 .collect();
             tenants
                 .into_iter()

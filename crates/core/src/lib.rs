@@ -325,6 +325,7 @@ impl D3System {
             self.vsm,
             input,
         )
+        .expect("in-process distributed run cannot lose workers")
     }
 
     /// The seed deriving this system's synthetic weights (single-node

@@ -58,11 +58,12 @@
 
 use d3_engine::stream::StreamPipeline;
 use d3_engine::{
-    AdaptiveEngine, CodecUpdate, ControlUpdate, FleetController, FrameId, Observation, PlanSwap,
-    PlanUpdate, PoolResize, StreamBuildError, StreamRecvError, StreamReport, SubmitError,
-    TelemetryTap,
+    AdaptiveEngine, CodecUpdate, ControlUpdate, Deployment, FleetController, FrameId, Observation,
+    PlanSwap, PlanUpdate, PoolResize, StreamBuildError, StreamRecvError, StreamReport, SubmitError,
+    TelemetryTap, UpdateScope, VsmConfig,
 };
-use d3_partition::Assignment;
+use d3_model::NodeId;
+use d3_partition::{Assignment, Problem};
 use d3_simnet::Tier;
 use d3_tensor::Tensor;
 use std::sync::{Arc, Mutex};
@@ -107,6 +108,12 @@ pub enum AdaptEvent {
 pub struct StreamSession {
     model: String,
     pipeline: StreamPipeline,
+    /// The model's partitioning problem, captured at open time — the
+    /// cost model a failover reroute plan is deployed against.
+    problem: Problem,
+    /// The model's VSM config, captured at open time (reroute plans
+    /// keep it).
+    vsm: Option<VsmConfig>,
     /// Per-session adaptation controller (present when the runtime had a
     /// policy attached at open time and the model is not a fleet
     /// tenant).
@@ -145,6 +152,8 @@ impl StreamSession {
         Ok(Self {
             model: model.to_string(),
             pipeline,
+            problem: system.problem().clone(),
+            vsm: system.vsm_config(),
             controller,
             fleet,
         })
@@ -264,6 +273,43 @@ impl StreamSession {
     /// pipeline; the running stream is untouched.
     pub fn apply_plan(&mut self, update: &PlanUpdate) -> Result<PlanSwap, StreamBuildError> {
         self.pipeline.apply_plan(update)
+    }
+
+    /// Checks whether a remote stage server stayed down past its
+    /// failover deadline and, if so, reroutes around it: the dead
+    /// tier's layers move to the cloud segment (a dead cloud's move to
+    /// the edge), the remote transport is dropped so the rerouted stage
+    /// runs in-process, and the stream swaps onto the new plan at the
+    /// usual lossless frame boundary — every frame the dead peer held
+    /// un-acked is re-executed locally, none lost. Call it periodically
+    /// from the driving loop when a tier runs remote. Returns the failed
+    /// tier and the applied swap, or `None` while all peers are healthy.
+    pub fn check_failover(&mut self) -> Option<(Tier, PlanSwap)> {
+        let failed = self.pipeline.failed_remote()?;
+        self.pipeline.drop_remote(failed);
+        let target = if failed == Tier::Cloud {
+            Tier::Edge
+        } else {
+            Tier::Cloud
+        };
+        let mut assignment = self.pipeline.assignment().clone();
+        let mut changed = Vec::new();
+        for id in (0..assignment.len()).map(NodeId) {
+            if assignment.tier(id) == failed {
+                assignment.set_tier(id, target);
+                changed.push(id);
+            }
+        }
+        let update = PlanUpdate {
+            deployment: Deployment::new(&self.problem, assignment, self.vsm),
+            changed,
+            scope: UpdateScope::Full,
+        };
+        let swap = self
+            .pipeline
+            .apply_plan(&update)
+            .expect("failover reroute must remain a forward pipeline");
+        Some((failed, swap))
     }
 
     /// Resizes one stage's worker pool live, at the same lossless frame

@@ -556,7 +556,8 @@ fn quantized_fallback(codec: WireCodec, t: &Tensor) -> Encoded {
 }
 
 fn decode_f32_payload(body: &[u8], n: usize) -> Result<Vec<f32>, WireError> {
-    if body.len() != n * 4 {
+    // Checked: a hostile header's `n * 4` could overflow (debug panic).
+    if n.checked_mul(4) != Some(body.len()) {
         return Err(WireError::Truncated);
     }
     Ok(body
@@ -637,6 +638,13 @@ fn rle_compress(src: &[u8]) -> Vec<u8> {
 }
 
 fn rle_decompress(src: &[u8], expect: usize) -> Result<Vec<u8>, WireError> {
+    // An RLE token expands to at most 129 bytes per 2 input bytes
+    // (< 65×), so an `expect` beyond that is a corrupt header — reject
+    // it *before* reserving, or a hostile length drives a huge
+    // allocation off a tiny frame.
+    if expect > src.len().saturating_mul(65) {
+        return Err(WireError::Truncated);
+    }
     let mut out = Vec::with_capacity(expect);
     let mut i = 0;
     while i < src.len() {
@@ -759,7 +767,8 @@ fn f16_bits_to_f32(h: u16) -> f32 {
 }
 
 fn decode_f16(body: &[u8], n: usize) -> Result<Vec<f32>, WireError> {
-    if body.len() != n * 2 {
+    // Checked: a hostile header's `n * 2` could overflow (debug panic).
+    if n.checked_mul(2) != Some(body.len()) {
         return Err(WireError::Truncated);
     }
     Ok(body
@@ -773,7 +782,8 @@ fn i8_dequant(min: f32, scale: f32, q: u8) -> f32 {
 }
 
 fn decode_i8(body: &[u8], n: usize) -> Result<Vec<f32>, WireError> {
-    if body.len() != 8 + n {
+    // Checked: a hostile header's `8 + n` could overflow (debug panic).
+    if n.checked_add(8) != Some(body.len()) {
         return Err(WireError::Truncated);
     }
     let min = f32::from_le_bytes([body[0], body[1], body[2], body[3]]);

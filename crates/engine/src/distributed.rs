@@ -25,21 +25,54 @@ use std::collections::HashMap;
 /// A tensor crossing tiers: producer vertex plus encoded payload.
 type WireMsg = (NodeId, Bytes);
 
+/// Why a distributed run failed to produce the output tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistributedError {
+    /// A tier worker thread panicked mid-run.
+    WorkerPanicked,
+    /// An inter-tier channel closed before the run finished — a peer
+    /// exited early, so the tensors this tier waits for never arrive.
+    Disconnected,
+    /// An inter-tier frame failed to decode.
+    Frame(wire::WireError),
+    /// All workers exited cleanly yet nobody produced the output.
+    NoOutput,
+}
+
+impl std::fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributedError::WorkerPanicked => write!(f, "tier worker panicked"),
+            DistributedError::Disconnected => write!(f, "inter-tier channel closed early"),
+            DistributedError::Frame(e) => write!(f, "corrupt inter-tier frame: {e}"),
+            DistributedError::NoOutput => write!(f, "no tier produced the output tensor"),
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {}
+
 /// Executes `graph` distributed across device/edge/cloud threads
 /// according to `assignment`, returning the network output. With `vsm`,
 /// the edge thread runs its tileable layer runs tile-parallel.
 ///
+/// # Errors
+///
+/// Fails when a worker panics, an inter-tier frame is corrupt, or the
+/// tier topology never routes the output tensor anywhere — each of
+/// which indicates a partitioning bug rather than a transient fault.
+///
 /// # Panics
 ///
-/// Panics when the input shape mismatches the graph or a worker thread
-/// fails (which would indicate a partitioning bug).
+/// Panics when the input shape mismatches the graph or the graph has
+/// more than one output.
 pub fn run_distributed(
     graph: &DnnGraph,
     seed: u64,
     assignment: &Assignment,
     vsm: Option<VsmConfig>,
     input: &Tensor,
-) -> Tensor {
+) -> Result<Tensor, DistributedError> {
     assert_eq!(input.shape3(), graph.input_shape(), "input shape mismatch");
     let output_node = {
         let outs = graph.outputs();
@@ -57,6 +90,8 @@ pub fn run_distributed(
     let (tx_edge, rx_edge) = bounded::<WireMsg>(slots);
     let (tx_cloud, rx_cloud) = bounded::<WireMsg>(slots);
     let (tx_result, rx_result) = bounded::<Bytes>(1);
+    // First worker error wins; one slot per tier can never block.
+    let (tx_err, rx_err) = bounded::<DistributedError>(Tier::ALL.len());
 
     // How many crossing tensors each tier must wait for.
     let mut expected = [0usize; 3];
@@ -91,9 +126,10 @@ pub fn run_distributed(
                 Tier::Cloud => vec![],
             };
             let tx_result = tx_result.clone();
+            let tx_err = tx_err.clone();
             let expect = expected[tier.rank()];
             scope.spawn(move |_| {
-                tier_worker(
+                if let Err(e) = tier_worker(
                     graph,
                     seed,
                     assignment,
@@ -105,15 +141,21 @@ pub fn run_distributed(
                     senders,
                     output_node,
                     tx_result,
-                );
+                ) {
+                    let _ = tx_err.try_send(e);
+                }
             });
         }
-        drop((tx_edge, tx_cloud, tx_result));
+        drop((tx_edge, tx_cloud, tx_result, tx_err));
     })
-    .expect("tier worker panicked");
+    .map_err(|_| DistributedError::WorkerPanicked)?;
 
-    let bytes = rx_result.recv().expect("no output produced");
-    wire::decode(bytes).expect("corrupt output frame")
+    // The scope joined every worker, so whatever was produced is
+    // already buffered in the (bounded, never-full) channels.
+    match rx_result.try_recv() {
+        Ok(bytes) => wire::decode(bytes).map_err(DistributedError::Frame),
+        Err(_) => Err(rx_err.try_recv().unwrap_or(DistributedError::NoOutput)),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -129,7 +171,7 @@ fn tier_worker(
     senders: Vec<(Tier, Sender<WireMsg>)>,
     output_node: NodeId,
     tx_result: Sender<Bytes>,
-) {
+) -> Result<(), DistributedError> {
     let exec = Executor::new(graph, seed);
     let members = assignment.segment(tier);
     // Collect boundary tensors.
@@ -139,8 +181,8 @@ fn tier_worker(
     }
     if let Some(rx) = rx {
         for _ in 0..expect {
-            let (id, bytes) = rx.recv().expect("upstream hung up early");
-            let tensor = wire::decode(bytes).expect("corrupt frame");
+            let (id, bytes) = rx.recv().map_err(|_| DistributedError::Disconnected)?;
+            let tensor = wire::decode(bytes).map_err(DistributedError::Frame)?;
             boundary.insert(id, tensor);
         }
     }
@@ -161,15 +203,17 @@ fn tier_worker(
         dests.dedup();
         for d in dests {
             if let Some((_, tx)) = senders.iter().find(|(t, _)| *t == d) {
-                tx.send((*id, wire::encode(tensor))).expect("receiver gone");
+                tx.send((*id, wire::encode(tensor)))
+                    .map_err(|_| DistributedError::Disconnected)?;
             }
         }
         if *id == output_node {
             tx_result
                 .send(wire::encode(tensor))
-                .expect("result receiver gone");
+                .map_err(|_| DistributedError::Disconnected)?;
         }
     }
+    Ok(())
 }
 
 /// Executes a tier's members, optionally accelerating tileable runs with
@@ -221,7 +265,7 @@ mod tests {
         let shape = g.input_shape();
         let input = Tensor::random(shape.c, shape.h, shape.w, seed);
         let expect = Executor::new(g, seed).run(&input);
-        let got = run_distributed(g, seed, &assignment, vsm, &input);
+        let got = run_distributed(g, seed, &assignment, vsm, &input).unwrap();
         assert_eq!(
             max_abs_diff(&got, &expect),
             Some(0.0),
@@ -258,7 +302,7 @@ mod tests {
         let a = Assignment::new(tiers);
         let input = Tensor::random(3, 16, 16, 9);
         let expect = Executor::new(&g, 1).run(&input);
-        let got = run_distributed(&g, 1, &a, Some(VsmConfig::default()), &input);
+        let got = run_distributed(&g, 1, &a, Some(VsmConfig::default()), &input).unwrap();
         assert_eq!(max_abs_diff(&got, &expect), Some(0.0));
     }
 

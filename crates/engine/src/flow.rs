@@ -18,7 +18,7 @@
 //! only through the [`Clock`] seam, which is what makes a model
 //! execution deterministic.
 
-use crate::clock::Clock;
+use crate::clock::{Clock, Stamp};
 use crate::sync::{self, Mutex};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::BTreeMap;
@@ -253,6 +253,170 @@ pub fn run_batcher<T: Coalesce>(
     }
 }
 
+/// The bounded retransmit window of a remote stage link
+/// ([`crate::link`]): every batch sent to a peer is registered here
+/// (keyed on its dense first [`FrameId`](crate::stream::FrameId)) until
+/// the peer's result acknowledges it. A reconnect replays everything
+/// still pending, in id order — and because delivery happens only
+/// through [`ack`](Self::ack), which removes the entry, a batch whose
+/// result arrives twice (responded on the old connection *and* after a
+/// replay) is delivered downstream **exactly once**: the second ack
+/// finds nothing pending and is dropped as a duplicate. The window is
+/// bounded so an unresponsive peer backpressures the sender instead of
+/// buffering without limit.
+#[derive(Debug)]
+pub struct Retransmit<T> {
+    window: usize,
+    pending: BTreeMap<u64, (usize, T)>,
+}
+
+impl<T> Retransmit<T> {
+    /// An empty window admitting at most `window` un-acked batches.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        Self {
+            window: window.max(1),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Registers one outgoing batch (`count` frames whose dense ids
+    /// begin at `first`). The item is handed back when the window is
+    /// full — the sender must wait for acks before retrying — or when
+    /// `first` is already pending (a duplicate send attempt).
+    ///
+    /// # Errors
+    ///
+    /// `Err(item)` on a full window or duplicate id; nothing is
+    /// registered.
+    pub fn offer(&mut self, first: u64, count: usize, item: T) -> Result<(), T> {
+        if self.pending.len() >= self.window || self.pending.contains_key(&first) {
+            return Err(item);
+        }
+        self.pending.insert(first, (count, item));
+        Ok(())
+    }
+
+    /// Acknowledges the batch starting at `first`. `Some(item)` means
+    /// this is the **first** ack — the caller owns delivery; `None`
+    /// means the batch was already acked (a duplicate response after a
+    /// replay race) or never registered, and must be dropped.
+    pub fn ack(&mut self, first: u64) -> Option<T> {
+        self.pending.remove(&first).map(|(_, item)| item)
+    }
+
+    /// Everything awaiting an ack, in ascending id order — the exact
+    /// sequence a reconnect must replay.
+    pub fn replay(&self) -> impl Iterator<Item = (u64, usize, &T)> {
+        self.pending
+            .iter()
+            .map(|(&first, (count, item))| (first, *count, item))
+    }
+
+    /// Takes everything still pending, in id order — the stranded tail
+    /// a failed peer leaves behind, which quiesce re-injects into the
+    /// replacement stage.
+    pub fn drain(&mut self) -> Vec<(u64, usize, T)> {
+        let mut out = Vec::new();
+        while let Some((first, (count, item))) = self.pending.pop_first() {
+            out.push((first, count, item));
+        }
+        out
+    }
+
+    /// Batches currently awaiting an ack.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether every offered batch has been acked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Where a remote peer stands on the connect → down → failed ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerStatus {
+    /// The link is up.
+    Connected,
+    /// The link is down; `since` is when it was **first** lost (repeat
+    /// reconnect failures do not reset the clock, so a peer that stays
+    /// down walks steadily toward the deadline).
+    Down {
+        /// When the current outage began.
+        since: Stamp,
+    },
+    /// The peer stayed down past the failover deadline. Terminal: the
+    /// stage must be rerouted (`apply_plan`), not retried.
+    Failed,
+}
+
+/// The reconnect state machine of one remote stage link: tracks the
+/// peer through connect / disconnect transitions and promotes a
+/// sustained outage to [`PeerStatus::Failed`] once it outlives the
+/// failover deadline. Time only ever enters through [`Stamp`]s the
+/// caller reads from the [`Clock`] seam, so model executions and
+/// `FakeClock` tests drive it deterministically.
+#[derive(Debug)]
+pub struct PeerHealth {
+    status: PeerStatus,
+    deadline: Duration,
+}
+
+impl PeerHealth {
+    /// A peer that has never connected: born `Down { since: now }`, so
+    /// a server that never comes up fails over after one deadline.
+    #[must_use]
+    pub fn new(deadline: Duration, now: Stamp) -> Self {
+        Self {
+            status: PeerStatus::Down { since: now },
+            deadline,
+        }
+    }
+
+    /// The link came up. A `Failed` peer stays failed — the pipeline
+    /// has already reassigned its segment.
+    pub fn on_connected(&mut self) {
+        if !matches!(self.status, PeerStatus::Failed) {
+            self.status = PeerStatus::Connected;
+        }
+    }
+
+    /// The link dropped. An already-down peer keeps its original
+    /// outage start.
+    pub fn on_disconnect(&mut self, now: Stamp) {
+        if matches!(self.status, PeerStatus::Connected) {
+            self.status = PeerStatus::Down { since: now };
+        }
+    }
+
+    /// Re-evaluates the deadline and returns the current status: a peer
+    /// down for `deadline` or longer becomes `Failed` (terminal).
+    pub fn check(&mut self, now: Stamp) -> PeerStatus {
+        if let PeerStatus::Down { since } = self.status {
+            if now.saturating_sub(since) >= self.deadline {
+                self.status = PeerStatus::Failed;
+            }
+        }
+        self.status
+    }
+
+    /// The status as of the last transition or [`check`](Self::check).
+    #[must_use]
+    pub fn status(&self) -> PeerStatus {
+        self.status
+    }
+
+    /// Whether the peer has been declared failed.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self.status, PeerStatus::Failed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +517,46 @@ mod tests {
             batches,
             [Units(vec![0, 1]), Units(vec![2, 3]), Units(vec![4])]
         );
+    }
+
+    #[test]
+    fn retransmit_acks_exactly_once_and_replays_in_order() {
+        let mut retx = Retransmit::new(2);
+        retx.offer(0, 2, "a").unwrap();
+        retx.offer(2, 1, "b").unwrap();
+        // Window full: the item comes back untouched.
+        assert_eq!(retx.offer(3, 1, "c"), Err("c"));
+        // Duplicate registration is rejected too.
+        assert_eq!(retx.offer(0, 2, "dup"), Err("dup"));
+        let replayed: Vec<_> = retx.replay().map(|(f, c, &i)| (f, c, i)).collect();
+        assert_eq!(replayed, [(0, 2, "a"), (2, 1, "b")]);
+        // First ack delivers; the second (a replayed response) is a
+        // duplicate and must not deliver again.
+        assert_eq!(retx.ack(0), Some("a"));
+        assert_eq!(retx.ack(0), None);
+        assert_eq!(retx.in_flight(), 1);
+        // Space freed: the rejected batch now fits.
+        retx.offer(3, 1, "c").unwrap();
+        assert_eq!(retx.drain(), [(2, 1, "b"), (3, 1, "c")]);
+        assert!(retx.is_empty());
+    }
+
+    #[test]
+    fn peer_health_walks_down_to_failed_without_resetting() {
+        let ms = Duration::from_millis;
+        let mut health = PeerHealth::new(ms(100), ms(0));
+        assert_eq!(health.status(), PeerStatus::Down { since: ms(0) });
+        health.on_connected();
+        assert_eq!(health.check(ms(10)), PeerStatus::Connected);
+        health.on_disconnect(ms(20));
+        // A repeat disconnect (failed reconnect attempt) keeps the
+        // original outage start.
+        health.on_disconnect(ms(90));
+        assert_eq!(health.check(ms(90)), PeerStatus::Down { since: ms(20) });
+        assert_eq!(health.check(ms(120)), PeerStatus::Failed);
+        // Terminal: a late reconnect cannot resurrect a failed peer.
+        health.on_connected();
+        assert!(health.is_failed());
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! - [`adapt`]: policy-driven runtime re-partitioning
 //!   ([`AdaptivePolicy`]: hysteresis-gated local repair, full re-solve,
 //!   or frozen) emitting deployable [`PlanUpdate`]s,
+//! - [`link`]: the stage-link abstraction — a [`Link`] trait moving
+//!   length-prefixed, codec-aware frames between stages, with the
+//!   deterministic in-process channel transport and a real TCP/UDS
+//!   transport plus the stage-server side ([`StageHost`]), so a
+//!   pipeline can genuinely span processes with crash + retransmit
+//!   recovery and deadline-based failover,
 //! - [`flow`]: the interleaving-critical flow-control units extracted
 //!   from the stream and fleet layers (resequencer, dense-id admission,
 //!   batcher, coordination mailbox) — model-checked by the vendored
@@ -62,6 +68,7 @@ pub mod deploy;
 pub mod distributed;
 pub mod fleet;
 pub mod flow;
+pub mod link;
 pub mod pipeline;
 pub mod stream;
 mod sync;
@@ -76,8 +83,9 @@ pub use adapt::{
 pub use clock::{Clock, Stamp};
 pub use codec::{Codec, Encoded, WireCodec};
 pub use deploy::{deploy_strategy, Deployment, Strategy, VsmConfig};
-pub use distributed::run_distributed;
+pub use distributed::{run_distributed, DistributedError};
 pub use fleet::{FleetController, FleetOptions, FleetUpdate, ResourceLedger, TenantCommit};
+pub use link::{Link, LinkAddr, LinkError, LinkListener, RemoteOptions, SocketLink, StageHost};
 pub use pipeline::{
     bottleneck_s, render_gantt, simulate_stream, simulate_stream_trace, FrameTrace, StageSpec,
     StreamStats,

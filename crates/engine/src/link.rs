@@ -1,0 +1,1150 @@
+//! The stage link: real multi-process transport for pipeline stages.
+//!
+//! The streaming pipeline ([`crate::stream`]) joins its device/edge/
+//! cloud stages with in-process bounded channels. This module makes the
+//! boundary between two stages an explicit [`Link`] — send/recv of
+//! length-prefixed [`LinkMsg`] frames whose tensor payloads are the
+//! existing self-describing [`wire`](crate::wire)/[`codec`](crate::codec)
+//! encodings — with two implementations:
+//!
+//! - [`ChannelLink`]: the deterministic in-process path, a pair of
+//!   bounded crossbeam channels moving the **same encoded bytes** a
+//!   socket would carry (bit-identical framing, pinned by unit tests);
+//! - [`SocketLink`]: a real TCP or Unix-domain stream with connect /
+//!   accept ([`LinkAddr`], [`LinkListener`]), incremental read pumps
+//!   with poll timeouts, and typed [`LinkError`]s instead of panics on
+//!   truncated or corrupt input.
+//!
+//! On top of the link sits the **stage server** ([`StageHost`],
+//! [`serve`]): a process hosting one segment of a deployed plan. The
+//! client side — the proxy a [`StreamPipeline`](crate::stream::
+//! StreamPipeline) spawns in place of a local worker pool when
+//! [`RemoteOptions`] selects a remote transport for a tier — sends
+//! [`LinkMsg::Batch`] requests and receives [`LinkMsg::Result`] acks,
+//! replaying un-acked batches from a [`Retransmit`](crate::flow::
+//! Retransmit) window across reconnects so a stage-server crash loses
+//! no frames. The retransmit/ack and peer-health state machines
+//! themselves live in [`crate::flow`], where the loomlite model checker
+//! can exhaust their schedules.
+
+use crate::codec::{self, WireCodec};
+use crate::wire::{self, WireError};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use d3_model::{DnnGraph, NodeId, SegmentExecutor};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Magic prefix of every link frame (`D3` + "LI NK").
+pub const LINK_MAGIC: u32 = 0xD31A_4B01;
+
+/// Upper bound on one frame's body — a corrupt length prefix must not
+/// drive a giant allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+const TAG_HELLO: u8 = 1;
+const TAG_BATCH: u8 = 2;
+const TAG_RESULT: u8 = 3;
+
+/// How a link operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// The underlying socket or channel reported an I/O error.
+    Io(String),
+    /// The peer closed or lost the connection.
+    Disconnected,
+    /// The byte stream held a truncated or corrupt frame.
+    Frame(WireError),
+    /// The peer spoke a well-formed frame the protocol forbids here
+    /// (wrong model, batch before hello, missing output…).
+    Protocol(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Io(e) => write!(f, "link i/o error: {e}"),
+            LinkError::Disconnected => write!(f, "link disconnected"),
+            LinkError::Frame(e) => write!(f, "bad link frame: {e}"),
+            LinkError::Protocol(e) => write!(f, "link protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Transport selection for one remote stage: where its stage server
+/// listens plus the reconnect/failover knobs of the proxy that talks
+/// to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteOptions {
+    /// Where the stage server listens.
+    pub addr: LinkAddr,
+    /// Un-acked batches the proxy keeps in its retransmit window before
+    /// backpressuring the upstream stage.
+    pub window: usize,
+    /// Spacing between reconnect attempts while the peer is down.
+    pub retry: Duration,
+    /// How long the peer may stay down before the proxy declares it
+    /// [`Failed`](crate::flow::PeerStatus::Failed) and the pipeline
+    /// surfaces a failover.
+    pub deadline: Duration,
+}
+
+impl RemoteOptions {
+    /// Remote transport over `addr` with an 8-batch window, 20 ms
+    /// reconnect spacing and a 2 s failover deadline.
+    #[must_use]
+    pub fn new(addr: LinkAddr) -> Self {
+        Self {
+            addr,
+            window: 8,
+            retry: Duration::from_millis(20),
+            deadline: Duration::from_secs(2),
+        }
+    }
+
+    /// Sets the retransmit window (un-acked batches; min 1).
+    #[must_use]
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Sets the reconnect attempt spacing.
+    #[must_use]
+    pub fn retry(mut self, retry: Duration) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the failover deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+/// A stage server's address: a Unix-domain socket path or a TCP
+/// host:port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkAddr {
+    /// Unix-domain socket at this path.
+    Uds(PathBuf),
+    /// TCP endpoint, `host:port`.
+    Tcp(String),
+}
+
+impl LinkAddr {
+    /// Parses `uds:<path>` or `tcp:<host:port>`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<LinkAddr> {
+        if let Some(path) = s.strip_prefix("uds:") {
+            (!path.is_empty()).then(|| LinkAddr::Uds(PathBuf::from(path)))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            (!addr.is_empty()).then(|| LinkAddr::Tcp(addr.to_string()))
+        } else {
+            None
+        }
+    }
+
+    /// Connects to the stage server at this address.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Io`] when the endpoint refuses or is absent.
+    pub fn connect(&self) -> Result<SocketLink, LinkError> {
+        let stream = match self {
+            LinkAddr::Uds(path) => UnixStream::connect(path).map(SocketStream::Uds),
+            LinkAddr::Tcp(addr) => TcpStream::connect(addr.as_str()).map(SocketStream::Tcp),
+        }
+        .map_err(|e| LinkError::Io(e.to_string()))?;
+        SocketLink::new(stream)
+    }
+
+    /// Binds a listener at this address. A stale Unix socket file from
+    /// a previous (crashed) server is removed first.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Io`] when the bind fails.
+    pub fn listen(&self) -> Result<LinkListener, LinkError> {
+        let listener = match self {
+            LinkAddr::Uds(path) => {
+                let _ = std::fs::remove_file(path);
+                UnixListener::bind(path).map(Listener::Uds)
+            }
+            LinkAddr::Tcp(addr) => TcpListener::bind(addr.as_str()).map(Listener::Tcp),
+        }
+        .map_err(|e| LinkError::Io(e.to_string()))?;
+        match &listener {
+            Listener::Uds(l) => l.set_nonblocking(true),
+            Listener::Tcp(l) => l.set_nonblocking(true),
+        }
+        .map_err(|e| LinkError::Io(e.to_string()))?;
+        Ok(LinkListener { listener })
+    }
+}
+
+impl fmt::Display for LinkAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkAddr::Uds(path) => write!(f, "uds:{}", path.display()),
+            LinkAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// One message on a stage link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkMsg {
+    /// Session setup, (re)sent on every connect: which segment of which
+    /// model this link drives.
+    Hello(Hello),
+    /// A batch of frames for the remote stage to execute.
+    Batch(WireBatch),
+    /// The remote stage's outputs for one batch — and its ack.
+    Result(WireBatch),
+}
+
+/// Session parameters the client declares on every (re)connect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// The model spec the server must be hosting (see
+    /// `d3_model::zoo::by_spec`).
+    pub model: String,
+    /// Weight seed — identical seeds make recompute-on-replay
+    /// bit-identical.
+    pub seed: u64,
+    /// The segment's member vertices.
+    pub members: Vec<u32>,
+    /// Boundary vertices the stage decodes from incoming payloads.
+    pub needed: Vec<u32>,
+    /// Vertices later stages need: forwarded in wire form.
+    pub forward: Vec<u32>,
+    /// The plan's output vertex.
+    pub output_node: u32,
+    /// Whether this stage produces final results rather than forwards.
+    pub is_last: bool,
+}
+
+/// A batch of frames in transport form. Requests carry encoded boundary
+/// payloads; results carry either forward payloads (`raw_bytes` /
+/// `accuracy_delta` report the server's codec ledger for them) or, for
+/// a last stage, the output tensor in raw wire form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireBatch {
+    /// Dense id of the first frame — the retransmit/ack key.
+    pub first_id: u64,
+    /// [`WireCodec`] tag the server must encode forwards with.
+    pub codec: u8,
+    /// Pre-encoding bytes of the result payloads (codec ledger).
+    pub raw_bytes: u64,
+    /// Max quantization error the server's encodes introduced.
+    pub accuracy_delta: f64,
+    /// The frames, ids ascending and dense.
+    pub frames: Vec<WireFrame>,
+}
+
+/// One frame in transport form: its dense id plus `(vertex, encoded
+/// tensor)` payload entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFrame {
+    /// The frame's dense id.
+    pub id: u64,
+    /// Encoded tensors by vertex.
+    pub payload: Vec<(u32, Bytes)>,
+}
+
+/// A bidirectional, message-framed transport between two stages.
+pub trait Link: Send {
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Disconnected`] when the peer is gone, [`LinkError::
+    /// Io`] for other transport failures.
+    fn send(&mut self, msg: &LinkMsg) -> Result<(), LinkError>;
+
+    /// Receives the next message, waiting at most `timeout`; `Ok(None)`
+    /// on timeout (any partial frame is retained for the next call).
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Disconnected`] when the peer is gone, [`LinkError::
+    /// Frame`] on a corrupt byte stream.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<LinkMsg>, LinkError>;
+}
+
+// ---------------------------------------------------------------------
+// Frame encoding
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_ids(out: &mut Vec<u8>, ids: &[u32]) {
+    put_u32(out, ids.len() as u32);
+    for &id in ids {
+        put_u32(out, id);
+    }
+}
+
+fn put_batch(out: &mut Vec<u8>, b: &WireBatch) {
+    put_u64(out, b.first_id);
+    out.push(b.codec);
+    put_u64(out, b.raw_bytes);
+    put_u64(out, b.accuracy_delta.to_bits());
+    put_u32(out, b.frames.len() as u32);
+    for frame in &b.frames {
+        put_u64(out, frame.id);
+        put_u32(out, frame.payload.len() as u32);
+        for (node, bytes) in &frame.payload {
+            put_u32(out, *node);
+            put_u32(out, bytes.len() as u32);
+            out.extend_from_slice(bytes.as_slice());
+        }
+    }
+}
+
+/// Encodes one message as a complete link frame:
+/// `[magic u32][body_len u32][tag u8][fields…]`, all little-endian.
+/// Both link implementations move exactly these bytes.
+#[must_use]
+pub fn encode_msg(msg: &LinkMsg) -> Bytes {
+    let mut body = Vec::with_capacity(64);
+    match msg {
+        LinkMsg::Hello(h) => {
+            body.push(TAG_HELLO);
+            put_str(&mut body, &h.model);
+            put_u64(&mut body, h.seed);
+            put_ids(&mut body, &h.members);
+            put_ids(&mut body, &h.needed);
+            put_ids(&mut body, &h.forward);
+            put_u32(&mut body, h.output_node);
+            body.push(u8::from(h.is_last));
+        }
+        LinkMsg::Batch(b) => {
+            body.push(TAG_BATCH);
+            put_batch(&mut body, b);
+        }
+        LinkMsg::Result(b) => {
+            body.push(TAG_RESULT);
+            put_batch(&mut body, b);
+        }
+    }
+    let mut out = Vec::with_capacity(8 + body.len());
+    put_u32(&mut out, LINK_MAGIC);
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    Bytes::from(out)
+}
+
+/// Checked read cursor: every accessor reports truncation as a typed
+/// error instead of panicking, which is what makes a corrupt peer
+/// survivable.
+struct Cur<'a>(&'a [u8]);
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LinkError> {
+        if self.0.len() < n {
+            return Err(LinkError::Frame(WireError::Truncated));
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, LinkError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, LinkError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, LinkError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    fn str(&mut self) -> Result<String, LinkError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| LinkError::Protocol("non-utf8 string".to_string()))
+    }
+
+    fn ids(&mut self) -> Result<Vec<u32>, LinkError> {
+        let n = self.u32()? as usize;
+        // Each id is 4 bytes: a count the remaining body cannot hold is
+        // corruption, caught before the allocation.
+        if n > self.0.len() / 4 {
+            return Err(LinkError::Frame(WireError::Truncated));
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn batch(&mut self) -> Result<WireBatch, LinkError> {
+        let first_id = self.u64()?;
+        let codec = self.u8()?;
+        let raw_bytes = self.u64()?;
+        let accuracy_delta = f64::from_bits(self.u64()?);
+        let n_frames = self.u32()? as usize;
+        // A frame is at least 12 bytes (id + entry count).
+        if n_frames > self.0.len() / 12 {
+            return Err(LinkError::Frame(WireError::Truncated));
+        }
+        let mut frames = Vec::with_capacity(n_frames);
+        for _ in 0..n_frames {
+            let id = self.u64()?;
+            let n_entries = self.u32()? as usize;
+            // An entry is at least 8 bytes (vertex + length).
+            if n_entries > self.0.len() / 8 {
+                return Err(LinkError::Frame(WireError::Truncated));
+            }
+            let mut payload = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let node = self.u32()?;
+                let len = self.u32()? as usize;
+                let bytes = self.take(len)?;
+                payload.push((node, Bytes::from(bytes.to_vec())));
+            }
+            frames.push(WireFrame { id, payload });
+        }
+        Ok(WireBatch {
+            first_id,
+            codec,
+            raw_bytes,
+            accuracy_delta,
+            frames,
+        })
+    }
+}
+
+/// Decodes one complete link frame (as produced by [`encode_msg`]).
+///
+/// # Errors
+///
+/// [`LinkError::Frame`] on a bad magic, a length prefix that disagrees
+/// with the buffer, or truncated fields; [`LinkError::Protocol`] on an
+/// unknown message tag.
+pub fn decode_msg(frame: &[u8]) -> Result<LinkMsg, LinkError> {
+    let mut cur = Cur(frame);
+    if cur.u32()? != LINK_MAGIC {
+        return Err(LinkError::Frame(WireError::BadMagic));
+    }
+    let len = cur.u32()? as usize;
+    if len > MAX_FRAME || len != cur.0.len() {
+        return Err(LinkError::Frame(WireError::BadHeader));
+    }
+    match cur.u8()? {
+        TAG_HELLO => {
+            let model = cur.str()?;
+            let seed = cur.u64()?;
+            let members = cur.ids()?;
+            let needed = cur.ids()?;
+            let forward = cur.ids()?;
+            let output_node = cur.u32()?;
+            let is_last = cur.u8()? != 0;
+            Ok(LinkMsg::Hello(Hello {
+                model,
+                seed,
+                members,
+                needed,
+                forward,
+                output_node,
+                is_last,
+            }))
+        }
+        TAG_BATCH => Ok(LinkMsg::Batch(cur.batch()?)),
+        TAG_RESULT => Ok(LinkMsg::Result(cur.batch()?)),
+        tag => Err(LinkError::Protocol(format!("unknown message tag {tag}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Socket transport
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum SocketStream {
+    Uds(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl SocketStream {
+    fn read_some(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            SocketStream::Uds(s) => s.read(buf),
+            SocketStream::Tcp(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        match self {
+            SocketStream::Uds(s) => s.write_all(buf),
+            SocketStream::Tcp(s) => s.write_all(buf),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            SocketStream::Uds(s) => s.set_read_timeout(t),
+            SocketStream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            SocketStream::Uds(s) => s.set_write_timeout(t),
+            SocketStream::Tcp(s) => s.set_write_timeout(t),
+        }
+    }
+
+    fn try_clone(&self) -> std::io::Result<SocketStream> {
+        match self {
+            SocketStream::Uds(s) => s.try_clone().map(SocketStream::Uds),
+            SocketStream::Tcp(s) => s.try_clone().map(SocketStream::Tcp),
+        }
+    }
+}
+
+/// A [`Link`] over a connected TCP or Unix-domain stream: length-
+/// prefixed frames, incremental reads (a partial frame survives a recv
+/// timeout), and typed errors on disconnect or corruption.
+#[derive(Debug)]
+pub struct SocketLink {
+    stream: SocketStream,
+    rbuf: Vec<u8>,
+}
+
+fn is_gone(kind: ErrorKind) -> bool {
+    matches!(
+        kind,
+        ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::NotConnected
+    )
+}
+
+impl SocketLink {
+    fn new(stream: SocketStream) -> Result<SocketLink, LinkError> {
+        // A peer that stops draining must not wedge the sender forever:
+        // a timed-out write counts as a disconnect and the retransmit
+        // window replays the batch on the next connection.
+        stream
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .map_err(|e| LinkError::Io(e.to_string()))?;
+        Ok(SocketLink {
+            stream,
+            rbuf: Vec::new(),
+        })
+    }
+
+    /// A second handle on the same connection (shared socket,
+    /// independent read buffer) — the write half of a split pump. Only
+    /// one handle may ever `recv`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Io`] when the OS refuses to duplicate the socket.
+    pub fn try_clone(&self) -> Result<SocketLink, LinkError> {
+        let stream = self
+            .stream
+            .try_clone()
+            .map_err(|e| LinkError::Io(e.to_string()))?;
+        SocketLink::new(stream)
+    }
+
+    /// Pops one complete frame from the read buffer, if present.
+    fn buffered_frame(&mut self) -> Result<Option<LinkMsg>, LinkError> {
+        if self.rbuf.len() < 8 {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes([self.rbuf[0], self.rbuf[1], self.rbuf[2], self.rbuf[3]]);
+        if magic != LINK_MAGIC {
+            return Err(LinkError::Frame(WireError::BadMagic));
+        }
+        let len =
+            u32::from_le_bytes([self.rbuf[4], self.rbuf[5], self.rbuf[6], self.rbuf[7]]) as usize;
+        if len > MAX_FRAME {
+            return Err(LinkError::Frame(WireError::BadHeader));
+        }
+        if self.rbuf.len() < 8 + len {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.rbuf.drain(..8 + len).collect();
+        decode_msg(&frame).map(Some)
+    }
+}
+
+impl Link for SocketLink {
+    fn send(&mut self, msg: &LinkMsg) -> Result<(), LinkError> {
+        let frame = encode_msg(msg);
+        self.stream.write_all(frame.as_slice()).map_err(|e| {
+            if is_gone(e.kind()) || matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+            {
+                LinkError::Disconnected
+            } else {
+                LinkError::Io(e.to_string())
+            }
+        })
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<LinkMsg>, LinkError> {
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .map_err(|e| LinkError::Io(e.to_string()))?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(msg) = self.buffered_frame()? {
+                return Ok(Some(msg));
+            }
+            match self.stream.read_some(&mut chunk) {
+                Ok(0) => return Err(LinkError::Disconnected),
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(None)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if is_gone(e.kind()) => return Err(LinkError::Disconnected),
+                Err(e) => return Err(LinkError::Io(e.to_string())),
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Listener {
+    Uds(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// An accepting endpoint for [`SocketLink`] connections (non-blocking
+/// under the hood so servers can poll a stop flag).
+#[derive(Debug)]
+pub struct LinkListener {
+    listener: Listener,
+}
+
+impl LinkListener {
+    /// Accepts one connection, waiting at most `timeout`; `Ok(None)`
+    /// when nothing arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Io`] when the listener itself fails.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Option<SocketLink>, LinkError> {
+        let clock = crate::clock::Clock::real();
+        let give_up = clock.now() + timeout;
+        loop {
+            let accepted = match &self.listener {
+                Listener::Uds(l) => l.accept().map(|(s, _)| SocketStream::Uds(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| SocketStream::Tcp(s)),
+            };
+            match accepted {
+                Ok(stream) => {
+                    match &stream {
+                        SocketStream::Uds(s) => s.set_nonblocking(false),
+                        SocketStream::Tcp(s) => s.set_nonblocking(false),
+                    }
+                    .map_err(|e| LinkError::Io(e.to_string()))?;
+                    return SocketLink::new(stream).map(Some);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if clock.now() >= give_up {
+                        return Ok(None);
+                    }
+                    // xtask:allow(thread-sleep): accept poll slice — the
+                    // listener is non-blocking so servers can observe a
+                    // stop flag between slices.
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(LinkError::Io(e.to_string())),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-process channel transport
+// ---------------------------------------------------------------------
+
+/// The deterministic in-process [`Link`]: a pair of bounded crossbeam
+/// channels carrying **exactly** the frames [`encode_msg`] produces for
+/// the socket path — same bytes, no socket. The unit tests pin this
+/// bit-identity, which is what keeps the channel path an honest stand-in
+/// for the wire in deterministic tests.
+pub struct ChannelLink {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+impl std::fmt::Debug for ChannelLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelLink").finish_non_exhaustive()
+    }
+}
+
+/// A connected pair of [`ChannelLink`]s (client end, server end), each
+/// direction a bounded channel of `capacity` frames.
+#[must_use]
+pub fn channel_pair(capacity: usize) -> (ChannelLink, ChannelLink) {
+    let (tx_a, rx_a) = bounded(capacity.max(1));
+    let (tx_b, rx_b) = bounded(capacity.max(1));
+    (
+        ChannelLink { tx: tx_a, rx: rx_b },
+        ChannelLink { tx: tx_b, rx: rx_a },
+    )
+}
+
+impl Link for ChannelLink {
+    fn send(&mut self, msg: &LinkMsg) -> Result<(), LinkError> {
+        self.tx
+            .send(encode_msg(msg))
+            .map_err(|_| LinkError::Disconnected)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<LinkMsg>, LinkError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => decode_msg(frame.as_slice()).map(Some),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(LinkError::Disconnected),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage server
+// ---------------------------------------------------------------------
+
+/// One hosted segment: the server side of a stage link. Holds the full
+/// graph (weights derive from the hello's seed) and rebuilds its
+/// [`SegmentExecutor`] only when a hello changes the membership — a
+/// reconnect after a crash replays batches against identical weights,
+/// so recomputed results are bit-identical.
+pub struct StageHost {
+    spec: String,
+    graph: Arc<DnnGraph>,
+    session: Option<HostSession>,
+}
+
+struct HostSession {
+    seed: u64,
+    members: Vec<NodeId>,
+    exec: SegmentExecutor,
+    needed: HashSet<NodeId>,
+    forward: HashSet<NodeId>,
+    output_node: NodeId,
+    is_last: bool,
+}
+
+impl fmt::Debug for StageHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageHost")
+            .field("spec", &self.spec)
+            .field("session", &self.session.is_some())
+            .finish()
+    }
+}
+
+impl StageHost {
+    /// A host for `graph`, registered under `spec` (the string clients
+    /// must present in their hello).
+    #[must_use]
+    pub fn new(spec: impl Into<String>, graph: Arc<DnnGraph>) -> Self {
+        Self {
+            spec: spec.into(),
+            graph,
+            session: None,
+        }
+    }
+
+    /// Applies a session hello: validates the model spec and vertex
+    /// ids, then (re)builds the segment executor if the membership or
+    /// seed changed.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Protocol`] on a spec mismatch or out-of-range
+    /// vertex ids.
+    pub fn apply_hello(&mut self, h: &Hello) -> Result<(), LinkError> {
+        if h.model != self.spec {
+            return Err(LinkError::Protocol(format!(
+                "model mismatch: serving {:?}, client wants {:?}",
+                self.spec, h.model
+            )));
+        }
+        let n = self.graph.len() as u32;
+        let ok = |ids: &[u32]| ids.iter().all(|&id| id < n);
+        if !ok(&h.members) || !ok(&h.needed) || !ok(&h.forward) || h.output_node >= n {
+            return Err(LinkError::Protocol("vertex id out of range".to_string()));
+        }
+        let members: Vec<NodeId> = h.members.iter().map(|&id| NodeId(id as usize)).collect();
+        let rebuild = !matches!(
+            &self.session,
+            Some(s) if s.seed == h.seed && s.members == members
+        );
+        let exec = if rebuild {
+            SegmentExecutor::new(self.graph.clone(), h.seed, &members)
+        } else {
+            // Membership and seed unchanged: keep the prebuilt weights.
+            match self.session.take() {
+                Some(s) => s.exec,
+                None => SegmentExecutor::new(self.graph.clone(), h.seed, &members),
+            }
+        };
+        self.session = Some(HostSession {
+            seed: h.seed,
+            members,
+            exec,
+            needed: h.needed.iter().map(|&id| NodeId(id as usize)).collect(),
+            forward: h.forward.iter().map(|&id| NodeId(id as usize)).collect(),
+            output_node: NodeId(h.output_node as usize),
+            is_last: h.is_last,
+        });
+        Ok(())
+    }
+
+    /// Executes one batch and builds its result, mirroring the local
+    /// stage worker's decode → compute → encode semantics exactly (same
+    /// codec dispatch, same forward-set algebra, same ledger), so a
+    /// pipeline spanning processes stays bit-identical to the
+    /// in-process one.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Protocol`] for a batch before any hello or a plan
+    /// that never produces the output vertex; [`LinkError::Frame`] for
+    /// undecodable payloads.
+    pub fn process(&mut self, batch: &WireBatch) -> Result<WireBatch, LinkError> {
+        let sess = self
+            .session
+            .as_mut()
+            .ok_or_else(|| LinkError::Protocol("batch before hello".to_string()))?;
+        let link_codec = WireCodec::from_tag(batch.codec).unwrap_or(WireCodec::Raw);
+        let n_frames = batch.frames.len();
+        let mut boundaries = Vec::with_capacity(n_frames);
+        let mut forwards: Vec<Vec<(NodeId, Bytes)>> = Vec::with_capacity(n_frames);
+        let mut payload_outputs = Vec::with_capacity(n_frames);
+        for frame in &batch.frames {
+            let mut boundary = HashMap::new();
+            let mut forward = Vec::new();
+            for (node, bytes) in &frame.payload {
+                let nid = NodeId(*node as usize);
+                if sess.needed.contains(&nid) {
+                    boundary.insert(nid, codec::decode(bytes.clone()).map_err(LinkError::Frame)?);
+                }
+                if sess.forward.contains(&nid) {
+                    forward.push((nid, bytes.clone()));
+                }
+            }
+            payload_outputs.push(if sess.is_last {
+                boundary.remove(&sess.output_node)
+            } else {
+                None
+            });
+            boundaries.push(boundary);
+            forwards.push(forward);
+        }
+        let mut outputs = sess.exec.run_batch(boundaries);
+        if sess.is_last {
+            let mut frames = Vec::with_capacity(n_frames);
+            for (k, outputs) in outputs.iter_mut().enumerate() {
+                let out = outputs
+                    .remove(&sess.output_node)
+                    .or_else(|| payload_outputs[k].take())
+                    .ok_or_else(|| {
+                        LinkError::Protocol("plan never produced the output vertex".to_string())
+                    })?;
+                frames.push(WireFrame {
+                    id: batch.frames[k].id,
+                    payload: vec![(sess.output_node.index() as u32, wire::encode(&out))],
+                });
+            }
+            return Ok(WireBatch {
+                first_id: batch.first_id,
+                codec: batch.codec,
+                raw_bytes: 0,
+                accuracy_delta: 0.0,
+                frames,
+            });
+        }
+        let mut raw_bytes: u64 = 0;
+        let mut accuracy_delta: f64 = 0.0;
+        let mut frames = Vec::with_capacity(n_frames);
+        for (k, outputs) in outputs.iter().enumerate() {
+            let forward = &mut forwards[k];
+            raw_bytes += forward.iter().map(|(_, b)| b.len() as u64).sum::<u64>();
+            for (nid, tensor) in outputs {
+                if sess.forward.contains(nid) && forward.iter().all(|(f, _)| f != nid) {
+                    let enc = codec::encode(tensor, link_codec);
+                    raw_bytes += enc.raw_len;
+                    accuracy_delta = accuracy_delta.max(enc.accuracy_delta);
+                    forward.push((*nid, enc.bytes));
+                }
+            }
+            frames.push(WireFrame {
+                id: batch.frames[k].id,
+                payload: std::mem::take(forward)
+                    .into_iter()
+                    .map(|(nid, bytes)| (nid.index() as u32, bytes))
+                    .collect(),
+            });
+        }
+        Ok(WireBatch {
+            first_id: batch.first_id,
+            codec: batch.codec,
+            raw_bytes,
+            accuracy_delta,
+            frames,
+        })
+    }
+}
+
+/// Serves one established connection until the peer disconnects, the
+/// byte stream corrupts, or `stop` is raised. A clean stop returns
+/// `Ok(())`.
+///
+/// # Errors
+///
+/// The [`LinkError`] that ended the connection.
+pub fn serve_connection<L: Link>(
+    link: &mut L,
+    host: &mut StageHost,
+    stop: &AtomicBool,
+) -> Result<(), LinkError> {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match link.recv_timeout(Duration::from_millis(50))? {
+            None => {}
+            Some(LinkMsg::Hello(h)) => host.apply_hello(&h)?,
+            Some(LinkMsg::Batch(b)) => {
+                let result = host.process(&b)?;
+                link.send(&LinkMsg::Result(result))?;
+            }
+            Some(LinkMsg::Result(_)) => {
+                return Err(LinkError::Protocol(
+                    "client sent a result message".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// The stage-server accept loop: serves connections one at a time (a
+/// stage has exactly one upstream proxy) until `stop` is raised. A
+/// connection that errors is dropped — the client's retransmit window
+/// replays its un-acked batches on the next connection.
+pub fn serve(listener: &LinkListener, host: &mut StageHost, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept_timeout(Duration::from_millis(50)) {
+            Ok(Some(mut link)) => {
+                let _ = serve_connection(&mut link, host, stop);
+            }
+            Ok(None) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d3_model::zoo;
+    use d3_tensor::Tensor;
+
+    fn sample_batch() -> WireBatch {
+        let t = Tensor::random(3, 4, 4, 7);
+        WireBatch {
+            first_id: 42,
+            codec: WireCodec::Lossless.to_tag(),
+            raw_bytes: 99,
+            accuracy_delta: 0.25,
+            frames: vec![
+                WireFrame {
+                    id: 42,
+                    payload: vec![(0, wire::encode(&t))],
+                },
+                WireFrame {
+                    id: 43,
+                    payload: vec![(1, codec::encode(&t, WireCodec::Lossless).bytes)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn messages_roundtrip_through_the_frame_codec() {
+        let msgs = [
+            LinkMsg::Hello(Hello {
+                model: "tiny_cnn:16".into(),
+                seed: 7,
+                members: vec![1, 2, 3],
+                needed: vec![0],
+                forward: vec![3],
+                output_node: 5,
+                is_last: false,
+            }),
+            LinkMsg::Batch(sample_batch()),
+            LinkMsg::Result(sample_batch()),
+        ];
+        for msg in &msgs {
+            let frame = encode_msg(msg);
+            assert_eq!(&decode_msg(frame.as_slice()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_frames_error_not_panic() {
+        let frame = encode_msg(&LinkMsg::Batch(sample_batch()));
+        let bytes = frame.as_slice();
+        for cut in 0..bytes.len() {
+            assert!(decode_msg(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut bad_magic = bytes.to_vec();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(
+            decode_msg(&bad_magic),
+            Err(LinkError::Frame(WireError::BadMagic))
+        );
+        let mut bad_len = bytes.to_vec();
+        bad_len[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_msg(&bad_len).is_err());
+    }
+
+    #[test]
+    fn channel_link_moves_the_exact_socket_bytes() {
+        // The pinned contract: the in-process link transports the same
+        // encoded frames the socket path writes — bit-identical.
+        let msg = LinkMsg::Batch(sample_batch());
+        let socket_bytes = encode_msg(&msg);
+        let (mut client, mut server) = channel_pair(4);
+        client.send(&msg).unwrap();
+        let received = server.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(received, Some(msg.clone()));
+        // And what travelled was exactly the socket framing.
+        client.send(&msg).unwrap();
+        let on_wire = server.rx.recv().unwrap();
+        assert_eq!(on_wire.as_slice(), socket_bytes.as_slice());
+    }
+
+    #[test]
+    fn channel_link_times_out_and_reports_disconnect() {
+        let (mut client, server) = channel_pair(1);
+        assert_eq!(client.recv_timeout(Duration::from_millis(5)), Ok(None));
+        drop(server);
+        assert_eq!(
+            client.recv_timeout(Duration::from_millis(5)),
+            Err(LinkError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn link_addr_parses_and_displays() {
+        let uds = LinkAddr::parse("uds:/tmp/d3.sock").unwrap();
+        assert_eq!(uds, LinkAddr::Uds(PathBuf::from("/tmp/d3.sock")));
+        assert_eq!(uds.to_string(), "uds:/tmp/d3.sock");
+        let tcp = LinkAddr::parse("tcp:127.0.0.1:9000").unwrap();
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:9000");
+        assert_eq!(LinkAddr::parse("smoke:signals"), None);
+        assert_eq!(LinkAddr::parse("uds:"), None);
+    }
+
+    #[test]
+    fn stage_host_rejects_bad_hellos_and_early_batches() {
+        let graph = Arc::new(zoo::tiny_cnn(8));
+        let mut host = StageHost::new("tiny_cnn:8", graph.clone());
+        assert!(matches!(
+            host.process(&sample_batch()),
+            Err(LinkError::Protocol(_))
+        ));
+        let mut hello = Hello {
+            model: "other:1".into(),
+            seed: 1,
+            members: vec![0],
+            needed: vec![0],
+            forward: vec![],
+            output_node: 0,
+            is_last: true,
+        };
+        assert!(matches!(
+            host.apply_hello(&hello),
+            Err(LinkError::Protocol(_))
+        ));
+        hello.model = "tiny_cnn:8".into();
+        hello.members = vec![10_000];
+        assert!(matches!(
+            host.apply_hello(&hello),
+            Err(LinkError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn socket_link_roundtrips_over_uds_with_partial_reads() {
+        let path = std::env::temp_dir().join(format!("d3-link-test-{}.sock", std::process::id()));
+        let addr = LinkAddr::Uds(path.clone());
+        let listener = addr.listen().unwrap();
+        let mut client = addr.connect().unwrap();
+        let mut server = listener
+            .accept_timeout(Duration::from_secs(2))
+            .unwrap()
+            .expect("client connected");
+        let msg = LinkMsg::Batch(sample_batch());
+        client.send(&msg).unwrap();
+        client
+            .send(&LinkMsg::Hello(Hello {
+                model: "m".into(),
+                seed: 0,
+                members: vec![],
+                needed: vec![],
+                forward: vec![],
+                output_node: 0,
+                is_last: false,
+            })) // two frames in one stream: framing must split them
+            .unwrap();
+        assert_eq!(
+            server.recv_timeout(Duration::from_secs(2)).unwrap(),
+            Some(msg)
+        );
+        assert!(matches!(
+            server.recv_timeout(Duration::from_secs(2)).unwrap(),
+            Some(LinkMsg::Hello(_))
+        ));
+        // Nothing more queued: a timeout, not an error.
+        assert_eq!(server.recv_timeout(Duration::from_millis(10)), Ok(None));
+        drop(client);
+        assert_eq!(
+            server.recv_timeout(Duration::from_millis(100)),
+            Err(LinkError::Disconnected)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

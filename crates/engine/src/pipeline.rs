@@ -121,13 +121,13 @@ pub fn simulate_stream(stages: &[StageSpec], fps: f64, n_frames: usize) -> Strea
     }
 
     let mut sorted = latencies.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    sorted.sort_by(f64::total_cmp);
     let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
     let horizon = last_done.max(f64::MIN_POSITIVE);
     StreamStats {
         frames: n_frames,
         mean_latency_s: mean,
-        max_latency_s: *sorted.last().expect("non-empty"),
+        max_latency_s: sorted.last().copied().unwrap_or(0.0),
         p50_latency_s: percentile(&sorted, 0.50),
         p95_latency_s: percentile(&sorted, 0.95),
         p99_latency_s: percentile(&sorted, 0.99),
@@ -251,7 +251,7 @@ pub fn render_gantt(
     let mut out = String::new();
     for (label, row) in labels.iter().zip(rows) {
         out.push_str(&format!("{label:>width$} |"));
-        out.push_str(&String::from_utf8(row).expect("ascii"));
+        out.push_str(&String::from_utf8_lossy(&row));
         out.push_str(
             "|
 ",

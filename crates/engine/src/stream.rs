@@ -69,6 +69,7 @@ use crate::clock::{Clock, Stamp};
 use crate::codec::{self, WireCodec};
 use crate::deploy::{Deployment, VsmConfig};
 use crate::flow::{self, Coalesce};
+use crate::link::{self, Link, LinkMsg, RemoteOptions, SocketLink};
 use crate::pipeline::{percentile, simulate_stream, StageSpec, StreamStats};
 use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use crate::sync::{self, Mutex};
@@ -410,7 +411,7 @@ impl ProbeOptions {
 }
 
 /// Configuration of a streaming session.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamOptions {
     /// Bound of every inter-stage queue (and of the result queue). Depth
     /// trades latency under overload for tolerance to jitter; once the
@@ -440,6 +441,15 @@ pub struct StreamOptions {
     /// self-describing, so links may differ and switch live
     /// ([`StreamPipeline::set_link_codec`]).
     pub codec: [WireCodec; 2],
+    /// Per-tier remote transport (`[edge, cloud]`; default: both
+    /// in-process). A remote tier's stage runs in a separate
+    /// stage-server process reached over the configured
+    /// [`LinkAddr`](crate::link::LinkAddr); the pipeline spawns a proxy
+    /// in its place that forwards batches, replays un-acked ones across
+    /// reconnects, and reports the peer failed once it stays down past
+    /// the deadline (see [`StreamPipeline::failed_remote`]). The device
+    /// tier owns the input and always runs locally.
+    pub remote: [Option<crate::link::RemoteOptions>; 2],
 }
 
 impl Default for StreamOptions {
@@ -453,6 +463,7 @@ impl Default for StreamOptions {
             shaping: None,
             probe: None,
             codec: [WireCodec::Raw; 2],
+            remote: [None, None],
         }
     }
 }
@@ -553,6 +564,23 @@ impl StreamOptions {
     pub fn link_codec(mut self, link: usize, codec: WireCodec) -> Self {
         assert!(link < 2, "link must be 0 (device→edge) or 1 (edge→cloud)");
         self.codec[link] = codec;
+        self
+    }
+
+    /// Runs one tier's stage in a remote stage-server process (see
+    /// [`RemoteOptions`](crate::link::RemoteOptions)). The device tier
+    /// owns the raw input and cannot be remote.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Tier::Device`].
+    #[must_use]
+    pub fn remote(mut self, tier: Tier, options: crate::link::RemoteOptions) -> Self {
+        assert!(
+            tier != Tier::Device,
+            "the device tier owns the input and must run locally"
+        );
+        self.remote[tier.rank() - 1] = Some(options);
         self
     }
 }
@@ -1224,6 +1252,366 @@ fn batcher(
     flow::run_batcher(&rx, &tx, max_frames, deadline, clock);
 }
 
+/// One stage's worker thread: an in-process worker over the stage's
+/// executor, or the proxy feeder fronting a remote stage server over a
+/// [`Link`].
+enum StageHandle {
+    /// In-process worker (returns its context so the executor can be
+    /// reused across plan swaps).
+    Local(JoinHandle<(StageCtx, StageMetrics)>),
+    /// Remote-stage proxy feeder (returns its metrics plus any frames
+    /// left undelivered when the peer failed — rescued by re-injection
+    /// on the next respawn).
+    Remote(JoinHandle<(StageMetrics, Vec<BatchMsg>)>),
+}
+
+/// State shared between a remote stage's proxy feeder, its reader (the
+/// thread owning reconnects), and the pipeline handle (the failover
+/// surface).
+struct RemoteShared {
+    /// The retransmit window and the connection's write half, guarded
+    /// *together*: replay-on-reconnect and fresh sends serialize on this
+    /// one lock, so a batch is never written concurrently with a replay.
+    conn: Mutex<ProxyConn>,
+    /// Peer liveness state machine (drives deadline-based failover).
+    health: Mutex<flow::PeerHealth>,
+    /// The peer stayed down past its deadline. Frames stop flowing to
+    /// the link (they strand into the respawn rescue path instead) and
+    /// [`StreamPipeline::failed_remote`] reports the tier.
+    failed: AtomicBool,
+    /// Feeder → reader: admissions ended, wind down once the window
+    /// drains.
+    stop: AtomicBool,
+    /// The downstream channel is gone (session dropped mid-stream).
+    delivery_closed: AtomicBool,
+}
+
+/// A remote proxy's connection state (see [`RemoteShared::conn`]).
+struct ProxyConn {
+    /// Un-acked batches, keyed by first frame id; replayed in id order
+    /// on every reconnect.
+    retx: flow::Retransmit<SentBatch>,
+    /// Write half of the live connection (`None` while disconnected).
+    writer: Option<SocketLink>,
+}
+
+/// One batch held in the retransmit window: the original message —
+/// stamps and submit times never cross the wire, so results reattach
+/// them from here — plus the codec tag it was sent under (replays
+/// resend the exact original request).
+struct SentBatch {
+    codec: u8,
+    batch: BatchMsg,
+}
+
+/// The request form of `batch`: ids and payloads verbatim, local-only
+/// metadata (submit stamps, probe stamps) stripped.
+fn to_wire_request(batch: &BatchMsg, codec: u8) -> link::WireBatch {
+    link::WireBatch {
+        first_id: batch.first_id(),
+        codec,
+        raw_bytes: 0,
+        accuracy_delta: 0.0,
+        frames: batch
+            .frames
+            .iter()
+            .map(|f| link::WireFrame {
+                id: f.id,
+                payload: f
+                    .payload
+                    .iter()
+                    .map(|(nid, b)| (nid.index() as u32, b.clone()))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Rebuilds the forwardable [`BatchMsg`] from a non-final remote
+/// result, reattaching each frame's submit stamp from the retransmit
+/// copy. `None` when the result's shape does not match what was sent (a
+/// corrupt or misbehaving server).
+fn from_wire_result(wb: &link::WireBatch, sent: &BatchMsg) -> Option<BatchMsg> {
+    if wb.frames.len() != sent.frames.len() {
+        return None;
+    }
+    let mut frames = Vec::with_capacity(wb.frames.len());
+    for (wf, sf) in wb.frames.iter().zip(&sent.frames) {
+        if wf.id != sf.id {
+            return None;
+        }
+        frames.push(Frame {
+            id: wf.id,
+            submitted_at: sf.submitted_at,
+            payload: wf
+                .payload
+                .iter()
+                .map(|(nid, b)| (NodeId(*nid as usize), b.clone()))
+                .collect(),
+        });
+    }
+    Some(BatchMsg {
+        frames,
+        stamp: None,
+    })
+}
+
+/// The proxy feeder: consumes the stage's inbound queue, holds each
+/// batch in the bounded retransmit window and writes it to the link.
+/// Spawns (and finally joins) the [`remote_reader`] that owns results
+/// and reconnects. Returns the stage's metrics plus every frame the
+/// link never delivered (peer failed) for rescue by re-injection.
+#[allow(clippy::too_many_arguments)]
+fn remote_feeder(
+    rx: Receiver<BatchMsg>,
+    route: Route,
+    shared: Arc<RemoteShared>,
+    opts: RemoteOptions,
+    hello: link::Hello,
+    codecs: Arc<LinkCodecs>,
+    rank: usize,
+    clock: Clock,
+    output_node: NodeId,
+) -> (StageMetrics, Vec<BatchMsg>) {
+    let reader = {
+        let shared = shared.clone();
+        let opts = opts.clone();
+        let clock = clock.clone();
+        std::thread::spawn(move || {
+            remote_reader(&shared, &opts, &hello, &route, &clock, output_node)
+        })
+    };
+    let mut stranded: Vec<BatchMsg> = Vec::new();
+    while let Ok(batch) = rx.recv() {
+        if shared.failed.load(Ordering::Relaxed) {
+            stranded.push(batch);
+            continue;
+        }
+        let codec = codecs.get(rank).to_tag();
+        let msg = LinkMsg::Batch(to_wire_request(&batch, codec));
+        let mut sent = SentBatch { codec, batch };
+        loop {
+            if shared.failed.load(Ordering::Relaxed)
+                || shared.delivery_closed.load(Ordering::Relaxed)
+            {
+                stranded.push(sent.batch);
+                break;
+            }
+            let mut conn = sync::lock(&shared.conn);
+            match conn
+                .retx
+                .offer(sent.batch.first_id(), sent.batch.frames.len(), sent)
+            {
+                Ok(()) => {
+                    // Write through the live connection if there is one;
+                    // while disconnected the batch just waits in the
+                    // window for the reader's replay-on-reconnect.
+                    if let Some(writer) = conn.writer.as_mut() {
+                        if writer.send(&msg).is_err() {
+                            conn.writer = None;
+                            drop(conn);
+                            sync::lock(&shared.health).on_disconnect(clock.now());
+                        }
+                    }
+                    break;
+                }
+                Err(back) => {
+                    sent = back;
+                    drop(conn);
+                    // xtask:allow(thread-sleep): bounded retransmit window
+                    // backpressure — wait for the peer to ack.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+    // Admissions ended (quiesce/close): hold until every in-flight batch
+    // is acked, the peer fails, or the session is gone.
+    while !shared.failed.load(Ordering::Relaxed)
+        && !shared.delivery_closed.load(Ordering::Relaxed)
+        && !sync::lock(&shared.conn).retx.is_empty()
+    {
+        // xtask:allow(thread-sleep): quiesce drain — acks are in flight.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    shared.stop.store(true, Ordering::Relaxed);
+    let metrics = reader.join().unwrap_or_default();
+    let leftover = sync::lock(&shared.conn).retx.drain();
+    let mut rescued: Vec<BatchMsg> = leftover.into_iter().map(|(_, _, s)| s.batch).collect();
+    rescued.extend(stranded);
+    rescued.sort_by_key(BatchMsg::first_id);
+    (metrics, rescued)
+}
+
+/// The proxy reader: owns the connection lifecycle — dial, hello,
+/// replay-unacked-in-id-order, then pump results until disconnect —
+/// and the deadline clock that declares the peer failed.
+fn remote_reader(
+    shared: &RemoteShared,
+    opts: &RemoteOptions,
+    hello: &link::Hello,
+    route: &Route,
+    clock: &Clock,
+    output_node: NodeId,
+) -> StageMetrics {
+    let mut m = StageMetrics::default();
+    let mut reading: Option<SocketLink> = None;
+    loop {
+        if shared.failed.load(Ordering::Relaxed)
+            || shared.delivery_closed.load(Ordering::Relaxed)
+            || (shared.stop.load(Ordering::Relaxed) && sync::lock(&shared.conn).retx.is_empty())
+        {
+            break;
+        }
+        // The feeder tears the writer down on a send error; mirror it on
+        // the read half so the next iteration reconnects.
+        if reading.is_some() && sync::lock(&shared.conn).writer.is_none() {
+            reading = None;
+        }
+        let Some(sock) = reading.as_mut() else {
+            match connect_and_replay(shared, opts, hello) {
+                Ok(sock) => {
+                    sync::lock(&shared.health).on_connected();
+                    reading = Some(sock);
+                }
+                Err(()) => {
+                    if sync::lock(&shared.health).check(clock.now()) == flow::PeerStatus::Failed {
+                        shared.failed.store(true, Ordering::Relaxed);
+                        continue;
+                    }
+                    // xtask:allow(thread-sleep): reconnect pacing while
+                    // the peer is down.
+                    std::thread::sleep(opts.retry.max(Duration::from_millis(1)));
+                }
+            }
+            continue;
+        };
+        match sock.recv_timeout(Duration::from_millis(20)) {
+            Ok(Some(LinkMsg::Result(wb))) => {
+                handle_remote_result(
+                    shared,
+                    &wb,
+                    route,
+                    clock,
+                    output_node,
+                    hello.is_last,
+                    &mut m,
+                );
+            }
+            Ok(None) => {}
+            Ok(Some(_)) | Err(_) => {
+                // Disconnected, corrupt frame, or a protocol violation
+                // (a server must only speak results): drop the
+                // connection; un-acked batches replay on reconnect.
+                reading = None;
+                sync::lock(&shared.conn).writer = None;
+                sync::lock(&shared.health).on_disconnect(clock.now());
+            }
+        }
+    }
+    m
+}
+
+/// One (re)connect: dial, send the hello, replay every un-acked batch
+/// in id order (exactly once per reconnect), and only then install the
+/// write half so fresh sends resume *after* the replays.
+fn connect_and_replay(
+    shared: &RemoteShared,
+    opts: &RemoteOptions,
+    hello: &link::Hello,
+) -> Result<SocketLink, ()> {
+    let sock = opts.addr.connect().map_err(|_| ())?;
+    let mut writer = sock.try_clone().map_err(|_| ())?;
+    writer
+        .send(&LinkMsg::Hello(hello.clone()))
+        .map_err(|_| ())?;
+    let mut conn = sync::lock(&shared.conn);
+    for (_, _, sent) in conn.retx.replay() {
+        writer
+            .send(&LinkMsg::Batch(to_wire_request(&sent.batch, sent.codec)))
+            .map_err(|_| ())?;
+    }
+    conn.writer = Some(writer);
+    Ok(sock)
+}
+
+/// Acks one result against the retransmit window and delivers it
+/// downstream. Duplicates (a replay the server answered twice) ack as
+/// `None` and are dropped — exactly-once delivery. A malformed result
+/// re-offers the batch and declares the peer failed, so the frames are
+/// rescued by re-injection instead of lost.
+fn handle_remote_result(
+    shared: &RemoteShared,
+    wb: &link::WireBatch,
+    route: &Route,
+    clock: &Clock,
+    output_node: NodeId,
+    is_last: bool,
+    m: &mut StageMetrics,
+) {
+    let Some(sent) = sync::lock(&shared.conn).retx.ack(wb.first_id) else {
+        return;
+    };
+    let out = if is_last {
+        let done = clock.now();
+        // Validate and decode the whole batch before touching any
+        // metrics, so a half-good result refuses cleanly (the batch is
+        // rescued whole; nothing was counted).
+        let decoded = (wb.frames.len() == sent.batch.frames.len())
+            .then(|| {
+                wb.frames
+                    .iter()
+                    .zip(&sent.batch.frames)
+                    .map(|(wf, sf)| {
+                        let (nid, bytes) = wf.payload.first()?;
+                        (wf.id == sf.id && *nid == output_node.index() as u32)
+                            .then(|| codec::decode(bytes.clone()).ok())
+                            .flatten()
+                            .map(|tensor| (wf.id, sf.submitted_at, tensor))
+                    })
+                    .collect::<Option<Vec<_>>>()
+            })
+            .flatten();
+        let Some(decoded) = decoded else {
+            return refuse_result(shared, sent);
+        };
+        let mut results = Vec::with_capacity(decoded.len());
+        for (id, submitted_at, tensor) in decoded {
+            m.latencies_s
+                .push(done.saturating_sub(submitted_at).as_secs_f64());
+            results.push((FrameId(id), tensor));
+        }
+        m.last_done = Some(done);
+        StageOut::Results(results)
+    } else {
+        let Some(batch) = from_wire_result(wb, &sent.batch) else {
+            return refuse_result(shared, sent);
+        };
+        m.raw_bytes += wb.raw_bytes;
+        m.wire_bytes += batch
+            .frames
+            .iter()
+            .flat_map(|f| &f.payload)
+            .map(|(_, b)| b.len() as u64)
+            .sum::<u64>();
+        m.accuracy_delta = m.accuracy_delta.max(wb.accuracy_delta);
+        StageOut::Forward(batch)
+    };
+    m.batches += 1;
+    if !deliver(out, route) {
+        shared.delivery_closed.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A result that does not match what was sent: put the batch back in
+/// the window (the rescue path will re-inject it) and stop trusting the
+/// peer.
+fn refuse_result(shared: &RemoteShared, sent: SentBatch) {
+    let (first, count) = (sent.batch.first_id(), sent.batch.frames.len());
+    let _ = sync::lock(&shared.conn).retx.offer(first, count, sent);
+    shared.failed.store(true, Ordering::Relaxed);
+}
+
 /// Everything one worker generation is spawned from.
 struct SpawnSpec<'a> {
     graph: &'a Arc<DnnGraph>,
@@ -1243,9 +1631,14 @@ struct SpawnSpec<'a> {
     probe_every: u64,
     /// Live per-link codec selection, shared across generations.
     codecs: &'a Arc<LinkCodecs>,
-    /// First frame id this generation will see (the resequencers'
-    /// starting point; every earlier id has already drained).
-    start_seq: u64,
+    /// Per-link remote transports (index 0 = edge, 1 = cloud); `None`
+    /// runs the stage in-process.
+    remote: &'a [Option<RemoteOptions>; 2],
+    /// First frame id each rank will see (the resequencers' starting
+    /// points). Normally every rank starts at the next admission id;
+    /// after a remote failure the deeper ranks start at the smallest
+    /// re-injected stranded id.
+    start_seq: [u64; 3],
     /// The pipeline's clock, cloned into every worker and helper.
     clock: &'a Clock,
 }
@@ -1255,10 +1648,17 @@ struct Spawned {
     tx_in: Sender<BatchMsg>,
     rx_out: Receiver<(FrameId, Tensor)>,
     /// Stage workers, grouped by rank.
-    workers: [Vec<JoinHandle<(StageCtx, StageMetrics)>>; 3],
+    workers: [Vec<StageHandle>; 3],
     /// Order-keeping helpers: the batcher and the resequencers.
     aux: Vec<JoinHandle<()>>,
     reused: [bool; 3],
+    /// Live remote-proxy state per rank (the failover surface).
+    remote_shared: [Option<Arc<RemoteShared>>; 3],
+    /// Direct senders into the edge/cloud inbound queues, for stranded
+    /// re-injection. **Must be dropped as soon as injection is done** —
+    /// a held clone would keep the channel connected through the next
+    /// quiesce and deadlock it.
+    inject: [Option<Sender<BatchMsg>>; 3],
 }
 
 /// Spawns the stage worker pools for `routing`, reusing the executors in
@@ -1286,7 +1686,9 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
         rx_ingress
     };
 
-    let mut workers: [Vec<JoinHandle<(StageCtx, StageMetrics)>>; 3] = Default::default();
+    let mut workers: [Vec<StageHandle>; 3] = Default::default();
+    let mut remote_shared: [Option<Arc<RemoteShared>>; 3] = Default::default();
+    let inject = [None, Some(tx_edge.clone()), Some(tx_cloud.clone())];
     let receivers = [rx_dev, rx_edge, rx_cloud];
     // Only the final stage's route holds tx_out: that way rx_out
     // disconnects — and recv() reports the death instead of hanging — as
@@ -1301,6 +1703,52 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
     for (rank, (rx, route)) in receivers.into_iter().zip(routes).enumerate() {
         let tier = Tier::ALL[rank];
         let members = &spec.routing.members[rank];
+        // A remoted stage spawns a proxy feeder instead of local
+        // workers: the segment executes in the stage server behind the
+        // link, and the proxy owns retransmit/ack and reconnect.
+        if let Some(ropts) = (rank >= 1).then(|| spec.remote[rank - 1].clone()).flatten() {
+            let as_u32 = |ids: &HashSet<NodeId>| {
+                let mut v: Vec<u32> = ids.iter().map(|n| n.index() as u32).collect();
+                v.sort_unstable();
+                v
+            };
+            let hello = link::Hello {
+                model: spec.graph.name().to_string(),
+                seed: spec.seed,
+                members: members.iter().map(|n| n.index() as u32).collect(),
+                needed: as_u32(&spec.routing.needed[rank]),
+                forward: as_u32(&spec.routing.forward_ids[rank]),
+                output_node: spec.output_node.index() as u32,
+                is_last: rank == 2,
+            };
+            let shared = Arc::new(RemoteShared {
+                conn: Mutex::new(ProxyConn {
+                    retx: flow::Retransmit::new(ropts.window),
+                    writer: None,
+                }),
+                health: Mutex::new(flow::PeerHealth::new(ropts.deadline, spec.clock.now())),
+                failed: AtomicBool::new(false),
+                stop: AtomicBool::new(false),
+                delivery_closed: AtomicBool::new(false),
+            });
+            let (feeder_shared, codecs) = (shared.clone(), spec.codecs.clone());
+            let (clock, output_node) = (spec.clock.clone(), spec.output_node);
+            workers[rank].push(StageHandle::Remote(std::thread::spawn(move || {
+                remote_feeder(
+                    rx,
+                    route,
+                    feeder_shared,
+                    ropts,
+                    hello,
+                    codecs,
+                    rank,
+                    clock,
+                    output_node,
+                )
+            })));
+            remote_shared[rank] = Some(shared);
+            continue;
+        }
         let exec = match reuse.get_mut(rank).and_then(Option::take) {
             Some(old) if old.members() == members.as_slice() => {
                 reused[rank] = true;
@@ -1315,7 +1763,7 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
         // stages keep the zero-overhead direct path.
         let sink_proto = if n_workers > 1 {
             let (tx_seq, rx_seq) = bounded::<(u64, usize, StageOut)>(spec.capacity + n_workers);
-            let start = spec.start_seq;
+            let start = spec.start_seq[rank];
             aux.push(std::thread::spawn(move || {
                 resequencer(rx_seq, start, route);
             }));
@@ -1341,9 +1789,9 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
             let rx = rx.clone();
             let ttx = spec.telemetry_tx.clone();
             let (telemetry_every, chaos) = (spec.telemetry_every, spec.chaos);
-            workers[rank].push(std::thread::spawn(move || {
+            workers[rank].push(StageHandle::Local(std::thread::spawn(move || {
                 stage_worker(ctx, rx, sink, telemetry_every, ttx, chaos)
-            }));
+            })));
         }
     }
     Spawned {
@@ -1352,6 +1800,8 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
         workers,
         aux,
         reused,
+        remote_shared,
+        inject,
     }
 }
 
@@ -1531,6 +1981,11 @@ pub struct StreamPipeline {
     probe_every: u64,
     /// Live per-link codec selection, shared with every stage worker.
     codecs: Arc<LinkCodecs>,
+    /// Per-link remote transports (index 0 = edge, 1 = cloud); `None`
+    /// runs the stage in-process. Applied on every (re)spawn.
+    remote: [Option<RemoteOptions>; 2],
+    /// Live remote-proxy state per rank (the failover surface).
+    remote_shared: [Option<Arc<RemoteShared>>; 3],
     /// Idle-fallback prober thread and its stop flag (joined on drop).
     prober_stop: Option<Arc<AtomicBool>>,
     prober_thread: Option<JoinHandle<()>>,
@@ -1543,7 +1998,7 @@ pub struct StreamPipeline {
     tx_in: Option<Sender<BatchMsg>>,
     rx_out: Receiver<(FrameId, Tensor)>,
     /// Stage workers by rank (the live generation).
-    workers: [Vec<JoinHandle<(StageCtx, StageMetrics)>>; 3],
+    workers: [Vec<StageHandle>; 3],
     /// The generation's batcher and resequencer threads.
     aux: Vec<JoinHandle<()>>,
     /// Metrics absorbed from workers retired by plan swaps or resizes.
@@ -1589,6 +2044,11 @@ impl std::fmt::Debug for StreamPipeline {
             .finish()
     }
 }
+
+/// What [`StreamPipeline::quiesce`] hands to `respawn`: the number of
+/// frames drained to the reorder buffer, each stage's reusable
+/// executor, and per-rank frames a failed remote peer left undelivered.
+type QuiesceOutcome = (u64, Vec<Option<Arc<StageExec>>>, [Vec<BatchMsg>; 3]);
 
 impl StreamPipeline {
     /// Spins up the three stage workers for `deployment`'s plan over
@@ -1664,6 +2124,7 @@ impl StreamPipeline {
             _ => (None, None),
         };
         let codecs = Arc::new(LinkCodecs::new(options.codec));
+        let remote = options.remote.clone();
         let spawned = spawn_stages(
             &SpawnSpec {
                 graph: &graph,
@@ -1681,7 +2142,8 @@ impl StreamPipeline {
                 probe: probe.clone(),
                 probe_every,
                 codecs: &codecs,
-                start_seq: 0,
+                remote: &remote,
+                start_seq: [0; 3],
                 clock: &clock,
             },
             vec![None, None, None],
@@ -1704,6 +2166,8 @@ impl StreamPipeline {
             probe,
             probe_every,
             codecs,
+            remote,
+            remote_shared: spawned.remote_shared,
             prober_stop,
             prober_thread,
             pool,
@@ -1987,8 +2451,8 @@ impl StreamPipeline {
     pub fn apply_plan(&mut self, update: &PlanUpdate) -> Result<PlanSwap, StreamBuildError> {
         let deployment = &update.deployment;
         let routing = plan_routing(&self.graph, &deployment.assignment, self.output_node)?;
-        let (drained_frames, reuse) = self.quiesce();
-        let reused = self.respawn(&routing, reuse);
+        let (drained_frames, reuse, stranded) = self.quiesce();
+        let reused = self.respawn(&routing, reuse, stranded);
         self.assignment = deployment.assignment.clone();
         self.predicted = deployment.stages.clone();
         self.reconfigs += 1;
@@ -2042,11 +2506,11 @@ impl StreamPipeline {
         // re-derivation cannot fail; routed through `?` anyway — a
         // resize should report, not crash, if that invariant ever breaks.
         let routing = plan_routing(&self.graph, &self.assignment, self.output_node)?;
-        let (drained_frames, reuse) = self.quiesce();
+        let (drained_frames, reuse, stranded) = self.quiesce();
         self.pool[rank] = workers;
         self.resize_events[rank] += 1;
         self.pool_history.push((self.clock.now(), self.pool));
-        self.respawn(&routing, reuse);
+        self.respawn(&routing, reuse, stranded);
         Ok(PoolResize {
             tier,
             from,
@@ -2059,8 +2523,11 @@ impl StreamPipeline {
     /// admissions, drains every in-flight frame into the reorder buffer
     /// (so the bounded result queue can never stall the drain), joins
     /// all workers and helpers, absorbs their metrics, flushes stale
-    /// telemetry, and hands back each stage's executor for reuse.
-    fn quiesce(&mut self) -> (u64, Vec<Option<Arc<StageExec>>>) {
+    /// telemetry, and hands back each stage's executor for reuse —
+    /// plus, per rank, any frames a failed remote peer left undelivered
+    /// (re-injected by [`respawn`](Self::respawn) so they are never
+    /// lost).
+    fn quiesce(&mut self) -> QuiesceOutcome {
         drop(self.tx_in.take());
         let drained_frames;
         {
@@ -2072,15 +2539,26 @@ impl StreamPipeline {
             drained_frames = (drained.len() - before) as u64;
         }
         let mut reuse: Vec<Option<Arc<StageExec>>> = Vec::with_capacity(3);
-        for rank in 0..3 {
+        let mut stranded: [Vec<BatchMsg>; 3] = Default::default();
+        for (rank, stranded_rank) in stranded.iter_mut().enumerate() {
             let mut kept = None;
             for handle in self.workers[rank].drain(..) {
                 // A worker that panicked takes its metrics (and its
                 // executor) with it; the stage rebuilds on respawn. Like
                 // Drop, don't turn one thread's failure into a cascade.
-                if let Ok((ctx, metrics)) = handle.join() {
-                    self.retired[rank].absorb(metrics);
-                    kept.get_or_insert(ctx.exec);
+                match handle {
+                    StageHandle::Local(h) => {
+                        if let Ok((ctx, metrics)) = h.join() {
+                            self.retired[rank].absorb(metrics);
+                            kept.get_or_insert(ctx.exec);
+                        }
+                    }
+                    StageHandle::Remote(h) => {
+                        if let Ok((metrics, frames)) = h.join() {
+                            self.retired[rank].absorb(metrics);
+                            stranded_rank.extend(frames);
+                        }
+                    }
                 }
             }
             reuse.push(kept);
@@ -2093,14 +2571,28 @@ impl StreamPipeline {
         // configuration. Flush it so a controller never calibrates the
         // new segments (or judges the new pool) from stale snapshots.
         while self.telemetry_rx.try_recv().is_ok() {}
-        (drained_frames, reuse)
+        (drained_frames, reuse, stranded)
     }
 
     /// Spawns a fresh worker generation for `routing` (executors whose
-    /// member set is unchanged are reused from `reuse`) and rewires the
-    /// pipeline onto it. Returns the per-rank reuse flags.
-    fn respawn(&mut self, routing: &Routing, reuse: Vec<Option<Arc<StageExec>>>) -> [bool; 3] {
-        let start_seq = self.admission.next_id();
+    /// member set is unchanged are reused from `reuse`), re-injects any
+    /// frames a failed remote peer stranded — deepest rank first, so
+    /// their recomputed results keep submission order even without a
+    /// resequencer — and rewires the pipeline onto it. Returns the
+    /// per-rank reuse flags.
+    fn respawn(
+        &mut self,
+        routing: &Routing,
+        reuse: Vec<Option<Arc<StageExec>>>,
+        mut stranded: [Vec<BatchMsg>; 3],
+    ) -> [bool; 3] {
+        // Resequencer starting points: acks arrive in id order, so each
+        // rank's stranded ids are a contiguous run ending exactly where
+        // fresh admissions resume — deeper ranks hold the older frames.
+        let base = self.admission.next_id();
+        let min_id = |v: &[BatchMsg]| v.iter().map(BatchMsg::first_id).min();
+        let start_edge = min_id(&stranded[1]).unwrap_or(base).min(base);
+        let start_cloud = min_id(&stranded[2]).unwrap_or(start_edge).min(start_edge);
         let spawned = spawn_stages(
             &SpawnSpec {
                 graph: &self.graph,
@@ -2118,7 +2610,8 @@ impl StreamPipeline {
                 probe: self.probe.clone(),
                 probe_every: self.probe_every,
                 codecs: &self.codecs,
-                start_seq,
+                remote: &self.remote,
+                start_seq: [base, start_edge, start_cloud],
                 clock: &self.clock,
             },
             reuse,
@@ -2127,7 +2620,70 @@ impl StreamPipeline {
         self.rx_out = spawned.rx_out;
         self.workers = spawned.workers;
         self.aux = spawned.aux;
+        self.remote_shared = spawned.remote_shared;
+        // Stranded re-injection, cloud before edge: the cloud queue must
+        // hold the oldest frames before the edge stage can recompute and
+        // forward the younger ones behind them. Injected ids precede
+        // every fresh admission, and the injection senders are dropped
+        // right here — a surviving clone would deadlock the next
+        // quiesce.
+        let inject = spawned.inject;
+        for rank in [2usize, 1] {
+            let mut frames = std::mem::take(&mut stranded[rank]);
+            frames.sort_by_key(BatchMsg::first_id);
+            let Some(tx) = inject[rank].as_ref() else {
+                continue;
+            };
+            for mut batch in frames {
+                // A stale probe stamp would feed the prober a bogus
+                // sample spanning the outage; strip it.
+                batch.stamp = None;
+                let mut item = batch;
+                loop {
+                    match tx.try_send(item) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(back)) => {
+                            item = back;
+                            // Make room: siphon finished frames into the
+                            // reorder buffer instead of blocking against
+                            // a full result queue.
+                            if let Ok(frame) = self.rx_out.recv_timeout(Duration::from_millis(5)) {
+                                sync::lock(&self.drained).push_back(frame);
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+            }
+        }
+        drop(inject);
         spawned.reused
+    }
+
+    /// The tier whose remote stage server has stayed down past its
+    /// failover deadline, if any. A failed peer stops receiving frames
+    /// (they are held for re-injection); the session layer reacts by
+    /// dropping the remote ([`drop_remote`](Self::drop_remote)) and
+    /// applying a reroute plan — no frame is lost across the failover.
+    #[must_use]
+    pub fn failed_remote(&self) -> Option<Tier> {
+        (1..3)
+            .find(|&rank| {
+                self.remote_shared[rank]
+                    .as_ref()
+                    .is_some_and(|s| s.failed.load(Ordering::Relaxed))
+            })
+            .map(|rank| Tier::ALL[rank])
+    }
+
+    /// Stops proxying `tier`'s stage to its remote server: from the
+    /// next plan swap on, the stage runs in-process. No-op for the
+    /// device tier (which always runs locally) and for tiers that were
+    /// never remote.
+    pub fn drop_remote(&mut self, tier: Tier) {
+        if tier != Tier::Device {
+            self.remote[tier.rank() - 1] = None;
+        }
     }
 
     /// Stops admissions, drains every in-flight frame, joins the stage
@@ -2259,7 +2815,14 @@ impl Drop for StreamPipeline {
             for handle in self.workers[rank].drain(..) {
                 // A worker that panicked already tore the session down;
                 // don't double-panic inside drop.
-                let _ = handle.join();
+                match handle {
+                    StageHandle::Local(h) => {
+                        let _ = h.join();
+                    }
+                    StageHandle::Remote(h) => {
+                        let _ = h.join();
+                    }
+                }
             }
         }
         for helper in self.aux.drain(..) {

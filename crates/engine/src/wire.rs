@@ -85,7 +85,9 @@ pub fn decode(mut buf: Bytes) -> Result<Tensor, WireError> {
         .checked_mul(h)
         .and_then(|x| x.checked_mul(w))
         .ok_or(WireError::BadHeader)?;
-    if buf.remaining() != n * 4 {
+    // Checked: `n * 4` on a hostile header could overflow (a panic in
+    // debug builds) — a socket peer must only ever see a typed error.
+    if n.checked_mul(4) != Some(buf.remaining()) {
         return Err(WireError::Truncated);
     }
     let mut data = Vec::with_capacity(n);

@@ -42,6 +42,37 @@ pub fn all_models(hw: usize) -> Vec<DnnGraph> {
     ]
 }
 
+/// Builds a zoo graph from a textual spec: a zoo name optionally
+/// followed by `:`-separated integer arguments, e.g. `alexnet:224`,
+/// `chain_cnn:6:8:16` (convs : channels : input size) or bare
+/// `resnet18` (ImageNet input). This is how out-of-process stage
+/// servers agree with their client on the exact graph: both sides build
+/// from the same spec. Returns `None` for unknown names or
+/// non-numeric arguments.
+#[must_use]
+pub fn by_spec(spec: &str) -> Option<DnnGraph> {
+    let mut parts = spec.split(':');
+    let name = parts.next()?;
+    let args = parts
+        .map(|p| p.parse::<usize>().ok())
+        .collect::<Option<Vec<_>>>()?;
+    let arg = |i: usize, default: usize| args.get(i).copied().unwrap_or(default);
+    let graph = match name {
+        "alexnet" => alexnet(arg(0, IMAGENET_HW)),
+        "vgg16" => vgg16(arg(0, IMAGENET_HW)),
+        "resnet18" => resnet18(arg(0, IMAGENET_HW)),
+        "darknet53" => darknet53(arg(0, IMAGENET_HW)),
+        "inception_v4" => inception_v4(arg(0, IMAGENET_HW)),
+        "mobilenet_v1" => mobilenet_v1(arg(0, IMAGENET_HW)),
+        "chain_cnn" => chain_cnn(arg(0, 4), arg(1, 8), arg(2, 16)),
+        "conv_mlp" => conv_mlp(arg(0, 8)),
+        "diamond_net" => diamond_net(arg(0, 8)),
+        "tiny_cnn" => tiny_cnn(arg(0, 8)),
+        _ => return None,
+    };
+    Some(graph)
+}
+
 /// Human-readable display name for a zoo graph name.
 pub fn display_name(name: &str) -> &'static str {
     match name {
@@ -262,6 +293,17 @@ mod tests {
     fn display_names() {
         assert_eq!(display_name("vgg16"), "VGG-16");
         assert_eq!(display_name("nope"), "Unknown");
+    }
+
+    #[test]
+    fn by_spec_builds_the_matching_graph() {
+        let g = by_spec("chain_cnn:6:8:16").unwrap();
+        assert_eq!(g.name(), "chain_cnn");
+        assert_eq!(g.len(), chain_cnn(6, 8, 16).len());
+        assert_eq!(by_spec("alexnet").unwrap().len(), alexnet(224).len());
+        assert_eq!(by_spec("tiny_cnn:8").unwrap().name(), "tiny_cnn");
+        assert!(by_spec("no_such_model").is_none());
+        assert!(by_spec("chain_cnn:not_a_number").is_none());
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Multi-process serving demo: the device stage runs in this process
+//! while the edge and cloud stages are hosted by `d3-stage-server`
+//! processes behind Unix-domain stage links. Streams a burst of frames,
+//! kills and respawns the edge server mid-stream, and checks every
+//! output bit-for-bit against single-node inference.
+//!
+//! ```text
+//! cargo run --example multi_process
+//! ```
+//!
+//! When the `d3-stage-server` binary is not next to this example (e.g.
+//! `cargo run --example` without a prior full build), the stages are
+//! served from background threads of this process instead — same link
+//! protocol, same wire bytes, one process.
+
+use d3_core::{D3Runtime, ModelOptions, StreamOptions, SubmitError, Tier};
+use d3_engine::link::{serve, StageHost};
+use d3_engine::{LinkAddr, RemoteOptions};
+use d3_model::{zoo, Executor};
+use d3_partition::EvenSplit;
+use d3_tensor::{max_abs_diff, Tensor};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SPEC: &str = "chain_cnn:6:8:16";
+const SEED: u64 = 11;
+const FRAMES: usize = 12;
+
+/// One hosted stage: a real `d3-stage-server` child process when the
+/// binary is available, otherwise an in-thread server on the same link.
+enum Stage {
+    Process(Child),
+    Thread {
+        stop: Arc<AtomicBool>,
+        join: std::thread::JoinHandle<()>,
+    },
+}
+
+impl Stage {
+    fn stop(self) {
+        match self {
+            Stage::Process(mut child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            Stage::Thread { stop, join } => {
+                stop.store(true, Ordering::SeqCst);
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// `d3-stage-server` lives two directories up from
+/// `target/.../examples/multi_process`.
+fn server_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let bin = exe.parent()?.parent()?.join("d3-stage-server");
+    bin.is_file().then_some(bin)
+}
+
+fn spawn_stage(addr: &LinkAddr) -> Stage {
+    let stage = match server_binary() {
+        Some(bin) => Stage::Process(
+            Command::new(bin)
+                .args(["--listen", &addr.to_string(), "--model", SPEC])
+                .spawn()
+                .expect("spawn d3-stage-server"),
+        ),
+        None => {
+            let graph = zoo::by_spec(SPEC).expect("known spec");
+            let mut host = StageHost::new(graph.name().to_string(), Arc::new(graph));
+            let listener = addr.listen().expect("bind stage link");
+            let stop = Arc::new(AtomicBool::new(false));
+            let join = {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || serve(&listener, &mut host, &stop))
+            };
+            Stage::Thread { stop, join }
+        }
+    };
+    // Wait for the listener: a probe connect that is immediately
+    // dropped, which the server's accept loop tolerates.
+    let give_up = Instant::now() + Duration::from_secs(30);
+    while addr.connect().is_err() {
+        assert!(Instant::now() < give_up, "stage never came up at {addr}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stage
+}
+
+fn sock(tag: &str) -> LinkAddr {
+    let path = std::env::temp_dir().join(format!("d3-ex-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    LinkAddr::Uds(path)
+}
+
+fn main() {
+    let edge_addr = sock("edge");
+    let cloud_addr = sock("cloud");
+    let in_process = server_binary().is_none();
+    println!(
+        "hosting edge + cloud stages {} at {edge_addr} / {cloud_addr}",
+        if in_process {
+            "in background threads"
+        } else {
+            "as d3-stage-server processes"
+        }
+    );
+    let mut edge = spawn_stage(&edge_addr);
+    let cloud = spawn_stage(&cloud_addr);
+
+    // The client runtime: an even device/edge/cloud split of the same
+    // model, with the edge and cloud segments proxied over the links.
+    let mut rt = D3Runtime::new();
+    rt.register(
+        "chain",
+        zoo::by_spec(SPEC).expect("known spec"),
+        ModelOptions::new()
+            .partitioner(EvenSplit)
+            .seed(SEED)
+            .without_vsm(),
+    )
+    .expect("register model");
+    let options = StreamOptions::new()
+        .capacity(4)
+        .remote(
+            Tier::Edge,
+            RemoteOptions::new(edge_addr.clone()).retry(Duration::from_millis(20)),
+        )
+        .remote(Tier::Cloud, RemoteOptions::new(cloud_addr.clone()));
+    let session = rt.open_stream("chain", options).expect("open stream");
+
+    let graph = zoo::by_spec(SPEC).expect("known spec");
+    let reference = Executor::new(&graph, SEED);
+    let frames: Vec<Tensor> = (0..FRAMES as u64)
+        .map(|k| Tensor::random(3, 16, 16, 500 + k))
+        .collect();
+
+    let mut results: Vec<(u64, Tensor)> = Vec::new();
+    for (k, frame) in frames.iter().enumerate() {
+        if k == FRAMES / 2 {
+            // Mid-stream crash: the proxy's retransmit window replays
+            // every un-acked batch against the respawned server.
+            println!("killing the edge stage mid-stream and respawning it…");
+            edge.stop();
+            edge = spawn_stage(&edge_addr);
+        }
+        loop {
+            match session.submit(frame) {
+                Ok(_) => break,
+                Err(SubmitError::Backpressure) => {
+                    let (id, t) = session.recv().expect("recv");
+                    results.push((id.0, t));
+                }
+                Err(e) => panic!("submit failed: {e}"),
+            }
+        }
+    }
+    while results.len() < frames.len() {
+        let (id, t) = session.recv().expect("drain");
+        results.push((id.0, t));
+    }
+    let report = session.close();
+
+    let mut exact = 0usize;
+    for (k, (id, got)) in results.iter().enumerate() {
+        assert_eq!(*id, k as u64, "frame {k} out of order");
+        let expect = reference.run(&frames[k]);
+        assert_eq!(max_abs_diff(got, &expect), Some(0.0), "frame {k} diverged");
+        exact += 1;
+    }
+    println!(
+        "{exact}/{} frames in order and bit-identical to single-node \
+         inference across an edge-server crash ({} frames measured)",
+        frames.len(),
+        report.measured.frames
+    );
+
+    edge.stop();
+    cloud.stop();
+    for addr in [edge_addr, cloud_addr] {
+        if let LinkAddr::Uds(path) = addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

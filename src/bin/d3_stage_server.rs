@@ -1,0 +1,91 @@
+//! `d3-stage-server` — hosts one pipeline stage behind a stage link.
+//!
+//! ```text
+//! d3-stage-server --listen uds:/tmp/d3-edge.sock --model chain_cnn:6:8:16
+//! d3-stage-server --listen tcp:127.0.0.1:9301 --model resnet18:64
+//! ```
+//!
+//! The server builds the spec'd zoo graph and then serves stage-link
+//! connections: a client hello declares which segment to execute
+//! (member vertices, weight seed, forward set), batches execute with
+//! the exact decode → compute → encode semantics of an in-process
+//! stage worker, and every batch is answered with a result that doubles
+//! as its ack. Crash recovery is entirely client-side — the pipeline's
+//! proxy replays un-acked batches on reconnect — so killing and
+//! restarting this process mid-stream loses no frames.
+
+use d3_engine::link::{serve, LinkAddr, StageHost};
+use d3_model::zoo;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+d3-stage-server — host one D3 pipeline stage behind a stage link
+
+USAGE:
+    d3-stage-server --listen <uds:PATH | tcp:HOST:PORT> --model <SPEC>
+
+OPTIONS:
+    --listen <ADDR>   where to accept the stage link (uds:… or tcp:…)
+    --model <SPEC>    zoo spec to host, e.g. chain_cnn:6:8:16, alexnet:224
+
+The client's hello selects the segment; the same server binary hosts a
+device, edge or cloud stage of any plan over the spec'd model.
+";
+
+fn parse_args() -> Result<(LinkAddr, String), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (mut listen, mut model) = (None, None);
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => {
+                let v = value("--listen")?;
+                listen =
+                    Some(LinkAddr::parse(&v).ok_or_else(|| format!("bad listen address {v:?}"))?);
+            }
+            "--model" => model = Some(value("--model")?),
+            "--help" | "-h" | "help" => return Err("help requested".to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    match (listen, model) {
+        (Some(addr), Some(spec)) => Ok((addr, spec)),
+        _ => Err("both --listen and --model are required".to_string()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let (addr, spec) = parse_args()?;
+    let graph = zoo::by_spec(&spec).ok_or_else(|| format!("unknown model spec {spec:?}"))?;
+    // Register under the graph's *name*: the pipeline's hello carries
+    // the name of the graph it runs, and both sides build from the same
+    // spec family, so the names agree exactly when the models do.
+    let name = graph.name().to_string();
+    let mut host = StageHost::new(name.clone(), Arc::new(graph));
+    let listener = addr
+        .listen()
+        .map_err(|e| format!("cannot listen at {addr}: {e}"))?;
+    println!("d3-stage-server: serving {name} ({spec}) at {addr}");
+    // Runs until the process is killed; the client's retransmit window
+    // owns crash recovery.
+    let stop = AtomicBool::new(false);
+    serve(&listener, &mut host, &stop);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

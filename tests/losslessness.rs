@@ -22,7 +22,7 @@ fn check(g: &d3_model::DnnGraph, seed: u64, vsm: Option<VsmConfig>, net: Network
     let shape = g.input_shape();
     let input = Tensor::random(shape.c, shape.h, shape.w, seed ^ 0xF00D);
     let expect = Executor::new(g, seed).run(&input);
-    let got = run_distributed(g, seed, &assignment, vsm, &input);
+    let got = run_distributed(g, seed, &assignment, vsm, &input).unwrap();
     assert_eq!(
         max_abs_diff(&got, &expect),
         Some(0.0),
@@ -85,7 +85,7 @@ fn forced_three_way_split_is_lossless() {
     let a = Assignment::new(tiers);
     let input = Tensor::random(3, 64, 64, 77);
     let expect = Executor::new(&g, 5).run(&input);
-    let got = run_distributed(&g, 5, &a, Some(VsmConfig::default()), &input);
+    let got = run_distributed(&g, 5, &a, Some(VsmConfig::default()), &input).unwrap();
     assert_eq!(max_abs_diff(&got, &expect), Some(0.0));
 }
 
@@ -114,7 +114,7 @@ fn tile_grids_do_not_affect_results() {
             grid: (rows, cols),
             min_run_len: 2,
         };
-        let got = run_distributed(&g, 9, &assignment, Some(cfg), &input);
+        let got = run_distributed(&g, 9, &assignment, Some(cfg), &input).unwrap();
         assert_eq!(
             max_abs_diff(&got, &expect),
             Some(0.0),

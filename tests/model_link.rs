@@ -1,0 +1,203 @@
+//! Model-checked schedules for the stage-link flow units
+//! (`d3_engine::flow::Retransmit` / `PeerHealth`) — the state machines
+//! the remote-stage proxy in `stream.rs` runs its exactly-once and
+//! failover guarantees on.
+//!
+//! `cargo test --features model` re-runs each `model(..)` body once per
+//! thread interleaving until the schedule space is exhausted, so the
+//! assertions below hold under *every* relative ordering of offer, ack,
+//! reconnect-replay and deadline-check the real feeder/reader thread
+//! pair could exhibit — not just the orderings a lucky run happens to
+//! see.
+#![cfg(feature = "model")]
+
+use crossbeam::channel::bounded;
+use d3_engine::flow::{PeerHealth, PeerStatus, Retransmit};
+use loomlite::sync::Mutex;
+use loomlite::{model, thread};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The feeder offers and transmits batches while a reconnect replays
+/// whatever is pending at an arbitrary moment in between: every replayed
+/// batch arrives as a duplicate result sooner or later, and the ack's
+/// window-membership test must deduplicate it under every schedule —
+/// each frame is delivered exactly once, and the window drains to empty.
+#[test]
+fn model_replay_duplicates_are_acked_exactly_once() {
+    let report = model(|| {
+        let retx = Arc::new(Mutex::new(Retransmit::<u64>::new(2)));
+        // The "wire": result ids flowing back to the proxy reader. Four
+        // slots hold the worst case (two firsts plus two replays), so no
+        // send can block and every interleaving runs to completion.
+        let (wire_tx, wire_rx) = bounded::<u64>(4);
+
+        // Feeder: offer each batch into the window, then transmit it.
+        let feeder = {
+            let retx = Arc::clone(&retx);
+            let wire = wire_tx.clone();
+            thread::spawn(move || {
+                for id in 0..2u64 {
+                    retx.lock().unwrap().offer(id, 1, id).unwrap();
+                    wire.send(id).unwrap();
+                }
+            })
+        };
+        // Reconnect: replay everything un-acked at this instant — racing
+        // the feeder's fresh sends and the reader's acks.
+        let reconnect = {
+            let retx = Arc::clone(&retx);
+            let wire = wire_tx.clone();
+            thread::spawn(move || {
+                let pending: Vec<u64> = retx
+                    .lock()
+                    .unwrap()
+                    .replay()
+                    .map(|(first, _, _)| first)
+                    .collect();
+                for id in pending {
+                    wire.send(id).unwrap();
+                }
+            })
+        };
+        feeder.join().unwrap();
+        reconnect.join().unwrap();
+        drop(wire_tx);
+
+        // Reader: ack every result off the wire; a second arrival of the
+        // same id is no longer in the window and must be dropped.
+        let mut delivered = Vec::new();
+        let mut duplicates = 0usize;
+        while let Ok(id) = wire_rx.try_recv() {
+            match retx.lock().unwrap().ack(id) {
+                Some(item) => delivered.push(item),
+                None => duplicates += 1,
+            }
+        }
+        delivered.sort_unstable();
+        assert_eq!(delivered, [0, 1], "each frame delivered exactly once");
+        assert!(retx.lock().unwrap().is_empty(), "window fully acked");
+        assert!(duplicates <= 2, "at most one duplicate per replayed id");
+    });
+    assert!(
+        report.complete,
+        "replay/ack schedule space must be exhausted, ran {} schedules",
+        report.schedules
+    );
+}
+
+/// A disconnect mid-stream: the reader acks only the results that made
+/// it back before the link dropped; quiesce then drains the window. The
+/// acked set and the stranded set must partition the offered frames —
+/// nothing lost, nothing in both — under every ack/offer interleaving.
+#[test]
+fn model_disconnect_strands_unacked_frames_exactly_once() {
+    let report = model(|| {
+        let retx = Arc::new(Mutex::new(Retransmit::<u64>::new(2)));
+        let (wire_tx, wire_rx) = bounded::<u64>(2);
+
+        let feeder = {
+            let retx = Arc::clone(&retx);
+            thread::spawn(move || {
+                for id in 0..2u64 {
+                    retx.lock().unwrap().offer(id, 1, id).unwrap();
+                    // A send may race the peer's death; the frame then
+                    // simply stays un-acked in the window — the same
+                    // shrug the real feeder gives a broken socket.
+                    let _ = wire_tx.send(id);
+                }
+            })
+        };
+        // Reader: exactly one result returns before the peer dies.
+        let acked = {
+            let retx = Arc::clone(&retx);
+            thread::spawn(move || {
+                let id = wire_rx.recv().unwrap();
+                retx.lock()
+                    .unwrap()
+                    .ack(id)
+                    .into_iter()
+                    .collect::<Vec<u64>>()
+            })
+        };
+        feeder.join().unwrap();
+        let acked = acked.join().unwrap();
+
+        // Quiesce: the stranded tail is re-injected upstream.
+        let stranded: Vec<u64> = retx
+            .lock()
+            .unwrap()
+            .drain()
+            .into_iter()
+            .map(|(_, _, item)| item)
+            .collect();
+        let mut all: Vec<u64> = acked.iter().chain(&stranded).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, [0, 1], "acked ∪ stranded covers every frame once");
+        assert!(
+            retx.lock().unwrap().is_empty(),
+            "drain leaves nothing behind"
+        );
+    });
+    assert!(
+        report.complete,
+        "disconnect schedule space must be exhausted, ran {} schedules",
+        report.schedules
+    );
+}
+
+/// The failover ladder under a racing reconnect and deadline check: the
+/// reader's deadline check may declare the peer failed at the same
+/// moment a reconnect succeeds. Whatever order the schedule picks, the
+/// outcome must be one of the two legal states — and `Failed` must be
+/// terminal: a late reconnect never resurrects a peer the failover
+/// already rerouted around.
+#[test]
+fn model_peer_failed_is_terminal_under_racing_reconnect() {
+    let report = model(|| {
+        let deadline = Duration::from_millis(10);
+        let health = Arc::new(Mutex::new(PeerHealth::new(deadline, Duration::ZERO)));
+
+        // Reconnect path: the dial finally succeeded.
+        let connector = {
+            let health = Arc::clone(&health);
+            thread::spawn(move || {
+                health.lock().unwrap().on_connected();
+            })
+        };
+        // Reader loop: the deadline has elapsed; check promotes a
+        // still-down peer to failed.
+        let checker = {
+            let health = Arc::clone(&health);
+            thread::spawn(move || health.lock().unwrap().check(deadline))
+        };
+        connector.join().unwrap();
+        let checked = checker.join().unwrap();
+
+        let mut h = health.lock().unwrap();
+        match checked {
+            // The check saw the peer still down at the deadline: failed,
+            // and the connect (whenever it landed) must not undo it.
+            PeerStatus::Failed => {
+                h.on_connected();
+                assert!(h.is_failed(), "failed is terminal");
+            }
+            // The connect won the race: the peer is up and a later
+            // disconnect restarts the down clock instead of failing.
+            PeerStatus::Connected => {
+                h.on_disconnect(deadline);
+                assert_eq!(h.status(), PeerStatus::Down { since: deadline });
+                assert_eq!(h.check(deadline), PeerStatus::Down { since: deadline });
+                assert_eq!(h.check(deadline + deadline), PeerStatus::Failed);
+            }
+            PeerStatus::Down { .. } => {
+                panic!("check at the deadline cannot leave the peer merely down")
+            }
+        }
+    });
+    assert!(
+        report.complete,
+        "failover schedule space must be exhausted, ran {} schedules",
+        report.schedules
+    );
+}

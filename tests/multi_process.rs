@@ -1,0 +1,271 @@
+//! Real multi-process serving, end to end: the streaming pipeline's
+//! edge/cloud stages run in separate `d3-stage-server` OS processes
+//! behind Unix-domain stage links, and the three ISSUE-8 acceptance
+//! claims are asserted against them:
+//!
+//! 1. a 3-stage pipeline over UDS is **bit-identical and in order**
+//!    versus the in-process run;
+//! 2. killing and respawning the edge stage server mid-stream loses
+//!    **zero frames** (the proxy's retransmit window replays un-acked
+//!    batches against identical weights);
+//! 3. a peer held down past its deadline triggers the session's
+//!    **failover reroute** — the failed tier's vertices move to a live
+//!    tier via `apply_plan`, and every admitted frame still arrives.
+
+use d3_core::{D3Runtime, StreamOptions, SubmitError, Tier};
+use d3_engine::{LinkAddr, RemoteOptions};
+use d3_tensor::{max_abs_diff, Tensor};
+use d3_test_support::{chain_graph, even_split_runtime, frame_burst, reference_outputs, SEED};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The zoo spec both sides build: the stage servers from the CLI flag,
+/// the client runtime from [`chain_graph`]. The graph's *name*
+/// (`chain_cnn`) is what the link hello carries.
+const MODEL_SPEC: &str = "chain_cnn:6:8:16";
+
+/// A unique-per-test UDS socket path (kept short: the kernel caps UDS
+/// paths at ~100 bytes).
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("d3-mp-{}-{tag}.sock", std::process::id()))
+}
+
+/// One `d3-stage-server` child process; killed on drop.
+struct StageServer {
+    child: Child,
+    addr: LinkAddr,
+}
+
+impl StageServer {
+    /// Spawns the real stage-server binary on `sock` and waits until
+    /// its listener accepts connections.
+    fn spawn(sock: &Path) -> StageServer {
+        let listen = format!("uds:{}", sock.display());
+        let child = Command::new(env!("CARGO_BIN_EXE_d3-stage-server"))
+            .args(["--listen", &listen, "--model", MODEL_SPEC])
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn d3-stage-server");
+        let addr = LinkAddr::parse(&listen).expect("valid uds address");
+        let give_up = Instant::now() + Duration::from_secs(30);
+        loop {
+            // A successful probe connect (immediately dropped) proves the
+            // listener is up; the server's accept loop shrugs it off.
+            match addr.connect() {
+                Ok(_) => break,
+                Err(e) => {
+                    assert!(
+                        Instant::now() < give_up,
+                        "stage server never came up at {addr}: {e}"
+                    );
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        StageServer { child, addr }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for StageServer {
+    fn drop(&mut self) {
+        self.kill();
+        if let LinkAddr::Uds(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Streams `frames` through a session opened with `options`, returning
+/// `(id, output)` pairs in delivery order.
+fn run_stream(rt: &D3Runtime, options: StreamOptions, frames: &[Tensor]) -> Vec<(u64, Tensor)> {
+    let session = rt.open_stream("chain", options).expect("open stream");
+    let mut out = Vec::new();
+    for frame in frames {
+        loop {
+            match session.submit(frame) {
+                Ok(_) => break,
+                Err(SubmitError::Backpressure) => {
+                    let (id, t) = session.recv().expect("mid-burst recv");
+                    out.push((id.0, t));
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    while out.len() < frames.len() {
+        let (id, t) = session.recv().expect("drain recv");
+        out.push((id.0, t));
+    }
+    let report = session.close();
+    assert_eq!(report.measured.frames, frames.len());
+    out
+}
+
+/// Every frame delivered exactly once, in submission order, and each
+/// output bit-identical to the single-node reference.
+fn assert_lossless_in_order(results: &[(u64, Tensor)], expect: &[Tensor]) {
+    assert_eq!(results.len(), expect.len(), "frame count");
+    for (k, (id, got)) in results.iter().enumerate() {
+        assert_eq!(*id, k as u64, "delivery order");
+        assert_eq!(
+            max_abs_diff(got, &expect[k]),
+            Some(0.0),
+            "frame {k} diverged from the single-node reference"
+        );
+    }
+}
+
+/// Claim 1: device in-process, edge and cloud in separate OS processes
+/// over UDS — outputs in order and bit-identical to both the all-local
+/// pipeline and single-node inference.
+#[test]
+fn three_stage_pipeline_over_uds_is_bit_identical_and_in_order() {
+    let edge = StageServer::spawn(&sock_path("edge-id"));
+    let cloud = StageServer::spawn(&sock_path("cloud-id"));
+    let rt = even_split_runtime("chain", chain_graph(), SEED);
+    let frames = frame_burst(12, (3, 16, 16), 900);
+    let expect = reference_outputs(&chain_graph(), SEED, &frames);
+
+    let local = run_stream(&rt, StreamOptions::new().capacity(4), &frames);
+    let remote = run_stream(
+        &rt,
+        StreamOptions::new()
+            .capacity(4)
+            .remote(Tier::Edge, RemoteOptions::new(edge.addr.clone()))
+            .remote(Tier::Cloud, RemoteOptions::new(cloud.addr.clone())),
+        &frames,
+    );
+
+    assert_lossless_in_order(&local, &expect);
+    assert_lossless_in_order(&remote, &expect);
+}
+
+/// Claim 2: kill the edge stage server mid-stream, respawn it on the
+/// same socket — the retransmit window replays every un-acked batch on
+/// reconnect and the stream completes with zero lost, zero duplicated,
+/// in-order, bit-identical frames.
+#[test]
+fn killing_and_respawning_the_edge_server_loses_no_frames() {
+    let sock = sock_path("edge-kill");
+    let mut edge = StageServer::spawn(&sock);
+    let rt = even_split_runtime("chain", chain_graph(), SEED);
+    let frames = frame_burst(10, (3, 16, 16), 2000);
+    let expect = reference_outputs(&chain_graph(), SEED, &frames);
+
+    let options = StreamOptions::new().capacity(4).remote(
+        Tier::Edge,
+        RemoteOptions::new(edge.addr.clone())
+            .retry(Duration::from_millis(20))
+            // Generous: this test exercises crash *recovery*, so the
+            // respawn must always beat the failover deadline.
+            .deadline(Duration::from_secs(120)),
+    );
+    let session = rt.open_stream("chain", options).expect("open stream");
+
+    let mut out = Vec::new();
+    let submit = |frame: &Tensor, out: &mut Vec<(u64, Tensor)>| loop {
+        match session.submit(frame) {
+            Ok(_) => break,
+            Err(SubmitError::Backpressure) => {
+                let (id, t) = session.recv().expect("mid-burst recv");
+                out.push((id.0, t));
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    };
+
+    // First half in flight — then the edge process dies with batches
+    // un-acked in the proxy's retransmit window.
+    for frame in &frames[..5] {
+        submit(frame, &mut out);
+    }
+    edge.kill();
+
+    // Respawn on the same socket; keep streaming through the outage —
+    // the proxy reconnects and replays in the background.
+    let _edge2 = StageServer::spawn(&sock);
+    for frame in &frames[5..] {
+        submit(frame, &mut out);
+    }
+    while out.len() < frames.len() {
+        let (id, t) = session.recv().expect("drain recv");
+        out.push((id.0, t));
+    }
+    let report = session.close();
+    assert_eq!(report.measured.frames, frames.len());
+    assert_lossless_in_order(&out, &expect);
+}
+
+/// Claim 3: a peer that stays down past its deadline flips the proxy to
+/// failed; `check_failover` then reroutes the failed tier's vertices to
+/// a live tier through `apply_plan`, and every admitted frame — the
+/// stranded in-flight tail included — still arrives in order,
+/// bit-identical.
+#[test]
+fn peer_down_past_deadline_fails_over_to_cloud() {
+    // No server is ever started on this socket: the peer is down from
+    // the first dial and stays down.
+    let addr = LinkAddr::parse(&format!("uds:{}", sock_path("edge-down").display()))
+        .expect("valid uds address");
+    let rt = even_split_runtime("chain", chain_graph(), SEED);
+    let frames = frame_burst(6, (3, 16, 16), 3000);
+    let expect = reference_outputs(&chain_graph(), SEED, &frames);
+
+    let options = StreamOptions::new().capacity(8).remote(
+        Tier::Edge,
+        RemoteOptions::new(addr)
+            .retry(Duration::from_millis(10))
+            .deadline(Duration::from_millis(250)),
+    );
+    let mut session = rt.open_stream("chain", options).expect("open stream");
+    assert!(
+        session.assignment().tiers().contains(&Tier::Edge),
+        "the plan must actually have an edge segment to fail over"
+    );
+
+    // Admit the whole burst while the edge peer is unreachable: frames
+    // pile up in the dead proxy's window and upstream queues.
+    for frame in &frames {
+        session.submit(frame).expect("capacity covers the burst");
+    }
+
+    // The reader declares the peer failed once it stays down past the
+    // deadline; the session then reroutes around it.
+    let give_up = Instant::now() + Duration::from_secs(30);
+    let (failed, swap) = loop {
+        if let Some(outcome) = session.check_failover() {
+            break outcome;
+        }
+        assert!(Instant::now() < give_up, "failover never triggered");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(failed, Tier::Edge);
+    assert!(!swap.changed.is_empty(), "the reroute moved vertices");
+    assert!(
+        session
+            .assignment()
+            .tiers()
+            .iter()
+            .all(|&t| t != Tier::Edge),
+        "no vertex may remain on the failed tier"
+    );
+    // Failover is terminal for this peer: nothing further to fail.
+    assert!(session.check_failover().is_none());
+
+    // Every admitted frame arrives — rerouted, in order, bit-identical.
+    let mut out = Vec::new();
+    while out.len() < frames.len() {
+        let (id, t) = session.recv().expect("post-failover recv");
+        out.push((id.0, t));
+    }
+    let report = session.close();
+    assert_eq!(report.measured.frames, frames.len());
+    assert_lossless_in_order(&out, &expect);
+}

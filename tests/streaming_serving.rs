@@ -290,7 +290,7 @@ fn four_device_workers_double_throughput_on_a_device_bound_stage() {
     let base = StreamOptions::new()
         .capacity(16)
         .inject_delay(Tier::Device, 1, stall);
-    let fps_1 = run_stream(&rt, "chain", base, &frames);
+    let fps_1 = run_stream(&rt, "chain", base.clone(), &frames);
     let fps_4 = run_stream(&rt, "chain", base.workers(Tier::Device, 4), &frames);
     assert!(
         fps_4 >= 2.0 * fps_1,

@@ -1,0 +1,229 @@
+//! Adversarial-input fuzzing for every decode surface a remote peer can
+//! reach: the raw tensor wire format, all four codec framings, and the
+//! stage-link message framing. A corrupt or truncated byte stream from
+//! a crashed / hostile peer must surface as a **typed error** — never a
+//! panic, never an unbounded allocation — because the streaming
+//! pipeline's reconnect path turns decode errors into retransmits,
+//! while a panic would take the whole process down.
+
+use bytes::Bytes;
+use d3_engine::codec::{self, WireCodec};
+use d3_engine::link::{decode_msg, encode_msg, Hello, LinkMsg, WireBatch, WireFrame, LINK_MAGIC};
+use d3_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..4, 1usize..6, 1usize..6, any::<u64>())
+        .prop_map(|(c, h, w, seed)| Tensor::random(c, h, w, seed))
+}
+
+/// Arbitrary byte soup (as a strategy over `u32` since the vendored
+/// proptest has no `u8` Arbitrary).
+fn soup() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u32..256, 0..96).prop_map(|v| v.into_iter().map(|b| b as u8).collect())
+}
+
+fn ascii_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..26, 0..12)
+        .prop_map(|v| v.into_iter().map(|c| (b'a' + c as u8) as char).collect())
+}
+
+fn id_list() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(any::<u32>(), 0..8)
+}
+
+fn payload_bytes() -> impl Strategy<Value = Bytes> {
+    prop::collection::vec(0u32..256, 0..32)
+        .prop_map(|v| Bytes::from(v.into_iter().map(|b| b as u8).collect::<Vec<u8>>()))
+}
+
+fn wire_frame() -> impl Strategy<Value = WireFrame> {
+    (
+        any::<u64>(),
+        prop::collection::vec((any::<u32>(), payload_bytes()), 0..3),
+    )
+        .prop_map(|(id, payload)| WireFrame { id, payload })
+}
+
+fn wire_batch() -> impl Strategy<Value = WireBatch> {
+    (
+        any::<u64>(),
+        0u32..8,
+        any::<u64>(),
+        // Finite only: NaN would break the `PartialEq` round-trip check,
+        // and the encoder only ever writes finite quantization deltas.
+        -1e3f64..1e3,
+        prop::collection::vec(wire_frame(), 0..4),
+    )
+        .prop_map(
+            |(first_id, codec, raw_bytes, accuracy_delta, frames)| WireBatch {
+                first_id,
+                codec: codec as u8,
+                raw_bytes,
+                accuracy_delta,
+                frames,
+            },
+        )
+}
+
+fn link_msg() -> impl Strategy<Value = LinkMsg> {
+    prop_oneof![
+        (
+            ascii_name(),
+            any::<u64>(),
+            id_list(),
+            id_list(),
+            id_list(),
+            any::<u32>(),
+            any::<bool>(),
+        )
+            .prop_map(
+                |(model, seed, members, needed, forward, output_node, is_last)| {
+                    LinkMsg::Hello(Hello {
+                        model,
+                        seed,
+                        members,
+                        needed,
+                        forward,
+                        output_node,
+                        is_last,
+                    })
+                }
+            ),
+        wire_batch().prop_map(LinkMsg::Batch),
+        wire_batch().prop_map(LinkMsg::Result),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any strict truncation of a raw wire frame is a typed error.
+    #[test]
+    fn wire_decode_rejects_truncation(t in small_tensor(), cut in any::<usize>()) {
+        let full = d3_engine::encode(&t);
+        let keep = cut % full.len();
+        let got = d3_engine::decode(Bytes::from(full.as_slice()[..keep].to_vec()));
+        prop_assert!(got.is_err(), "truncated to {keep}/{} yet decoded", full.len());
+    }
+
+    /// Single-bit corruption of a wire frame never panics; corrupting
+    /// the magic word is always detected.
+    #[test]
+    fn wire_decode_survives_bit_flips(t in small_tensor(), at in any::<usize>(), bit in 0usize..8) {
+        let mut raw = d3_engine::encode(&t).as_slice().to_vec();
+        let i = at % raw.len();
+        raw[i] ^= 1 << bit;
+        let got = d3_engine::decode(Bytes::from(raw));
+        if i < 4 {
+            prop_assert!(got.is_err(), "flipped magic byte {i} yet decoded");
+        }
+    }
+
+    /// Every codec's framing rejects strict truncation with an error —
+    /// the universal decoder must notice missing payload, not fabricate
+    /// a short tensor.
+    #[test]
+    fn codec_decode_rejects_truncation(t in small_tensor(), cut in any::<usize>()) {
+        for c in WireCodec::ALL {
+            let enc = codec::encode(&t, c);
+            let full = enc.bytes.as_slice();
+            let keep = cut % full.len();
+            let got = codec::decode(Bytes::from(full[..keep].to_vec()));
+            prop_assert!(got.is_err(), "{c}: truncated to {keep}/{} yet decoded", full.len());
+        }
+    }
+
+    /// Single-bit corruption of any codec frame never panics (payload
+    /// flips may legitimately decode to different values; header flips
+    /// must never crash or over-allocate).
+    #[test]
+    fn codec_decode_survives_bit_flips(
+        t in small_tensor(),
+        which in 0usize..4,
+        at in any::<usize>(),
+        bit in 0usize..8,
+    ) {
+        let c = WireCodec::ALL[which];
+        let mut raw = codec::encode(&t, c).bytes.as_slice().to_vec();
+        let i = at % raw.len();
+        raw[i] ^= 1 << bit;
+        let _ = codec::decode(Bytes::from(raw));
+    }
+
+    /// Arbitrary byte soup through both tensor decoders: typed error or
+    /// a structurally valid tensor, never a panic.
+    #[test]
+    fn tensor_decoders_survive_soup(bytes in soup()) {
+        let _ = d3_engine::decode(Bytes::from(bytes.clone()));
+        let _ = codec::decode(Bytes::from(bytes));
+    }
+
+    /// Link messages round-trip exactly through the frame codec.
+    #[test]
+    fn link_msg_roundtrip(msg in link_msg()) {
+        let frame = encode_msg(&msg);
+        let back = decode_msg(frame.as_slice());
+        prop_assert_eq!(back, Ok(msg));
+    }
+
+    /// Any strict truncation of a link frame is a typed error: the body
+    /// length prefix must match the buffer exactly.
+    #[test]
+    fn link_decode_rejects_truncation(msg in link_msg(), cut in any::<usize>()) {
+        let full = encode_msg(&msg);
+        let keep = cut % full.len();
+        let got = decode_msg(&full.as_slice()[..keep]);
+        prop_assert!(got.is_err(), "truncated to {keep}/{} yet decoded", full.len());
+    }
+
+    /// Corrupting the link frame header (magic or length) is always
+    /// detected; corrupting the body never panics.
+    #[test]
+    fn link_decode_survives_bit_flips(msg in link_msg(), at in any::<usize>(), bit in 0usize..8) {
+        let mut raw = encode_msg(&msg).as_slice().to_vec();
+        let i = at % raw.len();
+        raw[i] ^= 1 << bit;
+        let got = decode_msg(&raw);
+        if i < 8 {
+            prop_assert!(got.is_err(), "flipped header byte {i} yet decoded");
+        }
+    }
+
+    /// Byte soup that does not open with the link magic is rejected.
+    #[test]
+    fn link_decode_rejects_soup(bytes in soup()) {
+        let magic_ok =
+            bytes.len() >= 4 && bytes[..4] == LINK_MAGIC.to_le_bytes();
+        let got = decode_msg(&bytes);
+        if !magic_ok {
+            prop_assert!(got.is_err());
+        }
+    }
+}
+
+/// A frame whose header declares an absurd body length must be rejected
+/// before any allocation happens — the length sanity check is what
+/// bounds a malicious peer's memory impact.
+#[test]
+fn link_decode_rejects_absurd_length_claims() {
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&LINK_MAGIC.to_le_bytes());
+    raw.extend_from_slice(&u32::MAX.to_le_bytes());
+    raw.push(0);
+    assert!(decode_msg(&raw).is_err());
+
+    // Batch claiming 2^32-1 frames in a 40-byte body: the per-field
+    // plausibility guards must fire before `Vec::with_capacity`.
+    let batch = WireBatch {
+        first_id: 0,
+        codec: 0,
+        raw_bytes: 0,
+        accuracy_delta: 0.0,
+        frames: Vec::new(),
+    };
+    let mut frame = encode_msg(&LinkMsg::Batch(batch)).as_slice().to_vec();
+    let n = frame.len();
+    frame[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(decode_msg(&frame).is_err());
+}
