@@ -21,7 +21,10 @@
 //! outlive the stack frame that built them and move across threads. For
 //! serving several models concurrently from one process, see
 //! [`D3Runtime`]; for sustained frame streams, open a pipelined
-//! [`StreamSession`] via [`D3Runtime::open_stream`].
+//! [`StreamSession`] via [`D3Runtime::open_stream`] — sessions of the
+//! same model multiplex onto one shared resident pipeline. The layer
+//! map and invariant index live in `ARCHITECTURE.md` at the workspace
+//! root.
 //!
 //! ## Quickstart
 //!
@@ -49,9 +52,10 @@ pub use d3_engine::{
     CodecUpdate, ControlUpdate, Decision, Deployment, Encoded, FleetController, FleetOptions,
     FleetUpdate, FrameId, FullResolve, HysteresisLocal, InjectedDelay, LinkShaping, LinkTraffic,
     NoAdapt, Observation, PlanSwap, PlanUpdate, PoolOptions, PoolResize, PoolSize, PoolUpdate,
-    ProbeOptions, ResourceLedger, StagePoolStats, Strategy, StreamBuildError, StreamOptions,
-    StreamRecvError, StreamReport, SubmitError, TelemetrySnapshot, TelemetryTap, TenantCommit,
-    TierContention, UpdateScope, VsmConfig, WireCodec,
+    ProbeOptions, ResourceLedger, SessionId, SessionStats, StagePoolStats, Strategy,
+    StreamBuildError, StreamOptions, StreamRecvError, StreamReport, SubmitError,
+    TelemetrySnapshot, TelemetryTap, TenantCommit, TierContention, UpdateScope, VsmConfig,
+    WireCodec,
 };
 pub use d3_model::{DnnGraph, NodeId};
 pub use d3_partition::{

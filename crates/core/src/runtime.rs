@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 
 use d3_engine::{AdaptivePolicy, Clock, FleetController, FleetOptions};
 use d3_model::DnnGraph;
@@ -215,6 +215,13 @@ struct ModelEntry {
     /// Adaptation-policy prototype; forked into a private controller for
     /// every stream session opened on this model.
     controller: Option<Box<dyn AdaptivePolicy>>,
+    /// The model's live shared stream, when sessions are open on it:
+    /// `open_stream` upgrades this to attach new sessions to the one
+    /// resident stage-pool set (thread count stays O(pool), not
+    /// O(sessions)). Weak, so the *sessions* own the pipeline — the
+    /// last one to close (or drop) joins the stage workers, and the
+    /// next open founds a fresh pipeline.
+    stream: Mutex<Weak<crate::session::SharedStream>>,
 }
 
 /// A multi-tenant serving runtime: named models, each pre-partitioned
@@ -279,6 +286,7 @@ impl D3Runtime {
                 requests: AtomicU64::new(0),
                 latency_ns: AtomicU64::new(0),
                 controller: None,
+                stream: Mutex::new(Weak::new()),
             },
         );
         self
@@ -405,20 +413,28 @@ impl D3Runtime {
         self.models.remove(name).map(|entry| entry.system)
     }
 
-    /// Opens a pipelined streaming session on the named model: the
-    /// deployed plan's tier segments become resident worker threads
-    /// connected by bounded queues, overlapping consecutive frames for
-    /// bottleneck-bound (rather than sum-bound) throughput. When an
-    /// adaptation policy is [attached](Self::attach_controller), the
-    /// session carries its own controller and self-adapts. See
-    /// [`StreamSession`](crate::StreamSession) for the session
-    /// lifecycle.
+    /// Opens a pipelined streaming session on the named model.
+    ///
+    /// The **first** open founds the model's resident pipeline: the
+    /// deployed plan's tier segments become worker threads connected by
+    /// bounded queues, configured by `options`, overlapping consecutive
+    /// frames for bottleneck-bound (rather than sum-bound) throughput.
+    /// While that pipeline is live, **subsequent opens of the same model
+    /// multiplex onto it** — no new threads; only
+    /// [`options.weight`](crate::StreamOptions::weight) applies, setting
+    /// the new session's fair share at the shared admission gate. Every
+    /// session sees exactly its own frames, in its own submission order.
+    /// When an adaptation policy is [attached](Self::attach_controller),
+    /// each session carries its own controller and self-adapts the
+    /// shared pipeline. See [`StreamSession`](crate::StreamSession) for
+    /// the session lifecycle.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`] when `name` is not registered, or
     /// [`ServeError::Unstreamable`] when the deployed plan cannot run as
-    /// a forward pipeline.
+    /// a forward pipeline (or `options.weight` is not a positive, finite
+    /// share).
     pub fn open_stream(
         &self,
         name: &str,
@@ -450,7 +466,7 @@ impl D3Runtime {
                 .as_ref()
                 .map(|proto| entry.system.controller_for_session(proto.fork()))
         };
-        crate::StreamSession::open(name, &entry.system, options, controller, fleet)
+        crate::StreamSession::open(name, &entry.system, &entry.stream, options, controller, fleet)
     }
 
     /// Runs one inference on the named model across its deployed tiers.

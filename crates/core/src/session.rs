@@ -59,17 +59,38 @@
 use d3_engine::stream::StreamPipeline;
 use d3_engine::{
     AdaptiveEngine, CodecUpdate, ControlUpdate, Deployment, FleetController, FrameId, Observation,
-    PlanSwap, PlanUpdate, PoolResize, StreamBuildError, StreamRecvError, StreamReport, SubmitError,
-    TelemetryTap, UpdateScope, VsmConfig,
+    PlanSwap, PlanUpdate, PoolResize, SessionId, SessionStats, StreamBuildError, StreamRecvError,
+    StreamReport, SubmitError, TelemetryTap, UpdateScope, VsmConfig,
 };
 use d3_model::NodeId;
 use d3_partition::{Assignment, Problem};
 use d3_simnet::Tier;
 use d3_tensor::Tensor;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, Weak};
+use std::time::Duration;
 
 use crate::runtime::ServeError;
 use crate::{D3System, StreamOptions};
+
+/// How long a blocking receive holds the shared read lock before
+/// re-checking: short enough that a control-plane write (plan swap, pool
+/// resize) never waits noticeably behind a parked receiver.
+const RECV_SLICE: Duration = Duration::from_millis(1);
+
+/// One model's resident stage-pool set, shared by every session opened
+/// on it while at least one is alive.
+///
+/// The data plane (submit/recv) runs under the read lock — any number of
+/// sessions stream concurrently — while control operations (plan swaps,
+/// pool resizes, failover reroutes) take the write lock, so the shared
+/// pipeline quiesces exactly once per reconfiguration no matter how many
+/// sessions are attached. The runtime keeps only a [`Weak`] to this:
+/// when the last session drops its [`Arc`], the pipeline closes and the
+/// stage workers join.
+#[derive(Debug)]
+pub(crate) struct SharedStream {
+    pipeline: RwLock<StreamPipeline>,
+}
 
 /// A session's membership in a runtime-attached fleet: the tenant name
 /// plus the shared arbiter. Observations route through the fleet, and
@@ -95,19 +116,32 @@ pub enum AdaptEvent {
 
 /// A live streaming session against one registered model.
 ///
-/// Created by [`D3Runtime::open_stream`](crate::D3Runtime::open_stream);
-/// the session owns its worker threads and stays valid even if the model
-/// is later [`unregister`](crate::D3Runtime::unregister)ed (it captured
-/// the deployed plan at open time). Results come back in submission
-/// order. Intended for one logical producer/consumer; the frame methods
-/// take `&self`, so a driving thread and a draining thread may share it,
-/// while reconfiguration ([`apply_plan`](Self::apply_plan),
-/// [`observe`](Self::observe), [`adapt`](Self::adapt)) takes `&mut self`
-/// — one thread owns the control plane.
+/// Created by [`D3Runtime::open_stream`](crate::D3Runtime::open_stream).
+/// Sessions of the **same model multiplex onto one shared resident
+/// pipeline**: the first session builds the stage-pool set (its
+/// [`StreamOptions`] configure it), later sessions attach to it with
+/// their own fair-share [`weight`](StreamOptions::weight) — no new
+/// threads. Each session still sees only its own frames, bit-identical
+/// and in its own submission order; the shared batcher may coalesce
+/// frames *across* sessions. The whole set stays valid even if the model
+/// is later [`unregister`](crate::D3Runtime::unregister)ed (the pipeline
+/// captured the deployed plan at open time).
+///
+/// The frame methods take `&self`, so a driving thread and a draining
+/// thread may share one session, while reconfiguration
+/// ([`apply_plan`](Self::apply_plan), [`observe`](Self::observe),
+/// [`adapt`](Self::adapt)) takes `&mut self` and briefly write-locks the
+/// shared pipeline — it quiesces exactly once while *every* attached
+/// session stays lossless.
 #[derive(Debug)]
 pub struct StreamSession {
     model: String,
-    pipeline: StreamPipeline,
+    /// The shared resident pipeline; `None` only transiently inside
+    /// [`close`](Self::close). Dropping the last `Arc` closes the
+    /// pipeline and joins the stage workers.
+    shared: Option<Arc<SharedStream>>,
+    /// This session's identity at the shared admission gate.
+    sid: SessionId,
     /// The model's partitioning problem, captured at open time — the
     /// cost model a failover reroute plan is deployed against.
     problem: Problem,
@@ -127,10 +161,38 @@ impl StreamSession {
     pub(crate) fn open(
         model: &str,
         system: &D3System,
+        slot: &Mutex<Weak<SharedStream>>,
         mut options: StreamOptions,
         controller: Option<AdaptiveEngine>,
         fleet: Option<FleetHandle>,
     ) -> Result<Self, ServeError> {
+        let mut slot = slot.lock().expect("stream slot lock poisoned");
+        // A live shared pipeline for this model: attach instead of
+        // spawning. Only `options.weight` applies — the founding
+        // session's options already configured the resident stages.
+        if let Some(shared) = slot.upgrade() {
+            if !(options.weight.is_finite() && options.weight > 0.0) {
+                return Err(ServeError::Unstreamable {
+                    model: model.to_string(),
+                    reason: "session weight must be positive and finite".to_string(),
+                });
+            }
+            let sid = shared
+                .pipeline
+                .read()
+                .expect("stream lock poisoned")
+                .attach_session(options.weight);
+            return Ok(Self {
+                model: model.to_string(),
+                shared: Some(shared),
+                sid,
+                problem: system.problem().clone(),
+                vsm: system.vsm_config(),
+                controller,
+                fleet,
+            });
+        }
+        // Founding session: build the resident stage-pool set.
         // Seed the bandwidth prober's belief with the model's configured
         // network condition unless the caller pinned one explicitly.
         if let Some(probe) = &mut options.probe {
@@ -149,9 +211,15 @@ impl StreamSession {
             model: model.to_string(),
             reason: e.to_string(),
         })?;
+        let sid = pipeline.root_session();
+        let shared = Arc::new(SharedStream {
+            pipeline: RwLock::new(pipeline),
+        });
+        *slot = Arc::downgrade(&shared);
         Ok(Self {
             model: model.to_string(),
-            pipeline,
+            shared: Some(shared),
+            sid,
             problem: system.problem().clone(),
             vsm: system.vsm_config(),
             controller,
@@ -159,10 +227,57 @@ impl StreamSession {
         })
     }
 
+    fn shared(&self) -> &Arc<SharedStream> {
+        self.shared.as_ref().expect("session live until close")
+    }
+
+    /// Data-plane access: any number of sessions hold this concurrently.
+    fn pipeline(&self) -> RwLockReadGuard<'_, StreamPipeline> {
+        self.shared().pipeline.read().expect("stream lock poisoned")
+    }
+
+    /// Control-plane access: quiesces the *shared* pipeline exactly once
+    /// per reconfiguration, with every attached session paused at the
+    /// lock (not dropped).
+    fn pipeline_mut(&self) -> RwLockWriteGuard<'_, StreamPipeline> {
+        self.shared()
+            .pipeline
+            .write()
+            .expect("stream lock poisoned")
+    }
+
     /// The registered name this session serves.
     #[must_use]
     pub fn model(&self) -> &str {
         &self.model
+    }
+
+    /// This session's identity on the shared pipeline.
+    #[must_use]
+    pub fn session_id(&self) -> SessionId {
+        self.sid
+    }
+
+    /// Whether `other` multiplexes onto the same resident pipeline (same
+    /// model, overlapping lifetime).
+    #[must_use]
+    pub fn is_shared_with(&self, other: &StreamSession) -> bool {
+        Arc::ptr_eq(self.shared(), other.shared())
+    }
+
+    /// Live per-session statistics: this session's frames, weighted
+    /// share, delivery-latency percentiles and throughput on the shared
+    /// pipeline.
+    #[must_use]
+    pub fn session_stats(&self) -> Option<SessionStats> {
+        self.pipeline().session_stats(self.sid)
+    }
+
+    /// Number of sessions currently attached to this model's shared
+    /// pipeline (including this one).
+    #[must_use]
+    pub fn attached_sessions(&self) -> usize {
+        self.pipeline().sessions().len()
     }
 
     /// Admits one frame without blocking; the returned [`FrameId`] pairs
@@ -174,64 +289,75 @@ impl StreamSession {
     /// (admission control: drain results and retry), or
     /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor.
     pub fn submit(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
-        self.pipeline.submit(input)
+        self.pipeline().submit_as(self.sid, input)
     }
 
-    /// Admits one frame, waiting for queue space instead of rejecting.
+    /// Admits one frame, waiting for queue space (or for this session's
+    /// weighted share of it) instead of rejecting.
     ///
     /// # Errors
     ///
     /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor.
     pub fn submit_blocking(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
-        self.pipeline.submit_blocking(input)
+        self.pipeline().submit_blocking_as(self.sid, input)
     }
 
-    /// Waits for the next completed frame (submission order, including
-    /// across plan swaps).
+    /// Waits for this session's next completed frame (its own submission
+    /// order, including across plan swaps; other sessions' frames are
+    /// never visible here).
     ///
     /// # Errors
     ///
-    /// [`StreamRecvError::NoFramesInFlight`] when every admitted frame
-    /// was already received.
+    /// [`StreamRecvError::NoFramesInFlight`] when every frame this
+    /// session admitted was already received.
     pub fn recv(&self) -> Result<(FrameId, Tensor), StreamRecvError> {
-        self.pipeline.recv()
+        // Re-acquire the shared read lock per slice so a concurrent
+        // control-plane write never waits behind a parked receiver.
+        loop {
+            if let Some(frame) = self.pipeline().recv_step_as(self.sid, RECV_SLICE)? {
+                return Ok(frame);
+            }
+        }
     }
 
-    /// Returns the next completed frame if one is ready.
+    /// Returns this session's next completed frame if one is ready.
     #[must_use]
     pub fn try_recv(&self) -> Option<(FrameId, Tensor)> {
-        self.pipeline.try_recv()
+        self.pipeline().try_recv_as(self.sid)
     }
 
-    /// Frames admitted but not yet received.
+    /// Frames **this session** admitted but has not yet received.
     #[must_use]
     pub fn pending(&self) -> u64 {
-        self.pipeline.pending()
+        self.pipeline().pending_as(self.sid)
     }
 
-    /// Frames admitted so far.
+    /// Frames admitted so far, across every session sharing the
+    /// pipeline (see [`session_stats`](Self::session_stats) for this
+    /// session's own count).
     #[must_use]
     pub fn submitted(&self) -> u64 {
-        self.pipeline.submitted()
+        self.pipeline().submitted()
     }
 
-    /// Frames rejected by backpressure so far.
+    /// Frames rejected by backpressure so far, across every session
+    /// sharing the pipeline.
     #[must_use]
     pub fn rejected(&self) -> u64 {
-        self.pipeline.rejected()
+        self.pipeline().rejected()
     }
 
-    /// The plan the session is currently executing (changes when a swap
-    /// is applied).
+    /// The plan the shared pipeline is currently executing (changes when
+    /// a swap is applied).
     #[must_use]
-    pub fn assignment(&self) -> &Assignment {
-        self.pipeline.assignment()
+    pub fn assignment(&self) -> Assignment {
+        self.pipeline().assignment().clone()
     }
 
-    /// Live plan swaps applied so far.
+    /// Live plan swaps applied so far on the shared pipeline.
     #[must_use]
     pub fn reconfigurations(&self) -> u64 {
-        self.pipeline.reconfigurations()
+        self.pipeline().reconfigurations()
     }
 
     /// Opens a live telemetry tap: periodic per-stage snapshots
@@ -241,7 +367,7 @@ impl StreamSession {
     /// controller would *steal* snapshots from each other.
     #[must_use]
     pub fn telemetry(&self) -> TelemetryTap {
-        self.pipeline.telemetry()
+        self.pipeline().telemetry()
     }
 
     /// The session's adaptation controller, when one was attached at
@@ -272,7 +398,7 @@ impl StreamSession {
     /// [`StreamBuildError`] when the plan cannot run as a forward
     /// pipeline; the running stream is untouched.
     pub fn apply_plan(&mut self, update: &PlanUpdate) -> Result<PlanSwap, StreamBuildError> {
-        self.pipeline.apply_plan(update)
+        self.pipeline_mut().apply_plan(update)
     }
 
     /// Checks whether a remote stage server stayed down past its
@@ -285,14 +411,17 @@ impl StreamSession {
     /// from the driving loop when a tier runs remote. Returns the failed
     /// tier and the applied swap, or `None` while all peers are healthy.
     pub fn check_failover(&mut self) -> Option<(Tier, PlanSwap)> {
-        let failed = self.pipeline.failed_remote()?;
-        self.pipeline.drop_remote(failed);
+        // One write-lock scope for detect + reroute, so no other
+        // session's control plane can interleave mid-failover.
+        let mut pipeline = self.pipeline_mut();
+        let failed = pipeline.failed_remote()?;
+        pipeline.drop_remote(failed);
         let target = if failed == Tier::Cloud {
             Tier::Edge
         } else {
             Tier::Cloud
         };
-        let mut assignment = self.pipeline.assignment().clone();
+        let mut assignment = pipeline.assignment().clone();
         let mut changed = Vec::new();
         for id in (0..assignment.len()).map(NodeId) {
             if assignment.tier(id) == failed {
@@ -305,8 +434,7 @@ impl StreamSession {
             changed,
             scope: UpdateScope::Full,
         };
-        let swap = self
-            .pipeline
+        let swap = pipeline
             .apply_plan(&update)
             .expect("failover reroute must remain a forward pipeline");
         Some((failed, swap))
@@ -324,13 +452,13 @@ impl StreamSession {
         tier: Tier,
         workers: usize,
     ) -> Result<PoolResize, StreamBuildError> {
-        self.pipeline.resize_pool(tier, workers)
+        self.pipeline_mut().resize_pool(tier, workers)
     }
 
     /// Current workers per stage, in tier order (device, edge, cloud).
     #[must_use]
     pub fn pool(&self) -> [usize; 3] {
-        self.pipeline.pool()
+        self.pipeline().pool()
     }
 
     /// The wire codec currently active per inter-tier link
@@ -338,7 +466,7 @@ impl StreamSession {
     /// applies a [`CodecUpdate`] or the stream options selected one.
     #[must_use]
     pub fn link_codecs(&self) -> [d3_engine::WireCodec; 2] {
-        self.pipeline.link_codecs()
+        self.pipeline().link_codecs()
     }
 
     /// Injects one out-of-band observation (e.g. a bandwidth probe's
@@ -425,7 +553,7 @@ impl StreamSession {
     pub fn adapt(&mut self) -> Vec<AdaptEvent> {
         if self.fleet.is_some() {
             let mut events = self.poll_fleet();
-            let snapshots = self.pipeline.telemetry().drain();
+            let snapshots = self.pipeline().telemetry().drain();
             'snapshots: for snapshot in &snapshots {
                 for obs in &snapshot.observations {
                     let own = self.fleet_ingest(obs);
@@ -442,7 +570,7 @@ impl StreamSession {
         if self.controller.is_none() {
             return Vec::new();
         }
-        let snapshots = self.pipeline.telemetry().drain();
+        let snapshots = self.pipeline().telemetry().drain();
         let mut events = Vec::new();
         'snapshots: for snapshot in &snapshots {
             for obs in &snapshot.observations {
@@ -463,30 +591,116 @@ impl StreamSession {
     fn apply_update(&mut self, update: &ControlUpdate) -> AdaptEvent {
         match update {
             ControlUpdate::Plan(plan) => AdaptEvent::Plan(
-                self.pipeline
+                self.pipeline_mut()
                     .apply_plan(plan)
                     .expect("controller emitted an unstreamable plan"),
             ),
             ControlUpdate::Pool(pool) => AdaptEvent::Pool(
-                self.pipeline
+                self.pipeline_mut()
                     .resize_pool(pool.tier, pool.workers)
                     .expect("controller emitted an empty pool"),
             ),
             ControlUpdate::Codec(codec) => {
                 // Quiesce-free: frames are self-describing, so the switch
                 // simply lands on the next batch boundary.
-                self.pipeline.set_link_codec(codec.link, codec.codec);
+                self.pipeline().set_link_codec(codec.link, codec.codec);
                 AdaptEvent::Codec(*codec)
             }
         }
     }
 
-    /// Stops admissions, drains in-flight frames, joins the stage
-    /// workers and reports measured per-stage utilization, p50/p95/max
-    /// latency, throughput and the number of live plan swaps.
+    /// Detaches from the shared pipeline and reports.
+    ///
+    /// The **last** session of a model to close gets the full aggregate
+    /// [`StreamReport`]: the pipeline drains, the stage workers join,
+    /// and `report.sessions` carries every still-attached session's
+    /// view (a solo session is always "last", so nothing changes for
+    /// single-stream callers). A session closing while **others** remain
+    /// attached first drains its own pending frames — losslessness per
+    /// session — then detaches, and its report covers only its own
+    /// traffic (`measured` is synthesized from its [`SessionStats`];
+    /// shared stage/pool/link accounting stays with the survivors).
     #[must_use]
-    pub fn close(self) -> StreamReport {
-        self.pipeline.close()
+    pub fn close(mut self) -> StreamReport {
+        let shared = self.shared.take().expect("close takes the session");
+        match Arc::try_unwrap(shared) {
+            Ok(exclusive) => exclusive
+                .pipeline
+                .into_inner()
+                .expect("stream lock poisoned")
+                .close(),
+            Err(shared) => {
+                // Other sessions still stream: drain our own frames so
+                // none are abandoned in the shared reorder buffer, then
+                // detach and leave the pipeline running.
+                loop {
+                    let pipeline = shared.pipeline.read().expect("stream lock poisoned");
+                    if pipeline.pending_as(self.sid) == 0 {
+                        break;
+                    }
+                    if pipeline.recv_step_as(self.sid, RECV_SLICE).is_err() {
+                        break; // workers died; nothing more will arrive
+                    }
+                }
+                let pipeline = shared.pipeline.read().expect("stream lock poisoned");
+                let reconfigurations = pipeline.reconfigurations();
+                let stats = pipeline
+                    .detach_session(self.sid)
+                    .expect("session attached until close");
+                Self::solo_report(stats, reconfigurations)
+            }
+        }
+    }
+
+    /// A [`StreamReport`] covering one detached session's traffic:
+    /// `measured` comes from its per-session tallies; pipeline-wide
+    /// accounting (stage specs, utilization, link bytes) is left empty —
+    /// it belongs to the shared pipeline's final report.
+    fn solo_report(stats: SessionStats, reconfigurations: u64) -> StreamReport {
+        let wall_s = if stats.throughput_fps > 0.0 {
+            stats.frames as f64 / stats.throughput_fps
+        } else {
+            0.0
+        };
+        StreamReport {
+            measured: d3_engine::StreamStats {
+                frames: stats.frames as usize,
+                mean_latency_s: stats.mean_latency_s,
+                max_latency_s: stats.max_latency_s,
+                p50_latency_s: stats.p50_latency_s,
+                p95_latency_s: stats.p95_latency_s,
+                p99_latency_s: stats.p99_latency_s,
+                throughput_fps: stats.throughput_fps,
+                utilization: Vec::new(),
+            },
+            predicted: Vec::new(),
+            server_names: Vec::new(),
+            busy_s: Vec::new(),
+            wall_s,
+            submitted: stats.submitted,
+            rejected: stats.rejected,
+            reconfigurations,
+            stage_pools: Vec::new(),
+            link_raw_bytes: 0,
+            link_wire_bytes: 0,
+            max_accuracy_delta: 0.0,
+            sessions: vec![stats],
+        }
+    }
+}
+
+impl Drop for StreamSession {
+    fn drop(&mut self) {
+        // A session dropped without close() still detaches, so its
+        // weighted share frees and its undrained frames are discarded
+        // instead of pinning the shared reorder buffer. When this Arc is
+        // the last one, dropping it closes the pipeline and joins the
+        // stage workers (only the final report is lost).
+        if let Some(shared) = self.shared.take() {
+            if let Ok(pipeline) = shared.pipeline.read() {
+                let _ = pipeline.detach_session(self.sid);
+            }
+        }
     }
 }
 
@@ -514,6 +728,96 @@ mod tests {
         assert_eq!(session.model(), "tiny");
         let report = session.close();
         assert_eq!(report.measured.frames, 1);
+    }
+
+    #[test]
+    fn same_model_sessions_multiplex_onto_one_pipeline() {
+        let mut rt = D3Runtime::new();
+        rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(5))
+            .unwrap()
+            .register("other", zoo::tiny_cnn(16), ModelOptions::new().seed(5))
+            .unwrap();
+        let first = rt.open_stream("tiny", StreamOptions::new()).unwrap();
+        let second = rt
+            .open_stream("tiny", StreamOptions::new().weight(2.0))
+            .unwrap();
+        let foreign = rt.open_stream("other", StreamOptions::new()).unwrap();
+        assert!(first.is_shared_with(&second), "same model shares a pipeline");
+        assert!(!first.is_shared_with(&foreign), "models never share");
+        assert_ne!(first.session_id(), second.session_id());
+        assert_eq!(first.attached_sessions(), 2);
+
+        // Each session sees only its own frames, lossless and in order.
+        let expect_a = rt.serve("tiny", &Tensor::random(3, 16, 16, 21)).unwrap();
+        let expect_b = rt.serve("tiny", &Tensor::random(3, 16, 16, 22)).unwrap();
+        second
+            .submit_blocking(&Tensor::random(3, 16, 16, 22))
+            .unwrap();
+        first
+            .submit_blocking(&Tensor::random(3, 16, 16, 21))
+            .unwrap();
+        let (id_a, got_a) = first.recv().unwrap();
+        let (id_b, got_b) = second.recv().unwrap();
+        assert_eq!((id_a, id_b), (FrameId(0), FrameId(0)));
+        assert_eq!(d3_tensor::max_abs_diff(&got_a, &expect_a), Some(0.0));
+        assert_eq!(d3_tensor::max_abs_diff(&got_b, &expect_b), Some(0.0));
+
+        // Non-last close: a per-session report, pipeline keeps serving.
+        let second_report = second.close();
+        assert_eq!(second_report.measured.frames, 1);
+        assert_eq!(second_report.sessions.len(), 1);
+        assert_eq!(second_report.sessions[0].weight, 2.0);
+        assert_eq!(first.attached_sessions(), 1);
+        first
+            .submit_blocking(&Tensor::random(3, 16, 16, 21))
+            .unwrap();
+        let _ = first.recv().unwrap();
+
+        // Last close: the full aggregate report of the shared pipeline.
+        let report = first.close();
+        assert_eq!(report.measured.frames, 3, "aggregate counts all sessions");
+        assert_eq!(report.sessions.len(), 1, "only still-attached sessions");
+
+        // With every session gone the pipeline closed: the next open
+        // founds a fresh one.
+        let fresh = rt.open_stream("tiny", StreamOptions::new()).unwrap();
+        assert_eq!(fresh.attached_sessions(), 1);
+        let _ = fresh.close();
+        let _ = foreign.close();
+    }
+
+    #[test]
+    fn dropped_session_detaches_from_the_shared_pipeline() {
+        let mut rt = D3Runtime::new();
+        rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new().seed(5))
+            .unwrap();
+        let keeper = rt.open_stream("tiny", StreamOptions::new()).unwrap();
+        let dropped = rt.open_stream("tiny", StreamOptions::new()).unwrap();
+        assert_eq!(keeper.attached_sessions(), 2);
+        drop(dropped);
+        assert_eq!(keeper.attached_sessions(), 1, "drop detaches its session");
+        keeper
+            .submit_blocking(&Tensor::random(3, 16, 16, 4))
+            .unwrap();
+        let _ = keeper.recv().unwrap();
+        let report = keeper.close();
+        assert_eq!(report.measured.frames, 1);
+    }
+
+    #[test]
+    fn joining_with_bad_weight_is_a_typed_error() {
+        let mut rt = D3Runtime::new();
+        rt.register("tiny", zoo::tiny_cnn(16), ModelOptions::new())
+            .unwrap();
+        let anchor = rt.open_stream("tiny", StreamOptions::new()).unwrap();
+        let mut zero = StreamOptions::new();
+        zero.weight = 0.0;
+        let err = rt
+            .open_stream("tiny", zero)
+            .err()
+            .expect("zero weight rejected");
+        assert!(matches!(err, ServeError::Unstreamable { .. }));
+        let _ = anchor.close();
     }
 
     #[test]

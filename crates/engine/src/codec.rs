@@ -35,6 +35,32 @@
 //! encode/decode s/MB) that [`d3_partition::Problem::set_link_codec`]
 //! folds into the link weights, so the optimal split point moves when
 //! compression is on.
+//!
+//! Because every frame names its own encoding, a decoder needs no
+//! out-of-band state — which is exactly why
+//! [`StreamPipeline::set_link_codec`](crate::stream::StreamPipeline::set_link_codec)
+//! takes `&self` and switches codecs without quiescing the shared
+//! pipeline, even with many sessions in flight:
+//!
+//! ```
+//! use d3_engine::codec::{decode, encode, WireCodec};
+//! use d3_tensor::Tensor;
+//!
+//! let t = Tensor::random(2, 4, 4, 7);
+//!
+//! // Lossless is bit-exact and shrinks coherent activation payloads.
+//! let lossless = encode(&t, WireCodec::Lossless);
+//! assert_eq!(lossless.accuracy_delta, 0.0);
+//! let back = decode(lossless.bytes.clone()).expect("self-describing frame");
+//! assert_eq!(back.data(), t.data());
+//!
+//! // A lossy frame from the *same* stream decodes through the same
+//! // entry point: dispatch is on frame content, not connection state.
+//! let lossy = encode(&t, WireCodec::F16);
+//! let approx = decode(lossy.bytes.clone()).expect("tagged with its codec");
+//! assert_eq!(approx.shape(), t.shape());
+//! assert!(lossy.accuracy_delta <= d3_engine::codec::error_bound(WireCodec::F16, &t));
+//! ```
 
 use crate::clock::Clock;
 use crate::wire::{self, WireError};

@@ -148,12 +148,15 @@ impl Deployment {
             let edge_members = assignment.segment(Tier::Edge);
             let runs = find_tileable_runs(g, &edge_members, cfg.min_run_len);
             for run in runs {
+                let Some(&last) = run.last() else {
+                    continue; // degenerate empty run: nothing to tile
+                };
                 let full: Vec<f64> = run
                     .iter()
                     .map(|&id| problem.vertex_time(id, Tier::Edge))
                     .collect();
                 let serial: f64 = full.iter().sum();
-                let out_shape = g.node(*run.last().expect("non-empty run")).shape;
+                let out_shape = g.node(last).shape;
                 let (rows, cols) = clamp_grid(cfg.grid, (out_shape.h, out_shape.w));
                 match VsmPlan::new(g, &run, rows, cols) {
                     Ok(plan) => {

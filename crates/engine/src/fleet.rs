@@ -39,6 +39,30 @@
 //! drains its own mailbox at its next `observe`/`adapt`/`poll_fleet`
 //! call, so a coordinated eviction reaches the victim session even
 //! though the decision happened on another tenant's thread.
+//!
+//! With session multiplexing ([`crate::stream`]), a *tenant* is a
+//! shared pipeline, not an individual session: all sessions of a model
+//! multiplex onto one resident stage-pool set, so the fleet governs
+//! **aggregate** shared-pipeline traffic — its ledger commitments and
+//! evictions apply to the pipeline every attached session rides.
+//!
+//! ```
+//! use d3_engine::{AdaptiveEngine, FleetController, FleetOptions, NoAdapt};
+//! use d3_partition::{HpaOptions, Problem};
+//! use d3_simnet::{NetworkCondition, TierProfiles};
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(d3_model::zoo::tiny_cnn(16));
+//! let problem = Problem::new(g, &TierProfiles::paper_testbed(),
+//!     NetworkCondition::WiFi);
+//! let engine = |p: &Problem| {
+//!     AdaptiveEngine::new(p.clone(), HpaOptions::paper(), Box::new(NoAdapt))
+//! };
+//! let mut fleet = FleetController::new(FleetOptions::default());
+//! fleet.register("cam-hi", 2.0, engine(&problem)); // higher weight wins
+//! fleet.register("cam-lo", 1.0, engine(&problem)); // …evicted first
+//! assert_eq!(fleet.tenant_names(), ["cam-hi", "cam-lo"]);
+//! ```
 
 use crate::adapt::{AdaptiveEngine, ControlUpdate, Decision, TierContention};
 use crate::flow::Mailbox;

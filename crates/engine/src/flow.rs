@@ -6,7 +6,9 @@
 //! whose correctness depends on how concurrent threads interleave: the
 //! per-stage [`Resequencer`] that restores submission order under pooled
 //! workers, the [`Admission`] lock that keeps frame ids dense, the
-//! size-or-deadline [`run_batcher`] loop, and the per-tenant [`Mailbox`]
+//! [`SessionMux`] that lets many sessions share one pipeline under
+//! weighted-fair admission, the size-or-deadline [`run_batcher`] loop,
+//! and the per-tenant [`Mailbox`]
 //! with plan supersession. This module isolates them from the tensor
 //! machinery around them so the loomlite model checker (`cargo test
 //! --features model`) can exhaustively explore their schedules with
@@ -17,12 +19,400 @@
 //! normally, loomlite shims under the `model` feature) and reads time
 //! only through the [`Clock`] seam, which is what makes a model
 //! execution deterministic.
+//!
+//! The [`SessionMux`] is the newest unit — the state machine behind
+//! session multiplexing ([`crate::stream`]'s shared pipelines). It owns
+//! the global dense frame-id counter, each session's dense sequence and
+//! weighted in-flight quota, and each session's in-order outbox; the
+//! pipeline merely calls [`admit`](SessionMux::admit) at the gate,
+//! [`route`](SessionMux::route) on completions and
+//! [`pop`](SessionMux::pop) on receive:
+//!
+//! ```
+//! use d3_engine::flow::SessionMux;
+//! use std::time::Duration;
+//!
+//! let mux = SessionMux::<&str>::new(4, 0);
+//! let a = mux.attach(3.0); // weights 3:1 over capacity 4 → quotas 3 and 1
+//! let b = mux.attach(1.0);
+//! let ok = |_global: u64, _payload: ()| Ok::<(), ()>(());
+//!
+//! // Global ids stay dense across sessions (the wire contract);
+//! // each session's seq is its own dense 0, 1, 2, …
+//! let first = mux.admit(a, Duration::ZERO, (), ok).unwrap();
+//! assert_eq!((first.global, first.seq), (0, 0));
+//! let second = mux.admit(b, Duration::ZERO, (), ok).unwrap();
+//! assert_eq!((second.global, second.seq), (1, 0));
+//!
+//! // A completion routes to the owning session's in-order outbox.
+//! assert!(mux.route(second.global, "b frame 0", Duration::ZERO));
+//! assert_eq!(mux.pop(b), Some((0, "b frame 0")));
+//! assert_eq!(mux.pop(a), None); // a's frame 0 is still in flight
+//! ```
 
 use crate::clock::{Clock, Stamp};
 use crate::sync::{self, Mutex};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Identifies one attached session of a multiplexed stream. Minted by
+/// [`SessionMux::attach`]; dense per mux, never reused within one mux's
+/// lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+/// One successful admission through a [`SessionMux`]: the pipeline-wide
+/// dense id the frame travels under, and the session's own dense
+/// sequence number (what the session sees back on delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Minted {
+    /// Pipeline-wide dense frame id (global submission order).
+    pub global: u64,
+    /// The session's own dense sequence number.
+    pub seq: u64,
+}
+
+/// Why [`SessionMux::admit`] rejected. The untouched payload rides back
+/// in the variant (or inside the send error `E`) so backpressure never
+/// loses a frame — mirroring [`Admission`], a rejected admission burns
+/// neither a global id nor a session sequence number.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MuxAdmitError<P, E> {
+    /// The session was never attached, or has already detached.
+    UnknownSession(P),
+    /// The session is at its weighted-fair in-flight quota. Routing any
+    /// completed frame (even another session's) frees capacity.
+    Throttled(P),
+    /// The shared ingress queue rejected the send (e.g. channel full);
+    /// `E` carries whatever the send handed back.
+    Send(E),
+}
+
+/// Everything one session's lifetime accumulated, snapshot under the mux
+/// lock: the raw material for per-session stats (the stream layer turns
+/// latency samples into percentiles).
+#[derive(Debug, Clone)]
+pub struct SessionTally {
+    /// Which session.
+    pub session: SessionId,
+    /// The session's fair-share weight.
+    pub weight: f64,
+    /// Frames admitted into the pipeline.
+    pub submitted: u64,
+    /// Rejected admission attempts (throttled or queue-full); none of
+    /// them consumed an id, so retries are invisible to ordering.
+    pub rejected: u64,
+    /// Frames the session actually received (popped in order).
+    pub delivered: u64,
+    /// Per-frame delivery latency samples, seconds, in route order.
+    pub latency_s: Vec<f64>,
+    /// When the session's first frame was admitted.
+    pub first_submit: Option<Stamp>,
+    /// When the session's latest frame was routed back.
+    pub last_delivery: Option<Stamp>,
+}
+
+#[derive(Debug)]
+struct RouteEntry {
+    session: u64,
+    seq: u64,
+    submitted_at: Stamp,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    weight: f64,
+    quota: u64,
+    next_seq: u64,
+    next_recv: u64,
+    in_flight: u64,
+    outbox: BTreeMap<u64, T>,
+    submitted: u64,
+    rejected: u64,
+    delivered: u64,
+    latency_s: Vec<f64>,
+    first_submit: Option<Stamp>,
+    last_delivery: Option<Stamp>,
+}
+
+#[derive(Debug)]
+struct MuxState<T> {
+    capacity: u64,
+    next_global: u64,
+    next_session: u64,
+    slots: BTreeMap<u64, Slot<T>>,
+    routes: BTreeMap<u64, RouteEntry>,
+}
+
+/// The session multiplexer: the shared admission gate plus per-session
+/// demultiplexer that lets N sessions ride one resident pipeline.
+///
+/// One lock owns the whole machine — the global dense-id counter (the
+/// [`Admission`] role), the per-session slots, the `global id →
+/// (session, seq)` route map, and the per-session reorder outboxes — so
+/// every transition is atomic under concurrent submitters and receivers:
+///
+/// - [`admit`](Self::admit) mints `(global, seq)` pairs with the send
+///   attempt *inside* the critical section, exactly like [`Admission`]:
+///   ids stay dense because a rejected send burns nothing. On top it
+///   enforces **weighted-fair admission**: session `i` may hold at most
+///   `max(1, floor(capacity · wᵢ / Σw))` frames in flight, so a greedy
+///   session cannot crowd the shared ingress queue, and the `max(1, …)`
+///   floor keeps every session starvation-free.
+/// - [`route`](Self::route) accepts a completed frame *by global id*
+///   from whichever thread pulled it off the shared result channel, and
+///   files it into the owning session's outbox keyed by the session
+///   sequence number. Routing is decoupled from receiving — any session
+///   blocked on admission can route other sessions' completions and
+///   thereby free its own capacity — which is what makes
+///   submit-many-then-drain patterns deadlock-free.
+/// - [`pop`](Self::pop) releases a session's next frame only when its
+///   dense sequence number is the one expected, i.e. the outbox is a
+///   per-session [`Resequencer`] keyed on `(session, seq)`: racing
+///   receivers may route one session's frames out of order, and the
+///   outbox restores submission order per session.
+///
+/// In-flight accounting decrements at **route** time (frame parked in
+/// the outbox), not at pop: a session that admits `quota` frames and
+/// only then starts draining would otherwise deadlock against itself.
+#[derive(Debug)]
+pub struct SessionMux<T> {
+    state: Mutex<MuxState<T>>,
+}
+
+impl<T> SessionMux<T> {
+    /// An empty mux over a shared ingress of `capacity` frames (the
+    /// denominator of the weighted quotas), minting global ids from
+    /// `start`.
+    #[must_use]
+    pub fn new(capacity: usize, start: u64) -> Self {
+        Self {
+            state: Mutex::new(MuxState {
+                capacity: (capacity as u64).max(1),
+                next_global: start,
+                next_session: 0,
+                slots: BTreeMap::new(),
+                routes: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Attaches a new session with fair-share `weight` (> 0, finite)
+    /// and recomputes every session's quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is not a positive finite number.
+    pub fn attach(&self, weight: f64) -> SessionId {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "session weight must be positive and finite, got {weight}"
+        );
+        let mut st = sync::lock(&self.state);
+        let id = st.next_session;
+        st.next_session += 1;
+        st.slots.insert(
+            id,
+            Slot {
+                weight,
+                quota: 1,
+                next_seq: 0,
+                next_recv: 0,
+                in_flight: 0,
+                outbox: BTreeMap::new(),
+                submitted: 0,
+                rejected: 0,
+                delivered: 0,
+                latency_s: Vec::new(),
+                first_submit: None,
+                last_delivery: None,
+            },
+        );
+        Self::recompute_quotas(&mut st);
+        SessionId(id)
+    }
+
+    /// Detaches `sid`, dropping its routes (frames of a detached
+    /// session still in the pipeline are discarded on arrival) and
+    /// returning its final tally. Remaining sessions' quotas grow to
+    /// absorb the freed share.
+    pub fn detach(&self, sid: SessionId) -> Option<SessionTally> {
+        let mut st = sync::lock(&self.state);
+        let slot = st.slots.remove(&sid.0)?;
+        st.routes.retain(|_, entry| entry.session != sid.0);
+        Self::recompute_quotas(&mut st);
+        Some(Self::tally_of(sid, &slot))
+    }
+
+    /// One admission attempt for `sid`: enforces the session's weighted
+    /// quota, then calls `send` with the next **global** id while
+    /// holding the lock. Global id and session sequence are consumed
+    /// only when `send` succeeds, so both stay dense across rejections.
+    ///
+    /// # Errors
+    ///
+    /// [`MuxAdmitError::Throttled`] (payload back) when the session is
+    /// at quota, [`MuxAdmitError::Send`] when the ingress queue
+    /// rejected, [`MuxAdmitError::UnknownSession`] for a detached id.
+    pub fn admit<P, E>(
+        &self,
+        sid: SessionId,
+        now: Stamp,
+        payload: P,
+        send: impl FnOnce(u64, P) -> Result<(), E>,
+    ) -> Result<Minted, MuxAdmitError<P, E>> {
+        let mut st = sync::lock(&self.state);
+        let st = &mut *st;
+        let global = st.next_global;
+        let Some(slot) = st.slots.get_mut(&sid.0) else {
+            return Err(MuxAdmitError::UnknownSession(payload));
+        };
+        if slot.in_flight >= slot.quota {
+            slot.rejected += 1;
+            return Err(MuxAdmitError::Throttled(payload));
+        }
+        if let Err(e) = send(global, payload) {
+            slot.rejected += 1;
+            return Err(MuxAdmitError::Send(e));
+        }
+        let seq = slot.next_seq;
+        slot.next_seq += 1;
+        slot.in_flight += 1;
+        slot.submitted += 1;
+        if slot.first_submit.is_none() {
+            slot.first_submit = Some(now);
+        }
+        st.routes.insert(
+            global,
+            RouteEntry {
+                session: sid.0,
+                seq,
+                submitted_at: now,
+            },
+        );
+        st.next_global = global + 1;
+        Ok(Minted { global, seq })
+    }
+
+    /// Files one completed frame (by its global id) into the owning
+    /// session's outbox, recording its delivery-latency sample and
+    /// freeing one unit of that session's quota. Returns `false` for an
+    /// orphan — an id never admitted here, or whose session detached —
+    /// which the caller must drop.
+    pub fn route(&self, global: u64, item: T, now: Stamp) -> bool {
+        let mut st = sync::lock(&self.state);
+        let st = &mut *st;
+        let Some(entry) = st.routes.remove(&global) else {
+            return false;
+        };
+        let Some(slot) = st.slots.get_mut(&entry.session) else {
+            return false;
+        };
+        slot.in_flight = slot.in_flight.saturating_sub(1);
+        slot.latency_s
+            .push(now.saturating_sub(entry.submitted_at).as_secs_f64());
+        slot.last_delivery = Some(now);
+        slot.outbox.insert(entry.seq, item);
+        true
+    }
+
+    /// Releases `sid`'s next in-order frame, if already routed: the
+    /// per-session resequencing point. Returns the session sequence
+    /// number with the item.
+    pub fn pop(&self, sid: SessionId) -> Option<(u64, T)> {
+        let mut st = sync::lock(&self.state);
+        let slot = st.slots.get_mut(&sid.0)?;
+        let item = slot.outbox.remove(&slot.next_recv)?;
+        let seq = slot.next_recv;
+        slot.next_recv += 1;
+        slot.delivered += 1;
+        Some((seq, item))
+    }
+
+    /// Frames `sid` has admitted but not yet received (in the pipeline
+    /// or parked in its outbox).
+    #[must_use]
+    pub fn pending(&self, sid: SessionId) -> u64 {
+        let st = sync::lock(&self.state);
+        st.slots
+            .get(&sid.0)
+            .map_or(0, |s| s.next_seq - s.next_recv)
+    }
+
+    /// `sid`'s current weighted-fair quota (its in-flight ceiling).
+    #[must_use]
+    pub fn quota(&self, sid: SessionId) -> Option<u64> {
+        sync::lock(&self.state).slots.get(&sid.0).map(|s| s.quota)
+    }
+
+    /// The global id the next successful admission will mint — what a
+    /// respawned pipeline seeds its stage resequencers from.
+    #[must_use]
+    pub fn next_id(&self) -> u64 {
+        sync::lock(&self.state).next_global
+    }
+
+    /// How many sessions are attached.
+    #[must_use]
+    pub fn attached(&self) -> usize {
+        sync::lock(&self.state).slots.len()
+    }
+
+    /// The attached sessions, in attach order.
+    #[must_use]
+    pub fn sessions(&self) -> Vec<SessionId> {
+        sync::lock(&self.state)
+            .slots
+            .keys()
+            .map(|&id| SessionId(id))
+            .collect()
+    }
+
+    /// A snapshot of `sid`'s accounting.
+    #[must_use]
+    pub fn tally(&self, sid: SessionId) -> Option<SessionTally> {
+        let st = sync::lock(&self.state);
+        st.slots.get(&sid.0).map(|s| Self::tally_of(sid, s))
+    }
+
+    /// Snapshots of every attached session, in attach order.
+    #[must_use]
+    pub fn tallies(&self) -> Vec<SessionTally> {
+        let st = sync::lock(&self.state);
+        st.slots
+            .iter()
+            .map(|(&id, s)| Self::tally_of(SessionId(id), s))
+            .collect()
+    }
+
+    fn tally_of(sid: SessionId, slot: &Slot<T>) -> SessionTally {
+        SessionTally {
+            session: sid,
+            weight: slot.weight,
+            submitted: slot.submitted,
+            rejected: slot.rejected,
+            delivered: slot.delivered,
+            latency_s: slot.latency_s.clone(),
+            first_submit: slot.first_submit,
+            last_delivery: slot.last_delivery,
+        }
+    }
+
+    /// `quotaᵢ = max(1, floor(capacity · wᵢ / Σw))`: proportional to
+    /// weight, floored at one frame so no session can be starved.
+    fn recompute_quotas(st: &mut MuxState<T>) {
+        let total: f64 = st.slots.values().map(|s| s.weight).sum();
+        if total <= 0.0 {
+            return;
+        }
+        let capacity = st.capacity;
+        for slot in st.slots.values_mut() {
+            let share = (capacity as f64 * slot.weight / total).floor() as u64;
+            slot.quota = share.max(1);
+        }
+    }
+}
 
 /// The reorder point of a pooled stage: workers complete units
 /// (contiguous id ranges) out of order; this buffer releases them
@@ -557,6 +947,130 @@ mod tests {
         // Terminal: a late reconnect cannot resurrect a failed peer.
         health.on_connected();
         assert!(health.is_failed());
+    }
+
+    #[test]
+    fn mux_mints_dense_global_ids_and_per_session_seqs() {
+        let mux: SessionMux<&str> = SessionMux::new(8, 0);
+        let a = mux.attach(1.0);
+        let b = mux.attach(1.0);
+        let now = Duration::ZERO;
+        let ok = |_: u64, _: ()| Ok::<(), ()>(());
+        let m0 = mux.admit(a, now, (), ok).unwrap();
+        let m1 = mux.admit(b, now, (), ok).unwrap();
+        let m2 = mux.admit(a, now, (), ok).unwrap();
+        assert_eq!((m0.global, m0.seq), (0, 0));
+        assert_eq!((m1.global, m1.seq), (1, 0));
+        assert_eq!((m2.global, m2.seq), (2, 1));
+        assert_eq!(mux.next_id(), 3);
+        // A rejected send burns neither a global id nor a session seq.
+        let err = mux.admit(a, now, (), |_, _| Err::<(), &str>("full"));
+        assert_eq!(err, Err(MuxAdmitError::Send("full")));
+        let m3 = mux.admit(b, now, (), ok).unwrap();
+        assert_eq!((m3.global, m3.seq), (3, 1));
+    }
+
+    #[test]
+    fn mux_enforces_weighted_quotas_with_a_floor_of_one() {
+        let mux: SessionMux<u64> = SessionMux::new(4, 0);
+        let heavy = mux.attach(3.0);
+        let light = mux.attach(1.0);
+        assert_eq!(mux.quota(heavy), Some(3));
+        assert_eq!(mux.quota(light), Some(1));
+        let now = Duration::ZERO;
+        let ok = |_: u64, _: ()| Ok::<(), ()>(());
+        for _ in 0..3 {
+            mux.admit(heavy, now, (), ok).unwrap();
+        }
+        // Heavy is at quota: throttled, payload handed back, id intact.
+        assert!(matches!(
+            mux.admit(heavy, now, (), ok),
+            Err(MuxAdmitError::Throttled(()))
+        ));
+        assert_eq!(mux.next_id(), 3);
+        // The floor keeps light admissible even at a tiny share.
+        let m = mux.admit(light, now, (), ok).unwrap();
+        assert_eq!((m.global, m.seq), (3, 0));
+        // Routing a completed heavy frame frees heavy's quota again.
+        assert!(mux.route(0, 100, now));
+        mux.admit(heavy, now, (), ok).unwrap();
+        // Quota floor: even a 1-capacity mux admits every session once.
+        let tiny: SessionMux<u64> = SessionMux::new(1, 0);
+        let s1 = tiny.attach(1.0);
+        let s2 = tiny.attach(1.0);
+        assert_eq!(tiny.quota(s1), Some(1));
+        assert_eq!(tiny.quota(s2), Some(1));
+    }
+
+    #[test]
+    fn mux_routes_restore_per_session_order() {
+        let mux: SessionMux<&str> = SessionMux::new(8, 0);
+        let a = mux.attach(1.0);
+        let b = mux.attach(1.0);
+        let now = Duration::ZERO;
+        let ok = |_: u64, _: ()| Ok::<(), ()>(());
+        mux.admit(a, now, (), ok).unwrap(); // global 0 = a/0
+        mux.admit(b, now, (), ok).unwrap(); // global 1 = b/0
+        mux.admit(a, now, (), ok).unwrap(); // global 2 = a/1
+        // Completions arrive scrambled, as racing receivers would
+        // deliver them.
+        assert!(mux.route(2, "a1", now));
+        assert!(mux.route(1, "b0", now));
+        // a's outbox holds seq 1 but must wait for seq 0.
+        assert_eq!(mux.pop(a), None);
+        assert_eq!(mux.pop(b), Some((0, "b0")));
+        assert!(mux.route(0, "a0", now));
+        assert_eq!(mux.pop(a), Some((0, "a0")));
+        assert_eq!(mux.pop(a), Some((1, "a1")));
+        assert_eq!(mux.pending(a), 0);
+        assert_eq!(mux.pending(b), 0);
+    }
+
+    #[test]
+    fn mux_detach_orphans_routes_and_frees_share() {
+        let mux: SessionMux<u64> = SessionMux::new(4, 0);
+        let a = mux.attach(1.0);
+        let b = mux.attach(1.0);
+        assert_eq!(mux.quota(b), Some(2));
+        let now = Duration::ZERO;
+        mux.admit(a, now, (), |_, _| Ok::<(), ()>(())).unwrap();
+        let tally = mux.detach(a).expect("attached");
+        assert_eq!(tally.submitted, 1);
+        assert_eq!(tally.delivered, 0);
+        // The in-pipeline frame of the detached session is dropped on
+        // arrival, and b absorbs the freed share.
+        assert!(!mux.route(0, 9, now));
+        assert_eq!(mux.quota(b), Some(4));
+        assert_eq!(mux.attached(), 1);
+        assert_eq!(mux.sessions(), [b]);
+        assert!(mux.detach(a).is_none());
+    }
+
+    #[test]
+    fn mux_tallies_account_for_latency_and_rejections() {
+        let mux: SessionMux<u64> = SessionMux::new(2, 0);
+        let a = mux.attach(1.0);
+        let ms = Duration::from_millis;
+        let ok = |_: u64, _: ()| Ok::<(), ()>(());
+        mux.admit(a, ms(0), (), ok).unwrap();
+        mux.admit(a, ms(1), (), ok).unwrap();
+        assert!(matches!(
+            mux.admit(a, ms(2), (), ok),
+            Err(MuxAdmitError::Throttled(()))
+        ));
+        assert!(mux.route(0, 10, ms(5)));
+        assert!(mux.route(1, 11, ms(9)));
+        assert_eq!(mux.pop(a), Some((0, 10)));
+        let tally = mux.tally(a).expect("attached");
+        assert_eq!(tally.submitted, 2);
+        assert_eq!(tally.rejected, 1);
+        assert_eq!(tally.delivered, 1);
+        assert_eq!(tally.latency_s.len(), 2);
+        assert!((tally.latency_s[0] - 0.005).abs() < 1e-9);
+        assert!((tally.latency_s[1] - 0.008).abs() < 1e-9);
+        assert_eq!(tally.first_submit, Some(ms(0)));
+        assert_eq!(tally.last_delivery, Some(ms(9)));
+        assert_eq!(mux.tallies().len(), 1);
     }
 
     #[test]

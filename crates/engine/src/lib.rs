@@ -42,6 +42,11 @@
 //!   loomlite checker under the `model` feature — with every timestamp
 //!   read through the [`clock`] seam.
 //!
+//! `ARCHITECTURE.md` at the workspace root maps how these modules
+//! stack into the five layers — partition → deploy → stream/flow →
+//! adapt/fleet → codec/link — traces a frame's life through the shared
+//! pipeline, and indexes which test suite pins which invariant.
+//!
 //! ## Example
 //!
 //! ```
@@ -85,6 +90,7 @@ pub use codec::{Codec, Encoded, WireCodec};
 pub use deploy::{deploy_strategy, Deployment, Strategy, VsmConfig};
 pub use distributed::{run_distributed, DistributedError};
 pub use fleet::{FleetController, FleetOptions, FleetUpdate, ResourceLedger, TenantCommit};
+pub use flow::SessionId;
 pub use link::{Link, LinkAddr, LinkError, LinkListener, RemoteOptions, SocketLink, StageHost};
 pub use pipeline::{
     bottleneck_s, render_gantt, simulate_stream, simulate_stream_trace, FrameTrace, StageSpec,
@@ -92,8 +98,8 @@ pub use pipeline::{
 };
 pub use stream::{
     BatchOptions, FrameId, InjectedDelay, LinkShaping, LinkTraffic, PlanSwap, PoolOptions,
-    PoolResize, PoolSize, ProbeOptions, StagePoolStats, StreamBuildError, StreamOptions,
-    StreamPipeline, StreamRecvError, StreamReport, SubmitError,
+    PoolResize, PoolSize, ProbeOptions, SessionStats, StagePoolStats, StreamBuildError,
+    StreamOptions, StreamPipeline, StreamRecvError, StreamReport, SubmitError,
 };
 pub use telemetry::{
     predicted_observations, profile_observations, Observation, TelemetrySnapshot, TelemetryTap,

@@ -26,6 +26,32 @@
 //! no frames. The retransmit/ack and peer-health state machines
 //! themselves live in [`crate::flow`], where the loomlite model checker
 //! can exhaust their schedules.
+//!
+//! Ownership: each link endpoint is owned by exactly one thread — a
+//! stage proxy inside the pipeline, or a stage server's accept loop —
+//! and [`Link`] is `Send` but deliberately not `Sync`. Multiplexed
+//! sessions ([`crate::stream`]) therefore share links *through* the
+//! shared pipeline's stage proxies, never directly; frames on the wire
+//! carry the pipeline's global dense ids, so the remote side needs no
+//! notion of sessions at all.
+//!
+//! ```
+//! use d3_engine::link::{channel_pair, Hello, Link, LinkMsg};
+//! use std::time::Duration;
+//!
+//! let (mut client, mut server) = channel_pair(4);
+//! client.send(&LinkMsg::Hello(Hello {
+//!     model: "tiny_cnn:16".into(),
+//!     seed: 7,
+//!     members: vec![0, 1],
+//!     needed: vec![0],
+//!     forward: vec![1],
+//!     output_node: 1,
+//!     is_last: true,
+//! })).unwrap();
+//! let msg = server.recv_timeout(Duration::from_millis(10)).unwrap();
+//! assert!(matches!(msg, Some(LinkMsg::Hello(h)) if h.seed == 7));
+//! ```
 
 use crate::codec::{self, WireCodec};
 use crate::wire::{self, WireError};

@@ -22,7 +22,11 @@
 //!   three-stage shape as real worker threads over real tensors, and its
 //!   closing [`crate::stream::StreamReport`] carries a [`StreamStats`]
 //!   with identical field semantics and the identical interleaved
-//!   `[stage, link, stage, link, stage]` utilization layout.
+//!   `[stage, link, stage, link, stage]` utilization layout. The
+//!   simulator models the pipeline's *aggregate* frame flow — when many
+//!   sessions multiplex onto one pipeline ([`crate::stream`]), the
+//!   simulated stream corresponds to their merged arrival process, the
+//!   same traffic the shared stage servers actually serve.
 //!
 //! Because both sides speak the same types, predicted-vs-measured
 //! comparison is a field-by-field diff: simulate the deployment's specs

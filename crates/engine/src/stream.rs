@@ -63,12 +63,75 @@
 //!   account **on-wire** (post-codec) bytes, and the closing
 //!   [`StreamReport`] carries the raw/wire byte ledger plus the worst
 //!   lossy-codec accuracy delta.
+//!
+//! ## Session multiplexing
+//!
+//! One pipeline serves **many sessions at once** — the resident
+//! stage-pool set is shared, so thread count stays O(pool workers), not
+//! O(sessions). Construction creates a *root* session
+//! ([`StreamPipeline::root_session`], fair-share weight from
+//! [`StreamOptions::weight`]); [`StreamPipeline::attach_session`] adds
+//! more without spawning anything. All plain frame methods
+//! ([`submit`](StreamPipeline::submit), [`recv`](StreamPipeline::recv),
+//! …) are the root session's view; the `*_as` variants
+//! ([`submit_as`](StreamPipeline::submit_as),
+//! [`recv_as`](StreamPipeline::recv_as), …) take an explicit
+//! [`SessionId`]. The multiplexing contract, enforced by the
+//! model-checked [`flow::SessionMux`]:
+//!
+//! - **Per-session order, bit-identical.** Each session receives
+//!   exactly its own frames, in its own submission order (its
+//!   [`FrameId`]s are a dense `0, 1, 2, …`), each bit-identical to solo
+//!   inference — regardless of how the shared stages interleave
+//!   sessions, and across plan swaps, pool resizes and codec switches.
+//!   A reconfiguration quiesces the shared pipeline **exactly once**
+//!   while every attached session stays lossless.
+//! - **Weighted-fair admission.** The shared gate grants session *i* an
+//!   in-flight quota `max(1, floor(capacity · wᵢ / Σw))`; saturating
+//!   your own share throttles only you
+//!   ([`SubmitError::Backpressure`]), and the floor of one keeps every
+//!   session admissible — starvation-free by construction.
+//! - **Cross-session batching.** The size-or-deadline batcher
+//!   ([`BatchOptions`]) coalesces over the shared ingress stream, so
+//!   co-resident trickles fill batches together.
+//! - **Per-session accounting.** [`StreamPipeline::session_stats`]
+//!   reports a live [`SessionStats`] (frames, delivery-latency
+//!   p50/p99, throughput, `drops` — always 0); the closing
+//!   [`StreamReport::sessions`] carries one per still-attached session
+//!   next to the aggregate.
+//!
+//! ```
+//! use d3_engine::stream::{StreamOptions, StreamPipeline};
+//! use d3_engine::Deployment;
+//! use d3_partition::{EvenSplit, Partitioner, Problem};
+//! use d3_simnet::{NetworkCondition, TierProfiles};
+//! use d3_tensor::Tensor;
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(d3_model::zoo::tiny_cnn(16));
+//! let problem = Problem::new(g.clone(), &TierProfiles::paper_testbed(),
+//!     NetworkCondition::WiFi);
+//! let plan = EvenSplit.partition(&problem).unwrap();
+//! let deployment = Deployment::new(&problem, plan, None);
+//! let pipeline = StreamPipeline::new(
+//!     g, 7, &deployment, None, StreamOptions::new().weight(3.0)).unwrap();
+//!
+//! // A second session shares the same worker threads, at 1/4 of the
+//! // admission capacity (weights 3:1).
+//! let light = pipeline.attach_session(1.0);
+//! pipeline.submit_blocking_as(light, &Tensor::random(3, 16, 16, 1)).unwrap();
+//! pipeline.submit_blocking(&Tensor::random(3, 16, 16, 2)).unwrap(); // root
+//! let (id, _out) = pipeline.recv_as(light).unwrap();
+//! assert_eq!(id.0, 0); // the light session's own dense sequence
+//! let report = pipeline.close();
+//! assert_eq!(report.sessions.len(), 2);
+//! ```
 
 use crate::adapt::PlanUpdate;
 use crate::clock::{Clock, Stamp};
 use crate::codec::{self, WireCodec};
 use crate::deploy::{Deployment, VsmConfig};
-use crate::flow::{self, Coalesce};
+use crate::flow::{self, Coalesce, MuxAdmitError, SessionId};
 use crate::link::{self, Link, LinkMsg, RemoteOptions, SocketLink};
 use crate::pipeline::{percentile, simulate_stream, StageSpec, StreamStats};
 use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -93,10 +156,21 @@ use std::time::Duration;
 /// once it fills.
 const TELEMETRY_DEPTH: usize = 64;
 
-/// Identifier of one admitted frame: dense and increasing within a
-/// pipeline (0, 1, 2, …; rejected submissions do **not** consume ids —
-/// the per-stage resequencers rely on contiguity to restore submission
-/// order under pooled workers).
+/// How long one blocking-recv step waits on the shared result queue
+/// before re-checking the session's outbox. Receivers park on the
+/// channel, so a completion wakes them immediately; the slice only
+/// bounds how long a receiver can miss a frame that a *concurrent*
+/// receiver routed into its outbox while it was parked.
+const RECV_SLICE: Duration = Duration::from_millis(1);
+
+/// Identifier of one admitted frame, as its submitting session sees it:
+/// dense and increasing per session (0, 1, 2, …; rejected submissions
+/// do **not** consume ids). Inside the pipeline frames travel under a
+/// pipeline-wide dense global id minted at the shared admission gate
+/// ([`flow::SessionMux`]) — the per-stage resequencers rely on that
+/// global contiguity to restore submission order under pooled workers,
+/// and the mux maps completions back to `(session, seq)` on delivery.
+/// With a single (root) session the two id spaces coincide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameId(pub u64);
 
@@ -450,6 +524,12 @@ pub struct StreamOptions {
     /// the deadline (see [`StreamPipeline::failed_remote`]). The device
     /// tier owns the input and always runs locally.
     pub remote: [Option<crate::link::RemoteOptions>; 2],
+    /// Fair-share weight of the pipeline's **root session** (default
+    /// 1.0). Every pipeline is born with one attached session; more
+    /// attach via [`StreamPipeline::attach_session`], and each session
+    /// may hold at most `max(1, floor(capacity · w / Σw))` frames in
+    /// flight — weighted-fair admission with a starvation-free floor.
+    pub weight: f64,
 }
 
 impl Default for StreamOptions {
@@ -464,6 +544,7 @@ impl Default for StreamOptions {
             probe: None,
             codec: [WireCodec::Raw; 2],
             remote: [None, None],
+            weight: 1.0,
         }
     }
 }
@@ -583,6 +664,22 @@ impl StreamOptions {
         self.remote[tier.rank() - 1] = Some(options);
         self
     }
+
+    /// Sets the root session's fair-share weight (see
+    /// [`StreamOptions::weight`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is not a positive finite number.
+    #[must_use]
+    pub fn weight(mut self, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "session weight must be positive and finite"
+        );
+        self.weight = weight;
+        self
+    }
 }
 
 /// Why a deployment cannot run as a streaming pipeline.
@@ -620,6 +717,9 @@ pub enum StreamBuildError {
     /// [`BatchOptions::max_frames`] was set to zero (the
     /// [`frames`](BatchOptions::frames) builder rejects this earlier).
     ZeroBatch,
+    /// [`StreamOptions::weight`] was not a positive finite number (the
+    /// [`weight`](StreamOptions::weight) builder rejects this earlier).
+    ZeroWeight,
 }
 
 impl std::fmt::Display for StreamBuildError {
@@ -642,6 +742,9 @@ impl std::fmt::Display for StreamBuildError {
             StreamBuildError::ZeroCapacity => write!(f, "queue capacity must be positive"),
             StreamBuildError::ZeroPool => write!(f, "worker pool must be positive"),
             StreamBuildError::ZeroBatch => write!(f, "batch size must be positive"),
+            StreamBuildError::ZeroWeight => {
+                write!(f, "session weight must be positive and finite")
+            }
         }
     }
 }
@@ -1850,6 +1953,79 @@ pub struct StagePoolStats {
     pub resize_events: u64,
 }
 
+/// One session's view of a shared pipeline: its own frame counts and
+/// latency percentiles, computed from the delivery-latency samples the
+/// [`flow::SessionMux`] records when each frame is routed back.
+///
+/// Latency here is *delivery* latency — admission to arrival at the
+/// session's reorder outbox — so it includes time spent queued behind
+/// other sessions' frames on the shared stages; that is the number a
+/// per-session SLO cares about.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// Which session.
+    pub session: SessionId,
+    /// The session's fair-share weight.
+    pub weight: f64,
+    /// Frames the session received (in submission order).
+    pub frames: u64,
+    /// Frames the session admitted.
+    pub submitted: u64,
+    /// Rejected admission *attempts* (weighted-quota throttling or a
+    /// full ingress queue). Blocking submits retry, so under saturation
+    /// this exceeds the caller-visible rejection count; none of these
+    /// lost a frame.
+    pub rejected: u64,
+    /// Frames lost. Always 0: the shared pipeline is lossless per
+    /// session — every admitted frame is delivered, bit-identical and
+    /// in submission order, across plan swaps and pool resizes.
+    pub drops: u64,
+    /// Median delivery latency, seconds.
+    pub p50_latency_s: f64,
+    /// 95th-percentile delivery latency, seconds.
+    pub p95_latency_s: f64,
+    /// 99th-percentile delivery latency, seconds.
+    pub p99_latency_s: f64,
+    /// Worst delivery latency, seconds.
+    pub max_latency_s: f64,
+    /// Mean delivery latency, seconds.
+    pub mean_latency_s: f64,
+    /// Delivered frames per second over the session's active window
+    /// (first admission to last delivery).
+    pub throughput_fps: f64,
+}
+
+impl SessionStats {
+    pub(crate) fn from_tally(tally: flow::SessionTally) -> Self {
+        let mut latencies = tally.latency_s;
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let wall = match (tally.first_submit, tally.last_delivery) {
+            (Some(first), Some(last)) => last.saturating_sub(first).as_secs_f64(),
+            _ => 0.0,
+        }
+        .max(f64::MIN_POSITIVE);
+        let routed = latencies.len();
+        Self {
+            session: tally.session,
+            weight: tally.weight,
+            frames: tally.delivered,
+            submitted: tally.submitted,
+            rejected: tally.rejected,
+            drops: 0,
+            p50_latency_s: percentile(&latencies, 0.50),
+            p95_latency_s: percentile(&latencies, 0.95),
+            p99_latency_s: percentile(&latencies, 0.99),
+            max_latency_s: latencies.last().copied().unwrap_or(0.0),
+            mean_latency_s: if routed == 0 {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / routed as f64
+            },
+            throughput_fps: routed as f64 / wall,
+        }
+    }
+}
+
 /// Final report of a closed streaming session.
 #[derive(Debug, Clone)]
 pub struct StreamReport {
@@ -1891,6 +2067,10 @@ pub struct StreamReport {
     /// session (max-abs dequantization error; 0.0 while only raw or
     /// lossless codecs ran).
     pub max_accuracy_delta: f64,
+    /// Per-session views of the shared pipeline, in attach order: every
+    /// session still attached at close. `measured` is the aggregate
+    /// across all of them.
+    pub sessions: Vec<SessionStats>,
 }
 
 impl StreamReport {
@@ -2023,11 +2203,15 @@ pub struct StreamPipeline {
     /// Admission instant of the first frame — the wall-clock anchor for
     /// throughput/utilization, so pre-stream idle time is not billed.
     first_submit: Mutex<Option<Stamp>>,
-    /// Next frame id, guarded by a lock (not an atomic) so ids stay
-    /// *dense*: an id is consumed only when its frame is actually
-    /// admitted, which is what lets the resequencers equate contiguous
-    /// ids with submission order (see [`flow::Admission`]).
-    admission: flow::Admission,
+    /// The session multiplexer: the shared admission gate (dense global
+    /// ids, minted only when a frame actually enters — see
+    /// [`flow::SessionMux`]) plus the per-session route map and reorder
+    /// outboxes that fan completed frames back out to their sessions.
+    mux: flow::SessionMux<Tensor>,
+    /// The pipeline's built-in session (attached at construction with
+    /// [`StreamOptions::weight`]); the non-`_as` submit/recv methods
+    /// act on it.
+    root: SessionId,
     submitted: AtomicU64,
     rejected: AtomicU64,
     delivered: AtomicU64,
@@ -2090,6 +2274,9 @@ impl StreamPipeline {
         if options.batching.max_frames == 0 {
             return Err(StreamBuildError::ZeroBatch);
         }
+        if !(options.weight.is_finite() && options.weight > 0.0) {
+            return Err(StreamBuildError::ZeroWeight);
+        }
         let pool = options.pool.resolve()?;
         let outputs = graph.outputs();
         if outputs.len() != 1 {
@@ -2150,6 +2337,8 @@ impl StreamPipeline {
         );
         let shape = graph.input_shape();
         let started = clock.now();
+        let mux = flow::SessionMux::new(options.capacity, 0);
+        let root = mux.attach(options.weight);
         Ok(Self {
             input_node: graph.input(),
             input_shape: (shape.c, shape.h, shape.w),
@@ -2187,7 +2376,8 @@ impl StreamPipeline {
             pool_history: vec![(started, pool)],
             resize_events: [0; 3],
             first_submit: Mutex::new(None),
-            admission: flow::Admission::new(0),
+            mux,
+            root,
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
@@ -2207,54 +2397,96 @@ impl StreamPipeline {
         Ok(vec![(self.input_node, wire::encode(input))])
     }
 
-    /// One admission attempt: mints the next dense id under the
-    /// admission lock and `try_send`s — the lock is held only across
-    /// this non-blocking critical section, never across a blocking
-    /// wait, so `submit` stays non-blocking no matter what concurrent
-    /// submitters do. Ids are consumed only on success (rejections leave
-    /// them dense); on a full queue the payload is handed back for a
-    /// retry.
-    fn try_admit(&self, payload: Vec<(NodeId, Bytes)>) -> Result<FrameId, AdmitError> {
+    /// One admission attempt for `sid`: the mux enforces the session's
+    /// weighted quota, then mints the next dense global id with the
+    /// `try_send` inside the critical section — the lock is held only
+    /// across this non-blocking step, never across a blocking wait, so
+    /// `submit` stays non-blocking no matter what concurrent submitters
+    /// do. Ids (global and per-session) are consumed only on success;
+    /// on a full queue or a quota throttle the payload is handed back
+    /// for a retry.
+    fn try_admit_as(
+        &self,
+        sid: SessionId,
+        payload: Vec<(NodeId, Bytes)>,
+    ) -> Result<FrameId, AdmitError> {
         let Some(tx) = self.tx_in.as_ref() else {
             return Err(AdmitError::Closed);
         };
         let admitted_at = self.clock.now();
-        let id = self.admission.admit(|id| {
-            match tx.try_send(BatchMsg {
+        let minted = self.mux.admit(sid, admitted_at, payload, |id, payload| {
+            tx.try_send(BatchMsg {
                 frames: vec![Frame {
                     id,
                     submitted_at: admitted_at,
                     payload,
                 }],
                 stamp: None,
-            }) {
-                Ok(()) => Ok(()),
-                Err(TrySendError::Full(mut msg)) => Err(AdmitError::Full(match msg.frames.pop() {
+            })
+        });
+        match minted {
+            Ok(minted) => {
+                // The id increment inside `admit` is submit's
+                // linearization point (see pending()); it deliberately
+                // happens only for frames that actually entered the
+                // pipeline, so the in-flight accounting can never
+                // over-claim and strand a recv().
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                self.record_first_submit(admitted_at);
+                Ok(FrameId(minted.seq))
+            }
+            Err(MuxAdmitError::Throttled(payload)) => Err(AdmitError::Full(payload)),
+            Err(MuxAdmitError::UnknownSession(_)) => Err(AdmitError::Closed),
+            Err(MuxAdmitError::Send(TrySendError::Full(mut msg))) => {
+                Err(AdmitError::Full(match msg.frames.pop() {
                     Some(frame) => frame.payload,
                     None => Vec::new(),
-                })),
-                Err(TrySendError::Disconnected(_)) => Err(AdmitError::Closed),
+                }))
             }
-        })?;
-        // The id increment inside `admit` is submit's linearization
-        // point (see pending()); it deliberately happens only for frames
-        // that actually entered the pipeline, so the in-flight
-        // accounting can never over-claim and strand a recv().
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.record_first_submit(admitted_at);
-        Ok(FrameId(id))
+            Err(MuxAdmitError::Send(TrySendError::Disconnected(_))) => Err(AdmitError::Closed),
+        }
     }
 
-    /// Admits one frame without blocking.
+    /// Routes every frame that has already completed — swap leftovers in
+    /// the reorder buffer first, then the live result queue — into its
+    /// session's outbox *without* delivering anything. Any thread may
+    /// pump: it frees quota for throttled submitters and keeps the
+    /// bounded result queue draining even when the completing frames
+    /// belong to other sessions.
+    fn pump_routes(&self) {
+        loop {
+            let frame = sync::lock(&self.drained)
+                .pop_front()
+                .or_else(|| self.rx_out.try_recv().ok());
+            let Some((id, tensor)) = frame else {
+                return;
+            };
+            self.mux.route(id.0, tensor, self.clock.now());
+        }
+    }
+
+    /// Admits one frame on the root session without blocking.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Backpressure`] when the ingress queue is full,
+    /// [`SubmitError::Backpressure`] when the ingress queue is full or
+    /// the session is at its weighted quota,
     /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor, or
     /// [`SubmitError::Closed`] when the ingress stage is gone.
     pub fn submit(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
+        self.submit_as(self.root, input)
+    }
+
+    /// Admits one frame on session `sid` without blocking (see
+    /// [`submit`](Self::submit)).
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit); additionally
+    /// [`SubmitError::Closed`] for a detached session.
+    pub fn submit_as(&self, sid: SessionId, input: &Tensor) -> Result<FrameId, SubmitError> {
         let payload = self.encode_payload(input)?;
-        match self.try_admit(payload) {
+        match self.try_admit_as(sid, payload) {
             Ok(id) => Ok(id),
             Err(AdmitError::Full(_)) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -2264,24 +2496,44 @@ impl StreamPipeline {
         }
     }
 
-    /// Admits one frame, waiting (polling with capped backoff) while the
-    /// ingress queue is full. The wait never holds the admission lock,
-    /// so concurrent [`submit`](Self::submit) callers keep getting
-    /// immediate backpressure verdicts instead of queueing behind this
-    /// call.
+    /// Admits one frame on the root session, waiting (polling with
+    /// capped backoff) while the ingress queue is full or the session is
+    /// at quota. The wait never holds the admission lock, so concurrent
+    /// [`submit`](Self::submit) callers keep getting immediate
+    /// backpressure verdicts instead of queueing behind this call.
     ///
     /// # Errors
     ///
     /// [`SubmitError::ShapeMismatch`] for a wrongly-shaped tensor, or
     /// [`SubmitError::Closed`] when the ingress stage is gone.
     pub fn submit_blocking(&self, input: &Tensor) -> Result<FrameId, SubmitError> {
+        self.submit_blocking_as(self.root, input)
+    }
+
+    /// Admits one frame on session `sid`, waiting while the ingress
+    /// queue is full or the session is at quota. While waiting it routes
+    /// already-completed frames into their sessions' outboxes
+    /// ([`pump_routes`](Self::pump_routes)), so a session that submits
+    /// more than its quota before draining cannot deadlock against
+    /// itself.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit_blocking`](Self::submit_blocking); additionally
+    /// [`SubmitError::Closed`] for a detached session.
+    pub fn submit_blocking_as(
+        &self,
+        sid: SessionId,
+        input: &Tensor,
+    ) -> Result<FrameId, SubmitError> {
         let mut payload = self.encode_payload(input)?;
         let mut wait = Duration::from_micros(50);
         loop {
-            match self.try_admit(payload) {
+            match self.try_admit_as(sid, payload) {
                 Ok(id) => return Ok(id),
                 Err(AdmitError::Full(returned)) => {
                     payload = returned;
+                    self.pump_routes();
                     // xtask:allow(thread-sleep): admission backoff — a
                     // deliberate bounded wall-clock wait for queue space,
                     // not a synchronization hack.
@@ -2300,8 +2552,8 @@ impl StreamPipeline {
         }
     }
 
-    /// Waits for the next completed frame, in submission order (frames
-    /// drained at a plan swap's boundary come first).
+    /// Waits for the root session's next completed frame, in submission
+    /// order (frames drained at a plan swap's boundary come first).
     ///
     /// # Errors
     ///
@@ -2310,35 +2562,106 @@ impl StreamPipeline {
     /// [`StreamRecvError::WorkerDied`] when a stage worker stopped with
     /// frames still in flight.
     pub fn recv(&self) -> Result<(FrameId, Tensor), StreamRecvError> {
-        if let Some(frame) = sync::lock(&self.drained).pop_front() {
-            self.delivered.fetch_add(1, Ordering::Relaxed);
-            return Ok(frame);
+        self.recv_as(self.root)
+    }
+
+    /// Waits for session `sid`'s next completed frame, in the session's
+    /// own submission order (the returned [`FrameId`] is the session's
+    /// dense sequence number). Any receiver routes whatever completions
+    /// it pulls off the shared result queue — including other sessions'
+    /// — into the owning outboxes, so concurrent receivers make
+    /// progress for each other.
+    ///
+    /// # Errors
+    ///
+    /// As [`recv`](Self::recv), scoped to this session's frames.
+    pub fn recv_as(&self, sid: SessionId) -> Result<(FrameId, Tensor), StreamRecvError> {
+        loop {
+            if let Some(frame) = self.recv_step_as(sid, RECV_SLICE)? {
+                return Ok(frame);
+            }
         }
-        if self.pending() == 0 {
+    }
+
+    /// One bounded step of [`recv_as`](Self::recv_as): pops the
+    /// session's next in-order frame if already routed, otherwise pulls
+    /// at most one completion (waiting up to `wait`) and routes it.
+    /// `Ok(None)` means "nothing yet — call again"; the session layer
+    /// uses this to wait in short slices without pinning the shared
+    /// pipeline lock across a blocking call.
+    ///
+    /// # Errors
+    ///
+    /// As [`recv_as`](Self::recv_as).
+    pub fn recv_step_as(
+        &self,
+        sid: SessionId,
+        wait: Duration,
+    ) -> Result<Option<(FrameId, Tensor)>, StreamRecvError> {
+        if let Some((seq, tensor)) = self.mux.pop(sid) {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some((FrameId(seq), tensor)));
+        }
+        if self.mux.pending(sid) == 0 {
             return Err(StreamRecvError::NoFramesInFlight);
         }
-        match self.rx_out.recv() {
-            Ok(frame) => {
-                self.delivered.fetch_add(1, Ordering::Relaxed);
-                Ok(frame)
+        // Pull one completion: swap leftovers in the reorder buffer
+        // first (they are older than anything still in the queue), then
+        // the live result queue.
+        let pulled = sync::lock(&self.drained).pop_front();
+        if let Some((id, tensor)) = pulled {
+            self.mux.route(id.0, tensor, self.clock.now());
+        } else {
+            match self.rx_out.recv_timeout(wait) {
+                Ok((id, tensor)) => {
+                    self.mux.route(id.0, tensor, self.clock.now());
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => return Ok(None),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    // A concurrent receiver may have routed our frame
+                    // while we raced the dying channel; only a genuinely
+                    // empty outbox means the frame can never arrive.
+                    if let Some((seq, tensor)) = self.mux.pop(sid) {
+                        self.delivered.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Some((FrameId(seq), tensor)));
+                    }
+                    if sync::lock(&self.drained).is_empty() {
+                        return Err(StreamRecvError::WorkerDied);
+                    }
+                    return Ok(None);
+                }
             }
-            Err(_) => Err(StreamRecvError::WorkerDied),
         }
+        if let Some((seq, tensor)) = self.mux.pop(sid) {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some((FrameId(seq), tensor)));
+        }
+        Ok(None)
     }
 
-    /// Returns the next completed frame if one is ready.
+    /// Returns the root session's next completed frame if one is ready.
     #[must_use]
     pub fn try_recv(&self) -> Option<(FrameId, Tensor)> {
-        if let Some(frame) = sync::lock(&self.drained).pop_front() {
-            self.delivered.fetch_add(1, Ordering::Relaxed);
-            return Some(frame);
-        }
-        let frame = self.rx_out.try_recv().ok()?;
-        self.delivered.fetch_add(1, Ordering::Relaxed);
-        Some(frame)
+        self.try_recv_as(self.root)
     }
 
-    /// Frames admitted but not yet received by the caller.
+    /// Returns session `sid`'s next completed frame if one is ready,
+    /// routing any other completions encountered along the way.
+    #[must_use]
+    pub fn try_recv_as(&self, sid: SessionId) -> Option<(FrameId, Tensor)> {
+        loop {
+            if let Some((seq, tensor)) = self.mux.pop(sid) {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                return Some((FrameId(seq), tensor));
+            }
+            let (id, tensor) = sync::lock(&self.drained)
+                .pop_front()
+                .or_else(|| self.rx_out.try_recv().ok())?;
+            self.mux.route(id.0, tensor, self.clock.now());
+        }
+    }
+
+    /// Frames admitted but not yet received, across every session.
     ///
     /// Saturating: a very fast pipeline can deliver a frame to a
     /// concurrently draining thread before the submitting thread's
@@ -2352,6 +2675,64 @@ impl StreamPipeline {
         self.submitted
             .load(Ordering::Relaxed)
             .saturating_sub(self.delivered.load(Ordering::Relaxed))
+    }
+
+    /// Frames session `sid` has admitted but not yet received.
+    #[must_use]
+    pub fn pending_as(&self, sid: SessionId) -> u64 {
+        self.mux.pending(sid)
+    }
+
+    /// The pipeline's built-in session (the one the non-`_as` methods
+    /// act on).
+    #[must_use]
+    pub fn root_session(&self) -> SessionId {
+        self.root
+    }
+
+    /// Attaches another session with fair-share `weight`, sharing this
+    /// pipeline's resident stage pools: no new worker threads, and every
+    /// session's quota is recomputed so the shared ingress splits
+    /// `weight`-proportionally (each keeps an in-flight floor of one
+    /// frame, so none can be starved).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is not a positive finite number.
+    pub fn attach_session(&self, weight: f64) -> SessionId {
+        self.mux.attach(weight)
+    }
+
+    /// Detaches `sid`, returning its final per-session statistics.
+    /// Frames the session left in flight are discarded on arrival;
+    /// detach after draining ([`pending_as`](Self::pending_as) == 0) to
+    /// stay lossless. Detaching the root session is allowed — the
+    /// non-`_as` methods then report `Closed`/`NoFramesInFlight`.
+    pub fn detach_session(&self, sid: SessionId) -> Option<SessionStats> {
+        self.mux.detach(sid).map(SessionStats::from_tally)
+    }
+
+    /// Live per-session statistics for `sid`, when attached.
+    #[must_use]
+    pub fn session_stats(&self, sid: SessionId) -> Option<SessionStats> {
+        self.mux.tally(sid).map(SessionStats::from_tally)
+    }
+
+    /// The attached sessions, in attach order.
+    #[must_use]
+    pub fn sessions(&self) -> Vec<SessionId> {
+        self.mux.sessions()
+    }
+
+    /// Resident threads this pipeline owns: stage workers plus batcher,
+    /// resequencer and prober helpers. Sessions do not appear here —
+    /// attaching more of them never spawns a thread, which is the
+    /// O(pool)-not-O(sessions) property the multiplexer exists for.
+    #[must_use]
+    pub fn resident_threads(&self) -> usize {
+        self.workers.iter().map(Vec::len).sum::<usize>()
+            + self.aux.len()
+            + usize::from(self.prober_thread.is_some())
     }
 
     /// Frames admitted so far.
@@ -2589,7 +2970,7 @@ impl StreamPipeline {
         // Resequencer starting points: acks arrive in id order, so each
         // rank's stranded ids are a contiguous run ending exactly where
         // fresh admissions resume — deeper ranks hold the older frames.
-        let base = self.admission.next_id();
+        let base = self.mux.next_id();
         let min_id = |v: &[BatchMsg]| v.iter().map(BatchMsg::first_id).min();
         let start_edge = min_id(&stranded[1]).unwrap_or(base).min(base);
         let start_cloud = min_id(&stranded[2]).unwrap_or(start_edge).min(start_edge);
@@ -2785,6 +3166,12 @@ impl StreamPipeline {
             link_raw_bytes: metrics[0].raw_bytes + metrics[1].raw_bytes,
             link_wire_bytes: metrics[0].wire_bytes + metrics[1].wire_bytes,
             max_accuracy_delta: metrics[0].accuracy_delta.max(metrics[1].accuracy_delta),
+            sessions: self
+                .mux
+                .tallies()
+                .into_iter()
+                .map(SessionStats::from_tally)
+                .collect(),
         }
     }
 }
@@ -3749,6 +4136,264 @@ mod tests {
             pipeline.submit_blocking(&input).unwrap();
         }
         drop(pipeline); // must not hang or leak; Drop joins the workers
+    }
+
+    // ------------------------------------------------------------------
+    // Session multiplexing: many sessions, one resident pipeline.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn interleaved_sessions_stay_lossless_and_ordered() {
+        // Three sessions share one pipeline, each submitting and
+        // draining from its own thread. Every session must see exactly
+        // its own frames, bit-identical to solo inference and in its own
+        // submission order, no matter how the threads interleave on the
+        // shared stages.
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(&g, 41, None, StreamOptions::new().capacity(16));
+        let exec = Executor::new(&g, 41);
+        let sessions = [
+            pipeline.root_session(),
+            pipeline.attach_session(1.0),
+            pipeline.attach_session(1.0),
+        ];
+        std::thread::scope(|scope| {
+            for (k, &sid) in sessions.iter().enumerate() {
+                let (pipeline, exec) = (&pipeline, &exec);
+                scope.spawn(move || {
+                    let inputs: Vec<Tensor> = (0..8)
+                        .map(|f| Tensor::random(3, 16, 16, 1000 + 100 * k as u64 + f))
+                        .collect();
+                    for input in &inputs {
+                        pipeline.submit_blocking_as(sid, input).unwrap();
+                    }
+                    for (f, input) in inputs.iter().enumerate() {
+                        let (id, got) = pipeline.recv_as(sid).unwrap();
+                        assert_eq!(id, FrameId(f as u64), "session {k} out of order");
+                        assert_eq!(
+                            max_abs_diff(&got, &exec.run(input)),
+                            Some(0.0),
+                            "session {k} frame {f} diverged on the shared pipeline"
+                        );
+                    }
+                });
+            }
+        });
+        let report = pipeline.close();
+        assert_eq!(report.sessions.len(), 3);
+        assert_eq!(report.measured.frames, 24);
+        for stats in &report.sessions {
+            assert_eq!(stats.frames, 8);
+            assert_eq!(stats.drops, 0);
+            assert!(stats.p99_latency_s >= stats.p50_latency_s);
+        }
+    }
+
+    #[test]
+    fn weighted_admission_shares_the_gate_under_saturation() {
+        // Stall the device stage so nothing completes while we flood:
+        // the shared gate must hand the heavy session (weight 3) three
+        // times the light session's in-flight share, and the floor must
+        // keep the light session admissible at all.
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(
+            &g,
+            43,
+            None,
+            StreamOptions::new()
+                .capacity(8)
+                .weight(3.0)
+                .inject_delay(Tier::Device, 1, Duration::from_millis(40)),
+        );
+        let heavy = pipeline.root_session();
+        let light = pipeline.attach_session(1.0);
+        let exec = Executor::new(&g, 43);
+        let frame = |seed| Tensor::random(3, 16, 16, seed);
+        let admit_until_throttled = |sid: SessionId, base: u64| -> u64 {
+            let mut admitted = 0;
+            for f in 0..16 {
+                match pipeline.submit_as(sid, &frame(base + f)) {
+                    Ok(_) => admitted += 1,
+                    Err(SubmitError::Backpressure) => break,
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            admitted
+        };
+        // capacity 8, weights 3:1 → quotas floor(8·3/4)=6 and
+        // floor(8·1/4)=2.
+        let heavy_admitted = admit_until_throttled(heavy, 2000);
+        let light_admitted = admit_until_throttled(light, 3000);
+        assert_eq!(heavy_admitted, 6, "heavy session's weighted share");
+        assert_eq!(light_admitted, 2, "light session starved or over-served");
+        // Both drain losslessly, in their own order.
+        for (sid, base, n) in [(heavy, 2000, heavy_admitted), (light, 3000, light_admitted)] {
+            for f in 0..n {
+                let (id, got) = pipeline.recv_as(sid).unwrap();
+                assert_eq!(id, FrameId(f));
+                assert_eq!(max_abs_diff(&got, &exec.run(&frame(base + f))), Some(0.0));
+            }
+        }
+        let report = pipeline.close();
+        let stats: Vec<_> = report.sessions.iter().map(|s| s.frames).collect();
+        assert_eq!(stats, [6, 2]);
+    }
+
+    #[test]
+    fn shared_quiesce_keeps_attached_sessions_lossless() {
+        // Two sessions with frames in flight across one apply_plan: the
+        // shared pipeline quiesces exactly once (one reconfiguration),
+        // and both sessions keep bit-identical, in-order delivery over
+        // the boundary.
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let mut pipeline = pipeline_for(&g, 47, None, StreamOptions::new().capacity(16));
+        let exec = Executor::new(&g, 47);
+        let a = pipeline.root_session();
+        let b = pipeline.attach_session(2.0);
+        let frame = |seed| Tensor::random(3, 16, 16, seed);
+        for f in 0..2u64 {
+            pipeline.submit_blocking_as(a, &frame(4000 + f)).unwrap();
+            pipeline.submit_blocking_as(b, &frame(5000 + f)).unwrap();
+        }
+        let before = pipeline.assignment().clone();
+        let swap = pipeline
+            .apply_plan(&update_to(
+                &g,
+                &before,
+                Assignment::uniform(g.len(), Tier::Cloud),
+                None,
+            ))
+            .unwrap();
+        // All four in-flight frames drained to the reorder buffer in the
+        // single shared quiesce.
+        assert_eq!(swap.drained_frames, 4);
+        for f in 2..4u64 {
+            pipeline.submit_blocking_as(a, &frame(4000 + f)).unwrap();
+            pipeline.submit_blocking_as(b, &frame(5000 + f)).unwrap();
+        }
+        for (sid, base) in [(a, 4000), (b, 5000)] {
+            for f in 0..4u64 {
+                let (id, got) = pipeline.recv_as(sid).unwrap();
+                assert_eq!(id, FrameId(f), "order across the shared swap");
+                assert_eq!(
+                    max_abs_diff(&got, &exec.run(&frame(base + f))),
+                    Some(0.0),
+                    "frame {f} diverged across the shared swap"
+                );
+            }
+        }
+        let report = pipeline.close();
+        assert_eq!(report.reconfigurations, 1);
+        assert_eq!(report.sessions.len(), 2);
+        for stats in &report.sessions {
+            assert_eq!((stats.frames, stats.drops), (4, 0));
+        }
+    }
+
+    #[test]
+    fn batches_coalesce_across_sessions() {
+        // Two sessions trickle alternating frames; with the batch bound
+        // above either session's total, any coalesced batch must mix
+        // frames of both sessions — the batcher works on the shared
+        // ingress stream, not per session.
+        let g = Arc::new(d3_model::zoo::chain_cnn(6, 8, 16));
+        let pipeline = pipeline_for(
+            &g,
+            53,
+            None,
+            StreamOptions::new()
+                .capacity(16)
+                .batching(BatchOptions::frames(8).deadline(Duration::from_millis(200)))
+                .inject_delay(Tier::Device, 1, Duration::from_millis(2)),
+        );
+        let a = pipeline.root_session();
+        let b = pipeline.attach_session(1.0);
+        let exec = Executor::new(&g, 53);
+        let frame = |seed| Tensor::random(3, 16, 16, seed);
+        for f in 0..4u64 {
+            pipeline.submit_blocking_as(a, &frame(6000 + f)).unwrap();
+            pipeline.submit_blocking_as(b, &frame(7000 + f)).unwrap();
+        }
+        for (sid, base) in [(a, 6000), (b, 7000)] {
+            for f in 0..4u64 {
+                let (id, got) = pipeline.recv_as(sid).unwrap();
+                assert_eq!(id, FrameId(f));
+                assert_eq!(max_abs_diff(&got, &exec.run(&frame(base + f))), Some(0.0));
+            }
+        }
+        let report = pipeline.close();
+        assert_eq!(report.measured.frames, 8);
+        // 8 frames, batch bound 8, submissions alternating sessions:
+        // fewer executor calls than frames proves coalescing, and any
+        // batch of ≥ 2 consecutive global ids spans both sessions.
+        assert!(
+            report.stage_pools[0].batches < 8,
+            "batcher never coalesced across sessions: {} calls for 8 frames",
+            report.stage_pools[0].batches
+        );
+    }
+
+    #[test]
+    fn hundred_sessions_share_one_stage_pool_set() {
+        // The O(pool)-threads property: attaching 100 sessions spawns
+        // zero threads, and every session still gets lossless in-order
+        // delivery with its own stats.
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(&g, 59, None, StreamOptions::new().capacity(16));
+        let exec = Executor::new(&g, 59);
+        let resident = pipeline.resident_threads();
+        let mut sessions = vec![pipeline.root_session()];
+        for _ in 1..100 {
+            sessions.push(pipeline.attach_session(1.0));
+        }
+        assert_eq!(
+            pipeline.resident_threads(),
+            resident,
+            "attaching sessions must not spawn threads"
+        );
+        assert_eq!(pipeline.sessions().len(), 100);
+        let frame = |k: u64| Tensor::random(3, 16, 16, 10_000 + k);
+        for (k, &sid) in sessions.iter().enumerate() {
+            pipeline.submit_blocking_as(sid, &frame(k as u64)).unwrap();
+        }
+        for (k, &sid) in sessions.iter().enumerate() {
+            let (id, got) = pipeline.recv_as(sid).unwrap();
+            assert_eq!(id, FrameId(0), "each session sees its own seq 0");
+            assert_eq!(
+                max_abs_diff(&got, &exec.run(&frame(k as u64))),
+                Some(0.0),
+                "session {k} diverged in the 100-session burst"
+            );
+        }
+        let report = pipeline.close();
+        assert_eq!(report.sessions.len(), 100);
+        assert_eq!(report.measured.frames, 100);
+        for stats in &report.sessions {
+            assert_eq!((stats.frames, stats.drops), (1, 0));
+        }
+    }
+
+    #[test]
+    fn detach_session_returns_final_stats_and_frees_share() {
+        let g = Arc::new(d3_model::zoo::chain_cnn(4, 8, 16));
+        let pipeline = pipeline_for(&g, 61, None, StreamOptions::new().capacity(8));
+        let extra = pipeline.attach_session(1.0);
+        let input = Tensor::random(3, 16, 16, 77);
+        pipeline.submit_blocking_as(extra, &input).unwrap();
+        let _ = pipeline.recv_as(extra).unwrap();
+        let stats = pipeline.detach_session(extra).expect("attached");
+        assert_eq!((stats.frames, stats.submitted, stats.drops), (1, 1, 0));
+        assert!(pipeline.session_stats(extra).is_none());
+        // The detached id no longer admits.
+        assert!(matches!(
+            pipeline.submit_as(extra, &input),
+            Err(SubmitError::Closed)
+        ));
+        // The root session is unaffected.
+        pipeline.submit_blocking(&input).unwrap();
+        let _ = pipeline.recv().unwrap();
+        let report = pipeline.close();
+        assert_eq!(report.sessions.len(), 1, "only the root remains at close");
     }
 
     // ------------------------------------------------------------------

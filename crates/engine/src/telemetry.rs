@@ -12,7 +12,12 @@
 //!   [`StreamPipeline`](crate::stream::StreamPipeline) periodically
 //!   publishes a [`TelemetrySnapshot`] (measured stage compute time and
 //!   ingress queue depth) over a bounded channel, consumable mid-stream
-//!   through a [`TelemetryTap`];
+//!   through a [`TelemetryTap`]. Telemetry is a property of the
+//!   *pipeline*, not of any one session: with multiplexed sessions
+//!   ([`crate::stream`]) the stage workers see the merged frame flow,
+//!   so snapshots — and the adaptation decisions they drive — reflect
+//!   aggregate traffic, while per-session accounting lives in
+//!   [`SessionStats`](crate::stream::SessionStats);
 //! - **the pipeline simulator** — [`predicted_observations`] renders a
 //!   deployment's predicted [`StageSpec`]s in the same shape, so a
 //!   controller can be driven by simulation and by measurement

@@ -1,6 +1,7 @@
 //! Model-checked schedules for the streaming pipeline's extracted flow
 //! units (`d3_engine::flow`): the per-stage resequencer, the dense-id
-//! admission lock, the quiesce/respawn handshake and the batch former.
+//! admission lock, the quiesce/respawn handshake, the batch former and
+//! the session multiplexer (`SessionMux`) behind the shared pipeline.
 //!
 //! `cargo test --features model` routes the engine's hot state and the
 //! vendored crossbeam internals through the loomlite shims, so each
@@ -12,10 +13,11 @@
 #![cfg(feature = "model")]
 
 use crossbeam::channel::bounded;
-use d3_engine::flow::{self, Admission, Coalesce};
+use d3_engine::flow::{self, Admission, Coalesce, MuxAdmitError, SessionMux};
 use loomlite::{model, thread};
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
 
 /// Two pooled workers complete their units in every relative order the
 /// scheduler can produce; the resequencer must deliver them dense and
@@ -161,6 +163,127 @@ fn model_quiesce_respawn_loses_and_duplicates_no_frame() {
     assert!(
         report.complete,
         "quiesce handshake schedule space must be exhausted, ran {} schedules",
+        report.schedules
+    );
+}
+
+/// Two sessions admit frames from racing threads through one shared
+/// `SessionMux`: under every interleaving the global ids stay dense
+/// (0..4, the wire/resequencer contract) while each session's own seqs
+/// stay dense from 0 (the per-session in-order contract).
+#[test]
+fn model_mux_concurrent_admits_keep_global_and_session_ids_dense() {
+    let report = model(|| {
+        let mux = Arc::new(SessionMux::<u64>::new(4, 0));
+        let a = mux.attach(1.0);
+        let b = mux.attach(1.0);
+        let mut admitters = Vec::new();
+        for sid in [a, b] {
+            let mux = Arc::clone(&mux);
+            admitters.push(thread::spawn(move || {
+                (0..2)
+                    .map(|_| {
+                        mux.admit(sid, Duration::ZERO, (), |_, _| Ok::<(), ()>(()))
+                            .expect("capacity 4, quota 2: never throttled")
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let minted: Vec<_> = admitters
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect();
+        let mut globals: Vec<u64> = minted.iter().flatten().map(|m| m.global).collect();
+        globals.sort_unstable();
+        assert_eq!(globals, [0, 1, 2, 3], "global ids dense across sessions");
+        for session in &minted {
+            let seqs: Vec<u64> = session.iter().map(|m| m.seq).collect();
+            assert_eq!(seqs, [0, 1], "per-session seqs dense and in order");
+        }
+        assert_eq!(mux.next_id(), 4);
+    });
+    assert!(
+        report.complete,
+        "mux admission schedule space must be exhausted, ran {} schedules",
+        report.schedules
+    );
+}
+
+/// Completions for one session arrive from two racing router threads in
+/// either order; the per-session outbox must still hand the consumer its
+/// frames in submission order under every schedule.
+#[test]
+fn model_mux_racing_routers_cannot_reorder_a_session() {
+    let report = model(|| {
+        let mux = Arc::new(SessionMux::<u64>::new(2, 0));
+        let s = mux.attach(1.0);
+        for _ in 0..2 {
+            mux.admit(s, Duration::ZERO, (), |_, _| Ok::<(), ()>(()))
+                .unwrap();
+        }
+        let routers: Vec<_> = [(1u64, 11u64), (0, 10)]
+            .into_iter()
+            .map(|(global, item)| {
+                let mux = Arc::clone(&mux);
+                thread::spawn(move || {
+                    assert!(mux.route(global, item, Duration::ZERO), "route owned frame");
+                })
+            })
+            .collect();
+        for r in routers {
+            r.join().unwrap();
+        }
+        let delivered: Vec<_> = std::iter::from_fn(|| mux.pop(s)).collect();
+        assert_eq!(
+            delivered,
+            [(0, 10), (1, 11)],
+            "session sees submission order no matter who routed first"
+        );
+    });
+    assert!(
+        report.complete,
+        "mux routing schedule space must be exhausted, ran {} schedules",
+        report.schedules
+    );
+}
+
+/// Weighted quotas are starvation-free under contention: two sessions
+/// each hold a quota of one on a capacity-2 gate. Saturating your own
+/// quota throttles only you; routing your completion frees your share
+/// again — under every schedule, independent of the other session.
+#[test]
+fn model_mux_quota_floor_is_starvation_free() {
+    let report = model(|| {
+        let mux = Arc::new(SessionMux::<u64>::new(2, 0));
+        let a = mux.attach(1.0);
+        let b = mux.attach(1.0);
+        let mut drivers = Vec::new();
+        for sid in [a, b] {
+            let mux = Arc::clone(&mux);
+            drivers.push(thread::spawn(move || {
+                let ok = |_: u64, _: ()| Ok::<(), ()>(());
+                let first = mux.admit(sid, Duration::ZERO, (), ok).unwrap();
+                // Quota 1 and one frame in flight: the second attempt
+                // must throttle regardless of the other session.
+                assert!(matches!(
+                    mux.admit(sid, Duration::ZERO, (), ok),
+                    Err(MuxAdmitError::Throttled(()))
+                ));
+                // Completing the in-flight frame frees the share.
+                assert!(mux.route(first.global, 1, Duration::ZERO));
+                mux.admit(sid, Duration::ZERO, (), ok)
+                    .expect("freed share admits again");
+                assert_eq!(mux.pop(sid), Some((0, 1)));
+            }));
+        }
+        for d in drivers {
+            d.join().unwrap();
+        }
+        assert_eq!(mux.next_id(), 4, "two successful admissions per session");
+    });
+    assert!(
+        report.complete,
+        "mux quota schedule space must be exhausted, ran {} schedules",
         report.schedules
     );
 }
