@@ -35,6 +35,18 @@
 //!   the same 5 ms injected device stall pinning the rate. Records the
 //!   aggregate throughput and the worst per-session p99; gated, with an
 //!   in-binary bound on that p99 and on losslessness per session.
+//!
+//! After the bench families the binary replays the **scenario matrix**
+//! (`d3_test_support::{WorkloadGen, Scenario}`): seeded workload traces
+//! — flash crowds, diurnal load with tenant churn, a backbone
+//! bandwidth-collapse trace replayed live through `set_link_shaping`,
+//! an energy-budgeted run, and a transformer stream through the
+//! lossless codec — each judged against its pass/fail envelope
+//! (drops == 0, worst per-tenant p95 bound, reconfiguration budget,
+//! optional battery budget). Latency-bound scenarios (injected device
+//! stall pins the rate) **gate**: an envelope violation fails CI.
+//! Compute-bound scenarios (energy, transformer) are recorded only.
+//! Every outcome lands in the `scenarios` array of the JSON snapshot.
 
 use d3_engine::codec::WireCodec;
 use d3_engine::link::{serve, LinkAddr, StageHost};
@@ -42,7 +54,10 @@ use d3_engine::stream::{BatchOptions, LinkShaping, PoolOptions, StreamOptions};
 use d3_engine::{Deployment, RemoteOptions};
 use d3_model::{zoo, DnnGraph};
 use d3_simnet::Tier;
-use d3_test_support::{even_split_deployment, stream_burst};
+use d3_test_support::{
+    even_split_deployment, run_scenario, stream_burst, Envelope, Scenario, ScenarioOutcome,
+    WorkloadGen,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -266,9 +281,14 @@ fn measure_multiplex(name: &'static str, g: &Arc<DnnGraph>, d: &Deployment) -> M
         p99_ms: 0.0,
     };
     for _ in 0..REPS {
-        let pipeline =
-            StreamPipeline::new(g.clone(), d3_test_support::STREAM_SEED, d, None, opts.clone())
-                .expect("multiplex pipeline builds");
+        let pipeline = StreamPipeline::new(
+            g.clone(),
+            d3_test_support::STREAM_SEED,
+            d,
+            None,
+            opts.clone(),
+        )
+        .expect("multiplex pipeline builds");
         let resident = pipeline.resident_threads();
         let mut sessions = vec![pipeline.root_session()];
         for _ in 1..SESSIONS {
@@ -327,10 +347,132 @@ fn measure_multiplex(name: &'static str, g: &Arc<DnnGraph>, d: &Deployment) -> M
     best
 }
 
-fn to_json(benches: &[Measurement]) -> String {
+/// One scenario-matrix row: the replayed outcome plus whether its
+/// envelope gates CI (latency-bound scenarios) or is recorded only
+/// (compute-bound scenarios, host-dependent).
+struct ScenarioRow {
+    gated: bool,
+    outcome: ScenarioOutcome,
+}
+
+/// The scenario matrix: seeded workload traces replayed through a live
+/// shared pipeline. The 5 ms injected device stall pins the gated rows'
+/// latency profile, so their envelopes compare reliably across hosts.
+fn run_scenario_matrix() -> Vec<ScenarioRow> {
+    let stall = || {
+        StreamOptions::new()
+            .capacity(16)
+            .inject_delay(Tier::Device, 1, Duration::from_millis(5))
+    };
+    let chain = "chain_cnn:4:8:16";
+    let rows = [
+        // Flash crowds: two trace steps quadruple the offered load; the
+        // pipeline must absorb the burst losslessly within the p95 bound.
+        (
+            true,
+            Scenario::new(
+                "scenario_flash_crowd",
+                chain,
+                WorkloadGen::new(21)
+                    .steps(6)
+                    .load(4.0, 0.0)
+                    .flash_crowds(2, 4.0),
+                Envelope::p95(2.0),
+            )
+            .options(stall()),
+        ),
+        // Backbone collapse: a measured-style bandwidth trace (20%
+        // jitter, mid-trace collapse to a quarter of the rate) replayed
+        // live through `set_link_shaping`, no quiesce.
+        (
+            true,
+            Scenario::new(
+                "scenario_bandwidth_trace",
+                chain,
+                WorkloadGen::new(22)
+                    .steps(6)
+                    .load(4.0, 0.0)
+                    .bandwidth(60.0, 24.0, 0.2)
+                    .collapse(2, 2, 0.25),
+                Envelope::p95(2.0),
+            )
+            .options(stall()),
+        ),
+        // Tenant churn: Bernoulli arrivals/departures; departures drain
+        // before detach, so the run stays lossless per tenant.
+        (
+            true,
+            Scenario::new(
+                "scenario_tenant_churn",
+                chain,
+                WorkloadGen::new(23).steps(8).load(3.0, 0.0).churn(0.6, 0.3),
+                Envelope::p95(2.0),
+            )
+            .options(stall()),
+        ),
+        // Diurnal multiplexing: sinusoidal load swing over a slowly
+        // growing tenant population sharing one stage-pool set.
+        (
+            true,
+            Scenario::new(
+                "scenario_diurnal_multiplex",
+                chain,
+                WorkloadGen::new(24).steps(8).load(6.0, 0.5).churn(0.5, 0.2),
+                Envelope::p95(2.0),
+            )
+            .options(stall()),
+        ),
+        // Energy budget: no injected stall (compute-bound, recorded
+        // only); the envelope prices the deployed plan's device joules
+        // against a battery budget.
+        (
+            false,
+            Scenario::new(
+                "scenario_energy_budget",
+                chain,
+                WorkloadGen::new(25).steps(4).load(4.0, 0.0),
+                Envelope::p95(30.0).battery(1e3),
+            )
+            .options(StreamOptions::new().capacity(16)),
+        ),
+        // Transformer workload: residual/qkv fan-out DAG streamed
+        // through the lossless codec end to end (compute-bound,
+        // recorded only).
+        (
+            false,
+            Scenario::new(
+                "scenario_transformer_stream",
+                "transformer:12:48:2:64",
+                WorkloadGen::new(26).steps(4).load(4.0, 0.0),
+                Envelope::p95(30.0),
+            )
+            .options(StreamOptions::new().capacity(16).codec(WireCodec::Lossless)),
+        ),
+    ];
+    rows.into_iter()
+        .map(|(gated, sc)| {
+            let outcome = run_scenario(&sc);
+            println!(
+                "  {:<28} {}   {:>3} frames   p95 {:>8.2} ms   peak tenants {}{}",
+                outcome.name,
+                if outcome.passed() { "pass" } else { "FAIL" },
+                outcome.delivered,
+                outcome.worst_p95_s * 1e3,
+                outcome.peak_tenants,
+                if gated { "" } else { "   (recorded)" },
+            );
+            for v in &outcome.violations {
+                println!("      violation: {v}");
+            }
+            ScenarioRow { gated, outcome }
+        })
+        .collect()
+}
+
+fn to_json(benches: &[Measurement], scenarios: &[ScenarioRow]) -> String {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let mut s = String::from("{\n");
-    s.push_str("  \"schema\": \"d3-bench-streaming/v1\",\n");
+    s.push_str("  \"schema\": \"d3-bench-streaming/v2\",\n");
     s.push_str(&format!("  \"host_cores\": {cores},\n"));
     s.push_str(&format!("  \"frames_per_run\": {FRAMES},\n"));
     s.push_str("  \"benches\": [\n");
@@ -344,6 +486,37 @@ fn to_json(benches: &[Measurement]) -> String {
             b.p50_ms,
             b.p99_ms,
             if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"scenarios\": [\n");
+    for (i, row) in scenarios.iter().enumerate() {
+        let o = &row.outcome;
+        let violations = o
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", v.replace('"', "'")))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"gated\": {}, \"passed\": {}, \
+             \"submitted\": {}, \"delivered\": {}, \"drops\": {}, \
+             \"worst_p95_ms\": {:.3}, \"throughput_fps\": {:.2}, \
+             \"reconfigs\": {}, \"peak_tenants\": {}, \"device_j\": {:.4}, \
+             \"violations\": [{}]}}{}\n",
+            o.name,
+            row.gated,
+            o.passed(),
+            o.submitted,
+            o.delivered,
+            o.drops,
+            o.worst_p95_s * 1e3,
+            o.throughput_fps,
+            o.reconfigs,
+            o.peak_tenants,
+            o.device_j,
+            violations,
+            if i + 1 < scenarios.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -368,18 +541,43 @@ fn baseline_throughput(json: &str, name: &str) -> Option<f64> {
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut out_path = String::from("BENCH_streaming.json");
+    let mut scenarios_path = String::from("BENCH_scenarios.json");
     let mut check_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--scenarios-out" => {
+                scenarios_path = args.next().expect("--scenarios-out needs a path");
+            }
             "--check" => check_path = Some(args.next().expect("--check needs a path")),
             other => panic!("unknown argument {other:?}"),
         }
     }
 
     let benches = run_suite();
-    std::fs::write(&out_path, to_json(&benches)).expect("write bench snapshot");
-    println!("\nwrote {out_path}");
+    println!("\nscenario matrix (seeded workload traces vs pass/fail envelopes):");
+    let scenarios = run_scenario_matrix();
+    std::fs::write(&out_path, to_json(&benches, &scenarios)).expect("write bench snapshot");
+    // The per-scenario artifact CI uploads on its own: the full
+    // snapshot minus the bench families.
+    std::fs::write(&scenarios_path, to_json(&[], &scenarios)).expect("write scenario outcomes");
+    println!("\nwrote {out_path} and {scenarios_path}");
+
+    // The matrix gates on its envelopes, not on a baseline: a gated
+    // (latency-bound) scenario leaving its envelope fails CI outright.
+    let envelope_failures: Vec<&ScenarioRow> = scenarios
+        .iter()
+        .filter(|row| row.gated && !row.outcome.passed())
+        .collect();
+    if !envelope_failures.is_empty() {
+        eprintln!("\nperf-gate FAILED — scenario envelopes violated:");
+        for row in &envelope_failures {
+            for v in &row.outcome.violations {
+                eprintln!("  {}: {v}", row.outcome.name);
+            }
+        }
+        std::process::exit(1);
+    }
 
     let Some(check_path) = check_path else {
         return;

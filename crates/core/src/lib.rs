@@ -53,9 +53,8 @@ pub use d3_engine::{
     FleetUpdate, FrameId, FullResolve, HysteresisLocal, InjectedDelay, LinkShaping, LinkTraffic,
     NoAdapt, Observation, PlanSwap, PlanUpdate, PoolOptions, PoolResize, PoolSize, PoolUpdate,
     ProbeOptions, ResourceLedger, SessionId, SessionStats, StagePoolStats, Strategy,
-    StreamBuildError, StreamOptions, StreamRecvError, StreamReport, SubmitError,
-    TelemetrySnapshot, TelemetryTap, TenantCommit, TierContention, UpdateScope, VsmConfig,
-    WireCodec,
+    StreamBuildError, StreamOptions, StreamRecvError, StreamReport, SubmitError, TelemetrySnapshot,
+    TelemetryTap, TenantCommit, TierContention, UpdateScope, VsmConfig, WireCodec,
 };
 pub use d3_model::{DnnGraph, NodeId};
 pub use d3_partition::{

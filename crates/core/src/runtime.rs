@@ -466,7 +466,14 @@ impl D3Runtime {
                 .as_ref()
                 .map(|proto| entry.system.controller_for_session(proto.fork()))
         };
-        crate::StreamSession::open(name, &entry.system, &entry.stream, options, controller, fleet)
+        crate::StreamSession::open(
+            name,
+            &entry.system,
+            &entry.stream,
+            options,
+            controller,
+            fleet,
+        )
     }
 
     /// Runs one inference on the named model across its deployed tiers.

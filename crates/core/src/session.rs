@@ -742,7 +742,10 @@ mod tests {
             .open_stream("tiny", StreamOptions::new().weight(2.0))
             .unwrap();
         let foreign = rt.open_stream("other", StreamOptions::new()).unwrap();
-        assert!(first.is_shared_with(&second), "same model shares a pipeline");
+        assert!(
+            first.is_shared_with(&second),
+            "same model shares a pipeline"
+        );
         assert!(!first.is_shared_with(&foreign), "models never share");
         assert_ne!(first.session_id(), second.session_id());
         assert_eq!(first.attached_sessions(), 2);

@@ -991,12 +991,15 @@ impl AdaptiveEngine {
             return None; // nowhere left to run — never evict the last tier
         }
         let opts = self.opts.clone().with_tiers(&allowed);
-        let assignment = if contention.is_neutral() {
+        let solved = if contention.is_neutral() {
             Hpa(opts).partition(&self.problem)
         } else {
             Hpa(opts).partition(&self.contended_problem(contention))
-        }
-        .expect("HPA applies to every topology");
+        };
+        // HPA applies to every topology, but if a solve ever does fail
+        // the safe outcome is to skip the eviction and keep the current
+        // plan — not to take the pipeline down.
+        let assignment = solved.ok()?;
         self.full_updates += 1;
         // Full-scope re-anchor: the eviction is a global plan change.
         let anchor_obs = Observation::Network {

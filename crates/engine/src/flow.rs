@@ -335,9 +335,7 @@ impl<T> SessionMux<T> {
     #[must_use]
     pub fn pending(&self, sid: SessionId) -> u64 {
         let st = sync::lock(&self.state);
-        st.slots
-            .get(&sid.0)
-            .map_or(0, |s| s.next_seq - s.next_recv)
+        st.slots.get(&sid.0).map_or(0, |s| s.next_seq - s.next_recv)
     }
 
     /// `sid`'s current weighted-fair quota (its in-flight ceiling).
@@ -1012,8 +1010,8 @@ mod tests {
         mux.admit(a, now, (), ok).unwrap(); // global 0 = a/0
         mux.admit(b, now, (), ok).unwrap(); // global 1 = b/0
         mux.admit(a, now, (), ok).unwrap(); // global 2 = a/1
-        // Completions arrive scrambled, as racing receivers would
-        // deliver them.
+                                            // Completions arrive scrambled, as racing receivers would
+                                            // deliver them.
         assert!(mux.route(2, "a1", now));
         assert!(mux.route(1, "b0", now));
         // a's outbox holds seq 1 but must wait for seq 0.

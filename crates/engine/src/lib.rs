@@ -91,10 +91,13 @@ pub use deploy::{deploy_strategy, Deployment, Strategy, VsmConfig};
 pub use distributed::{run_distributed, DistributedError};
 pub use fleet::{FleetController, FleetOptions, FleetUpdate, ResourceLedger, TenantCommit};
 pub use flow::SessionId;
-pub use link::{Link, LinkAddr, LinkError, LinkListener, RemoteOptions, SocketLink, StageHost};
+pub use link::{
+    node_from_wire, node_to_wire, remap_frame_payload, Link, LinkAddr, LinkError, LinkListener,
+    RemoteOptions, SocketLink, StageHost, WireNodeError,
+};
 pub use pipeline::{
-    bottleneck_s, render_gantt, simulate_stream, simulate_stream_trace, FrameTrace, StageSpec,
-    StreamStats,
+    bottleneck_s, percentile, render_gantt, simulate_stream, simulate_stream_trace, FrameTrace,
+    StageSpec, StreamStats,
 };
 pub use stream::{
     BatchOptions, FrameId, InjectedDelay, LinkShaping, LinkTraffic, PlanSwap, PoolOptions,

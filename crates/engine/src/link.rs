@@ -290,6 +290,100 @@ pub struct WireFrame {
     pub payload: Vec<(u32, Bytes)>,
 }
 
+// ---------------------------------------------------------------------
+// Typed node-id ↔ wire-id conversion
+// ---------------------------------------------------------------------
+
+/// Why a vertex id cannot cross the wire boundary in either direction.
+///
+/// Wire messages carry vertex ids as `u32`; the running pipeline uses
+/// typed [`NodeId`]s indexing its session graph. Both directions of the
+/// mapping are partial — an oversized local index does not fit the wire
+/// form, and a wire id from a corrupt or misbehaving peer may name no
+/// vertex at all — so every crossing goes through [`node_to_wire`] /
+/// [`node_from_wire`] and surfaces this error instead of truncating or
+/// fabricating ids with `as` casts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireNodeError {
+    /// A local [`NodeId`] index exceeds the wire representation.
+    TooLarge {
+        /// The unencodable vertex index.
+        index: usize,
+    },
+    /// A wire id names a vertex outside the session graph.
+    OutOfRange {
+        /// The offending wire id.
+        id: u32,
+        /// Vertex count of the graph it was validated against.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for WireNodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireNodeError::TooLarge { index } => {
+                write!(f, "vertex index {index} does not fit the u32 wire form")
+            }
+            WireNodeError::OutOfRange { id, nodes } => {
+                write!(
+                    f,
+                    "wire vertex id {id} out of range for a {nodes}-vertex graph"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireNodeError {}
+
+/// Encodes a typed [`NodeId`] in wire form.
+///
+/// # Errors
+///
+/// [`WireNodeError::TooLarge`] when the index exceeds `u32::MAX`.
+pub fn node_to_wire(node: NodeId) -> Result<u32, WireNodeError> {
+    u32::try_from(node.index()).map_err(|_| WireNodeError::TooLarge {
+        index: node.index(),
+    })
+}
+
+/// Decodes a wire vertex id back into a typed [`NodeId`], validated
+/// against a session graph of `nodes` vertices. The inverse of
+/// [`node_to_wire`]: for every id accepted here,
+/// `node_to_wire(node_from_wire(id, n)?) == Ok(id)`.
+///
+/// # Errors
+///
+/// [`WireNodeError::OutOfRange`] when `id` names no vertex of the
+/// graph.
+pub fn node_from_wire(id: u32, nodes: usize) -> Result<NodeId, WireNodeError> {
+    if (id as usize) < nodes {
+        Ok(NodeId(id as usize))
+    } else {
+        Err(WireNodeError::OutOfRange { id, nodes })
+    }
+}
+
+/// Remaps one wire frame's `(vertex, payload)` entries into typed node
+/// ids, validated against a graph of `nodes` vertices — the failover
+/// remap the stream proxy applies to every non-final remote result
+/// (and the fuzz surface for it).
+///
+/// # Errors
+///
+/// The first [`WireNodeError::OutOfRange`] encountered; no partial
+/// remap escapes.
+pub fn remap_frame_payload(
+    wf: &WireFrame,
+    nodes: usize,
+) -> Result<Vec<(NodeId, Bytes)>, WireNodeError> {
+    wf.payload
+        .iter()
+        .map(|(id, b)| Ok((node_from_wire(*id, nodes)?, b.clone())))
+        .collect()
+}
+
 /// A bidirectional, message-framed transport between two stages.
 pub trait Link: Send {
     /// Sends one message.
@@ -826,12 +920,17 @@ impl StageHost {
                 self.spec, h.model
             )));
         }
-        let n = self.graph.len() as u32;
-        let ok = |ids: &[u32]| ids.iter().all(|&id| id < n);
-        if !ok(&h.members) || !ok(&h.needed) || !ok(&h.forward) || h.output_node >= n {
-            return Err(LinkError::Protocol("vertex id out of range".to_string()));
-        }
-        let members: Vec<NodeId> = h.members.iter().map(|&id| NodeId(id as usize)).collect();
+        let n = self.graph.len();
+        let remap = |ids: &[u32]| -> Result<Vec<NodeId>, LinkError> {
+            ids.iter()
+                .map(|&id| node_from_wire(id, n).map_err(|e| LinkError::Protocol(e.to_string())))
+                .collect()
+        };
+        let members = remap(&h.members)?;
+        let needed: HashSet<NodeId> = remap(&h.needed)?.into_iter().collect();
+        let forward: HashSet<NodeId> = remap(&h.forward)?.into_iter().collect();
+        let output_node =
+            node_from_wire(h.output_node, n).map_err(|e| LinkError::Protocol(e.to_string()))?;
         let rebuild = !matches!(
             &self.session,
             Some(s) if s.seed == h.seed && s.members == members
@@ -849,9 +948,9 @@ impl StageHost {
             seed: h.seed,
             members,
             exec,
-            needed: h.needed.iter().map(|&id| NodeId(id as usize)).collect(),
-            forward: h.forward.iter().map(|&id| NodeId(id as usize)).collect(),
-            output_node: NodeId(h.output_node as usize),
+            needed,
+            forward,
+            output_node,
             is_last: h.is_last,
         });
         Ok(())

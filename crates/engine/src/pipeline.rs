@@ -140,15 +140,21 @@ pub fn simulate_stream(stages: &[StageSpec], fps: f64, n_frames: usize) -> Strea
     }
 }
 
-/// Index-based percentile over an ascending latency vector (0 when
-/// empty). One definition, used by both the simulated and the measured
-/// [`StreamStats`], so the two sides report comparable quantiles.
-pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank percentile over an ascending latency vector: the
+/// smallest element with at least `q·N` samples at or below it
+/// (1-indexed rank `ceil(q·N)`), 0 when empty. This is the **one**
+/// quantile definition in the workspace — the simulator
+/// ([`simulate_stream`]), the measured [`StreamStats`] of a live
+/// pipeline close, and per-session `SessionStats` all call it, so the
+/// two sides report comparable quantiles and a 0- or 1-frame session
+/// can never produce a NaN or an out-of-bounds rank.
+#[must_use]
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
-        0.0
-    } else {
-        sorted[((sorted.len() as f64 * q) as usize).min(sorted.len() - 1)]
+        return 0.0;
     }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Per-frame execution record: where the frame spent its time.
@@ -383,6 +389,45 @@ mod tests {
     #[should_panic(expected = "fps")]
     fn zero_fps_rejected() {
         simulate_stream(&[stage("a", 0.1, 0.0)], 0.0, 1);
+    }
+
+    #[test]
+    fn percentile_empty_and_single_sample_are_finite() {
+        // A 0-frame session closing early reaches percentile with an
+        // empty vector; it must yield 0, never NaN or a panic.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&[], q), 0.0);
+            assert_eq!(percentile(&[0.25], q), 0.25);
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        // Nearest-rank: rank ceil(q·N), 1-indexed. For N=2, q=0.5 the
+        // rank is exactly 1 — the *lower* sample, not the upper.
+        assert_eq!(percentile(&[1.0, 2.0], 0.50), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.51), 2.0);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        // q=0 clamps to the first sample rather than rank 0.
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn simulator_and_session_paths_share_percentile_definition() {
+        // The simulator's percentiles are exactly `percentile` over its
+        // sorted latency vector — pinning both sides to one definition.
+        let stages = vec![stage("d", 0.01, 0.005), stage("c", 0.02, 0.0)];
+        let traces = simulate_stream_trace(&stages, 30.0, 40);
+        let mut lat: Vec<f64> = traces.iter().map(FrameTrace::latency_s).collect();
+        lat.sort_by(f64::total_cmp);
+        let stats = simulate_stream(&stages, 30.0, 40);
+        assert_eq!(stats.p50_latency_s, percentile(&lat, 0.50));
+        assert_eq!(stats.p95_latency_s, percentile(&lat, 0.95));
+        assert_eq!(stats.p99_latency_s, percentile(&lat, 0.99));
     }
 
     #[test]

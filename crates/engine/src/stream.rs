@@ -872,6 +872,44 @@ impl LinkCodecs {
     }
 }
 
+/// Live per-link shaping selection (the [`LinkCodecs`] pattern applied
+/// to bandwidth): the current [`LinkShaping`] stored as two atomically
+/// updatable `f64` bit patterns, shared by the pipeline handle, every
+/// stage-worker generation, and the idle prober. This is what lets
+/// [`StreamPipeline::set_link_shaping`] replay a recorded bandwidth
+/// trace against a running stream — no quiesce, the next transfer
+/// simply serializes at the new rate. A pipeline built without
+/// [`StreamOptions::shape_links`] holds the unshaped (infinite-rate)
+/// value, whose serialization delay is zero by construction.
+struct LiveShaping([AtomicU64; 2]);
+
+impl LiveShaping {
+    fn new(initial: Option<LinkShaping>) -> Self {
+        let s = initial.unwrap_or_else(LinkShaping::unshaped);
+        Self([
+            AtomicU64::new(s.device_edge_mbps.to_bits()),
+            AtomicU64::new(s.edge_cloud_mbps.to_bits()),
+        ])
+    }
+
+    /// The shaping currently in force. Each link rate is individually
+    /// atomic; a trace step rewriting both links may be observed
+    /// half-applied by one in-flight transfer, which the
+    /// serialization-delay model tolerates (each transfer reads one
+    /// link's rate exactly once).
+    fn get(&self) -> LinkShaping {
+        LinkShaping {
+            device_edge_mbps: f64::from_bits(self.0[0].load(Ordering::Relaxed)),
+            edge_cloud_mbps: f64::from_bits(self.0[1].load(Ordering::Relaxed)),
+        }
+    }
+
+    fn set(&self, shaping: LinkShaping) {
+        self.0[0].store(shaping.device_edge_mbps.to_bits(), Ordering::Relaxed);
+        self.0[1].store(shaping.edge_cloud_mbps.to_bits(), Ordering::Relaxed);
+    }
+}
+
 /// Cumulative byte ledger of one probed link: raw (pre-codec) bytes
 /// alongside on-wire (post-codec) bytes, so bandwidth beliefs and
 /// compression accounting stay separable. With no codec active the two
@@ -1012,7 +1050,7 @@ impl Prober {
 fn idle_probe_loop(
     probe: Arc<Prober>,
     stop: Arc<AtomicBool>,
-    shaping: Option<LinkShaping>,
+    shaping: Arc<LiveShaping>,
     period: Duration,
     bytes: u64,
     clock: Clock,
@@ -1033,12 +1071,10 @@ fn idle_probe_loop(
                 continue;
             }
             let t0 = clock.now();
-            if let Some(shaping) = shaping {
-                let delay = shaping.delay(link, bytes);
-                if !delay.is_zero() {
-                    // xtask:allow(thread-sleep): synthetic shaped transfer.
-                    std::thread::sleep(delay);
-                }
+            let delay = shaping.get().delay(link, bytes);
+            if !delay.is_zero() {
+                // xtask:allow(thread-sleep): synthetic shaped transfer.
+                std::thread::sleep(delay);
             }
             let elapsed = clock.now().saturating_sub(t0);
             // Synthetic probe payloads never pass a codec: raw == wire.
@@ -1163,8 +1199,8 @@ struct StageCtx {
     output_node: NodeId,
     is_last: bool,
     /// Simulated out-link bandwidth (the stage sleeps the serialization
-    /// delay before forwarding).
-    shaping: Option<LinkShaping>,
+    /// delay before forwarding), live-updatable through the pipeline.
+    shaping: Arc<LiveShaping>,
     /// Shared bandwidth-prober state, when probing is on.
     probe: Option<Arc<Prober>>,
     /// Stamp every Nth frame's transfer (0 disables piggyback stamps).
@@ -1408,7 +1444,12 @@ struct SentBatch {
 }
 
 /// The request form of `batch`: ids and payloads verbatim, local-only
-/// metadata (submit stamps, probe stamps) stripped.
+/// metadata (submit stamps, probe stamps) stripped. Vertex ids cross
+/// through [`link::node_to_wire`]; an index the wire form cannot carry
+/// (impossible for any graph the pipeline accepted, since every payload
+/// id indexes the session graph) encodes as `u32::MAX`, which the
+/// server rejects as out of range — fail-closed, never aliased onto a
+/// different valid vertex.
 fn to_wire_request(batch: &BatchMsg, codec: u8) -> link::WireBatch {
     link::WireBatch {
         first_id: batch.first_id(),
@@ -1423,7 +1464,7 @@ fn to_wire_request(batch: &BatchMsg, codec: u8) -> link::WireBatch {
                 payload: f
                     .payload
                     .iter()
-                    .map(|(nid, b)| (nid.index() as u32, b.clone()))
+                    .map(|(nid, b)| (link::node_to_wire(*nid).unwrap_or(u32::MAX), b.clone()))
                     .collect(),
             })
             .collect(),
@@ -1432,9 +1473,12 @@ fn to_wire_request(batch: &BatchMsg, codec: u8) -> link::WireBatch {
 
 /// Rebuilds the forwardable [`BatchMsg`] from a non-final remote
 /// result, reattaching each frame's submit stamp from the retransmit
-/// copy. `None` when the result's shape does not match what was sent (a
-/// corrupt or misbehaving server).
-fn from_wire_result(wb: &link::WireBatch, sent: &BatchMsg) -> Option<BatchMsg> {
+/// copy. `None` when the result's shape does not match what was sent,
+/// or when any payload vertex id fails the typed
+/// [`link::node_from_wire`] round-trip against the session graph's
+/// `nodes` vertices (a corrupt or misbehaving server must not smuggle
+/// fabricated node ids downstream).
+fn from_wire_result(wb: &link::WireBatch, sent: &BatchMsg, nodes: usize) -> Option<BatchMsg> {
     if wb.frames.len() != sent.frames.len() {
         return None;
     }
@@ -1446,11 +1490,7 @@ fn from_wire_result(wb: &link::WireBatch, sent: &BatchMsg) -> Option<BatchMsg> {
         frames.push(Frame {
             id: wf.id,
             submitted_at: sf.submitted_at,
-            payload: wf
-                .payload
-                .iter()
-                .map(|(nid, b)| (NodeId(*nid as usize), b.clone()))
-                .collect(),
+            payload: link::remap_frame_payload(wf, nodes).ok()?,
         });
     }
     Some(BatchMsg {
@@ -1475,13 +1515,14 @@ fn remote_feeder(
     rank: usize,
     clock: Clock,
     output_node: NodeId,
+    n_nodes: usize,
 ) -> (StageMetrics, Vec<BatchMsg>) {
     let reader = {
         let shared = shared.clone();
         let opts = opts.clone();
         let clock = clock.clone();
         std::thread::spawn(move || {
-            remote_reader(&shared, &opts, &hello, &route, &clock, output_node)
+            remote_reader(&shared, &opts, &hello, &route, &clock, output_node, n_nodes)
         })
     };
     let mut stranded: Vec<BatchMsg> = Vec::new();
@@ -1549,6 +1590,7 @@ fn remote_feeder(
 /// The proxy reader: owns the connection lifecycle — dial, hello,
 /// replay-unacked-in-id-order, then pump results until disconnect —
 /// and the deadline clock that declares the peer failed.
+#[allow(clippy::too_many_arguments)]
 fn remote_reader(
     shared: &RemoteShared,
     opts: &RemoteOptions,
@@ -1556,6 +1598,7 @@ fn remote_reader(
     route: &Route,
     clock: &Clock,
     output_node: NodeId,
+    n_nodes: usize,
 ) -> StageMetrics {
     let mut m = StageMetrics::default();
     let mut reading: Option<SocketLink> = None;
@@ -1597,6 +1640,7 @@ fn remote_reader(
                     route,
                     clock,
                     output_node,
+                    n_nodes,
                     hello.is_last,
                     &mut m,
                 );
@@ -1643,12 +1687,14 @@ fn connect_and_replay(
 /// `None` and are dropped — exactly-once delivery. A malformed result
 /// re-offers the batch and declares the peer failed, so the frames are
 /// rescued by re-injection instead of lost.
+#[allow(clippy::too_many_arguments)]
 fn handle_remote_result(
     shared: &RemoteShared,
     wb: &link::WireBatch,
     route: &Route,
     clock: &Clock,
     output_node: NodeId,
+    n_nodes: usize,
     is_last: bool,
     m: &mut StageMetrics,
 ) {
@@ -1667,7 +1713,8 @@ fn handle_remote_result(
                     .zip(&sent.batch.frames)
                     .map(|(wf, sf)| {
                         let (nid, bytes) = wf.payload.first()?;
-                        (wf.id == sf.id && *nid == output_node.index() as u32)
+                        let expected = link::node_to_wire(output_node).ok()?;
+                        (wf.id == sf.id && *nid == expected)
                             .then(|| codec::decode(bytes.clone()).ok())
                             .flatten()
                             .map(|tensor| (wf.id, sf.submitted_at, tensor))
@@ -1687,7 +1734,7 @@ fn handle_remote_result(
         m.last_done = Some(done);
         StageOut::Results(results)
     } else {
-        let Some(batch) = from_wire_result(wb, &sent.batch) else {
+        let Some(batch) = from_wire_result(wb, &sent.batch, n_nodes) else {
             return refuse_result(shared, sent);
         };
         m.raw_bytes += wb.raw_bytes;
@@ -1729,7 +1776,8 @@ struct SpawnSpec<'a> {
     pool: [usize; 3],
     batch: BatchOptions,
     chaos: Option<InjectedDelay>,
-    shaping: Option<LinkShaping>,
+    /// Live per-link shaping, shared across generations.
+    shaping: &'a Arc<LiveShaping>,
     probe: Option<Arc<Prober>>,
     probe_every: u64,
     /// Live per-link codec selection, shared across generations.
@@ -1810,18 +1858,23 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
         // workers: the segment executes in the stage server behind the
         // link, and the proxy owns retransmit/ack and reconnect.
         if let Some(ropts) = (rank >= 1).then(|| spec.remote[rank - 1].clone()).flatten() {
+            // All ids index the session graph, which `node_to_wire`
+            // always accepts for any graph small enough to build; the
+            // u32::MAX fallback fails closed at the server like
+            // `to_wire_request`'s.
+            let wire_id = |n: NodeId| link::node_to_wire(n).unwrap_or(u32::MAX);
             let as_u32 = |ids: &HashSet<NodeId>| {
-                let mut v: Vec<u32> = ids.iter().map(|n| n.index() as u32).collect();
+                let mut v: Vec<u32> = ids.iter().copied().map(wire_id).collect();
                 v.sort_unstable();
                 v
             };
             let hello = link::Hello {
                 model: spec.graph.name().to_string(),
                 seed: spec.seed,
-                members: members.iter().map(|n| n.index() as u32).collect(),
+                members: members.iter().copied().map(wire_id).collect(),
                 needed: as_u32(&spec.routing.needed[rank]),
                 forward: as_u32(&spec.routing.forward_ids[rank]),
-                output_node: spec.output_node.index() as u32,
+                output_node: wire_id(spec.output_node),
                 is_last: rank == 2,
             };
             let shared = Arc::new(RemoteShared {
@@ -1836,6 +1889,7 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
             });
             let (feeder_shared, codecs) = (shared.clone(), spec.codecs.clone());
             let (clock, output_node) = (spec.clock.clone(), spec.output_node);
+            let n_nodes = spec.graph.len();
             workers[rank].push(StageHandle::Remote(std::thread::spawn(move || {
                 remote_feeder(
                     rx,
@@ -1847,6 +1901,7 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
                     rank,
                     clock,
                     output_node,
+                    n_nodes,
                 )
             })));
             remote_shared[rank] = Some(shared);
@@ -1882,7 +1937,7 @@ fn spawn_stages(spec: &SpawnSpec<'_>, mut reuse: Vec<Option<Arc<StageExec>>>) ->
                 forward_ids: spec.routing.forward_ids[rank].clone(),
                 output_node: spec.output_node,
                 is_last: rank == 2,
-                shaping: spec.shaping,
+                shaping: spec.shaping.clone(),
                 probe: spec.probe.clone(),
                 probe_every: spec.probe_every,
                 codecs: spec.codecs.clone(),
@@ -2155,7 +2210,9 @@ pub struct StreamPipeline {
     telemetry_every: u64,
     batch: BatchOptions,
     chaos: Option<InjectedDelay>,
-    shaping: Option<LinkShaping>,
+    /// Live per-link shaping, shared with every stage worker and the
+    /// idle prober ([`Self::set_link_shaping`]).
+    shaping: Arc<LiveShaping>,
     /// Shared bandwidth-prober state (piggyback stamps + idle fallback).
     probe: Option<Arc<Prober>>,
     probe_every: u64,
@@ -2296,11 +2353,12 @@ impl StreamPipeline {
             ))
         });
         let probe_every = options.probe.map_or(0, |p| p.every);
+        let shaping = Arc::new(LiveShaping::new(options.shaping));
         let (prober_thread, prober_stop) = match (&probe, options.probe.and_then(|p| p.idle)) {
             (Some(prober), Some(period)) if period > Duration::ZERO => {
                 let stop = Arc::new(AtomicBool::new(false));
                 let (prober, stop_flag) = (prober.clone(), stop.clone());
-                let shaping = options.shaping;
+                let shaping = shaping.clone();
                 let bytes = options.probe.map_or(0, |p| p.idle_bytes).max(1);
                 let idle_clock = clock.clone();
                 let handle = std::thread::spawn(move || {
@@ -2325,7 +2383,7 @@ impl StreamPipeline {
                 pool,
                 batch: options.batching,
                 chaos: options.chaos,
-                shaping: options.shaping,
+                shaping: &shaping,
                 probe: probe.clone(),
                 probe_every,
                 codecs: &codecs,
@@ -2351,7 +2409,7 @@ impl StreamPipeline {
             telemetry_every: options.telemetry_every,
             batch: options.batching,
             chaos: options.chaos,
-            shaping: options.shaping,
+            shaping,
             probe,
             probe_every,
             codecs,
@@ -2811,6 +2869,24 @@ impl StreamPipeline {
         self.codecs.set(link, codec);
     }
 
+    /// The simulated link bandwidths currently in force (unshaped links
+    /// read as `INFINITY`).
+    #[must_use]
+    pub fn link_shaping(&self) -> LinkShaping {
+        self.shaping.get()
+    }
+
+    /// Rewrites the simulated link bandwidths **live** — the seam a
+    /// recorded bandwidth trace replays through: each trace step calls
+    /// this and the next transfer on each link serializes at the new
+    /// rate. No quiesce, mirroring [`set_link_codec`](Self::
+    /// set_link_codec); in-flight transfers finish at the rate they
+    /// started under. Also applies when the pipeline was built without
+    /// [`StreamOptions::shape_links`] (links start unshaped).
+    pub fn set_link_shaping(&self, shaping: LinkShaping) {
+        self.shaping.set(shaping);
+    }
+
     /// Swaps the running pipeline onto `update`'s plan **without
     /// dropping a frame**: admissions pause, every in-flight frame
     /// completes under the old plan and lands in a reorder buffer
@@ -2987,7 +3063,7 @@ impl StreamPipeline {
                 pool: self.pool,
                 batch: self.batch,
                 chaos: self.chaos,
-                shaping: self.shaping,
+                shaping: &self.shaping,
                 probe: self.probe.clone(),
                 probe_every: self.probe_every,
                 codecs: &self.codecs,
@@ -3408,13 +3484,11 @@ fn pump(
             // Link shaping: sleep the serialization delay of this
             // transfer. It accrues to encode time, so the report's link
             // accounting reflects the simulated wire.
-            if let Some(shaping) = ctx.shaping {
-                let delay = shaping.delay(ctx.tier.rank(), bytes);
-                if !delay.is_zero() {
-                    // xtask:allow(thread-sleep): link shaping — the sleep
-                    // *is* the simulated serialization delay.
-                    std::thread::sleep(delay);
-                }
+            let delay = ctx.shaping.get().delay(ctx.tier.rank(), bytes);
+            if !delay.is_zero() {
+                // xtask:allow(thread-sleep): link shaping — the sleep
+                // *is* the simulated serialization delay.
+                std::thread::sleep(delay);
             }
             m.encode_s += ctx.clock.now().saturating_sub(t2).as_secs_f64();
             StageOut::Forward(BatchMsg { frames, stamp })
@@ -4200,10 +4274,11 @@ mod tests {
             &g,
             43,
             None,
-            StreamOptions::new()
-                .capacity(8)
-                .weight(3.0)
-                .inject_delay(Tier::Device, 1, Duration::from_millis(40)),
+            StreamOptions::new().capacity(8).weight(3.0).inject_delay(
+                Tier::Device,
+                1,
+                Duration::from_millis(40),
+            ),
         );
         let heavy = pipeline.root_session();
         let light = pipeline.attach_session(1.0);

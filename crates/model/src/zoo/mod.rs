@@ -13,6 +13,7 @@ mod inception;
 mod mobilenet;
 mod resnet;
 mod synthetic;
+mod transformer;
 mod vgg;
 
 pub use alexnet::alexnet;
@@ -21,6 +22,7 @@ pub use inception::{inception_grid_module, inception_v4};
 pub use mobilenet::mobilenet_v1;
 pub use resnet::resnet18;
 pub use synthetic::{chain_cnn, conv_mlp, diamond_net, random_dag, tiny_cnn};
+pub use transformer::transformer;
 pub use vgg::vgg16;
 
 use crate::graph::{DnnGraph, NodeId};
@@ -68,6 +70,7 @@ pub fn by_spec(spec: &str) -> Option<DnnGraph> {
         "conv_mlp" => conv_mlp(arg(0, 8)),
         "diamond_net" => diamond_net(arg(0, 8)),
         "tiny_cnn" => tiny_cnn(arg(0, 8)),
+        "transformer" => transformer(arg(0, 16), arg(1, 64), arg(2, 2), arg(3, 100)),
         _ => return None,
     };
     Some(graph)

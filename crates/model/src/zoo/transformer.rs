@@ -1,0 +1,121 @@
+//! A compact vision-transformer-style encoder: the zoo's non-CNN
+//! workload, giving partitioners a topology CNN chains never produce.
+//!
+//! Each encoder block is the classic two-residual shape:
+//!
+//! ```text
+//!        x ──┬─ q ─┐
+//!            ├─ k ─┼─ concat ── mix ──┐
+//!            ├─ v ─┘                  │
+//!            └────────────────────── add (attn) ─┬─ mlp1 ── mlp2 ─┐
+//!                                                └───────────────add
+//! ```
+//!
+//! The attention core is structural, not numerical: `q`/`k`/`v` are
+//! three dense projections fanning out of one vertex (fan-out 4
+//! counting the residual edge), recombined by a channel `concat` and a
+//! mixing projection, then closed by a residual `add` — the DAG shape
+//! (wide fan-out, long residual skips) that makes DAG partitioners
+//! (DADS/HPA) diverge from chain splitters, exercised end-to-end
+//! through streaming and codecs. Dimensions stay honest: every dense
+//! derives its input width from its predecessor, so the graph validates
+//! at any input size.
+
+use super::Builder;
+use crate::graph::DnnGraph;
+use crate::layer::{Activation, LayerKind};
+
+/// Builds a `blocks`-deep transformer encoder over a `3×hw×hw` input:
+/// a dense patch-embedding to `d_model` channels, the encoder blocks,
+/// and a `classes`-way softmax head.
+///
+/// # Panics
+///
+/// Panics when `d_model`, `blocks` or `classes` is zero — a degenerate
+/// encoder has no meaning in the zoo.
+#[must_use]
+pub fn transformer(hw: usize, d_model: usize, blocks: usize, classes: usize) -> DnnGraph {
+    assert!(d_model > 0, "transformer d_model must be positive");
+    assert!(blocks > 0, "transformer needs at least one block");
+    assert!(classes > 0, "transformer classifier needs classes");
+    let mut b = Builder::new("transformer", hw);
+    let input = b.g.input();
+    let mut x = b.dense("embed", input, d_model, Activation::None);
+    for i in 1..=blocks {
+        // Attention: q/k/v projections fan out of x, recombine through
+        // concat + mix, and close over the residual edge.
+        let q = b.dense(&format!("b{i}.q"), x, d_model, Activation::None);
+        let k = b.dense(&format!("b{i}.k"), x, d_model, Activation::None);
+        let v = b.dense(&format!("b{i}.v"), x, d_model, Activation::None);
+        let qkv =
+            b.g.add_layer(format!("b{i}.concat"), LayerKind::Concat, &[q, k, v])
+                .expect("qkv concat");
+        let mix = b.dense(&format!("b{i}.mix"), qkv, d_model, Activation::None);
+        let attn =
+            b.g.add_layer(format!("b{i}.attn_add"), LayerKind::Add, &[x, mix])
+                .expect("attention residual");
+        // MLP: expand 4×, contract, second residual.
+        let mlp1 = b.dense(&format!("b{i}.mlp1"), attn, 4 * d_model, Activation::Relu);
+        let mlp2 = b.dense(&format!("b{i}.mlp2"), mlp1, d_model, Activation::None);
+        x =
+            b.g.add_layer(format!("b{i}.mlp_add"), LayerKind::Add, &[attn, mlp2])
+                .expect("mlp residual");
+    }
+    let head = b.dense("head", x, classes, Activation::None);
+    b.g.chain("softmax", LayerKind::Softmax, head);
+    b.g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_dag_with_residual_fanout() {
+        let g = transformer(16, 32, 2, 100);
+        g.validate().unwrap();
+        assert!(!g.is_chain(), "residuals and qkv fan-out make it a DAG");
+        // Each block contributes two Adds and one Concat.
+        let count = |k: &LayerKind| g.nodes().iter().filter(|n| n.kind == *k).count();
+        assert_eq!(count(&LayerKind::Add), 4);
+        assert_eq!(count(&LayerKind::Concat), 2);
+        // The block input fans out to q, k, v and the residual add.
+        let embed = g
+            .nodes()
+            .iter()
+            .position(|n| n.name == "embed")
+            .expect("embed vertex");
+        let fan_out = g
+            .nodes()
+            .iter()
+            .filter(|n| n.preds.contains(&crate::graph::NodeId(embed)))
+            .count();
+        assert_eq!(fan_out, 4, "x feeds q, k, v and the attention add");
+    }
+
+    #[test]
+    fn shapes_and_classifier_are_consistent() {
+        let g = transformer(16, 64, 2, 100);
+        let out = g.outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(g.node(out[0]).shape.len(), 100);
+        for n in g.nodes() {
+            if n.name.ends_with(".concat") {
+                assert_eq!(n.shape.c, 3 * 64, "concat stacks q/k/v channels");
+            }
+            if n.name.ends_with("_add") {
+                assert_eq!(n.shape.c, 64, "residual adds keep d_model");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_scales_with_blocks() {
+        // Each block adds 9 vertices: q, k, v, concat, mix, attn_add,
+        // mlp1, mlp2, mlp_add.
+        let one = transformer(8, 16, 1, 10);
+        let three = transformer(8, 16, 3, 10);
+        assert_eq!(three.len() - one.len(), 18);
+        three.validate().unwrap();
+    }
+}

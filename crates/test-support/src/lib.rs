@@ -14,6 +14,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenario;
+pub mod workload;
+
+pub use scenario::{run_scenario, scenario_graph, Envelope, Scenario, ScenarioOutcome};
+pub use workload::{TraceStep, WorkloadGen, WorkloadTrace};
+
 use d3_core::{D3Runtime, ModelOptions, Observation, TelemetryTap};
 use d3_engine::stream::{StreamOptions, StreamPipeline};
 use d3_engine::{Deployment, StreamStats};

@@ -1,0 +1,371 @@
+//! The scenario layer: a [`Scenario`] binds a generated workload trace
+//! ([`WorkloadGen`]) to a zoo model, stream options and a pass/fail
+//! [`Envelope`]; [`run_scenario`] replays the trace against a live
+//! shared [`StreamPipeline`] — bandwidth steps through
+//! `set_link_shaping`, tenant churn through `attach_session` /
+//! `detach_session`, load through weighted-fair admission — and
+//! reports a structured [`ScenarioOutcome`] the perf gate records into
+//! `BENCH_streaming.json`.
+//!
+//! The envelope checks the claims the system makes: **losslessness**
+//! (`drops == 0` — every admitted frame is delivered), a **per-tenant
+//! p95** latency bound (the worst p95 across every session that lived,
+//! including departed tenants), a **reconfiguration budget**, and an
+//! optional **device energy budget** priced through
+//! [`d3_partition::energy`] (per-inference device joules of the
+//! deployed assignment × delivered frames must fit the battery).
+
+use crate::workload::WorkloadGen;
+use crate::{even_split_deployment, STREAM_SEED};
+use d3_engine::stream::{StreamOptions, StreamPipeline};
+use d3_engine::SessionId;
+use d3_model::{zoo, DnnGraph};
+use d3_partition::energy::energy;
+use d3_partition::Problem;
+use d3_simnet::{NetworkCondition, TierProfiles};
+use d3_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The pass/fail envelope a scenario is judged against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Frames the run may lose (the suite pins 0: the pipeline is
+    /// lossless per session).
+    pub max_drops: u64,
+    /// Upper bound on the worst per-tenant p95 delivery latency,
+    /// seconds.
+    pub max_p95_s: f64,
+    /// Upper bound on live reconfigurations over the run.
+    pub max_reconfigs: u64,
+    /// Optional device battery budget, joules: the deployed plan's
+    /// per-inference device energy × delivered frames must fit.
+    pub device_budget_j: Option<f64>,
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        Self {
+            max_drops: 0,
+            max_p95_s: f64::INFINITY,
+            max_reconfigs: 0,
+            device_budget_j: None,
+        }
+    }
+}
+
+impl Envelope {
+    /// A lossless envelope with a p95 bound and no other limits.
+    #[must_use]
+    pub fn p95(max_p95_s: f64) -> Self {
+        Self {
+            max_p95_s,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the reconfiguration budget.
+    #[must_use]
+    pub fn reconfigs(mut self, max: u64) -> Self {
+        self.max_reconfigs = max;
+        self
+    }
+
+    /// Sets the device battery budget, joules.
+    #[must_use]
+    pub fn battery(mut self, joules: f64) -> Self {
+        self.device_budget_j = Some(joules);
+        self
+    }
+}
+
+/// One scenario of the matrix: a named binding of trace, model, stream
+/// options and envelope.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Matrix row name (also the perf-gate record key).
+    pub name: String,
+    /// Zoo model spec (see [`zoo::by_spec`]), e.g. `"chain_cnn:6:8:16"`
+    /// or `"transformer:12:48:2:64"`.
+    pub model: String,
+    /// Weight seed (and the trace seed's default base).
+    pub seed: u64,
+    /// The workload trace description.
+    pub workload: WorkloadGen,
+    /// Stream options the pipeline is built with.
+    pub options: StreamOptions,
+    /// The pass/fail envelope.
+    pub envelope: Envelope,
+}
+
+impl Scenario {
+    /// A scenario over `model` with default stream options, the given
+    /// workload, and envelope.
+    #[must_use]
+    pub fn new(name: &str, model: &str, workload: WorkloadGen, envelope: Envelope) -> Self {
+        Self {
+            name: name.to_string(),
+            model: model.to_string(),
+            seed: STREAM_SEED,
+            workload,
+            options: StreamOptions::default(),
+            envelope,
+        }
+    }
+
+    /// Replaces the stream options.
+    #[must_use]
+    pub fn options(mut self, options: StreamOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// What a scenario run measured, judged against its envelope.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario's name.
+    pub name: String,
+    /// Frames admitted across every tenant.
+    pub submitted: u64,
+    /// Frames delivered across every tenant.
+    pub delivered: u64,
+    /// Frames lost (admitted but never delivered).
+    pub drops: u64,
+    /// Worst per-tenant p95 delivery latency, seconds (over every
+    /// session that lived, departed tenants included).
+    pub worst_p95_s: f64,
+    /// Aggregate measured throughput, frames per second.
+    pub throughput_fps: f64,
+    /// Live reconfigurations over the run.
+    pub reconfigs: u64,
+    /// Most tenants simultaneously attached.
+    pub peak_tenants: usize,
+    /// Device energy the run spent, joules (per-inference device joules
+    /// of the deployed plan × delivered frames).
+    pub device_j: f64,
+    /// Every envelope violation, human-readable; empty = passed.
+    pub violations: Vec<String>,
+}
+
+impl ScenarioOutcome {
+    /// Whether the run stayed inside its envelope.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Builds the scenario's graph from its zoo spec.
+///
+/// # Panics
+///
+/// Panics on an unknown model spec — a scenario table typo should fail
+/// loudly, not skip silently.
+#[must_use]
+pub fn scenario_graph(sc: &Scenario) -> Arc<DnnGraph> {
+    Arc::new(
+        zoo::by_spec(&sc.model)
+            .unwrap_or_else(|| panic!("scenario {}: unknown model spec {}", sc.name, sc.model)),
+    )
+}
+
+/// Replays `sc`'s generated trace against a live shared pipeline and
+/// judges the outcome against the envelope.
+///
+/// Per step: the step's link rates apply through
+/// `StreamPipeline::set_link_shaping` (live, no quiesce), arrivals
+/// attach weighted sessions, departures drain and detach the oldest
+/// non-root tenant, and the step's frames are admitted round-robin over
+/// the active tenants (draining completions on backpressure, so offered
+/// load can exceed capacity without losing frames). Every admitted
+/// frame is received before the step ends, keeping the run lossless by
+/// construction unless the pipeline itself drops.
+///
+/// # Panics
+///
+/// Panics when the pipeline cannot be built or a stage worker dies —
+/// scenario runs are CI gates, and a broken pipeline must fail the run.
+#[must_use]
+pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
+    let graph = scenario_graph(sc);
+    let deployment = even_split_deployment(&graph);
+    let profiles = TierProfiles::paper_testbed();
+    let problem = Problem::new(graph.clone(), &profiles, NetworkCondition::WiFi);
+    let device_j_per_frame = energy(&problem, &deployment.assignment, &profiles).device_j();
+
+    let pipeline = StreamPipeline::new(
+        graph.clone(),
+        sc.seed,
+        &deployment,
+        None,
+        sc.options.clone(),
+    )
+    .unwrap_or_else(|e| panic!("scenario {}: pipeline build failed: {e:?}", sc.name));
+    let shape = graph.input_shape();
+    let input = Tensor::random(shape.c, shape.h, shape.w, 1);
+
+    let trace = sc.workload.generate();
+    let mut tenants: VecDeque<SessionId> = VecDeque::from([pipeline.root_session()]);
+    let mut peak_tenants = 1usize;
+    let mut departed_p95 = 0.0f64;
+    // Departed tenants leave the closing report's session list, so
+    // their delivered frames are tallied at detach time.
+    let mut departed_frames = 0u64;
+    let drain = |sid: SessionId| {
+        while pipeline.pending_as(sid) > 0 {
+            pipeline
+                .recv_as(sid)
+                .unwrap_or_else(|e| panic!("scenario {}: recv failed: {e:?}", sc.name));
+        }
+    };
+    for step in &trace.steps {
+        pipeline.set_link_shaping(step.shaping());
+        for &weight in &step.arrivals {
+            tenants.push_back(pipeline.attach_session(weight));
+            peak_tenants = peak_tenants.max(tenants.len());
+        }
+        for _ in 0..step.departures {
+            // Retire the oldest non-root tenant, drained first so the
+            // departure is lossless.
+            if tenants.len() > 1 {
+                let sid = tenants.remove(1).unwrap_or_else(|| unreachable!());
+                drain(sid);
+                if let Some(stats) = pipeline.detach_session(sid) {
+                    departed_p95 = departed_p95.max(stats.p95_latency_s);
+                    departed_frames += stats.frames;
+                }
+            }
+        }
+        for k in 0..step.frames as usize {
+            let sid = tenants[k % tenants.len()];
+            // Weighted-fair admission can refuse (quota or full queue):
+            // blocking submit routes completions while it waits, so
+            // offered load above capacity backpressures without loss.
+            pipeline
+                .submit_blocking_as(sid, &input)
+                .unwrap_or_else(|e| panic!("scenario {}: submit failed: {e:?}", sc.name));
+        }
+        for &sid in &tenants {
+            drain(sid);
+        }
+    }
+    let report = pipeline.close();
+
+    let worst_p95_s = report
+        .sessions
+        .iter()
+        .map(|s| s.p95_latency_s)
+        .fold(departed_p95, f64::max);
+    let delivered: u64 = departed_frames + report.sessions.iter().map(|s| s.frames).sum::<u64>();
+    let drops = report.submitted.saturating_sub(delivered);
+    let device_j = device_j_per_frame * delivered as f64;
+
+    let mut violations = Vec::new();
+    if drops > sc.envelope.max_drops {
+        violations.push(format!(
+            "drops {} > {} allowed",
+            drops, sc.envelope.max_drops
+        ));
+    }
+    if worst_p95_s > sc.envelope.max_p95_s {
+        violations.push(format!(
+            "worst per-tenant p95 {:.4}s > {:.4}s allowed",
+            worst_p95_s, sc.envelope.max_p95_s
+        ));
+    }
+    if report.reconfigurations > sc.envelope.max_reconfigs {
+        violations.push(format!(
+            "{} reconfigurations > {} allowed",
+            report.reconfigurations, sc.envelope.max_reconfigs
+        ));
+    }
+    if let Some(budget) = sc.envelope.device_budget_j {
+        if device_j > budget {
+            violations.push(format!(
+                "device energy {device_j:.3}J > battery budget {budget:.3}J"
+            ));
+        }
+    }
+
+    ScenarioOutcome {
+        name: sc.name.clone(),
+        submitted: report.submitted,
+        delivered,
+        drops,
+        worst_p95_s,
+        throughput_fps: report.measured.throughput_fps,
+        reconfigs: report.reconfigurations,
+        peak_tenants,
+        device_j,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_scenario_passes_its_envelope() {
+        let sc = Scenario::new(
+            "steady",
+            "tiny_cnn:8",
+            WorkloadGen::new(1).steps(3).load(4.0, 0.0),
+            Envelope::p95(30.0),
+        );
+        let out = run_scenario(&sc);
+        assert!(out.passed(), "violations: {:?}", out.violations);
+        assert_eq!(out.submitted, 12);
+        assert_eq!(out.delivered, 12);
+        assert_eq!(out.drops, 0);
+        assert!(out.worst_p95_s > 0.0);
+    }
+
+    #[test]
+    fn impossible_envelope_reports_violations() {
+        let sc = Scenario::new(
+            "too-strict",
+            "tiny_cnn:8",
+            WorkloadGen::new(1).steps(2).load(4.0, 0.0),
+            Envelope::p95(0.0),
+        );
+        let out = run_scenario(&sc);
+        assert!(!out.passed());
+        assert!(out.violations.iter().any(|v| v.contains("p95")));
+    }
+
+    #[test]
+    fn churn_attaches_and_departs_tenants_losslessly() {
+        let sc = Scenario::new(
+            "churn",
+            "tiny_cnn:8",
+            WorkloadGen::new(5).steps(8).load(3.0, 0.0).churn(0.5, 0.3),
+            Envelope::p95(30.0),
+        );
+        let out = run_scenario(&sc);
+        assert!(out.passed(), "violations: {:?}", out.violations);
+        assert!(out.peak_tenants > 1, "churn at p=0.5 attaches tenants");
+        assert_eq!(out.drops, 0);
+    }
+
+    #[test]
+    fn battery_budget_gates_energy() {
+        let gen = WorkloadGen::new(2).steps(2).load(3.0, 0.0);
+        let pass = run_scenario(&Scenario::new(
+            "battery-ok",
+            "tiny_cnn:8",
+            gen.clone(),
+            Envelope::p95(30.0).battery(f64::INFINITY),
+        ));
+        assert!(pass.passed());
+        assert!(pass.device_j > 0.0, "device stage spends joules");
+        let fail = run_scenario(&Scenario::new(
+            "battery-flat",
+            "tiny_cnn:8",
+            gen,
+            Envelope::p95(30.0).battery(0.0),
+        ));
+        assert!(fail.violations.iter().any(|v| v.contains("battery")));
+    }
+}

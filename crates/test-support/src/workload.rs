@@ -1,0 +1,363 @@
+//! The seeded workload generator: reproducible traces of offered load,
+//! link bandwidth and tenant churn for the scenario suite.
+//!
+//! A [`WorkloadGen`] is a pure description — seed plus shape knobs —
+//! and [`WorkloadGen::generate`] is a pure function of it: the same
+//! generator yields a bit-identical [`WorkloadTrace`] every time, on
+//! every host (the determinism property the suite's proptests pin).
+//! Traces model the regimes the partition literature identifies as
+//! decision-flipping:
+//!
+//! - **diurnal load curves** — a sinusoid over the trace length
+//!   modulating offered frames per step;
+//! - **flash crowds** — seeded step windows where offered load
+//!   multiplies abruptly;
+//! - **bandwidth traces** — per-step link rates (jittered around a
+//!   baseline, with an optional mid-trace collapse window), replayed
+//!   live through `StreamPipeline::set_link_shaping` /
+//!   [`StreamOptions::shape_links`](d3_engine::stream::StreamOptions)
+//!   and convertible to scripted [`Observation::Network`] sequences;
+//! - **tenant churn** — seeded arrival/departure marks driving
+//!   `attach_session` / `detach_session` against the shared pipeline.
+
+use crate::ScriptedObservations;
+use d3_engine::stream::LinkShaping;
+
+/// One step of a generated workload trace: what the scenario runner
+/// applies before admitting that step's frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// Frames offered this step (spread round-robin over the tenants
+    /// active at the time).
+    pub frames: u32,
+    /// Device→edge link rate in effect, Mbit/s.
+    pub device_edge_mbps: f64,
+    /// Edge→cloud link rate in effect, Mbit/s.
+    pub edge_cloud_mbps: f64,
+    /// Fair-share weights of tenants arriving at this step.
+    pub arrivals: Vec<f64>,
+    /// Tenants departing at this step (oldest-first, never the root).
+    pub departures: u32,
+}
+
+impl TraceStep {
+    /// The step's link rates as engine [`LinkShaping`].
+    #[must_use]
+    pub fn shaping(&self) -> LinkShaping {
+        LinkShaping::links(self.device_edge_mbps, self.edge_cloud_mbps)
+    }
+}
+
+/// A reproducible workload trace (see [`WorkloadGen`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadTrace {
+    /// The per-step schedule, in replay order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl WorkloadTrace {
+    /// Total frames the trace offers.
+    #[must_use]
+    pub fn total_frames(&self) -> u64 {
+        self.steps.iter().map(|s| u64::from(s.frames)).sum()
+    }
+
+    /// Peak frames any single step offers.
+    #[must_use]
+    pub fn peak_frames(&self) -> u32 {
+        self.steps.iter().map(|s| s.frames).max().unwrap_or(0)
+    }
+
+    /// The edge→cloud bandwidth series, one value per step.
+    #[must_use]
+    pub fn edge_cloud_series(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.edge_cloud_mbps).collect()
+    }
+
+    /// The trace's bandwidth series as a scripted
+    /// [`Observation::Network`](d3_core::Observation) trace — the same
+    /// currency injected drifts and the live bandwidth prober speak, so
+    /// a controller can be driven by a generated trace exactly like a
+    /// hand-written one.
+    #[must_use]
+    pub fn scripted_bandwidth(&self) -> ScriptedObservations {
+        ScriptedObservations::bandwidth_trace(&self.edge_cloud_series())
+    }
+
+    /// Total tenant arrivals across the trace.
+    #[must_use]
+    pub fn total_arrivals(&self) -> usize {
+        self.steps.iter().map(|s| s.arrivals.len()).sum()
+    }
+}
+
+/// `xorshift64*` over a splitmix-scrambled seed: the same tiny
+/// generator family the zoo's `random_dag` uses, so the trace generator
+/// adds no RNG dependency and stays bit-stable forever.
+#[derive(Debug, Clone)]
+struct TraceRng(u64);
+
+impl TraceRng {
+    fn new(seed: u64) -> Self {
+        // splitmix64 scramble so seed 0 and small seeds diverge.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self((z ^ (z >> 31)) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn next_index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The seeded workload generator: a trace description whose
+/// [`generate`](Self::generate) is a pure function — same generator,
+/// bit-identical trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadGen {
+    seed: u64,
+    steps: usize,
+    base_frames: f64,
+    diurnal_amplitude: f64,
+    flash_crowds: usize,
+    flash_multiplier: f64,
+    base_device_edge_mbps: f64,
+    base_edge_cloud_mbps: f64,
+    bandwidth_jitter: f64,
+    collapse: Option<(usize, usize, f64)>,
+    arrival_prob: f64,
+    departure_prob: f64,
+}
+
+impl WorkloadGen {
+    /// A generator with a steady default shape: 12 steps of 8 frames,
+    /// unshaped (infinite-rate) links, no crowds, no churn. Layer the
+    /// regime knobs on with the builder methods.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            steps: 12,
+            base_frames: 8.0,
+            diurnal_amplitude: 0.0,
+            flash_crowds: 0,
+            flash_multiplier: 3.0,
+            base_device_edge_mbps: f64::INFINITY,
+            base_edge_cloud_mbps: f64::INFINITY,
+            bandwidth_jitter: 0.0,
+            collapse: None,
+            arrival_prob: 0.0,
+            departure_prob: 0.0,
+        }
+    }
+
+    /// Trace length in steps.
+    #[must_use]
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Baseline offered load per step, with a full-trace diurnal
+    /// sinusoid of relative amplitude `diurnal` (0 = flat, 0.5 = load
+    /// swings ±50% over the trace).
+    #[must_use]
+    pub fn load(mut self, base_frames: f64, diurnal: f64) -> Self {
+        self.base_frames = base_frames;
+        self.diurnal_amplitude = diurnal;
+        self
+    }
+
+    /// Injects `count` flash crowds: seeded single-step windows whose
+    /// offered load multiplies by `multiplier`.
+    #[must_use]
+    pub fn flash_crowds(mut self, count: usize, multiplier: f64) -> Self {
+        self.flash_crowds = count;
+        self.flash_multiplier = multiplier;
+        self
+    }
+
+    /// Shapes the links around baselines `device_edge` / `edge_cloud`
+    /// Mbit/s with relative per-step jitter (0 = constant rates).
+    #[must_use]
+    pub fn bandwidth(mut self, device_edge: f64, edge_cloud: f64, jitter: f64) -> Self {
+        self.base_device_edge_mbps = device_edge;
+        self.base_edge_cloud_mbps = edge_cloud;
+        self.bandwidth_jitter = jitter;
+        self
+    }
+
+    /// Collapses the edge→cloud link to `depth` × baseline for the
+    /// steps `[start, start + len)` — the bandwidth-drop regime that
+    /// flips partition decisions.
+    #[must_use]
+    pub fn collapse(mut self, start: usize, len: usize, depth: f64) -> Self {
+        self.collapse = Some((start, len, depth));
+        self
+    }
+
+    /// Tenant churn: per-step arrival and departure probabilities.
+    /// Arrivals carry a seeded weight in `[0.5, 2.0)`; departures
+    /// retire the oldest non-root tenant.
+    #[must_use]
+    pub fn churn(mut self, arrival_prob: f64, departure_prob: f64) -> Self {
+        self.arrival_prob = arrival_prob;
+        self.departure_prob = departure_prob;
+        self
+    }
+
+    /// Generates the trace — a pure function of `self`, bit-identical
+    /// on every call.
+    #[must_use]
+    pub fn generate(&self) -> WorkloadTrace {
+        let mut rng = TraceRng::new(self.seed);
+        // Flash-crowd steps are drawn first so load and bandwidth
+        // streams can't shift them when knobs change independently.
+        let mut crowd_steps = Vec::new();
+        if self.steps > 0 {
+            for _ in 0..self.flash_crowds {
+                crowd_steps.push(rng.next_index(self.steps));
+            }
+        }
+        let mut live_tenants = 0usize; // non-root tenants currently up
+        let steps = (0..self.steps)
+            .map(|k| {
+                let phase = k as f64 / self.steps.max(1) as f64;
+                let diurnal = 1.0 + self.diurnal_amplitude * (phase * std::f64::consts::TAU).sin();
+                let crowd = if crowd_steps.contains(&k) {
+                    self.flash_multiplier
+                } else {
+                    1.0
+                };
+                let frames = (self.base_frames * diurnal * crowd).round().max(0.0) as u32;
+                let jitter = |rng: &mut TraceRng, base: f64| {
+                    if base.is_finite() && self.bandwidth_jitter > 0.0 {
+                        base * (1.0 + self.bandwidth_jitter * (2.0 * rng.next_f64() - 1.0))
+                    } else {
+                        base
+                    }
+                };
+                let device_edge_mbps = jitter(&mut rng, self.base_device_edge_mbps);
+                let mut edge_cloud_mbps = jitter(&mut rng, self.base_edge_cloud_mbps);
+                if let Some((start, len, depth)) = self.collapse {
+                    if (start..start.saturating_add(len)).contains(&k)
+                        && edge_cloud_mbps.is_finite()
+                    {
+                        edge_cloud_mbps *= depth;
+                    }
+                }
+                let arrivals = if rng.next_f64() < self.arrival_prob {
+                    live_tenants += 1;
+                    vec![0.5 + 1.5 * rng.next_f64()]
+                } else {
+                    Vec::new()
+                };
+                let departures = if live_tenants > 0 && rng.next_f64() < self.departure_prob {
+                    live_tenants -= 1;
+                    1
+                } else {
+                    0
+                };
+                TraceStep {
+                    frames,
+                    device_edge_mbps,
+                    edge_cloud_mbps,
+                    arrivals,
+                    departures,
+                }
+            })
+            .collect();
+        WorkloadTrace { steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let make = || {
+            WorkloadGen::new(42)
+                .steps(24)
+                .load(10.0, 0.4)
+                .flash_crowds(2, 4.0)
+                .bandwidth(40.0, 12.0, 0.2)
+                .collapse(8, 4, 0.1)
+                .churn(0.3, 0.2)
+                .generate()
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadGen::new(1).steps(16).bandwidth(40.0, 12.0, 0.3);
+        let b = WorkloadGen::new(2).steps(16).bandwidth(40.0, 12.0, 0.3);
+        assert_ne!(a.generate(), b.generate());
+    }
+
+    #[test]
+    fn diurnal_swings_and_flash_crowds_raise_peak() {
+        let flat = WorkloadGen::new(7).steps(20).load(10.0, 0.0).generate();
+        assert!(flat.steps.iter().all(|s| s.frames == 10));
+        let crowd = WorkloadGen::new(7)
+            .steps(20)
+            .load(10.0, 0.0)
+            .flash_crowds(1, 5.0)
+            .generate();
+        assert_eq!(crowd.peak_frames(), 50);
+        assert!(crowd.total_frames() > flat.total_frames());
+    }
+
+    #[test]
+    fn collapse_window_drops_backbone_only() {
+        let t = WorkloadGen::new(3)
+            .steps(10)
+            .bandwidth(40.0, 20.0, 0.0)
+            .collapse(4, 3, 0.1)
+            .generate();
+        for (k, s) in t.steps.iter().enumerate() {
+            assert!((s.device_edge_mbps - 40.0).abs() < 1e-12);
+            let want = if (4..7).contains(&k) { 2.0 } else { 20.0 };
+            assert!((s.edge_cloud_mbps - want).abs() < 1e-12, "step {k}");
+        }
+    }
+
+    #[test]
+    fn departures_never_exceed_arrivals() {
+        let t = WorkloadGen::new(9).steps(50).churn(0.4, 0.4).generate();
+        let mut live = 0i64;
+        for s in &t.steps {
+            live += s.arrivals.len() as i64;
+            live -= i64::from(s.departures);
+            assert!(live >= 0, "departure without a live tenant");
+        }
+        assert!(t.total_arrivals() > 0, "churn at p=0.4 over 50 steps");
+    }
+
+    #[test]
+    fn unshaped_links_stay_infinite() {
+        let t = WorkloadGen::new(5).steps(4).generate();
+        assert!(t
+            .steps
+            .iter()
+            .all(|s| s.shaping() == LinkShaping::unshaped()));
+    }
+}

@@ -189,10 +189,7 @@ fn model_mux_concurrent_admits_keep_global_and_session_ids_dense() {
                     .collect::<Vec<_>>()
             }));
         }
-        let minted: Vec<_> = admitters
-            .into_iter()
-            .map(|t| t.join().unwrap())
-            .collect();
+        let minted: Vec<_> = admitters.into_iter().map(|t| t.join().unwrap()).collect();
         let mut globals: Vec<u64> = minted.iter().flatten().map(|m| m.global).collect();
         globals.sort_unstable();
         assert_eq!(globals, [0, 1, 2, 3], "global ids dense across sessions");

@@ -8,7 +8,11 @@
 
 use bytes::Bytes;
 use d3_engine::codec::{self, WireCodec};
-use d3_engine::link::{decode_msg, encode_msg, Hello, LinkMsg, WireBatch, WireFrame, LINK_MAGIC};
+use d3_engine::link::{
+    decode_msg, encode_msg, node_from_wire, node_to_wire, remap_frame_payload, Hello, LinkMsg,
+    WireBatch, WireFrame, WireNodeError, LINK_MAGIC,
+};
+use d3_model::NodeId;
 use d3_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -198,6 +202,50 @@ proptest! {
         let got = decode_msg(&bytes);
         if !magic_ok {
             prop_assert!(got.is_err());
+        }
+    }
+
+    /// The failover remap's typed node-id conversion: an arbitrary wire
+    /// id either round-trips exactly (`node_to_wire ∘ node_from_wire` is
+    /// the identity) or errors — precisely when it names no vertex of
+    /// the graph. Never a panic, never a fabricated id.
+    #[test]
+    fn node_id_wire_roundtrip(id in any::<u32>(), nodes in 0usize..2048) {
+        match node_from_wire(id, nodes) {
+            Ok(node) => {
+                prop_assert!(node.index() < nodes);
+                prop_assert_eq!(node.index(), id as usize);
+                prop_assert_eq!(node_to_wire(node), Ok(id));
+            }
+            Err(WireNodeError::OutOfRange { id: bad, nodes: n }) => {
+                prop_assert!(id as usize >= nodes);
+                prop_assert_eq!((bad, n), (id, nodes));
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// Remapping an arbitrary wire frame against an arbitrary graph size
+    /// never panics; it succeeds iff every payload id is in range, and a
+    /// success preserves ids and payload bytes exactly.
+    #[test]
+    fn frame_remap_validates_every_payload_id(wf in wire_frame(), nodes in 0usize..2048) {
+        let all_in_range = wf.payload.iter().all(|(id, _)| (*id as usize) < nodes);
+        match remap_frame_payload(&wf, nodes) {
+            Ok(payload) => {
+                prop_assert!(all_in_range);
+                prop_assert_eq!(payload.len(), wf.payload.len());
+                for ((node, bytes), (id, orig)) in payload.iter().zip(&wf.payload) {
+                    prop_assert_eq!(*node, NodeId(*id as usize));
+                    prop_assert_eq!(bytes.as_slice(), orig.as_slice());
+                }
+            }
+            Err(WireNodeError::OutOfRange { id, nodes: n }) => {
+                prop_assert!(!all_in_range);
+                prop_assert!(id as usize >= n);
+                prop_assert_eq!(n, nodes);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
         }
     }
 }
